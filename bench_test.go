@@ -1,0 +1,376 @@
+package repro
+
+// The benchmark harness regenerating every figure of the paper's
+// evaluation (Section 5). Experiment ids E1–E7 refer to DESIGN.md; the
+// series a figure plots appear here as sub-benchmarks (one per x-axis
+// point), so
+//
+//	go test -bench Fig9a -benchmem
+//
+// prints the same series as Figure 9(a). cmd/cfdbench runs the same
+// experiments and formats them as the paper's tables; EXPERIMENTS.md
+// records paper-vs-measured shapes.
+//
+// Setup (data generation, tableau encoding, SQL generation) happens
+// outside the timer: like the paper, we measure detection-query
+// evaluation, not loading.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cind"
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/discovery"
+	"repro/internal/gen"
+	"repro/internal/repair"
+	"repro/internal/sqlgen"
+	"repro/internal/sqlmini"
+)
+
+// benchSetup is a prepared detection workload: data and tableau tables
+// registered in an engine catalog, with the query pair already generated.
+type benchSetup struct {
+	db *sqlmini.DB
+	qc string
+	qv string
+}
+
+func newSingleCFDSetup(b *testing.B, rel *Relation, cfd *CFD, form sqlgen.Form) *benchSetup {
+	b.Helper()
+	opts := sqlgen.Default(form)
+	tab, err := sqlgen.TableauRelation(cfd, "T1", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := sqlmini.NewDB()
+	db.RegisterRelation("R", rel)
+	db.RegisterRelation("T1", tab)
+	qc, err := sqlgen.QC(cfd, "R", "T1", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qv, err := sqlgen.QV(cfd, "R", "T1", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchSetup{db: db, qc: qc, qv: qv}
+}
+
+func (s *benchSetup) runQC(b *testing.B) {
+	if _, err := s.db.Query(s.qc); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func (s *benchSetup) runQV(b *testing.B) {
+	if _, err := s.db.Query(s.qv); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func (s *benchSetup) runBoth(b *testing.B) {
+	s.runQC(b)
+	s.runQV(b)
+}
+
+// fig9Sizes is the x-axis of Figures 9(a)–(c): SZ from 10K to 100K.
+var fig9Sizes = []int{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000, 90000, 100000}
+
+// taxData generates the dirty instance for the given SZ/NOISE.
+func taxData(sz int, noise float64) *TaxData {
+	return gen.GenerateTax(gen.TaxConfig{Size: sz, Noise: noise, Seed: 1})
+}
+
+// workloadCFD builds the Section 5 CFD with the given knobs from clean data.
+func workloadCFD(b *testing.B, clean *Relation, numAttrs, tabsz int, constPct float64) *CFD {
+	b.Helper()
+	tpl, err := gen.TemplateByAttrs(numAttrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfd, err := gen.GenerateWorkloadCFD(clean, gen.CFDConfig{
+		Template: tpl, TabSize: tabsz, ConstPct: constPct, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfd
+}
+
+// benchCNFvsDNF runs one Figure 9(a)/9(b) series: detection time (QC+QV)
+// against SZ for a fixed NUMATTRs=3, TABSZ=1K CFD.
+func benchCNFvsDNF(b *testing.B, constPct float64, form sqlgen.Form) {
+	for _, sz := range fig9Sizes {
+		b.Run(fmt.Sprintf("SZ=%d", sz), func(b *testing.B) {
+			data := taxData(sz, 0.05)
+			cfd := workloadCFD(b, data.Clean, 3, 1000, constPct)
+			setup := newSingleCFDSetup(b, data.Dirty, cfd, form)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				setup.runBoth(b)
+			}
+		})
+	}
+}
+
+// E1 — Figure 9(a): CNF vs DNF, NUMCONSTs = 100%.
+func BenchmarkFig9aCNF(b *testing.B) { benchCNFvsDNF(b, 1.0, sqlgen.CNF) }
+func BenchmarkFig9aDNF(b *testing.B) { benchCNFvsDNF(b, 1.0, sqlgen.DNF) }
+
+// E2 — Figure 9(b): CNF vs DNF, NUMCONSTs = 50% (half the pattern tuples
+// contain variables).
+func BenchmarkFig9bCNF(b *testing.B) { benchCNFvsDNF(b, 0.5, sqlgen.CNF) }
+func BenchmarkFig9bDNF(b *testing.B) { benchCNFvsDNF(b, 0.5, sqlgen.DNF) }
+
+// E3 — Figure 9(c): the detection cost split between QC and QV
+// (NUMATTRs 3, TABSZ 1K, NUMCONSTs 100%, DNF evaluation).
+func benchQCorQV(b *testing.B, wantQC bool) {
+	for _, sz := range fig9Sizes {
+		b.Run(fmt.Sprintf("SZ=%d", sz), func(b *testing.B) {
+			data := taxData(sz, 0.05)
+			cfd := workloadCFD(b, data.Clean, 3, 1000, 1.0)
+			setup := newSingleCFDSetup(b, data.Dirty, cfd, sqlgen.DNF)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if wantQC {
+					setup.runQC(b)
+				} else {
+					setup.runQV(b)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig9cQC(b *testing.B) { benchQCorQV(b, true) }
+func BenchmarkFig9cQV(b *testing.B) { benchQCorQV(b, false) }
+
+// E4 — Figure 9(d): scalability in TABSZ at SZ = 500K, NUMCONSTs 50%,
+// NUMATTRs 3 vs 4. The 500K instance is generated once and shared.
+var (
+	big500Once sync.Once
+	big500     *TaxData
+)
+
+func bigTaxData(b *testing.B) *TaxData {
+	b.Helper()
+	big500Once.Do(func() {
+		big500 = gen.GenerateTax(gen.TaxConfig{Size: 500000, Noise: 0.05, Seed: 1})
+	})
+	return big500
+}
+
+func benchTabSize(b *testing.B, numAttrs int) {
+	data := bigTaxData(b)
+	for tabsz := 1000; tabsz <= 10000; tabsz += 1000 {
+		b.Run(fmt.Sprintf("TABSZ=%d", tabsz), func(b *testing.B) {
+			cfd := workloadCFD(b, data.Clean, numAttrs, tabsz, 0.5)
+			setup := newSingleCFDSetup(b, data.Dirty, cfd, sqlgen.DNF)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				setup.runBoth(b)
+			}
+		})
+	}
+}
+
+func BenchmarkFig9dAttrs3(b *testing.B) { benchTabSize(b, 3) }
+func BenchmarkFig9dAttrs4(b *testing.B) { benchTabSize(b, 4) }
+
+// E5 — Figure 9(e): scalability in NUMCONSTs at SZ = 100K, TABSZ 1K,
+// NUMATTRs 3 (more variables ⇒ less index-friendly joins ⇒ slower).
+func BenchmarkFig9e(b *testing.B) {
+	for pct := 100; pct >= 10; pct -= 10 {
+		b.Run(fmt.Sprintf("NUMCONSTS=%d", pct), func(b *testing.B) {
+			data := taxData(100000, 0.05)
+			cfd := workloadCFD(b, data.Clean, 3, 1000, float64(pct)/100)
+			setup := newSingleCFDSetup(b, data.Dirty, cfd, sqlgen.DNF)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				setup.runBoth(b)
+			}
+		})
+	}
+}
+
+// E6 — Figure 9(f): scalability in NOISE at SZ = 100K with the full
+// zip→state tableau (TABSZ 30K, NUMATTRs 2, NUMCONSTs 100%) — "all
+// possible zip to state pairs, so as not to miss a violation".
+func BenchmarkFig9f(b *testing.B) {
+	cfd := gen.AllZipStateCFD(gen.NumZips)
+	for noise := 0; noise <= 9; noise++ {
+		b.Run(fmt.Sprintf("NOISE=%d", noise), func(b *testing.B) {
+			data := taxData(100000, float64(noise)/100)
+			setup := newSingleCFDSetup(b, data.Dirty, cfd, sqlgen.DNF)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				setup.runBoth(b)
+			}
+		})
+	}
+}
+
+// E7 — Section 5 "Merging CFDs": the merged two-pass plan (QCΣ, QVΣ)
+// against per-CFD validation, over three highly related CFDs
+// (zip→state, zip+city→state, areacode→state; TABSZ 500 each).
+func mergedWorkload(b *testing.B) (*Relation, []*CFD) {
+	b.Helper()
+	data := taxData(20000, 0.05)
+	var sigma []*CFD
+	for i, tpl := range []gen.Template{gen.ZipToState, gen.ZipCityToState, gen.AreaCodeToState} {
+		cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+			Template: tpl, TabSize: 500, ConstPct: 1.0, Seed: int64(3 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigma = append(sigma, cfd)
+	}
+	return data.Dirty, sigma
+}
+
+func benchDetectFull(b *testing.B, rel *Relation, sigma []*CFD, opts detect.Options) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := detect.Detect(rel, sigma, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergedVsPerCFDMergedCNF(b *testing.B) {
+	rel, sigma := mergedWorkload(b)
+	benchDetectFull(b, rel, sigma, detect.Options{Strategy: detect.SQLMerged, Form: sqlgen.CNF})
+}
+
+func BenchmarkMergedVsPerCFDPerCFDCNF(b *testing.B) {
+	rel, sigma := mergedWorkload(b)
+	benchDetectFull(b, rel, sigma, detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.CNF})
+}
+
+func BenchmarkMergedVsPerCFDPerCFDDNF(b *testing.B) {
+	rel, sigma := mergedWorkload(b)
+	benchDetectFull(b, rel, sigma, detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.DNF})
+}
+
+// Ablations beyond the paper's figures: strategy comparison, reasoning
+// costs, and repair throughput.
+
+// BenchmarkStrategyDirect measures the pure-Go detector on the E7
+// workload — the ceiling the SQL paths are compared against.
+func BenchmarkStrategyDirect(b *testing.B) {
+	rel, sigma := mergedWorkload(b)
+	benchDetectFull(b, rel, sigma, detect.Options{Strategy: detect.Direct})
+}
+
+// BenchmarkDriverOverhead measures the database/sql layer on top of the
+// engine (same plan, standard interface).
+func BenchmarkDriverOverhead(b *testing.B) {
+	rel, sigma := mergedWorkload(b)
+	benchDetectFull(b, rel, sigma, detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.DNF, ViaDriver: true})
+}
+
+// BenchmarkConsistency measures the Theorem 3.2 consistency check on a
+// generated 200-pattern CFD plus the semantic set.
+func BenchmarkConsistency(b *testing.B) {
+	data := taxData(5000, 0)
+	cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+		Template: gen.StateSalaryToTax, TabSize: 200, ConstPct: 1.0, Seed: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sigma := append(gen.SemanticCFDs(), cfd)
+	schema := gen.TaxSchema()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, _, err := core.Consistent(schema, sigma)
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkImplication measures the Theorem 3.5 implication check.
+func BenchmarkImplication(b *testing.B) {
+	schema := gen.TaxSchema()
+	sigma := gen.SemanticCFDs()
+	phi := core.MustCFD([]string{"ZIP", "CT"}, []string{"ST"},
+		core.PatternRow{X: []core.Pattern{core.W(), core.W()}, Y: []core.Pattern{core.W()}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := core.Implies(schema, sigma, phi)
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkMinCover measures MinCover (Figure 4) on a redundant set.
+func BenchmarkMinCover(b *testing.B) {
+	schema := gen.TaxSchema()
+	sigma := append(gen.SemanticCFDs(),
+		core.MustCFD([]string{"ZIP", "CT"}, []string{"ST"},
+			core.PatternRow{X: []core.Pattern{core.W(), core.W()}, Y: []core.Pattern{core.W()}}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MinimalCover(schema, sigma); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepair measures the Section 6 heuristic end to end on a 5K
+// instance with 5% noise.
+func BenchmarkRepair(b *testing.B) {
+	sigma := gen.SemanticCFDs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		data := gen.GenerateTax(gen.TaxConfig{Size: 5000, Noise: 0.05, Seed: int64(i)})
+		b.StartTimer()
+		res, err := repair.Repair(data.Dirty, sigma, repair.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Satisfied {
+			b.Fatal("repair did not satisfy Σ")
+		}
+	}
+}
+
+// BenchmarkDiscovery measures CFD mining (the Section 7 extension) over a
+// 5K clean instance with pairs of LHS attributes.
+func BenchmarkDiscovery(b *testing.B) {
+	data := gen.GenerateTax(gen.TaxConfig{Size: 5000, Noise: 0, Seed: 19})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := discovery.Discover(data.Clean, discovery.Config{MaxLHS: 2, MinSupport: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds) == 0 {
+			b.Fatal("nothing discovered")
+		}
+	}
+}
+
+// BenchmarkCINDDetection measures conditional-inclusion checking of 100K
+// tax records against the 30K-row zip directory.
+func BenchmarkCINDDetection(b *testing.B) {
+	data := taxData(100000, 0.05)
+	zipdir := gen.ZipDirectory()
+	psi, err := cind.ParseCIND("taxrecords[ZIP, ST | CC=01] <= zipdir[zip, state]")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cind.FindViolations(data.Dirty, zipdir, psi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Command cfdbench reruns the paper's evaluation (Section 5, Figures
+// 9(a)–(f) plus the "Merging CFDs" comparison) and prints each series as a
+// table — the data behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	cfdbench               # full paper-scale parameters
+//	cfdbench -quick        # reduced sizes for a fast smoke run
+//	cfdbench -only 9a,9f   # a subset of experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/detect"
+	"repro/internal/gen"
+	"repro/internal/relation"
+	"repro/internal/sqlgen"
+	"repro/internal/sqlmini"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced sizes for a fast run")
+		only  = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge)")
+	)
+	flag.Parse()
+	sel := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			sel[s] = true
+		}
+	}
+	want := func(id string) bool { return len(sel) == 0 || sel[id] }
+
+	b := &bench{quick: *quick}
+	if want("9a") {
+		b.fig9ab("9a", 1.0)
+	}
+	if want("9b") {
+		b.fig9ab("9b", 0.5)
+	}
+	if want("9c") {
+		b.fig9c()
+	}
+	if want("9d") {
+		b.fig9d()
+	}
+	if want("9e") {
+		b.fig9e()
+	}
+	if want("9f") {
+		b.fig9f()
+	}
+	if want("merge") {
+		b.merge()
+	}
+	if b.failed {
+		os.Exit(1)
+	}
+}
+
+type bench struct {
+	quick  bool
+	failed bool
+}
+
+func (b *bench) fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfdbench:", err)
+	b.failed = true
+	os.Exit(1)
+}
+
+// sizes returns the SZ axis of Figures 9(a)–(c).
+func (b *bench) sizes() []int {
+	if b.quick {
+		return []int{10000, 20000, 30000}
+	}
+	out := make([]int, 0, 10)
+	for sz := 10000; sz <= 100000; sz += 10000 {
+		out = append(out, sz)
+	}
+	return out
+}
+
+func (b *bench) data(sz int, noise float64) *gen.TaxData {
+	return gen.GenerateTax(gen.TaxConfig{Size: sz, Noise: noise, Seed: 1})
+}
+
+func (b *bench) cfd(clean *relation.Relation, numAttrs, tabsz int, constPct float64) *core.CFD {
+	tpl, err := gen.TemplateByAttrs(numAttrs)
+	if err != nil {
+		b.fatal(err)
+	}
+	cfd, err := gen.GenerateWorkloadCFD(clean, gen.CFDConfig{Template: tpl, TabSize: tabsz, ConstPct: constPct, Seed: 2})
+	if err != nil {
+		b.fatal(err)
+	}
+	return cfd
+}
+
+type pair struct{ qc, qv string }
+
+func (b *bench) setup(rel *relation.Relation, cfd *core.CFD, form sqlgen.Form) (*sqlmini.DB, pair) {
+	opts := sqlgen.Default(form)
+	tab, err := sqlgen.TableauRelation(cfd, "T1", opts)
+	if err != nil {
+		b.fatal(err)
+	}
+	db := sqlmini.NewDB()
+	db.RegisterRelation("R", rel)
+	db.RegisterRelation("T1", tab)
+	qc, err := sqlgen.QC(cfd, "R", "T1", opts)
+	if err != nil {
+		b.fatal(err)
+	}
+	qv, err := sqlgen.QV(cfd, "R", "T1", opts)
+	if err != nil {
+		b.fatal(err)
+	}
+	return db, pair{qc, qv}
+}
+
+func (b *bench) timeQuery(db *sqlmini.DB, sql string) time.Duration {
+	start := time.Now()
+	if _, err := db.Query(sql); err != nil {
+		b.fatal(err)
+	}
+	return time.Since(start)
+}
+
+func (b *bench) timePair(db *sqlmini.DB, p pair) time.Duration {
+	return b.timeQuery(db, p.qc) + b.timeQuery(db, p.qv)
+}
+
+func header(title string, cols ...string) {
+	fmt.Printf("\n## %s\n\n| %s |\n|%s\n", title, strings.Join(cols, " | "),
+		strings.Repeat("---|", len(cols)))
+}
+
+func row(cells ...string) {
+	fmt.Printf("| %s |\n", strings.Join(cells, " | "))
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.0f", float64(d.Microseconds())/1000)
+}
+
+// fig9ab: Figures 9(a)/(b) — CNF vs DNF over SZ, NUMATTRs 3, TABSZ 1K.
+func (b *bench) fig9ab(id string, constPct float64) {
+	header(fmt.Sprintf("Figure %s: CNF vs DNF (NUMCONSTs = %.0f%%)", id, constPct*100),
+		"SZ", "CNF ms", "DNF ms", "speedup")
+	for _, sz := range b.sizes() {
+		data := b.data(sz, 0.05)
+		cfd := b.cfd(data.Clean, 3, 1000, constPct)
+		dbC, pC := b.setup(data.Dirty, cfd, sqlgen.CNF)
+		cnf := b.timePair(dbC, pC)
+		dbD, pD := b.setup(data.Dirty, cfd, sqlgen.DNF)
+		dnf := b.timePair(dbD, pD)
+		row(fmt.Sprint(sz), ms(cnf), ms(dnf), fmt.Sprintf("%.1fx", float64(cnf)/float64(dnf)))
+	}
+}
+
+// fig9c: QC vs QV split over SZ (DNF).
+func (b *bench) fig9c() {
+	header("Figure 9c: QC vs QV", "SZ", "QC ms", "QV ms")
+	for _, sz := range b.sizes() {
+		data := b.data(sz, 0.05)
+		cfd := b.cfd(data.Clean, 3, 1000, 1.0)
+		db, p := b.setup(data.Dirty, cfd, sqlgen.DNF)
+		qc := b.timeQuery(db, p.qc)
+		qv := b.timeQuery(db, p.qv)
+		row(fmt.Sprint(sz), ms(qc), ms(qv))
+	}
+}
+
+// fig9d: scalability in TABSZ at SZ 500K, NUMATTRs 3 vs 4, NUMCONSTs 50%.
+func (b *bench) fig9d() {
+	sz := 500000
+	step, max := 1000, 10000
+	if b.quick {
+		sz, step, max = 50000, 2000, 6000
+	}
+	data := b.data(sz, 0.05)
+	header(fmt.Sprintf("Figure 9d: scalability in TABSZ (SZ = %d)", sz),
+		"TABSZ", "NUMATTRs=3 ms", "NUMATTRs=4 ms")
+	for tabsz := step; tabsz <= max; tabsz += step {
+		cfd3 := b.cfd(data.Clean, 3, tabsz, 0.5)
+		db3, p3 := b.setup(data.Dirty, cfd3, sqlgen.DNF)
+		t3 := b.timePair(db3, p3)
+		cfd4 := b.cfd(data.Clean, 4, tabsz, 0.5)
+		db4, p4 := b.setup(data.Dirty, cfd4, sqlgen.DNF)
+		t4 := b.timePair(db4, p4)
+		row(fmt.Sprint(tabsz), ms(t3), ms(t4))
+	}
+}
+
+// fig9e: scalability in NUMCONSTs at SZ 100K, TABSZ 1K.
+func (b *bench) fig9e() {
+	sz := 100000
+	if b.quick {
+		sz = 20000
+	}
+	data := b.data(sz, 0.05)
+	header(fmt.Sprintf("Figure 9e: scalability in NUMCONSTs (SZ = %d)", sz),
+		"NUMCONSTs", "detect ms")
+	for pct := 100; pct >= 10; pct -= 10 {
+		cfd := b.cfd(data.Clean, 3, 1000, float64(pct)/100)
+		db, p := b.setup(data.Dirty, cfd, sqlgen.DNF)
+		row(fmt.Sprintf("%d%%", pct), ms(b.timePair(db, p)))
+	}
+}
+
+// fig9f: scalability in NOISE with the full 30K zip→state tableau.
+func (b *bench) fig9f() {
+	sz := 100000
+	if b.quick {
+		sz = 20000
+	}
+	cfd := gen.AllZipStateCFD(gen.NumZips)
+	header(fmt.Sprintf("Figure 9f: scalability in NOISE (SZ = %d, TABSZ = %d)", sz, gen.NumZips),
+		"NOISE", "detect ms")
+	for noise := 0; noise <= 9; noise++ {
+		data := b.data(sz, float64(noise)/100)
+		db, p := b.setup(data.Dirty, cfd, sqlgen.DNF)
+		row(fmt.Sprintf("%d%%", noise), ms(b.timePair(db, p)))
+	}
+}
+
+// merge: the Section 5 "Merging CFDs" comparison.
+func (b *bench) merge() {
+	sz := 20000
+	if b.quick {
+		sz = 5000
+	}
+	data := b.data(sz, 0.05)
+	var sigma []*core.CFD
+	for i, tpl := range []gen.Template{gen.ZipToState, gen.ZipCityToState, gen.AreaCodeToState} {
+		cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+			Template: tpl, TabSize: 500, ConstPct: 1.0, Seed: int64(3 + i),
+		})
+		if err != nil {
+			b.fatal(err)
+		}
+		sigma = append(sigma, cfd)
+	}
+	header(fmt.Sprintf("Merging CFDs (SZ = %d, 3 related CFDs, TABSZ 500)", sz),
+		"plan", "passes over R", "detect ms")
+	run := func(name string, passes string, opts detect.Options) {
+		start := time.Now()
+		if _, err := detect.Detect(data.Dirty, sigma, opts); err != nil {
+			b.fatal(err)
+		}
+		row(name, passes, ms(time.Since(start)))
+	}
+	run("merged (QCΣ, QVΣ), CNF", "2", detect.Options{Strategy: detect.SQLMerged, Form: sqlgen.CNF})
+	run("per-CFD (QC, QV), CNF", "6", detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.CNF})
+	run("per-CFD (QC, QV), DNF", "6", detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.DNF})
+	run("direct (no SQL)", "-", detect.Options{Strategy: detect.Direct})
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const custCSV = `CC,AC,PN,NM,STR,CT,ZIP
+01,908,1111111,Mike,Tree Ave.,NYC,07974
+01,908,1111111,Rick,Tree Ave.,NYC,07974
+01,212,2222222,Joe,Elm Str.,NYC,01202
+01,212,2222222,Jim,Elm Str.,NYC,02404
+01,215,3333333,Ben,Oak Ave.,PHI,02394
+44,131,4444444,Ian,High St.,EDI,EH4 1DT
+`
+
+const figure2CFDs = `
+[CC=44, ZIP] -> [STR]
+[CC, AC, PN] -> [STR, CT, ZIP]
+[CC=01, AC=908, PN] -> [STR, CT=MH, ZIP]
+[CC=01, AC=212, PN] -> [STR, CT=NYC, ZIP]
+`
+
+func writeFixtures(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	data := filepath.Join(dir, "cust.csv")
+	cfds := filepath.Join(dir, "cfds.txt")
+	if err := os.WriteFile(data, []byte(custCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfds, []byte(figure2CFDs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return data, cfds
+}
+
+func TestRunFindsViolations(t *testing.T) {
+	data, cfds := writeFixtures(t)
+	for _, strategy := range []string{"direct", "sql", "merged"} {
+		for _, form := range []string{"cnf", "dnf"} {
+			code, err := run(data, cfds, strategy, form, false, false, 10)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", strategy, form, err)
+			}
+			if code != 1 {
+				t.Errorf("%s/%s: exit = %d, want 1 (violations found)", strategy, form, code)
+			}
+		}
+	}
+}
+
+func TestRunCleanInstance(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "cust.csv")
+	cfds := filepath.Join(dir, "cfds.txt")
+	if err := os.WriteFile(data, []byte(custCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// ϕ3 holds on the instance.
+	if err := os.WriteFile(cfds, []byte("[CC=01, AC=215] -> [CT=PHI]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, err := run(data, cfds, "direct", "dnf", false, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d, want 0 for a satisfied set", code)
+	}
+}
+
+func TestRunInconsistentSigma(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "cust.csv")
+	cfds := filepath.Join(dir, "cfds.txt")
+	if err := os.WriteFile(data, []byte(custCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfds, []byte("[CC] -> [CT=x]\n[CC] -> [CT=y]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, err := run(data, cfds, "direct", "dnf", false, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 for an inconsistent Σ", code)
+	}
+}
+
+func TestRunShowSQL(t *testing.T) {
+	data, cfds := writeFixtures(t)
+	if _, err := run(data, cfds, "sql", "dnf", true, true, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	data, cfds := writeFixtures(t)
+	if _, err := run("missing.csv", cfds, "direct", "dnf", false, false, 10); err == nil {
+		t.Error("missing data file must error")
+	}
+	if _, err := run(data, "missing.txt", "direct", "dnf", false, false, 10); err == nil {
+		t.Error("missing CFD file must error")
+	}
+	if _, err := run(data, cfds, "warp", "dnf", false, false, 10); err == nil {
+		t.Error("unknown strategy must error")
+	}
+	if _, err := run(data, cfds, "direct", "xnf", false, false, 10); err == nil {
+		t.Error("unknown form must error")
+	}
+}

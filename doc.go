@@ -1,0 +1,33 @@
+// Package repro is a complete Go implementation of Conditional Functional
+// Dependencies (CFDs) for data cleaning, reproducing
+//
+//	P. Bohannon, W. Fan, F. Geerts, X. Jia, A. Kementsietsidis.
+//	"Conditional Functional Dependencies for Data Cleaning". ICDE 2007.
+//
+// A CFD couples a standard functional dependency X → Y with a pattern
+// tableau that binds semantically related data values, e.g.
+//
+//	[CC=44, ZIP] -> [STR]          // in the UK, zip code determines street
+//	[CC=01, AC=212, PN] -> [STR, CT=NYC, ZIP]
+//
+// The library provides, through this package's facade:
+//
+//   - The CFD model: pattern tableaux, the match operator, satisfaction
+//     checking and a text notation (ParseCFD / ParseCFDSet).
+//   - Reasoning (Section 3 of the paper): consistency analysis, a sound
+//     and complete implication test, and minimal covers (Consistent,
+//     Implies, MinimalCover). The inference system FD1–FD8 lives in
+//     internal/core for programmatic derivations.
+//   - Violation detection (Section 4): a pure-Go detector plus the
+//     paper's SQL technique — generated (QC, QV) query pairs in CNF or
+//     DNF, and the merged two-pass variant — executed on an embedded SQL
+//     engine, optionally through database/sql (driver "cfdmem").
+//   - A heuristic repair algorithm (Section 6): cost-based value
+//     modification with the CFD-specific LHS-breaking move.
+//   - The paper's experimental workload generator (Section 5): tax
+//     records with SZ/NOISE knobs and CFD workloads with NUMATTRs, TABSZ
+//     and NUMCONSTs knobs.
+//
+// See README.md for a walkthrough, DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduction of every figure in the paper.
+package repro

@@ -1,0 +1,114 @@
+// Reasoning: the worked examples of Section 3 — consistency of CFD sets
+// (Example 3.1, including the finite-domain subtlety), implication
+// (Example 3.2) and minimal covers (Example 3.3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// ---- Example 3.1: consistency -------------------------------------
+	schema, err := repro.NewSchema("R",
+		repro.Attr("A"), repro.Attr("B"), repro.Attr("C"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ψ1 = ([A] → [B], {(_, b), (_, c)}): no nonempty instance can have
+	// B = b and B = c at once.
+	psi1, err := repro.ParseCFDSet(`
+[A] -> [B=b]
+[A] -> [B=c]
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, _, err := repro.Consistent(schema, psi1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Example 3.1, ψ1 consistent: %v (expected false)\n", ok)
+
+	// The finite-domain case: over dom(A) = bool, ψ2 and ψ3 jointly force
+	// A to flip — inconsistent; over an unbounded domain they are fine.
+	schemaBool, err := repro.NewSchema("R",
+		repro.Attribute{Name: "A", Domain: repro.Enum("bool", "true", "false")},
+		repro.Attr("B"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	psi23, err := repro.ParseCFDSet(`
+[A=true] -> [B=b1]
+[A=false] -> [B=b2]
+[B=b1] -> [A=false]
+[B=b2] -> [A=true]
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, _, err = repro.Consistent(schemaBool, psi23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Example 3.1, {ψ2, ψ3} over bool consistent: %v (expected false)\n", ok)
+
+	schemaInf, err := repro.NewSchema("R", repro.Attr("A"), repro.Attr("B"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, witness, err := repro.Consistent(schemaInf, psi23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same set over an unbounded dom(A): %v, witness %v\n\n", ok, witness)
+
+	// ---- Example 3.2: implication -------------------------------------
+	sigma, err := repro.ParseCFDSet(`
+[A] -> [B=b]
+[B] -> [C=c]
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phi, err := repro.ParseCFD("[A=a] -> [C]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	implied, err := repro.Implies(schema, sigma, phi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Example 3.2: {ψ1, ψ2} ⊨ (A → C, (a, _)): %v (expected true)\n", implied)
+
+	notImplied, err := repro.ParseCFD("[C] -> [A]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	implied, err = repro.Implies(schema, sigma, notImplied)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("               {ψ1, ψ2} ⊨ (C → A, (_, _)): %v (expected false)\n\n", implied)
+
+	// ---- Example 3.3: minimal cover -----------------------------------
+	// Σ = {ψ1, ψ2, ϕ}; the cover drops ϕ (implied) and the redundant LHS
+	// attributes, leaving (∅ → B, (b)) and (∅ → C, (c)).
+	full := append(sigma, phi)
+	cover, err := repro.MinimalCover(schema, full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Example 3.3: minimal cover of {ψ1, ψ2, ϕ} (%d constraints):\n", len(cover))
+	for _, s := range cover {
+		fmt.Printf("  %s\n", s)
+	}
+	equal, err := repro.Equivalent(schema, full, repro.CoverToCFDs(cover))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cover ≡ Σ: %v\n", equal)
+}

@@ -1,0 +1,265 @@
+// Package cind implements conditional inclusion dependencies — the second
+// constraint class the paper's Section 7 announces as ongoing work ("we
+// are studying data cleaning based on both CFDs and conditional inclusion
+// dependencies"), later published as Bravo, Fan & Ma (VLDB 2007).
+//
+// A CIND ψ = (R1[X; Xp] ⊆ R2[Y; Yp], Tp) conditions an inclusion
+// dependency on pattern bindings: for every tuple t1 of I1 and pattern
+// tuple tp ∈ Tp, if t1[Xp] ≍ tp[Xp] then some tuple t2 of I2 has
+// t2[Y] = t1[X] and t2[Yp] ≍ tp[Yp]. The classic example: every order of
+// type "book" must reference a title in the book catalog —
+//
+//	order[title; type=book] <= book[title; ]
+//
+// Detection is the semijoin analogue of the paper's QC query: one pass
+// over I1 with a hash index on I2.
+package cind
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Side is one half of the embedded inclusion R[X; Xp]: the relation name,
+// the inclusion columns X and the pattern columns Xp.
+type Side struct {
+	Relation string
+	Cols     []string
+	PatCols  []string
+}
+
+// PatternRow is one pattern tuple over Xp ∪ Yp.
+type PatternRow struct {
+	XP []core.Pattern // aligned with LHS.PatCols
+	YP []core.Pattern // aligned with RHS.PatCols
+}
+
+// Clone deep-copies the row.
+func (r PatternRow) Clone() PatternRow {
+	return PatternRow{XP: append([]core.Pattern(nil), r.XP...), YP: append([]core.Pattern(nil), r.YP...)}
+}
+
+// CIND is a conditional inclusion dependency (R1[X; Xp] ⊆ R2[Y; Yp], Tp).
+type CIND struct {
+	LHS     Side
+	RHS     Side
+	Tableau []PatternRow
+}
+
+// NewCIND builds and validates a CIND.
+func NewCIND(lhs, rhs Side, rows ...PatternRow) (*CIND, error) {
+	c := &CIND{LHS: lhs, RHS: rhs}
+	for _, r := range rows {
+		c.Tableau = append(c.Tableau, r.Clone())
+	}
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MustCIND is NewCIND but panics on error.
+func MustCIND(lhs, rhs Side, rows ...PatternRow) *CIND {
+	c, err := NewCIND(lhs, rhs, rows...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *CIND) check() error {
+	if c.LHS.Relation == "" || c.RHS.Relation == "" {
+		return fmt.Errorf("cind: both sides need relation names")
+	}
+	if len(c.LHS.Cols) == 0 {
+		return fmt.Errorf("cind: empty inclusion column list")
+	}
+	if len(c.LHS.Cols) != len(c.RHS.Cols) {
+		return fmt.Errorf("cind: inclusion arity mismatch: %d vs %d", len(c.LHS.Cols), len(c.RHS.Cols))
+	}
+	if err := noDuplicates(append(append([]string(nil), c.LHS.Cols...), c.LHS.PatCols...)); err != nil {
+		return fmt.Errorf("cind: LHS: %w", err)
+	}
+	if err := noDuplicates(append(append([]string(nil), c.RHS.Cols...), c.RHS.PatCols...)); err != nil {
+		return fmt.Errorf("cind: RHS: %w", err)
+	}
+	for i, r := range c.Tableau {
+		if len(r.XP) != len(c.LHS.PatCols) || len(r.YP) != len(c.RHS.PatCols) {
+			return fmt.Errorf("cind: tableau row %d has arity (%d,%d), want (%d,%d)",
+				i, len(r.XP), len(r.YP), len(c.LHS.PatCols), len(c.RHS.PatCols))
+		}
+		for _, p := range append(append([]core.Pattern(nil), r.XP...), r.YP...) {
+			if p.Kind == core.DontCare {
+				return fmt.Errorf("cind: tableau row %d contains '@'", i)
+			}
+		}
+	}
+	return nil
+}
+
+func noDuplicates(names []string) error {
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if n == "" {
+			return fmt.Errorf("empty attribute name")
+		}
+		if seen[n] {
+			return fmt.Errorf("duplicate attribute %q", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// IsStandardIND reports whether the CIND is a plain inclusion dependency:
+// no pattern columns, or a single all-'_' pattern row.
+func (c *CIND) IsStandardIND() bool {
+	if len(c.LHS.PatCols) == 0 && len(c.RHS.PatCols) == 0 {
+		return true
+	}
+	if len(c.Tableau) != 1 {
+		return false
+	}
+	for _, p := range append(append([]core.Pattern(nil), c.Tableau[0].XP...), c.Tableau[0].YP...) {
+		if p.Kind != core.Wildcard {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the CIND in the text notation, one line per pattern row:
+// "R1[A, B | C=01] <= R2[E, F | G=x]".
+func (c *CIND) String() string {
+	if len(c.Tableau) == 0 {
+		return c.formatRow(PatternRow{XP: wildcards(len(c.LHS.PatCols)), YP: wildcards(len(c.RHS.PatCols))})
+	}
+	lines := make([]string, 0, len(c.Tableau))
+	for _, r := range c.Tableau {
+		lines = append(lines, c.formatRow(r))
+	}
+	return strings.Join(lines, "\n")
+}
+
+func wildcards(n int) []core.Pattern {
+	out := make([]core.Pattern, n)
+	for i := range out {
+		out[i] = core.W()
+	}
+	return out
+}
+
+func (c *CIND) formatRow(r PatternRow) string {
+	return fmt.Sprintf("%s <= %s",
+		formatSide(c.LHS, r.XP), formatSide(c.RHS, r.YP))
+}
+
+func formatSide(s Side, pats []core.Pattern) string {
+	var b strings.Builder
+	b.WriteString(s.Relation)
+	b.WriteByte('[')
+	b.WriteString(strings.Join(s.Cols, ", "))
+	if len(s.PatCols) > 0 {
+		b.WriteString(" | ")
+		parts := make([]string, len(s.PatCols))
+		for i, a := range s.PatCols {
+			if pats[i].Kind == core.Wildcard {
+				parts[i] = a
+			} else {
+				parts[i] = a + "=" + pats[i].String()
+			}
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Validate checks both sides against their schemas.
+func (c *CIND) Validate(lhs, rhs *relation.Schema) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	for _, a := range append(append([]string(nil), c.LHS.Cols...), c.LHS.PatCols...) {
+		if _, ok := lhs.Index(a); !ok {
+			return fmt.Errorf("cind: attribute %q not in schema %q", a, lhs.Name)
+		}
+	}
+	for _, a := range append(append([]string(nil), c.RHS.Cols...), c.RHS.PatCols...) {
+		if _, ok := rhs.Index(a); !ok {
+			return fmt.Errorf("cind: attribute %q not in schema %q", a, rhs.Name)
+		}
+	}
+	return nil
+}
+
+// Violation is one failing LHS tuple: no RHS tuple provides the required
+// inclusion under the pattern row.
+type Violation struct {
+	Row   int // tableau row index
+	Tuple int // LHS data row id
+}
+
+// FindViolations returns every violation of ψ for instances I1 (of the
+// LHS relation) and I2 (of the RHS relation), in deterministic order.
+func FindViolations(i1, i2 *relation.Relation, c *CIND) ([]Violation, error) {
+	if err := c.Validate(i1.Schema, i2.Schema); err != nil {
+		return nil, err
+	}
+	xIdx, err := i1.Schema.Indexes(c.LHS.Cols)
+	if err != nil {
+		return nil, err
+	}
+	xpIdx, err := i1.Schema.Indexes(c.LHS.PatCols)
+	if err != nil {
+		return nil, err
+	}
+	ypIdx, err := i2.Schema.Indexes(c.RHS.PatCols)
+	if err != nil {
+		return nil, err
+	}
+	// Hash I2 on the inclusion columns Y once; pattern checks on Yp are
+	// per-candidate (Yp lists are short).
+	ix, err := relation.BuildIndex(i2, c.RHS.Cols)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for ri, row := range c.Tableau {
+		for t1 := range i1.Tuples {
+			if !core.MatchCells(i1.Project(t1, xpIdx), row.XP) {
+				continue
+			}
+			found := false
+			for _, t2 := range ix.Lookup(i1.Project(t1, xIdx)) {
+				if core.MatchCells(i2.Project(t2, ypIdx), row.YP) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, Violation{Row: ri, Tuple: t1})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Row != out[b].Row {
+			return out[a].Row < out[b].Row
+		}
+		return out[a].Tuple < out[b].Tuple
+	})
+	return out, nil
+}
+
+// Satisfies reports (I1, I2) ⊨ ψ.
+func Satisfies(i1, i2 *relation.Relation, c *CIND) (bool, error) {
+	vs, err := FindViolations(i1, i2, c)
+	if err != nil {
+		return false, err
+	}
+	return len(vs) == 0, nil
+}

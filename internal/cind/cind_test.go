@@ -1,0 +1,238 @@
+package cind
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// The running example of the CIND literature: orders reference catalogs
+// conditionally on their type.
+func orderBookFixture(t *testing.T) (*relation.Relation, *relation.Relation) {
+	t.Helper()
+	orders := relation.New(relation.MustSchema("order",
+		relation.Attr("title"), relation.Attr("type"), relation.Attr("price")))
+	orders.MustInsert("Harry Potter", "book", "17.99")
+	orders.MustInsert("Snow White", "CD", "7.99")
+	orders.MustInsert("Unknown Novel", "book", "8.99") // not in the catalog
+	books := relation.New(relation.MustSchema("book",
+		relation.Attr("title"), relation.Attr("isbn")))
+	books.MustInsert("Harry Potter", "1111")
+	books.MustInsert("War and Peace", "2222")
+	return orders, books
+}
+
+func bookCIND() *CIND {
+	return MustCIND(
+		Side{Relation: "order", Cols: []string{"title"}, PatCols: []string{"type"}},
+		Side{Relation: "book", Cols: []string{"title"}},
+		PatternRow{XP: []core.Pattern{core.C("book")}},
+	)
+}
+
+func TestBookOrderExample(t *testing.T) {
+	orders, books := orderBookFixture(t)
+	psi := bookCIND()
+	vs, err := FindViolations(orders, books, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the "Unknown Novel" book order violates; the CD order is not
+	// constrained (pattern type=book does not match it).
+	if want := []Violation{{Row: 0, Tuple: 2}}; !reflect.DeepEqual(vs, want) {
+		t.Errorf("violations = %v, want %v", vs, want)
+	}
+	ok, err := Satisfies(orders, books, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("instance must violate the CIND")
+	}
+	// Adding the missing title repairs it.
+	books.MustInsert("Unknown Novel", "3333")
+	ok, err = Satisfies(orders, books, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("after inserting the catalog row the CIND must hold")
+	}
+}
+
+func TestStandardINDAsCIND(t *testing.T) {
+	orders, books := orderBookFixture(t)
+	ind := MustCIND(
+		Side{Relation: "order", Cols: []string{"title"}},
+		Side{Relation: "book", Cols: []string{"title"}},
+		PatternRow{},
+	)
+	if !ind.IsStandardIND() {
+		t.Error("no pattern columns means a plain IND")
+	}
+	vs, err := FindViolations(orders, books, ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconditionally, both the CD order and the unknown novel violate.
+	if len(vs) != 2 {
+		t.Errorf("violations = %v, want 2", vs)
+	}
+	if bookCIND().IsStandardIND() {
+		t.Error("a constant-pattern CIND is not a plain IND")
+	}
+}
+
+func TestRHSPatternColumns(t *testing.T) {
+	orders, books := orderBookFixture(t)
+	// Require the catalog row to carry a specific isbn prefix value: with
+	// Yp = isbn bound to a constant, only exact matches count.
+	psi := MustCIND(
+		Side{Relation: "order", Cols: []string{"title"}, PatCols: []string{"type"}},
+		Side{Relation: "book", Cols: []string{"title"}, PatCols: []string{"isbn"}},
+		PatternRow{XP: []core.Pattern{core.C("book")}, YP: []core.Pattern{core.C("9999")}},
+	)
+	vs, err := FindViolations(orders, books, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No book row has isbn 9999, so every type=book order violates.
+	if len(vs) != 2 {
+		t.Errorf("violations = %v, want both book orders", vs)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewCIND(
+		Side{Relation: "a", Cols: []string{"x", "y"}},
+		Side{Relation: "b", Cols: []string{"z"}},
+	); err == nil {
+		t.Error("inclusion arity mismatch must be rejected")
+	}
+	if _, err := NewCIND(
+		Side{Relation: "a", Cols: []string{"x", "x"}},
+		Side{Relation: "b", Cols: []string{"z", "w"}},
+	); err == nil {
+		t.Error("duplicate columns must be rejected")
+	}
+	if _, err := NewCIND(
+		Side{Cols: []string{"x"}},
+		Side{Relation: "b", Cols: []string{"z"}},
+	); err == nil {
+		t.Error("missing relation name must be rejected")
+	}
+	orders, books := orderBookFixture(t)
+	bad := MustCIND(
+		Side{Relation: "order", Cols: []string{"NOPE"}},
+		Side{Relation: "book", Cols: []string{"title"}},
+		PatternRow{},
+	)
+	if _, err := FindViolations(orders, books, bad); err == nil {
+		t.Error("unknown attribute must be rejected")
+	}
+}
+
+func TestParseCIND(t *testing.T) {
+	c, err := ParseCIND("order[title | type=book] <= book[title]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bookCIND()
+	if c.String() != want.String() {
+		t.Errorf("parsed %q, want %q", c, want)
+	}
+	// Round trip.
+	back, err := ParseCIND(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != c.String() {
+		t.Errorf("round trip: %q != %q", back, c)
+	}
+}
+
+func TestParseCINDQuotedAndWildcards(t *testing.T) {
+	c, err := ParseCIND("r[A, B | C='New York', D] <= s[E, F | G]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.LHS.Cols) != 2 || len(c.LHS.PatCols) != 2 || len(c.RHS.PatCols) != 1 {
+		t.Fatalf("shape wrong: %+v", c)
+	}
+	row := c.Tableau[0]
+	if row.XP[0] != core.C("New York") || row.XP[1] != (core.W()) || row.YP[0] != (core.W()) {
+		t.Errorf("patterns = %v / %v", row.XP, row.YP)
+	}
+}
+
+func TestParseCINDErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"order[title]",
+		"order[title] < book[title]",
+		"order title <= book[title]",
+		"[title] <= book[title]",
+		"order[title | ='x'] <= book[title]",
+	}
+	for _, line := range bad {
+		if _, err := ParseCIND(line); err == nil {
+			t.Errorf("ParseCIND(%q) should fail", line)
+		}
+	}
+}
+
+func TestParseSetMerges(t *testing.T) {
+	text := `
+# orders reference catalogs by type
+order[title | type=book] <= book[title]
+order[title | type=CD]   <= album[title]
+order[title | type=book] <= book[title]
+`
+	set, err := ParseSet(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("got %d CINDs, want 2 (book rows merged)", len(set))
+	}
+	if len(set[0].Tableau) != 2 {
+		t.Errorf("book CIND has %d rows, want 2", len(set[0].Tableau))
+	}
+	round, err := ParseSet(FormatSet(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatSet(round) != FormatSet(set) {
+		t.Error("FormatSet/ParseSet round trip failed")
+	}
+}
+
+// TestTaxZipDirectory: the data-cleaning use over the Section 5 workload —
+// every US tax record's zip must exist in the zip directory.
+func TestTaxZipDirectory(t *testing.T) {
+	data := gen.GenerateTax(gen.TaxConfig{Size: 2000, Noise: 0, Seed: 5})
+	zipdir := gen.ZipDirectory()
+	psi, err := ParseCIND("taxrecords[ZIP, ST | CC=01] <= zipdir[zip, state]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Satisfies(data.Clean, zipdir, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("clean tax data must satisfy the zip-directory CIND")
+	}
+	// Corrupt one state: the (zip, state) pair leaves the directory.
+	data.Clean.Tuples[7][data.Clean.Schema.MustIndex("ST")] = "??"
+	vs, err := FindViolations(data.Clean, zipdir, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || vs[0].Tuple != 7 {
+		t.Errorf("violations = %v, want tuple 7", vs)
+	}
+}

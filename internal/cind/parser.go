@@ -1,0 +1,134 @@
+package cind
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// The text notation for CINDs mirrors the CFD notation:
+//
+//	order[title | type=book] <= book[title | ]
+//	cust[ZIP | CC=44] <= ukzips[zip]
+//
+// Inclusion columns come first; an optional " | " separates the pattern
+// columns, written like CFD items (bare name = '_', name=value = constant,
+// quoted values as in CFDs). Lines starting with '#' are comments;
+// consecutive rows over the same embedded inclusion merge into one
+// tableau.
+
+// ParseCIND parses a single line of the notation into a one-row CIND.
+func ParseCIND(line string) (*CIND, error) {
+	parts := strings.SplitN(line, "<=", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("cind: parsing %q: expected 'lhs <= rhs'", line)
+	}
+	lhs, xp, err := parseSide(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("cind: parsing %q: %w", line, err)
+	}
+	rhs, yp, err := parseSide(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return nil, fmt.Errorf("cind: parsing %q: %w", line, err)
+	}
+	return NewCIND(lhs, rhs, PatternRow{XP: xp, YP: yp})
+}
+
+// ParseSet parses a multi-line CIND file.
+func ParseSet(text string) ([]*CIND, error) {
+	var singles []*CIND
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := ParseCIND(line)
+		if err != nil {
+			return nil, fmt.Errorf("cind: line %d: %w", i+1, err)
+		}
+		singles = append(singles, c)
+	}
+	return MergeSameInclusion(singles), nil
+}
+
+// FormatSet renders a CIND set in the notation ParseSet accepts.
+func FormatSet(cinds []*CIND) string {
+	var b strings.Builder
+	for i, c := range cinds {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// MergeSameInclusion groups CINDs sharing the same embedded inclusion
+// (relations, columns and pattern columns) into multi-row tableaux.
+func MergeSameInclusion(cinds []*CIND) []*CIND {
+	type key struct{ l, r string }
+	sideKey := func(s Side) string {
+		return s.Relation + "\x00" + strings.Join(s.Cols, "\x00") + "\x01" + strings.Join(s.PatCols, "\x00")
+	}
+	order := make([]key, 0, len(cinds))
+	groups := make(map[key]*CIND)
+	for _, c := range cinds {
+		k := key{sideKey(c.LHS), sideKey(c.RHS)}
+		if g, ok := groups[k]; ok {
+			for _, r := range c.Tableau {
+				g.Tableau = append(g.Tableau, r.Clone())
+			}
+			continue
+		}
+		cp := *c
+		cp.Tableau = nil
+		for _, r := range c.Tableau {
+			cp.Tableau = append(cp.Tableau, r.Clone())
+		}
+		groups[k] = &cp
+		order = append(order, k)
+	}
+	out := make([]*CIND, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// parseSide parses "rel[A, B | C=01, D]" into the Side and its patterns.
+func parseSide(s string) (Side, []core.Pattern, error) {
+	open := strings.IndexByte(s, '[')
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return Side{}, nil, fmt.Errorf("expected rel[...], got %q", s)
+	}
+	side := Side{Relation: strings.TrimSpace(s[:open])}
+	if side.Relation == "" {
+		return Side{}, nil, fmt.Errorf("missing relation name in %q", s)
+	}
+	body := s[open+1 : len(s)-1]
+	colPart, patPart := body, ""
+	if i := strings.IndexByte(body, '|'); i >= 0 {
+		colPart, patPart = body[:i], body[i+1:]
+	}
+	for _, c := range strings.Split(colPart, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		side.Cols = append(side.Cols, c)
+	}
+	var pats []core.Pattern
+	if strings.TrimSpace(patPart) != "" {
+		// Reuse the CFD item syntax by parsing "[items] -> [X]" and
+		// discarding the dummy RHS.
+		probe, err := core.ParseCFD("[" + patPart + "] -> [DUMMY_]")
+		if err != nil {
+			return Side{}, nil, fmt.Errorf("bad pattern list %q: %w", patPart, err)
+		}
+		side.PatCols = probe.LHS
+		pats = probe.Tableau[0].X
+	}
+	return side, pats, nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// Brute-force completeness checks: the consistency and implication
+// analyses are compared against exhaustive enumeration of small witness
+// instances. The enumeration alphabet per attribute is the set of
+// constants Σ mentions plus two fresh symbols — exactly the completeness
+// argument of the chase-based checkers, validated independently here.
+
+// bruteAlphabet builds the enumeration alphabet per attribute.
+func bruteAlphabet(schema *relation.Schema, simples []*Simple) map[string][]relation.Value {
+	consts := Constants(simples)
+	out := make(map[string][]relation.Value)
+	for _, a := range AttrsOf(simples) {
+		dom := schema.Domain(a)
+		if dom.Finite() {
+			out[a] = append([]relation.Value(nil), dom.Values...)
+			continue
+		}
+		vals := append([]relation.Value(nil), consts[a]...)
+		vals = append(vals, "\x00f1:"+a, "\x00f2:"+a)
+		out[a] = vals
+	}
+	return out
+}
+
+// enumerate calls visit with every assignment of the alphabet to attrs.
+func enumerate(attrs []string, alphabet map[string][]relation.Value,
+	assign map[string]relation.Value, visit func(map[string]relation.Value) bool) bool {
+	if len(attrs) == 0 {
+		return visit(assign)
+	}
+	a := attrs[0]
+	for _, v := range alphabet[a] {
+		assign[a] = v
+		if enumerate(attrs[1:], alphabet, assign, visit) {
+			return true
+		}
+	}
+	delete(assign, a)
+	return false
+}
+
+// satisfiesSimples checks {tuples} ⊨ simples directly from the semantics.
+func satisfiesSimples(tuples []map[string]relation.Value, simples []*Simple) bool {
+	for _, s := range simples {
+		for _, t1 := range tuples {
+			for _, t2 := range tuples {
+				matches := true
+				for i, a := range s.X {
+					if t1[a] != t2[a] || !s.TX[i].Matches(t1[a]) {
+						matches = false
+						break
+					}
+				}
+				if !matches {
+					continue
+				}
+				if t1[s.A] != t2[s.A] || !s.PA.Matches(t1[s.A]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func randomSimpleOver(rng *rand.Rand, attrs []string, vals []relation.Value) *Simple {
+	perm := rng.Perm(len(attrs))
+	nx := rng.Intn(3) // 0, 1 or 2 LHS attributes
+	s := &Simple{}
+	for i := 0; i < nx; i++ {
+		s.X = append(s.X, attrs[perm[i]])
+		if rng.Intn(2) == 0 {
+			s.TX = append(s.TX, W())
+		} else {
+			s.TX = append(s.TX, C(vals[rng.Intn(len(vals))]))
+		}
+	}
+	s.A = attrs[perm[nx]]
+	if rng.Intn(2) == 0 {
+		s.PA = W()
+	} else {
+		s.PA = C(vals[rng.Intn(len(vals))])
+	}
+	return s
+}
+
+// TestConsistencyAgainstBruteForce: Consistent agrees with exhaustive
+// single-tuple search on random CFD sets, over unbounded AND finite
+// domains.
+func TestConsistencyAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	attrs := []string{"A", "B", "C"}
+	vals := []relation.Value{"0", "1"}
+	schemas := []*relation.Schema{
+		relation.MustSchema("R", relation.Attr("A"), relation.Attr("B"), relation.Attr("C")),
+		relation.MustSchema("R",
+			relation.Attribute{Name: "A", Domain: relation.Enum("bin", "0", "1")},
+			relation.Attribute{Name: "B", Domain: relation.Enum("bin", "0", "1")},
+			relation.Attr("C")),
+	}
+	for iter := 0; iter < 400; iter++ {
+		schema := schemas[iter%2]
+		n := 1 + rng.Intn(4)
+		var sigma []*CFD
+		var simples []*Simple
+		for i := 0; i < n; i++ {
+			s := randomSimpleOver(rng, attrs, vals)
+			simples = append(simples, s)
+			sigma = append(sigma, s.CFD())
+		}
+		got, witness, err := Consistent(schema, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alphabet := bruteAlphabet(schema, simples)
+		attrList := AttrsOf(simples)
+		want := enumerate(attrList, alphabet, map[string]relation.Value{},
+			func(assign map[string]relation.Value) bool {
+				return satisfiesSimples([]map[string]relation.Value{assign}, simples)
+			})
+		if got != want {
+			t.Fatalf("iter %d: Consistent = %v, brute force = %v\nΣ: %v", iter, got, want, simples)
+		}
+		if got && !satisfiesSimples([]map[string]relation.Value{witness}, simples) {
+			t.Fatalf("iter %d: witness %v does not satisfy Σ", iter, witness)
+		}
+	}
+}
+
+// TestImplicationAgainstBruteForce: Implies agrees with exhaustive
+// two-tuple counterexample search on random premise sets and targets.
+func TestImplicationAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	attrs := []string{"A", "B", "C"}
+	vals := []relation.Value{"0", "1"}
+	schemas := []*relation.Schema{
+		relation.MustSchema("R", relation.Attr("A"), relation.Attr("B"), relation.Attr("C")),
+		relation.MustSchema("R",
+			relation.Attribute{Name: "A", Domain: relation.Enum("bin", "0", "1")},
+			relation.Attr("B"), relation.Attr("C")),
+	}
+	for iter := 0; iter < 150; iter++ {
+		schema := schemas[iter%2]
+		n := 1 + rng.Intn(3)
+		var sigma []*CFD
+		var premises []*Simple
+		for i := 0; i < n; i++ {
+			s := randomSimpleOver(rng, attrs, vals)
+			premises = append(premises, s)
+			sigma = append(sigma, s.CFD())
+		}
+		target := randomSimpleOver(rng, attrs, vals)
+		got, err := Implies(schema, sigma, target.CFD())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		all := append(append([]*Simple(nil), premises...), target)
+		alphabet := bruteAlphabet(schema, all)
+		attrList := AttrsOf(all)
+		// Brute force: search a ≤2-tuple instance satisfying Σ and
+		// violating the target.
+		foundCounter := enumerate(attrList, alphabet, map[string]relation.Value{},
+			func(t1 map[string]relation.Value) bool {
+				t1c := make(map[string]relation.Value, len(t1))
+				for k, v := range t1 {
+					t1c[k] = v
+				}
+				return enumerate(attrList, alphabet, map[string]relation.Value{},
+					func(t2 map[string]relation.Value) bool {
+						inst := []map[string]relation.Value{t1c, t2}
+						return satisfiesSimples(inst, append([]*Simple(nil), premises...)) &&
+							!satisfiesSimples(inst, []*Simple{target})
+					})
+			})
+		if got != !foundCounter {
+			t.Fatalf("iter %d: Implies = %v, brute force counterexample = %v\nΣ: %v\nϕ: %v",
+				iter, got, foundCounter, premises, target)
+		}
+	}
+}

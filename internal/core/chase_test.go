@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// Cross-implementation properties tying the reasoning machinery together.
+
+// TestSatisfactionClosedUnderSubinstances validates the foundation both
+// the consistency and implication analyses rest on: CFDs are universal
+// constraints, so any sub-instance of a satisfying instance satisfies too.
+func TestSatisfactionClosedUnderSubinstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	schema := abSchema()
+	vals := []relation.Value{"0", "1", "2"}
+	for iter := 0; iter < 120; iter++ {
+		var sigma []*CFD
+		for i := 0; i < 2; i++ {
+			s := randomSimpleOver(rng, []string{"A", "B", "C"}, vals[:2])
+			sigma = append(sigma, s.CFD())
+		}
+		rel := relation.New(schema)
+		n := 2 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			rel.MustInsert(vals[rng.Intn(3)], vals[rng.Intn(3)], vals[rng.Intn(3)])
+		}
+		ok, err := SatisfiesSet(rel, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		// Every sub-instance must satisfy too.
+		sub := relation.New(schema)
+		for i := 0; i < rel.Len(); i++ {
+			if rng.Intn(2) == 0 {
+				sub.Tuples = append(sub.Tuples, rel.Tuples[i])
+			}
+		}
+		okSub, err := SatisfiesSet(sub, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !okSub {
+			t.Fatalf("sub-instance violates Σ that the full instance satisfies\nΣ: %v %v\nfull:\n%v\nsub:\n%v",
+				sigma[0], sigma[1], rel, sub)
+		}
+	}
+}
+
+// TestImpliedCFDsHoldOnSatisfyingInstances: semantic soundness of Implies
+// against instance-level satisfaction (complements the brute-force tests).
+func TestImpliedCFDsHoldOnSatisfyingInstances(t *testing.T) {
+	schema := custSchema()
+	sigma := []*CFD{phi1(), phi2(), phi3()}
+	// ϕ2 implies its own weakenings, e.g. dropping the 908 row.
+	weakened := MustCFD([]string{"CC", "AC", "PN"}, []string{"STR", "CT", "ZIP"},
+		phi2().Tableau[0].Clone(), phi2().Tableau[2].Clone())
+	ok, err := Implies(schema, sigma, weakened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("a CFD must imply its row-subset weakening")
+	}
+	// Conversely the weakening does not imply ϕ2.
+	ok, err = Implies(schema, []*CFD{weakened}, phi2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("row-subset weakening must not imply the original")
+	}
+}
+
+// TestWitnessInstanceRespectsDomains: witness materialization picks
+// domain values for finite-domain attributes it did not constrain.
+func TestWitnessInstanceRespectsDomains(t *testing.T) {
+	schema := relation.MustSchema("R",
+		relation.Attribute{Name: "A", Domain: relation.Bool()},
+		relation.Attr("B"))
+	sigma := []*CFD{MustCFD(nil, []string{"B"}, PatternRow{Y: []Pattern{C("b")}})}
+	ok, witness, err := Consistent(schema, sigma)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	inst := WitnessInstance(schema, witness)
+	if got := inst.Tuples[0][0]; got != "true" && got != "false" {
+		t.Errorf("finite-domain attribute filled with %q", got)
+	}
+	if inst.Tuples[0][1] != "b" {
+		t.Errorf("constrained attribute = %q, want b", inst.Tuples[0][1])
+	}
+}
+
+// TestMinCoverNeverGrows: |cover| ≤ |normalized Σ| on random inputs, and
+// the cover is always equivalent to Σ.
+func TestMinCoverNeverGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	schema := abSchema()
+	vals := []relation.Value{"0", "1"}
+	for iter := 0; iter < 25; iter++ {
+		var sigma []*CFD
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			sigma = append(sigma, randomSimpleOver(rng, []string{"A", "B", "C"}, vals).CFD())
+		}
+		consistent, _, err := Consistent(schema, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cover, err := MinimalCover(schema, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !consistent {
+			if len(cover) != 0 {
+				t.Fatalf("inconsistent Σ must give the empty cover, got %v", cover)
+			}
+			continue
+		}
+		simples, err := NormalizeSet(sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cover) > len(simples) {
+			t.Fatalf("cover grew: %d > %d", len(cover), len(simples))
+		}
+		eq, err := Equivalent(schema, sigma, CoverToCFDs(cover))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("cover not equivalent to Σ\nΣ: %v\ncover: %v", sigma, cover)
+		}
+	}
+}

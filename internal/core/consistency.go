@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Consistency analysis (Section 3.1 of the paper).
+//
+// A set Σ of CFDs is consistent iff some nonempty instance satisfies it.
+// CFD satisfaction is a universal constraint, so any nonempty sub-instance
+// of a satisfying instance also satisfies Σ; hence Σ is consistent iff a
+// SINGLE-TUPLE witness exists. For a single tuple t the semantics collapses
+// to: for every normal-form (X → A, tp):  t[X] ≍ tp[X]  ⟹  t[A] ≍ tp[A].
+//
+// The witness search enumerates, per attribute, the constants Σ mentions on
+// that attribute plus one fresh value (or the whole domain when the
+// attribute's domain is finite — the source of the NP-completeness of
+// Theorem 3.1). Fresh-first value ordering makes the common consistent case
+// effectively linear in |Σ|, matching the practical O(|Σ|²) regime of
+// Theorem 3.2 for predefined schemas.
+
+// freshValue returns the i-th synthetic value for an attribute. It embeds a
+// NUL byte so it can never collide with a real data constant.
+func freshValue(attr string, i int) relation.Value {
+	return fmt.Sprintf("\x00fresh:%s:%d", attr, i)
+}
+
+// candidateValues builds the per-attribute candidate sets for witness
+// search: fresh values first, then every constant Σ mentions; attributes
+// with finite domains enumerate the domain instead.
+func candidateValues(schema *relation.Schema, simples []*Simple, freshPerAttr int) map[string][]relation.Value {
+	consts := Constants(simples)
+	out := make(map[string][]relation.Value)
+	for _, a := range AttrsOf(simples) {
+		var dom *relation.Domain
+		if schema != nil {
+			dom = schema.Domain(a)
+		}
+		if dom.Finite() {
+			// Finite domain: fresh values are unavailable; order the domain
+			// with non-mentioned values first (they behave like fresh ones).
+			mentioned := make(map[relation.Value]bool)
+			for _, v := range consts[a] {
+				mentioned[v] = true
+			}
+			var vals []relation.Value
+			for _, v := range dom.Values {
+				if !mentioned[v] {
+					vals = append(vals, v)
+				}
+			}
+			for _, v := range dom.Values {
+				if mentioned[v] {
+					vals = append(vals, v)
+				}
+			}
+			out[a] = vals
+			continue
+		}
+		vals := make([]relation.Value, 0, freshPerAttr+len(consts[a]))
+		for i := 0; i < freshPerAttr; i++ {
+			vals = append(vals, freshValue(a, i))
+		}
+		vals = append(vals, consts[a]...)
+		out[a] = vals
+	}
+	return out
+}
+
+// Consistent determines whether Σ admits a nonempty instance (Theorem 3.2
+// regime: predefined schema). On success it returns a single-tuple witness
+// as an attribute→value map over the attributes Σ mentions (values not
+// constrained by Σ are fresh placeholders).
+//
+// schema may be nil, in which case every attribute is treated as having an
+// unbounded domain (the "no finite-domain attributes" case of Theorem 3.2).
+func Consistent(schema *relation.Schema, sigma []*CFD) (bool, map[string]relation.Value, error) {
+	simples, err := NormalizeSet(sigma)
+	if err != nil {
+		return false, nil, err
+	}
+	if schema != nil {
+		for _, c := range sigma {
+			if err := c.Validate(schema); err != nil {
+				return false, nil, err
+			}
+		}
+	}
+	return consistentSimples(schema, simples, nil)
+}
+
+// ConsistentWith decides the (Σ, B = b) consistency question of Section 3.2
+// (used by inference rules FD7 and FD8): does some instance I ⊨ Σ contain a
+// tuple t with t[B] = b?
+func ConsistentWith(schema *relation.Schema, sigma []*CFD, attr string, val relation.Value) (bool, error) {
+	simples, err := NormalizeSet(sigma)
+	if err != nil {
+		return false, err
+	}
+	if schema != nil {
+		if dom := schema.Domain(attr); !dom.Contains(val) {
+			return false, nil
+		}
+	}
+	ok, _, err := consistentSimples(schema, simples, map[string]relation.Value{attr: val})
+	return ok, err
+}
+
+func consistentSimples(schema *relation.Schema, simples []*Simple, pre map[string]relation.Value) (bool, map[string]relation.Value, error) {
+	attrs := AttrsOf(simples)
+	for a := range pre {
+		found := false
+		for _, b := range attrs {
+			if a == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			attrs = append(attrs, a)
+		}
+	}
+	cand := candidateValues(schema, simples, 1)
+	for _, a := range attrs {
+		if _, ok := cand[a]; !ok {
+			cand[a] = []relation.Value{freshValue(a, 0)}
+		}
+	}
+	s := &witnessSearch{attrs: attrs, cand: cand, cons: simples, assign: make(map[string]relation.Value)}
+	for a, v := range pre {
+		s.assign[a] = v
+		s.cand[a] = []relation.Value{v}
+	}
+	if !s.checkPartial() {
+		return false, nil, nil
+	}
+	if s.solve(0) {
+		witness := make(map[string]relation.Value, len(s.assign))
+		for a, v := range s.assign {
+			witness[a] = v
+		}
+		return true, witness, nil
+	}
+	return false, nil, nil
+}
+
+type witnessSearch struct {
+	attrs  []string
+	cand   map[string][]relation.Value
+	cons   []*Simple
+	assign map[string]relation.Value
+}
+
+func (s *witnessSearch) solve(i int) bool {
+	for i < len(s.attrs) {
+		if _, done := s.assign[s.attrs[i]]; !done {
+			break
+		}
+		i++
+	}
+	if i == len(s.attrs) {
+		return s.checkPartial() // everything assigned: full check
+	}
+	a := s.attrs[i]
+	for _, v := range s.cand[a] {
+		s.assign[a] = v
+		if s.checkPartial() && s.solve(i+1) {
+			return true
+		}
+		delete(s.assign, a)
+	}
+	return false
+}
+
+// checkPartial reports whether the current partial assignment is still
+// extendable: no constraint is determined-violated. A constraint
+// (X → A, tp) is determined-violated when the X-match is already forced
+// (every constant X-cell is assigned and equal) and the A-conclusion is
+// already refuted (tp[A] is a constant and t[A] is assigned to a different
+// value).
+func (s *witnessSearch) checkPartial() bool {
+	for _, c := range s.cons {
+		if s.violated(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *witnessSearch) violated(c *Simple) bool {
+	for i, a := range c.X {
+		p := c.TX[i]
+		if p.Kind != Const {
+			continue // wildcard matches whatever the value becomes
+		}
+		v, ok := s.assign[a]
+		if !ok {
+			return false // match undetermined
+		}
+		if v != p.Val {
+			return false // match determined-false: constraint satisfied
+		}
+	}
+	// X-match is forced.
+	if c.PA.Kind != Const {
+		return false
+	}
+	v, ok := s.assign[c.A]
+	return ok && v != c.PA.Val
+}

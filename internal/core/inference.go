@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// The inference system I of Section 3.2 (Figure 3). Each rule is a
+// constructive function: given premises it validates the rule's side
+// conditions and returns the derived normal-form CFD. Theorem 3.3 states
+// that I is sound and complete for CFD implication; the test suite checks
+// soundness of every rule against the implication oracle of this package,
+// and reproduces the derivation of Example 3.2.
+
+// FD1 (extends reflexivity): if A ∈ X then (X → A, tp) with tp all '_'.
+func FD1(x []string, a string) (*Simple, error) {
+	found := false
+	for _, b := range x {
+		if b == a {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: FD1: %q not in X %v", a, x)
+	}
+	tx := make([]Pattern, len(x))
+	for i := range tx {
+		tx[i] = W()
+	}
+	return &Simple{X: append([]string(nil), x...), A: a, TX: tx, PA: W()}, nil
+}
+
+// FD2 (extends augmentation): from (X → A, tp) derive ([X,B] → A, t'p)
+// with t'p[B] = '_'. B may equal A (the embedded FD then has A on both
+// sides, the paper's t[AL]/t[AR] case), but must not already be in X.
+func FD2(s *Simple, b string) (*Simple, error) {
+	for _, c := range s.X {
+		if c == b {
+			return nil, fmt.Errorf("core: FD2: %q already in X %v", b, s.X)
+		}
+	}
+	out := s.Clone()
+	out.X = append(out.X, b)
+	out.TX = append(out.TX, W())
+	return out, nil
+}
+
+// FD3 (extends transitivity): from (X → Ai, ti) for i ∈ [1,k] with all
+// ti[X] equal, and ([A1,…,Ak] → B, tp) with (t1[A1],…,tk[Ak]) ⪯
+// tp[A1,…,Ak], derive (X → B, t'p) with t'p[X] = t1[X], t'p[B] = tp[B].
+func FD3(firsts []*Simple, second *Simple) (*Simple, error) {
+	if len(firsts) == 0 {
+		return nil, fmt.Errorf("core: FD3: no premises")
+	}
+	if len(second.X) != len(firsts) {
+		return nil, fmt.Errorf("core: FD3: second premise has %d LHS attributes, want %d", len(second.X), len(firsts))
+	}
+	base := firsts[0]
+	for i, f := range firsts {
+		if len(f.X) != len(base.X) {
+			return nil, fmt.Errorf("core: FD3: premise %d has different X arity", i)
+		}
+		for j := range f.X {
+			if f.X[j] != base.X[j] || f.TX[j] != base.TX[j] {
+				return nil, fmt.Errorf("core: FD3: premise %d disagrees with premise 0 on X", i)
+			}
+		}
+		if f.A != second.X[i] {
+			return nil, fmt.Errorf("core: FD3: premise %d concludes %q, want %q", i, f.A, second.X[i])
+		}
+		// Side condition (3): ti[Ai] ⪯ tp[Ai].
+		if !f.PA.Leq(second.TX[i]) {
+			return nil, fmt.Errorf("core: FD3: premise %d pattern %s not ⪯ %s", i, f.PA, second.TX[i])
+		}
+	}
+	return &Simple{
+		X:  append([]string(nil), base.X...),
+		A:  second.A,
+		TX: append([]Pattern(nil), base.TX...),
+		PA: second.PA,
+	}, nil
+}
+
+// FD4 (reduction): from ([B,X] → A, tp) with tp[B] = '_' and tp[A] a
+// constant, derive (X → A, t'p) by dropping B from the LHS.
+func FD4(s *Simple, b string) (*Simple, error) {
+	bi := -1
+	for i, c := range s.X {
+		if c == b {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		return nil, fmt.Errorf("core: FD4: %q not in X %v", b, s.X)
+	}
+	if s.TX[bi].Kind != Wildcard {
+		return nil, fmt.Errorf("core: FD4: tp[%s] must be '_', got %s", b, s.TX[bi])
+	}
+	if s.PA.Kind != Const {
+		return nil, fmt.Errorf("core: FD4: tp[%s] must be a constant, got %s", s.A, s.PA)
+	}
+	out := &Simple{A: s.A, PA: s.PA}
+	for i, c := range s.X {
+		if i == bi {
+			continue
+		}
+		out.X = append(out.X, c)
+		out.TX = append(out.TX, s.TX[i])
+	}
+	return out, nil
+}
+
+// FD5 (upgrade '_' to a constant on the LHS): from ([B,X] → A, tp) with
+// tp[B] = '_', derive the same CFD with tp[B] = 'b'.
+func FD5(s *Simple, b string, val relation.Value) (*Simple, error) {
+	bi := -1
+	for i, c := range s.X {
+		if c == b {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		return nil, fmt.Errorf("core: FD5: %q not in X %v", b, s.X)
+	}
+	if s.TX[bi].Kind != Wildcard {
+		return nil, fmt.Errorf("core: FD5: tp[%s] must be '_', got %s", b, s.TX[bi])
+	}
+	out := s.Clone()
+	out.TX[bi] = C(val)
+	return out, nil
+}
+
+// FD6 (downgrade a RHS constant to '_'): from (X → A, tp) with tp[A] = 'a'
+// derive (X → A, t'p) with t'p[A] = '_'.
+func FD6(s *Simple) (*Simple, error) {
+	if s.PA.Kind != Const {
+		return nil, fmt.Errorf("core: FD6: tp[%s] must be a constant, got %s", s.A, s.PA)
+	}
+	out := s.Clone()
+	out.PA = W()
+	return out, nil
+}
+
+// FD7 (finite-domain upgrade): if Σ ⊢ ([X,B] → A, ti) for i ∈ [1,k], the
+// ti agree on X, ti[B] = bi, and b1,…,bk are EXACTLY the values of the
+// finite dom(B) for which (Σ, B = b) is consistent, then
+// Σ ⊢ ([X,B] → A, tp) with tp[B] = '_' and tp[X] = t1[X].
+//
+// The caller supplies Σ (for the (Σ, B = b) consistency side condition) and
+// the schema carrying dom(B). Each premise is checked to be implied by Σ —
+// the rule is stated w.r.t. provability, and implication is equivalent by
+// Theorem 3.3.
+func FD7(schema *relation.Schema, sigma []*CFD, premises []*Simple, b string) (*Simple, error) {
+	if len(premises) == 0 {
+		return nil, fmt.Errorf("core: FD7: no premises")
+	}
+	dom := schema.Domain(b)
+	if !dom.Finite() {
+		return nil, fmt.Errorf("core: FD7: dom(%s) is not finite", b)
+	}
+	base := premises[0]
+	bi := -1
+	for i, c := range base.X {
+		if c == b {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		return nil, fmt.Errorf("core: FD7: %q not in X %v", b, base.X)
+	}
+	covered := make(map[relation.Value]bool)
+	for i, p := range premises {
+		if p.A != base.A || len(p.X) != len(base.X) {
+			return nil, fmt.Errorf("core: FD7: premise %d shape differs from premise 0", i)
+		}
+		for j := range p.X {
+			if p.X[j] != base.X[j] {
+				return nil, fmt.Errorf("core: FD7: premise %d attribute list differs", i)
+			}
+			if j != bi && p.TX[j] != base.TX[j] {
+				return nil, fmt.Errorf("core: FD7: premise %d disagrees on X pattern", i)
+			}
+		}
+		if p.PA != base.PA {
+			return nil, fmt.Errorf("core: FD7: premise %d disagrees on RHS pattern", i)
+		}
+		if p.TX[bi].Kind != Const {
+			return nil, fmt.Errorf("core: FD7: premise %d has non-constant tp[%s]", i, b)
+		}
+		// Side condition (1): Σ implies each premise.
+		ok, err := Implies(schema, sigma, p.CFD())
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: FD7: premise %d (%s) is not implied by Σ", i, p)
+		}
+		covered[p.TX[bi].Val] = true
+	}
+	// Side condition (2): the premises' constants are exactly the
+	// consistent values of dom(B).
+	for _, v := range dom.Values {
+		ok, err := ConsistentWith(schema, sigma, b, v)
+		if err != nil {
+			return nil, err
+		}
+		if ok && !covered[v] {
+			return nil, fmt.Errorf("core: FD7: consistent value %s=%q not covered by any premise", b, v)
+		}
+		if !ok && covered[v] {
+			return nil, fmt.Errorf("core: FD7: premise covers %s=%q but (Σ, %s=%q) is inconsistent", b, v, b, v)
+		}
+	}
+	out := base.Clone()
+	out.TX[bi] = W()
+	return out, nil
+}
+
+// FD8 (finite-domain forcing): if exactly one value b1 of the finite
+// dom(B) keeps (Σ, B = b1) consistent, then Σ ⊢ (B → B, ('_', b1)).
+func FD8(schema *relation.Schema, sigma []*CFD, b string) (*Simple, error) {
+	dom := schema.Domain(b)
+	if !dom.Finite() {
+		return nil, fmt.Errorf("core: FD8: dom(%s) is not finite", b)
+	}
+	var consistent []relation.Value
+	for _, v := range dom.Values {
+		ok, err := ConsistentWith(schema, sigma, b, v)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			consistent = append(consistent, v)
+		}
+	}
+	if len(consistent) != 1 {
+		return nil, fmt.Errorf("core: FD8: %d consistent values for %s, want exactly 1", len(consistent), b)
+	}
+	return &Simple{X: []string{b}, A: b, TX: []Pattern{W()}, PA: C(consistent[0])}, nil
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestExample32Derivation replays the five-step derivation of Example 3.2
+// using the constructive inference rules:
+//
+//	(1) (A → B, (_, b))            ψ1
+//	(2) (B → C, (_, c))            ψ2
+//	(3) (A → C, (_, c))            (1), (2) and FD3
+//	(4) (A → C, (a, c))            (3) and FD5
+//	(5) (A → C, (a, _))            (4) and FD6
+func TestExample32Derivation(t *testing.T) {
+	psi1 := &Simple{X: []string{"A"}, A: "B", TX: []Pattern{W()}, PA: C("b")}
+	psi2 := &Simple{X: []string{"B"}, A: "C", TX: []Pattern{W()}, PA: C("c")}
+
+	step3, err := FD3([]*Simple{psi1}, psi2)
+	if err != nil {
+		t.Fatalf("FD3: %v", err)
+	}
+	want3 := &Simple{X: []string{"A"}, A: "C", TX: []Pattern{W()}, PA: C("c")}
+	if !step3.Equal(want3) {
+		t.Fatalf("step (3) = %s, want %s", step3, want3)
+	}
+
+	step4, err := FD5(step3, "A", "a")
+	if err != nil {
+		t.Fatalf("FD5: %v", err)
+	}
+	want4 := &Simple{X: []string{"A"}, A: "C", TX: []Pattern{C("a")}, PA: C("c")}
+	if !step4.Equal(want4) {
+		t.Fatalf("step (4) = %s, want %s", step4, want4)
+	}
+
+	step5, err := FD6(step4)
+	if err != nil {
+		t.Fatalf("FD6: %v", err)
+	}
+	want5 := &Simple{X: []string{"A"}, A: "C", TX: []Pattern{C("a")}, PA: W()}
+	if !step5.Equal(want5) {
+		t.Fatalf("step (5) = %s, want %s", step5, want5)
+	}
+}
+
+func TestFD1(t *testing.T) {
+	s, err := FD1([]string{"A", "B"}, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Simple{X: []string{"A", "B"}, A: "A", TX: []Pattern{W(), W()}, PA: W()}
+	if !s.Equal(want) {
+		t.Errorf("FD1 = %s, want %s", s, want)
+	}
+	if _, err := FD1([]string{"A", "B"}, "C"); err == nil {
+		t.Error("FD1 must reject A ∉ X")
+	}
+	// Soundness: implied by the empty set.
+	ok, err := Implies(abSchema(), nil, s.CFD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("FD1 conclusion must be implied by ∅")
+	}
+}
+
+func TestFD2(t *testing.T) {
+	base := &Simple{X: []string{"A"}, A: "C", TX: []Pattern{C("a")}, PA: C("c")}
+	s, err := FD2(base, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Simple{X: []string{"A", "B"}, A: "C", TX: []Pattern{C("a"), W()}, PA: C("c")}
+	if !s.Equal(want) {
+		t.Errorf("FD2 = %s, want %s", s, want)
+	}
+	if _, err := FD2(base, "A"); err == nil {
+		t.Error("FD2 must reject B already in X")
+	}
+	// B = A is allowed: the embedded FD then has C on... B may equal the
+	// RHS attribute (t[AL]/t[AR] case).
+	if _, err := FD2(base, "C"); err != nil {
+		t.Errorf("FD2 with B = RHS attribute should be allowed: %v", err)
+	}
+	ok, err := Implies(abSchema(), []*CFD{base.CFD()}, s.CFD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("FD2 conclusion must be implied by its premise")
+	}
+}
+
+func TestFD3SideCondition(t *testing.T) {
+	// Premise patterns must satisfy (t1[A1],…) ⪯ tp[A1,…].
+	psi1 := &Simple{X: []string{"A"}, A: "B", TX: []Pattern{W()}, PA: C("b")}
+	second := &Simple{X: []string{"B"}, A: "C", TX: []Pattern{C("OTHER")}, PA: C("c")}
+	if _, err := FD3([]*Simple{psi1}, second); err == nil {
+		t.Error("FD3 must reject b ⋠ OTHER")
+	}
+	// Constant-to-constant: b ⪯ b is fine.
+	secondOK := &Simple{X: []string{"B"}, A: "C", TX: []Pattern{C("b")}, PA: C("c")}
+	s, err := FD3([]*Simple{psi1}, secondOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Implies(abSchema(), []*CFD{psi1.CFD(), secondOK.CFD()}, s.CFD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("FD3 conclusion must be implied by its premises")
+	}
+}
+
+func TestFD3MultiPremise(t *testing.T) {
+	// Two premises (X → A1), (X → A2) feeding ([A1,A2] → B).
+	p1 := &Simple{X: []string{"A"}, A: "B", TX: []Pattern{C("a")}, PA: C("b")}
+	p2 := &Simple{X: []string{"A"}, A: "C", TX: []Pattern{C("a")}, PA: W()}
+	second := &Simple{X: []string{"B", "C"}, A: "A", TX: []Pattern{W(), W()}, PA: W()}
+	s, err := FD3([]*Simple{p1, p2}, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Simple{X: []string{"A"}, A: "A", TX: []Pattern{C("a")}, PA: W()}
+	if !s.Equal(want) {
+		t.Errorf("FD3 = %s, want %s", s, want)
+	}
+	ok, err := Implies(abSchema(), []*CFD{p1.CFD(), p2.CFD(), second.CFD()}, s.CFD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("multi-premise FD3 conclusion must be implied")
+	}
+}
+
+func TestFD4(t *testing.T) {
+	// ([B,X] → A, tp), tp[B] = '_', tp[A] constant ⇒ drop B.
+	base := &Simple{X: []string{"B", "A"}, A: "C", TX: []Pattern{W(), C("a")}, PA: C("c")}
+	s, err := FD4(base, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Simple{X: []string{"A"}, A: "C", TX: []Pattern{C("a")}, PA: C("c")}
+	if !s.Equal(want) {
+		t.Errorf("FD4 = %s, want %s", s, want)
+	}
+	// Rejections: constant tp[B], or non-constant tp[A].
+	if _, err := FD4(base, "A"); err == nil {
+		t.Error("FD4 must reject dropping an attribute with a constant pattern")
+	}
+	noConst := &Simple{X: []string{"B"}, A: "C", TX: []Pattern{W()}, PA: W()}
+	if _, err := FD4(noConst, "B"); err == nil {
+		t.Error("FD4 must reject a non-constant RHS pattern")
+	}
+	ok, err := Implies(abSchema(), []*CFD{base.CFD()}, s.CFD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("FD4 conclusion must be implied by its premise")
+	}
+	// And vice versa (FD4 + FD2 are inverse here): the premise follows from
+	// the conclusion by augmentation.
+	ok, err = Implies(abSchema(), []*CFD{s.CFD()}, base.CFD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("FD4 premise should follow from the conclusion by FD2/FD5")
+	}
+}
+
+func TestFD5Rejections(t *testing.T) {
+	base := &Simple{X: []string{"A"}, A: "B", TX: []Pattern{C("a")}, PA: W()}
+	if _, err := FD5(base, "A", "x"); err == nil {
+		t.Error("FD5 must reject substitution into a constant cell")
+	}
+	if _, err := FD5(base, "Z", "x"); err == nil {
+		t.Error("FD5 must reject an attribute outside X")
+	}
+}
+
+func TestFD6Rejections(t *testing.T) {
+	base := &Simple{X: []string{"A"}, A: "B", TX: []Pattern{W()}, PA: W()}
+	if _, err := FD6(base); err == nil {
+		t.Error("FD6 must reject a non-constant RHS pattern")
+	}
+}
+
+// TestFD8 uses Example 3.1's machinery: with dom(A)=bool and a CFD set
+// that rules out A=true, FD8 derives (A → A, (_, false)).
+func TestFD8(t *testing.T) {
+	schema := relation.MustSchema("R",
+		relation.Attribute{Name: "A", Domain: relation.Bool()},
+		relation.Attr("B"),
+	)
+	// (A=true → B=b1) and (A=true → B=b2): A=true is impossible.
+	sigma := []*CFD{
+		MustCFD([]string{"A"}, []string{"B"},
+			PatternRow{X: []Pattern{C("true")}, Y: []Pattern{C("b1")}}),
+		MustCFD([]string{"A"}, []string{"B"},
+			PatternRow{X: []Pattern{C("true")}, Y: []Pattern{C("b2")}}),
+	}
+	s, err := FD8(schema, sigma, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Simple{X: []string{"A"}, A: "A", TX: []Pattern{W()}, PA: C("false")}
+	if !s.Equal(want) {
+		t.Errorf("FD8 = %s, want %s", s, want)
+	}
+	ok, err := Implies(schema, sigma, s.CFD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("FD8 conclusion must be implied by Σ")
+	}
+	// FD8 requires EXACTLY one consistent value.
+	if _, err := FD8(schema, nil, "A"); err == nil {
+		t.Error("FD8 must fail when both bool values are consistent")
+	}
+	if _, err := FD8(schema, sigma, "B"); err == nil {
+		t.Error("FD8 must fail on a non-finite domain")
+	}
+}
+
+// TestFD7 exercises the finite-domain upgrade: with dom(B) = {b1, b2} and
+// premises ([X,B]→A, ti) for ti[B] = b1 and b2, derive tp[B] = '_'.
+func TestFD7(t *testing.T) {
+	schema := relation.MustSchema("R",
+		relation.Attr("A"),
+		relation.Attribute{Name: "B", Domain: relation.Enum("b12", "b1", "b2")},
+		relation.Attr("C"),
+	)
+	sigma := []*CFD{
+		MustCFD([]string{"C", "B"}, []string{"A"},
+			PatternRow{X: []Pattern{W(), C("b1")}, Y: []Pattern{C("a")}}),
+		MustCFD([]string{"C", "B"}, []string{"A"},
+			PatternRow{X: []Pattern{W(), C("b2")}, Y: []Pattern{C("a")}}),
+	}
+	premises := []*Simple{
+		{X: []string{"C", "B"}, A: "A", TX: []Pattern{W(), C("b1")}, PA: C("a")},
+		{X: []string{"C", "B"}, A: "A", TX: []Pattern{W(), C("b2")}, PA: C("a")},
+	}
+	s, err := FD7(schema, sigma, premises, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Simple{X: []string{"C", "B"}, A: "A", TX: []Pattern{W(), W()}, PA: C("a")}
+	if !s.Equal(want) {
+		t.Errorf("FD7 = %s, want %s", s, want)
+	}
+	ok, err := Implies(schema, sigma, s.CFD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("FD7 conclusion must be implied by Σ")
+	}
+	// Missing coverage of a consistent value must be rejected.
+	if _, err := FD7(schema, sigma, premises[:1], "B"); err == nil {
+		t.Error("FD7 must reject premises that do not cover all consistent values")
+	}
+}
+
+// TestInferenceSoundnessRandom (property): randomly constructed FD2/FD5/FD6
+// applications always yield implied CFDs — the soundness half of
+// Theorem 3.3 for the pattern-manipulation rules.
+func TestInferenceSoundnessRandom(t *testing.T) {
+	schema := abSchema()
+	rng := rand.New(rand.NewSource(11))
+	attrs := []string{"A", "B", "C"}
+	vals := []relation.Value{"0", "1"}
+	for iter := 0; iter < 80; iter++ {
+		perm := rng.Perm(3)
+		var xp Pattern
+		if rng.Intn(2) == 0 {
+			xp = W()
+		} else {
+			xp = C(vals[rng.Intn(2)])
+		}
+		var yp Pattern
+		if rng.Intn(2) == 0 {
+			yp = W()
+		} else {
+			yp = C(vals[rng.Intn(2)])
+		}
+		base := &Simple{X: []string{attrs[perm[0]]}, A: attrs[perm[1]], TX: []Pattern{xp}, PA: yp}
+
+		var derived *Simple
+		var err error
+		switch rng.Intn(3) {
+		case 0:
+			derived, err = FD2(base, attrs[perm[2]])
+		case 1:
+			if base.TX[0].Kind != Wildcard {
+				continue
+			}
+			derived, err = FD5(base, base.X[0], vals[rng.Intn(2)])
+		default:
+			if base.PA.Kind != Const {
+				continue
+			}
+			derived, err = FD6(base)
+		}
+		if err != nil {
+			t.Fatalf("rule application failed: %v", err)
+		}
+		ok, err := Implies(schema, []*CFD{base.CFD()}, derived.CFD())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("unsound derivation: %s ⊭ %s", base, derived)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"repro/internal/relation"
+)
+
+// MinCover (Section 3.3, Figure 4 of the paper): compute a minimal cover
+// Σmc of a set Σ of CFDs — equivalent to Σ, in normal form, with no
+// redundant CFDs and no redundant LHS attributes. A non-redundant, smaller
+// cover reduces validation and repair cost, so MinCover is the paper's
+// optimization step before detection.
+
+// MinimalCover returns a minimal cover of Σ as normal-form CFDs. Following
+// the paper's algorithm it returns the empty set when Σ is inconsistent
+// (lines 1–2 of Figure 4).
+func MinimalCover(schema *relation.Schema, sigma []*CFD) ([]*Simple, error) {
+	ok, _, err := Consistent(schema, sigma)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	work, err := NormalizeSet(sigma)
+	if err != nil {
+		return nil, err
+	}
+	// Lines 3–6: remove redundant LHS attributes. For each CFD and each
+	// LHS attribute B, test whether Σ implies the CFD with B dropped; if
+	// so, replace it in the working set and keep shrinking.
+	for i := 0; i < len(work); i++ {
+		for bi := 0; bi < len(work[i].X); {
+			cand := dropAttr(work[i], bi)
+			ok, err := impliesWorking(schema, work, cand)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				work[i] = cand
+				// Restart attribute scan on the shortened LHS.
+				bi = 0
+				continue
+			}
+			bi++
+		}
+	}
+	// Lines 7–10: remove redundant CFDs. Check each CFD against the
+	// CURRENT remaining set minus itself, so the result stays equivalent.
+	cover := append([]*Simple(nil), work...)
+	for i := 0; i < len(cover); {
+		rest := make([]*Simple, 0, len(cover)-1)
+		rest = append(rest, cover[:i]...)
+		rest = append(rest, cover[i+1:]...)
+		ok, err := impliesWorking(schema, rest, cover[i])
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			cover = rest
+			continue
+		}
+		i++
+	}
+	return cover, nil
+}
+
+func dropAttr(s *Simple, bi int) *Simple {
+	out := &Simple{A: s.A, PA: s.PA}
+	for i := range s.X {
+		if i == bi {
+			continue
+		}
+		out.X = append(out.X, s.X[i])
+		out.TX = append(out.TX, s.TX[i])
+	}
+	return out
+}
+
+func impliesWorking(schema *relation.Schema, premises []*Simple, target *Simple) (bool, error) {
+	return impliesSimple(schema, premises, target)
+}
+
+// CoverToCFDs converts a minimal cover back to general CFDs (one per
+// simple), merging rows that share an embedded FD for readability.
+func CoverToCFDs(cover []*Simple) []*CFD {
+	singles := make([]*CFD, 0, len(cover))
+	for _, s := range cover {
+		singles = append(singles, s.CFD())
+	}
+	return MergeSameFD(singles)
+}
+
+// SizeOf measures |Σ| as the total number of pattern cells, the size metric
+// the paper's complexity bounds are stated in.
+func SizeOf(sigma []*CFD) int {
+	n := 0
+	for _, c := range sigma {
+		n += len(c.Tableau) * (len(c.LHS) + len(c.RHS))
+	}
+	return n
+}
+
+// WitnessInstance materializes a single-tuple witness (as returned by
+// Consistent) into a relation over the given schema, filling attributes the
+// witness does not mention with fresh placeholder values.
+func WitnessInstance(schema *relation.Schema, witness map[string]relation.Value) *relation.Relation {
+	rel := relation.New(schema)
+	t := make(relation.Tuple, schema.Len())
+	for i, a := range schema.Attrs {
+		if v, ok := witness[a.Name]; ok {
+			t[i] = v
+			continue
+		}
+		if a.Domain.Finite() && len(a.Domain.Values) > 0 {
+			t[i] = a.Domain.Values[0]
+		} else {
+			t[i] = freshValue(a.Name, 0)
+		}
+	}
+	rel.Tuples = append(rel.Tuples, t)
+	return rel
+}

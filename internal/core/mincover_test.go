@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestExample33MinCover reproduces Example 3.3: for Σ = {ψ1, ψ2, ϕ} the
+// minimal cover is {ψ1' = (∅ → B, (b)), ψ2' = (∅ → C, (c))}: ϕ is implied
+// (Example 3.2), and the LHS attributes of ψ1, ψ2 are redundant (FD4).
+func TestExample33MinCover(t *testing.T) {
+	schema := abSchema()
+	psi1 := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("b")}})
+	psi2 := MustCFD([]string{"B"}, []string{"C"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("c")}})
+	phi := MustCFD([]string{"A"}, []string{"C"},
+		PatternRow{X: []Pattern{C("a")}, Y: []Pattern{W()}})
+	sigma := []*CFD{psi1, psi2, phi}
+
+	cover, err := MinimalCover(schema, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover size = %d, want 2; cover: %v", len(cover), cover)
+	}
+	wantB := &Simple{X: nil, A: "B", TX: nil, PA: C("b")}
+	wantC := &Simple{X: nil, A: "C", TX: nil, PA: C("c")}
+	foundB, foundC := false, false
+	for _, s := range cover {
+		if s.Equal(wantB) {
+			foundB = true
+		}
+		if s.Equal(wantC) {
+			foundC = true
+		}
+	}
+	if !foundB || !foundC {
+		t.Errorf("cover = %v, want {(∅→B, (b)), (∅→C, (c))}", cover)
+	}
+
+	// The cover must be equivalent to Σ.
+	ok, err := Equivalent(schema, sigma, CoverToCFDs(cover))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("minimal cover must be equivalent to Σ")
+	}
+}
+
+// TestMinCoverInconsistent: per Figure 4 lines 1–2, an inconsistent Σ
+// yields the empty cover.
+func TestMinCoverInconsistent(t *testing.T) {
+	schema := abSchema()
+	sigma := []*CFD{
+		MustCFD([]string{"A"}, []string{"B"},
+			PatternRow{X: []Pattern{W()}, Y: []Pattern{C("b")}},
+			PatternRow{X: []Pattern{W()}, Y: []Pattern{C("c")}},
+		),
+	}
+	cover, err := MinimalCover(schema, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 0 {
+		t.Errorf("cover of inconsistent Σ = %v, want ∅", cover)
+	}
+}
+
+// TestMinCoverRemovesRedundantCFD: a transitively implied CFD disappears,
+// non-redundant ones survive.
+func TestMinCoverRemovesRedundantCFD(t *testing.T) {
+	schema := abSchema()
+	ab := MustCFD([]string{"A"}, []string{"B"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}})
+	bc := MustCFD([]string{"B"}, []string{"C"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}})
+	ac := MustCFD([]string{"A"}, []string{"C"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}})
+	cover, err := MinimalCover(schema, []*CFD{ab, bc, ac})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want the two generators", cover)
+	}
+	ok, err := Equivalent(schema, []*CFD{ab, bc, ac}, CoverToCFDs(cover))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("cover must remain equivalent")
+	}
+}
+
+// TestMinCoverIdempotentOnMinimal: a set that is already minimal passes
+// through unchanged in size and stays equivalent.
+func TestMinCoverIdempotentOnMinimal(t *testing.T) {
+	schema := abSchema()
+	sigma := []*CFD{
+		MustCFD([]string{"A"}, []string{"B"},
+			PatternRow{X: []Pattern{C("a1")}, Y: []Pattern{C("b1")}}),
+		MustCFD([]string{"A"}, []string{"B"},
+			PatternRow{X: []Pattern{C("a2")}, Y: []Pattern{C("b2")}}),
+	}
+	cover, err := MinimalCover(schema, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 2 {
+		t.Fatalf("cover size = %d, want 2", len(cover))
+	}
+	ok, err := Equivalent(schema, sigma, CoverToCFDs(cover))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("cover must be equivalent")
+	}
+}
+
+// TestMinCoverRemovesRedundantAttribute: lines 3–6 of Figure 4 — an LHS
+// attribute whose pattern is '_' and whose RHS is a forced constant gets
+// dropped (the FD4 simplification of Example 3.3).
+func TestMinCoverRemovesRedundantAttribute(t *testing.T) {
+	schema := abSchema()
+	sigma := []*CFD{
+		MustCFD([]string{"A", "B"}, []string{"C"},
+			PatternRow{X: []Pattern{W(), W()}, Y: []Pattern{C("c")}}),
+	}
+	cover, err := MinimalCover(schema, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 1 {
+		t.Fatalf("cover = %v, want a single CFD", cover)
+	}
+	if len(cover[0].X) != 0 {
+		t.Errorf("cover = %v, want empty LHS (∅ → C, (c))", cover[0])
+	}
+	ok, err := Equivalent(schema, sigma, CoverToCFDs(cover))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("cover must be equivalent")
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	if got := SizeOf([]*CFD{phi2()}); got != 18 {
+		t.Errorf("SizeOf(ϕ2) = %d, want 18 (3 rows × 6 cells)", got)
+	}
+	if got := SizeOf(nil); got != 0 {
+		t.Errorf("SizeOf(∅) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The text notation for CFDs, used by the CLI tools and examples:
+//
+//	[CC=01, AC=908, PN] -> [STR, CT=MH, ZIP]
+//
+// Each line is one pattern row over an embedded FD. An attribute written
+// bare ("PN") carries the unnamed variable '_'; "A=v" binds the constant v;
+// values containing spaces, commas or special characters are single-quoted
+// ('New York', with '' escaping a quote). An empty LHS is written "[]".
+// Lines starting with '#' and blank lines are ignored. ParseSet merges
+// consecutive rows sharing one embedded FD into multi-row tableaux, so the
+// paper's Figure 2 tableaux round-trip through this notation.
+
+// ParseCFD parses a single line of the text notation into a one-row CFD.
+func ParseCFD(line string) (*CFD, error) {
+	p := &lineParser{in: line}
+	cfd, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing %q: %w", line, err)
+	}
+	return cfd, nil
+}
+
+// ParseSet parses a multi-line CFD file: one pattern row per line, comments
+// with '#', consecutive rows over the same embedded FD merged into one CFD.
+func ParseSet(text string) ([]*CFD, error) {
+	var singles []*CFD
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := ParseCFD(line)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", i+1, err)
+		}
+		singles = append(singles, c)
+	}
+	return MergeSameFD(singles), nil
+}
+
+// FormatSet renders a CFD set in the text notation accepted by ParseSet.
+func FormatSet(sigma []*CFD) string {
+	var b strings.Builder
+	for i, c := range sigma {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+type lineParser struct {
+	in  string
+	pos int
+}
+
+func (p *lineParser) parse() (*CFD, error) {
+	lhs, xpats, err := p.side()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.literal("->") {
+		return nil, fmt.Errorf("expected '->' at offset %d", p.pos)
+	}
+	rhs, ypats, err := p.side()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == '#' {
+		p.pos = len(p.in)
+	}
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("trailing input at offset %d", p.pos)
+	}
+	return NewCFD(lhs, rhs, PatternRow{X: xpats, Y: ypats})
+}
+
+func (p *lineParser) side() ([]string, []Pattern, error) {
+	p.skipSpace()
+	if !p.literal("[") {
+		return nil, nil, fmt.Errorf("expected '[' at offset %d", p.pos)
+	}
+	var names []string
+	var pats []Pattern
+	p.skipSpace()
+	if p.literal("]") {
+		return names, pats, nil // empty attribute list: "[]"
+	}
+	for {
+		name, pat, err := p.item()
+		if err != nil {
+			return nil, nil, err
+		}
+		names = append(names, name)
+		pats = append(pats, pat)
+		p.skipSpace()
+		if p.literal(",") {
+			continue
+		}
+		if p.literal("]") {
+			return names, pats, nil
+		}
+		return nil, nil, fmt.Errorf("expected ',' or ']' at offset %d", p.pos)
+	}
+}
+
+func (p *lineParser) item() (string, Pattern, error) {
+	p.skipSpace()
+	name := p.ident()
+	if name == "" {
+		return "", Pattern{}, fmt.Errorf("expected attribute name at offset %d", p.pos)
+	}
+	p.skipSpace()
+	if !p.literal("=") {
+		return name, W(), nil
+	}
+	p.skipSpace()
+	val, quoted, err := p.value()
+	if err != nil {
+		return "", Pattern{}, err
+	}
+	if !quoted {
+		// Only the bare markers are special; '_' and '@' in quotes are the
+		// literal one-character constants.
+		switch val {
+		case "_":
+			return name, W(), nil
+		case "@":
+			return name, AtSign(), nil
+		}
+	}
+	return name, C(val), nil
+}
+
+func (p *lineParser) value() (string, bool, error) {
+	if p.pos < len(p.in) && p.in[p.pos] == '\'' {
+		v, err := p.quoted()
+		return v, true, err
+	}
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == ',' || c == ']' || c == ' ' || c == '\t' {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", false, fmt.Errorf("expected value at offset %d", start)
+	}
+	return p.in[start:p.pos], false, nil
+}
+
+func (p *lineParser) quoted() (string, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '\'' {
+			if p.pos+1 < len(p.in) && p.in[p.pos+1] == '\'' {
+				b.WriteByte('\'')
+				p.pos += 2
+				continue
+			}
+			p.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	return "", fmt.Errorf("unterminated quoted value")
+}
+
+func (p *lineParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == '=' || c == ',' || c == ']' || c == ' ' || c == '\t' {
+			break
+		}
+		p.pos++
+	}
+	return p.in[start:p.pos]
+}
+
+func (p *lineParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) literal(s string) bool {
+	if strings.HasPrefix(p.in[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}

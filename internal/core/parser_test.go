@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseCFDBasic(t *testing.T) {
+	c, err := ParseCFD("[CC=01, AC=908, PN] -> [STR, CT=MH, ZIP]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(c.LHS, ",") != "CC,AC,PN" || strings.Join(c.RHS, ",") != "STR,CT,ZIP" {
+		t.Fatalf("attribute lists wrong: %v -> %v", c.LHS, c.RHS)
+	}
+	row := c.Tableau[0]
+	if row.X[0] != C("01") || row.X[1] != C("908") || row.X[2] != (W()) {
+		t.Errorf("X patterns wrong: %v", row.X)
+	}
+	if row.Y[0] != (W()) || row.Y[1] != C("MH") || row.Y[2] != (W()) {
+		t.Errorf("Y patterns wrong: %v", row.Y)
+	}
+}
+
+func TestParseCFDQuoted(t *testing.T) {
+	c, err := ParseCFD("[CT='New York'] -> [STR='O''Hare Blvd']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tableau[0].X[0] != C("New York") {
+		t.Errorf("quoted LHS constant = %v", c.Tableau[0].X[0])
+	}
+	if c.Tableau[0].Y[0] != C("O'Hare Blvd") {
+		t.Errorf("escaped quote constant = %v", c.Tableau[0].Y[0])
+	}
+}
+
+func TestParseCFDUnderscoreForms(t *testing.T) {
+	// "A" bare and "A=_" both mean the wildcard; "A='_'" is the literal.
+	c, err := ParseCFD("[A, B=_, C='_'] -> [D=@]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Tableau[0]
+	if r.X[0] != (W()) || r.X[1] != (W()) {
+		t.Errorf("bare and =_ should be wildcards: %v", r.X)
+	}
+	if r.X[2] != C("_") {
+		t.Errorf("'_' quoted should be the literal underscore constant: %v", r.X[2])
+	}
+	if r.Y[0] != (AtSign()) {
+		t.Errorf("=@ should be the don't-care cell: %v", r.Y[0])
+	}
+}
+
+func TestParseCFDEmptyLHS(t *testing.T) {
+	c, err := ParseCFD("[] -> [B=b]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.LHS) != 0 || len(c.RHS) != 1 {
+		t.Fatalf("arities wrong: %v -> %v", c.LHS, c.RHS)
+	}
+	if c.Tableau[0].Y[0] != C("b") {
+		t.Errorf("Y pattern = %v", c.Tableau[0].Y[0])
+	}
+}
+
+func TestParseCFDTrailingComment(t *testing.T) {
+	c, err := ParseCFD("[A] -> [B=b]   # enforce b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tableau[0].Y[0] != C("b") {
+		t.Errorf("Y pattern = %v", c.Tableau[0].Y[0])
+	}
+}
+
+func TestParseCFDErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"[A] [B]",
+		"[A] -> ",
+		"[A -> [B]",
+		"[A] -> [B] trailing",
+		"[A,] -> [B]",
+		"[A] -> []", // empty RHS is invalid
+		"[A='unclosed] -> [B]",
+		"[A, A] -> [B]", // duplicate LHS attribute
+	}
+	for _, line := range bad {
+		if _, err := ParseCFD(line); err == nil {
+			t.Errorf("ParseCFD(%q) should fail", line)
+		}
+	}
+}
+
+// TestParseSetMergesTableaux: the Figure 2 tableau T2 round-trips as three
+// lines that merge into one CFD with three pattern rows.
+func TestParseSetMergesTableaux(t *testing.T) {
+	text := `
+# ϕ2 of Figure 2
+[CC, AC, PN] -> [STR, CT, ZIP]
+[CC=01, AC=908, PN] -> [STR, CT=MH, ZIP]
+[CC=01, AC=212, PN] -> [STR, CT=NYC, ZIP]
+
+# ϕ3 of Figure 2
+[CC, AC] -> [CT]
+[CC=01, AC=215] -> [CT=PHI]
+[CC=44, AC=141] -> [CT=GLA]
+`
+	set, err := ParseSet(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("got %d CFDs, want 2", len(set))
+	}
+	if len(set[0].Tableau) != 3 || len(set[1].Tableau) != 3 {
+		t.Fatalf("tableau sizes = %d, %d; want 3, 3", len(set[0].Tableau), len(set[1].Tableau))
+	}
+	// Must be semantically identical to the programmatic fixtures.
+	rel := custInstance()
+	gotSat, err := Satisfies(rel, set[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSat, err := Satisfies(rel, phi2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSat != wantSat {
+		t.Error("parsed ϕ2 disagrees with the programmatic ϕ2")
+	}
+}
+
+// TestFormatParseRoundTrip (property): String() output re-parses to a
+// structurally identical CFD, over randomized CFDs including quoted values.
+func TestFormatParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := []string{"a", "b", "New York", "O'Hare", "_", "@", "", "x,y", "[z]"}
+	attrs := []string{"A", "B", "C", "D", "E"}
+	randPattern := func() Pattern {
+		switch rng.Intn(3) {
+		case 0:
+			return W()
+		default:
+			return C(values[rng.Intn(len(values))])
+		}
+	}
+	for iter := 0; iter < 300; iter++ {
+		perm := rng.Perm(len(attrs))
+		nx, ny := rng.Intn(3), 1+rng.Intn(2)
+		var lhs, rhs []string
+		for i := 0; i < nx; i++ {
+			lhs = append(lhs, attrs[perm[i]])
+		}
+		for i := 0; i < ny; i++ {
+			rhs = append(rhs, attrs[perm[nx+i]])
+		}
+		row := PatternRow{}
+		for range lhs {
+			row.X = append(row.X, randPattern())
+		}
+		for range rhs {
+			row.Y = append(row.Y, randPattern())
+		}
+		orig := MustCFD(lhs, rhs, row)
+		parsed, err := ParseCFD(orig.String())
+		if err != nil {
+			t.Fatalf("round trip parse of %q: %v", orig.String(), err)
+		}
+		if parsed.String() != orig.String() {
+			t.Fatalf("round trip mismatch:\n  orig:   %s\n  parsed: %s", orig, parsed)
+		}
+	}
+}
+
+// TestFormatSetRoundTrip: a whole set round-trips through FormatSet/ParseSet.
+func TestFormatSetRoundTrip(t *testing.T) {
+	sigma := []*CFD{phi1(), phi2(), phi3()}
+	text := FormatSet(sigma)
+	back, err := ParseSet(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(sigma) {
+		t.Fatalf("set size %d, want %d", len(back), len(sigma))
+	}
+	for i := range sigma {
+		if back[i].String() != sigma[i].String() {
+			t.Errorf("CFD %d mismatch:\n%s\nvs\n%s", i, back[i], sigma[i])
+		}
+	}
+}

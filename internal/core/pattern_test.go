@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relation"
+)
+
+func TestPatternMatches(t *testing.T) {
+	tests := []struct {
+		p    Pattern
+		v    relation.Value
+		want bool
+	}{
+		{C("a"), "a", true},
+		{C("a"), "b", false},
+		{C(""), "", true},
+		{W(), "anything", true},
+		{W(), "", true},
+		{AtSign(), "anything", true},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Matches(tt.v); got != tt.want {
+			t.Errorf("%s.Matches(%q) = %v, want %v", tt.p, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestPatternLeq(t *testing.T) {
+	// The order relation of FD3: η1 ⪯ η2 iff η1 = η2 = a, or η2 = '_'.
+	tests := []struct {
+		a, b Pattern
+		want bool
+	}{
+		{C("a"), C("a"), true},
+		{C("a"), C("b"), false},
+		{C("a"), W(), true},  // (a) ⪯ (_) — the paper's example
+		{W(), W(), true},     // _ ⪯ _
+		{W(), C("a"), false}, // '_' is not below a constant
+	}
+	for _, tt := range tests {
+		if got := tt.a.Leq(tt.b); got != tt.want {
+			t.Errorf("%s.Leq(%s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// genPattern draws a random pattern cell over a tiny constant alphabet.
+func genPattern(r *rand.Rand) Pattern {
+	switch r.Intn(4) {
+	case 0:
+		return W()
+	default:
+		return C(string(rune('a' + r.Intn(3))))
+	}
+}
+
+func genValue(r *rand.Rand) relation.Value {
+	return string(rune('a' + r.Intn(4)))
+}
+
+// Property: ⪯ is reflexive and transitive (a partial order on cells).
+func TestLeqIsPartialOrder(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(genPattern(r))
+		vs[1] = reflect.ValueOf(genPattern(r))
+		vs[2] = reflect.ValueOf(genPattern(r))
+	}}
+	if err := quick.Check(func(a, b, c Pattern) bool {
+		if !a.Leq(a) {
+			return false
+		}
+		if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: if a data value matches p and p ⪯ q, the value matches q
+// (matching is monotone in the pattern order — the fact FD3 relies on).
+func TestMatchMonotoneInLeq(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000, Values: func(vs []reflect.Value, r *rand.Rand) {
+		vs[0] = reflect.ValueOf(genValue(r))
+		vs[1] = reflect.ValueOf(genPattern(r))
+		vs[2] = reflect.ValueOf(genPattern(r))
+	}}
+	if err := quick.Check(func(v relation.Value, p, q Pattern) bool {
+		if p.Matches(v) && p.Leq(q) && !q.Matches(v) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchCells(t *testing.T) {
+	vals := []relation.Value{"01", "908", "1111111"}
+	if !MatchCells(vals, []Pattern{C("01"), C("908"), W()}) {
+		t.Error("t1[CC,AC,PN] should match (01, 908, _)")
+	}
+	if MatchCells(vals, []Pattern{C("01"), C("212"), W()}) {
+		t.Error("t1[CC,AC,PN] should not match (01, 212, _)")
+	}
+	if !MatchCells(nil, nil) {
+		t.Error("empty cell lists must match (empty LHS case)")
+	}
+}
+
+func TestLeqCells(t *testing.T) {
+	if !LeqCells([]Pattern{C("a"), C("b")}, []Pattern{W(), C("b")}) {
+		t.Error("(a, b) ⪯ (_, b) expected")
+	}
+	if LeqCells([]Pattern{C("a")}, []Pattern{C("b")}) {
+		t.Error("(a) ⪯ (b) unexpected")
+	}
+	if LeqCells([]Pattern{C("a")}, []Pattern{C("a"), W()}) {
+		t.Error("arity mismatch must not be ⪯")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	tests := []struct {
+		p    Pattern
+		want string
+	}{
+		{W(), "_"},
+		{AtSign(), "@"},
+		{C("NYC"), "NYC"},
+		{C("New York"), "'New York'"},
+		{C("O'Hare"), "'O''Hare'"},
+		{C("_"), "'_'"}, // a literal underscore value must be quoted
+		{C("@"), "'@'"},
+		{C(""), "''"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

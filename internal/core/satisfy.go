@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/relation"
+)
+
+// This file is the reference (specification-level) implementation of CFD
+// satisfaction: a direct transcription of the paper's Section 2 semantics.
+// It is deliberately simple — internal/detect holds the production
+// detectors (hash-based and SQL-based) that are cross-checked against it.
+
+// ViolationKind distinguishes the two ways a CFD can be violated
+// (Example 2.2 of the paper).
+type ViolationKind uint8
+
+const (
+	// ConstViolation is a single-tuple violation: t matches tc[X] but some
+	// constant Y-cell disagrees with t (what query QC detects).
+	ConstViolation ViolationKind = iota
+	// VariableViolation is a multi-tuple violation: two tuples agree on X,
+	// both match tc[X], but disagree on Y (what query QV detects).
+	VariableViolation
+)
+
+func (k ViolationKind) String() string {
+	if k == ConstViolation {
+		return "const"
+	}
+	return "variable"
+}
+
+// Violation describes one detected inconsistency of a relation w.r.t. a CFD.
+type Violation struct {
+	Kind ViolationKind
+	// Row is the tableau row index of the pattern tuple being violated.
+	Row int
+	// Tuples holds the violating data row ids: exactly one for a
+	// ConstViolation; the whole conflicting group for a VariableViolation.
+	Tuples []int
+	// Key holds the shared X-values of a VariableViolation group (what the
+	// paper's QV query returns); nil for ConstViolations.
+	Key []relation.Value
+}
+
+// Satisfies reports I ⊨ ϕ by direct application of the Section 2 semantics.
+func Satisfies(rel *relation.Relation, cfd *CFD) (bool, error) {
+	vs, err := FindViolations(rel, cfd)
+	if err != nil {
+		return false, err
+	}
+	return len(vs) == 0, nil
+}
+
+// SatisfiesSet reports I ⊨ Σ.
+func SatisfiesSet(rel *relation.Relation, sigma []*CFD) (bool, error) {
+	for _, c := range sigma {
+		ok, err := Satisfies(rel, c)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// FindViolations returns every violation of ϕ in the instance, in
+// deterministic order (tableau row, then data row / group key).
+//
+// This is the naive O(|Tp| · |I|) reference algorithm; use
+// internal/detect for large inputs.
+func FindViolations(rel *relation.Relation, cfd *CFD) ([]Violation, error) {
+	if err := cfd.Validate(rel.Schema); err != nil {
+		return nil, err
+	}
+	xIdx, err := rel.Schema.Indexes(cfd.LHS)
+	if err != nil {
+		return nil, err
+	}
+	yIdx, err := rel.Schema.Indexes(cfd.RHS)
+	if err != nil {
+		return nil, err
+	}
+	var out []Violation
+	for ri, row := range cfd.Tableau {
+		out = append(out, violationsOfRow(rel, ri, row, xIdx, yIdx)...)
+	}
+	return out, nil
+}
+
+func violationsOfRow(rel *relation.Relation, ri int, row PatternRow, xIdx, yIdx []int) []Violation {
+	var out []Violation
+	// Group the tuples matching tc[X] by their X-projection, tracking
+	// single-tuple constant violations along the way.
+	groups := make(map[string][]int)
+	var keyOrder []string
+	keyVals := make(map[string][]relation.Value)
+	for t := range rel.Tuples {
+		xv := rel.Project(t, xIdx)
+		if !MatchCells(xv, row.X) {
+			continue
+		}
+		yv := rel.Project(t, yIdx)
+		if !MatchCells(yv, row.Y) {
+			// Only constant Y-cells can fail a single-tuple match.
+			out = append(out, Violation{Kind: ConstViolation, Row: ri, Tuples: []int{t}})
+		}
+		k := relation.EncodeKey(xv)
+		if _, ok := groups[k]; !ok {
+			keyOrder = append(keyOrder, k)
+			keyVals[k] = xv
+		}
+		groups[k] = append(groups[k], t)
+	}
+	for _, k := range keyOrder {
+		rows := groups[k]
+		if len(rows) < 2 {
+			continue
+		}
+		distinct := make(map[string]bool)
+		for _, t := range rows {
+			distinct[relation.EncodeKey(rel.Project(t, yIdx))] = true
+		}
+		if len(distinct) > 1 {
+			out = append(out, Violation{
+				Kind:   VariableViolation,
+				Row:    ri,
+				Tuples: append([]int(nil), rows...),
+				Key:    keyVals[k],
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if len(out[i].Tuples) > 0 && len(out[j].Tuples) > 0 {
+			return out[i].Tuples[0] < out[j].Tuples[0]
+		}
+		return false
+	})
+	return out
+}
+
+// ViolatingTuples returns the sorted set of data row ids involved in any
+// violation of any CFD in Σ ("the inconsistent tuples" of Section 4).
+func ViolatingTuples(rel *relation.Relation, sigma []*CFD) ([]int, error) {
+	set := make(map[int]bool)
+	for _, c := range sigma {
+		vs, err := FindViolations(rel, c)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vs {
+			for _, t := range v.Tuples {
+				set[t] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// String renders a violation for diagnostics.
+func (v Violation) String() string {
+	if v.Kind == ConstViolation {
+		return fmt.Sprintf("const violation of pattern row %d by tuple %d", v.Row, v.Tuples[0])
+	}
+	return fmt.Sprintf("variable violation of pattern row %d by tuples %v (X=%v)", v.Row, v.Tuples, v.Key)
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExample22 reproduces Example 2.2: cust satisfies ϕ1 and ϕ3 but not
+// ϕ2, and the ϕ2 violations are those of Example 4.1 — t1, t2 as constant
+// (QC-style) violations, t3, t4 as a variable (QV-style) violation group.
+func TestExample22(t *testing.T) {
+	rel := custInstance()
+
+	if ok, err := Satisfies(rel, phi1()); err != nil || !ok {
+		t.Fatalf("cust should satisfy ϕ1 (err=%v)", err)
+	}
+	if ok, err := Satisfies(rel, phi3()); err != nil || !ok {
+		t.Fatalf("cust should satisfy ϕ3 (err=%v)", err)
+	}
+	ok, err := Satisfies(rel, phi2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("cust should violate ϕ2")
+	}
+
+	vs, err := FindViolations(rel, phi2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var constRows, varGroups [][]int
+	for _, v := range vs {
+		switch v.Kind {
+		case ConstViolation:
+			constRows = append(constRows, v.Tuples)
+		case VariableViolation:
+			varGroups = append(varGroups, v.Tuples)
+		}
+	}
+	if want := [][]int{{0}, {1}}; !reflect.DeepEqual(constRows, want) {
+		t.Errorf("const violations = %v, want %v (tuples t1, t2)", constRows, want)
+	}
+	// t3, t4 violate via BOTH the all-wildcard row of T2 (f1) and the
+	// (01, 212, _) row: they match both patterns and differ on ZIP. The
+	// reference detector reports one group per tableau row.
+	if want := [][]int{{2, 3}, {2, 3}}; !reflect.DeepEqual(varGroups, want) {
+		t.Errorf("variable violation groups = %v, want %v (tuples t3, t4)", varGroups, want)
+	}
+}
+
+// TestSingleTupleViolation checks the observation of Section 2: "while
+// violation of a standard FD requires two tuples, a single tuple may
+// violate a CFD".
+func TestSingleTupleViolation(t *testing.T) {
+	rel := custInstance()
+	rel.Tuples = rel.Tuples[:1] // just t1
+	ok, err := Satisfies(rel, phi2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("a single tuple (t1) should violate ϕ2's (01, 908, _ ‖ _, MH, _) row")
+	}
+}
+
+// TestStandardFDAsCFD checks the first special case of Section 2: a
+// standard FD is a CFD with a single all-'_' pattern row, and classical FD
+// semantics is recovered.
+func TestStandardFDAsCFD(t *testing.T) {
+	f2 := MustCFD([]string{"CC", "AC"}, []string{"CT"},
+		PatternRow{X: []Pattern{W(), W()}, Y: []Pattern{W()}})
+	if !f2.IsStandardFD() {
+		t.Error("f2 should be recognized as a standard FD")
+	}
+	rel := custInstance()
+	if ok, _ := Satisfies(rel, f2); !ok {
+		t.Error("cust should satisfy the FD [CC,AC] → [CT] (the paper: FDs hold on Fig. 1)")
+	}
+	// Break it: two tuples with equal (CC,AC) but different CT.
+	rel.MustInsert("01", "908", "9999999", "Eve", "Elm Str.", "PHI", "00000")
+	if ok, _ := Satisfies(rel, f2); ok {
+		t.Error("after inserting a (01,908,PHI) tuple the FD must fail")
+	}
+	vs, _ := FindViolations(rel, f2)
+	if len(vs) != 1 || vs[0].Kind != VariableViolation {
+		t.Errorf("want exactly one variable violation, got %v", vs)
+	}
+}
+
+// TestInstanceFDAsCFD checks the second special case of Section 2: an
+// instance-level FD (Lim & Prabhakar) is a CFD whose tableau is one
+// all-constant row.
+func TestInstanceFDAsCFD(t *testing.T) {
+	ifd := MustCFD([]string{"CC", "AC"}, []string{"CT"},
+		PatternRow{X: []Pattern{C("01"), C("215")}, Y: []Pattern{C("PHI")}})
+	if !ifd.IsInstanceFD() {
+		t.Error("should be recognized as an instance-level FD")
+	}
+	if ifd.IsStandardFD() {
+		t.Error("an all-constant row is not a standard FD")
+	}
+	rel := custInstance()
+	if ok, _ := Satisfies(rel, ifd); !ok {
+		t.Error("cust satisfies [CC=01, AC=215] → [CT=PHI] (tuple t5)")
+	}
+	rel.Tuples[4][rel.Schema.MustIndex("CT")] = "NYC"
+	if ok, _ := Satisfies(rel, ifd); ok {
+		t.Error("changing t5's city must violate the instance-level FD")
+	}
+}
+
+// TestAttributeOnBothSides exercises the t[AL]/t[AR] case: attribute CT on
+// both sides of the embedded FD, with differing patterns.
+func TestAttributeOnBothSides(t *testing.T) {
+	c := MustCFD([]string{"CT"}, []string{"CT"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{C("NYC")}})
+	rel := custInstance()
+	vs, err := FindViolations(rel, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tuple whose CT is not NYC is a constant violation: t5, t6.
+	var rows []int
+	for _, v := range vs {
+		if v.Kind == ConstViolation {
+			rows = append(rows, v.Tuples[0])
+		}
+	}
+	if want := []int{4, 5}; !reflect.DeepEqual(rows, want) {
+		t.Errorf("const violations = %v, want %v", rows, want)
+	}
+}
+
+// TestEmptyLHS: constraints of the form (∅ → A, (a)) — produced by
+// MinCover in Example 3.3 — require every tuple to carry the constant.
+func TestEmptyLHS(t *testing.T) {
+	c := MustCFD(nil, []string{"CC"}, PatternRow{Y: []Pattern{C("01")}})
+	rel := custInstance()
+	vs, err := FindViolations(rel, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t6 has CC=44: one const violation. All six tuples share the empty
+	// X-projection, and CC differs, so one variable violation group too.
+	var consts, vars int
+	for _, v := range vs {
+		if v.Kind == ConstViolation {
+			consts++
+		} else {
+			vars++
+		}
+	}
+	if consts != 1 || vars != 1 {
+		t.Errorf("got %d const, %d variable violations; want 1 and 1", consts, vars)
+	}
+}
+
+func TestViolatingTuples(t *testing.T) {
+	rel := custInstance()
+	got, err := ViolatingTuples(rel, []*CFD{phi1(), phi2(), phi3()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("violating tuples = %v, want %v", got, want)
+	}
+}
+
+func TestSatisfiesSet(t *testing.T) {
+	rel := custInstance()
+	if ok, _ := SatisfiesSet(rel, []*CFD{phi1(), phi3()}); !ok {
+		t.Error("cust ⊨ {ϕ1, ϕ3}")
+	}
+	if ok, _ := SatisfiesSet(rel, []*CFD{phi1(), phi2(), phi3()}); ok {
+		t.Error("cust ⊭ {ϕ1, ϕ2, ϕ3}")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	rel := custInstance()
+	bad := MustCFD([]string{"NOPE"}, []string{"CT"},
+		PatternRow{X: []Pattern{W()}, Y: []Pattern{W()}})
+	if _, err := FindViolations(rel, bad); err == nil {
+		t.Error("unknown attribute must be rejected")
+	}
+}

@@ -1,0 +1,165 @@
+// Package detect finds CFD violations in relation instances — the paper's
+// Section 4 pipeline, end to end. Three interchangeable strategies are
+// provided and cross-checked against each other in the test suite:
+//
+//   - Direct: a pure-Go hash-index detector (the oracle; no SQL involved).
+//   - SQLPerCFD: one (QC, QV) query pair per CFD (Section 4.1), 2·|Σ|
+//     passes over the data.
+//   - SQLMerged: the single merged pair (QCΣ, QVΣ) of Section 4.2, two
+//     passes regardless of |Σ|.
+//
+// The SQL strategies run the generated text through the sqlmini engine,
+// optionally via the standard database/sql interface (driver "cfdmem").
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/sqlgen"
+)
+
+// Strategy selects the detection implementation.
+type Strategy int
+
+const (
+	// Direct is the pure-Go hash detector.
+	Direct Strategy = iota
+	// SQLPerCFD generates and runs one query pair per CFD.
+	SQLPerCFD
+	// SQLMerged generates and runs the merged two-query plan.
+	SQLMerged
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case SQLPerCFD:
+		return "sql-per-cfd"
+	default:
+		return "sql-merged"
+	}
+}
+
+// Options configures detection.
+type Options struct {
+	Strategy Strategy
+	// Form is the WHERE-clause presentation for the SQL strategies.
+	Form sqlgen.Form
+	// ViaDriver routes SQL through database/sql instead of calling the
+	// engine directly. Results are identical; this exercises the standard
+	// interface a production deployment would use.
+	ViaDriver bool
+	// SQLGen overrides marker/alias settings (zero value = defaults).
+	SQLGen sqlgen.Options
+}
+
+func (o Options) sqlOptions() sqlgen.Options {
+	opts := o.SQLGen
+	opts.Form = o.Form
+	opts.IncludeRowid = true
+	return opts
+}
+
+// CFDViolations is the canonical per-CFD detection outcome, comparable
+// across strategies:
+//
+//   - ConstTuples: row ids with a single-tuple (constant) violation — what
+//     QC returns.
+//   - VariableKeys: the distinct X-projections of multi-tuple violation
+//     groups — what QV returns.
+type CFDViolations struct {
+	ConstTuples  []int
+	VariableKeys [][]relation.Value
+}
+
+// Result holds one CFDViolations per input CFD, positionally.
+type Result struct {
+	PerCFD []CFDViolations
+}
+
+// ViolatingCFDs returns the indexes of CFDs with at least one violation.
+func (r *Result) ViolatingCFDs() []int {
+	var out []int
+	for i, v := range r.PerCFD {
+		if len(v.ConstTuples) > 0 || len(v.VariableKeys) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clean reports whether no CFD is violated.
+func (r *Result) Clean() bool { return len(r.ViolatingCFDs()) == 0 }
+
+// Equal compares two results (used by the cross-check tests).
+func (r *Result) Equal(o *Result) bool {
+	if len(r.PerCFD) != len(o.PerCFD) {
+		return false
+	}
+	for i := range r.PerCFD {
+		a, b := r.PerCFD[i], o.PerCFD[i]
+		if len(a.ConstTuples) != len(b.ConstTuples) || len(a.VariableKeys) != len(b.VariableKeys) {
+			return false
+		}
+		for j := range a.ConstTuples {
+			if a.ConstTuples[j] != b.ConstTuples[j] {
+				return false
+			}
+		}
+		for j := range a.VariableKeys {
+			if relation.EncodeKey(a.VariableKeys[j]) != relation.EncodeKey(b.VariableKeys[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Detect runs violation detection for Σ over the instance.
+func Detect(rel *relation.Relation, sigma []*core.CFD, opts Options) (*Result, error) {
+	for i, c := range sigma {
+		if err := c.Validate(rel.Schema); err != nil {
+			return nil, fmt.Errorf("detect: CFD %d: %w", i, err)
+		}
+	}
+	switch opts.Strategy {
+	case Direct:
+		return detectDirect(rel, sigma)
+	case SQLPerCFD:
+		return detectPerCFD(rel, sigma, opts)
+	case SQLMerged:
+		return detectMerged(rel, sigma, opts)
+	}
+	return nil, fmt.Errorf("detect: unknown strategy %d", opts.Strategy)
+}
+
+// canonicalize sorts and dedupes the raw per-CFD accumulations.
+func canonicalize(constSet map[int]bool, keySet map[string][]relation.Value) CFDViolations {
+	out := CFDViolations{}
+	for t := range constSet {
+		out.ConstTuples = append(out.ConstTuples, t)
+	}
+	sort.Ints(out.ConstTuples)
+	encoded := make([]string, 0, len(keySet))
+	for k := range keySet {
+		encoded = append(encoded, k)
+	}
+	sort.Strings(encoded)
+	for _, k := range encoded {
+		out.VariableKeys = append(out.VariableKeys, keySet[k])
+	}
+	return out
+}
+
+func atoiOrErr(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("detect: bad rowid %q from SQL result: %w", s, err)
+	}
+	return n, nil
+}

@@ -1,0 +1,176 @@
+package detect
+
+import (
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// The direct strategy: a pure-Go detector over hash indexes. It serves two
+// roles — the oracle the SQL paths are verified against, and the fast path
+// for embedding the library without any SQL surface.
+//
+// Pattern rows are bucketed by their constant-position mask so that one
+// index on the data (keyed by those positions) serves every pattern row in
+// the bucket; candidate sets then shrink to the tuples matching the row's
+// constants, giving O(Σ_p |cand(p)|) instead of O(|Tp| · |I|).
+
+func detectDirect(rel *relation.Relation, sigma []*core.CFD) (*Result, error) {
+	res := &Result{PerCFD: make([]CFDViolations, len(sigma))}
+	for i, c := range sigma {
+		v, err := directOne(rel, c)
+		if err != nil {
+			return nil, err
+		}
+		res.PerCFD[i] = v
+	}
+	return res, nil
+}
+
+// FindDetailed returns the full violation list of one CFD (tableau row,
+// kind, tuples, keys) using the indexed algorithm; it is the detector the
+// repair heuristic builds on.
+func FindDetailed(rel *relation.Relation, cfd *core.CFD) ([]core.Violation, error) {
+	xIdx, err := rel.Schema.Indexes(cfd.LHS)
+	if err != nil {
+		return nil, err
+	}
+	yIdx, err := rel.Schema.Indexes(cfd.RHS)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Violation
+	err = scanPatterns(rel, cfd, xIdx, yIdx, func(ri int, row core.PatternRow, cand []int) {
+		// Constant violations plus grouping for variable violations.
+		groups := make(map[string][]int)
+		var order []string
+		keys := make(map[string][]relation.Value)
+		for _, t := range cand {
+			yv := rel.Project(t, yIdx)
+			if !core.MatchCells(yv, row.Y) {
+				out = append(out, core.Violation{Kind: core.ConstViolation, Row: ri, Tuples: []int{t}})
+			}
+			xv := rel.Project(t, xIdx)
+			k := relation.EncodeKey(xv)
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+				keys[k] = xv
+			}
+			groups[k] = append(groups[k], t)
+		}
+		for _, k := range order {
+			rows := groups[k]
+			if len(rows) < 2 {
+				continue
+			}
+			distinct := make(map[string]bool)
+			for _, t := range rows {
+				distinct[relation.EncodeKey(rel.Project(t, yIdx))] = true
+			}
+			if len(distinct) > 1 {
+				out = append(out, core.Violation{
+					Kind: core.VariableViolation, Row: ri,
+					Tuples: append([]int(nil), rows...),
+					Key:    keys[k],
+				})
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func directOne(rel *relation.Relation, cfd *core.CFD) (CFDViolations, error) {
+	constSet := make(map[int]bool)
+	keySet := make(map[string][]relation.Value)
+	vs, err := FindDetailed(rel, cfd)
+	if err != nil {
+		return CFDViolations{}, err
+	}
+	for _, v := range vs {
+		switch v.Kind {
+		case core.ConstViolation:
+			constSet[v.Tuples[0]] = true
+		case core.VariableViolation:
+			keySet[relation.EncodeKey(v.Key)] = v.Key
+		}
+	}
+	return canonicalize(constSet, keySet), nil
+}
+
+// scanPatterns calls visit once per tableau row with the candidate tuple
+// ids whose X-projection matches the row's X pattern. Pattern rows sharing
+// a constant-position mask share one hash index over the data.
+func scanPatterns(rel *relation.Relation, cfd *core.CFD, xIdx, yIdx []int,
+	visit func(ri int, row core.PatternRow, cand []int)) error {
+
+	// Bucket rows by constant mask.
+	type bucket struct {
+		constPos []int // positions within LHS that are constants
+		rows     []int // tableau row indexes
+	}
+	buckets := make(map[string]*bucket)
+	var order []string
+	for ri, row := range cfd.Tableau {
+		maskKey := ""
+		var constPos []int
+		for i, p := range row.X {
+			if p.Kind == core.Const {
+				constPos = append(constPos, i)
+				maskKey += "1"
+			} else {
+				maskKey += "0"
+			}
+		}
+		b, ok := buckets[maskKey]
+		if !ok {
+			b = &bucket{constPos: constPos}
+			buckets[maskKey] = b
+			order = append(order, maskKey)
+		}
+		b.rows = append(b.rows, ri)
+	}
+
+	allRows := func() []int {
+		out := make([]int, rel.Len())
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+
+	for _, mk := range order {
+		b := buckets[mk]
+		if len(b.constPos) == 0 {
+			// All-wildcard X: every tuple is a candidate for each row.
+			cand := allRows()
+			for _, ri := range b.rows {
+				visit(ri, cfd.Tableau[ri], cand)
+			}
+			continue
+		}
+		// Index the data on the constant positions of this mask.
+		attrs := make([]string, len(b.constPos))
+		for i, p := range b.constPos {
+			attrs[i] = cfd.LHS[p]
+		}
+		ix, err := relation.BuildIndex(rel, attrs)
+		if err != nil {
+			return err
+		}
+		key := make([]relation.Value, len(b.constPos))
+		for _, ri := range b.rows {
+			row := cfd.Tableau[ri]
+			for i, p := range b.constPos {
+				key[i] = row.X[p].Val
+			}
+			cand := ix.Lookup(key)
+			if len(cand) == 0 {
+				continue
+			}
+			visit(ri, row, cand)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/sqlgen"
+	"repro/internal/sqlmini"
+)
+
+// Explain renders the physical plans the engine would use for one CFD's
+// (QC, QV) pair in the given form — how a DBA would diagnose the CNF/DNF
+// effect of the paper's Section 5.
+func Explain(rel *relation.Relation, cfd *core.CFD, form sqlgen.Form) (string, error) {
+	opts := sqlgen.Default(form)
+	tab, err := sqlgen.TableauRelation(cfd, "T1", opts)
+	if err != nil {
+		return "", err
+	}
+	db := sqlmini.NewDB()
+	db.RegisterRelation(DataTable, rel)
+	db.RegisterRelation("T1", tab)
+
+	qc, err := sqlgen.QC(cfd, DataTable, "T1", opts)
+	if err != nil {
+		return "", err
+	}
+	qv, err := sqlgen.QV(cfd, DataTable, "T1", opts)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- QC (%s)\n", form)
+	planQC, err := db.Explain(qc)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(planQC)
+	fmt.Fprintf(&b, "-- QV (%s)\n", form)
+	planQV, err := db.Explain(qv)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(planQV)
+	return b.String(), nil
+}

@@ -1,0 +1,49 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlgen"
+)
+
+// TestExplainShowsOptimizerEffect is the paper's CNF-vs-DNF finding as a
+// functional assertion on generated detection queries: the CNF pair plans
+// nested loops, the DNF pair plans hash joins wherever a disjunct carries
+// an equality conjunct.
+func TestExplainShowsOptimizerEffect(t *testing.T) {
+	rel := custRelation()
+	phi2 := figure2CFDs()[1] // [CC,AC,PN] → [STR,CT,ZIP], 3 pattern rows
+
+	cnf, err := Explain(rel, phi2, sqlgen.CNF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cnf, "nested loop tp") {
+		t.Errorf("CNF detection must plan nested loops:\n%s", cnf)
+	}
+	if strings.Contains(cnf, "hash join") {
+		t.Errorf("CNF detection must not find join keys:\n%s", cnf)
+	}
+
+	dnf, err := Explain(rel, phi2, sqlgen.DNF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QC expands to 2^3 X-choices × 3 Y attributes = 24 disjuncts; QV to
+	// 2^3 = 8. The all-wildcard X-choice has no equality conjunct and
+	// legitimately nested-loops (3 occurrences in QC — one per Y — and 1
+	// in QV); every other disjunct must hash join.
+	if !strings.Contains(dnf, "DNF, 24 disjuncts") {
+		t.Errorf("QC DNF should expand to 24 disjuncts:\n%s", dnf)
+	}
+	if !strings.Contains(dnf, "DNF, 8 disjuncts") {
+		t.Errorf("QV DNF should expand to 8 disjuncts:\n%s", dnf)
+	}
+	if n := strings.Count(dnf, "hash join tp"); n != 21+7 {
+		t.Errorf("DNF should hash join in 28 disjuncts, got %d:\n%s", n, dnf)
+	}
+	if n := strings.Count(dnf, "nested loop tp"); n != 3+1 {
+		t.Errorf("DNF should nested-loop only the 4 keyless disjuncts, got %d:\n%s", n, dnf)
+	}
+}

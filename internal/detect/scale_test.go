@@ -1,0 +1,95 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/sqlgen"
+)
+
+// TestScaleCrossCheck runs the paper-scale workload (50K tuples, three
+// Section 5 CFD families with 500-pattern tableaux, 5% noise) through the
+// direct detector and both SQL forms, asserting identical results. Gated
+// behind -short because it takes a couple of seconds.
+func TestScaleCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	data := gen.GenerateTax(gen.TaxConfig{Size: 50000, Noise: 0.05, Seed: 17})
+	var sigma []*core.CFD
+	for i, tpl := range []gen.Template{gen.ZipToState, gen.ZipCityToState, gen.StateSalaryToTax} {
+		cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+			Template: tpl, TabSize: 500, ConstPct: 0.8, Seed: int64(20 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma = append(sigma, cfd)
+	}
+	data.Clean = nil // release
+
+	direct, err := Detect(data.Dirty, sigma, Options{Strategy: Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 5% noise some CFD must be violated.
+	if direct.Clean() {
+		t.Fatal("expected violations at 5% noise")
+	}
+	for _, opts := range []Options{
+		{Strategy: SQLPerCFD, Form: sqlgen.DNF},
+		{Strategy: SQLMerged, Form: sqlgen.CNF},
+	} {
+		res, err := Detect(data.Dirty, sigma, opts)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", opts.Strategy, opts.Form, err)
+		}
+		if !direct.Equal(res) {
+			for i := range direct.PerCFD {
+				t.Logf("CFD %d: direct const=%d keys=%d vs %v const=%d keys=%d",
+					i, len(direct.PerCFD[i].ConstTuples), len(direct.PerCFD[i].VariableKeys),
+					opts.Strategy, len(res.PerCFD[i].ConstTuples), len(res.PerCFD[i].VariableKeys))
+			}
+			t.Fatalf("%v/%v disagrees with the direct detector at scale", opts.Strategy, opts.Form)
+		}
+	}
+}
+
+// TestFig9fWorkloadGroundTruth: with the full zip→state tableau and no
+// noise nothing is flagged; at 5% noise exactly the tuples whose ST or
+// ZIP was corrupted (or their group partners) show up.
+func TestFig9fWorkloadGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	cfd := gen.AllZipStateCFD(gen.NumZips)
+	clean := gen.GenerateTax(gen.TaxConfig{Size: 20000, Noise: 0, Seed: 18})
+	res, err := Detect(clean.Dirty, []*core.CFD{cfd}, Options{Strategy: Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Error("clean data flagged by the full zip→state tableau")
+	}
+	noisy := gen.GenerateTax(gen.TaxConfig{Size: 20000, Noise: 0.05, Seed: 18})
+	res, err = Detect(noisy.Dirty, []*core.CFD{cfd}, Options{Strategy: Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every const violation must be a tuple whose ST was corrupted.
+	corrupted := make(map[int]bool)
+	for _, ch := range noisy.Changes {
+		if ch.Attr == "ST" {
+			corrupted[ch.Row] = true
+		}
+	}
+	for _, tu := range res.PerCFD[0].ConstTuples {
+		if !corrupted[tu] {
+			t.Errorf("tuple %d flagged but its ST was not corrupted", tu)
+		}
+	}
+	if len(res.PerCFD[0].ConstTuples) == 0 {
+		t.Error("no const violations despite ST corruption")
+	}
+}

@@ -1,0 +1,271 @@
+// Package discovery implements automated CFD discovery from data — the
+// future-work item of the paper's Section 7 ("we are developing automated
+// methods for discovering CFDs"), in the style the follow-up literature
+// later standardized (constant-pattern mining à la CFDMiner plus
+// FD-style candidate search).
+//
+// For every candidate embedded FD X → A with |X| ≤ MaxLHS the miner:
+//
+//  1. emits the all-wildcard CFD when the FD holds on the whole instance
+//     (with classic minimality pruning: X is not emitted when some proper
+//     subset already determines A);
+//  2. otherwise mines constant patterns: X-groups of at least MinSupport
+//     tuples whose A-values agree with confidence ≥ MinConfidence become
+//     pattern tuples (x̄ → a), merged into one CFD per embedded FD.
+//
+// Discovered CFDs with MinConfidence = 1 are guaranteed to hold on the
+// input instance (property-tested). The search is exponential in MaxLHS
+// only, matching the fixed-schema regime of the paper's analyses.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Config tunes the miner.
+type Config struct {
+	// MaxLHS bounds the LHS size of candidate FDs (default 1).
+	MaxLHS int
+	// MinSupport is the minimum number of tuples an X-group needs before
+	// it may yield a constant pattern (default 2, so single-tuple groups
+	// never generalize).
+	MinSupport int
+	// MinConfidence is the fraction of a group's tuples that must agree
+	// on the RHS value (default 1: exact CFDs only).
+	MinConfidence float64
+	// MaxPatterns caps the tableau size per embedded FD, keeping the most
+	// supported patterns (0 = unlimited).
+	MaxPatterns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLHS <= 0 {
+		c.MaxLHS = 1
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 2
+	}
+	if c.MinConfidence <= 0 {
+		c.MinConfidence = 1
+	}
+	return c
+}
+
+// Discovered is one mined CFD with its mining metadata.
+type Discovered struct {
+	CFD *core.CFD
+	// IsFD reports that the CFD is an all-wildcard (standard FD) find.
+	IsFD bool
+	// Support holds, per tableau row, the number of matching tuples.
+	Support []int
+}
+
+// Discover mines CFDs from the instance.
+func Discover(rel *relation.Relation, cfg Config) ([]Discovered, error) {
+	cfg = cfg.withDefaults()
+	if rel.Len() == 0 {
+		return nil, fmt.Errorf("discovery: empty instance")
+	}
+	attrs := rel.Schema.Names()
+	var out []Discovered
+
+	// holdsAsFD[key] records embedded FDs that hold globally, for
+	// minimality pruning of supersets.
+	holdsAsFD := make(map[string]bool)
+	fdKey := func(x []string, a string) string {
+		return relation.EncodeKey(append(append([]relation.Value{}, x...), "->", a))
+	}
+
+	subsets := subsetsUpTo(attrs, cfg.MaxLHS)
+	for _, a := range attrs {
+		for _, x := range subsets {
+			if contains(x, a) {
+				continue
+			}
+			// Minimality pruning: if any proper subset of X already
+			// determines A, skip (the subset FD implies this one).
+			if prunedBySubset(x, a, holdsAsFD, fdKey) {
+				continue
+			}
+			d, isFD, err := mineOne(rel, x, a, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if isFD {
+				holdsAsFD[fdKey(x, a)] = true
+			}
+			if d != nil {
+				out = append(out, *d)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CFDs extracts just the constraint list.
+func CFDs(ds []Discovered) []*core.CFD {
+	out := make([]*core.CFD, len(ds))
+	for i, d := range ds {
+		out[i] = d.CFD
+	}
+	return out
+}
+
+func mineOne(rel *relation.Relation, x []string, a string, cfg Config) (*Discovered, bool, error) {
+	xIdx, err := rel.Schema.Indexes(x)
+	if err != nil {
+		return nil, false, err
+	}
+	aIdx := rel.Schema.MustIndex(a)
+
+	type group struct {
+		key    []relation.Value
+		counts map[relation.Value]int
+		total  int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for row := range rel.Tuples {
+		kv := rel.Project(row, xIdx)
+		k := relation.EncodeKey(kv)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: kv, counts: make(map[relation.Value]int)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.counts[rel.Tuples[row][aIdx]]++
+		g.total++
+	}
+
+	// Does the FD hold globally? Evidence counts the tuples in
+	// non-singleton groups — the tuples that actually TEST the FD. An FD
+	// over a near-unique LHS (say, phone numbers) holds vacuously and
+	// would pollute the output, so it is only emitted when evidence
+	// reaches MinSupport (it still participates in minimality pruning:
+	// supersets of a vacuous key are more vacuous yet).
+	isFD := true
+	evidence := 0
+	for _, k := range order {
+		g := groups[k]
+		if len(g.counts) > 1 {
+			isFD = false
+			break
+		}
+		if g.total >= 2 {
+			evidence += g.total
+		}
+	}
+	if isFD {
+		if evidence < cfg.MinSupport {
+			return nil, true, nil
+		}
+		row := core.PatternRow{X: make([]core.Pattern, len(x)), Y: []core.Pattern{core.W()}}
+		for i := range row.X {
+			row.X[i] = core.W()
+		}
+		cfd, err := core.NewCFD(x, []string{a}, row)
+		if err != nil {
+			return nil, false, err
+		}
+		return &Discovered{CFD: cfd, IsFD: true, Support: []int{evidence}}, true, nil
+	}
+
+	// Mine constant patterns from supported, (near-)pure groups.
+	type cand struct {
+		row     core.PatternRow
+		support int
+	}
+	var cands []cand
+	for _, k := range order {
+		g := groups[k]
+		if g.total < cfg.MinSupport {
+			continue
+		}
+		bestVal, bestN := relation.Value(""), 0
+		for v, n := range g.counts {
+			if n > bestN || (n == bestN && v < bestVal) {
+				bestVal, bestN = v, n
+			}
+		}
+		if float64(bestN)/float64(g.total) < cfg.MinConfidence {
+			continue
+		}
+		row := core.PatternRow{X: make([]core.Pattern, len(x)), Y: []core.Pattern{core.C(bestVal)}}
+		for i := range row.X {
+			row.X[i] = core.C(g.key[i])
+		}
+		cands = append(cands, cand{row: row, support: g.total})
+	}
+	if len(cands) == 0 {
+		return nil, false, nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].support > cands[j].support })
+	if cfg.MaxPatterns > 0 && len(cands) > cfg.MaxPatterns {
+		cands = cands[:cfg.MaxPatterns]
+	}
+	rows := make([]core.PatternRow, len(cands))
+	support := make([]int, len(cands))
+	for i, c := range cands {
+		rows[i] = c.row
+		support[i] = c.support
+	}
+	cfd, err := core.NewCFD(x, []string{a}, rows...)
+	if err != nil {
+		return nil, false, err
+	}
+	return &Discovered{CFD: cfd, Support: support}, false, nil
+}
+
+// subsetsUpTo enumerates nonempty subsets of attrs with size ≤ k, smaller
+// sizes first (so minimality pruning sees subsets before supersets).
+func subsetsUpTo(attrs []string, k int) [][]string {
+	var out [][]string
+	var build func(start int, cur []string)
+	for size := 1; size <= k && size <= len(attrs); size++ {
+		build = func(start int, cur []string) {
+			if len(cur) == size {
+				out = append(out, append([]string(nil), cur...))
+				return
+			}
+			for i := start; i < len(attrs); i++ {
+				build(i+1, append(cur, attrs[i]))
+			}
+		}
+		build(0, nil)
+	}
+	return out
+}
+
+func contains(xs []string, a string) bool {
+	for _, x := range xs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func prunedBySubset(x []string, a string, holds map[string]bool, key func([]string, string) string) bool {
+	if len(x) <= 1 {
+		return false
+	}
+	// Check all (|X|-1)-subsets; transitivity covers smaller ones because
+	// they were visited first.
+	for drop := range x {
+		sub := make([]string, 0, len(x)-1)
+		for i, v := range x {
+			if i != drop {
+				sub = append(sub, v)
+			}
+		}
+		if holds[key(sub, a)] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+func findBy(ds []Discovered, lhs, rhs string) *Discovered {
+	for i := range ds {
+		if strings.Join(ds[i].CFD.LHS, ",") == lhs && strings.Join(ds[i].CFD.RHS, ",") == rhs {
+			return &ds[i]
+		}
+	}
+	return nil
+}
+
+// TestDiscoverFindsFDs: on clean tax data, zip→state and areacode→state
+// hold globally and are discovered as all-wildcard CFDs.
+func TestDiscoverFindsFDs(t *testing.T) {
+	data := gen.GenerateTax(gen.TaxConfig{Size: 1500, Noise: 0, Seed: 1})
+	ds, err := Discover(data.Clean, Config{MaxLHS: 1, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipST := findBy(ds, "ZIP", "ST")
+	if zipST == nil || !zipST.IsFD {
+		t.Errorf("ZIP → ST should be discovered as an FD; got %+v", zipST)
+	}
+	acST := findBy(ds, "AC", "ST")
+	if acST == nil || !acST.IsFD {
+		t.Errorf("AC → ST should be discovered as an FD; got %+v", acST)
+	}
+	ctST := findBy(ds, "CT", "ST")
+	if ctST == nil || !ctST.IsFD {
+		t.Errorf("CT → ST should be discovered as an FD (cities are state-unique); got %+v", ctST)
+	}
+	// ST does NOT determine CT (many cities per state).
+	if d := findBy(ds, "ST", "CT"); d != nil && d.IsFD {
+		t.Error("ST → CT must not be a global FD")
+	}
+}
+
+// TestDiscoverFindsConditionalPatterns: when the FD is broken for part of
+// the data, constant patterns are mined for the part where it holds.
+func TestDiscoverFindsConditionalPatterns(t *testing.T) {
+	schema := relation.MustSchema("R", relation.Attr("AC"), relation.Attr("CT"))
+	rel := relation.New(schema)
+	// 908 always maps to MH (4 supporting tuples); 212 is ambiguous.
+	for i := 0; i < 4; i++ {
+		rel.MustInsert("908", "MH")
+	}
+	rel.MustInsert("212", "NYC")
+	rel.MustInsert("212", "LA")
+	ds, err := Discover(rel, Config{MaxLHS: 1, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := findBy(ds, "AC", "CT")
+	if d == nil {
+		t.Fatal("no AC → CT constraint discovered")
+	}
+	if d.IsFD {
+		t.Fatal("AC → CT does not hold globally")
+	}
+	if len(d.CFD.Tableau) != 1 {
+		t.Fatalf("tableau = %v, want just the 908 pattern", d.CFD.Tableau)
+	}
+	row := d.CFD.Tableau[0]
+	if row.X[0] != core.C("908") || row.Y[0] != core.C("MH") {
+		t.Errorf("pattern = %v, want (908 ‖ MH)", row)
+	}
+	if d.Support[0] != 4 {
+		t.Errorf("support = %d, want 4", d.Support[0])
+	}
+}
+
+// TestDiscoveredExactCFDsHold (property): with MinConfidence = 1, every
+// discovered CFD holds on the mined instance — on noisy data too.
+func TestDiscoveredExactCFDsHold(t *testing.T) {
+	data := gen.GenerateTax(gen.TaxConfig{Size: 600, Noise: 0.05, Seed: 2})
+	ds, err := Discover(data.Dirty, Config{MaxLHS: 2, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	for _, d := range ds {
+		ok, err := core.Satisfies(data.Dirty, d.CFD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("discovered CFD does not hold:\n%s", d.CFD)
+		}
+	}
+}
+
+// TestMinimalityPruning: when X → A holds, [X,B] → A is not emitted.
+func TestMinimalityPruning(t *testing.T) {
+	data := gen.GenerateTax(gen.TaxConfig{Size: 800, Noise: 0, Seed: 3})
+	ds, err := Discover(data.Clean, Config{MaxLHS: 2, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ZIP → ST holds, so ZIP,CT → ST (and any ZIP,٭ → ST) must be pruned.
+	for _, d := range ds {
+		if d.CFD.RHS[0] == "ST" && len(d.CFD.LHS) == 2 && contains(d.CFD.LHS, "ZIP") {
+			t.Errorf("non-minimal FD emitted: %v -> ST", d.CFD.LHS)
+		}
+	}
+}
+
+// TestMinConfidenceApproximate: lowering confidence mines patterns whose
+// dominant value covers most (not all) of a group.
+func TestMinConfidenceApproximate(t *testing.T) {
+	schema := relation.MustSchema("R", relation.Attr("Z"), relation.Attr("S"))
+	rel := relation.New(schema)
+	for i := 0; i < 9; i++ {
+		rel.MustInsert("07974", "NJ")
+	}
+	rel.MustInsert("07974", "IL") // one dirty tuple
+	exact, err := Discover(rel, Config{MaxLHS: 1, MinSupport: 2, MinConfidence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := findBy(exact, "Z", "S"); d != nil {
+		t.Errorf("exact mining should find nothing for Z → S, got %v", d.CFD)
+	}
+	approx, err := Discover(rel, Config{MaxLHS: 1, MinSupport: 2, MinConfidence: 0.85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := findBy(approx, "Z", "S")
+	if d == nil || len(d.CFD.Tableau) != 1 || d.CFD.Tableau[0].Y[0] != core.C("NJ") {
+		t.Errorf("approximate mining should recover (07974 ‖ NJ), got %+v", d)
+	}
+}
+
+// TestMaxPatternsCap: the tableau is capped at the most supported rows.
+func TestMaxPatternsCap(t *testing.T) {
+	schema := relation.MustSchema("R", relation.Attr("Z"), relation.Attr("S"))
+	rel := relation.New(schema)
+	// Three pure groups of decreasing support, one impure group (so the
+	// FD does not hold globally and patterns are mined).
+	for i := 0; i < 5; i++ {
+		rel.MustInsert("z1", "s1")
+	}
+	for i := 0; i < 3; i++ {
+		rel.MustInsert("z2", "s2")
+	}
+	for i := 0; i < 2; i++ {
+		rel.MustInsert("z3", "s3")
+	}
+	rel.MustInsert("z4", "a")
+	rel.MustInsert("z4", "b")
+	ds, err := Discover(rel, Config{MaxLHS: 1, MinSupport: 2, MaxPatterns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := findBy(ds, "Z", "S")
+	if d == nil {
+		t.Fatal("nothing mined")
+	}
+	if len(d.CFD.Tableau) != 2 {
+		t.Fatalf("tableau = %d rows, want capped 2", len(d.CFD.Tableau))
+	}
+	if d.Support[0] != 5 || d.Support[1] != 3 {
+		t.Errorf("kept supports %v, want [5 3]", d.Support)
+	}
+}
+
+func TestDiscoverEmptyInstance(t *testing.T) {
+	rel := relation.New(relation.MustSchema("R", relation.Attr("A")))
+	if _, err := Discover(rel, Config{}); err == nil {
+		t.Error("empty instance must be rejected")
+	}
+}
+
+// TestDiscoverThenDetectRoundTrip: constraints mined from clean data
+// detect exactly the noise when applied to the dirty version.
+func TestDiscoverThenDetectRoundTrip(t *testing.T) {
+	data := gen.GenerateTax(gen.TaxConfig{Size: 1000, Noise: 0.05, Seed: 4})
+	ds, err := Discover(data.Clean, Config{MaxLHS: 1, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fds []*core.CFD
+	for _, d := range ds {
+		if d.IsFD {
+			fds = append(fds, d.CFD)
+		}
+	}
+	if len(fds) == 0 {
+		t.Fatal("no FDs mined from clean data")
+	}
+	cleanOK, err := core.SatisfiesSet(data.Clean, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cleanOK {
+		t.Fatal("mined FDs must hold on the clean instance")
+	}
+	dirtyOK, err := core.SatisfiesSet(data.Dirty, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirtyOK {
+		t.Error("mined FDs should flag the injected noise")
+	}
+}

@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// TaxConfig are the data knobs of Section 5: SZ (tuple count) and NOISE
+// (probability that a tuple gets one RHS attribute corrupted).
+type TaxConfig struct {
+	Size  int
+	Noise float64
+	Seed  int64
+}
+
+// CellChange records one injected error (the ground truth for repair
+// experiments).
+type CellChange struct {
+	Row  int
+	Attr string
+	From relation.Value
+	To   relation.Value
+}
+
+// TaxData is a generated workload: the clean instance, the noisy instance
+// actually handed to detection, and the injected changes.
+type TaxData struct {
+	Clean   *relation.Relation
+	Dirty   *relation.Relation
+	Changes []CellChange
+}
+
+// corruptibleAttrs are the attributes noise may hit — RHS attributes of
+// the workload CFDs, as in the paper ("with probability NOISE, an
+// attribute on the RHS of a CFD is changed from a correct to incorrect
+// value").
+var corruptibleAttrs = []string{"ST", "CT", "TX", "EXS", "EXM", "EXC", "STR"}
+
+// GenerateTax builds a tax-records workload. Generation is deterministic
+// in the seed.
+func GenerateTax(cfg TaxConfig) *TaxData {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := TaxSchema()
+	clean := relation.New(schema)
+	states := States()
+
+	for i := 0; i < cfg.Size; i++ {
+		s := &states[rng.Intn(len(states))]
+		zipIdx := s.ZipLo + rng.Intn(s.ZipHi-s.ZipLo)
+		bracket := rng.Intn(len(SalaryBrackets))
+		mr := "S"
+		if rng.Intn(2) == 1 {
+			mr = "M"
+		}
+		ch := "N"
+		if rng.Intn(2) == 1 {
+			ch = "Y"
+		}
+		exs, exm := "0", "0"
+		if mr == "S" {
+			exs = s.ExSingle
+		} else {
+			exm = s.ExMarried
+		}
+		exc := "0"
+		if ch == "Y" {
+			exc = s.ExChild
+		}
+		t := relation.Tuple{
+			"01",                                    // CC
+			s.AreaCodes[rng.Intn(len(s.AreaCodes))], // AC
+			fmt.Sprintf("%07d", rng.Intn(10000000)), // PN
+			firstNames[rng.Intn(len(firstNames))],   // NM
+			fmt.Sprintf("%d %s", 1+rng.Intn(999), streetStems[rng.Intn(len(streetStems))]), // STR
+			s.Cities[rng.Intn(len(s.Cities))],                                              // CT
+			Zip(zipIdx),                                                                    // ZIP
+			s.Code,                                                                         // ST
+			mr,                                                                             // MR
+			ch,                                                                             // CH
+			SalaryBrackets[bracket],                                                        // SA
+			s.Rates[bracket],                                                               // TX
+			exs,                                                                            // EXS
+			exm,                                                                            // EXM
+			exc,                                                                            // EXC
+		}
+		if err := clean.Insert(t); err != nil {
+			panic(fmt.Sprintf("gen: internal: %v", err)) // generator bug, not user error
+		}
+	}
+
+	dirty := clean.Clone()
+	data := &TaxData{Clean: clean, Dirty: dirty}
+	for row := range dirty.Tuples {
+		if rng.Float64() >= cfg.Noise {
+			continue
+		}
+		attr := corruptibleAttrs[rng.Intn(len(corruptibleAttrs))]
+		col := schema.MustIndex(attr)
+		from := dirty.Tuples[row][col]
+		to := corruptValue(rng, attr, from)
+		if to == from {
+			continue
+		}
+		dirty.Tuples[row][col] = to
+		data.Changes = append(data.Changes, CellChange{Row: row, Attr: attr, From: from, To: to})
+	}
+	return data
+}
+
+// corruptValue picks a DIFFERENT but well-formed value for the attribute —
+// the paper's "changed from a correct to incorrect value (e.g., a tax
+// record for a NYC resident with a Chicago area code)".
+func corruptValue(rng *rand.Rand, attr string, from relation.Value) relation.Value {
+	states := States()
+	for tries := 0; tries < 10; tries++ {
+		s := &states[rng.Intn(len(states))]
+		var v relation.Value
+		switch attr {
+		case "ST":
+			v = s.Code
+		case "CT":
+			v = s.Cities[rng.Intn(len(s.Cities))]
+		case "TX":
+			v = s.Rates[rng.Intn(len(s.Rates))]
+		case "EXS":
+			v = s.ExSingle
+		case "EXM":
+			v = s.ExMarried
+		case "EXC":
+			v = s.ExChild
+		case "STR":
+			v = fmt.Sprintf("%d %s", 1+rng.Intn(999), streetStems[rng.Intn(len(streetStems))])
+		default:
+			return from
+		}
+		if v != from {
+			return v
+		}
+	}
+	return from
+}

@@ -1,0 +1,171 @@
+// Package gen generates the paper's experimental workload (Section 5
+// "Setup"): a tax-records relation over real-life-shaped reference data
+// (states, zip ranges, area codes, cities, bracketed tax rates and
+// exemptions), a tunable noise process, and the CFD workload knobs
+// NUMATTRs, TABSZ and NUMCONSTs.
+//
+// The reference data is synthetic but structurally faithful (see DESIGN.md
+// substitutions): every state owns a disjoint zip range and area-code
+// block, city names are unique to their state, and tax rates are a
+// function of (state, salary bracket) — so the paper's constraints
+// ("zip codes determine states", "states and salary brackets determine tax
+// rates", …) hold exactly on clean data.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// ZipsPerState is the number of zip codes owned by each state; with 50
+// states the zip universe has exactly 30K elements, matching the paper's
+// TABSZ=30K "all possible zip to state pairs" experiment (Figure 9(f)).
+const ZipsPerState = 600
+
+// NumStates is the number of US states in the reference data.
+const NumStates = 50
+
+// NumZips is the total zip universe size (30,000).
+const NumZips = NumStates * ZipsPerState
+
+// AreaCodesPerState is the number of area codes owned by each state.
+const AreaCodesPerState = 4
+
+// CitiesPerState is the number of cities listed for each state.
+const CitiesPerState = 8
+
+// SalaryBrackets are the categorical salary values the generator draws
+// from — the paper's "salary brackets" (tax rates depend on state AND
+// bracket).
+var SalaryBrackets = []relation.Value{"15000", "35000", "75000", "150000"}
+
+var stateCodes = []string{
+	"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+	"HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+	"MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+	"NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+	"SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+}
+
+var cityStems = []string{
+	"Springfield", "Riverton", "Fairview", "Georgetown", "Madison",
+	"Clinton", "Arlington", "Ashland", "Dover", "Hudson",
+	"Kingston", "Milton", "Newport", "Oxford", "Salem", "Winchester",
+}
+
+var firstNames = []string{
+	"Mike", "Rick", "Joe", "Jim", "Ben", "Ian", "Ann", "Sue",
+	"Tom", "Kim", "Lee", "Max", "Eva", "Roy", "Amy", "Sam",
+}
+
+var streetStems = []string{
+	"Tree Ave.", "Elm Str.", "Oak Ave.", "High St.", "Main St.",
+	"Lake Rd.", "Hill Blvd.", "Park Ln.", "Mill Rd.", "Bay St.",
+}
+
+// State is one state's reference record.
+type State struct {
+	Code      string
+	Cities    []string
+	AreaCodes []string
+	ZipLo     int // inclusive index into the global zip universe
+	ZipHi     int // exclusive
+	// Rates[b] is the tax rate for salary bracket b, as a decimal string.
+	Rates [4]relation.Value
+	// Exemptions, keyed by marital status and dependents.
+	ExSingle  relation.Value
+	ExMarried relation.Value
+	ExChild   relation.Value
+}
+
+var statesCache []State
+
+// States returns the 50-state reference table (built once).
+func States() []State {
+	if statesCache != nil {
+		return statesCache
+	}
+	out := make([]State, NumStates)
+	for i := range out {
+		s := &out[i]
+		s.Code = stateCodes[i]
+		s.ZipLo = i * ZipsPerState
+		s.ZipHi = (i + 1) * ZipsPerState
+		for c := 0; c < CitiesPerState; c++ {
+			// City names are unique per state, so [CT] → [ST] holds on the
+			// reference universe (many real states share city names; see
+			// DESIGN.md for why this simplification preserves the
+			// experiments).
+			s.Cities = append(s.Cities, fmt.Sprintf("%s %s", cityStems[(i+c)%len(cityStems)], s.Code))
+		}
+		for a := 0; a < AreaCodesPerState; a++ {
+			s.AreaCodes = append(s.AreaCodes, fmt.Sprintf("%03d", 200+i*AreaCodesPerState+a))
+		}
+		for b := range s.Rates {
+			// Rate grows with the bracket and varies by state.
+			rate := 20*(b+1) + (i % 10)
+			s.Rates[b] = fmt.Sprintf("%d.%d", rate/10, rate%10)
+		}
+		s.ExSingle = fmt.Sprintf("%d", 1000+i*50)
+		s.ExMarried = fmt.Sprintf("%d", 2000+i*80)
+		s.ExChild = fmt.Sprintf("%d", 500+i*20)
+	}
+	statesCache = out
+	return statesCache
+}
+
+// Zip formats the i-th zip of the universe.
+func Zip(i int) relation.Value {
+	return fmt.Sprintf("%05d", 10000+i)
+}
+
+// ZipState returns the state owning the i-th zip.
+func ZipState(i int) *State {
+	st := States()
+	return &st[i/ZipsPerState]
+}
+
+// StateByCode returns the state with the given code, or nil.
+func StateByCode(code string) *State {
+	st := States()
+	for i := range st {
+		if st[i].Code == code {
+			return &st[i]
+		}
+	}
+	return nil
+}
+
+// BracketIndex maps a salary value to its bracket index, or -1.
+func BracketIndex(sa relation.Value) int {
+	for i, b := range SalaryBrackets {
+		if b == sa {
+			return i
+		}
+	}
+	return -1
+}
+
+// TaxSchema is the 15-attribute tax-records schema of Section 5: the cust
+// attributes of Figure 1 plus state, marital status, dependents, salary,
+// tax rate and the three exemption attributes.
+func TaxSchema() *relation.Schema {
+	return relation.MustSchema("taxrecords",
+		relation.Attr("CC"),
+		relation.Attr("AC"),
+		relation.Attr("PN"),
+		relation.Attr("NM"),
+		relation.Attr("STR"),
+		relation.Attr("CT"),
+		relation.Attr("ZIP"),
+		relation.Attr("ST"),
+		relation.Attribute{Name: "MR", Domain: relation.Enum("marital", "S", "M")},
+		relation.Attribute{Name: "CH", Domain: relation.Enum("dependents", "N", "Y")},
+		relation.Attr("SA"),
+		relation.Attr("TX"),
+		relation.Attr("EXS"),
+		relation.Attr("EXM"),
+		relation.Attr("EXC"),
+	)
+}

@@ -1,0 +1,58 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// ReadCSV loads a relation from CSV. The first record is the header and
+// becomes the schema's attribute names (all with unbounded domains).
+func ReadCSV(r io.Reader, schemaName string) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	attrs := make([]Attribute, len(header))
+	for i, h := range header {
+		attrs[i] = Attr(h)
+	}
+	schema, err := NewSchema(schemaName, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: CSV line %d: expected %d fields, got %d", line, len(header), len(rec))
+		}
+		if err := rel.Insert(Tuple(rec)); err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation as CSV with a header row.
+func WriteCSV(w io.Writer, rel *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Schema.Names()); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	for _, t := range rel.Tuples {
+		if err := cw.Write([]string(t)); err != nil {
+			return fmt.Errorf("relation: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,56 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New(MustSchema("cust", Attr("CC"), Attr("CT")))
+	r.MustInsert("01", "NYC")
+	r.MustInsert("44", "New, York") // embedded comma forces quoting
+	r.MustInsert("01", `say "hi"`)  // embedded quotes
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != r.Len() {
+		t.Fatalf("round trip lost rows: %d vs %d", back.Len(), r.Len())
+	}
+	for i := range r.Tuples {
+		if !back.Tuples[i].Equal(r.Tuples[i]) {
+			t.Errorf("row %d: %v != %v", i, back.Tuples[i], r.Tuples[i])
+		}
+	}
+	if got := back.Schema.Names(); got[0] != "CC" || got[1] != "CT" {
+		t.Errorf("header round trip: %v", got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "R"); err == nil {
+		t.Error("empty input must fail (no header)")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,A\n1,2\n"), "R"); err == nil {
+		t.Error("duplicate header columns must fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\n1\n"), "R"); err == nil {
+		t.Error("short rows must fail")
+	}
+}
+
+func TestReadCSVEmptyRelation(t *testing.T) {
+	r, err := ReadCSV(strings.NewReader("A,B\n"), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
+}

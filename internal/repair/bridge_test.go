@@ -1,0 +1,162 @@
+package repair
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/relation"
+)
+
+// Regression tests for the proposal-based planner. The earlier union-find
+// planner mass-flipped whole groups when a "bridge" tuple (one corrupted
+// cell placing it in two contradictory groups) connected them, and then
+// ejected stuck tuples one per pass — thousands of changes, no
+// convergence. These tests pin down the fixed behaviour.
+
+// TestBridgeTupleConverges: two FDs sharing the RHS attribute MR, with a
+// bridge tuple whose EXS was corrupted — it sits in a singles group by
+// EXM and a marrieds group by EXS. The repair must converge quickly and
+// must not rewrite the (large) majority groups.
+func TestBridgeTupleConverges(t *testing.T) {
+	schema := relation.MustSchema("R",
+		relation.Attr("EXS"), relation.Attr("EXM"), relation.Attr("MR"))
+	rel := relation.New(schema)
+	// 20 clean singles of state 1: EXS=1000, EXM=0, MR=S.
+	for i := 0; i < 20; i++ {
+		rel.MustInsert("1000", "0", "S")
+	}
+	// 20 clean marrieds of state 1: EXS=0, EXM=2000, MR=M.
+	for i := 0; i < 20; i++ {
+		rel.MustInsert("0", "2000", "M")
+	}
+	// The bridge: a married tuple whose EXM was corrupted to a single's
+	// exemption-shaped value — wait, the bridge arises when EXS of a
+	// single is corrupted to a nonzero value of the marrieds' EXS group.
+	// Here: a married (EXS=0) whose EXS got the singles' 1000.
+	rel.MustInsert("1000", "2000", "M")
+
+	sigma := []*core.CFD{
+		core.MustCFD([]string{"EXS"}, []string{"MR"},
+			core.PatternRow{X: []core.Pattern{core.W()}, Y: []core.Pattern{core.W()}}),
+		core.MustCFD([]string{"EXM"}, []string{"MR"},
+			core.PatternRow{X: []core.Pattern{core.W()}, Y: []core.Pattern{core.W()}}),
+	}
+	res, err := Repair(rel, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("bridge repair must converge; %d changes over %d passes", len(res.Changes), res.Passes)
+	}
+	// The 40 clean tuples must be untouched: only the bridge tuple may
+	// change (its MR flips during oscillation, then an LHS break ejects
+	// it from one group).
+	for row := 0; row < 40; row++ {
+		if !res.Repaired.Tuples[row].Equal(rel.Tuples[row]) {
+			t.Errorf("clean tuple %d was modified: %v -> %v", row, rel.Tuples[row], res.Repaired.Tuples[row])
+		}
+	}
+	if res.Cost > 3 {
+		t.Errorf("cost = %v; the fix should touch only the bridge tuple's cells", res.Cost)
+	}
+}
+
+// TestConflictingConstForces: two constant patterns force different
+// values onto the same cell — impossible to satisfy on the RHS, so the
+// repair must break an LHS match (and not thrash).
+func TestConflictingConstForces(t *testing.T) {
+	schema := relation.MustSchema("R",
+		relation.Attr("B"), relation.Attr("C"), relation.Attr("A"))
+	rel := relation.New(schema)
+	rel.MustInsert("b", "c", "x") // matches both patterns below
+	sigma := []*core.CFD{
+		core.MustCFD([]string{"B"}, []string{"A"},
+			core.PatternRow{X: []core.Pattern{core.C("b")}, Y: []core.Pattern{core.C("a1")}}),
+		core.MustCFD([]string{"C"}, []string{"A"},
+			core.PatternRow{X: []core.Pattern{core.C("c")}, Y: []core.Pattern{core.C("a2")}}),
+	}
+	// Σ is consistent (avoid B=b ∧ C=c co-occurrence), so Repair accepts it.
+	res, err := Repair(rel, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("conflicting forces must be resolved by LHS breaking; changes: %v", res.Changes)
+	}
+	// B or C must have been rewritten to a fresh value.
+	tup := res.Repaired.Tuples[0]
+	if tup[0] == "b" && tup[1] == "c" {
+		t.Errorf("tuple still matches both patterns: %v", tup)
+	}
+}
+
+// TestMixedConstAndVariable: a variable violation whose pattern binds a
+// constant targets the constant, not the majority.
+func TestMixedConstAndVariable(t *testing.T) {
+	schema := relation.MustSchema("R", relation.Attr("AC"), relation.Attr("CT"))
+	rel := relation.New(schema)
+	// Three tuples share AC=908; majority CT is NYC but the pattern
+	// demands MH.
+	rel.MustInsert("908", "NYC")
+	rel.MustInsert("908", "NYC")
+	rel.MustInsert("908", "MH")
+	sigma := []*core.CFD{core.MustCFD([]string{"AC"}, []string{"CT"},
+		core.PatternRow{X: []core.Pattern{core.C("908")}, Y: []core.Pattern{core.C("MH")}})}
+	res, err := Repair(rel, sigma, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatal("must converge")
+	}
+	for i := 0; i < 3; i++ {
+		if res.Repaired.Tuples[i][1] != "MH" {
+			t.Errorf("tuple %d CT = %q, want the pattern constant MH (not the majority)", i, res.Repaired.Tuples[i][1])
+		}
+	}
+}
+
+// TestRepairScalesOnDenseNoise: a heavier-noise workload still converges
+// within the pass budget.
+func TestRepairScalesOnDenseNoise(t *testing.T) {
+	data := gen.GenerateTax(gen.TaxConfig{Size: 1500, Noise: 0.15, Seed: 13})
+	res, err := Repair(data.Dirty, gen.SemanticCFDs(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Satisfied {
+		t.Fatalf("dense-noise repair failed after %d passes (%d changes)", res.Passes, len(res.Changes))
+	}
+}
+
+// TestBreakPrefersCheapLHS: with weighted costs, breaking picks the
+// cheaper constant LHS cell.
+func TestBreakPrefersCheapLHS(t *testing.T) {
+	schema := relation.MustSchema("R",
+		relation.Attr("B"), relation.Attr("C"), relation.Attr("A"))
+	r := &repairer{
+		orig: relation.New(schema),
+		work: relation.New(schema),
+		opts: Options{Cost: &CostModel{Weight: func(_ int, attr string) float64 {
+			if attr == "B" {
+				return 10
+			}
+			return 1
+		}}}.withDefaults(),
+		writes: make(map[int]int),
+	}
+	r.orig.MustInsert("b", "c", "x")
+	r.work.MustInsert("b", "c", "x")
+	r.breakMatch(breakReq{
+		row:   core.PatternRow{X: []core.Pattern{core.C("b"), core.C("c")}, Y: []core.Pattern{core.C("a")}},
+		tuple: 0,
+		lhs:   []string{"B", "C"},
+	})
+	if r.work.Tuples[0][0] != "b" {
+		t.Error("expensive B should not have been broken")
+	}
+	if r.work.Tuples[0][1] == "c" {
+		t.Error("cheap C should have been broken")
+	}
+}

@@ -1,0 +1,149 @@
+package sqldriver
+
+import (
+	"database/sql"
+	"testing"
+
+	"repro/internal/sqlmini"
+)
+
+func TestOpenCreatesCatalog(t *testing.T) {
+	handle, db, err := Open("t_open")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Close()
+	defer Unregister("t_open")
+	if db == nil {
+		t.Fatal("Open must return the backing catalog")
+	}
+	if _, err := handle.Exec(`create table a (x text)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Table("a"); !ok {
+		t.Error("table created through database/sql must be visible in the catalog")
+	}
+}
+
+func TestQueryThroughDatabaseSQL(t *testing.T) {
+	mini := sqlmini.NewDB()
+	if _, err := mini.Exec(`create table cust (CC text, CT text)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mini.Exec(`insert into cust values ('01','NYC'), ('44','EDI')`); err != nil {
+		t.Fatal(err)
+	}
+	Register("t_query", mini)
+	defer Unregister("t_query")
+
+	handle, err := sql.Open(DriverName, "t_query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Close()
+
+	rows, err := handle.Query(`select CT from cust t where t.CC = '44' order by CT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []string
+	for rows.Next() {
+		var ct string
+		if err := rows.Scan(&ct); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ct)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "EDI" {
+		t.Errorf("got %v, want [EDI]", got)
+	}
+}
+
+func TestExecRowsAffected(t *testing.T) {
+	handle, _, err := Open("t_exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Close()
+	defer Unregister("t_exec")
+	if _, err := handle.Exec(`create table a (x text)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := handle.Exec(`insert into a values ('1'), ('2'), ('3')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := res.RowsAffected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("RowsAffected = %d, want 3", n)
+	}
+}
+
+func TestPreparedStatement(t *testing.T) {
+	handle, _, err := Open("t_prep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Close()
+	defer Unregister("t_prep")
+	if _, err := handle.Exec(`create table a (x text)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := handle.Exec(`insert into a values ('7')`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := handle.Prepare(`select x from a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var x string
+	if err := st.QueryRow().Scan(&x); err != nil {
+		t.Fatal(err)
+	}
+	if x != "7" {
+		t.Errorf("x = %q", x)
+	}
+}
+
+func TestUnknownDSN(t *testing.T) {
+	handle, err := sql.Open(DriverName, "no_such_catalog")
+	if err != nil {
+		t.Fatal(err) // sql.Open is lazy; the error surfaces on first use
+	}
+	defer handle.Close()
+	if err := handle.Ping(); err == nil {
+		t.Error("using an unregistered DSN must fail")
+	}
+}
+
+func TestTransactionsUnsupported(t *testing.T) {
+	handle, _, err := Open("t_tx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Close()
+	defer Unregister("t_tx")
+	if _, err := handle.Begin(); err == nil {
+		t.Error("Begin must be rejected")
+	}
+}
+
+func TestQueryErrorsPropagate(t *testing.T) {
+	handle, _, err := Open("t_err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer handle.Close()
+	defer Unregister("t_err")
+	if _, err := handle.Query(`select x from missing`); err == nil {
+		t.Error("query errors must propagate through database/sql")
+	}
+}

@@ -1,0 +1,288 @@
+package sqlgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Merged is the Section 4.2 representation of a whole CFD set Σ as a single
+// pair of split, union-compatible tableaux: TXΣ over the union of all LHS
+// attributes and TYΣ over the union of all RHS attributes, linked by a
+// pattern-tuple id. Attributes outside a pattern's own embedded FD carry
+// the don't-care symbol '@'.
+type Merged struct {
+	// TX and TY are the split tableaux; both have "id" as their first
+	// column, then XAttrs (resp. YAttrs).
+	TX, TY *relation.Relation
+	// XAttrs and YAttrs are the attribute unions, in first-seen order.
+	XAttrs, YAttrs []string
+	// Rows maps pattern-tuple id → (CFD index in Σ, tableau row index),
+	// so detection output can be traced back to its originating CFD.
+	Rows []MergedRow
+}
+
+// MergedRow records the provenance of one merged pattern tuple.
+type MergedRow struct {
+	CFD int
+	Row int
+}
+
+// IDColumn is the tuple-id column linking TXΣ and TYΣ.
+const IDColumn = "id"
+
+// Merge builds the merged tableaux for Σ (Section 4.2.1). Every CFD's
+// tableau is split into X- and Y-parts, extended to the attribute unions
+// with '@', and stamped with a shared id.
+func Merge(sigma []*core.CFD, opts Options) (*Merged, error) {
+	opts = opts.withDefaults()
+	if len(sigma) == 0 {
+		return nil, fmt.Errorf("sqlgen: empty CFD set")
+	}
+	m := &Merged{}
+	seenX := make(map[string]bool)
+	seenY := make(map[string]bool)
+	for _, c := range sigma {
+		for _, a := range c.LHS {
+			if err := checkIdent(a); err != nil {
+				return nil, err
+			}
+			if !seenX[a] {
+				seenX[a] = true
+				m.XAttrs = append(m.XAttrs, a)
+			}
+		}
+		for _, a := range c.RHS {
+			if err := checkIdent(a); err != nil {
+				return nil, err
+			}
+			if !seenY[a] {
+				seenY[a] = true
+				m.YAttrs = append(m.YAttrs, a)
+			}
+		}
+	}
+	xAttrsSchema := []relation.Attribute{relation.Attr(IDColumn)}
+	for _, a := range m.XAttrs {
+		xAttrsSchema = append(xAttrsSchema, relation.Attr(a))
+	}
+	yAttrsSchema := []relation.Attribute{relation.Attr(IDColumn)}
+	for _, a := range m.YAttrs {
+		yAttrsSchema = append(yAttrsSchema, relation.Attr(a))
+	}
+	xSchema, err := relation.NewSchema("TX", xAttrsSchema...)
+	if err != nil {
+		return nil, err
+	}
+	ySchema, err := relation.NewSchema("TY", yAttrsSchema...)
+	if err != nil {
+		return nil, err
+	}
+	m.TX = relation.New(xSchema)
+	m.TY = relation.New(ySchema)
+
+	for ci, c := range sigma {
+		xPos := make(map[string]int, len(c.LHS))
+		for i, a := range c.LHS {
+			xPos[a] = i
+		}
+		yPos := make(map[string]int, len(c.RHS))
+		for i, a := range c.RHS {
+			yPos[a] = i
+		}
+		for ri, row := range c.Tableau {
+			id := strconv.Itoa(len(m.Rows))
+			xt := make(relation.Tuple, 0, 1+len(m.XAttrs))
+			xt = append(xt, id)
+			for _, a := range m.XAttrs {
+				if i, ok := xPos[a]; ok {
+					v, err := renderCell(row.X[i], opts)
+					if err != nil {
+						return nil, err
+					}
+					xt = append(xt, v)
+				} else {
+					xt = append(xt, opts.DontCare)
+				}
+			}
+			yt := make(relation.Tuple, 0, 1+len(m.YAttrs))
+			yt = append(yt, id)
+			for _, a := range m.YAttrs {
+				if i, ok := yPos[a]; ok {
+					v, err := renderCell(row.Y[i], opts)
+					if err != nil {
+						return nil, err
+					}
+					yt = append(yt, v)
+				} else {
+					yt = append(yt, opts.DontCare)
+				}
+			}
+			if err := m.TX.Insert(xt); err != nil {
+				return nil, err
+			}
+			if err := m.TY.Insert(yt); err != nil {
+				return nil, err
+			}
+			m.Rows = append(m.Rows, MergedRow{CFD: ci, Row: ri})
+		}
+	}
+	return m, nil
+}
+
+// mergedXMatch renders the '@'-aware match shorthand of Section 4.2.2:
+// (t.Xi = txp.Xi OR txp.Xi = '_' OR txp.Xi = '@').
+func (m *Merged) mergedXMatch(xAlias string, opts Options) []string {
+	var out []string
+	for _, a := range m.XAttrs {
+		out = append(out, fmt.Sprintf("(%s.%s = %s.%s or %s.%s = %s or %s.%s = %s)",
+			opts.DataAlias, a, xAlias, a,
+			xAlias, a, quote(opts.Wildcard),
+			xAlias, a, quote(opts.DontCare)))
+	}
+	return out
+}
+
+// QC generates the merged constant-violation query QCΣ: a single query
+// over R ⋈ TXΣ ⋈ TYΣ (joined on id) whose size is bounded by the embedded
+// FDs of Σ, independent of the tableau contents.
+func (m *Merged) QC(dataTable, txTable, tyTable string, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	xAlias, yAlias := "txp", "typ"
+	var b strings.Builder
+	fmt.Fprintf(&b, "select %s.%s, %s from %s %s, %s %s, %s %s\nwhere %s.%s = %s.%s",
+		xAlias, IDColumn, qcProjection(opts),
+		dataTable, opts.DataAlias, txTable, xAlias, tyTable, yAlias,
+		xAlias, IDColumn, yAlias, IDColumn)
+
+	switch opts.Form {
+	case CNF:
+		for _, cnd := range m.mergedXMatch(xAlias, opts) {
+			b.WriteString("\n  and ")
+			b.WriteString(cnd)
+		}
+		var ys []string
+		for _, a := range m.YAttrs {
+			ys = append(ys, fmt.Sprintf("(%s.%s <> %s.%s and %s.%s <> %s and %s.%s <> %s)",
+				opts.DataAlias, a, yAlias, a,
+				yAlias, a, quote(opts.Wildcard),
+				yAlias, a, quote(opts.DontCare)))
+		}
+		fmt.Fprintf(&b, "\n  and (%s)", strings.Join(ys, " or "))
+	case DNF:
+		// Each X attribute now has THREE ways to match (=, '_', '@'), so
+		// the expansion is 3^|X| · |Y| — the blow-up that, as the paper
+		// notes, makes DNF "not an option" for merged validation.
+		disj := m.qcDisjunctsDNF(xAlias, yAlias, opts)
+		fmt.Fprintf(&b, "\n  and (%s)", strings.Join(disj, "\n   or "))
+	default:
+		return "", fmt.Errorf("sqlgen: unknown form %d", opts.Form)
+	}
+	return b.String(), nil
+}
+
+func (m *Merged) xChoices3(xAlias string, opts Options) [][]string {
+	out := [][]string{nil}
+	for _, a := range m.XAttrs {
+		choices := []string{
+			fmt.Sprintf("%s.%s = %s.%s", opts.DataAlias, a, xAlias, a),
+			fmt.Sprintf("%s.%s = %s", xAlias, a, quote(opts.Wildcard)),
+			fmt.Sprintf("%s.%s = %s", xAlias, a, quote(opts.DontCare)),
+		}
+		var next [][]string
+		for _, prefix := range out {
+			for _, ch := range choices {
+				next = append(next, append(append([]string(nil), prefix...), ch))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func (m *Merged) qcDisjunctsDNF(xAlias, yAlias string, opts Options) []string {
+	var out []string
+	for _, xc := range m.xChoices3(xAlias, opts) {
+		for _, a := range m.YAttrs {
+			parts := append(append([]string(nil), xc...),
+				fmt.Sprintf("%s.%s <> %s.%s", opts.DataAlias, a, yAlias, a),
+				fmt.Sprintf("%s.%s <> %s", yAlias, a, quote(opts.Wildcard)),
+				fmt.Sprintf("%s.%s <> %s", yAlias, a, quote(opts.DontCare)))
+			out = append(out, "("+strings.Join(parts, " and ")+")")
+		}
+	}
+	return out
+}
+
+// maskedCol renders one CASE-masked Macro column (Section 4.2.2): the value
+// is replaced by '@' exactly when the pattern cell is '@'.
+func maskedCol(attr, patAlias, outName string, opts Options) string {
+	return fmt.Sprintf("case when %s.%s = %s then %s else %s.%s end as %s",
+		patAlias, attr, quote(opts.DontCare), quote(opts.DontCare),
+		opts.DataAlias, attr, outName)
+}
+
+// QV generates the merged variable-violation query QVΣ over the Macro
+// derived table with CASE masking.
+//
+// Deviation from the paper, documented in DESIGN.md: the GROUP BY includes
+// the pattern-tuple id in addition to the masked X attributes. As written
+// in the paper, pattern tuples of DIFFERENT CFDs that share the same
+// X-attribute set (same '@' mask) but constrain different Y attributes
+// would be grouped together and could report false violations; grouping
+// per pattern tuple preserves the two-pass property and the bounded query
+// size while matching the CFD semantics exactly.
+func (m *Merged) QV(dataTable, txTable, tyTable string, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	xAlias, yAlias := "txp", "typ"
+
+	var proj []string
+	proj = append(proj, fmt.Sprintf("%s.%s as pid", xAlias, IDColumn))
+	var groupCols, countCols []string
+	groupCols = append(groupCols, "m.pid")
+	for _, a := range m.XAttrs {
+		out := "MX_" + a
+		proj = append(proj, maskedCol(a, xAlias, out, opts))
+		groupCols = append(groupCols, "m."+out)
+	}
+	for _, a := range m.YAttrs {
+		out := "MY_" + a
+		proj = append(proj, maskedCol(a, yAlias, out, opts))
+		countCols = append(countCols, "m."+out)
+	}
+
+	var where strings.Builder
+	fmt.Fprintf(&where, "%s.%s = %s.%s", xAlias, IDColumn, yAlias, IDColumn)
+	switch opts.Form {
+	case CNF:
+		for _, cnd := range m.mergedXMatch(xAlias, opts) {
+			where.WriteString("\n    and ")
+			where.WriteString(cnd)
+		}
+	case DNF:
+		// With no X attributes there is nothing to match on (the id join
+		// suffices), and an empty disjunct would be invalid SQL.
+		if len(m.XAttrs) > 0 {
+			var disj []string
+			for _, xc := range m.xChoices3(xAlias, opts) {
+				disj = append(disj, "("+strings.Join(xc, " and ")+")")
+			}
+			fmt.Fprintf(&where, "\n    and (%s)", strings.Join(disj, "\n     or "))
+		}
+	default:
+		return "", fmt.Errorf("sqlgen: unknown form %d", opts.Form)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "select %s from (\n", strings.Join(groupCols, ", "))
+	fmt.Fprintf(&b, "  select %s\n  from %s %s, %s %s, %s %s\n  where %s\n) m\n",
+		strings.Join(proj, ",\n         "),
+		dataTable, opts.DataAlias, txTable, xAlias, tyTable, yAlias,
+		where.String())
+	fmt.Fprintf(&b, "group by %s\nhaving count(distinct %s) > 1",
+		strings.Join(groupCols, ", "), strings.Join(countCols, ", "))
+	return b.String(), nil
+}

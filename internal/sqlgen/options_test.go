@@ -1,0 +1,166 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sqlmini"
+)
+
+func TestCustomAliases(t *testing.T) {
+	opts := Default(CNF)
+	opts.DataAlias = "r"
+	opts.PatternAlias = "pat"
+	qc, err := QC(phi3(), "cust", "T3", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qc, "cust r, T3 pat") || !strings.Contains(qc, "r.CC = pat.CC") {
+		t.Errorf("aliases not applied:\n%s", qc)
+	}
+	if strings.Contains(qc, " t.") || strings.Contains(qc, " tp.") {
+		t.Errorf("default aliases leaked:\n%s", qc)
+	}
+}
+
+func TestCustomMarkersEndToEnd(t *testing.T) {
+	// With custom markers, data values equal to '_' are handled correctly.
+	opts := Default(CNF)
+	opts.Wildcard = "\x01W"
+	opts.DontCare = "\x01D"
+
+	c := core.MustCFD([]string{"A"}, []string{"B"},
+		core.PatternRow{X: []core.Pattern{core.C("_")}, Y: []core.Pattern{core.C("x")}},
+		core.PatternRow{X: []core.Pattern{core.W()}, Y: []core.Pattern{core.W()}},
+	)
+	db := sqlmini.NewDB()
+	if _, err := db.Exec(`create table R (A text, B text)`); err != nil {
+		t.Fatal(err)
+	}
+	// A literal underscore value in the data, violating B=x.
+	if _, err := db.Exec(`insert into R values ('_', 'y'), ('z', 'x')`); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := TableauRelation(c, "T", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RegisterRelation("T", tab)
+	qc, err := QC(c, "R", "T", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(qc)
+	if err != nil {
+		t.Fatalf("%v\nSQL:\n%s", err, qc)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "0" {
+		t.Errorf("QC rows = %v, want just tuple 0 (the literal '_' row)", res.Rows)
+	}
+}
+
+func TestIncludeRowidOff(t *testing.T) {
+	opts := Default(CNF)
+	opts.IncludeRowid = false
+	qc, err := QC(phi3(), "cust", "T3", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(qc, "_rowid") {
+		t.Errorf("rowid projected despite IncludeRowid=false:\n%s", qc)
+	}
+	if !strings.HasPrefix(qc, "select t.*") {
+		t.Errorf("QC should project the data tuple:\n%s", qc)
+	}
+}
+
+func TestFormString(t *testing.T) {
+	if CNF.String() != "CNF" || DNF.String() != "DNF" {
+		t.Error("Form.String misbehaves")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	opts := Default(DNF)
+	if opts.Wildcard != "_" || opts.DontCare != "@" || opts.DataAlias != "t" || opts.PatternAlias != "tp" {
+		t.Errorf("defaults = %+v", opts)
+	}
+	if !opts.IncludeRowid || opts.Form != DNF {
+		t.Errorf("defaults = %+v", opts)
+	}
+}
+
+func TestMergedWithCustomMarkers(t *testing.T) {
+	opts := Default(CNF)
+	opts.Wildcard = "\x01W"
+	opts.DontCare = "\x01D"
+	m, err := Merge([]*core.CFD{phi3(), phi5()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The don't-care cells must use the custom marker.
+	if m.TX.Tuples[0][3] != "\x01D" {
+		t.Errorf("TX row 0 = %v", m.TX.Tuples[0])
+	}
+	qc, err := m.QC("cust", "TX", "TY", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qc, "'\x01D'") {
+		t.Errorf("merged QC must quote the custom marker:\n%s", qc)
+	}
+}
+
+func TestUnknownFormRejected(t *testing.T) {
+	opts := Default(CNF)
+	opts.Form = Form(99)
+	if _, err := QC(phi3(), "cust", "T", opts); err == nil {
+		t.Error("unknown form must be rejected by QC")
+	}
+	if _, err := QV(phi3(), "cust", "T", opts); err == nil {
+		t.Error("unknown form must be rejected by QV")
+	}
+	m, err := Merge([]*core.CFD{phi3()}, Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.QC("cust", "TX", "TY", opts); err == nil {
+		t.Error("unknown form must be rejected by merged QC")
+	}
+	if _, err := m.QV("cust", "TX", "TY", opts); err == nil {
+		t.Error("unknown form must be rejected by merged QV")
+	}
+}
+
+func TestMergeEmptySigma(t *testing.T) {
+	if _, err := Merge(nil, Default(CNF)); err == nil {
+		t.Error("empty Σ must be rejected")
+	}
+}
+
+// TestMergedEmptyLHSDNF: an all-empty-LHS Σ has no X attributes; the DNF
+// form must still generate valid SQL (regression for an empty-disjunct
+// bug).
+func TestMergedEmptyLHSDNF(t *testing.T) {
+	sigma := []*core.CFD{
+		core.MustCFD(nil, []string{"CC"}, core.PatternRow{Y: []core.Pattern{core.C("01")}}),
+	}
+	m, err := Merge(sigma, Default(DNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqlmini.NewDB()
+	db.RegisterRelation("cust", custRelation())
+	db.RegisterRelation("TX", m.TX)
+	db.RegisterRelation("TY", m.TY)
+	for _, gen := range []func(string, string, string, Options) (string, error){m.QC, m.QV} {
+		sql, err := gen("cust", "TX", "TY", Default(DNF))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Query(sql); err != nil {
+			t.Errorf("generated SQL does not run: %v\n%s", err, sql)
+		}
+	}
+}

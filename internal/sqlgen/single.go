@@ -1,0 +1,321 @@
+// Package sqlgen generates the paper's violation-detection SQL (Section 4):
+// the query pair (QC, QV) for a single CFD — with the WHERE clause in CNF
+// as written in Figure 5, or expanded to DNF as the paper's experiments
+// recommend — and the merged single-pair technique of Section 4.2 (split
+// union-compatible tableaux TXΣ/TYΣ, the don't-care symbol '@', and the
+// CASE-masked Macro relation).
+//
+// The pattern tableau is encoded as an ordinary data table (the "salient
+// feature" of the paper's translation): '_' and '@' cells are stored as the
+// literal marker strings of Options, so the generated query size is bounded
+// by the embedded FD and independent of the tableau size.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Form selects how the WHERE clause is presented to the engine/optimizer.
+type Form int
+
+const (
+	// CNF keeps the conjunctive form of Figure 5: every conjunct contains
+	// OR, which defeats hash-join planning — the slow path of Figure 9(a).
+	CNF Form = iota
+	// DNF expands the clause into a disjunction of conjunctions (2^|X|
+	// disjuncts for a single CFD), each hash-joinable — the fast path.
+	DNF
+)
+
+func (f Form) String() string {
+	if f == CNF {
+		return "CNF"
+	}
+	return "DNF"
+}
+
+// Options configures generation.
+type Options struct {
+	// Form is the WHERE-clause presentation (default CNF, as in Figure 5).
+	Form Form
+	// Wildcard and DontCare are the marker strings stored in tableau
+	// tables for '_' and '@' cells; data values must not collide with
+	// them. Defaults: "_" and "@".
+	Wildcard string
+	DontCare string
+	// DataAlias and PatternAlias name the relation and tableau in the
+	// generated SQL. Defaults: "t" and "tp".
+	DataAlias    string
+	PatternAlias string
+	// IncludeRowid adds t._rowid to the QC projection so violations map
+	// back to tuple positions (default true).
+	IncludeRowid bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Wildcard == "" {
+		o.Wildcard = "_"
+	}
+	if o.DontCare == "" {
+		o.DontCare = "@"
+	}
+	if o.DataAlias == "" {
+		o.DataAlias = "t"
+	}
+	if o.PatternAlias == "" {
+		o.PatternAlias = "tp"
+	}
+	return o
+}
+
+// Default returns the default generation options with the given form and
+// rowid projection enabled.
+func Default(form Form) Options {
+	return Options{Form: form, IncludeRowid: true}.withDefaults()
+}
+
+func quote(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}
+
+func checkIdent(name string) error {
+	if name == "" {
+		return fmt.Errorf("sqlgen: empty identifier")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("sqlgen: attribute %q is not a safe SQL identifier", name)
+		}
+	}
+	return nil
+}
+
+// YColumnSuffix disambiguates a tableau column for an RHS attribute that
+// also occurs on the LHS (the paper's t[AL] / t[AR] distinction).
+const YColumnSuffix = "_R"
+
+// yColumn returns the tableau column name for the i-th RHS attribute.
+func yColumn(cfd *core.CFD, i int) string {
+	a := cfd.RHS[i]
+	for _, b := range cfd.LHS {
+		if a == b {
+			return a + YColumnSuffix
+		}
+	}
+	return a
+}
+
+// renderCell encodes a pattern cell as a tableau table value.
+func renderCell(p core.Pattern, opts Options) (relation.Value, error) {
+	switch p.Kind {
+	case core.Wildcard:
+		return opts.Wildcard, nil
+	case core.DontCare:
+		return opts.DontCare, nil
+	default:
+		if p.Val == opts.Wildcard || p.Val == opts.DontCare {
+			return "", fmt.Errorf("sqlgen: constant %q collides with a tableau marker; set distinct markers in Options", p.Val)
+		}
+		return p.Val, nil
+	}
+}
+
+// TableauRelation encodes the pattern tableau of a CFD as a data table
+// named name: one column per LHS attribute, one per RHS attribute (with
+// YColumnSuffix when the attribute is on both sides).
+func TableauRelation(cfd *core.CFD, name string, opts Options) (*relation.Relation, error) {
+	opts = opts.withDefaults()
+	var attrs []relation.Attribute
+	for _, a := range cfd.LHS {
+		if err := checkIdent(a); err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, relation.Attr(a))
+	}
+	for i := range cfd.RHS {
+		if err := checkIdent(cfd.RHS[i]); err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, relation.Attr(yColumn(cfd, i)))
+	}
+	schema, err := relation.NewSchema(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	rel := relation.New(schema)
+	for _, row := range cfd.Tableau {
+		t := make(relation.Tuple, 0, len(row.X)+len(row.Y))
+		for _, p := range row.X {
+			v, err := renderCell(p, opts)
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, v)
+		}
+		for _, p := range row.Y {
+			v, err := renderCell(p, opts)
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, v)
+		}
+		if err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// xMatchCNF renders "t[Xi] ≍ tp[Xi]" — the shorthand of Figure 5:
+// (t.Xi = tp.Xi OR tp.Xi = '_').
+func xMatchCNF(cfd *core.CFD, opts Options) []string {
+	var out []string
+	for _, a := range cfd.LHS {
+		out = append(out, fmt.Sprintf("(%s.%s = %s.%s or %s.%s = %s)",
+			opts.DataAlias, a, opts.PatternAlias, a,
+			opts.PatternAlias, a, quote(opts.Wildcard)))
+	}
+	return out
+}
+
+// yMismatch renders "t[Yj] ≭ tp[Yj]": (t.Yj <> tp.Yj AND tp.Yj <> '_').
+func yMismatch(cfd *core.CFD, j int, opts Options) string {
+	col := yColumn(cfd, j)
+	return fmt.Sprintf("(%s.%s <> %s.%s and %s.%s <> %s)",
+		opts.DataAlias, cfd.RHS[j], opts.PatternAlias, col,
+		opts.PatternAlias, col, quote(opts.Wildcard))
+}
+
+// qcProjection renders the QC select list: the rowid (optionally) plus the
+// whole data tuple.
+func qcProjection(opts Options) string {
+	if opts.IncludeRowid {
+		return fmt.Sprintf("%s.%s, %s.*", opts.DataAlias, "_rowid", opts.DataAlias)
+	}
+	return fmt.Sprintf("%s.*", opts.DataAlias)
+}
+
+// QC generates the constant-violation query QCϕ of Figure 5 for a single
+// CFD over dataTable joined with its tableau table tabTable.
+func QC(cfd *core.CFD, dataTable, tabTable string, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	if len(cfd.RHS) == 0 {
+		return "", fmt.Errorf("sqlgen: CFD has no RHS")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "select %s from %s %s, %s %s\nwhere ",
+		qcProjection(opts), dataTable, opts.DataAlias, tabTable, opts.PatternAlias)
+
+	switch opts.Form {
+	case CNF:
+		var conj []string
+		conj = append(conj, xMatchCNF(cfd, opts)...)
+		var ys []string
+		for j := range cfd.RHS {
+			ys = append(ys, yMismatch(cfd, j, opts))
+		}
+		conj = append(conj, "("+strings.Join(ys, " or ")+")")
+		b.WriteString(strings.Join(conj, "\n  and "))
+	case DNF:
+		disjuncts := qcDisjuncts(cfd, opts)
+		b.WriteString(strings.Join(disjuncts, "\n   or "))
+	default:
+		return "", fmt.Errorf("sqlgen: unknown form %d", opts.Form)
+	}
+	return b.String(), nil
+}
+
+// qcDisjuncts expands QC's WHERE into DNF: for every choice of
+// (equality | wildcard) per X attribute and every Y attribute, one
+// hash-joinable conjunction. 2^|X| · |Y| disjuncts — the bounded blow-up
+// the paper accepts because |X|, |Y| are small.
+func qcDisjuncts(cfd *core.CFD, opts Options) []string {
+	xChoices := xChoiceConjuncts(cfd.LHS, opts)
+	var out []string
+	for _, xc := range xChoices {
+		for j := range cfd.RHS {
+			parts := append(append([]string(nil), xc...), yMismatchAtoms(cfd, j, opts)...)
+			out = append(out, "("+strings.Join(parts, " and ")+")")
+		}
+	}
+	return out
+}
+
+// yMismatchAtoms is yMismatch split into its two atoms for DNF building.
+func yMismatchAtoms(cfd *core.CFD, j int, opts Options) []string {
+	col := yColumn(cfd, j)
+	return []string{
+		fmt.Sprintf("%s.%s <> %s.%s", opts.DataAlias, cfd.RHS[j], opts.PatternAlias, col),
+		fmt.Sprintf("%s.%s <> %s", opts.PatternAlias, col, quote(opts.Wildcard)),
+	}
+}
+
+// xChoiceConjuncts enumerates the 2^|X| ways to satisfy the X-match: each
+// attribute either joins by equality or the pattern cell is '_'.
+func xChoiceConjuncts(lhs []string, opts Options) [][]string {
+	out := [][]string{nil}
+	for _, a := range lhs {
+		eq := fmt.Sprintf("%s.%s = %s.%s", opts.DataAlias, a, opts.PatternAlias, a)
+		wc := fmt.Sprintf("%s.%s = %s", opts.PatternAlias, a, quote(opts.Wildcard))
+		var next [][]string
+		for _, prefix := range out {
+			next = append(next, append(append([]string(nil), prefix...), eq))
+			next = append(next, append(append([]string(nil), prefix...), wc))
+		}
+		out = next
+	}
+	return out
+}
+
+// QV generates the variable-violation query QVϕ of Figure 5: group the
+// tuples matching tc[X] by their X values and flag groups with more than
+// one distinct Y projection.
+//
+// When the LHS is empty the paper's "group by t.X" degenerates; we group
+// by the pattern row id instead (every data tuple matches every row).
+func QV(cfd *core.CFD, dataTable, tabTable string, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	var b strings.Builder
+
+	var groupCols []string
+	for _, a := range cfd.LHS {
+		groupCols = append(groupCols, fmt.Sprintf("%s.%s", opts.DataAlias, a))
+	}
+	if len(groupCols) == 0 {
+		groupCols = []string{fmt.Sprintf("%s.%s", opts.PatternAlias, "_rowid")}
+	}
+	var countCols []string
+	for j := range cfd.RHS {
+		countCols = append(countCols, fmt.Sprintf("%s.%s", opts.DataAlias, cfd.RHS[j]))
+	}
+
+	fmt.Fprintf(&b, "select distinct %s from %s %s, %s %s\n",
+		strings.Join(groupCols, ", "), dataTable, opts.DataAlias, tabTable, opts.PatternAlias)
+
+	switch opts.Form {
+	case CNF:
+		if conj := xMatchCNF(cfd, opts); len(conj) > 0 {
+			fmt.Fprintf(&b, "where %s\n", strings.Join(conj, "\n  and "))
+		}
+	case DNF:
+		if len(cfd.LHS) > 0 {
+			var disj []string
+			for _, xc := range xChoiceConjuncts(cfd.LHS, opts) {
+				disj = append(disj, "("+strings.Join(xc, " and ")+")")
+			}
+			fmt.Fprintf(&b, "where %s\n", strings.Join(disj, "\n   or "))
+		}
+	default:
+		return "", fmt.Errorf("sqlgen: unknown form %d", opts.Form)
+	}
+
+	fmt.Fprintf(&b, "group by %s\nhaving count(distinct %s) > 1",
+		strings.Join(groupCols, ", "), strings.Join(countCols, ", "))
+	return b.String(), nil
+}

@@ -1,0 +1,450 @@
+package sqlgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/sqlmini"
+)
+
+// Fixtures: the cust instance of Figure 1 and CFDs of Figure 2 (see
+// internal/core's fixtures for the ZIP note on t4).
+
+func custRelation() *relation.Relation {
+	schema := relation.MustSchema("cust",
+		relation.Attr("CC"), relation.Attr("AC"), relation.Attr("PN"),
+		relation.Attr("NM"), relation.Attr("STR"), relation.Attr("CT"),
+		relation.Attr("ZIP"))
+	rel := relation.New(schema)
+	rel.MustInsert("01", "908", "1111111", "Mike", "Tree Ave.", "NYC", "07974")
+	rel.MustInsert("01", "908", "1111111", "Rick", "Tree Ave.", "NYC", "07974")
+	rel.MustInsert("01", "212", "2222222", "Joe", "Elm Str.", "NYC", "01202")
+	rel.MustInsert("01", "212", "2222222", "Jim", "Elm Str.", "NYC", "02404")
+	rel.MustInsert("01", "215", "3333333", "Ben", "Oak Ave.", "PHI", "02394")
+	rel.MustInsert("44", "131", "4444444", "Ian", "High St.", "EDI", "EH4 1DT")
+	return rel
+}
+
+func phi2() *core.CFD {
+	return core.MustCFD([]string{"CC", "AC", "PN"}, []string{"STR", "CT", "ZIP"},
+		core.PatternRow{X: []core.Pattern{core.W(), core.W(), core.W()}, Y: []core.Pattern{core.W(), core.W(), core.W()}},
+		core.PatternRow{X: []core.Pattern{core.C("01"), core.C("908"), core.W()}, Y: []core.Pattern{core.W(), core.C("MH"), core.W()}},
+		core.PatternRow{X: []core.Pattern{core.C("01"), core.C("212"), core.W()}, Y: []core.Pattern{core.W(), core.C("NYC"), core.W()}},
+	)
+}
+
+func phi3() *core.CFD {
+	return core.MustCFD([]string{"CC", "AC"}, []string{"CT"},
+		core.PatternRow{X: []core.Pattern{core.W(), core.W()}, Y: []core.Pattern{core.W()}},
+		core.PatternRow{X: []core.Pattern{core.C("01"), core.C("215")}, Y: []core.Pattern{core.C("PHI")}},
+		core.PatternRow{X: []core.Pattern{core.C("44"), core.C("141")}, Y: []core.Pattern{core.C("GLA")}},
+	)
+}
+
+func phi5() *core.CFD {
+	return core.MustCFD([]string{"CT"}, []string{"AC"},
+		core.PatternRow{X: []core.Pattern{core.W()}, Y: []core.Pattern{core.W()}},
+	)
+}
+
+// loadDB builds a sqlmini catalog with cust and the tableau tables.
+func loadDB(t *testing.T, cfds map[string]*core.CFD, opts Options) *sqlmini.DB {
+	t.Helper()
+	db := sqlmini.NewDB()
+	db.RegisterRelation("cust", custRelation())
+	for name, c := range cfds {
+		tab, err := TableauRelation(c, name, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.RegisterRelation(name, tab)
+	}
+	return db
+}
+
+func firstColumn(res *sqlmini.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r[0]
+	}
+	return out
+}
+
+func TestTableauRelationEncoding(t *testing.T) {
+	tab, err := TableauRelation(phi2(), "T2", Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Schema.Names(); !reflect.DeepEqual(got, []string{"CC", "AC", "PN", "STR", "CT", "ZIP"}) {
+		t.Errorf("columns = %v", got)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", tab.Len())
+	}
+	if !tab.Tuples[0].Equal(relation.Tuple{"_", "_", "_", "_", "_", "_"}) {
+		t.Errorf("row 0 = %v", tab.Tuples[0])
+	}
+	if !tab.Tuples[1].Equal(relation.Tuple{"01", "908", "_", "_", "MH", "_"}) {
+		t.Errorf("row 1 = %v", tab.Tuples[1])
+	}
+}
+
+func TestTableauYColumnSuffix(t *testing.T) {
+	// CT on both sides: the Y column must be renamed CT_R.
+	c := core.MustCFD([]string{"CT"}, []string{"CT"},
+		core.PatternRow{X: []core.Pattern{core.W()}, Y: []core.Pattern{core.C("NYC")}})
+	tab, err := TableauRelation(c, "T", Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Schema.Names(); !reflect.DeepEqual(got, []string{"CT", "CT" + YColumnSuffix}) {
+		t.Errorf("columns = %v", got)
+	}
+}
+
+func TestTableauMarkerCollision(t *testing.T) {
+	c := core.MustCFD([]string{"A"}, []string{"B"},
+		core.PatternRow{X: []core.Pattern{core.C("_")}, Y: []core.Pattern{core.W()}})
+	if _, err := TableauRelation(c, "T", Default(CNF)); err == nil {
+		t.Error("a constant equal to the wildcard marker must be rejected")
+	}
+	// But distinct markers make it fine.
+	opts := Default(CNF)
+	opts.Wildcard = "\x01WC"
+	opts.DontCare = "\x01DC"
+	if _, err := TableauRelation(c, "T", opts); err != nil {
+		t.Errorf("custom markers should accept literal underscore: %v", err)
+	}
+}
+
+// TestExample41QC reproduces Example 4.1: QCϕ2 returns t1 and t2.
+func TestExample41QC(t *testing.T) {
+	for _, form := range []Form{CNF, DNF} {
+		db := loadDB(t, map[string]*core.CFD{"T2": phi2()}, Default(form))
+		sql, err := QC(phi2(), "cust", "T2", Default(form))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query(sql + "\norder by _rowid")
+		if err != nil {
+			t.Fatalf("%s QC failed: %v\nSQL:\n%s", form, err, sql)
+		}
+		if got, want := firstColumn(res), []string{"0", "1"}; !reflect.DeepEqual(got, want) {
+			t.Errorf("%s QC rowids = %v, want %v", form, got, want)
+		}
+	}
+}
+
+// TestExample41QV reproduces Example 4.1: QVϕ2 returns the X-group of t3
+// and t4.
+func TestExample41QV(t *testing.T) {
+	for _, form := range []Form{CNF, DNF} {
+		db := loadDB(t, map[string]*core.CFD{"T2": phi2()}, Default(form))
+		sql, err := QV(phi2(), "cust", "T2", Default(form))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("%s QV failed: %v\nSQL:\n%s", form, err, sql)
+		}
+		want := [][]relation.Value{{"01", "212", "2222222"}}
+		got := make([][]relation.Value, len(res.Rows))
+		for i, r := range res.Rows {
+			got[i] = r
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s QV groups = %v, want %v", form, got, want)
+		}
+	}
+}
+
+// TestQCQVSatisfiedCFD: ϕ3 holds on cust, so both queries return nothing.
+func TestQCQVSatisfiedCFD(t *testing.T) {
+	db := loadDB(t, map[string]*core.CFD{"T3": phi3()}, Default(CNF))
+	qc, err := QC(phi3(), "cust", "T3", Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qv, err := QV(phi3(), "cust", "T3", Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := db.Query(qc); err != nil || len(res.Rows) != 0 {
+		t.Errorf("QCϕ3 = %v rows (err=%v), want 0", res, err)
+	}
+	if res, err := db.Query(qv); err != nil || len(res.Rows) != 0 {
+		t.Errorf("QVϕ3 = %v rows (err=%v), want 0", res, err)
+	}
+}
+
+// TestQueriesAreTableauSizeIndependent: the generated SQL text must not
+// grow with the tableau — the paper's "bounded by the embedded FD" claim.
+func TestQueriesAreTableauSizeIndependent(t *testing.T) {
+	small := phi3()
+	big := phi3().Clone()
+	for i := 0; i < 50; i++ {
+		big.Tableau = append(big.Tableau, core.PatternRow{
+			X: []core.Pattern{core.C("01"), core.C("999")},
+			Y: []core.Pattern{core.C("XX")},
+		})
+	}
+	for _, form := range []Form{CNF, DNF} {
+		qcSmall, _ := QC(small, "cust", "T", Default(form))
+		qcBig, _ := QC(big, "cust", "T", Default(form))
+		if qcSmall != qcBig {
+			t.Errorf("%s QC text depends on tableau contents", form)
+		}
+		qvSmall, _ := QV(small, "cust", "T", Default(form))
+		qvBig, _ := QV(big, "cust", "T", Default(form))
+		if qvSmall != qvBig {
+			t.Errorf("%s QV text depends on tableau contents", form)
+		}
+	}
+}
+
+func TestEmptyLHSQueries(t *testing.T) {
+	c := core.MustCFD(nil, []string{"CC"},
+		core.PatternRow{Y: []core.Pattern{core.C("01")}})
+	db := loadDB(t, map[string]*core.CFD{"T0": c}, Default(CNF))
+	qc, err := QC(c, "cust", "T0", Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(qc + "\norder by _rowid")
+	if err != nil {
+		t.Fatalf("QC: %v\nSQL:\n%s", err, qc)
+	}
+	// Only t6 has CC = 44 ≠ 01.
+	if got := firstColumn(res); !reflect.DeepEqual(got, []string{"5"}) {
+		t.Errorf("QC rowids = %v, want [5]", got)
+	}
+	qv, err := QV(c, "cust", "T0", Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query(qv)
+	if err != nil {
+		t.Fatalf("QV: %v\nSQL:\n%s", err, qv)
+	}
+	// All tuples form one group (per pattern row) with 2 distinct CCs.
+	if len(res.Rows) != 1 {
+		t.Errorf("QV rows = %v, want one violated group", res.Rows)
+	}
+}
+
+// TestMergeFigure7 reproduces Figure 7: merging ϕ3 and ϕ5 yields TXΣ over
+// (CC, AC, CT) and TYΣ over (CT, AC), with '@' in the right places.
+func TestMergeFigure7(t *testing.T) {
+	m, err := Merge([]*core.CFD{phi3(), phi5()}, Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.XAttrs, []string{"CC", "AC", "CT"}) {
+		t.Errorf("XAttrs = %v", m.XAttrs)
+	}
+	if !reflect.DeepEqual(m.YAttrs, []string{"CT", "AC"}) {
+		t.Errorf("YAttrs = %v", m.YAttrs)
+	}
+	wantTX := []relation.Tuple{
+		{"0", "_", "_", "@"},
+		{"1", "01", "215", "@"},
+		{"2", "44", "141", "@"},
+		{"3", "@", "@", "_"},
+	}
+	if len(m.TX.Tuples) != len(wantTX) {
+		t.Fatalf("TX rows = %d, want %d", len(m.TX.Tuples), len(wantTX))
+	}
+	for i, w := range wantTX {
+		if !m.TX.Tuples[i].Equal(w) {
+			t.Errorf("TX row %d = %v, want %v", i, m.TX.Tuples[i], w)
+		}
+	}
+	wantTY := []relation.Tuple{
+		{"0", "_", "@"},
+		{"1", "PHI", "@"},
+		{"2", "GLA", "@"},
+		{"3", "@", "_"},
+	}
+	for i, w := range wantTY {
+		if !m.TY.Tuples[i].Equal(w) {
+			t.Errorf("TY row %d = %v, want %v", i, m.TY.Tuples[i], w)
+		}
+	}
+	// Provenance: rows 0-2 from CFD 0, row 3 from CFD 1.
+	if m.Rows[0].CFD != 0 || m.Rows[3].CFD != 1 {
+		t.Errorf("row provenance = %v", m.Rows)
+	}
+}
+
+// TestMergedQVFindsNYC reproduces the Section 4.2.2 walk-through: over the
+// merged {ϕ3, ϕ5} tableaux, QVΣ returns the NYC group violating ϕ5 (the
+// NYC tuples carry area codes 908 and 212).
+func TestMergedQVFindsNYC(t *testing.T) {
+	m, err := Merge([]*core.CFD{phi3(), phi5()}, Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sqlmini.NewDB()
+	db.RegisterRelation("cust", custRelation())
+	db.RegisterRelation("TX", m.TX)
+	db.RegisterRelation("TY", m.TY)
+
+	qv, err := m.QV("cust", "TX", "TY", Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(qv)
+	if err != nil {
+		t.Fatalf("merged QV: %v\nSQL:\n%s", err, qv)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("merged QV rows = %v, want exactly the NYC group", res.Rows)
+	}
+	row := res.Rows[0]
+	// Columns: pid, MX_CC, MX_AC, MX_CT.
+	if row[0] != "3" {
+		t.Errorf("violated pattern id = %s, want 3 (ϕ5's row)", row[0])
+	}
+	if row[3] != "NYC" {
+		t.Errorf("masked CT = %q, want NYC", row[3])
+	}
+	if row[1] != "@" || row[2] != "@" {
+		t.Errorf("CC/AC should be masked: %v", row)
+	}
+
+	// And merged QC finds nothing (no constant violations for ϕ3/ϕ5).
+	qc, err := m.QC("cust", "TX", "TY", Default(CNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resQC, err := db.Query(qc)
+	if err != nil {
+		t.Fatalf("merged QC: %v\nSQL:\n%s", err, qc)
+	}
+	if len(resQC.Rows) != 0 {
+		t.Errorf("merged QC rows = %v, want none", resQC.Rows)
+	}
+}
+
+// TestMergedQCFindsConstantViolations: merge ϕ2 with ϕ3 and check that the
+// constant violations of ϕ2 (t1, t2) survive merging, in both forms.
+func TestMergedQCFindsConstantViolations(t *testing.T) {
+	for _, form := range []Form{CNF, DNF} {
+		m, err := Merge([]*core.CFD{phi2(), phi3()}, Default(form))
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := sqlmini.NewDB()
+		db.RegisterRelation("cust", custRelation())
+		db.RegisterRelation("TX", m.TX)
+		db.RegisterRelation("TY", m.TY)
+		qc, err := m.QC("cust", "TX", "TY", Default(form))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query(qc + "\norder by _rowid")
+		if err != nil {
+			t.Fatalf("%s merged QC: %v\nSQL:\n%s", form, err, qc)
+		}
+		// Column 0 is the pattern id, column 1 the rowid.
+		var rowids []string
+		for _, r := range res.Rows {
+			rowids = append(rowids, r[1])
+		}
+		if want := []string{"0", "1"}; !reflect.DeepEqual(rowids, want) {
+			t.Errorf("%s merged QC rowids = %v, want %v", form, rowids, want)
+		}
+	}
+}
+
+// TestCNFandDNFAgree (property): on the cust instance, CNF and DNF
+// generation of QC/QV must return identical result sets for every Figure 2
+// CFD.
+func TestCNFandDNFAgree(t *testing.T) {
+	cfds := map[string]*core.CFD{"T2": phi2(), "T3": phi3(), "T5": phi5()}
+	for name, c := range cfds {
+		db := loadDB(t, map[string]*core.CFD{name: c}, Default(CNF))
+		runBoth := func(gen func(*core.CFD, string, string, Options) (string, error)) ([][]relation.Value, [][]relation.Value) {
+			t.Helper()
+			var out [][][]relation.Value
+			for _, form := range []Form{CNF, DNF} {
+				sql, err := gen(c, "cust", name, Default(form))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := db.Query(sql)
+				if err != nil {
+					t.Fatalf("%s on %s: %v\nSQL:\n%s", form, name, err, sql)
+				}
+				rows := res.Rows
+				out = append(out, rows)
+			}
+			return out[0], out[1]
+		}
+		qcCNF, qcDNF := runBoth(QC)
+		if !sameRowSet(qcCNF, qcDNF) {
+			t.Errorf("%s: QC CNF %v != DNF %v", name, qcCNF, qcDNF)
+		}
+		qvCNF, qvDNF := runBoth(QV)
+		if !sameRowSet(qvCNF, qvDNF) {
+			t.Errorf("%s: QV CNF %v != DNF %v", name, qvCNF, qvDNF)
+		}
+	}
+}
+
+func sameRowSet(a, b [][]relation.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := make(map[string]int)
+	for _, r := range a {
+		count[relation.EncodeKey(r)]++
+	}
+	for _, r := range b {
+		count[relation.EncodeKey(r)]--
+	}
+	for _, n := range count {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDNFDisjunctCount(t *testing.T) {
+	// 2 LHS attributes, 1 RHS attribute: 2^2 · 1 = 4 QC disjuncts.
+	sql, err := QC(phi3(), "cust", "T3", Default(DNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sql, "\n   or "); got != 3 {
+		t.Errorf("QC DNF has %d or-separators, want 3 (4 disjuncts)\n%s", got, sql)
+	}
+	// Merged over ϕ3 ∪ ϕ5: |X| = 3 ⇒ 3^3 = 27 disjuncts in the QC DNF.
+	m, err := Merge([]*core.CFD{phi3(), phi5()}, Default(DNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := m.QC("cust", "TX", "TY", Default(DNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(mq, "\n   or "); got != 2*27-1 {
+		t.Errorf("merged QC DNF has %d or-separators, want %d\n", got, 2*27-1)
+	}
+}
+
+func TestBadIdentifierRejected(t *testing.T) {
+	c := core.MustCFD([]string{"bad name"}, []string{"B"},
+		core.PatternRow{X: []core.Pattern{core.W()}, Y: []core.Pattern{core.W()}})
+	if _, err := TableauRelation(c, "T", Default(CNF)); err == nil {
+		t.Error("unsafe identifiers must be rejected")
+	}
+	if _, err := Merge([]*core.CFD{c}, Default(CNF)); err == nil {
+		t.Error("unsafe identifiers must be rejected by Merge")
+	}
+}

@@ -1,0 +1,179 @@
+package sqlmini
+
+import "strings"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is "CREATE TABLE name (col [type], ...)". Column types are
+// accepted and ignored: every column stores strings (see package relation).
+type CreateTable struct {
+	Name string
+	Cols []string
+}
+
+// DropTable is "DROP TABLE name".
+type DropTable struct {
+	Name string
+}
+
+// Insert is "INSERT INTO name VALUES (lit, ...), (...)". Only literal rows
+// are supported — the engine's loading path.
+type Insert struct {
+	Table string
+	Rows  [][]string
+}
+
+// Select is a SELECT query.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem // empty plus Star=true means "select *"
+	Star     bool
+	From     []FromItem
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+}
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+
+// SelectItem is one projection: an expression with an optional output name.
+// Qual is set for "alias.*" items (Expr is nil in that case).
+type SelectItem struct {
+	Expr Expr
+	As   string
+	Qual string // non-empty for "alias.*"
+}
+
+// FromItem is a base table or a parenthesized derived table, with an alias.
+type FromItem struct {
+	Table string  // base table name, "" for derived
+	Sub   *Select // derived table, nil for base
+	Alias string  // defaults to Table when absent
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a scalar or boolean expression.
+type Expr interface{ expr() }
+
+// Lit is a string or numeric literal (both carried as strings).
+type Lit struct {
+	Val string
+}
+
+// ColRef is a possibly-qualified column reference alias.col or col.
+type ColRef struct {
+	Qual string // "" when unqualified
+	Name string
+}
+
+// BinOp is a binary operation: comparison (=, <>, <, <=, >, >=) or the
+// connectives AND / OR.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// NotOp is logical negation.
+type NotOp struct {
+	E Expr
+}
+
+// When is one CASE branch.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is "CASE WHEN c THEN v [WHEN ...] [ELSE v] END" (searched form).
+type CaseExpr struct {
+	Whens []When
+	Else  Expr // nil means no ELSE (empty string result)
+}
+
+// CountExpr is COUNT(*) or COUNT([DISTINCT] e1, e2, ...).
+type CountExpr struct {
+	Star     bool
+	Distinct bool
+	Args     []Expr
+}
+
+func (*Lit) expr()       {}
+func (*ColRef) expr()    {}
+func (*BinOp) expr()     {}
+func (*NotOp) expr()     {}
+func (*CaseExpr) expr()  {}
+func (*CountExpr) expr() {}
+
+// exprString renders an expression back to SQL (used in error messages and
+// for naming output columns).
+func exprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch v := e.(type) {
+	case *Lit:
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(v.Val, "'", "''"))
+		b.WriteByte('\'')
+	case *ColRef:
+		if v.Qual != "" {
+			b.WriteString(v.Qual)
+			b.WriteByte('.')
+		}
+		b.WriteString(v.Name)
+	case *BinOp:
+		b.WriteByte('(')
+		writeExpr(b, v.L)
+		b.WriteByte(' ')
+		b.WriteString(v.Op)
+		b.WriteByte(' ')
+		writeExpr(b, v.R)
+		b.WriteByte(')')
+	case *NotOp:
+		b.WriteString("NOT (")
+		writeExpr(b, v.E)
+		b.WriteByte(')')
+	case *CaseExpr:
+		b.WriteString("CASE")
+		for _, w := range v.Whens {
+			b.WriteString(" WHEN ")
+			writeExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			writeExpr(b, w.Then)
+		}
+		if v.Else != nil {
+			b.WriteString(" ELSE ")
+			writeExpr(b, v.Else)
+		}
+		b.WriteString(" END")
+	case *CountExpr:
+		b.WriteString("COUNT(")
+		if v.Star {
+			b.WriteByte('*')
+		} else {
+			if v.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range v.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				writeExpr(b, a)
+			}
+		}
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,114 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// DB is an in-memory catalog of named relations plus the query engine over
+// them. Relations are treated as immutable while queries run; writes
+// (CREATE/INSERT/DROP) take the write lock.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*relation.Relation
+}
+
+// NewDB returns an empty catalog.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*relation.Relation)}
+}
+
+// RegisterRelation installs (or replaces) a relation under the given name
+// without copying — the zero-cost loading path used by the detector.
+func (db *DB) RegisterRelation(name string, rel *relation.Relation) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[name] = rel
+}
+
+// Table returns the named relation.
+func (db *DB) Table(name string) (*relation.Relation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rel, ok := db.tables[name]
+	return rel, ok
+}
+
+// TableNames returns the catalog's table names (unordered).
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Exec runs a DDL/DML statement (CREATE TABLE, DROP TABLE, INSERT) and
+// returns the number of affected rows.
+func (db *DB) Exec(sql string) (int, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch v := st.(type) {
+	case *CreateTable:
+		attrs := make([]relation.Attribute, len(v.Cols))
+		for i, c := range v.Cols {
+			attrs[i] = relation.Attr(c)
+		}
+		schema, err := relation.NewSchema(v.Name, attrs...)
+		if err != nil {
+			return 0, err
+		}
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if _, exists := db.tables[v.Name]; exists {
+			return 0, fmt.Errorf("sqlmini: table %q already exists", v.Name)
+		}
+		db.tables[v.Name] = relation.New(schema)
+		return 0, nil
+	case *DropTable:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if _, exists := db.tables[v.Name]; !exists {
+			return 0, fmt.Errorf("sqlmini: table %q does not exist", v.Name)
+		}
+		delete(db.tables, v.Name)
+		return 0, nil
+	case *Insert:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		rel, exists := db.tables[v.Table]
+		if !exists {
+			return 0, fmt.Errorf("sqlmini: table %q does not exist", v.Table)
+		}
+		for _, row := range v.Rows {
+			if err := rel.Insert(relation.Tuple(row)); err != nil {
+				return 0, err
+			}
+		}
+		return len(v.Rows), nil
+	case *Select:
+		return 0, fmt.Errorf("sqlmini: use Query for SELECT statements")
+	}
+	return 0, fmt.Errorf("sqlmini: unsupported statement")
+}
+
+// Query runs a SELECT and returns the materialized result.
+func (db *DB) Query(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: Query expects a SELECT statement")
+	}
+	// No lock held across execution: Table() locks per lookup, and
+	// relations are treated as immutable while queries run.
+	return db.runSelect(sel)
+}

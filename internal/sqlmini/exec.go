@@ -1,0 +1,453 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/relation"
+)
+
+// RowidColumn is the pseudo-column every base table (and derived table)
+// exposes: the 0-based position of the row in its source. The detection
+// queries project it so that violations can be mapped back to tuples.
+const RowidColumn = "_rowid"
+
+// Result is a fully materialized query result.
+type Result struct {
+	Cols []string
+	Rows [][]relation.Value
+}
+
+// execSource is one FROM item, materialized: local rows plus its segment
+// placement in the full-width join row. The trailing column of every source
+// is the rowid pseudo-column.
+type execSource struct {
+	alias  string
+	cols   []string // includes trailing RowidColumn
+	rows   [][]relation.Value
+	rowids []relation.Value
+	off    int
+	width  int
+}
+
+func (s *execSource) fill(scratch []relation.Value, i int) {
+	copy(scratch[s.off:], s.rows[i])
+	scratch[s.off+s.width-1] = s.rowids[i]
+}
+
+// atom is one WHERE conjunct with the set of sources it references.
+type atom struct {
+	e    Expr
+	mask uint64
+	fn   boolFn
+}
+
+// equiCand is an equality conjunct between column references of two
+// different sources — the only conjunct shape the planner can turn into a
+// hash join (mirroring the optimizer behaviour the paper reports).
+type equiCand struct {
+	a          *atom
+	srcL, srcR int
+	absL, absR int
+	consumed   bool
+}
+
+// joinStep joins one source into the accumulated row, either by hash
+// lookup (probeKeys/buildKeys non-empty) or nested iteration.
+type joinStep struct {
+	src       int
+	probeKeys []int // absolute indexes into the accumulated row
+	buildKeys []int // local column indexes within the new source
+	atoms     []boolFn
+	hash      map[string][]int // built at execution time
+}
+
+type selectExec struct {
+	db      *DB
+	stmt    *Select
+	sources []*execSource
+	scope   *scope
+	width   int
+}
+
+func (db *DB) runSelect(s *Select) (*Result, error) {
+	ex := &selectExec{db: db, stmt: s}
+	if err := ex.buildSources(); err != nil {
+		return nil, err
+	}
+	rows, err := ex.runWhere()
+	if err != nil {
+		return nil, err
+	}
+	return ex.project(rows)
+}
+
+func (ex *selectExec) buildSources() error {
+	if len(ex.stmt.From) == 0 {
+		return fmt.Errorf("sqlmini: SELECT requires a FROM clause")
+	}
+	ex.scope = &scope{}
+	seen := make(map[string]bool)
+	for _, fi := range ex.stmt.From {
+		if seen[fi.Alias] {
+			return fmt.Errorf("sqlmini: duplicate FROM alias %q", fi.Alias)
+		}
+		seen[fi.Alias] = true
+		src := &execSource{alias: fi.Alias, off: ex.width}
+		if fi.Sub != nil {
+			res, err := ex.db.runSelect(fi.Sub)
+			if err != nil {
+				return err
+			}
+			src.cols = append(append([]string(nil), res.Cols...), RowidColumn)
+			src.rows = res.Rows
+		} else {
+			rel, ok := ex.db.Table(fi.Table)
+			if !ok {
+				return fmt.Errorf("sqlmini: unknown table %q", fi.Table)
+			}
+			src.cols = append(rel.Schema.Names(), RowidColumn)
+			src.rows = make([][]relation.Value, len(rel.Tuples))
+			for i, t := range rel.Tuples {
+				src.rows[i] = t
+			}
+		}
+		src.width = len(src.cols)
+		src.rowids = make([]relation.Value, len(src.rows))
+		for i := range src.rowids {
+			src.rowids[i] = strconv.Itoa(i)
+		}
+		for _, c := range src.cols {
+			ex.scope.cols = append(ex.scope.cols, column{qual: src.alias, name: c})
+		}
+		ex.width += src.width
+		ex.sources = append(ex.sources, src)
+	}
+	return nil
+}
+
+// sourceOf maps an absolute column index to its source index.
+func (ex *selectExec) sourceOf(abs int) int {
+	for i, s := range ex.sources {
+		if abs >= s.off && abs < s.off+s.width {
+			return i
+		}
+	}
+	return -1
+}
+
+// joined is one surviving WHERE row: the full-width values and, for
+// cross-disjunct deduplication, the local row id of every source.
+type joined struct {
+	vals []relation.Value
+	prov []int32
+}
+
+// runWhere evaluates the FROM/WHERE part. The WHERE clause is first split
+// into top-level disjuncts; each disjunct is planned independently (its
+// equality conjuncts drive hash joins), and results are unioned with
+// dedup on row provenance. A single disjunct whose conjuncts contain OR —
+// the CNF shape — yields no usable join keys and executes as nested loops,
+// reproducing the paper's CNF-vs-DNF optimizer effect.
+func (ex *selectExec) runWhere() ([]joined, error) {
+	var disjuncts []Expr
+	if ex.stmt.Where == nil {
+		disjuncts = []Expr{nil}
+	} else {
+		disjuncts = splitOr(ex.stmt.Where, nil)
+	}
+	var out []joined
+	var seen map[string]bool
+	if len(disjuncts) > 1 {
+		seen = make(map[string]bool)
+	}
+	for _, d := range disjuncts {
+		rows, err := ex.runDisjunct(d)
+		if err != nil {
+			return nil, err
+		}
+		if seen == nil {
+			out = rows
+			continue
+		}
+		for _, r := range rows {
+			k := provKey(r.prov)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+func provKey(prov []int32) string {
+	b := make([]byte, 0, len(prov)*5)
+	for _, p := range prov {
+		b = strconv.AppendInt(b, int64(p), 36)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// disjunctPlan is the physical plan of one disjunct: per-source
+// prefilters plus an ordered list of join steps.
+type disjunctPlan struct {
+	prefilters [][]boolFn
+	steps      []*joinStep
+}
+
+func (ex *selectExec) runDisjunct(d Expr) ([]joined, error) {
+	plan, err := ex.planDisjunct(d)
+	if err != nil {
+		return nil, err
+	}
+	return ex.execDisjunct(plan)
+}
+
+// planDisjunct classifies the disjunct's conjuncts (prefilter / hash-join
+// candidate / residual filter) and picks a join order, greedily
+// preferring hash-joinable sources. This is where the paper's optimizer
+// effect lives: a conjunct containing OR can never become a join key.
+func (ex *selectExec) planDisjunct(d Expr) (*disjunctPlan, error) {
+	comp := &compiler{scope: ex.scope}
+
+	var conjuncts []Expr
+	if d != nil {
+		conjuncts = splitAnd(d, nil)
+	}
+	prefilters := make([][]boolFn, len(ex.sources))
+	var atoms []*atom
+	var equis []*equiCand
+	for _, c := range conjuncts {
+		fn, err := comp.compileBool(c)
+		if err != nil {
+			return nil, err
+		}
+		var mask uint64
+		for _, ref := range colRefsOf(c, nil) {
+			abs, err := ex.scope.resolve(ref.Qual, ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			mask |= 1 << uint(ex.sourceOf(abs))
+		}
+		a := &atom{e: c, mask: mask, fn: fn}
+		// Single-source (or constant) conjuncts become prefilters.
+		if n, only := popcountOne(mask); n <= 1 {
+			idx := only
+			if n == 0 {
+				idx = 0
+			}
+			prefilters[idx] = append(prefilters[idx], fn)
+			continue
+		}
+		// Equality between two column references of different sources is a
+		// hash-join candidate.
+		if b, ok := c.(*BinOp); ok && b.Op == "=" {
+			lRef, lok := b.L.(*ColRef)
+			rRef, rok := b.R.(*ColRef)
+			if lok && rok {
+				absL, errL := ex.scope.resolve(lRef.Qual, lRef.Name)
+				absR, errR := ex.scope.resolve(rRef.Qual, rRef.Name)
+				if errL == nil && errR == nil {
+					sL, sR := ex.sourceOf(absL), ex.sourceOf(absR)
+					if sL != sR {
+						equis = append(equis, &equiCand{a: a, srcL: sL, srcR: sR, absL: absL, absR: absR})
+						continue
+					}
+				}
+			}
+		}
+		atoms = append(atoms, a)
+	}
+
+	// Plan the join order: greedily prefer hash-joinable sources.
+	steps := []*joinStep{{src: 0}}
+	joinedMask := uint64(1)
+	assigned := make(map[*atom]bool)
+	for len(steps) < len(ex.sources) {
+		next := -1
+		for cand := 1; cand < len(ex.sources); cand++ {
+			if joinedMask&(1<<uint(cand)) != 0 {
+				continue
+			}
+			for _, e := range equis {
+				if e.consumed {
+					continue
+				}
+				if (e.srcL == cand && joinedMask&(1<<uint(e.srcR)) != 0) ||
+					(e.srcR == cand && joinedMask&(1<<uint(e.srcL)) != 0) {
+					next = cand
+					break
+				}
+			}
+			if next >= 0 {
+				break
+			}
+		}
+		step := &joinStep{}
+		if next < 0 {
+			// No hash-joinable source: nested-loop the next unjoined one.
+			for cand := 1; cand < len(ex.sources); cand++ {
+				if joinedMask&(1<<uint(cand)) == 0 {
+					next = cand
+					break
+				}
+			}
+			step.src = next
+		} else {
+			step.src = next
+			src := ex.sources[next]
+			for _, e := range equis {
+				if e.consumed {
+					continue
+				}
+				switch {
+				case e.srcL == next && joinedMask&(1<<uint(e.srcR)) != 0:
+					step.buildKeys = append(step.buildKeys, e.absL-src.off)
+					step.probeKeys = append(step.probeKeys, e.absR)
+					e.consumed = true
+				case e.srcR == next && joinedMask&(1<<uint(e.srcL)) != 0:
+					step.buildKeys = append(step.buildKeys, e.absR-src.off)
+					step.probeKeys = append(step.probeKeys, e.absL)
+					e.consumed = true
+				}
+			}
+		}
+		joinedMask |= 1 << uint(step.src)
+		// Attach every atom that becomes fully resolvable at this step.
+		for _, a := range atoms {
+			if !assigned[a] && a.mask&^joinedMask == 0 {
+				assigned[a] = true
+				step.atoms = append(step.atoms, a.fn)
+			}
+		}
+		// Unconsumed equi candidates spanning the joined set degrade to
+		// plain filter atoms.
+		for _, e := range equis {
+			if !e.consumed && !assigned[e.a] && e.a.mask&^joinedMask == 0 {
+				assigned[e.a] = true
+				e.consumed = true
+				step.atoms = append(step.atoms, e.a.fn)
+			}
+		}
+		steps = append(steps, step)
+	}
+	// Atoms referencing only source 0 ended up as prefilters; any atom not
+	// yet assigned references only source 0 via mask — attach to step 0.
+	for _, a := range atoms {
+		if !assigned[a] {
+			steps[0].atoms = append(steps[0].atoms, a.fn)
+		}
+	}
+	return &disjunctPlan{prefilters: prefilters, steps: steps}, nil
+}
+
+// execDisjunct evaluates a planned disjunct: prefilter the sources, build
+// the hash tables, then enumerate join rows depth-first.
+func (ex *selectExec) execDisjunct(plan *disjunctPlan) ([]joined, error) {
+	steps := plan.steps
+	scratch := make([]relation.Value, ex.width)
+
+	// Prefilter every source.
+	filtered := make([][]int, len(ex.sources))
+	for i, src := range ex.sources {
+		if len(plan.prefilters[i]) == 0 {
+			idx := make([]int, len(src.rows))
+			for j := range idx {
+				idx[j] = j
+			}
+			filtered[i] = idx
+			continue
+		}
+		var idx []int
+	rowLoop:
+		for j := range src.rows {
+			src.fill(scratch, j)
+			for _, f := range plan.prefilters[i] {
+				if !f(scratch) {
+					continue rowLoop
+				}
+			}
+			idx = append(idx, j)
+		}
+		filtered[i] = idx
+	}
+
+	// Build hash tables for hash steps.
+	key := make([]relation.Value, 8)
+	for _, st := range steps[1:] {
+		st.hash = nil
+		if len(st.buildKeys) == 0 {
+			continue
+		}
+		src := ex.sources[st.src]
+		st.hash = make(map[string][]int, len(filtered[st.src]))
+		for _, j := range filtered[st.src] {
+			row := src.rows[j]
+			k := key[:0]
+			for _, bk := range st.buildKeys {
+				if bk == src.width-1 {
+					k = append(k, src.rowids[j])
+				} else {
+					k = append(k, row[bk])
+				}
+			}
+			ks := relation.EncodeKey(k)
+			st.hash[ks] = append(st.hash[ks], j)
+		}
+	}
+
+	// Enumerate: depth-first over the join steps, streaming into out.
+	var out []joined
+	prov := make([]int32, len(ex.sources))
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(steps) {
+			out = append(out, joined{
+				vals: append([]relation.Value(nil), scratch...),
+				prov: append([]int32(nil), prov...),
+			})
+			return
+		}
+		st := steps[depth]
+		src := ex.sources[st.src]
+		emit := func(j int) {
+			src.fill(scratch, j)
+			for _, f := range st.atoms {
+				if !f(scratch) {
+					return
+				}
+			}
+			prov[st.src] = int32(j)
+			rec(depth + 1)
+		}
+		if st.hash != nil {
+			k := key[:0]
+			for _, pk := range st.probeKeys {
+				k = append(k, scratch[pk])
+			}
+			for _, j := range st.hash[relation.EncodeKey(k)] {
+				emit(j)
+			}
+			return
+		}
+		for _, j := range filtered[st.src] {
+			emit(j)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+func popcountOne(mask uint64) (n, only int) {
+	only = -1
+	for i := 0; i < 64; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			n++
+			only = i
+		}
+	}
+	return n, only
+}

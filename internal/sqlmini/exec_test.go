@@ -1,0 +1,168 @@
+package sqlmini
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// Join-planning and execution edge cases.
+
+func TestSelfJoinWithAliases(t *testing.T) {
+	db := testDB(t)
+	// Pairs of distinct customers sharing a phone number.
+	res := mustQuery(t, db, `
+		select a.NM as n1, b.NM as n2 from cust a, cust b
+		where a.PN = b.PN and a.NM < b.NM
+		order by n1`)
+	want := [][]string{{"Jim", "Joe"}, {"Mike", "Rick"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("self join = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestJoinAgainstEmptyTable(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `create table empty (AC text)`)
+	res := mustQuery(t, db, `select t.NM from cust t, empty e where t.AC = e.AC`)
+	if len(res.Rows) != 0 {
+		t.Errorf("join with empty table = %v rows", len(res.Rows))
+	}
+	// Nested-loop path too (no equi key).
+	res = mustQuery(t, db, `select t.NM from cust t, empty e where t.AC <> e.AC`)
+	if len(res.Rows) != 0 {
+		t.Errorf("nested join with empty table = %v rows", len(res.Rows))
+	}
+}
+
+func TestRowidUsableAsJoinKey(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `create table ids (rid text)`)
+	mustExec(t, db, `insert into ids values ('0'), ('5')`)
+	res := mustQuery(t, db, `
+		select t.NM from cust t, ids i where t._rowid = i.rid order by NM`)
+	want := [][]string{{"Ian"}, {"Mike"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("rowid join = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestDisjunctsWithDifferentJoinOrders(t *testing.T) {
+	// One disjunct links via table b, the other via table c; both must
+	// plan independently and union correctly.
+	db := NewDB()
+	mustExec(t, db, `create table a (x text, y text)`)
+	mustExec(t, db, `create table b (x text)`)
+	mustExec(t, db, `create table c (y text)`)
+	mustExec(t, db, `insert into a values ('1','p'), ('2','q'), ('3','r')`)
+	mustExec(t, db, `insert into b values ('1')`)
+	mustExec(t, db, `insert into c values ('q')`)
+	res := mustQuery(t, db, `
+		select a.x from a, b, c
+		where (a.x = b.x and c.y = c.y) or (a.y = c.y and b.x = b.x)
+		order by x`)
+	want := [][]string{{"1"}, {"2"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestTransitiveEquiChainCollapses(t *testing.T) {
+	// a.x = b.x and b.x = c.x: c joins through b's key.
+	db := NewDB()
+	mustExec(t, db, `create table a (x text)`)
+	mustExec(t, db, `create table b (x text)`)
+	mustExec(t, db, `create table c (x text)`)
+	mustExec(t, db, `insert into a values ('1'), ('2')`)
+	mustExec(t, db, `insert into b values ('2'), ('3')`)
+	mustExec(t, db, `insert into c values ('2')`)
+	res := mustQuery(t, db, `select a.x from a, b, c where a.x = b.x and b.x = c.x`)
+	if want := [][]string{{"2"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("rows = %v, want %v", res.Rows, want)
+	}
+	// The plan must be all hash joins.
+	plan, err := db.Explain(`select a.x from a, b, c where a.x = b.x and b.x = c.x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countSubstr(plan, "hash join"); n != 2 {
+		t.Errorf("want 2 hash joins, got %d:\n%s", n, plan)
+	}
+}
+
+func countSubstr(s, sub string) int {
+	n := 0
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSameColumnTwoEquiAtoms(t *testing.T) {
+	// Two equality atoms between the same pair of tables become a
+	// composite hash key.
+	db := NewDB()
+	mustExec(t, db, `create table a (x text, y text)`)
+	mustExec(t, db, `create table b (x text, y text)`)
+	mustExec(t, db, `insert into a values ('1','p'), ('1','q')`)
+	mustExec(t, db, `insert into b values ('1','p')`)
+	res := mustQuery(t, db, `select a.y from a, b where a.x = b.x and a.y = b.y`)
+	if want := [][]string{{"p"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestReversedEquiOperands(t *testing.T) {
+	// tp.X = t.X (pattern side first) must still drive the hash join.
+	db := testDB(t)
+	mustExec(t, db, `create table p (AC text)`)
+	mustExec(t, db, `insert into p values ('908')`)
+	plan, err := db.Explain(`select t.NM from cust t, p where p.AC = t.AC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countSubstr(plan, "hash join") != 1 {
+		t.Errorf("reversed operands should hash join:\n%s", plan)
+	}
+	res := mustQuery(t, db, `select t.NM from cust t, p where p.AC = t.AC`)
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	// Relations are immutable during queries; concurrent readers must not
+	// race (run with -race in CI).
+	db := testDB(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := db.Query(`select t.CC, count(*) as n from cust t group by t.CC`)
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestWhereFalseConstant(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `select CT from cust t where '1' = '2'`)
+	if len(res.Rows) != 0 {
+		t.Errorf("constant-false predicate returned %d rows", len(res.Rows))
+	}
+	res = mustQuery(t, db, `select CT from cust t where '1' = '1' and t.CC = '44'`)
+	if len(res.Rows) != 1 {
+		t.Errorf("constant-true conjunct broke filtering: %v", res.Rows)
+	}
+}

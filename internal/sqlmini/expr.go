@@ -1,0 +1,267 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// column is one visible column during compilation: qualifier (the FROM
+// alias, or "" for output columns) and name.
+type column struct {
+	qual string
+	name string
+}
+
+// scope maps column references to absolute positions in the row layout.
+type scope struct {
+	cols []column
+}
+
+func (s *scope) resolve(qual, name string) (int, error) {
+	if qual != "" {
+		for i, c := range s.cols {
+			if c.qual == qual && c.name == name {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("sqlmini: unknown column %s.%s", qual, name)
+	}
+	found := -1
+	for i, c := range s.cols {
+		if c.name == name {
+			if found >= 0 {
+				return 0, fmt.Errorf("sqlmini: ambiguous column %s", name)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sqlmini: unknown column %s", name)
+	}
+	return found, nil
+}
+
+// valFn computes a scalar value from a row; boolFn a predicate.
+type valFn func(row []relation.Value) relation.Value
+
+type boolFn func(row []relation.Value) bool
+
+// compiler turns expressions into closures over a fixed row layout. When
+// aggs is non-nil, CountExpr nodes compile to reads of the aggregate slots
+// appended after the base row (aggregate context: HAVING and the select
+// list of a grouped query).
+type compiler struct {
+	scope   *scope
+	aggs    map[*CountExpr]int
+	aggBase int
+}
+
+func (c *compiler) compileBool(e Expr) (boolFn, error) {
+	switch v := e.(type) {
+	case *BinOp:
+		switch v.Op {
+		case "AND":
+			l, err := c.compileBool(v.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := c.compileBool(v.R)
+			if err != nil {
+				return nil, err
+			}
+			return func(row []relation.Value) bool { return l(row) && r(row) }, nil
+		case "OR":
+			l, err := c.compileBool(v.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := c.compileBool(v.R)
+			if err != nil {
+				return nil, err
+			}
+			return func(row []relation.Value) bool { return l(row) || r(row) }, nil
+		}
+		return c.compileCmp(v)
+	case *NotOp:
+		inner, err := c.compileBool(v.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []relation.Value) bool { return !inner(row) }, nil
+	}
+	return nil, fmt.Errorf("sqlmini: expected a boolean expression, got %s", exprString(e))
+}
+
+func (c *compiler) compileCmp(v *BinOp) (boolFn, error) {
+	l, err := c.compileVal(v.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compileVal(v.R)
+	if err != nil {
+		return nil, err
+	}
+	switch v.Op {
+	case "=":
+		return func(row []relation.Value) bool { return l(row) == r(row) }, nil
+	case "<>":
+		return func(row []relation.Value) bool { return l(row) != r(row) }, nil
+	case "<":
+		return func(row []relation.Value) bool { return compareValues(l(row), r(row)) < 0 }, nil
+	case "<=":
+		return func(row []relation.Value) bool { return compareValues(l(row), r(row)) <= 0 }, nil
+	case ">":
+		return func(row []relation.Value) bool { return compareValues(l(row), r(row)) > 0 }, nil
+	case ">=":
+		return func(row []relation.Value) bool { return compareValues(l(row), r(row)) >= 0 }, nil
+	}
+	return nil, fmt.Errorf("sqlmini: unsupported operator %q", v.Op)
+}
+
+func (c *compiler) compileVal(e Expr) (valFn, error) {
+	switch v := e.(type) {
+	case *Lit:
+		val := v.Val
+		return func([]relation.Value) relation.Value { return val }, nil
+	case *ColRef:
+		idx, err := c.scope.resolve(v.Qual, v.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []relation.Value) relation.Value { return row[idx] }, nil
+	case *CaseExpr:
+		type branch struct {
+			cond boolFn
+			then valFn
+		}
+		branches := make([]branch, len(v.Whens))
+		for i, w := range v.Whens {
+			cond, err := c.compileBool(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			then, err := c.compileVal(w.Then)
+			if err != nil {
+				return nil, err
+			}
+			branches[i] = branch{cond, then}
+		}
+		var elseFn valFn
+		if v.Else != nil {
+			fn, err := c.compileVal(v.Else)
+			if err != nil {
+				return nil, err
+			}
+			elseFn = fn
+		}
+		return func(row []relation.Value) relation.Value {
+			for _, b := range branches {
+				if b.cond(row) {
+					return b.then(row)
+				}
+			}
+			if elseFn != nil {
+				return elseFn(row)
+			}
+			return ""
+		}, nil
+	case *CountExpr:
+		if c.aggs == nil {
+			return nil, fmt.Errorf("sqlmini: aggregate %s not allowed here", exprString(v))
+		}
+		slot, ok := c.aggs[v]
+		if !ok {
+			return nil, fmt.Errorf("sqlmini: internal: unregistered aggregate %s", exprString(v))
+		}
+		idx := c.aggBase + slot
+		return func(row []relation.Value) relation.Value { return row[idx] }, nil
+	}
+	return nil, fmt.Errorf("sqlmini: expected a scalar expression, got %s", exprString(e))
+}
+
+// compareValues orders numerically when both values parse as numbers, and
+// lexicographically otherwise (the engine stores everything as strings).
+func compareValues(a, b relation.Value) int {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+// collectAggregates walks an expression and appends every CountExpr node.
+func collectAggregates(e Expr, out []*CountExpr) []*CountExpr {
+	switch v := e.(type) {
+	case *CountExpr:
+		return append(out, v)
+	case *BinOp:
+		out = collectAggregates(v.L, out)
+		return collectAggregates(v.R, out)
+	case *NotOp:
+		return collectAggregates(v.E, out)
+	case *CaseExpr:
+		for _, w := range v.Whens {
+			out = collectAggregates(w.Cond, out)
+			out = collectAggregates(w.Then, out)
+		}
+		if v.Else != nil {
+			out = collectAggregates(v.Else, out)
+		}
+	}
+	return out
+}
+
+// colRefsOf appends every column reference in the expression.
+func colRefsOf(e Expr, out []*ColRef) []*ColRef {
+	switch v := e.(type) {
+	case *ColRef:
+		return append(out, v)
+	case *BinOp:
+		out = colRefsOf(v.L, out)
+		return colRefsOf(v.R, out)
+	case *NotOp:
+		return colRefsOf(v.E, out)
+	case *CaseExpr:
+		for _, w := range v.Whens {
+			out = colRefsOf(w.Cond, out)
+			out = colRefsOf(w.Then, out)
+		}
+		if v.Else != nil {
+			out = colRefsOf(v.Else, out)
+		}
+	case *CountExpr:
+		for _, a := range v.Args {
+			out = colRefsOf(a, out)
+		}
+	}
+	return out
+}
+
+// splitOr flattens top-level OR into disjuncts (no distribution).
+func splitOr(e Expr, out []Expr) []Expr {
+	if b, ok := e.(*BinOp); ok && b.Op == "OR" {
+		out = splitOr(b.L, out)
+		return splitOr(b.R, out)
+	}
+	return append(out, e)
+}
+
+// splitAnd flattens top-level AND into conjuncts.
+func splitAnd(e Expr, out []Expr) []Expr {
+	if b, ok := e.(*BinOp); ok && b.Op == "AND" {
+		out = splitAnd(b.L, out)
+		return splitAnd(b.R, out)
+	}
+	return append(out, e)
+}

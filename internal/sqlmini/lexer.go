@@ -1,0 +1,139 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+type lexer struct {
+	in   string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; SQL statements here are short.
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.in) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.in[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.ident()
+		case c >= '0' && c <= '9':
+			l.number()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.symbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.in) {
+		switch l.in[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		case '-':
+			// "--" line comment
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '-' {
+				for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+					l.pos++
+				}
+				continue
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.in) && isIdentPart(l.in[l.pos]) {
+		l.pos++
+	}
+	word := l.in[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.emit(token{kind: tokKeyword, text: upper, pos: start})
+		return
+	}
+	l.emit(token{kind: tokIdent, text: word, pos: start})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9' || l.in[l.pos] == '.') {
+		l.pos++
+	}
+	l.emit(token{kind: tokNumber, text: l.in[start:l.pos], pos: start})
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlmini: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) symbol() error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.in) {
+		two = l.in[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<>", "!=", "<=", ">=":
+		l.pos += 2
+		text := two
+		if text == "!=" {
+			text = "<>"
+		}
+		l.emit(token{kind: tokSymbol, text: text, pos: start})
+		return nil
+	}
+	c := l.in[l.pos]
+	switch c {
+	case '(', ')', ',', '=', '<', '>', '.', '*':
+		l.pos++
+		l.emit(token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	}
+	return fmt.Errorf("sqlmini: unexpected character %q at offset %d", c, start)
+}

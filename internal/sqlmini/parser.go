@@ -1,0 +1,494 @@
+package sqlmini
+
+import (
+	"fmt"
+)
+
+// Parse parses a single SQL statement.
+func Parse(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlmini: trailing input after statement: %s", p.peek())
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) keyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("sqlmini: expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return fmt.Errorf("sqlmini: expected %q, got %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.peek().kind == tokIdent {
+		return p.next().text, nil
+	}
+	return "", fmt.Errorf("sqlmini: expected identifier, got %s", p.peek())
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.keyword("SELECT"):
+		p.pos--
+		return p.selectStmt()
+	case p.keyword("CREATE"):
+		return p.createTable()
+	case p.keyword("DROP"):
+		return p.dropTable()
+	case p.keyword("INSERT"):
+		return p.insert()
+	}
+	return nil, fmt.Errorf("sqlmini: expected SELECT, CREATE, DROP or INSERT, got %s", p.peek())
+}
+
+func (p *parser) createTable() (Statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []string
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		// Optional type name: swallow a single identifier (TEXT, VARCHAR…).
+		if p.peek().kind == tokIdent {
+			p.pos++
+			// And an optional length like VARCHAR(32).
+			if p.symbol("(") {
+				if p.peek().kind != tokNumber {
+					return nil, fmt.Errorf("sqlmini: expected length, got %s", p.peek())
+				}
+				p.pos++
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if p.symbol(",") {
+			continue
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &CreateTable{Name: name, Cols: cols}, nil
+	}
+}
+
+func (p *parser) dropTable() (Statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []string
+		for {
+			t := p.peek()
+			switch t.kind {
+			case tokString, tokNumber:
+				row = append(row, t.text)
+				p.pos++
+			default:
+				return nil, fmt.Errorf("sqlmini: expected literal, got %s", t)
+			}
+			if p.symbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.symbol(",") {
+			continue
+		}
+		return ins, nil
+	}
+}
+
+func (p *parser) selectStmt() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &Select{}
+	s.Distinct = p.keyword("DISTINCT")
+
+	// Select list.
+	for {
+		if p.symbol("*") {
+			s.Star = true
+		} else {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, item)
+		}
+		if p.symbol(",") {
+			continue
+		}
+		break
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.fromItem()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, fi)
+		if p.symbol(",") {
+			continue
+		}
+		break
+	}
+
+	if p.keyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if p.symbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.keyword("HAVING") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.keyword("DESC") {
+				item.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if p.symbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	// "alias.*" star projection.
+	if p.peek().kind == tokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokSymbol && p.toks[p.pos+2].text == "*" {
+		qual := p.next().text
+		p.pos += 2
+		return SelectItem{Qual: qual}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.keyword("AS") {
+		name, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.As = name
+	} else if p.peek().kind == tokIdent {
+		// Bare alias: "expr name".
+		item.As = p.next().text
+	}
+	return item, nil
+}
+
+func (p *parser) fromItem() (FromItem, error) {
+	if p.symbol("(") {
+		sub, err := p.selectStmt()
+		if err != nil {
+			return FromItem{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return FromItem{}, err
+		}
+		p.keyword("AS")
+		alias, err := p.ident()
+		if err != nil {
+			return FromItem{}, fmt.Errorf("sqlmini: derived table needs an alias: %w", err)
+		}
+		return FromItem{Sub: sub, Alias: alias}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return FromItem{}, err
+	}
+	fi := FromItem{Table: name, Alias: name}
+	if p.keyword("AS") {
+		alias, err := p.ident()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.Alias = alias
+	} else if p.peek().kind == tokIdent {
+		fi.Alias = p.next().text
+	}
+	return fi, nil
+}
+
+// Expression grammar: OR > AND > NOT > comparison > primary.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.keyword("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotOp{E: e}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol {
+		switch p.peek().text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			op := p.next().text
+			right, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return &BinOp{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString, t.kind == tokNumber:
+		p.pos++
+		return &Lit{Val: t.text}, nil
+	case t.kind == tokKeyword && t.text == "CASE":
+		return p.caseExpr()
+	case t.kind == tokKeyword && t.text == "COUNT":
+		return p.countExpr()
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.pos++
+		if p.symbol(".") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Qual: t.text, Name: name}, nil
+		}
+		return &ColRef{Name: t.text}, nil
+	}
+	return nil, fmt.Errorf("sqlmini: expected expression, got %s", t)
+}
+
+func (p *parser) caseExpr() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &CaseExpr{}
+	for p.keyword("WHEN") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, fmt.Errorf("sqlmini: CASE needs at least one WHEN (only the searched form is supported)")
+	}
+	if p.keyword("ELSE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) countExpr() (Expr, error) {
+	if err := p.expectKeyword("COUNT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	c := &CountExpr{}
+	if p.symbol("*") {
+		c.Star = true
+	} else {
+		c.Distinct = p.keyword("DISTINCT")
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			c.Args = append(c.Args, e)
+			if p.symbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,227 @@
+package sqlmini
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex(`SELECT t.a, 'it''s' FROM r WHERE x <> 10 -- trailing comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	wantTexts := []string{"SELECT", "t", ".", "a", ",", "it's", "FROM", "r", "WHERE", "x", "<>", "10", ""}
+	if !reflect.DeepEqual(texts, wantTexts) {
+		t.Errorf("texts = %q, want %q", texts, wantTexts)
+	}
+	if kinds[0] != tokKeyword || kinds[1] != tokIdent || kinds[5] != tokString || kinds[11] != tokNumber || kinds[12] != tokEOF {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestLexerCaseInsensitiveKeywords(t *testing.T) {
+	toks, err := lex(`select DiStInCt frOM`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"SELECT", "DISTINCT", "FROM"} {
+		if toks[i].kind != tokKeyword || toks[i].text != want {
+			t.Errorf("token %d = %v, want keyword %s", i, toks[i], want)
+		}
+	}
+}
+
+func TestLexerBangEquals(t *testing.T) {
+	toks, err := lex(`a != b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].text != "<>" {
+		t.Errorf("!= should normalize to <>, got %q", toks[1].text)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex(`'unterminated`); err == nil {
+		t.Error("unterminated string must fail")
+	}
+	if _, err := lex(`a ; b`); err == nil {
+		t.Error("unknown symbol must fail")
+	}
+	if _, err := lex("a # b"); err == nil {
+		t.Error("hash is not a token")
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	st, err := Parse(`
+		select distinct t.a as x, count(distinct t.b, t.c) n
+		from r t, (select a from s) sub
+		where t.a = sub.a or not (t.a <> '1')
+		group by t.a
+		having count(*) > 1
+		order by x desc, n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("not a select: %T", st)
+	}
+	if !sel.Distinct {
+		t.Error("distinct lost")
+	}
+	if len(sel.Items) != 2 || sel.Items[0].As != "x" || sel.Items[1].As != "n" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if _, isCount := sel.Items[1].Expr.(*CountExpr); !isCount {
+		t.Errorf("item 1 should be a COUNT, got %T", sel.Items[1].Expr)
+	}
+	if len(sel.From) != 2 || sel.From[0].Alias != "t" || sel.From[1].Sub == nil || sel.From[1].Alias != "sub" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	or, ok := sel.Where.(*BinOp)
+	if !ok || or.Op != "OR" {
+		t.Errorf("where = %s", exprString(sel.Where))
+	}
+	if _, isNot := or.R.(*NotOp); !isNot {
+		t.Errorf("right disjunct should be NOT, got %T", or.R)
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("group by / having lost")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st, err := Parse(`select a from r where a = '1' and b = '2' or c = '3'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := st.(*Select).Where
+	// AND binds tighter: (a AND b) OR c.
+	or, ok := where.(*BinOp)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %s", exprString(where))
+	}
+	if l, ok := or.L.(*BinOp); !ok || l.Op != "AND" {
+		t.Errorf("left = %s", exprString(or.L))
+	}
+	// Parentheses override.
+	st2, err := Parse(`select a from r where a = '1' and (b = '2' or c = '3')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := st2.(*Select).Where.(*BinOp)
+	if !ok || and.Op != "AND" {
+		t.Errorf("top = %s", exprString(st2.(*Select).Where))
+	}
+}
+
+func TestParseCreateTableTypes(t *testing.T) {
+	st, err := Parse(`create table r (a text, b varchar(32), c)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if !reflect.DeepEqual(ct.Cols, []string{"a", "b", "c"}) {
+		t.Errorf("cols = %v", ct.Cols)
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	st, err := Parse(`insert into r values ('a', 1), ('b', 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	if len(ins.Rows) != 2 || ins.Rows[0][1] != "1" || ins.Rows[1][0] != "b" {
+		t.Errorf("rows = %v", ins.Rows)
+	}
+}
+
+func TestParseCaseForms(t *testing.T) {
+	st, err := Parse(`select case when a = '1' then 'x' when a = '2' then 'y' else 'z' end from r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.(*Select).Items[0].Expr.(*CaseExpr)
+	if len(c.Whens) != 2 || c.Else == nil {
+		t.Errorf("case = %+v", c)
+	}
+	// No ELSE.
+	st2, err := Parse(`select case when a = '1' then 'x' end from r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.(*Select).Items[0].Expr.(*CaseExpr).Else != nil {
+		t.Error("ELSE should be nil")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	st, err := Parse(`select case when t.a = 'x''y' then '1' else '0' end as c, count(distinct t.b) from r t where not (t.a <> '2')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*Select)
+	if got := exprString(sel.Items[0].Expr); !strings.Contains(got, "'x''y'") {
+		t.Errorf("quote escaping lost: %s", got)
+	}
+	if got := exprString(sel.Items[1].Expr); got != "COUNT(DISTINCT t.b)" {
+		t.Errorf("count rendering = %s", got)
+	}
+	if got := exprString(sel.Where); got != "NOT ((t.a <> '2'))" {
+		t.Errorf("not rendering = %s", got)
+	}
+	// Star counts.
+	st2, _ := Parse(`select count(*) from r`)
+	if got := exprString(st2.(*Select).Items[0].Expr); got != "COUNT(*)" {
+		t.Errorf("count star = %s", got)
+	}
+}
+
+// TestParsedSQLRoundTripsThroughEngine: the SQL fragments the generator
+// emits all parse into shapes the executor supports.
+func TestParsedSQLRoundTripsThroughEngine(t *testing.T) {
+	db := testDB(t)
+	queries := []string{
+		`select t.CC from cust t where (t.CC = '01' or t.CC = '_') and (t.CT <> 'MH' and t.CT <> '_')`,
+		`select distinct t.CC, t.AC from cust t group by t.CC, t.AC having count(distinct t.CT, t.ZIP) > 1`,
+		`select m.a from (select t.CC as a from cust t) m group by m.a having count(*) >= 1`,
+	}
+	for _, q := range queries {
+		if _, err := db.Query(q); err != nil {
+			t.Errorf("Query(%q): %v", q, err)
+		}
+	}
+}
+
+func TestSplitOrAnd(t *testing.T) {
+	st, err := Parse(`select a from r where (a = '1' or b = '2') and c = '3' or d = '4'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := st.(*Select).Where
+	disj := splitOr(where, nil)
+	if len(disj) != 2 {
+		t.Fatalf("top-level disjuncts = %d, want 2", len(disj))
+	}
+	conj := splitAnd(disj[0], nil)
+	if len(conj) != 2 {
+		t.Errorf("conjuncts of first disjunct = %d, want 2", len(conj))
+	}
+	// The nested OR inside the first conjunct must NOT be split.
+	if inner, ok := conj[0].(*BinOp); !ok || inner.Op != "OR" {
+		t.Errorf("nested OR was destroyed: %s", exprString(conj[0]))
+	}
+}

@@ -1,0 +1,420 @@
+package sqlmini
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// testDB builds a small catalog mirroring the paper's cust example.
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `create table cust (CC text, AC text, PN text, NM text, STR text, CT text, ZIP text)`)
+	mustExec(t, db, `insert into cust values
+		('01','908','1111111','Mike','Tree Ave.','NYC','07974'),
+		('01','908','1111111','Rick','Tree Ave.','NYC','07974'),
+		('01','212','2222222','Joe','Elm Str.','NYC','01202'),
+		('01','212','2222222','Jim','Elm Str.','NYC','02404'),
+		('01','215','3333333','Ben','Oak Ave.','PHI','02394'),
+		('44','131','4444444','Ian','High St.','EDI','EH4 1DT')`)
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, sql string) int {
+	t.Helper()
+	n, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return n
+}
+
+func mustQuery(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return res
+}
+
+func rowsAsStrings(res *Result) [][]string {
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r
+	}
+	return out
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `select CT from cust t where t.CC = '44'`)
+	if want := [][]string{{"EDI"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("rows = %v, want %v", res.Rows, want)
+	}
+	if !reflect.DeepEqual(res.Cols, []string{"CT"}) {
+		t.Errorf("cols = %v", res.Cols)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `select * from cust`)
+	if len(res.Cols) != 7 || len(res.Rows) != 6 {
+		t.Errorf("star select: %d cols, %d rows", len(res.Cols), len(res.Rows))
+	}
+	res = mustQuery(t, db, `select t.* from cust t where t.AC = '908'`)
+	if len(res.Rows) != 2 {
+		t.Errorf("alias star: %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestRowidPseudoColumn(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `select t._rowid from cust t where t.NM = 'Ben'`)
+	if want := [][]string{{"4"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("rowid = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestWhereAndOrNot(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db,
+		`select NM from cust t where (t.AC = '908' or t.AC = '215') and not (t.NM = 'Rick')`)
+	if want := [][]string{{"Mike"}, {"Ben"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `create table n (v text)`)
+	mustExec(t, db, `insert into n values ('2'), ('10'), ('abc')`)
+	// Numeric comparison when both sides are numbers: 2 < 10.
+	res := mustQuery(t, db, `select v from n t where t.v < 10`)
+	if want := [][]string{{"2"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("numeric <: %v, want %v", res.Rows, want)
+	}
+	// String comparison when either side is non-numeric.
+	res = mustQuery(t, db, `select v from n t where t.v >= 'abc'`)
+	if want := [][]string{{"abc"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("string >=: %v, want %v", res.Rows, want)
+	}
+	res = mustQuery(t, db, `select v from n t where t.v <> '10'`)
+	if len(res.Rows) != 2 {
+		t.Errorf("<>: %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestJoinTwoTables(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `create table codes (AC text, CITY text)`)
+	mustExec(t, db, `insert into codes values ('908','MH'), ('212','NYC'), ('215','PHI')`)
+	res := mustQuery(t, db, `
+		select distinct t.NM, c.CITY from cust t, codes c
+		where t.AC = c.AC and t.CC = '01'
+		order by NM`)
+	want := [][]string{{"Ben", "PHI"}, {"Jim", "NYC"}, {"Joe", "NYC"}, {"Mike", "MH"}, {"Rick", "MH"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("join rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestCrossJoinNoPredicate(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `create table a (x text)`)
+	mustExec(t, db, `create table b (y text)`)
+	mustExec(t, db, `insert into a values ('1'), ('2')`)
+	mustExec(t, db, `insert into b values ('u'), ('v'), ('w')`)
+	res := mustQuery(t, db, `select x, y from a, b`)
+	if len(res.Rows) != 6 {
+		t.Errorf("cross join: %d rows, want 6", len(res.Rows))
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `create table a (id text, v text)`)
+	mustExec(t, db, `create table b (id text, w text)`)
+	mustExec(t, db, `create table c (id text, u text)`)
+	mustExec(t, db, `insert into a values ('1','a1'), ('2','a2')`)
+	mustExec(t, db, `insert into b values ('1','b1'), ('2','b2')`)
+	mustExec(t, db, `insert into c values ('2','c2')`)
+	res := mustQuery(t, db, `
+		select a.v, b.w, c.u from a, b, c
+		where a.id = b.id and b.id = c.id`)
+	if want := [][]string{{"a2", "b2", "c2"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("3-way join = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestGroupByHavingCountDistinct(t *testing.T) {
+	db := testDB(t)
+	// The QV shape of the paper: groups with more than one distinct Y.
+	res := mustQuery(t, db, `
+		select distinct t.CC, t.AC, t.PN from cust t
+		group by t.CC, t.AC, t.PN
+		having count(distinct t.STR, t.CT, t.ZIP) > 1`)
+	// Only (01,212,2222222): t3 and t4 differ on ZIP.
+	want := [][]string{{"01", "212", "2222222"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("QV groups = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `select t.CC, count(*) as n from cust t group by t.CC order by CC`)
+	want := [][]string{{"01", "5"}, {"44", "1"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("count(*) = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestAggregateWithoutGroupBy(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `select count(*) as n from cust t`)
+	if want := [][]string{{"6"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("count = %v, want %v", res.Rows, want)
+	}
+	res = mustQuery(t, db, `select count(distinct t.CC) as n from cust t`)
+	if want := [][]string{{"2"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("count distinct = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `
+		select case when t.CC = '44' then 'UK' else 'US' end as country
+		from cust t order by country`)
+	if len(res.Rows) != 6 || res.Rows[0][0] != "UK" || res.Rows[5][0] != "US" {
+		t.Errorf("case rows = %v", res.Rows)
+	}
+	if res.Cols[0] != "country" {
+		t.Errorf("cols = %v", res.Cols)
+	}
+}
+
+func TestCaseMaskingLikeMacro(t *testing.T) {
+	// The Section 4.2 masking shape: replace a value by '@' when the
+	// pattern cell is '@'.
+	db := NewDB()
+	mustExec(t, db, `create table r (A text, B text)`)
+	mustExec(t, db, `create table p (A text, B text)`)
+	mustExec(t, db, `insert into r values ('1','x'), ('2','y')`)
+	mustExec(t, db, `insert into p values ('@','_')`)
+	res := mustQuery(t, db, `
+		select case when p.A = '@' then '@' else r.A end as MA,
+		       case when p.B = '@' then '@' else r.B end as MB
+		from r, p`)
+	want := [][]string{{"@", "x"}, {"@", "y"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("masking = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `
+		select m.CT, count(*) as n
+		from (select t.CT as CT from cust t where t.CC = '01') m
+		group by m.CT
+		order by CT`)
+	want := [][]string{{"NYC", "4"}, {"PHI", "1"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("derived = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	db := testDB(t)
+	// Group directly by a CASE expression (what the merged QV relies on).
+	res := mustQuery(t, db, `
+		select case when t.CC = '44' then 'UK' else 'US' end as country, count(*) as n
+		from cust t
+		group by case when t.CC = '44' then 'UK' else 'US' end
+		order by country`)
+	want := [][]string{{"UK", "1"}, {"US", "5"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("group-by-expr = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `select distinct t.AC from cust t order by AC desc`)
+	want := [][]string{{"908"}, {"215"}, {"212"}, {"131"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("order desc = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestNumericOrderBy(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `create table n (v text)`)
+	mustExec(t, db, `insert into n values ('10'), ('2'), ('1')`)
+	res := mustQuery(t, db, `select v from n order by v`)
+	want := [][]string{{"1"}, {"2"}, {"10"}}
+	if !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("numeric order = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestCNFAndDNFSameResult(t *testing.T) {
+	// The CNF and DNF forms of the same predicate must agree — the paper's
+	// rewriting only changes the plan, never the answer.
+	db := testDB(t)
+	mustExec(t, db, `create table tp (CC text, AC text, CT text)`)
+	mustExec(t, db, `insert into tp values ('01','908','MH'), ('01','212','NYC'), ('_','_','_')`)
+	cnf := `
+		select t._rowid from cust t, tp p
+		where (t.CC = p.CC or p.CC = '_') and (t.AC = p.AC or p.AC = '_')
+		  and (t.CT <> p.CT and p.CT <> '_')
+		order by _rowid`
+	dnf := `
+		select t._rowid from cust t, tp p
+		where (t.CC = p.CC and t.AC = p.AC and t.CT <> p.CT and p.CT <> '_')
+		   or (t.CC = p.CC and p.AC = '_' and t.CT <> p.CT and p.CT <> '_')
+		   or (p.CC = '_' and t.AC = p.AC and t.CT <> p.CT and p.CT <> '_')
+		   or (p.CC = '_' and p.AC = '_' and t.CT <> p.CT and p.CT <> '_')
+		order by _rowid`
+	r1 := mustQuery(t, db, cnf)
+	r2 := mustQuery(t, db, dnf)
+	if !reflect.DeepEqual(r1.Rows, r2.Rows) {
+		t.Errorf("CNF %v != DNF %v", r1.Rows, r2.Rows)
+	}
+	// t1, t2 have CT=NYC but pattern (01,908) demands MH.
+	if want := [][]string{{"0"}, {"1"}}; !reflect.DeepEqual(rowsAsStrings(r1), want) {
+		t.Errorf("violations = %v, want %v", r1.Rows, want)
+	}
+}
+
+func TestDNFDeduplicatesAcrossDisjuncts(t *testing.T) {
+	// A row matching several disjuncts must appear once.
+	db := NewDB()
+	mustExec(t, db, `create table a (x text)`)
+	mustExec(t, db, `insert into a values ('1')`)
+	res := mustQuery(t, db, `select x from a t where t.x = '1' or t.x <> '2'`)
+	if len(res.Rows) != 1 {
+		t.Errorf("dedup: %d rows, want 1", len(res.Rows))
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `create table a (x text, y text)`)
+	if _, err := db.Exec(`insert into a values ('1')`); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestDDLErrors(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `create table a (x text)`)
+	if _, err := db.Exec(`create table a (x text)`); err == nil {
+		t.Error("duplicate create must fail")
+	}
+	if _, err := db.Exec(`drop table b`); err == nil {
+		t.Error("dropping a missing table must fail")
+	}
+	mustExec(t, db, `drop table a`)
+	if _, err := db.Query(`select x from a`); err == nil {
+		t.Error("query on dropped table must fail")
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		`select NOPE from cust`,
+		`select t.CC from cust t, cust t`,          // duplicate alias
+		`select CC from cust t where count(*) > 1`, // aggregate in WHERE
+		`select z.CC from cust t`,
+		`select CC from missing`,
+		`select CC from cust t having count(*) > 0`, // HAVING without grouping is fine? no: grouped because aggregate present
+	}
+	for _, sql := range bad[:5] {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("Query(%q) should fail", sql)
+		}
+	}
+	// The last one IS legal (aggregate context from HAVING): single group.
+	res := mustQuery(t, db, bad[5])
+	if len(res.Rows) != 1 {
+		t.Errorf("having-only aggregate: %d rows", len(res.Rows))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`select`,
+		`select from cust`,
+		`select * cust`,
+		`select * from (select * from cust)`, // derived table needs alias
+		`select * from cust where`,
+		`select * from cust where CC = `,
+		`update cust set CC = '1'`,
+		`select case end from cust`,
+		`select 'unterminated from cust`,
+		`insert into cust values ('a'`,
+		`select * from cust; select * from cust`,
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestRegisterRelation(t *testing.T) {
+	db := NewDB()
+	rel := relation.New(relation.MustSchema("ext", relation.Attr("K")))
+	rel.MustInsert("v")
+	db.RegisterRelation("ext", rel)
+	res := mustQuery(t, db, `select K from ext`)
+	if want := [][]string{{"v"}}; !reflect.DeepEqual(rowsAsStrings(res), want) {
+		t.Errorf("registered relation rows = %v", res.Rows)
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "ext" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestStringLiteralEscapes(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, `create table s (v text)`)
+	mustExec(t, db, `insert into s values ('O''Hare')`)
+	res := mustQuery(t, db, `select v from s t where t.v = 'O''Hare'`)
+	if len(res.Rows) != 1 {
+		t.Errorf("quote escape: %d rows, want 1", len(res.Rows))
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	db := testDB(t)
+	res := mustQuery(t, db, `select CT -- the city
+		from cust t where t.CC = '44'`)
+	if len(res.Rows) != 1 {
+		t.Errorf("comment handling: %d rows", len(res.Rows))
+	}
+}
+
+func TestUnambiguousUnqualifiedColumns(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, `create table z (ZIP text, OTHER text)`)
+	mustExec(t, db, `insert into z values ('07974','x')`)
+	// ZIP is ambiguous across cust and z.
+	if _, err := db.Query(`select ZIP from cust t, z`); err == nil {
+		t.Error("ambiguous column must be rejected")
+	}
+	// OTHER is unique.
+	res := mustQuery(t, db, `select OTHER from cust t, z where t.ZIP = z.ZIP`)
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,55 @@
+// Package sqlmini is a small in-memory SQL engine: lexer, parser, planner
+// and executor for the SQL subset the paper's detection queries need —
+// multi-table SELECT with WHERE in CNF or DNF, GROUP BY / HAVING with
+// COUNT(DISTINCT …), CASE expressions, derived tables, DISTINCT and ORDER
+// BY, plus CREATE TABLE / INSERT / DROP TABLE for loading.
+//
+// It stands in for the commercial DBMS (DB2) of the paper's experiments.
+// The planner deliberately reproduces the optimizer behaviour the paper
+// reports: equality conjuncts become hash joins, but conjuncts containing
+// OR cannot drive a join and force nested loops — so presenting a WHERE
+// clause in DNF (one hash-joinable conjunction per disjunct) beats the
+// same clause in CNF, exactly as in Section 5 "CNF vs. DNF".
+package sqlmini
+
+import "fmt"
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString // single-quoted string literal
+	tokNumber
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; strings unquoted
+	pos  int    // byte offset in the input, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords recognized by the lexer (case-insensitive in the input).
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"COUNT": true, "ASC": true, "DESC": true,
+	"CREATE": true, "TABLE": true, "DROP": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UNION": true, "ALL": true,
+}
