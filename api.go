@@ -8,6 +8,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/discovery"
 	"repro/internal/gen"
+	"repro/internal/incremental"
 	"repro/internal/relation"
 	"repro/internal/repair"
 	"repro/internal/sqlgen"
@@ -196,6 +197,36 @@ type (
 // (certified in RepairResult.Satisfied).
 func Repair(rel *Relation, sigma []*CFD, opts RepairOptions) (*RepairResult, error) {
 	return repair.Repair(rel, sigma, opts)
+}
+
+// Incremental violation monitoring (the serving path; see
+// internal/incremental).
+type (
+	// Monitor maintains a live violation set under tuple-level changes.
+	Monitor = incremental.Monitor
+	// MonitorOptions tunes the monitor (lock-shard count).
+	MonitorOptions = incremental.Options
+	// ViolationDelta is the net violation change caused by one operation.
+	ViolationDelta = incremental.Delta
+	// ViolationChange is one added or retired violation within a delta.
+	ViolationChange = incremental.Change
+	// MonitorState is a point-in-time snapshot of the live violation set.
+	MonitorState = incremental.State
+	// MonitorViolations is one CFD's entry in a MonitorState.
+	MonitorViolations = incremental.CFDViolations
+)
+
+// NewMonitor builds an empty incremental monitor for the schema and Σ;
+// feed it with Monitor.Insert.
+func NewMonitor(schema *Schema, sigma []*CFD, opts MonitorOptions) (*Monitor, error) {
+	return incremental.New(schema, sigma, opts)
+}
+
+// LoadMonitor builds a monitor over an existing instance. Tuple keys are
+// assigned 0..Len()-1 in row order, so they coincide with the batch
+// detectors' row ids for the initial load.
+func LoadMonitor(rel *Relation, sigma []*CFD, opts MonitorOptions) (*Monitor, error) {
+	return incremental.Load(rel, sigma, opts)
 }
 
 // Workload generation (Section 5).

@@ -268,3 +268,68 @@ func TestPatternConstructors(t *testing.T) {
 		t.Error("constructor/parser round trip failed")
 	}
 }
+
+// TestMonitorThroughFacade: incremental monitoring composed through the
+// public API only — load, mutate, query, and agree with batch Detect.
+func TestMonitorThroughFacade(t *testing.T) {
+	_, rel := custFixture(t)
+	sigma, err := ParseCFDSet(figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadMonitor(rel, sigma, MonitorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Satisfied() {
+		t.Fatal("Figure 1 instance should violate Σ")
+	}
+	// The live set after Load matches a batch run (keys == row ids here).
+	batch, err := Detect(rel, sigma, DetectOptions{Strategy: StrategyDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := m.Violations()
+	for i := range sigma {
+		if len(live.PerCFD[i].ConstTuples) != len(batch.PerCFD[i].ConstTuples) ||
+			len(live.PerCFD[i].VariableKeys) != len(batch.PerCFD[i].VariableKeys) {
+			t.Fatalf("CFD %d: live (%d const, %d var) vs batch (%d const, %d var)",
+				i, len(live.PerCFD[i].ConstTuples), len(live.PerCFD[i].VariableKeys),
+				len(batch.PerCFD[i].ConstTuples), len(batch.PerCFD[i].VariableKeys))
+		}
+	}
+	// Repair the Example 2.2 violations through the mutation surface and
+	// watch the live set drain to empty.
+	if _, err := m.Update(1, "NM", "Mike"); err != nil { // no CFD mentions NM
+		t.Fatal(err)
+	}
+	// t1/t2 violate ϕ2's 908→MH row: set CT to MH.
+	for _, key := range []int64{0, 1} {
+		if _, err := m.Update(key, "CT", "MH"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// t3/t4 disagree on ZIP under ϕ2: align them.
+	if _, err := m.Update(3, "ZIP", "01202"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Satisfied() {
+		t.Fatalf("expected clean instance after repairs, still have:\n%v", m.Violations().PerCFD)
+	}
+	// Batch agrees on the snapshot.
+	res, err := Detect(m.Snapshot(), sigma, DetectOptions{Strategy: StrategyDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatal("batch detector disagrees with Satisfied()")
+	}
+	// A fresh violating insert reports its delta.
+	_, delta, err := m.Insert(Tuple{"01", "908", "1111111", "Eve", "Oak Ave.", "NYC", "07974"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Empty() {
+		t.Fatal("violating insert produced no delta")
+	}
+}

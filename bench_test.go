@@ -25,6 +25,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/discovery"
 	"repro/internal/gen"
+	"repro/internal/incremental"
 	"repro/internal/repair"
 	"repro/internal/sqlgen"
 	"repro/internal/sqlmini"
@@ -370,6 +371,99 @@ func BenchmarkCINDDetection(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cind.FindViolations(data.Dirty, zipdir, psi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8 — incremental monitoring (beyond the paper): the serving-path claim
+// that a single-tuple change costs O(affected buckets), not a rescan of I.
+// One 100K dirty instance and three Section 5 CFD families; compare
+// Monitor.Update against mutate-then-full-re-detect on the same workload.
+
+func incrementalWorkload100K(b *testing.B) (*Relation, []*CFD) {
+	b.Helper()
+	data := taxData(100000, 0.05)
+	var sigma []*CFD
+	for i, tpl := range []gen.Template{gen.ZipToState, gen.ZipCityToState, gen.AreaCodeToState} {
+		cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+			Template: tpl, TabSize: 500, ConstPct: 1.0, Seed: int64(3 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sigma = append(sigma, cfd)
+	}
+	return data.Dirty, sigma
+}
+
+// BenchmarkIncrementalUpdate100K: one Monitor.Update per iteration (the
+// incremental path). Must come out ≥10× faster than the rescan below.
+func BenchmarkIncrementalUpdate100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	m, err := incremental.Load(rel, sigma, incremental.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := int64(rel.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val := "AAA"
+		if i%2 == 1 {
+			val = "BBB"
+		}
+		if _, err := m.Update(int64(i)%n, "CT", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRescanAfterUpdate100K: the batch baseline — apply the same
+// single-tuple change to the relation, then re-run the full direct
+// detector over all 100K tuples.
+func BenchmarkRescanAfterUpdate100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	ctIdx := rel.Schema.MustIndex("CT")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val := "AAA"
+		if i%2 == 1 {
+			val = "BBB"
+		}
+		rel.Tuples[i%rel.Len()][ctIdx] = val
+		if _, err := detect.Detect(rel, sigma, detect.Options{Strategy: detect.Direct}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalInsertDelete100K: churn — one insert and one delete
+// per iteration against the live 100K monitor.
+func BenchmarkIncrementalInsertDelete100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	m, err := incremental.Load(rel, sigma, incremental.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuple := rel.Tuples[0].Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key, _, err := m.Insert(tuple)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Delete(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorLoad100K: one-time index build cost for the serving path.
+func BenchmarkMonitorLoad100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := incremental.Load(rel, sigma, incremental.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,12 +7,19 @@
 //	cfdbench               # full paper-scale parameters
 //	cfdbench -quick        # reduced sizes for a fast smoke run
 //	cfdbench -only 9a,9f   # a subset of experiments
+//	cfdbench -json         # machine-readable results (name, ns/op, allocs)
+//
+// With -json the tables are suppressed and a single JSON array of
+// measurements is written to stdout, so a per-PR perf trajectory
+// (BENCH_*.json) can be captured by CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,8 +33,9 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced sizes for a fast run")
-		only  = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge)")
+		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
+		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge)")
+		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 	)
 	flag.Parse()
 	sel := map[string]bool{}
@@ -38,7 +46,7 @@ func main() {
 	}
 	want := func(id string) bool { return len(sel) == 0 || sel[id] }
 
-	b := &bench{quick: *quick}
+	b := &bench{quick: *quick, jsonOut: *jsonOut}
 	if want("9a") {
 		b.fig9ab("9a", 1.0)
 	}
@@ -60,20 +68,53 @@ func main() {
 	if want("merge") {
 		b.merge()
 	}
+	if b.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(b.results); err != nil {
+			b.fatal(err)
+		}
+	}
 	if b.failed {
 		os.Exit(1)
 	}
 }
 
+// result is one machine-readable measurement for the -json surface.
+type result struct {
+	Name   string `json:"name"`
+	NsOp   int64  `json:"ns_per_op"`
+	Allocs uint64 `json:"allocs"`
+}
+
 type bench struct {
-	quick  bool
-	failed bool
+	quick   bool
+	jsonOut bool
+	failed  bool
+	results []result
 }
 
 func (b *bench) fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cfdbench:", err)
 	b.failed = true
 	os.Exit(1)
+}
+
+// measurement is a timed run with its allocation count.
+type measurement struct {
+	d      time.Duration
+	allocs uint64
+}
+
+func (m measurement) add(o measurement) measurement {
+	return measurement{d: m.d + o.d, allocs: m.allocs + o.allocs}
+}
+
+// record captures a measurement under a stable series name (JSON mode).
+func (b *bench) record(name string, m measurement) {
+	if b.jsonOut {
+		b.results = append(b.results, result{Name: name, NsOp: m.d.Nanoseconds(), Allocs: m.allocs})
+	}
 }
 
 // sizes returns the SZ axis of Figures 9(a)–(c).
@@ -126,56 +167,70 @@ func (b *bench) setup(rel *relation.Relation, cfd *core.CFD, form sqlgen.Form) (
 	return db, pair{qc, qv}
 }
 
-func (b *bench) timeQuery(db *sqlmini.DB, sql string) time.Duration {
+func (b *bench) timeQuery(db *sqlmini.DB, sql string) measurement {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	if _, err := db.Query(sql); err != nil {
 		b.fatal(err)
 	}
-	return time.Since(start)
+	d := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return measurement{d: d, allocs: after.Mallocs - before.Mallocs}
 }
 
-func (b *bench) timePair(db *sqlmini.DB, p pair) time.Duration {
-	return b.timeQuery(db, p.qc) + b.timeQuery(db, p.qv)
+func (b *bench) timePair(db *sqlmini.DB, p pair) measurement {
+	return b.timeQuery(db, p.qc).add(b.timeQuery(db, p.qv))
 }
 
-func header(title string, cols ...string) {
+func (b *bench) header(title string, cols ...string) {
+	if b.jsonOut {
+		return
+	}
 	fmt.Printf("\n## %s\n\n| %s |\n|%s\n", title, strings.Join(cols, " | "),
 		strings.Repeat("---|", len(cols)))
 }
 
-func row(cells ...string) {
+func (b *bench) row(cells ...string) {
+	if b.jsonOut {
+		return
+	}
 	fmt.Printf("| %s |\n", strings.Join(cells, " | "))
 }
 
-func ms(d time.Duration) string {
-	return fmt.Sprintf("%.0f", float64(d.Microseconds())/1000)
+func ms(m measurement) string {
+	return fmt.Sprintf("%.0f", float64(m.d.Microseconds())/1000)
 }
 
 // fig9ab: Figures 9(a)/(b) — CNF vs DNF over SZ, NUMATTRs 3, TABSZ 1K.
 func (b *bench) fig9ab(id string, constPct float64) {
-	header(fmt.Sprintf("Figure %s: CNF vs DNF (NUMCONSTs = %.0f%%)", id, constPct*100),
+	b.header(fmt.Sprintf("Figure %s: CNF vs DNF (NUMCONSTs = %.0f%%)", id, constPct*100),
 		"SZ", "CNF ms", "DNF ms", "speedup")
 	for _, sz := range b.sizes() {
 		data := b.data(sz, 0.05)
 		cfd := b.cfd(data.Clean, 3, 1000, constPct)
 		dbC, pC := b.setup(data.Dirty, cfd, sqlgen.CNF)
 		cnf := b.timePair(dbC, pC)
+		b.record(fmt.Sprintf("%s/SZ=%d/cnf", id, sz), cnf)
 		dbD, pD := b.setup(data.Dirty, cfd, sqlgen.DNF)
 		dnf := b.timePair(dbD, pD)
-		row(fmt.Sprint(sz), ms(cnf), ms(dnf), fmt.Sprintf("%.1fx", float64(cnf)/float64(dnf)))
+		b.record(fmt.Sprintf("%s/SZ=%d/dnf", id, sz), dnf)
+		b.row(fmt.Sprint(sz), ms(cnf), ms(dnf), fmt.Sprintf("%.1fx", float64(cnf.d)/float64(dnf.d)))
 	}
 }
 
 // fig9c: QC vs QV split over SZ (DNF).
 func (b *bench) fig9c() {
-	header("Figure 9c: QC vs QV", "SZ", "QC ms", "QV ms")
+	b.header("Figure 9c: QC vs QV", "SZ", "QC ms", "QV ms")
 	for _, sz := range b.sizes() {
 		data := b.data(sz, 0.05)
 		cfd := b.cfd(data.Clean, 3, 1000, 1.0)
 		db, p := b.setup(data.Dirty, cfd, sqlgen.DNF)
 		qc := b.timeQuery(db, p.qc)
+		b.record(fmt.Sprintf("9c/SZ=%d/qc", sz), qc)
 		qv := b.timeQuery(db, p.qv)
-		row(fmt.Sprint(sz), ms(qc), ms(qv))
+		b.record(fmt.Sprintf("9c/SZ=%d/qv", sz), qv)
+		b.row(fmt.Sprint(sz), ms(qc), ms(qv))
 	}
 }
 
@@ -187,16 +242,18 @@ func (b *bench) fig9d() {
 		sz, step, max = 50000, 2000, 6000
 	}
 	data := b.data(sz, 0.05)
-	header(fmt.Sprintf("Figure 9d: scalability in TABSZ (SZ = %d)", sz),
+	b.header(fmt.Sprintf("Figure 9d: scalability in TABSZ (SZ = %d)", sz),
 		"TABSZ", "NUMATTRs=3 ms", "NUMATTRs=4 ms")
 	for tabsz := step; tabsz <= max; tabsz += step {
 		cfd3 := b.cfd(data.Clean, 3, tabsz, 0.5)
 		db3, p3 := b.setup(data.Dirty, cfd3, sqlgen.DNF)
 		t3 := b.timePair(db3, p3)
+		b.record(fmt.Sprintf("9d/TABSZ=%d/attrs=3", tabsz), t3)
 		cfd4 := b.cfd(data.Clean, 4, tabsz, 0.5)
 		db4, p4 := b.setup(data.Dirty, cfd4, sqlgen.DNF)
 		t4 := b.timePair(db4, p4)
-		row(fmt.Sprint(tabsz), ms(t3), ms(t4))
+		b.record(fmt.Sprintf("9d/TABSZ=%d/attrs=4", tabsz), t4)
+		b.row(fmt.Sprint(tabsz), ms(t3), ms(t4))
 	}
 }
 
@@ -207,12 +264,14 @@ func (b *bench) fig9e() {
 		sz = 20000
 	}
 	data := b.data(sz, 0.05)
-	header(fmt.Sprintf("Figure 9e: scalability in NUMCONSTs (SZ = %d)", sz),
+	b.header(fmt.Sprintf("Figure 9e: scalability in NUMCONSTs (SZ = %d)", sz),
 		"NUMCONSTs", "detect ms")
 	for pct := 100; pct >= 10; pct -= 10 {
 		cfd := b.cfd(data.Clean, 3, 1000, float64(pct)/100)
 		db, p := b.setup(data.Dirty, cfd, sqlgen.DNF)
-		row(fmt.Sprintf("%d%%", pct), ms(b.timePair(db, p)))
+		t := b.timePair(db, p)
+		b.record(fmt.Sprintf("9e/NUMCONSTS=%d", pct), t)
+		b.row(fmt.Sprintf("%d%%", pct), ms(t))
 	}
 }
 
@@ -223,12 +282,14 @@ func (b *bench) fig9f() {
 		sz = 20000
 	}
 	cfd := gen.AllZipStateCFD(gen.NumZips)
-	header(fmt.Sprintf("Figure 9f: scalability in NOISE (SZ = %d, TABSZ = %d)", sz, gen.NumZips),
+	b.header(fmt.Sprintf("Figure 9f: scalability in NOISE (SZ = %d, TABSZ = %d)", sz, gen.NumZips),
 		"NOISE", "detect ms")
 	for noise := 0; noise <= 9; noise++ {
 		data := b.data(sz, float64(noise)/100)
 		db, p := b.setup(data.Dirty, cfd, sqlgen.DNF)
-		row(fmt.Sprintf("%d%%", noise), ms(b.timePair(db, p)))
+		t := b.timePair(db, p)
+		b.record(fmt.Sprintf("9f/NOISE=%d", noise), t)
+		b.row(fmt.Sprintf("%d%%", noise), ms(t))
 	}
 }
 
@@ -249,17 +310,23 @@ func (b *bench) merge() {
 		}
 		sigma = append(sigma, cfd)
 	}
-	header(fmt.Sprintf("Merging CFDs (SZ = %d, 3 related CFDs, TABSZ 500)", sz),
+	b.header(fmt.Sprintf("Merging CFDs (SZ = %d, 3 related CFDs, TABSZ 500)", sz),
 		"plan", "passes over R", "detect ms")
-	run := func(name string, passes string, opts detect.Options) {
+	run := func(id, name string, passes string, opts detect.Options) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		if _, err := detect.Detect(data.Dirty, sigma, opts); err != nil {
 			b.fatal(err)
 		}
-		row(name, passes, ms(time.Since(start)))
+		m := measurement{d: time.Since(start)}
+		runtime.ReadMemStats(&after)
+		m.allocs = after.Mallocs - before.Mallocs
+		b.record("merge/"+id, m)
+		b.row(name, passes, ms(m))
 	}
-	run("merged (QCΣ, QVΣ), CNF", "2", detect.Options{Strategy: detect.SQLMerged, Form: sqlgen.CNF})
-	run("per-CFD (QC, QV), CNF", "6", detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.CNF})
-	run("per-CFD (QC, QV), DNF", "6", detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.DNF})
-	run("direct (no SQL)", "-", detect.Options{Strategy: detect.Direct})
+	run("merged-cnf", "merged (QCΣ, QVΣ), CNF", "2", detect.Options{Strategy: detect.SQLMerged, Form: sqlgen.CNF})
+	run("percfd-cnf", "per-CFD (QC, QV), CNF", "6", detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.CNF})
+	run("percfd-dnf", "per-CFD (QC, QV), DNF", "6", detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.DNF})
+	run("direct", "direct (no SQL)", "-", detect.Options{Strategy: detect.Direct})
 }

@@ -6,17 +6,29 @@
 //	cfddetect -data tax.csv -cfds cfds.txt
 //	cfddetect -data tax.csv -cfds cfds.txt -strategy merged -form cnf
 //	cfddetect -data tax.csv -cfds cfds.txt -show-sql
+//	cfddetect -data tax.csv -cfds cfds.txt -watch changes.csv
 //
-// Exit status is 2 on error, 1 when violations were found, 0 when clean.
+// With -watch, the instance is loaded into an incremental Monitor and the
+// named CSV change stream ('-' for stdin) is tailed: each record is
+// op,args... — "insert,v1,...,vn", "delete,KEY" or "update,KEY,ATTR,VALUE"
+// — and the violation delta each change causes is printed as it happens,
+// instead of re-detecting from scratch.
+//
+// Exit status is 2 on error, 1 when violations were found (for -watch:
+// when violations remain live after the stream), 0 when clean.
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -28,13 +40,22 @@ func main() {
 		showSQL  = flag.Bool("show-sql", false, "print the generated detection queries")
 		explain  = flag.Bool("explain", false, "print the physical query plans (nested loop vs hash join)")
 		maxShow  = flag.Int("max", 10, "max violations to print per CFD")
+		watch    = flag.String("watch", "", "apply a CSV change stream incrementally ('-' = stdin) instead of one-shot detection")
 	)
 	flag.Parse()
 	if *dataPath == "" || *cfdPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	code, err := run(*dataPath, *cfdPath, *strategy, *form, *showSQL, *explain, *maxShow)
+	var (
+		code int
+		err  error
+	)
+	if *watch != "" {
+		code, err = runWatch(*dataPath, *cfdPath, *watch, os.Stdout)
+	} else {
+		code, err = run(*dataPath, *cfdPath, *strategy, *form, *showSQL, *explain, *maxShow)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cfddetect:", err)
 		os.Exit(2)
@@ -42,21 +63,100 @@ func main() {
 	os.Exit(code)
 }
 
+// runWatch loads the instance into an incremental Monitor and tails the
+// change stream, printing each change's violation delta.
+func runWatch(dataPath, cfdPath, watchPath string, out io.Writer) (int, error) {
+	rel, sigma, err := cliutil.LoadInputs(dataPath, cfdPath)
+	if err != nil {
+		return 2, err
+	}
+	m, err := repro.LoadMonitor(rel, sigma, repro.MonitorOptions{})
+	if err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(out, "monitoring %d tuples against %d CFDs; %d live violations\n",
+		m.Len(), len(sigma), m.ViolationCount())
+
+	var src io.Reader = os.Stdin
+	if watchPath != "-" {
+		f, err := os.Open(watchPath)
+		if err != nil {
+			return 2, err
+		}
+		defer f.Close()
+		src = f
+	}
+	cr := csv.NewReader(src)
+	cr.FieldsPerRecord = -1
+	printDelta := func(d *repro.ViolationDelta) {
+		for _, c := range d.Added {
+			fmt.Fprintf(out, "  + %s\n", c)
+		}
+		for _, c := range d.Removed {
+			fmt.Fprintf(out, "  - %s\n", c)
+		}
+	}
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 2, fmt.Errorf("change stream line %d: %w", line, err)
+		}
+		if len(rec) == 0 || rec[0] == "" || strings.HasPrefix(rec[0], "#") {
+			continue
+		}
+		switch rec[0] {
+		case "insert":
+			key, d, err := m.Insert(repro.Tuple(rec[1:]))
+			if err != nil {
+				return 2, fmt.Errorf("change stream line %d: %w", line, err)
+			}
+			fmt.Fprintf(out, "insert -> key %d\n", key)
+			printDelta(d)
+		case "delete":
+			if len(rec) != 2 {
+				return 2, fmt.Errorf("change stream line %d: delete wants 1 argument", line)
+			}
+			key, err := strconv.ParseInt(rec[1], 10, 64)
+			if err != nil {
+				return 2, fmt.Errorf("change stream line %d: bad key %q", line, rec[1])
+			}
+			d, err := m.Delete(key)
+			if err != nil {
+				return 2, fmt.Errorf("change stream line %d: %w", line, err)
+			}
+			fmt.Fprintf(out, "delete key %d\n", key)
+			printDelta(d)
+		case "update":
+			if len(rec) != 4 {
+				return 2, fmt.Errorf("change stream line %d: update wants 3 arguments", line)
+			}
+			key, err := strconv.ParseInt(rec[1], 10, 64)
+			if err != nil {
+				return 2, fmt.Errorf("change stream line %d: bad key %q", line, rec[1])
+			}
+			d, err := m.Update(key, rec[2], rec[3])
+			if err != nil {
+				return 2, fmt.Errorf("change stream line %d: %w", line, err)
+			}
+			fmt.Fprintf(out, "update key %d: %s = %s\n", key, rec[2], rec[3])
+			printDelta(d)
+		default:
+			return 2, fmt.Errorf("change stream line %d: unknown op %q", line, rec[0])
+		}
+	}
+	fmt.Fprintf(out, "final: %d tuples, %d live violations, satisfied=%v\n",
+		m.Len(), m.ViolationCount(), m.Satisfied())
+	if m.Satisfied() {
+		return 0, nil
+	}
+	return 1, nil
+}
+
 func run(dataPath, cfdPath, strategy, form string, showSQL, explain bool, maxShow int) (int, error) {
-	f, err := os.Open(dataPath)
-	if err != nil {
-		return 2, err
-	}
-	rel, err := repro.ReadCSV(f, "R")
-	f.Close()
-	if err != nil {
-		return 2, err
-	}
-	text, err := os.ReadFile(cfdPath)
-	if err != nil {
-		return 2, err
-	}
-	sigma, err := repro.ParseCFDSet(string(text))
+	rel, sigma, err := cliutil.LoadInputs(dataPath, cfdPath)
 	if err != nil {
 		return 2, err
 	}

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -110,5 +112,87 @@ func TestRunErrors(t *testing.T) {
 	}
 	if _, err := run(data, cfds, "direct", "xnf", false, false, 10); err == nil {
 		t.Error("unknown form must error")
+	}
+}
+
+func TestRunWatch(t *testing.T) {
+	data, cfds := writeFixtures(t)
+	dir := t.TempDir()
+	changes := filepath.Join(dir, "changes.csv")
+	// Heal the seeded violations, then introduce and retire a fresh one.
+	stream := `update,0,CT,MH
+update,1,CT,MH
+update,3,ZIP,01202
+insert,01,908,5555555,Eve,Oak Ave.,NYC,07974
+update,6,CT,MH
+delete,6
+`
+	if err := os.WriteFile(changes, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := runWatch(data, cfds, changes, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d, want 0 (stream ends clean):\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"monitoring 6 tuples against 2 CFDs",
+		"- cfd 1 variable key", // healing t1/t2's CT conflict
+		"insert -> key 6",
+		"+ cfd 1 const tuple 6", // Eve's 908 number is not in MH
+		"update key 6: CT = MH",
+		"final: 6 tuples, 0 live violations, satisfied=true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("watch output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWatchDirtyFinal(t *testing.T) {
+	data, cfds := writeFixtures(t)
+	dir := t.TempDir()
+	changes := filepath.Join(dir, "changes.csv")
+	if err := os.WriteFile(changes, []byte("insert,01,908,9999999,Zed,Elsewhere,NYC,00000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := runWatch(data, cfds, changes, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (violations remain):\n%s", code, out.String())
+	}
+}
+
+func TestRunWatchErrors(t *testing.T) {
+	data, cfds := writeFixtures(t)
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	var out bytes.Buffer
+	if _, err := runWatch(data, cfds, filepath.Join(dir, "missing.csv"), &out); err == nil {
+		t.Error("missing change stream must error")
+	}
+	for name, content := range map[string]string{
+		"badop.csv":     "upsert,1,CT,NYC\n",
+		"badkey.csv":    "delete,notakey\n",
+		"badarity.csv":  "insert,justone\n",
+		"badupdate.csv": "update,0,CT\n",
+		"nokey.csv":     "delete,999\n",
+	} {
+		p := write(name, content)
+		if _, err := runWatch(data, cfds, p, &out); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/cliutil"
 )
 
 func main() {
@@ -40,20 +41,7 @@ func main() {
 }
 
 func run(dataPath, cfdPath, outPath string, maxPasses int, verbose bool) (int, error) {
-	f, err := os.Open(dataPath)
-	if err != nil {
-		return 2, err
-	}
-	rel, err := repro.ReadCSV(f, "R")
-	f.Close()
-	if err != nil {
-		return 2, err
-	}
-	text, err := os.ReadFile(cfdPath)
-	if err != nil {
-		return 2, err
-	}
-	sigma, err := repro.ParseCFDSet(string(text))
+	rel, sigma, err := cliutil.LoadInputs(dataPath, cfdPath)
 	if err != nil {
 		return 2, err
 	}

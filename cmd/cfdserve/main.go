@@ -1,0 +1,327 @@
+// Command cfdserve turns the incremental Monitor into a long-lived
+// service: it loads a CSV instance and a CFD set once, then accepts
+// tuple-level changes and violation queries over a line-oriented protocol
+// (stdin/stdout) or an HTTP/JSON API — every write answered with the exact
+// violation delta it caused.
+//
+// Usage:
+//
+//	cfdserve -data tax.csv -cfds cfds.txt                # line loop on stdin
+//	cfdserve -data tax.csv -cfds cfds.txt -http :8080    # HTTP API
+//
+// Line protocol (one command per line):
+//
+//	insert v1,v2,...        add a tuple (CSV values, schema order)
+//	delete KEY              remove a tuple by key
+//	update KEY ATTR VALUE   change one attribute
+//	violations              dump the live violation set
+//	satisfied               print true/false
+//	stats                   print tuples=N violations=M satisfied=B
+//	quit                    exit
+//
+// HTTP API (JSON):
+//
+//	POST /insert  {"values": ["01","908",...]}       → {"key": K, "delta": {...}}
+//	POST /delete  {"key": 3}                         → {"delta": {...}}
+//	POST /update  {"key": 3, "attr": "CT", "value": "NYC"}
+//	GET  /violations                                 → the live set
+//	GET  /stats                                      → {"tuples":N,"violations":M,"satisfied":B}
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV instance to monitor (required)")
+		cfdPath  = flag.String("cfds", "", "CFD file in text notation (required)")
+		httpAddr = flag.String("http", "", "serve the HTTP API on this address instead of the line protocol")
+		shards   = flag.Int("shards", 0, "lock shards per index (0 = default)")
+	)
+	flag.Parse()
+	if *dataPath == "" || *cfdPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	srv, err := newServer(*dataPath, *cfdPath, *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfdserve:", err)
+		os.Exit(2)
+	}
+	if *httpAddr != "" {
+		fmt.Printf("monitoring %d tuples against %d CFDs on %s\n",
+			srv.m.Len(), len(srv.m.Sigma()), *httpAddr)
+		if err := http.ListenAndServe(*httpAddr, srv.handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "cfdserve:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	fmt.Printf("monitoring %d tuples against %d CFDs; type 'help' for commands\n",
+		srv.m.Len(), len(srv.m.Sigma()))
+	if err := srv.lineLoop(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cfdserve: reading input:", err)
+		os.Exit(2)
+	}
+}
+
+type server struct {
+	m *repro.Monitor
+}
+
+func newServer(dataPath, cfdPath string, shards int) (*server, error) {
+	rel, sigma, err := cliutil.LoadInputs(dataPath, cfdPath)
+	if err != nil {
+		return nil, err
+	}
+	m, err := repro.LoadMonitor(rel, sigma, repro.MonitorOptions{Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	return &server{m: m}, nil
+}
+
+// --- line protocol ---
+
+// lineLoop runs the text protocol until quit/EOF; a scanner failure (line
+// over the buffer cap, read error) is returned so the caller can report it
+// instead of exiting as if the stream ended cleanly.
+func (s *server) lineLoop(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		s.execLine(line, out)
+	}
+	return sc.Err()
+}
+
+func (s *server) execLine(line string, out io.Writer) {
+	verb, rest, _ := strings.Cut(line, " ")
+	switch verb {
+	case "help":
+		fmt.Fprintln(out, "commands: insert v1,v2,... | delete KEY | update KEY ATTR VALUE | violations | satisfied | stats | quit")
+	case "insert":
+		rec, err := csv.NewReader(strings.NewReader(rest)).Read()
+		if err != nil {
+			fmt.Fprintln(out, "error: bad CSV values:", err)
+			return
+		}
+		key, delta, err := s.m.Insert(repro.Tuple(rec))
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		fmt.Fprintf(out, "key %d\n", key)
+		printDelta(out, delta)
+	case "delete":
+		key, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			fmt.Fprintln(out, "error: bad key:", err)
+			return
+		}
+		delta, err := s.m.Delete(key)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		fmt.Fprintln(out, "deleted", key)
+		printDelta(out, delta)
+	case "update":
+		parts := strings.SplitN(rest, " ", 3)
+		if len(parts) != 3 {
+			fmt.Fprintln(out, "error: usage: update KEY ATTR VALUE")
+			return
+		}
+		key, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			fmt.Fprintln(out, "error: bad key:", err)
+			return
+		}
+		delta, err := s.m.Update(key, parts[1], parts[2])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		fmt.Fprintln(out, "updated", key)
+		printDelta(out, delta)
+	case "violations":
+		st := s.m.Violations()
+		if st.Clean() {
+			fmt.Fprintln(out, "no violations")
+			return
+		}
+		for i, v := range st.PerCFD {
+			if v.Total() == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "cfd %d: %d constant-violating tuples, %d conflicting groups\n",
+				i, len(v.ConstTuples), len(v.VariableKeys))
+			for _, k := range v.ConstTuples {
+				fmt.Fprintf(out, "  tuple %d\n", k)
+			}
+			for _, x := range v.VariableKeys {
+				fmt.Fprintf(out, "  group X = (%s)\n", strings.Join(x, ", "))
+			}
+		}
+	case "satisfied":
+		fmt.Fprintln(out, s.m.Satisfied())
+	case "stats":
+		fmt.Fprintf(out, "tuples=%d violations=%d satisfied=%v\n",
+			s.m.Len(), s.m.ViolationCount(), s.m.Satisfied())
+	default:
+		fmt.Fprintf(out, "error: unknown command %q (try 'help')\n", verb)
+	}
+}
+
+func printDelta(out io.Writer, d *repro.ViolationDelta) {
+	for _, c := range d.Added {
+		fmt.Fprintf(out, "+ %s\n", c)
+	}
+	for _, c := range d.Removed {
+		fmt.Fprintf(out, "- %s\n", c)
+	}
+	if d.Empty() {
+		fmt.Fprintln(out, "no violation change")
+	}
+}
+
+// --- HTTP API ---
+
+type jsonChange struct {
+	CFD   int      `json:"cfd"`
+	Kind  string   `json:"kind"`
+	Tuple *int64   `json:"tuple,omitempty"`
+	Key   []string `json:"key,omitempty"`
+}
+
+type jsonDelta struct {
+	Added   []jsonChange `json:"added"`
+	Removed []jsonChange `json:"removed"`
+}
+
+func toJSONDelta(d *repro.ViolationDelta) jsonDelta {
+	conv := func(cs []repro.ViolationChange) []jsonChange {
+		out := make([]jsonChange, 0, len(cs))
+		for _, c := range cs {
+			jc := jsonChange{CFD: c.CFD, Kind: c.Kind.String()}
+			if c.Kind == repro.ConstViolation {
+				tuple := c.Tuple
+				jc.Tuple = &tuple
+			} else {
+				jc.Key = c.Key
+			}
+			out = append(out, jc)
+		}
+		return out
+	}
+	return jsonDelta{Added: conv(d.Added), Removed: conv(d.Removed)}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+	readBody := func(w http.ResponseWriter, r *http.Request, v any) bool {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return false
+		}
+		if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return false
+		}
+		return true
+	}
+
+	mux.HandleFunc("/insert", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Values []string `json:"values"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		key, delta, err := s.m.Insert(repro.Tuple(req.Values))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"key": key, "delta": toJSONDelta(delta)})
+	})
+	mux.HandleFunc("/delete", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Key int64 `json:"key"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		delta, err := s.m.Delete(req.Key)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"delta": toJSONDelta(delta)})
+	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Key   int64  `json:"key"`
+			Attr  string `json:"attr"`
+			Value string `json:"value"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		delta, err := s.m.Update(req.Key, req.Attr, req.Value)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"delta": toJSONDelta(delta)})
+	})
+	mux.HandleFunc("/violations", func(w http.ResponseWriter, r *http.Request) {
+		st := s.m.Violations()
+		type perCFD struct {
+			CFD          int        `json:"cfd"`
+			ConstTuples  []int64    `json:"const_tuples"`
+			VariableKeys [][]string `json:"variable_keys"`
+		}
+		out := make([]perCFD, len(st.PerCFD))
+		for i, v := range st.PerCFD {
+			out[i] = perCFD{CFD: i, ConstTuples: v.ConstTuples, VariableKeys: v.VariableKeys}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"per_cfd": out, "total": st.Total()})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tuples":     s.m.Len(),
+			"violations": s.m.ViolationCount(),
+			"satisfied":  s.m.Satisfied(),
+		})
+	})
+	return mux
+}

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const custCSV = `CC,AC,PN,NM,STR,CT,ZIP
+01,908,1111111,Mike,Tree Ave.,MH,07974
+01,212,2222222,Joe,Elm Str.,NYC,01202
+`
+
+const figure2CFDs = `
+[CC=44, ZIP] -> [STR]
+[CC, AC, PN] -> [STR, CT, ZIP]
+[CC=01, AC=908, PN] -> [STR, CT=MH, ZIP]
+[CC=01, AC=212, PN] -> [STR, CT=NYC, ZIP]
+`
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	dir := t.TempDir()
+	data := filepath.Join(dir, "cust.csv")
+	cfds := filepath.Join(dir, "cfds.txt")
+	if err := os.WriteFile(data, []byte(custCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfds, []byte(figure2CFDs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(data, cfds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestLineProtocol(t *testing.T) {
+	srv := newTestServer(t)
+	in := strings.NewReader(strings.Join([]string{
+		"stats",
+		"satisfied",
+		`insert 01,908,1111111,Rick,"Tree Ave.",NYC,07974`, // disagrees with Mike on CT and violates 908→MH
+		"violations",
+		"update 2 CT MH", // heal both violations
+		"satisfied",
+		"delete 2",
+		"delete 2", // double delete errors
+		"bogus",
+		"quit",
+		"stats", // never reached
+	}, "\n"))
+	var out bytes.Buffer
+	srv.lineLoop(in, &out)
+	text := out.String()
+	for _, want := range []string{
+		"tuples=2 violations=0 satisfied=true",
+		"true",
+		"key 2",
+		"+ cfd 1 const tuple 2",
+		"+ cfd 1 variable key (01, 908, 1111111)",
+		"cfd 1: 1 constant-violating tuples, 1 conflicting groups",
+		"updated 2",
+		"- cfd 1 const tuple 2",
+		"- cfd 1 variable key (01, 908, 1111111)",
+		"deleted 2",
+		"error: incremental: no tuple with key 2",
+		`unknown command "bogus"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "tuples=") != 1 {
+		t.Errorf("quit did not stop the loop:\n%s", text)
+	}
+}
+
+func TestLineProtocolErrors(t *testing.T) {
+	srv := newTestServer(t)
+	in := strings.NewReader(strings.Join([]string{
+		"insert onlyone",
+		"delete notakey",
+		"update 0",
+		"update x CT NYC",
+		"update 0 NOPE x",
+	}, "\n"))
+	var out bytes.Buffer
+	srv.lineLoop(in, &out)
+	if got := strings.Count(out.String(), "error:"); got != 5 {
+		t.Errorf("want 5 errors, got %d:\n%s", got, out.String())
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	getJSON := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	postJSON := func(path string, body any, v any) int {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if v != nil {
+			if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	var stats struct {
+		Tuples     int   `json:"tuples"`
+		Violations int64 `json:"violations"`
+		Satisfied  bool  `json:"satisfied"`
+	}
+	getJSON("/stats", &stats)
+	if stats.Tuples != 2 || !stats.Satisfied {
+		t.Fatalf("initial stats = %+v", stats)
+	}
+
+	var ins struct {
+		Key   int64     `json:"key"`
+		Delta jsonDelta `json:"delta"`
+	}
+	code := postJSON("/insert", map[string]any{
+		"values": []string{"01", "908", "1111111", "Rick", "Tree Ave.", "NYC", "07974"},
+	}, &ins)
+	if code != http.StatusOK || ins.Key != 2 {
+		t.Fatalf("insert: code=%d resp=%+v", code, ins)
+	}
+	if len(ins.Delta.Added) != 2 {
+		t.Fatalf("insert delta = %+v, want 2 added", ins.Delta)
+	}
+
+	var viol struct {
+		Total int `json:"total"`
+	}
+	getJSON("/violations", &viol)
+	if viol.Total != 2 {
+		t.Fatalf("violations total = %d, want 2", viol.Total)
+	}
+
+	var upd struct {
+		Delta jsonDelta `json:"delta"`
+	}
+	if code := postJSON("/update", map[string]any{"key": 2, "attr": "CT", "value": "MH"}, &upd); code != http.StatusOK {
+		t.Fatalf("update: code=%d", code)
+	}
+	if len(upd.Delta.Removed) != 2 {
+		t.Fatalf("update delta = %+v, want 2 removed", upd.Delta)
+	}
+
+	if code := postJSON("/delete", map[string]any{"key": 2}, nil); code != http.StatusOK {
+		t.Fatalf("delete: code=%d", code)
+	}
+	if code := postJSON("/delete", map[string]any{"key": 2}, nil); code != http.StatusNotFound {
+		t.Fatalf("double delete: code=%d, want 404", code)
+	}
+	if code := postJSON("/insert", map[string]any{"values": []string{"x"}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad arity insert: code=%d, want 400", code)
+	}
+	// GET on a POST endpoint is rejected.
+	resp, err := http.Get(ts.URL + "/insert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /insert: code=%d, want 405", resp.StatusCode)
+	}
+
+	getJSON("/stats", &stats)
+	if stats.Tuples != 2 || !stats.Satisfied {
+		t.Fatalf("final stats = %+v", stats)
+	}
+}
+
+func TestNewServerErrors(t *testing.T) {
+	dir := t.TempDir()
+	data := filepath.Join(dir, "cust.csv")
+	if err := os.WriteFile(data, []byte(custCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer("missing.csv", "missing.txt", 0); err == nil {
+		t.Error("missing data file must error")
+	}
+	if _, err := newServer(data, "missing.txt", 0); err == nil {
+		t.Error("missing CFD file must error")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("not a cfd"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(data, bad, 0); err == nil {
+		t.Error("bad CFD file must error")
+	}
+}

@@ -22,6 +22,13 @@
 //     paper's SQL technique — generated (QC, QV) query pairs in CNF or
 //     DNF, and the merged two-pass variant — executed on an embedded SQL
 //     engine, optionally through database/sql (driver "cfdmem").
+//   - Incremental violation monitoring (beyond the paper; see
+//     internal/incremental): a stateful Monitor that keeps the violation
+//     set live under tuple inserts, deletes and updates in time
+//     proportional to the affected index buckets, emitting the exact
+//     violation delta of every change (NewMonitor, LoadMonitor). The
+//     cfdserve command exposes it as a line-oriented or HTTP service, and
+//     cfddetect -watch tails a CSV change stream through it.
 //   - A heuristic repair algorithm (Section 6): cost-based value
 //     modification with the CFD-specific LHS-breaking move.
 //   - The paper's experimental workload generator (Section 5): tax

@@ -1,0 +1,34 @@
+// Package cliutil holds small helpers shared by the cfd* command-line
+// tools.
+package cliutil
+
+import (
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// LoadInputs reads the standard input pair of the cfd* commands: a CSV
+// instance (header row becomes the schema) and a CFD set in the text
+// notation.
+func LoadInputs(dataPath, cfdPath string) (*relation.Relation, []*core.CFD, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel, err := relation.ReadCSV(f, "R")
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	text, err := os.ReadFile(cfdPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	sigma, err := core.ParseSet(string(text))
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel, sigma, nil
+}

@@ -1,0 +1,128 @@
+package incremental
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// This file holds the persistent index structures behind the Monitor: the
+// static tableau-row index (the inverse of detect/direct.go's constant-mask
+// bucketing — pattern rows are indexed once and probed per tuple, instead
+// of the data being indexed per detection run) and the lock-sharded live
+// group and constant-violation stores.
+
+// rowBucket groups the tableau rows of one CFD that share a constant-
+// position mask, indexed by the encoded values of those constant cells.
+// Probing with a tuple's X-projection returns exactly the rows whose X
+// pattern the tuple matches, in O(1) per mask instead of O(|Tp|).
+type rowBucket struct {
+	// constPos are the LHS positions holding constants under this mask.
+	constPos []int
+	// rows maps the encoded constants at constPos to tableau row indexes.
+	// The all-wildcard mask uses the empty key.
+	rows map[string][]int
+}
+
+// rowIndex is the full static index of one CFD's pattern tableau.
+type rowIndex struct {
+	buckets []*rowBucket
+}
+
+func buildRowIndex(cfd *core.CFD) *rowIndex {
+	ix := &rowIndex{}
+	byMask := make(map[string]*rowBucket)
+	for ri, row := range cfd.Tableau {
+		maskKey := make([]byte, len(row.X))
+		var constPos []int
+		for i, p := range row.X {
+			if p.Kind == core.Const {
+				constPos = append(constPos, i)
+				maskKey[i] = '1'
+			} else {
+				maskKey[i] = '0'
+			}
+		}
+		b, ok := byMask[string(maskKey)]
+		if !ok {
+			b = &rowBucket{constPos: constPos, rows: make(map[string][]int)}
+			byMask[string(maskKey)] = b
+			ix.buckets = append(ix.buckets, b)
+		}
+		key := make([]relation.Value, len(b.constPos))
+		for i, p := range b.constPos {
+			key[i] = row.X[p].Val
+		}
+		k := relation.EncodeKey(key)
+		b.rows[k] = append(b.rows[k], ri)
+	}
+	return ix
+}
+
+// match returns the tableau rows whose X pattern matches the X-projection x.
+func (ix *rowIndex) match(x []relation.Value) []int {
+	var out []int
+	key := make([]relation.Value, 0, len(x))
+	for _, b := range ix.buckets {
+		key = key[:0]
+		for _, p := range b.constPos {
+			key = append(key, x[p])
+		}
+		out = append(out, b.rows[relation.EncodeKey(key)]...)
+	}
+	return out
+}
+
+// group is the live state of one distinct X-projection under one CFD: its
+// member tuples and the multiset of their Y-projections. A group is in
+// variable violation when at least one tableau row selects it and its
+// members disagree on Y.
+type group struct {
+	// x is the shared X-projection (owned by the group; treated as
+	// immutable once stored).
+	x []relation.Value
+	// selected reports whether some tableau row's X pattern matches x.
+	// The tableau is static, so this is computed once at group creation.
+	selected bool
+	// members maps each member tuple key to its encoded Y-projection, so
+	// removal needs no access to the tuple's values.
+	members map[int64]string
+	// yCounts is the multiset of encoded Y-projections over members.
+	yCounts map[string]int
+}
+
+func (g *group) violating() bool { return g.selected && len(g.yCounts) > 1 }
+
+// groupShard is one lock shard of a CFD's group index.
+type groupShard struct {
+	mu sync.RWMutex
+	m  map[string]*group
+}
+
+// constShard is one lock shard of a CFD's constant-violation set.
+type constShard struct {
+	mu sync.RWMutex
+	m  map[int64]bool
+}
+
+// tupleShard is one lock shard of the monitor's tuple store.
+type tupleShard struct {
+	mu sync.RWMutex
+	m  map[int64]relation.Tuple
+}
+
+// shardOfKey maps an encoded group key to a shard index (FNV-1a).
+func shardOfKey(s string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// shardOfTuple maps a tuple key to a shard index.
+func shardOfTuple(key int64, n int) int {
+	return int(uint64(key) % uint64(n))
+}

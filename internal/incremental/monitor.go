@@ -1,0 +1,436 @@
+// Package incremental maintains the violation set of a CFD set under
+// tuple-level changes — the serving-path counterpart of the batch detectors
+// in internal/detect.
+//
+// A Monitor is loaded once with an instance I and a CFD set Σ; it builds
+// persistent per-pattern-bucket hash indexes (the constant-mask bucketing of
+// detect/direct.go, turned inside out: the static tableau is indexed and
+// probed per tuple) and thereafter answers Insert, Delete and Update in time
+// proportional to the tuples and groups actually affected, instead of
+// rescanning I. Every operation returns the exact delta it caused — the
+// violations that appeared and the violations that were retired — while the
+// live violation set stays queryable at any time.
+//
+// Internally every index is sharded by hash with per-shard read/write
+// locks. A mutation holds its tuple-shard lock for the whole operation (so
+// two writers hitting the same key serialize as whole operations) and
+// acquires index shard locks one at a time underneath it; concurrent
+// readers (Violations, Satisfied, Len) never wait longer than one shard,
+// and operations on different tuple shards proceed in parallel. The
+// randomized property tests replay long mixed update streams and
+// cross-check the live set against a fresh detect.Direct run after every
+// step.
+package incremental
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// Options configures a Monitor.
+type Options struct {
+	// Shards is the number of lock shards per index; 0 means the default
+	// (16). More shards reduce contention under concurrent writers at the
+	// cost of a little memory.
+	Shards int
+}
+
+const defaultShards = 16
+
+// cfdState is the per-CFD live state: the static tableau index plus the
+// sharded group and constant-violation stores.
+type cfdState struct {
+	cfd        *core.CFD
+	xIdx, yIdx []int
+	rows       *rowIndex
+	groups     []groupShard
+	consts     []constShard
+	// violations counts this CFD's live violations (constant-violating
+	// tuples plus violating groups); maintained under the shard locks,
+	// read lock-free by Satisfied.
+	violations atomic.Int64
+}
+
+// Monitor is a stateful incremental violation monitor for one relation
+// instance and one CFD set. All methods are safe for concurrent use.
+type Monitor struct {
+	schema *relation.Schema
+	sigma  []*core.CFD
+	shards int
+
+	nextKey atomic.Int64
+	size    atomic.Int64
+	tuples  []tupleShard
+
+	cfds []*cfdState
+	// attrToCFDs maps an attribute name to the indexes of the CFDs whose
+	// X ∪ Y mentions it — the only CFDs an Update of that attribute can
+	// affect.
+	attrToCFDs map[string][]int
+}
+
+// New builds an empty Monitor for the schema and Σ. Every CFD is validated
+// against the schema up front.
+func New(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, error) {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = defaultShards
+	}
+	m := &Monitor{
+		schema:     schema,
+		sigma:      sigma,
+		shards:     shards,
+		tuples:     make([]tupleShard, shards),
+		attrToCFDs: make(map[string][]int),
+	}
+	for i := range m.tuples {
+		m.tuples[i].m = make(map[int64]relation.Tuple)
+	}
+	for i, c := range sigma {
+		if err := c.Validate(schema); err != nil {
+			return nil, fmt.Errorf("incremental: CFD %d: %w", i, err)
+		}
+		xIdx, err := schema.Indexes(c.LHS)
+		if err != nil {
+			return nil, err
+		}
+		yIdx, err := schema.Indexes(c.RHS)
+		if err != nil {
+			return nil, err
+		}
+		cs := &cfdState{
+			cfd:    c,
+			xIdx:   xIdx,
+			yIdx:   yIdx,
+			rows:   buildRowIndex(c),
+			groups: make([]groupShard, shards),
+			consts: make([]constShard, shards),
+		}
+		for s := range cs.groups {
+			cs.groups[s].m = make(map[string]*group)
+			cs.consts[s].m = make(map[int64]bool)
+		}
+		m.cfds = append(m.cfds, cs)
+		for _, a := range c.Attrs() {
+			m.attrToCFDs[a] = append(m.attrToCFDs[a], i)
+		}
+	}
+	return m, nil
+}
+
+// Load builds a Monitor over an existing instance: tuples are keyed
+// 0..Len()-1 in row order, so keys coincide with the batch detectors' row
+// ids for the initial load.
+func Load(rel *relation.Relation, sigma []*core.CFD, opts Options) (*Monitor, error) {
+	m, err := New(rel.Schema, sigma, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range rel.Tuples {
+		if _, _, err := m.Insert(t); err != nil {
+			return nil, fmt.Errorf("incremental: loading row %d: %w", i, err)
+		}
+	}
+	return m, nil
+}
+
+// Schema returns the monitored schema.
+func (m *Monitor) Schema() *relation.Schema { return m.schema }
+
+// Sigma returns the monitored CFD set.
+func (m *Monitor) Sigma() []*core.CFD { return m.sigma }
+
+// Len returns the number of live tuples.
+func (m *Monitor) Len() int { return int(m.size.Load()) }
+
+// checkTuple validates arity and domains, mirroring relation.Insert.
+func (m *Monitor) checkTuple(t relation.Tuple) error {
+	if len(t) != m.schema.Len() {
+		return fmt.Errorf("incremental: %q expects %d values, got %d", m.schema.Name, m.schema.Len(), len(t))
+	}
+	for i, a := range m.schema.Attrs {
+		if !a.Domain.Contains(t[i]) {
+			return fmt.Errorf("incremental: %q.%s: value %q outside domain %s", m.schema.Name, a.Name, t[i], a.Domain.Name)
+		}
+	}
+	return nil
+}
+
+// Insert adds a tuple, returning its stable key and the violation delta.
+//
+// Every mutation holds its tuple-shard lock across both the store write
+// and the index maintenance, so two operations on the same key (same
+// shard) serialize as whole operations — interleaving their remove/add
+// index passes would corrupt the group multisets. Index shard locks are
+// only ever acquired while holding a tuple-shard lock, never the reverse,
+// so the ordering is acyclic.
+func (m *Monitor) Insert(t relation.Tuple) (int64, *Delta, error) {
+	if err := m.checkTuple(t); err != nil {
+		return 0, nil, err
+	}
+	owned := t.Clone()
+	key := m.nextKey.Add(1) - 1
+	sh := &m.tuples[shardOfTuple(key, m.shards)]
+	sh.mu.Lock()
+	sh.m[key] = owned
+	m.size.Add(1)
+	d := &Delta{}
+	for ci := range m.cfds {
+		m.add(ci, key, owned, d)
+	}
+	sh.mu.Unlock()
+	return key, d.normalize(), nil
+}
+
+// Delete removes the tuple with the given key, returning the violation
+// delta (always a pure retirement or group-status change).
+func (m *Monitor) Delete(key int64) (*Delta, error) {
+	sh := &m.tuples[shardOfTuple(key, m.shards)]
+	sh.mu.Lock()
+	t, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("incremental: no tuple with key %d", key)
+	}
+	delete(sh.m, key)
+	m.size.Add(-1)
+	d := &Delta{}
+	for ci := range m.cfds {
+		m.remove(ci, key, t, d)
+	}
+	sh.mu.Unlock()
+	return d.normalize(), nil
+}
+
+// Update changes one attribute of the tuple with the given key. Only the
+// CFDs mentioning the attribute are re-evaluated; the delta is the net
+// change (a violation present both before and after is not reported).
+func (m *Monitor) Update(key int64, attr string, val relation.Value) (*Delta, error) {
+	ai, ok := m.schema.Index(attr)
+	if !ok {
+		return nil, fmt.Errorf("incremental: schema %q has no attribute %q", m.schema.Name, attr)
+	}
+	if !m.schema.Attrs[ai].Domain.Contains(val) {
+		return nil, fmt.Errorf("incremental: %q.%s: value %q outside domain %s", m.schema.Name, attr, val, m.schema.Attrs[ai].Domain.Name)
+	}
+	sh := &m.tuples[shardOfTuple(key, m.shards)]
+	sh.mu.Lock()
+	old, ok := sh.m[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("incremental: no tuple with key %d", key)
+	}
+	if old[ai] == val {
+		sh.mu.Unlock()
+		return &Delta{}, nil
+	}
+	next := old.Clone()
+	next[ai] = val
+	sh.m[key] = next
+	d := &Delta{}
+	for _, ci := range m.attrToCFDs[attr] {
+		m.remove(ci, key, old, d)
+		m.add(ci, key, next, d)
+	}
+	sh.mu.Unlock()
+	return d.normalize(), nil
+}
+
+// Get returns a copy of the tuple with the given key.
+func (m *Monitor) Get(key int64) (relation.Tuple, bool) {
+	sh := &m.tuples[shardOfTuple(key, m.shards)]
+	sh.mu.RLock()
+	t, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return t.Clone(), true
+}
+
+// Keys returns the live tuple keys in ascending order.
+func (m *Monitor) Keys() []int64 {
+	out := make([]int64, 0, m.Len())
+	for si := range m.tuples {
+		sh := &m.tuples[si]
+		sh.mu.RLock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot materializes the live tuples as a relation, in key order. The
+// returned relation is independent of the Monitor.
+func (m *Monitor) Snapshot() *relation.Relation {
+	rel := relation.New(m.schema)
+	for _, k := range m.Keys() {
+		if t, ok := m.Get(k); ok {
+			rel.Tuples = append(rel.Tuples, t)
+		}
+	}
+	return rel
+}
+
+// Satisfied reports whether the live instance currently satisfies Σ. It is
+// lock-free: a per-CFD violation counter is maintained under the shard
+// locks and read atomically here.
+func (m *Monitor) Satisfied() bool {
+	for _, cs := range m.cfds {
+		if cs.violations.Load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ViolationCount returns the total number of live violations across Σ
+// without materializing a snapshot.
+func (m *Monitor) ViolationCount() int64 {
+	var n int64
+	for _, cs := range m.cfds {
+		n += cs.violations.Load()
+	}
+	return n
+}
+
+// Violations returns a snapshot of the live violation set. Shards are read
+// one at a time, so a concurrent writer is never blocked for longer than
+// one shard; under concurrent writes the snapshot is a consistent cut per
+// shard, not across the whole set.
+func (m *Monitor) Violations() *State {
+	st := &State{PerCFD: make([]CFDViolations, len(m.cfds))}
+	for ci, cs := range m.cfds {
+		var consts []int64
+		for si := range cs.consts {
+			sh := &cs.consts[si]
+			sh.mu.RLock()
+			for k := range sh.m {
+				consts = append(consts, k)
+			}
+			sh.mu.RUnlock()
+		}
+		vars := make(map[string][]relation.Value)
+		for si := range cs.groups {
+			sh := &cs.groups[si]
+			sh.mu.RLock()
+			for xk, g := range sh.m {
+				if g.violating() {
+					vars[xk] = append([]relation.Value(nil), g.x...)
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		st.PerCFD[ci] = canonicalizeState(consts, vars)
+	}
+	return st
+}
+
+// project copies the values of t at the given positions.
+func project(t relation.Tuple, idx []int) []relation.Value {
+	out := make([]relation.Value, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// constViolates reports whether a tuple with Y-projection y has a constant
+// violation against any of the matched tableau rows.
+func (cs *cfdState) constViolates(rows []int, y []relation.Value) bool {
+	for _, ri := range rows {
+		if !core.MatchCells(y, cs.cfd.Tableau[ri].Y) {
+			return true
+		}
+	}
+	return false
+}
+
+// add folds tuple (key, t) into CFD ci's live state, appending any new
+// violations to d.
+func (m *Monitor) add(ci int, key int64, t relation.Tuple, d *Delta) {
+	cs := m.cfds[ci]
+	x := project(t, cs.xIdx)
+	y := project(t, cs.yIdx)
+	rows := cs.rows.match(x)
+	if cs.constViolates(rows, y) {
+		sh := &cs.consts[shardOfTuple(key, m.shards)]
+		sh.mu.Lock()
+		sh.m[key] = true
+		sh.mu.Unlock()
+		cs.violations.Add(1)
+		d.Added = append(d.Added, Change{CFD: ci, Kind: core.ConstViolation, Tuple: key})
+	}
+	xk := relation.EncodeKey(x)
+	yk := relation.EncodeKey(y)
+	sh := &cs.groups[shardOfKey(xk, m.shards)]
+	sh.mu.Lock()
+	g, ok := sh.m[xk]
+	if !ok {
+		g = &group{
+			x:        x,
+			selected: len(rows) > 0,
+			members:  make(map[int64]string, 2),
+			yCounts:  make(map[string]int, 2),
+		}
+		sh.m[xk] = g
+	}
+	was := g.violating()
+	g.members[key] = yk
+	g.yCounts[yk]++
+	now := g.violating()
+	sh.mu.Unlock()
+	if !was && now {
+		cs.violations.Add(1)
+		d.Added = append(d.Added, Change{CFD: ci, Kind: core.VariableViolation, Key: g.x})
+	}
+}
+
+// remove undoes add for tuple (key, t), appending retired violations to d.
+func (m *Monitor) remove(ci int, key int64, t relation.Tuple, d *Delta) {
+	cs := m.cfds[ci]
+	x := project(t, cs.xIdx)
+	csh := &cs.consts[shardOfTuple(key, m.shards)]
+	csh.mu.Lock()
+	wasConst := csh.m[key]
+	if wasConst {
+		delete(csh.m, key)
+	}
+	csh.mu.Unlock()
+	if wasConst {
+		cs.violations.Add(-1)
+		d.Removed = append(d.Removed, Change{CFD: ci, Kind: core.ConstViolation, Tuple: key})
+	}
+	xk := relation.EncodeKey(x)
+	sh := &cs.groups[shardOfKey(xk, m.shards)]
+	sh.mu.Lock()
+	g, ok := sh.m[xk]
+	if !ok {
+		sh.mu.Unlock()
+		return
+	}
+	was := g.violating()
+	yk, member := g.members[key]
+	if member {
+		delete(g.members, key)
+		if g.yCounts[yk]--; g.yCounts[yk] == 0 {
+			delete(g.yCounts, yk)
+		}
+		if len(g.members) == 0 {
+			delete(sh.m, xk)
+		}
+	}
+	now := g.violating()
+	sh.mu.Unlock()
+	if was && !now {
+		cs.violations.Add(-1)
+		d.Removed = append(d.Removed, Change{CFD: ci, Kind: core.VariableViolation, Key: g.x})
+	}
+}
