@@ -1,0 +1,43 @@
+GO ?= go
+
+# The CI bench-gate workload: small, fixed, ~30s. One experiment per
+# layer — batch detection (9a), strategy comparison (merge) and the
+# durable serving path (e9) — at -quick sizes, best-of-5 so a single
+# scheduler hiccup does not fail the gate. ci.yml and the checked-in
+# baseline both go through these targets, so the flags live only here.
+BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9
+# Relative tolerance plus an absolute ns/op floor: only millisecond-scale
+# drift can fail the gate; µs-scale series (single append, fsync) stay
+# informational because 30% of a microsecond is scheduler jitter.
+BENCH_TOLERANCE = 0.30
+BENCH_FLOOR_NS = 100000
+
+.PHONY: test race bench-current bench-baseline bench-check
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/incremental/ ./internal/wal/ ./cmd/cfdserve/
+
+# One raw run of the gate workload, for eyeballing.
+bench-current:
+	$(GO) run ./cmd/cfdbench $(BENCH_WORKLOAD) -json > bench-current.json
+
+# Regenerate the checked-in baseline: two independent runs, min-merged
+# per series — the same estimator the gate uses. Timings are
+# hardware-relative: run this on the CI runner class (ubuntu-latest)
+# when the gate's machines change, or after an intentional perf change,
+# and commit the resulting BENCH_baseline.json.
+bench-baseline:
+	$(GO) run ./cmd/cfdbench $(BENCH_WORKLOAD) -json > bench-run1.json
+	$(GO) run ./cmd/cfdbench $(BENCH_WORKLOAD) -json > bench-run2.json
+	$(GO) run ./cmd/cfdbenchdiff -current bench-run1.json,bench-run2.json -min-out BENCH_baseline.json
+	rm -f bench-run1.json bench-run2.json
+
+# The gate itself: rerun the workload (min of 2 runs, a 3rd on
+# failure), fail on a >30% ns/op regression of at least 100µs absolute,
+# or on a vanished series. Prints a markdown delta table.
+bench-check:
+	BENCH_WORKLOAD="$(BENCH_WORKLOAD)" BENCH_TOLERANCE=$(BENCH_TOLERANCE) \
+	BENCH_FLOOR_NS=$(BENCH_FLOOR_NS) sh scripts/bench_gate.sh

@@ -203,9 +203,17 @@ func Repair(rel *Relation, sigma []*CFD, opts RepairOptions) (*RepairResult, err
 // internal/incremental).
 type (
 	// Monitor maintains a live violation set under tuple-level changes.
+	// A durable Monitor (MonitorOptions.Durable) additionally offers
+	// ForceSnapshot, Close, Recovered and JournalStats.
 	Monitor = incremental.Monitor
-	// MonitorOptions tunes the monitor (lock-shard count).
+	// MonitorOptions tunes the monitor: lock-shard count, plus the
+	// durability knobs — Durable (the WAL directory; non-empty enables
+	// write-ahead journaling and snapshot/log recovery), Fsync (sync every
+	// record) and SnapshotEvery (background snapshot cadence in records).
 	MonitorOptions = incremental.Options
+	// MonitorJournalStats describes a monitor's durable state (generation,
+	// records since last snapshot, recovery provenance).
+	MonitorJournalStats = incremental.JournalStats
 	// ViolationDelta is the net violation change caused by one operation.
 	ViolationDelta = incremental.Delta
 	// ViolationChange is one added or retired violation within a delta.
@@ -217,7 +225,10 @@ type (
 )
 
 // NewMonitor builds an empty incremental monitor for the schema and Σ;
-// feed it with Monitor.Insert.
+// feed it with Monitor.Insert. With opts.Durable set, every mutation is
+// journaled to a write-ahead log before it is applied, and a directory
+// that already holds journaled state is recovered (latest snapshot + log
+// tail) instead of starting empty.
 func NewMonitor(schema *Schema, sigma []*CFD, opts MonitorOptions) (*Monitor, error) {
 	return incremental.New(schema, sigma, opts)
 }
@@ -225,8 +236,27 @@ func NewMonitor(schema *Schema, sigma []*CFD, opts MonitorOptions) (*Monitor, er
 // LoadMonitor builds a monitor over an existing instance. Tuple keys are
 // assigned 0..Len()-1 in row order, so they coincide with the batch
 // detectors' row ids for the initial load.
+//
+// With opts.Durable set, LoadMonitor gains a recovery path: a directory
+// that already holds journaled state wins over rel (the snapshot and log
+// tail are replayed; the instance is ignored), while a fresh directory is
+// seeded from rel and immediately snapshotted so later boots never touch
+// the CSV again. Monitor.Recovered reports which path ran.
 func LoadMonitor(rel *Relation, sigma []*CFD, opts MonitorOptions) (*Monitor, error) {
 	return incremental.Load(rel, sigma, opts)
+}
+
+// ErrNoMonitorState reports that a WAL directory holds no snapshot to
+// boot from; OpenMonitor callers fall back to seeding via LoadMonitor.
+var ErrNoMonitorState = incremental.ErrNoState
+
+// OpenMonitor boots a durable monitor from its WAL directory alone
+// (opts.Durable): the schema is read from the latest snapshot, so the
+// original data source is neither needed nor parsed. Σ still comes from
+// the caller and is verified against the journaled state. Returns
+// ErrNoMonitorState when the directory has no snapshot yet.
+func OpenMonitor(sigma []*CFD, opts MonitorOptions) (*Monitor, error) {
+	return incremental.Open(sigma, opts)
 }
 
 // Workload generation (Section 5).

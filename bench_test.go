@@ -16,7 +16,9 @@ package repro
 // evaluation, not loading.
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -26,6 +28,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/gen"
 	"repro/internal/incremental"
+	"repro/internal/relation"
 	"repro/internal/repair"
 	"repro/internal/sqlgen"
 	"repro/internal/sqlmini"
@@ -464,6 +467,132 @@ func BenchmarkMonitorLoad100K(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := incremental.Load(rel, sigma, incremental.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9 — durability (beyond the paper): the cost of the write-ahead log on
+// the serving path's hot write, the cost of a full-state snapshot, and the
+// payoff — cold-start recovery from snapshot + log tail vs re-parsing and
+// re-indexing the CSV. cmd/cfdbench runs the same comparison as the `e9`
+// experiment; CI tracks it through BENCH_baseline.json.
+
+// durableUpdates drives n alternating CT updates through m. The value
+// parity mixes in the pass number (i/tuples) so that when n exceeds the
+// tuple count, revisiting a key flips its value — a same-value Update is
+// not journaled, and a benchmark that degenerates into no-ops would
+// understate the WAL append cost.
+func durableUpdates(b *testing.B, m *incremental.Monitor, n, tuples int) {
+	b.Helper()
+	for i := 0; i < n; i++ {
+		val := "AAA"
+		if (i+i/tuples)%2 == 1 {
+			val = "BBB"
+		}
+		if _, err := m.Update(int64(i)%int64(tuples), "CT", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALAppend100K: one journaled Update per iteration — the E8 hot
+// write plus a buffered write-ahead record.
+func BenchmarkWALAppend100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	m, err := incremental.Load(rel, sigma, incremental.Options{Durable: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	durableUpdates(b, m, b.N, rel.Len())
+}
+
+// BenchmarkWALAppendFsync100K: the same write with per-record fsync — the
+// acknowledged-write-survives-power-loss configuration.
+func BenchmarkWALAppendFsync100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	m, err := incremental.Load(rel, sigma, incremental.Options{Durable: b.TempDir(), Fsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	durableUpdates(b, m, b.N, rel.Len())
+}
+
+// BenchmarkSnapshot100K: one full-state snapshot (tuples, group indexes,
+// violation set) plus generation roll per iteration.
+func BenchmarkSnapshot100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	m, err := incremental.Load(rel, sigma, incremental.Options{Durable: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ForceSnapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecover100K: cold-start from the latest snapshot plus a
+// 1000-record log tail. Compare BenchmarkCSVColdStart100K — the ≥10×
+// claim of the durable serving path.
+func BenchmarkRecover100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	dir := b.TempDir()
+	m, err := incremental.Load(rel, sigma, incremental.Options{Durable: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	durableUpdates(b, m, 1000, rel.Len())
+	if err := m.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A real cold start runs once against a fresh heap; collect the
+		// previous iteration's garbage outside the timer so each sample
+		// is a boot, not a boot plus its predecessor's GC debt.
+		b.StopTimer()
+		runtime.GC()
+		b.StartTimer()
+		rec, err := incremental.New(rel.Schema, sigma, incremental.Options{Durable: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rec.Recovered() || rec.Len() != rel.Len() {
+			b.Fatalf("recovered %d tuples (recovered=%v)", rec.Len(), rec.Recovered())
+		}
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSVColdStart100K: the path Recover100K replaces — parse the
+// 100K-row CSV and re-index every tuple through Load.
+func BenchmarkCSVColdStart100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	var buf bytes.Buffer
+	if err := relation.WriteCSV(&buf, rel); err != nil {
+		b.Fatal(err)
+	}
+	csv := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC() // same cold-heap discipline as Recover100K
+		b.StartTimer()
+		parsed, err := relation.ReadCSV(bytes.NewReader(csv), "R")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := incremental.Load(parsed, sigma, incremental.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

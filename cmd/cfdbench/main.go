@@ -8,10 +8,16 @@
 //	cfdbench -quick        # reduced sizes for a fast smoke run
 //	cfdbench -only 9a,9f   # a subset of experiments
 //	cfdbench -json         # machine-readable results (name, ns/op, allocs)
+//	cfdbench -repeat 3     # best-of-3 timing per series (CI stability)
+//
+// Experiment ids: 9a–9f and merge re-run the paper's evaluation; e9
+// measures the durable serving path (WAL append latency, snapshot cost,
+// cold-start recovery vs the full CSV load).
 //
 // With -json the tables are suppressed and a single JSON array of
 // measurements is written to stdout, so a per-PR perf trajectory
-// (BENCH_*.json) can be captured by CI.
+// (BENCH_baseline.json, compared by cmd/cfdbenchdiff in CI) can be
+// captured.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -26,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/gen"
+	"repro/internal/incremental"
 	"repro/internal/relation"
 	"repro/internal/sqlgen"
 	"repro/internal/sqlmini"
@@ -34,8 +42,9 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
-		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge)")
+		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9)")
 		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
+		repeat  = flag.Int("repeat", 1, "measure each series this many times and keep the fastest")
 	)
 	flag.Parse()
 	sel := map[string]bool{}
@@ -46,7 +55,7 @@ func main() {
 	}
 	want := func(id string) bool { return len(sel) == 0 || sel[id] }
 
-	b := &bench{quick: *quick, jsonOut: *jsonOut}
+	b := &bench{quick: *quick, jsonOut: *jsonOut, repeat: *repeat}
 	if want("9a") {
 		b.fig9ab("9a", 1.0)
 	}
@@ -67,6 +76,9 @@ func main() {
 	}
 	if want("merge") {
 		b.merge()
+	}
+	if want("e9") {
+		b.e9()
 	}
 	if b.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -90,6 +102,7 @@ type result struct {
 type bench struct {
 	quick   bool
 	jsonOut bool
+	repeat  int
 	failed  bool
 	results []result
 }
@@ -167,16 +180,50 @@ func (b *bench) setup(rel *relation.Relation, cfd *core.CFD, form sqlgen.Form) (
 	return db, pair{qc, qv}
 }
 
-func (b *bench) timeQuery(db *sqlmini.DB, sql string) measurement {
+// time measures one run of f (duration + allocations).
+func (b *bench) time(f func()) measurement {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	if _, err := db.Query(sql); err != nil {
-		b.fatal(err)
-	}
+	f()
 	d := time.Since(start)
 	runtime.ReadMemStats(&after)
 	return measurement{d: d, allocs: after.Mallocs - before.Mallocs}
+}
+
+// best measures f -repeat times and keeps the fastest run — single-shot
+// wall-clock timings on shared CI runners are noisy, and the minimum is
+// the closest observable to the true cost.
+func (b *bench) best(f func()) measurement {
+	m := b.time(f)
+	for i := 1; i < b.repeat; i++ {
+		if n := b.time(f); n.d < m.d {
+			m = n
+		}
+	}
+	return m
+}
+
+// bestCold is best with a garbage collection before every attempt: each
+// run starts from the same settled heap, so a cold-start measurement is
+// the operation's own cost, not a predecessor's deferred GC debt.
+func (b *bench) bestCold(f func()) measurement {
+	m := measurement{d: time.Duration(1<<63 - 1)}
+	for r := 0; r < b.repeat || r == 0; r++ {
+		runtime.GC()
+		if n := b.time(f); n.d < m.d {
+			m = n
+		}
+	}
+	return m
+}
+
+func (b *bench) timeQuery(db *sqlmini.DB, sql string) measurement {
+	return b.best(func() {
+		if _, err := db.Query(sql); err != nil {
+			b.fatal(err)
+		}
+	})
 }
 
 func (b *bench) timePair(db *sqlmini.DB, p pair) measurement {
@@ -329,4 +376,149 @@ func (b *bench) merge() {
 	run("percfd-cnf", "per-CFD (QC, QV), CNF", "6", detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.CNF})
 	run("percfd-dnf", "per-CFD (QC, QV), DNF", "6", detect.Options{Strategy: detect.SQLPerCFD, Form: sqlgen.DNF})
 	run("direct", "direct (no SQL)", "-", detect.Options{Strategy: detect.Direct})
+}
+
+// e9: the durable serving path (beyond the paper) — write-ahead append
+// latency, full-state snapshot cost, and the payoff: cold-start recovery
+// from snapshot + log tail vs parsing and re-indexing the CSV.
+func (b *bench) e9() {
+	sz := 100000
+	if b.quick {
+		sz = 20000
+	}
+	data := b.data(sz, 0.05)
+	var sigma []*core.CFD
+	for i, tpl := range []gen.Template{gen.ZipToState, gen.ZipCityToState, gen.AreaCodeToState} {
+		cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+			Template: tpl, TabSize: 500, ConstPct: 1.0, Seed: int64(3 + i),
+		})
+		if err != nil {
+			b.fatal(err)
+		}
+		sigma = append(sigma, cfd)
+	}
+
+	dir, err := os.MkdirTemp("", "cfdbench-e9-")
+	if err != nil {
+		b.fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Baseline: the cold start every boot pays without durability — read
+	// the CSV from disk and build the monitor by evaluating Σ per tuple.
+	csvPath := filepath.Join(dir, "data.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		b.fatal(err)
+	}
+	if err := relation.WriteCSV(f, data.Dirty); err != nil {
+		b.fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.fatal(err)
+	}
+	csvLoad := b.bestCold(func() {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			b.fatal(err)
+		}
+		rel, err := relation.ReadCSV(f, "R")
+		f.Close()
+		if err != nil {
+			b.fatal(err)
+		}
+		if _, err := incremental.Load(rel, sigma, incremental.Options{}); err != nil {
+			b.fatal(err)
+		}
+	})
+	b.record(fmt.Sprintf("e9/SZ=%d/coldstart-csv", sz), csvLoad)
+
+	// The durable node: seeded once (writes the initial snapshot).
+	walDir := filepath.Join(dir, "wal")
+	m, err := incremental.Load(data.Dirty, sigma, incremental.Options{Durable: walDir})
+	if err != nil {
+		b.fatal(err)
+	}
+	// Each call is a distinct pass: the values carry the pass number so a
+	// later pass over the same keys never repeats a tuple's current value
+	// (a same-value Update is not journaled, which would turn the measured
+	// appends and the recovery log tail into no-ops).
+	pass := 0
+	mutate := func(m *incremental.Monitor, n int) time.Duration {
+		pass++
+		vals := [2]string{fmt.Sprintf("AAA%d", pass), fmt.Sprintf("BBB%d", pass)}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := m.Update(int64(i%sz), "CT", vals[i%2]); err != nil {
+				b.fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	// Append latency, buffered: the monitor's update cost plus the framed
+	// write-ahead record.
+	nAppend := 2000
+	appendBuf := measurement{d: mutate(m, nAppend) / time.Duration(nAppend)}
+	b.record(fmt.Sprintf("e9/SZ=%d/append-buffered", sz), appendBuf)
+
+	// Snapshot cost: serialize the full live state and roll the log.
+	snap := b.best(func() {
+		if err := m.ForceSnapshot(); err != nil {
+			b.fatal(err)
+		}
+	})
+	b.record(fmt.Sprintf("e9/SZ=%d/snapshot", sz), snap)
+
+	// Leave a realistic log tail behind the latest snapshot, then crash.
+	mutate(m, 1000)
+	if err := m.Close(); err != nil {
+		b.fatal(err)
+	}
+
+	// Recovery: latest snapshot + 1000-record tail replay. The journal
+	// close between repeats is teardown, not time-to-serving, so only the
+	// open is timed.
+	recover := measurement{d: time.Duration(1<<63 - 1)}
+	for r := 0; r < b.repeat || r == 0; r++ {
+		var rec *incremental.Monitor
+		runtime.GC() // same cold-heap discipline as the CSV baseline
+		run := b.time(func() {
+			var err error
+			rec, err = incremental.New(data.Dirty.Schema, sigma, incremental.Options{Durable: walDir})
+			if err != nil {
+				b.fatal(err)
+			}
+			if !rec.Recovered() || rec.Len() != sz {
+				b.fatal(fmt.Errorf("e9: recovered %d tuples (recovered=%v)", rec.Len(), rec.Recovered()))
+			}
+		})
+		if run.d < recover.d {
+			recover = run
+		}
+		if err := rec.Close(); err != nil {
+			b.fatal(err)
+		}
+	}
+	b.record(fmt.Sprintf("e9/SZ=%d/coldstart-recover", sz), recover)
+
+	// Append latency with per-record fsync (the power-loss-proof mode).
+	mf, err := incremental.New(data.Dirty.Schema, sigma, incremental.Options{Durable: walDir, Fsync: true})
+	if err != nil {
+		b.fatal(err)
+	}
+	nSync := 200
+	appendSync := measurement{d: mutate(mf, nSync) / time.Duration(nSync)}
+	b.record(fmt.Sprintf("e9/SZ=%d/append-fsync", sz), appendSync)
+	if err := mf.Close(); err != nil {
+		b.fatal(err)
+	}
+
+	b.header(fmt.Sprintf("E9: durability (SZ = %d, 3 CFDs)", sz), "metric", "value")
+	b.row("WAL append, buffered", fmt.Sprintf("%.1f µs/op", float64(appendBuf.d.Nanoseconds())/1e3))
+	b.row("WAL append, fsync", fmt.Sprintf("%.1f µs/op", float64(appendSync.d.Nanoseconds())/1e3))
+	b.row("snapshot (full state)", ms(snap)+" ms")
+	b.row("cold start: CSV load", ms(csvLoad)+" ms")
+	b.row("cold start: snapshot+log recovery", ms(recover)+" ms")
+	b.row("recovery speedup", fmt.Sprintf("%.1fx", float64(csvLoad.d)/float64(recover.d)))
 }

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// result mirrors one cfdbench -json measurement.
+type result struct {
+	Name   string `json:"name"`
+	NsOp   int64  `json:"ns_per_op"`
+	Allocs uint64 `json:"allocs"`
+}
+
+func readResults(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// minMerge folds several runs of the same workload into one series set,
+// keeping the fastest ns/op per series. Scheduler noise, GC pauses and
+// shared-runner contention only ever inflate a timing, so the min across
+// independent runs is the estimator closest to the code's true cost —
+// and unlike a mean it converges as runs are added. Series order follows
+// first appearance.
+func minMerge(runs ...[]result) []result {
+	var merged []result
+	idx := make(map[string]int)
+	for _, run := range runs {
+		for _, r := range run {
+			if i, ok := idx[r.Name]; ok {
+				if r.NsOp < merged[i].NsOp {
+					merged[i] = r
+				}
+				continue
+			}
+			idx[r.Name] = len(merged)
+			merged = append(merged, r)
+		}
+	}
+	return merged
+}
+
+// rowStatus classifies one series of the comparison.
+type rowStatus int
+
+const (
+	statusOK rowStatus = iota
+	statusImproved
+	statusRegressed
+	statusMissing // in baseline, absent from current — fails the gate
+	statusNew     // in current only — informational
+)
+
+func (s rowStatus) String() string {
+	switch s {
+	case statusOK:
+		return "ok"
+	case statusImproved:
+		return "improved"
+	case statusRegressed:
+		return "REGRESSED"
+	case statusMissing:
+		return "MISSING"
+	case statusNew:
+		return "new"
+	}
+	return "?"
+}
+
+type row struct {
+	Name          string
+	BaseNs, CurNs int64
+	Delta         float64 // (cur-base)/base; NaN-free: 0 when not comparable
+	Status        rowStatus
+	comparable_   bool
+}
+
+// report is the full comparison, ordered by the baseline file (new
+// series appended in current-file order).
+type report struct {
+	Rows        []row
+	Tolerance   float64
+	FloorNs     int64
+	Regressions int
+}
+
+func (r *report) Regressed() bool { return r.Regressions > 0 }
+
+// diff compares current against baseline: a series regresses when its
+// ns/op exceeds baseline × (1 + tolerance) AND the absolute slowdown is
+// at least floorNs. The floor keeps microsecond-scale series (an fsync,
+// a single WAL append) from flapping the gate on scheduler jitter, where
+// a ±30% swing is a few hundred nanoseconds of noise — they stay in the
+// table but only millisecond-scale drift can fail CI. An improvement
+// beyond the same band is labeled, everything inside it is "ok".
+func diff(baseline, current []result, tolerance float64, floorNs int64) *report {
+	cur := make(map[string]result, len(current))
+	for _, c := range current {
+		cur[c.Name] = c
+	}
+	rep := &report{Tolerance: tolerance, FloorNs: floorNs}
+	seen := make(map[string]bool, len(baseline))
+	for _, b := range baseline {
+		seen[b.Name] = true
+		c, ok := cur[b.Name]
+		if !ok {
+			rep.Rows = append(rep.Rows, row{Name: b.Name, BaseNs: b.NsOp, Status: statusMissing})
+			rep.Regressions++
+			continue
+		}
+		rw := row{Name: b.Name, BaseNs: b.NsOp, CurNs: c.NsOp, comparable_: true}
+		if b.NsOp > 0 {
+			rw.Delta = float64(c.NsOp-b.NsOp) / float64(b.NsOp)
+		}
+		absNs := c.NsOp - b.NsOp
+		switch {
+		case rw.Delta > tolerance && absNs >= floorNs:
+			rw.Status = statusRegressed
+			rep.Regressions++
+		case rw.Delta < -tolerance && -absNs >= floorNs:
+			rw.Status = statusImproved
+		default:
+			rw.Status = statusOK
+		}
+		rep.Rows = append(rep.Rows, rw)
+	}
+	for _, c := range current {
+		if !seen[c.Name] {
+			rep.Rows = append(rep.Rows, row{Name: c.Name, CurNs: c.NsOp, Status: statusNew})
+		}
+	}
+	return rep
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+// Markdown renders the comparison as a GitHub-flavored table plus a
+// one-line verdict.
+func (r *report) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### cfdbench vs baseline (±%.0f%% ns/op tolerance, %s absolute floor)\n\n",
+		r.Tolerance*100, fmtNs(r.FloorNs))
+	sb.WriteString("| series | baseline | current | delta | status |\n")
+	sb.WriteString("|---|---|---|---|---|\n")
+	for _, rw := range r.Rows {
+		base, cur, delta := "—", "—", "—"
+		if rw.Status != statusNew {
+			base = fmtNs(rw.BaseNs)
+		}
+		if rw.Status != statusMissing {
+			cur = fmtNs(rw.CurNs)
+		}
+		if rw.comparable_ {
+			delta = fmt.Sprintf("%+.1f%%", rw.Delta*100)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s |\n", rw.Name, base, cur, delta, rw.Status)
+	}
+	if r.Regressions > 0 {
+		fmt.Fprintf(&sb, "\n**%d series regressed.**\n", r.Regressions)
+	} else {
+		sb.WriteString("\nNo regressions.\n")
+	}
+	return sb.String()
+}

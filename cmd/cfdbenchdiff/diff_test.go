@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiffClassification(t *testing.T) {
+	baseline := []result{
+		{Name: "steady", NsOp: 100_000_000},
+		{Name: "slower", NsOp: 100_000_000},
+		{Name: "faster", NsOp: 100_000_000},
+		{Name: "gone", NsOp: 100_000_000},
+	}
+	current := []result{
+		{Name: "steady", NsOp: 110_000_000}, // +10%: inside the band
+		{Name: "slower", NsOp: 140_000_000}, // +40%: regression
+		{Name: "faster", NsOp: 50_000_000},  // -50%: improvement
+		{Name: "brandnew", NsOp: 1_000_000}, // baseline-less: informational
+	}
+	rep := diff(baseline, current, 0.30, 100_000)
+
+	want := map[string]rowStatus{
+		"steady":   statusOK,
+		"slower":   statusRegressed,
+		"faster":   statusImproved,
+		"gone":     statusMissing,
+		"brandnew": statusNew,
+	}
+	if len(rep.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(want))
+	}
+	for _, rw := range rep.Rows {
+		if rw.Status != want[rw.Name] {
+			t.Errorf("%s: status %v, want %v", rw.Name, rw.Status, want[rw.Name])
+		}
+	}
+	// A missing series and a slowed series both count against the gate.
+	if rep.Regressions != 2 {
+		t.Errorf("Regressions = %d, want 2", rep.Regressions)
+	}
+	if !rep.Regressed() {
+		t.Error("Regressed() = false with a regression present")
+	}
+}
+
+func TestDiffAbsoluteFloor(t *testing.T) {
+	// 2µs → 4µs is +100% but only 2µs absolute: jitter, not a regression.
+	baseline := []result{{Name: "tiny", NsOp: 2_000}, {Name: "tinyfast", NsOp: 4_000}}
+	current := []result{{Name: "tiny", NsOp: 4_000}, {Name: "tinyfast", NsOp: 2_000}}
+	rep := diff(baseline, current, 0.30, 100_000)
+	for _, rw := range rep.Rows {
+		if rw.Status != statusOK {
+			t.Errorf("%s: status %v, want ok under the 100µs floor", rw.Name, rw.Status)
+		}
+	}
+	if rep.Regressed() {
+		t.Error("sub-floor swing failed the gate")
+	}
+	// With the floor off, the same swing gates both ways.
+	rep = diff(baseline, current, 0.30, 0)
+	if rep.Regressions != 1 {
+		t.Errorf("floor=0: Regressions = %d, want 1", rep.Regressions)
+	}
+}
+
+func TestMinMerge(t *testing.T) {
+	run1 := []result{{Name: "a", NsOp: 100, Allocs: 1}, {Name: "b", NsOp: 50, Allocs: 2}}
+	run2 := []result{{Name: "b", NsOp: 80, Allocs: 3}, {Name: "a", NsOp: 60, Allocs: 4}, {Name: "c", NsOp: 9}}
+	got := minMerge(run1, run2)
+	want := []result{{Name: "a", NsOp: 60, Allocs: 4}, {Name: "b", NsOp: 50, Allocs: 2}, {Name: "c", NsOp: 9}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d series, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("series %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if out := minMerge(run1); len(out) != 2 || out[0] != run1[0] {
+		t.Errorf("single-run merge changed the input: %+v", out)
+	}
+}
+
+func TestDiffOrderFollowsBaseline(t *testing.T) {
+	baseline := []result{{Name: "b", NsOp: 1e6}, {Name: "a", NsOp: 1e6}}
+	current := []result{{Name: "a", NsOp: 1e6}, {Name: "b", NsOp: 1e6}, {Name: "z", NsOp: 1e6}}
+	rep := diff(baseline, current, 0.30, 0)
+	var got []string
+	for _, rw := range rep.Rows {
+		got = append(got, rw.Name)
+	}
+	if strings.Join(got, ",") != "b,a,z" {
+		t.Errorf("row order = %v, want baseline order with new series appended", got)
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	baseline := []result{{Name: "detect/direct", NsOp: 10_000_000}}
+	current := []result{{Name: "detect/direct", NsOp: 20_000_000}}
+	md := diff(baseline, current, 0.30, 100_000).Markdown()
+	for _, frag := range []string{
+		"| series | baseline | current | delta | status |",
+		"| detect/direct | 10.0ms | 20.0ms | +100.0% | REGRESSED |",
+		"**1 series regressed.**",
+	} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("markdown missing %q:\n%s", frag, md)
+		}
+	}
+	md = diff(baseline, baseline, 0.30, 100_000).Markdown()
+	if !strings.Contains(md, "No regressions.") {
+		t.Errorf("clean report missing verdict:\n%s", md)
+	}
+}
+
+func TestReadResults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	in := []result{{Name: "x", NsOp: 42, Allocs: 7}}
+	data, _ := json.Marshal(in)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != in[0] {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+	if _, err := readResults(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file: no error")
+	}
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readResults(path); err == nil {
+		t.Error("malformed JSON: no error")
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	cases := map[int64]string{
+		999:           "999ns",
+		1_500:         "1.5µs",
+		2_300_000:     "2.3ms",
+		1_250_000_000: "1.25s",
+	}
+	for ns, want := range cases {
+		if got := fmtNs(ns); got != want {
+			t.Errorf("fmtNs(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command cfdbenchdiff compares cfdbench -json result files and fails
+// when a series regressed beyond a tolerance — the CI gate behind
+// BENCH_baseline.json.
+//
+// Usage:
+//
+//	cfdbenchdiff -baseline BENCH_baseline.json -current bench.json
+//	cfdbenchdiff -baseline ... -current run1.json,run2.json
+//	cfdbenchdiff -current run1.json,run2.json -min-out BENCH_baseline.json
+//
+// -current takes one or more comma-separated result files; several runs
+// are min-merged per series before comparing, because noise only ever
+// inflates a timing. With -min-out the merged series are written as JSON
+// to the given path instead of compared (how `make bench-baseline`
+// folds repeated runs into a steadier baseline).
+//
+// The comparison output is a GitHub-flavored markdown table of
+// per-series deltas (suitable for $GITHUB_STEP_SUMMARY). The exit
+// status is 1 when any series present in the baseline is slower than
+// baseline × (1 + tolerance) by at least -floor nanoseconds, or
+// disappeared from the current run; series that are new in the current
+// run are listed but never fail the gate. The absolute floor (default
+// 100µs) keeps microsecond-scale series — where a 30% swing is
+// scheduler noise — informational rather than gating.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline cfdbench -json file (checked in)")
+		currentPath  = flag.String("current", "", "comma-separated cfdbench -json files to compare, min-merged per series (required)")
+		tolerance    = flag.Float64("tolerance", 0.30, "allowed ns/op slowdown fraction before a series counts as regressed")
+		floorNs      = flag.Int64("floor", 100_000, "minimum absolute ns/op slowdown to count as a regression (keeps µs-scale series from gating on jitter)")
+		minOut       = flag.String("min-out", "", "write the min-merged current series as JSON to this path and exit (no comparison)")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var runs [][]result
+	for _, path := range strings.Split(*currentPath, ",") {
+		rs, err := readResults(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfdbenchdiff:", err)
+			os.Exit(2)
+		}
+		runs = append(runs, rs)
+	}
+	current := minMerge(runs...)
+
+	if *minOut != "" {
+		data, err := json.MarshalIndent(current, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*minOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfdbenchdiff:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	baseline, err := readResults(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfdbenchdiff:", err)
+		os.Exit(2)
+	}
+	report := diff(baseline, current, *tolerance, *floorNs)
+	fmt.Print(report.Markdown())
+	if report.Regressed() {
+		fmt.Fprintf(os.Stderr, "cfdbenchdiff: %d series regressed beyond %.0f%% tolerance\n",
+			report.Regressions, *tolerance*100)
+		os.Exit(1)
+	}
+}

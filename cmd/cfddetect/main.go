@@ -12,7 +12,10 @@
 // named CSV change stream ('-' for stdin) is tailed: each record is
 // op,args... — "insert,v1,...,vn", "delete,KEY" or "update,KEY,ATTR,VALUE"
 // — and the violation delta each change causes is printed as it happens,
-// instead of re-detecting from scratch.
+// instead of re-detecting from scratch. Adding -wal-dir journals the
+// stream: every applied change is written ahead to a durable change log,
+// and a later -watch run over the same directory resumes from the logged
+// state instead of re-loading the CSV.
 //
 // Exit status is 2 on error, 1 when violations were found (for -watch:
 // when violations remain live after the stream), 0 when clean.
@@ -20,6 +23,7 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,8 +45,13 @@ func main() {
 		explain  = flag.Bool("explain", false, "print the physical query plans (nested loop vs hash join)")
 		maxShow  = flag.Int("max", 10, "max violations to print per CFD")
 		watch    = flag.String("watch", "", "apply a CSV change stream incrementally ('-' = stdin) instead of one-shot detection")
+		walDir   = flag.String("wal-dir", "", "with -watch: journal the stream to this durable WAL directory and resume from it on later runs")
 	)
 	flag.Parse()
+	if *walDir != "" && *watch == "" {
+		fmt.Fprintln(os.Stderr, "cfddetect: -wal-dir only applies to -watch mode")
+		os.Exit(2)
+	}
 	if *dataPath == "" || *cfdPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -52,7 +61,7 @@ func main() {
 		err  error
 	)
 	if *watch != "" {
-		code, err = runWatch(*dataPath, *cfdPath, *watch, os.Stdout)
+		code, err = runWatch(*dataPath, *cfdPath, *watch, *walDir, os.Stdout)
 	} else {
 		code, err = run(*dataPath, *cfdPath, *strategy, *form, *showSQL, *explain, *maxShow)
 	}
@@ -63,19 +72,47 @@ func main() {
 	os.Exit(code)
 }
 
-// runWatch loads the instance into an incremental Monitor and tails the
-// change stream, printing each change's violation delta.
-func runWatch(dataPath, cfdPath, watchPath string, out io.Writer) (int, error) {
-	rel, sigma, err := cliutil.LoadInputs(dataPath, cfdPath)
+// runWatch loads the instance into an incremental Monitor (recovering
+// from walDir when it holds previous state) and tails the change stream,
+// printing each change's violation delta.
+func runWatch(dataPath, cfdPath, watchPath, walDir string, out io.Writer) (code int, err error) {
+	sigma, err := cliutil.LoadCFDs(cfdPath)
 	if err != nil {
 		return 2, err
 	}
-	m, err := repro.LoadMonitor(rel, sigma, repro.MonitorOptions{})
-	if err != nil {
-		return 2, err
+	var m *repro.Monitor
+	if walDir != "" {
+		// A previous run's state lives in the WAL directory: the CSV is
+		// not parsed (or required) again.
+		m, err = repro.OpenMonitor(sigma, repro.MonitorOptions{Durable: walDir})
+		if err != nil && !errors.Is(err, repro.ErrNoMonitorState) {
+			return 2, err
+		}
 	}
-	fmt.Fprintf(out, "monitoring %d tuples against %d CFDs; %d live violations\n",
-		m.Len(), len(sigma), m.ViolationCount())
+	if m == nil {
+		rel, err := cliutil.LoadCSV(dataPath)
+		if err != nil {
+			return 2, err
+		}
+		m, err = repro.LoadMonitor(rel, sigma, repro.MonitorOptions{Durable: walDir})
+		if err != nil {
+			return 2, err
+		}
+	}
+	// A failed Close means journaled records never reached the disk — the
+	// printed deltas would silently vanish from the next resume, so it
+	// must override a success exit.
+	defer func() {
+		if cerr := m.Close(); cerr != nil && err == nil {
+			code, err = 2, fmt.Errorf("flushing journal: %w", cerr)
+		}
+	}()
+	source := ""
+	if m.Recovered() {
+		source = fmt.Sprintf(" (resumed from %s)", walDir)
+	}
+	fmt.Fprintf(out, "monitoring %d tuples against %d CFDs; %d live violations%s\n",
+		m.Len(), len(sigma), m.ViolationCount(), source)
 
 	var src io.Reader = os.Stdin
 	if watchPath != "-" {
@@ -149,6 +186,13 @@ func runWatch(dataPath, cfdPath, watchPath string, out io.Writer) (int, error) {
 	}
 	fmt.Fprintf(out, "final: %d tuples, %d live violations, satisfied=%v\n",
 		m.Len(), m.ViolationCount(), m.Satisfied())
+	if walDir != "" {
+		// Fold the stream into a fresh generation: without this, every
+		// resume would replay the concatenation of all previous runs.
+		if serr := m.ForceSnapshot(); serr != nil {
+			return 2, fmt.Errorf("final snapshot: %w", serr)
+		}
+	}
 	if m.Satisfied() {
 		return 0, nil
 	}

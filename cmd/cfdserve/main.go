@@ -8,6 +8,15 @@
 //
 //	cfdserve -data tax.csv -cfds cfds.txt                # line loop on stdin
 //	cfdserve -data tax.csv -cfds cfds.txt -http :8080    # HTTP API
+//	cfdserve -data tax.csv -cfds cfds.txt -http :8080 -wal-dir /var/lib/cfd
+//
+// With -wal-dir the node is durable: every accepted change is appended to
+// a write-ahead log before it is applied, background snapshots bound the
+// log, and a restart recovers the last acknowledged state from the
+// directory — the CSV is only read on the very first boot. SIGTERM/SIGINT
+// shut the server down gracefully: in-flight HTTP responses are flushed
+// (http.Server.Shutdown), a final snapshot is taken and the journal is
+// synced before the process exits.
 //
 // Line protocol (one command per line):
 //
@@ -17,6 +26,7 @@
 //	violations              dump the live violation set
 //	satisfied               print true/false
 //	stats                   print tuples=N violations=M satisfied=B
+//	snapshot                force a snapshot (durable mode)
 //	quit                    exit
 //
 // HTTP API (JSON):
@@ -24,21 +34,28 @@
 //	POST /insert  {"values": ["01","908",...]}       → {"key": K, "delta": {...}}
 //	POST /delete  {"key": 3}                         → {"delta": {...}}
 //	POST /update  {"key": 3, "attr": "CT", "value": "NYC"}
+//	POST /snapshot                                   → {"generation": N} (admin; durable mode)
 //	GET  /violations                                 → the live set
-//	GET  /stats                                      → {"tuples":N,"violations":M,"satisfied":B}
+//	GET  /stats                                      → {"tuples":N,...,"wal":{...}}
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/cliutil"
@@ -46,34 +63,73 @@ import (
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "CSV instance to monitor (required)")
-		cfdPath  = flag.String("cfds", "", "CFD file in text notation (required)")
-		httpAddr = flag.String("http", "", "serve the HTTP API on this address instead of the line protocol")
-		shards   = flag.Int("shards", 0, "lock shards per index (0 = default)")
+		dataPath     = flag.String("data", "", "CSV instance to monitor (required)")
+		cfdPath      = flag.String("cfds", "", "CFD file in text notation (required)")
+		httpAddr     = flag.String("http", "", "serve the HTTP API on this address instead of the line protocol")
+		shards       = flag.Int("shards", 0, "lock shards per index (0 = default)")
+		walDir       = flag.String("wal-dir", "", "durable mode: write-ahead log + snapshots in this directory; restarts recover from it instead of reloading the CSV")
+		fsync        = flag.Bool("fsync", false, "fsync the WAL after every record (acknowledged writes survive OS crash; slower)")
+		snapRecords  = flag.Int("snapshot-records", 10000, "roll a background snapshot after this many WAL records (0 = off)")
+		snapInterval = flag.Duration("snapshot-interval", 0, "also snapshot on this wall-clock period, e.g. 5m (0 = off)")
 	)
 	flag.Parse()
 	if *dataPath == "" || *cfdPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	srv, err := newServer(*dataPath, *cfdPath, *shards)
+	srv, err := newServer(*dataPath, *cfdPath, repro.MonitorOptions{
+		Shards:        *shards,
+		Durable:       *walDir,
+		Fsync:         *fsync,
+		SnapshotEvery: *snapRecords,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cfdserve:", err)
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *snapInterval > 0 && srv.m.JournalStats().Durable {
+		go srv.snapshotLoop(ctx, *snapInterval)
+	}
+	source := "loaded from CSV"
+	if srv.m.Recovered() {
+		source = fmt.Sprintf("recovered from %s (generation %d)", *walDir, srv.m.JournalStats().Generation)
+	}
+
 	if *httpAddr != "" {
-		fmt.Printf("monitoring %d tuples against %d CFDs on %s\n",
-			srv.m.Len(), len(srv.m.Sigma()), *httpAddr)
-		if err := http.ListenAndServe(*httpAddr, srv.handler()); err != nil {
+		lis, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfdserve:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("monitoring %d tuples against %d CFDs on %s (%s)\n",
+			srv.m.Len(), len(srv.m.Sigma()), lis.Addr(), source)
+		err = srv.serveHTTP(ctx, lis)
+		if cerr := srv.close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "cfdserve:", err)
 			os.Exit(2)
 		}
 		return
 	}
-	fmt.Printf("monitoring %d tuples against %d CFDs; type 'help' for commands\n",
-		srv.m.Len(), len(srv.m.Sigma()))
-	if err := srv.lineLoop(os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "cfdserve: reading input:", err)
+	fmt.Printf("monitoring %d tuples against %d CFDs (%s); type 'help' for commands\n",
+		srv.m.Len(), len(srv.m.Sigma()), source)
+	done := make(chan error, 1)
+	go func() { done <- srv.lineLoop(os.Stdin, os.Stdout) }()
+	var loopErr error
+	select {
+	case loopErr = <-done:
+	case <-ctx.Done():
+		fmt.Println("signal received, shutting down")
+	}
+	if cerr := srv.close(); loopErr == nil {
+		loopErr = cerr
+	}
+	if loopErr != nil {
+		fmt.Fprintln(os.Stderr, "cfdserve:", loopErr)
 		os.Exit(2)
 	}
 }
@@ -82,16 +138,80 @@ type server struct {
 	m *repro.Monitor
 }
 
-func newServer(dataPath, cfdPath string, shards int) (*server, error) {
-	rel, sigma, err := cliutil.LoadInputs(dataPath, cfdPath)
+func newServer(dataPath, cfdPath string, opts repro.MonitorOptions) (*server, error) {
+	sigma, err := cliutil.LoadCFDs(cfdPath)
 	if err != nil {
 		return nil, err
 	}
-	m, err := repro.LoadMonitor(rel, sigma, repro.MonitorOptions{Shards: shards})
+	// A durable node that has booted before carries its state (schema
+	// included) in the WAL directory — the CSV is not parsed, or even
+	// required to exist, after the first boot.
+	if opts.Durable != "" {
+		m, err := repro.OpenMonitor(sigma, opts)
+		if err == nil {
+			return &server{m: m}, nil
+		}
+		if !errors.Is(err, repro.ErrNoMonitorState) {
+			return nil, err
+		}
+	}
+	rel, err := cliutil.LoadCSV(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	m, err := repro.LoadMonitor(rel, sigma, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &server{m: m}, nil
+}
+
+// serveHTTP serves the API until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight responses are flushed, and
+// only then does the call return.
+func (s *server) serveHTTP(ctx context.Context, lis net.Listener) error {
+	hs := &http.Server{Handler: s.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(lis) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// snapshotLoop forces a snapshot on a wall-clock cadence, alongside the
+// record-count trigger of -snapshot-records.
+func (s *server) snapshotLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := s.m.ForceSnapshot(); err != nil {
+				fmt.Fprintln(os.Stderr, "cfdserve: periodic snapshot:", err)
+			}
+		}
+	}
+}
+
+// close flushes the durable state on the way out: a final snapshot (so
+// the next boot recovers instantly) and a synced journal.
+func (s *server) close() error {
+	if s.m.JournalStats().Durable {
+		if err := s.m.ForceSnapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, "cfdserve: final snapshot:", err)
+		}
+	}
+	return s.m.Close()
 }
 
 // --- line protocol ---
@@ -119,7 +239,7 @@ func (s *server) execLine(line string, out io.Writer) {
 	verb, rest, _ := strings.Cut(line, " ")
 	switch verb {
 	case "help":
-		fmt.Fprintln(out, "commands: insert v1,v2,... | delete KEY | update KEY ATTR VALUE | violations | satisfied | stats | quit")
+		fmt.Fprintln(out, "commands: insert v1,v2,... | delete KEY | update KEY ATTR VALUE | violations | satisfied | stats | snapshot | quit")
 	case "insert":
 		rec, err := csv.NewReader(strings.NewReader(rest)).Read()
 		if err != nil {
@@ -188,6 +308,16 @@ func (s *server) execLine(line string, out io.Writer) {
 	case "stats":
 		fmt.Fprintf(out, "tuples=%d violations=%d satisfied=%v\n",
 			s.m.Len(), s.m.ViolationCount(), s.m.Satisfied())
+		if js := s.m.JournalStats(); js.Durable {
+			fmt.Fprintf(out, "wal dir=%s generation=%d segment_records=%d recovered=%v\n",
+				js.Dir, js.Generation, js.SegmentRecords, js.Recovered)
+		}
+	case "snapshot":
+		if err := s.m.ForceSnapshot(); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		fmt.Fprintf(out, "snapshot done, generation %d\n", s.m.JournalStats().Generation)
 	default:
 		fmt.Fprintf(out, "error: unknown command %q (try 'help')\n", verb)
 	}
@@ -317,11 +447,43 @@ func (s *server) handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"per_cfd": out, "total": st.Total()})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		stats := map[string]any{
 			"tuples":     s.m.Len(),
 			"violations": s.m.ViolationCount(),
 			"satisfied":  s.m.Satisfied(),
-		})
+		}
+		if js := s.m.JournalStats(); js.Durable {
+			wal := map[string]any{
+				"dir":             js.Dir,
+				"generation":      js.Generation,
+				"segment_records": js.SegmentRecords,
+				"recovered":       js.Recovered,
+			}
+			if js.LastSnapshotErr != "" {
+				wal["last_snapshot_error"] = js.LastSnapshotErr
+			}
+			stats["wal"] = wal
+		}
+		writeJSON(w, http.StatusOK, stats)
+	})
+	// Admin: force a snapshot now — roll the WAL generation without
+	// waiting for the record-count or interval triggers.
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		if err := s.m.ForceSnapshot(); err != nil {
+			// Not-durable is the caller's mistake (409); a failed write
+			// on a durable node is a server-side disk problem (500).
+			status := http.StatusInternalServerError
+			if !s.m.JournalStats().Durable {
+				status = http.StatusConflict
+			}
+			writeErr(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"generation": s.m.JournalStats().Generation})
 	})
 	return mux
 }

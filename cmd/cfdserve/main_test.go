@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro"
 )
 
 const custCSV = `CC,AC,PN,NM,STR,CT,ZIP
@@ -23,18 +28,25 @@ const figure2CFDs = `
 [CC=01, AC=212, PN] -> [STR, CT=NYC, ZIP]
 `
 
-func newTestServer(t *testing.T) *server {
+// writeInputs drops the cust fixture into a temp dir and returns the paths.
+func writeInputs(t *testing.T) (data, cfds string) {
 	t.Helper()
 	dir := t.TempDir()
-	data := filepath.Join(dir, "cust.csv")
-	cfds := filepath.Join(dir, "cfds.txt")
+	data = filepath.Join(dir, "cust.csv")
+	cfds = filepath.Join(dir, "cfds.txt")
 	if err := os.WriteFile(data, []byte(custCSV), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(cfds, []byte(figure2CFDs), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(data, cfds, 0)
+	return data, cfds
+}
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	data, cfds := writeInputs(t)
+	srv, err := newServer(data, cfds, repro.MonitorOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,17 +218,164 @@ func TestNewServerErrors(t *testing.T) {
 	if err := os.WriteFile(data, []byte(custCSV), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newServer("missing.csv", "missing.txt", 0); err == nil {
+	if _, err := newServer("missing.csv", "missing.txt", repro.MonitorOptions{}); err == nil {
 		t.Error("missing data file must error")
 	}
-	if _, err := newServer(data, "missing.txt", 0); err == nil {
+	if _, err := newServer(data, "missing.txt", repro.MonitorOptions{}); err == nil {
 		t.Error("missing CFD file must error")
 	}
 	bad := filepath.Join(dir, "bad.txt")
 	if err := os.WriteFile(bad, []byte("not a cfd"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newServer(data, bad, 0); err == nil {
+	if _, err := newServer(data, bad, repro.MonitorOptions{}); err == nil {
 		t.Error("bad CFD file must error")
+	}
+}
+
+// TestDurableServerRestart: a -wal-dir server journals its writes, and a
+// restarted server resumes the acknowledged state instead of reloading
+// the CSV.
+func TestDurableServerRestart(t *testing.T) {
+	data, cfds := writeInputs(t)
+	walDir := filepath.Join(t.TempDir(), "wal")
+	opts := repro.MonitorOptions{Durable: walDir}
+
+	srv, err := newServer(data, cfds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	srv.lineLoop(strings.NewReader(strings.Join([]string{
+		`insert 01,908,1111111,Rick,"Tree Ave.",NYC,07974`,
+		"snapshot",
+		`insert 01,908,1111111,Ann,"Tree Ave.",MH,07974`,
+		"stats",
+	}, "\n")), &out)
+	if !strings.Contains(out.String(), "snapshot done, generation 2") {
+		t.Fatalf("snapshot command failed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "wal dir=") {
+		t.Fatalf("stats missing wal line:\n%s", out.String())
+	}
+	wantViolations := srv.m.ViolationCount()
+	wantLen := srv.m.Len()
+	if err := srv.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := newServer(data, cfds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.close()
+	if !srv2.m.Recovered() {
+		t.Fatal("restarted server did not recover from the WAL dir")
+	}
+	if srv2.m.Len() != wantLen || srv2.m.ViolationCount() != wantViolations {
+		t.Fatalf("recovered %d tuples / %d violations, want %d / %d",
+			srv2.m.Len(), srv2.m.ViolationCount(), wantLen, wantViolations)
+	}
+}
+
+// TestSnapshotEndpoint: the admin endpoint rolls the generation on a
+// durable server and 409s on a memory-only one.
+func TestSnapshotEndpoint(t *testing.T) {
+	data, cfds := writeInputs(t)
+	srv, err := newServer(data, cfds, repro.MonitorOptions{Durable: filepath.Join(t.TempDir(), "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.close()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || snap.Generation != 2 {
+		t.Fatalf("POST /snapshot: code=%d generation=%d", resp.StatusCode, snap.Generation)
+	}
+
+	resp, err = http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /snapshot: code=%d, want 405", resp.StatusCode)
+	}
+
+	var stats struct {
+		WAL *struct {
+			Generation uint64 `json:"generation"`
+		} `json:"wal"`
+	}
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.WAL == nil || stats.WAL.Generation != 2 {
+		t.Fatalf("stats.wal = %+v, want generation 2", stats.WAL)
+	}
+
+	plain := newTestServer(t)
+	tsPlain := httptest.NewServer(plain.handler())
+	defer tsPlain.Close()
+	resp, err = http.Post(tsPlain.URL+"/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("POST /snapshot on memory-only server: code=%d, want 409", resp.StatusCode)
+	}
+}
+
+// TestGracefulShutdown: cancelling the serve context must flush in-flight
+// responses and return cleanly instead of dropping connections.
+func TestGracefulShutdown(t *testing.T) {
+	srv := newTestServer(t)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.serveHTTP(ctx, lis) }()
+
+	url := "http://" + lis.Addr().String()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats before shutdown: code=%d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveHTTP did not return after context cancellation")
+	}
+	if _, err := http.Get(url + "/stats"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
 	}
 }

@@ -29,11 +29,53 @@
 //     violation delta of every change (NewMonitor, LoadMonitor). The
 //     cfdserve command exposes it as a line-oriented or HTTP service, and
 //     cfddetect -watch tails a CSV change stream through it.
+//   - Durability for the serving path (internal/wal): with
+//     MonitorOptions.Durable set to a directory, the Monitor journals
+//     every mutation to a write-ahead log and periodically snapshots its
+//     full state, so a restart recovers in milliseconds instead of
+//     re-loading and re-indexing the source CSV. See "Durability
+//     guarantees" below.
 //   - A heuristic repair algorithm (Section 6): cost-based value
 //     modification with the CFD-specific LHS-breaking move.
 //   - The paper's experimental workload generator (Section 5): tax
 //     records with SZ/NOISE knobs and CFD workloads with NUMATTRs, TABSZ
 //     and NUMCONSTs knobs.
+//
+// # Durability guarantees
+//
+// A durable Monitor (MonitorOptions.Durable = dir) appends one
+// length-prefixed, CRC-checked record per mutation to the generation's
+// log segment (dir/wal-N, zero-padded) before touching the in-memory
+// state, under a single journal mutex, so log order always equals apply
+// order and a replay rebuilds the exact pre-crash state.
+//
+// What is fsynced when: with MonitorOptions.Fsync, the log is fsynced
+// after every record — an acknowledged mutation then survives OS crash
+// and power loss, at the cost of one disk sync per write. Without it
+// (the default), records are buffered and reach the OS when the buffer
+// fills, on snapshot rotation, and on Close; a process crash loses at
+// most the unflushed tail, never an fsynced prefix. Snapshots are always
+// fully durable regardless of Fsync: each one goes to a temp file that
+// is fsynced and renamed into place, followed by a directory fsync.
+//
+// Snapshot cadence: MonitorOptions.SnapshotEvery rolls a background,
+// single-flight snapshot after that many journaled records (0 disables;
+// Monitor.ForceSnapshot rolls one synchronously — cfdserve exposes this
+// as POST /snapshot). A snapshot advances the generation: snap-(N+1) is
+// written, an empty wal-(N+1) is started, and only then is generation N
+// garbage-collected, so at every crash point the directory holds one
+// complete recovery path.
+//
+// Recovery semantics: NewMonitor/LoadMonitor on a directory with
+// existing state ignore any seed relation and instead load the latest
+// snapshot, replay the log tail on top, and truncate a torn final
+// record at the last intact boundary (a crash mid-append is expected,
+// not an error). Monitor.Recovered reports which path ran, and
+// Monitor.JournalStats exposes the generation, segment length and last
+// snapshot error. The crash-recovery property test in
+// internal/incremental kills the journal at arbitrary record boundaries
+// and cross-checks the recovered violation set against the batch Direct
+// detector.
 //
 // See README.md for a walkthrough, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the reproduction of every figure in the paper.

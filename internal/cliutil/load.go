@@ -13,22 +13,34 @@ import (
 // instance (header row becomes the schema) and a CFD set in the text
 // notation.
 func LoadInputs(dataPath, cfdPath string) (*relation.Relation, []*core.CFD, error) {
-	f, err := os.Open(dataPath)
+	rel, err := LoadCSV(dataPath)
 	if err != nil {
 		return nil, nil, err
 	}
-	rel, err := relation.ReadCSV(f, "R")
-	f.Close()
-	if err != nil {
-		return nil, nil, err
-	}
-	text, err := os.ReadFile(cfdPath)
-	if err != nil {
-		return nil, nil, err
-	}
-	sigma, err := core.ParseSet(string(text))
+	sigma, err := LoadCFDs(cfdPath)
 	if err != nil {
 		return nil, nil, err
 	}
 	return rel, sigma, nil
+}
+
+// LoadCSV reads a CSV instance; the header row becomes the schema.
+func LoadCSV(dataPath string) (*relation.Relation, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relation.ReadCSV(f, "R")
+}
+
+// LoadCFDs reads a CFD set in the text notation. Durable commands use it
+// alone when the monitor state comes from a WAL directory and the CSV is
+// not needed.
+func LoadCFDs(cfdPath string) ([]*core.CFD, error) {
+	text, err := os.ReadFile(cfdPath)
+	if err != nil {
+		return nil, err
+	}
+	return core.ParseSet(string(text))
 }

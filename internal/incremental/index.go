@@ -74,10 +74,13 @@ func (ix *rowIndex) match(x []relation.Value) []int {
 	return out
 }
 
-// group is the live state of one distinct X-projection under one CFD: its
-// member tuples and the multiset of their Y-projections. A group is in
-// variable violation when at least one tableau row selects it and its
-// members disagree on Y.
+// group is the live state of one distinct X-projection under one CFD. A
+// group is in variable violation when at least one tableau row selects it
+// and its members disagree on Y. The membership multiset itself lives in
+// the shard-level yCounts map (one flat map per shard instead of one or
+// two small maps per group — the dominant allocation cost of both the hot
+// write path and snapshot recovery at 100K-tuple scale); the group only
+// carries the counters those entries maintain.
 type group struct {
 	// x is the shared X-projection (owned by the group; treated as
 	// immutable once stored).
@@ -85,19 +88,37 @@ type group struct {
 	// selected reports whether some tableau row's X pattern matches x.
 	// The tableau is static, so this is computed once at group creation.
 	selected bool
-	// members maps each member tuple key to its encoded Y-projection, so
-	// removal needs no access to the tuple's values.
-	members map[int64]string
-	// yCounts is the multiset of encoded Y-projections over members.
-	yCounts map[string]int
+	// size is the number of member tuples.
+	size int
+	// distinct is the number of distinct Y-projections over the members
+	// (the number of live yCounts entries with this group's xk).
+	distinct int
 }
 
-func (g *group) violating() bool { return g.selected && len(g.yCounts) > 1 }
+func (g *group) violating() bool { return g.selected && g.distinct > 1 }
 
-// groupShard is one lock shard of a CFD's group index.
+// ykKey identifies one distinct Y-projection of one group within a shard.
+// The group is referenced by identity: pointer hashing is cheaper than
+// re-hashing the encoded X-projection on every membership change, and the
+// snapshot codec can reference groups by arena index instead of repeating
+// their keys.
+type ykKey struct {
+	g  *group
+	yk string
+}
+
+// groupShard is one lock shard of a CFD's group index: the groups keyed by
+// encoded X-projection, plus the flat Y-projection multiset over all of
+// the shard's groups.
 type groupShard struct {
 	mu sync.RWMutex
 	m  map[string]*group
+	// yCounts is the multiset of member Y-projections, keyed per group.
+	// An entry appearing (count 0→1) raises its group's distinct counter;
+	// an entry vanishing lowers it. Removal recomputes the member's
+	// Y-projection from the departing tuple, so no per-member index is
+	// needed at all.
+	yCounts map[ykKey]int
 }
 
 // constShard is one lock shard of a CFD's constant-violation set.

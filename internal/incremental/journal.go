@@ -1,0 +1,499 @@
+package incremental
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// This file is the durable mode of the Monitor: every mutation appends a
+// write-ahead record (internal/wal framing) before the in-memory apply, a
+// background snapshotter rolls the generation when the log grows past
+// Options.SnapshotEvery records, and startup recovers the latest snapshot
+// plus the log tail instead of re-evaluating Σ over every tuple.
+//
+// The journal serializes mutations with one mutex so the log order always
+// equals the apply order — replaying the log is then guaranteed to rebuild
+// the exact pre-crash state. Readers (Violations, Satisfied, Get, ...) are
+// untouched: they still run against the lock-sharded indexes concurrently
+// with a journaled writer. The write path gives up multi-writer
+// parallelism for durability; the WAL append (and fsync, when enabled)
+// dominates the cost of a journaled write anyway, as E9 measures.
+
+// errClosed reports a mutation against a closed durable monitor.
+var errClosed = errors.New("incremental: monitor journal is closed")
+
+// gcPause refcounts the process-global GC toggle used by recovery, so
+// concurrent recoveries (a server hosting several WAL-backed monitors)
+// compose: the collector is re-enabled with the original setting only
+// when the last recovery finishes, never left off for the process's life.
+var gcPause struct {
+	mu    sync.Mutex
+	depth int
+	prev  int
+}
+
+// pauseGC disables GC until the returned release function is called.
+func pauseGC() func() {
+	gcPause.mu.Lock()
+	if gcPause.depth == 0 {
+		gcPause.prev = debug.SetGCPercent(-1)
+	}
+	gcPause.depth++
+	gcPause.mu.Unlock()
+	return func() {
+		gcPause.mu.Lock()
+		gcPause.depth--
+		if gcPause.depth == 0 {
+			debug.SetGCPercent(gcPause.prev)
+		}
+		gcPause.mu.Unlock()
+	}
+}
+
+// WAL record op codes.
+const (
+	opInsert = 1
+	opDelete = 2
+	opUpdate = 3
+)
+
+// journal is the durable state attached to a Monitor.
+type journal struct {
+	// mu serializes append+apply pairs; index shard locks nest under it.
+	mu        sync.Mutex
+	dir       string
+	fsync     bool
+	snapEvery int
+
+	log  *wal.Log
+	lock *wal.DirLock
+	seq  uint64 // current generation (snap-seq is the base of wal-seq)
+	// appendErr poisons the journal after a failed append: the record may
+	// or may not be on disk, so the in-memory state and the log can no
+	// longer be trusted to agree. Further mutations are refused until a
+	// successful snapshot (which starts a fresh segment from the
+	// in-memory state, resolving the uncertainty) or a restart (which
+	// resolves it the other way, by replaying whatever reached the disk).
+	appendErr error
+	records   int // records appended to the current segment
+	// retryAt, after a failed snapshot, is the segment length at which
+	// the background trigger may fire again — one full snapEvery later,
+	// so a wedged directory (ENOSPC, permissions) costs one failed
+	// full-state serialization per interval, not one per mutation.
+	retryAt int
+
+	snapping    atomic.Bool // single-flight guard for background snapshots
+	lastSnapErr error       // outcome of the last background snapshot
+	recovered   bool
+	closed      bool
+}
+
+// attachJournal puts m into durable mode against opts.Durable. A directory
+// with existing state wins over the seed: the snapshot + log tail are
+// recovered and seed is ignored. A fresh directory seeds from seed (nil
+// means start empty) and, when seeded, writes the initial snapshot so the
+// CSV is never needed again.
+func attachJournal(m *Monitor, opts Options, seed *relation.Relation) error {
+	dir := opts.Durable
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	lock, err := wal.LockDir(dir)
+	if err != nil {
+		return err
+	}
+	attached := false
+	defer func() {
+		if !attached {
+			lock.Unlock()
+		}
+	}()
+	j := &journal{dir: dir, fsync: opts.Fsync, snapEvery: opts.SnapshotEvery, lock: lock}
+	snaps, logs, err := wal.Generations(dir)
+	if err != nil {
+		return err
+	}
+
+	if len(snaps) == 0 && len(logs) == 0 {
+		// Fresh directory.
+		if seed != nil {
+			for i, t := range seed.Tuples {
+				if err := m.checkTuple(t); err != nil {
+					return fmt.Errorf("incremental: loading row %d: %w", i, err)
+				}
+				key := m.nextKey.Add(1) - 1
+				m.applyInsert(key, t.Clone())
+			}
+			j.seq = 1
+			if err := wal.WriteSnapshot(dir, j.seq, m.writeSnapshot); err != nil {
+				return err
+			}
+		}
+		log, err := wal.Create(wal.LogPath(dir, j.seq), j.fsync)
+		if err != nil {
+			return err
+		}
+		j.log = log
+		m.j = j
+		attached = true
+		return nil
+	}
+
+	// Existing state: recover it, ignoring any seed. Recovery is one
+	// bounded allocation burst that immediately becomes the node's
+	// resident state (image, tuple arena, index maps); letting the
+	// collector run mid-burst only re-scans what is about to be live
+	// anyway, so GC is parked until the state is up — the same discipline
+	// storage engines apply to their restore paths.
+	defer pauseGC()()
+	j.recovered = true
+	if len(snaps) > 0 {
+		j.seq = snaps[len(snaps)-1]
+		f, err := os.Open(wal.SnapshotPath(dir, j.seq))
+		if err != nil {
+			return err
+		}
+		var size int64
+		if fi, err := f.Stat(); err == nil {
+			size = fi.Size()
+		}
+		err = m.readSnapshot(f, size)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else if logs[len(logs)-1] != 0 {
+		// A log segment without its snapshot is only recoverable at
+		// generation 0, whose base is the empty monitor.
+		return fmt.Errorf("incremental: wal dir %s: segment %d has no snapshot", dir, logs[len(logs)-1])
+	}
+	logPath := wal.LogPath(dir, j.seq)
+	if _, err := os.Stat(logPath); err == nil {
+		records, validLen, torn, err := wal.Replay(logPath, m.applyRecord)
+		if err != nil {
+			return err
+		}
+		if torn {
+			// The tail of a crashed append is garbage; cut it so new
+			// records start at the last intact boundary.
+			if err := os.Truncate(logPath, validLen); err != nil {
+				return err
+			}
+		}
+		j.records = records
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	log, err := wal.OpenAppend(logPath, j.fsync)
+	if err != nil {
+		return err
+	}
+	j.log = log
+	_ = wal.RemoveBelow(dir, j.seq) // leftovers of an interrupted rotation
+	m.j = j
+	attached = true
+	return nil
+}
+
+// --- the write path ---
+
+// usable errors a mutation when the journal is closed or poisoned; it
+// runs under j.mu.
+func (j *journal) usable() error {
+	if j.closed {
+		return errClosed
+	}
+	if j.appendErr != nil {
+		return fmt.Errorf("incremental: journal failed, snapshot or restart to recover: %w", j.appendErr)
+	}
+	return nil
+}
+
+func (j *journal) insert(m *Monitor, owned relation.Tuple) (int64, *Delta, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.usable(); err != nil {
+		return 0, nil, err
+	}
+	key := m.nextKey.Add(1) - 1
+	if err := j.log.Append(encodeInsert(key, owned)); err != nil {
+		j.appendErr = err
+		return 0, nil, err
+	}
+	d := m.applyInsert(key, owned)
+	j.afterAppend(m)
+	return key, d.normalize(), nil
+}
+
+func (j *journal) delete(m *Monitor, key int64) (*Delta, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.usable(); err != nil {
+		return nil, err
+	}
+	// Validate before journaling: only applicable records reach the log.
+	sh := &m.tuples[shardOfTuple(key, m.shards)]
+	sh.mu.RLock()
+	_, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("incremental: no tuple with key %d", key)
+	}
+	if err := j.log.Append(encodeDelete(key)); err != nil {
+		j.appendErr = err
+		return nil, err
+	}
+	d, err := m.applyDelete(key)
+	if err != nil {
+		return nil, err
+	}
+	j.afterAppend(m)
+	return d.normalize(), nil
+}
+
+func (j *journal) update(m *Monitor, key int64, ai int, attr string, val relation.Value) (*Delta, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.usable(); err != nil {
+		return nil, err
+	}
+	sh := &m.tuples[shardOfTuple(key, m.shards)]
+	sh.mu.RLock()
+	old, ok := sh.m[key]
+	same := ok && old[ai] == val
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("incremental: no tuple with key %d", key)
+	}
+	if same {
+		return &Delta{}, nil // no-ops are not journaled
+	}
+	if err := j.log.Append(encodeUpdate(key, ai, val)); err != nil {
+		j.appendErr = err
+		return nil, err
+	}
+	d, err := m.applyUpdate(key, ai, attr, val)
+	if err != nil {
+		return nil, err
+	}
+	j.afterAppend(m)
+	return d, nil
+}
+
+// afterAppend runs under j.mu: counts the record and kicks the background
+// snapshotter once the segment outgrows the threshold. The snapshot runs
+// in its own goroutine (single-flight) and takes j.mu itself, so it
+// briefly quiesces writers while the state image is serialized.
+func (j *journal) afterAppend(m *Monitor) {
+	j.records++
+	if j.snapEvery > 0 && j.records >= j.snapEvery && j.records >= j.retryAt &&
+		j.snapping.CompareAndSwap(false, true) {
+		go func() {
+			defer j.snapping.Store(false)
+			_ = j.snapshot(m) // outcome lands in lastSnapErr
+		}()
+	}
+}
+
+// snapshot rolls the journal to a new generation: write snap-(seq+1),
+// start the empty wal-(seq+1), then garbage-collect the old generation.
+// At every crash point the directory still holds one complete recovery
+// path. The outcome — of every trigger path: record count, wall clock,
+// ForceSnapshot — is recorded in lastSnapErr for JournalStats, so a
+// stale failure never outlives a later successful snapshot.
+func (j *journal) snapshot(m *Monitor) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errClosed
+	}
+	err := j.snapshotLocked(m)
+	j.lastSnapErr = err
+	if err != nil {
+		j.retryAt = j.records + j.snapEvery
+	} else {
+		j.retryAt = 0
+		// A fresh segment now starts from the in-memory state, so a
+		// poisoned journal (uncertain trailing record in the old, now
+		// garbage-collected segment) is whole again.
+		j.appendErr = nil
+	}
+	return err
+}
+
+func (j *journal) snapshotLocked(m *Monitor) error {
+	newSeq := j.seq + 1
+	if err := wal.WriteSnapshot(j.dir, newSeq, m.writeSnapshot); err != nil {
+		return err
+	}
+	newLog, err := wal.Create(wal.LogPath(j.dir, newSeq), j.fsync)
+	if err != nil {
+		// Without its log segment the new snapshot must not become the
+		// recovery base: ops would keep landing in the old segment.
+		os.Remove(wal.SnapshotPath(j.dir, newSeq))
+		return err
+	}
+	old := j.log
+	j.log, j.seq, j.records = newLog, newSeq, 0
+	old.Close()
+	_ = wal.RemoveBelow(j.dir, newSeq)
+	return nil
+}
+
+// --- record codec ---
+
+func encodeInsert(key int64, t relation.Tuple) []byte {
+	n := 1 + binary.MaxVarintLen64
+	for _, v := range t {
+		n += binary.MaxVarintLen64 + len(v)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, opInsert)
+	buf = binary.AppendUvarint(buf, uint64(key))
+	for _, v := range t {
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+func encodeDelete(key int64) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64)
+	buf = append(buf, opDelete)
+	return binary.AppendUvarint(buf, uint64(key))
+}
+
+func encodeUpdate(key int64, ai int, val relation.Value) []byte {
+	buf := make([]byte, 0, 1+3*binary.MaxVarintLen64+len(val))
+	buf = append(buf, opUpdate)
+	buf = binary.AppendUvarint(buf, uint64(key))
+	buf = binary.AppendUvarint(buf, uint64(ai))
+	buf = binary.AppendUvarint(buf, uint64(len(val)))
+	return append(buf, val...)
+}
+
+// applyRecord replays one WAL record onto the monitor. Records were
+// validated before they were appended, so application errors mean the
+// directory does not belong to this schema/Σ.
+func (m *Monitor) applyRecord(payload []byte) error {
+	d := &dec{s: string(payload)}
+	op := d.byte()
+	key := int64(d.uvarint())
+	switch op {
+	case opInsert:
+		vals := d.strs(m.schema.Len())
+		if d.err != nil {
+			return d.err
+		}
+		m.applyInsert(key, relation.Tuple(vals))
+		if nk := key + 1; nk > m.nextKey.Load() {
+			m.nextKey.Store(nk)
+		}
+	case opDelete:
+		if d.err != nil {
+			return d.err
+		}
+		if _, err := m.applyDelete(key); err != nil {
+			return fmt.Errorf("incremental: replaying delete: %w", err)
+		}
+	case opUpdate:
+		ai := int(d.uvarint())
+		val := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		if ai >= m.schema.Len() {
+			return fmt.Errorf("incremental: replaying update: attribute index %d out of range", ai)
+		}
+		if _, err := m.applyUpdate(key, ai, m.schema.Attrs[ai].Name, val); err != nil {
+			return fmt.Errorf("incremental: replaying update: %w", err)
+		}
+	default:
+		return fmt.Errorf("incremental: unknown WAL op %d", op)
+	}
+	return nil
+}
+
+// --- surface ---
+
+// Recovered reports whether this monitor's state was rebuilt from an
+// existing WAL directory (as opposed to a fresh seed or empty start).
+func (m *Monitor) Recovered() bool { return m.j != nil && m.j.recovered }
+
+// ForceSnapshot synchronously rolls the durable monitor to a new
+// generation: full state image, fresh log segment, old generation
+// garbage-collected. It errors on a monitor without a WAL directory.
+func (m *Monitor) ForceSnapshot() error {
+	if m.j == nil {
+		return errors.New("incremental: monitor is not durable")
+	}
+	return m.j.snapshot(m)
+}
+
+// Close flushes and syncs the journal; further mutations error. It is a
+// no-op for a non-durable monitor. Close does not snapshot — callers that
+// want the fastest next boot call ForceSnapshot first.
+func (m *Monitor) Close() error {
+	if m.j == nil {
+		return nil
+	}
+	j := m.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err := j.log.Close()
+	if uerr := j.lock.Unlock(); err == nil {
+		err = uerr
+	}
+	return err
+}
+
+// JournalStats describes the durable state of a monitor.
+type JournalStats struct {
+	// Durable reports whether the monitor journals at all.
+	Durable bool
+	// Dir is the WAL directory.
+	Dir string
+	// Generation is the current snapshot/segment sequence number.
+	Generation uint64
+	// SegmentRecords counts records in the current log segment.
+	SegmentRecords int
+	// Recovered reports whether startup restored existing state.
+	Recovered bool
+	// LastSnapshotErr is the error of the most recent background
+	// snapshot, empty when it succeeded.
+	LastSnapshotErr string
+}
+
+// JournalStats returns the durable-state counters (zero values for a
+// non-durable monitor).
+func (m *Monitor) JournalStats() JournalStats {
+	if m.j == nil {
+		return JournalStats{}
+	}
+	j := m.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JournalStats{
+		Durable:        true,
+		Dir:            j.dir,
+		Generation:     j.seq,
+		SegmentRecords: j.records,
+		Recovered:      j.recovered,
+	}
+	if j.lastSnapErr != nil {
+		st.LastSnapshotErr = j.lastSnapErr.Error()
+	}
+	return st
+}

@@ -1,0 +1,327 @@
+package incremental_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/incremental"
+	"repro/internal/relation"
+)
+
+// walFiles lists the snap-*/wal-* names in a WAL directory.
+func walFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.Name() == "lock" { // the permanent advisory-lock file
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	return out
+}
+
+// TestDurableRestartResume is the headline flow: seed from an instance,
+// mutate, close, reopen — the monitor resumes with the same tuples, keys
+// and live violation set, without touching the seed again.
+func TestDurableRestartResume(t *testing.T) {
+	rel, sigma := custFixture(t)
+	dir := t.TempDir()
+	opts := incremental.Options{Durable: dir}
+
+	m, err := incremental.Load(rel, sigma, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Recovered() {
+		t.Fatal("fresh directory must not report recovered")
+	}
+	// Seeding writes the initial snapshot so the next boot skips the seed.
+	names := strings.Join(walFiles(t, dir), " ")
+	if !strings.Contains(names, "snap-00000001") || !strings.Contains(names, "wal-00000001") {
+		t.Fatalf("after seeded load, dir = %s", names)
+	}
+
+	key, _, err := m.Insert(relation.Tuple{"01", "908", "1111111", "Eve", "Tree Ave.", "NYC", "07974"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Update(2, "CT", "MH"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	wantState := m.Violations()
+	wantKeys := m.Keys()
+	wantLen := m.Len()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a DIFFERENT seed: the directory must win.
+	otherSeed := relation.New(rel.Schema)
+	m2, err := incremental.Load(otherSeed, sigma, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !m2.Recovered() {
+		t.Fatal("existing directory must report recovered")
+	}
+	if m2.Len() != wantLen {
+		t.Fatalf("recovered Len = %d, want %d", m2.Len(), wantLen)
+	}
+	gotKeys := m2.Keys()
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("recovered keys = %v, want %v", gotKeys, wantKeys)
+		}
+	}
+	if !m2.Violations().Equal(wantState) {
+		t.Fatalf("recovered violations diverge:\ngot:\n%s\nwant:\n%s",
+			describe(m2.Violations()), describe(wantState))
+	}
+	// The batch detector agrees with the recovered live set.
+	want := oracleState(t, m2.Snapshot(), sigma, gotKeys)
+	if !m2.Violations().Equal(want) {
+		t.Fatalf("recovered set diverges from batch oracle:\ngot:\n%s\nwant:\n%s",
+			describe(m2.Violations()), describe(want))
+	}
+	// Key allocation resumes after the journaled insert.
+	k2, _, err := m2.Insert(relation.Tuple{"01", "212", "2222222", "Ann", "Elm Str.", "NYC", "01202"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 <= key {
+		t.Fatalf("resumed key = %d, want > %d", k2, key)
+	}
+}
+
+// TestDurableEmptyStart: New with a fresh directory journals from empty.
+func TestDurableEmptyStart(t *testing.T) {
+	rel, sigma := custFixture(t)
+	dir := t.TempDir()
+	opts := incremental.Options{Durable: dir}
+	m, err := incremental.New(rel.Schema, sigma, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range rel.Tuples {
+		if _, _, err := m.Insert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Violations()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := incremental.New(rel.Schema, sigma, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !m2.Recovered() || !m2.Violations().Equal(st) {
+		t.Fatalf("empty-start recovery: recovered=%v", m2.Recovered())
+	}
+}
+
+// TestAutoSnapshotRotation: the background snapshotter rolls generations
+// and truncates the log once SnapshotEvery records accumulate.
+func TestAutoSnapshotRotation(t *testing.T) {
+	rel, sigma := custFixture(t)
+	dir := t.TempDir()
+	m, err := incremental.Load(rel, sigma, incremental.Options{Durable: dir, SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, _, err := m.Insert(relation.Tuple{"01", "908", "1111111", "Eve", "Tree Ave.", "NYC", "07974"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := m.JournalStats()
+		if st.LastSnapshotErr != "" {
+			t.Fatalf("background snapshot failed: %s", st.LastSnapshotErr)
+		}
+		if st.Generation > 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no background snapshot after 25 inserts: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	stVio := m.Violations()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Old generations are garbage-collected; the survivor recovers fully.
+	names := walFiles(t, dir)
+	if len(names) > 2 {
+		t.Fatalf("stale generations not collected: %v", names)
+	}
+	m2, err := incremental.Load(rel, sigma, incremental.Options{Durable: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != rel.Len()+25 || !m2.Violations().Equal(stVio) {
+		t.Fatalf("recovery after rotation: Len = %d, want %d", m2.Len(), rel.Len()+25)
+	}
+}
+
+// TestForceSnapshotAndClose covers the synchronous admin path and the
+// closed-journal guardrails.
+func TestForceSnapshotAndClose(t *testing.T) {
+	rel, sigma := custFixture(t)
+	m, err := incremental.Load(rel, sigma, incremental.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ForceSnapshot(); err == nil {
+		t.Fatal("ForceSnapshot on a memory-only monitor must error")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal("Close on a memory-only monitor must be a no-op")
+	}
+	st := m.JournalStats()
+	if st.Durable {
+		t.Fatal("memory-only monitor reports durable stats")
+	}
+
+	dir := t.TempDir()
+	md, err := incremental.Load(rel, sigma, incremental.Options{Durable: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := md.Insert(rel.Tuples[0].Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := md.ForceSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st = md.JournalStats()
+	if !st.Durable || st.Generation != 2 || st.SegmentRecords != 0 {
+		t.Fatalf("after ForceSnapshot: %+v", st)
+	}
+	if err := md.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := md.Insert(rel.Tuples[0].Clone()); err == nil {
+		t.Fatal("insert after Close must error")
+	}
+	if _, err := md.Delete(0); err == nil {
+		t.Fatal("delete after Close must error")
+	}
+	if _, err := md.Update(0, "CT", "MH"); err == nil {
+		t.Fatal("update after Close must error")
+	}
+	if err := md.ForceSnapshot(); err == nil {
+		t.Fatal("snapshot after Close must error")
+	}
+	if err := md.Close(); err != nil {
+		t.Fatal("double Close must be a no-op")
+	}
+}
+
+// TestDurableRejectsChangedSigma: a WAL directory can never be reopened
+// under different constraints.
+func TestDurableRejectsChangedSigma(t *testing.T) {
+	rel, sigma := custFixture(t)
+	dir := t.TempDir()
+	m, err := incremental.Load(rel, sigma, incremental.Options{Durable: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other, err := core.ParseSet("[CC] -> [CT]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := incremental.Load(rel, other, incremental.Options{Durable: dir}); err == nil {
+		t.Fatal("recovery under a different Σ must error")
+	}
+}
+
+// TestDurableConcurrentWriters: journaled writers from many goroutines,
+// then recovery — the journal serializes append+apply, so the recovered
+// state must match both the pre-crash live set and the batch oracle.
+// (Run under -race in CI.)
+func TestDurableConcurrentWriters(t *testing.T) {
+	rel, sigma := custFixture(t)
+	dir := t.TempDir()
+	m, err := incremental.Load(rel, sigma, incremental.Options{Durable: dir, SnapshotEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				switch i % 3 {
+				case 0:
+					if _, _, err := m.Insert(relation.Tuple{"01", "908", "1111111", "W", "Tree Ave.", "NYC", "07974"}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					// Reads race against journaled writers.
+					m.Violations()
+					m.Satisfied()
+				case 2:
+					if _, err := m.Update(int64(w%6), "CT", "MH"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := m.Violations()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := incremental.Load(rel, sigma, incremental.Options{Durable: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if !m2.Violations().Equal(want) {
+		t.Fatalf("recovered set diverges from pre-close set")
+	}
+	oracle := oracleState(t, m2.Snapshot(), sigma, m2.Keys())
+	if !m2.Violations().Equal(oracle) {
+		t.Fatalf("recovered set diverges from batch oracle:\ngot:\n%s\nwant:\n%s",
+			describe(m2.Violations()), describe(oracle))
+	}
+}
+
+// TestDurableSegmentWithoutSnapshot: wal-N without snap-N (N > 0) is
+// unrecoverable and must be reported, not silently emptied.
+func TestDurableSegmentWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000003"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, sigma := custFixture(t)
+	if _, err := incremental.Load(rel, sigma, incremental.Options{Durable: dir}); err == nil {
+		t.Fatal("orphan segment must fail recovery")
+	}
+}

@@ -20,6 +20,16 @@
 // randomized property tests replay long mixed update streams and
 // cross-check the live set against a fresh detect.Direct run after every
 // step.
+//
+// With Options.Durable set, the monitor becomes a persistent node: every
+// mutation is appended to a write-ahead change log (internal/wal) before
+// the in-memory apply, snapshots of the full state bound both the log
+// length and the recovery time, and a restart rebuilds the live violation
+// set from the latest snapshot plus the log tail instead of re-parsing
+// and re-indexing the source data. See journal.go and persist.go; the
+// kill-and-recover property test in crash_test.go truncates the log at
+// arbitrary byte offsets and cross-checks the recovered state against the
+// batch detector.
 package incremental
 
 import (
@@ -37,6 +47,26 @@ type Options struct {
 	// (16). More shards reduce contention under concurrent writers at the
 	// cost of a little memory.
 	Shards int
+
+	// Durable, when non-empty, is a directory the monitor journals to: a
+	// write-ahead change log records every mutation before it is applied,
+	// and snapshots of the full state (tuples, group indexes, live
+	// violation set) bound recovery time. If the directory already holds
+	// state, New and Load recover from it — latest snapshot plus log-tail
+	// replay — instead of starting from the given seed.
+	Durable string
+
+	// Fsync, in durable mode, fsyncs the log after every record: an
+	// acknowledged mutation then survives OS crash and power loss, at the
+	// cost of one disk sync per write. Without it records are buffered and
+	// reach the OS on snapshot, Close, or when the buffer fills — a crash
+	// can lose the unflushed tail, never the acknowledged prefix on disk.
+	Fsync bool
+
+	// SnapshotEvery, in durable mode, rolls a background snapshot after
+	// this many journaled records, truncating the log. 0 disables
+	// automatic snapshots (use ForceSnapshot).
+	SnapshotEvery int
 }
 
 const defaultShards = 16
@@ -71,11 +101,29 @@ type Monitor struct {
 	// X ∪ Y mentions it — the only CFDs an Update of that attribute can
 	// affect.
 	attrToCFDs map[string][]int
+
+	// j is the durable journal; nil for a memory-only monitor.
+	j *journal
 }
 
 // New builds an empty Monitor for the schema and Σ. Every CFD is validated
-// against the schema up front.
+// against the schema up front. With Options.Durable set, a directory that
+// already holds journaled state is recovered instead.
 func New(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, error) {
+	m, err := build(schema, sigma, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Durable != "" {
+		if err := attachJournal(m, opts, nil); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// build constructs the in-memory monitor without any journal wiring.
+func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, error) {
 	shards := opts.Shards
 	if shards <= 0 {
 		shards = defaultShards
@@ -112,6 +160,7 @@ func New(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, er
 		}
 		for s := range cs.groups {
 			cs.groups[s].m = make(map[string]*group)
+			cs.groups[s].yCounts = make(map[ykKey]int)
 			cs.consts[s].m = make(map[int64]bool)
 		}
 		m.cfds = append(m.cfds, cs)
@@ -124,11 +173,21 @@ func New(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, er
 
 // Load builds a Monitor over an existing instance: tuples are keyed
 // 0..Len()-1 in row order, so keys coincide with the batch detectors' row
-// ids for the initial load.
+// ids for the initial load. With Options.Durable set, a directory that
+// already holds journaled state wins over rel — the snapshot and log tail
+// are recovered and the instance is ignored; a fresh directory is seeded
+// from rel and immediately snapshotted so later boots skip the CSV path
+// entirely.
 func Load(rel *relation.Relation, sigma []*core.CFD, opts Options) (*Monitor, error) {
-	m, err := New(rel.Schema, sigma, opts)
+	m, err := build(rel.Schema, sigma, opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Durable != "" {
+		if err := attachJournal(m, opts, rel); err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 	for i, t := range rel.Tuples {
 		if _, _, err := m.Insert(t); err != nil {
@@ -173,7 +232,17 @@ func (m *Monitor) Insert(t relation.Tuple) (int64, *Delta, error) {
 		return 0, nil, err
 	}
 	owned := t.Clone()
+	if m.j != nil {
+		return m.j.insert(m, owned)
+	}
 	key := m.nextKey.Add(1) - 1
+	return key, m.applyInsert(key, owned).normalize(), nil
+}
+
+// applyInsert stores an already-validated tuple under key and folds it
+// into every CFD's live state. The caller owns key uniqueness (fresh from
+// nextKey, or a replayed record).
+func (m *Monitor) applyInsert(key int64, owned relation.Tuple) *Delta {
 	sh := &m.tuples[shardOfTuple(key, m.shards)]
 	sh.mu.Lock()
 	sh.m[key] = owned
@@ -183,12 +252,24 @@ func (m *Monitor) Insert(t relation.Tuple) (int64, *Delta, error) {
 		m.add(ci, key, owned, d)
 	}
 	sh.mu.Unlock()
-	return key, d.normalize(), nil
+	return d
 }
 
 // Delete removes the tuple with the given key, returning the violation
 // delta (always a pure retirement or group-status change).
 func (m *Monitor) Delete(key int64) (*Delta, error) {
+	if m.j != nil {
+		return m.j.delete(m, key)
+	}
+	d, err := m.applyDelete(key)
+	if err != nil {
+		return nil, err
+	}
+	return d.normalize(), nil
+}
+
+// applyDelete removes the tuple and unfolds it from every CFD's state.
+func (m *Monitor) applyDelete(key int64) (*Delta, error) {
 	sh := &m.tuples[shardOfTuple(key, m.shards)]
 	sh.mu.Lock()
 	t, ok := sh.m[key]
@@ -203,7 +284,7 @@ func (m *Monitor) Delete(key int64) (*Delta, error) {
 		m.remove(ci, key, t, d)
 	}
 	sh.mu.Unlock()
-	return d.normalize(), nil
+	return d, nil
 }
 
 // Update changes one attribute of the tuple with the given key. Only the
@@ -217,6 +298,14 @@ func (m *Monitor) Update(key int64, attr string, val relation.Value) (*Delta, er
 	if !m.schema.Attrs[ai].Domain.Contains(val) {
 		return nil, fmt.Errorf("incremental: %q.%s: value %q outside domain %s", m.schema.Name, attr, val, m.schema.Attrs[ai].Domain.Name)
 	}
+	if m.j != nil {
+		return m.j.update(m, key, ai, attr, val)
+	}
+	return m.applyUpdate(key, ai, attr, val)
+}
+
+// applyUpdate changes one already-validated attribute value in place.
+func (m *Monitor) applyUpdate(key int64, ai int, attr string, val relation.Value) (*Delta, error) {
 	sh := &m.tuples[shardOfTuple(key, m.shards)]
 	sh.mu.Lock()
 	old, ok := sh.m[key]
@@ -374,17 +463,17 @@ func (m *Monitor) add(ci int, key int64, t relation.Tuple, d *Delta) {
 	sh.mu.Lock()
 	g, ok := sh.m[xk]
 	if !ok {
-		g = &group{
-			x:        x,
-			selected: len(rows) > 0,
-			members:  make(map[int64]string, 2),
-			yCounts:  make(map[string]int, 2),
-		}
+		g = &group{x: x, selected: len(rows) > 0}
 		sh.m[xk] = g
 	}
 	was := g.violating()
-	g.members[key] = yk
-	g.yCounts[yk]++
+	g.size++
+	kk := ykKey{g: g, yk: yk}
+	c := sh.yCounts[kk]
+	sh.yCounts[kk] = c + 1
+	if c == 0 {
+		g.distinct++
+	}
 	now := g.violating()
 	sh.mu.Unlock()
 	if !was && now {
@@ -409,6 +498,9 @@ func (m *Monitor) remove(ci int, key int64, t relation.Tuple, d *Delta) {
 		d.Removed = append(d.Removed, Change{CFD: ci, Kind: core.ConstViolation, Tuple: key})
 	}
 	xk := relation.EncodeKey(x)
+	// The departing tuple is in hand, so its Y-projection is recomputed
+	// here instead of being indexed per member.
+	yk := relation.EncodeKey(project(t, cs.yIdx))
 	sh := &cs.groups[shardOfKey(xk, m.shards)]
 	sh.mu.Lock()
 	g, ok := sh.m[xk]
@@ -417,17 +509,18 @@ func (m *Monitor) remove(ci int, key int64, t relation.Tuple, d *Delta) {
 		return
 	}
 	was := g.violating()
-	yk, member := g.members[key]
-	if member {
-		delete(g.members, key)
-		if g.yCounts[yk]--; g.yCounts[yk] == 0 {
-			delete(g.yCounts, yk)
-		}
-		if len(g.members) == 0 {
-			delete(sh.m, xk)
-		}
+	g.size--
+	kk := ykKey{g: g, yk: yk}
+	if c := sh.yCounts[kk]; c <= 1 {
+		delete(sh.yCounts, kk)
+		g.distinct--
+	} else {
+		sh.yCounts[kk] = c - 1
 	}
 	now := g.violating()
+	if g.size == 0 {
+		delete(sh.m, xk)
+	}
 	sh.mu.Unlock()
 	if was && !now {
 		cs.violations.Add(-1)

@@ -1,0 +1,137 @@
+package incremental
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// ErrNoState reports a WAL directory without a recoverable snapshot.
+var ErrNoState = errors.New("incremental: WAL directory holds no snapshot")
+
+// Open boots a durable monitor from its WAL directory alone: the schema
+// comes from the latest snapshot, so the original data source is neither
+// needed nor read. Σ still comes from the caller — constraints are
+// configuration, not state — and recovery verifies it against the image
+// as usual. Returns ErrNoState when the directory has no snapshot to
+// read the schema from (nothing was ever journaled there); callers fall
+// back to seeding from the source via Load.
+func Open(sigma []*core.CFD, opts Options) (*Monitor, error) {
+	if opts.Durable == "" {
+		return nil, errors.New("incremental: Open requires Options.Durable")
+	}
+	schema, err := SnapshotSchema(opts.Durable)
+	if err != nil {
+		return nil, err
+	}
+	return New(schema, sigma, opts)
+}
+
+// SnapshotSchema reads the schema embedded in the latest snapshot of a
+// WAL directory. Only the header and schema section are decoded — not
+// the relation image — so the call is cheap at any snapshot size.
+func SnapshotSchema(dir string) (*relation.Schema, error) {
+	snaps, _, err := wal.Generations(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoState
+		}
+		return nil, err
+	}
+	if len(snaps) == 0 {
+		return nil, ErrNoState
+	}
+	f, err := os.Open(wal.SnapshotPath(dir, snaps[len(snaps)-1]))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("incremental: reading snapshot header: %w", err)
+	}
+	if string(magic) != snapMagic {
+		return nil, errors.New("incremental: not a monitor snapshot")
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // nextKey
+		return nil, fmt.Errorf("incremental: reading snapshot header: %w", err)
+	}
+	name, err := readSnapStr(br)
+	if err != nil {
+		return nil, err
+	}
+	nattrs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: reading snapshot schema: %w", err)
+	}
+	if nattrs > maxSnapAttrs {
+		return nil, fmt.Errorf("incremental: snapshot schema claims %d attributes", nattrs)
+	}
+	attrs := make([]relation.Attribute, 0, nattrs)
+	for i := uint64(0); i < nattrs; i++ {
+		aname, err := readSnapStr(br)
+		if err != nil {
+			return nil, err
+		}
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("incremental: reading snapshot schema: %w", err)
+		}
+		a := relation.Attr(aname)
+		if flag == 1 {
+			dname, err := readSnapStr(br)
+			if err != nil {
+				return nil, err
+			}
+			nvals, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("incremental: reading snapshot schema: %w", err)
+			}
+			if nvals > maxSnapDomain {
+				return nil, fmt.Errorf("incremental: snapshot domain claims %d values", nvals)
+			}
+			vals := make([]relation.Value, 0, nvals)
+			for j := uint64(0); j < nvals; j++ {
+				v, err := readSnapStr(br)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+			a.Domain = &relation.Domain{Name: dname, Values: vals}
+		}
+		attrs = append(attrs, a)
+	}
+	return relation.NewSchema(name, attrs...)
+}
+
+// Sanity bounds for the streaming schema read: a corrupt length must read
+// as corruption, not as an allocation request.
+const (
+	maxSnapStr    = 1 << 20
+	maxSnapAttrs  = 1 << 16
+	maxSnapDomain = 1 << 24
+)
+
+func readSnapStr(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("incremental: reading snapshot schema: %w", err)
+	}
+	if n > maxSnapStr {
+		return "", fmt.Errorf("incremental: snapshot string of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("incremental: reading snapshot schema: %w", err)
+	}
+	return string(buf), nil
+}

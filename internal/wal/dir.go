@@ -1,0 +1,129 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SnapshotPath returns the snapshot file of a generation.
+func SnapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d", seq))
+}
+
+// LogPath returns the log segment of a generation.
+func LogPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d", seq))
+}
+
+// Generations scans dir and returns the generation numbers that have a
+// snapshot file and those that have a log segment, each in ascending
+// order. Temp files and foreign names are ignored.
+func Generations(dir string) (snaps, logs []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if seq, ok := parseGen(name, "snap-"); ok {
+			snaps = append(snaps, seq)
+		} else if seq, ok := parseGen(name, "wal-"); ok {
+			logs = append(logs, seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(logs, func(i, j int) bool { return logs[i] < logs[j] })
+	return snaps, logs, nil
+}
+
+func parseGen(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(prefix):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// WriteSnapshot durably writes the snapshot of a generation: the content
+// goes to a temp file which is fsynced and renamed into place, then the
+// directory itself is fsynced, so a crash at any point leaves either no
+// snap-seq file or a complete one.
+func WriteSnapshot(dir string, seq uint64, write func(w io.Writer) error) (err error) {
+	final := SnapshotPath(dir, seq)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// RemoveBelow garbage-collects every snapshot and log segment of a
+// generation older than keep. Removal failures are reported but the scan
+// continues: a leftover old generation is harmless, a missing new one is
+// not.
+func RemoveBelow(dir string, keep uint64) error {
+	snaps, logs, err := Generations(dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	rm := func(path string) {
+		if err := os.Remove(path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, s := range snaps {
+		if s < keep {
+			rm(SnapshotPath(dir, s))
+		}
+	}
+	for _, l := range logs {
+		if l < keep {
+			rm(LogPath(dir, l))
+		}
+	}
+	return firstErr
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable on crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

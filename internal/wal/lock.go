@@ -1,0 +1,44 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DirLock is an exclusive advisory lock on a WAL directory, preventing
+// two processes (or two monitors in one process) from appending to the
+// same generation and interleaving frames mid-record. The lock is tied
+// to the open file description, so it vanishes with the process — a
+// crash never leaves a stale lock behind.
+type DirLock struct {
+	f *os.File
+}
+
+// LockDir takes the directory's exclusive lock without blocking; a held
+// lock is an immediate error naming the directory.
+func LockDir(dir string) (*DirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := flockExclusive(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: directory %s is in use by another monitor: %w", dir, err)
+	}
+	return &DirLock{f: f}, nil
+}
+
+// Unlock releases the lock. The lock file itself is left in place: it
+// carries no state and removing it would race a concurrent LockDir.
+func (l *DirLock) Unlock() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := funlock(l.f)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

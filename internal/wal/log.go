@@ -1,0 +1,170 @@
+// Package wal holds the on-disk machinery behind the durable serving
+// path: a length-prefixed, CRC-checked append-only change log plus
+// atomically-written snapshot files, organized in generations.
+//
+// A generation pairs one snapshot with one log segment: snap-N is a full
+// state image, wal-N is the changes applied since it was taken. Rolling
+// to generation N+1 writes snap-(N+1) (temp file, fsync, rename, directory
+// fsync), starts an empty wal-(N+1), and only then garbage-collects
+// generation N — so at every instant the directory contains at least one
+// complete recovery path. Recovery picks the newest snapshot and replays
+// its log segment; a torn tail (partial record, CRC mismatch) marks the
+// crash point and everything before it is kept. A corrupt snapshot fails
+// the boot loudly — there is no silent fallback to an older generation,
+// which normal rotation garbage-collects anyway.
+//
+// The package is deliberately ignorant of what the records mean: payloads
+// are opaque byte slices. internal/incremental supplies the operation
+// codec and the snapshot serialization.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// headerSize is the per-record framing: uint32 payload length followed by
+// uint32 CRC-32 (IEEE) of the payload, both little-endian.
+const headerSize = 8
+
+// maxRecord bounds a single record; a larger length in a header is treated
+// as corruption rather than an allocation request.
+const maxRecord = 64 << 20
+
+// Log is an append-only record log. Appends are buffered; with fsync
+// enabled every Append flushes and syncs before returning, otherwise
+// records reach the OS on Sync/Close or when the buffer fills.
+//
+// A Log is not safe for concurrent use; callers serialize appends (the
+// Monitor's journal lock does this).
+type Log struct {
+	f     *os.File
+	w     *bufio.Writer
+	fsync bool
+	hdr   [headerSize]byte
+}
+
+// Create starts a new, empty log segment at path.
+func Create(path string, fsync bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), fsync: fsync}, nil
+}
+
+// OpenAppend opens an existing segment for appending (after recovery has
+// replayed and, if necessary, truncated it).
+func OpenAppend(path string, fsync bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f, w: bufio.NewWriter(f), fsync: fsync}, nil
+}
+
+// Append writes one framed record. With fsync enabled the record is
+// durable when Append returns.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	binary.LittleEndian.PutUint32(l.hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(l.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return err
+	}
+	if l.fsync {
+		return l.Sync()
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the file.
+func (l *Log) Sync() error {
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes, syncs and closes the segment.
+func (l *Log) Close() error {
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Replay reads the segment at path, calling fn for each intact record in
+// order. It returns the number of records delivered, the byte offset of
+// the first damaged or incomplete record (== file size when the log is
+// clean), and whether the tail was torn. The payload passed to fn is only
+// valid during the call.
+//
+// A torn tail — truncated header, truncated payload, or CRC mismatch — is
+// the signature of a crash mid-append; everything before it is trusted,
+// everything from it on is garbage a caller should truncate away before
+// appending again. An error from fn aborts the replay.
+func Replay(path string, fn func(payload []byte) error) (records int, validLen int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, false, err
+	}
+	r := bufio.NewReader(f)
+	var (
+		off int64
+		hdr [headerSize]byte
+		buf []byte
+	)
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return records, off, false, nil // clean end
+			}
+			if err == io.ErrUnexpectedEOF {
+				return records, off, true, nil // torn header
+			}
+			return records, off, false, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxRecord || off+headerSize+int64(n) > size {
+			return records, off, true, nil // absurd length or runs past EOF
+		}
+		if uint32(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return records, off, true, nil // torn payload
+			}
+			return records, off, false, err
+		}
+		if crc32.ChecksumIEEE(buf) != want {
+			return records, off, true, nil // corrupt payload
+		}
+		if err := fn(buf); err != nil {
+			return records, off, false, err
+		}
+		records++
+		off += headerSize + int64(n)
+	}
+}

@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// replayAll collects every intact payload of a segment.
+func replayAll(t *testing.T, path string) (payloads [][]byte, validLen int64, torn bool) {
+	t.Helper()
+	records, validLen, torn, err := Replay(path, func(p []byte) error {
+		payloads = append(payloads, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != len(payloads) {
+		t.Fatalf("Replay reported %d records, delivered %d", records, len(payloads))
+	}
+	return payloads, validLen, torn
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-0")
+	l, err := Create(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%d-%s", i, bytes.Repeat([]byte{byte(i)}, i)))
+		want = append(want, p)
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Empty payloads are legal records too.
+	want = append(want, []byte{})
+	if err := l.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, validLen, torn := replayAll(t, path)
+	if torn {
+		t.Fatal("clean log reported torn")
+	}
+	fi, _ := os.Stat(path)
+	if validLen != fi.Size() {
+		t.Fatalf("validLen = %d, file size = %d", validLen, fi.Size())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// writeRecords builds a segment of n records and returns the record
+// boundary offsets (offset i = end of record i).
+func writeRecords(t *testing.T, path string, n int) []int64 {
+	t.Helper()
+	l, err := Create(path, true) // fsync keeps the file flushed per record
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []int64
+	for i := 0; i < n; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("op-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, fi.Size())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return bounds
+}
+
+func TestReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-0")
+	bounds := writeRecords(t, path, 10)
+
+	// Truncating at any byte strictly inside record k+1 must surface
+	// exactly records 0..k and flag the tail as torn.
+	cases := []struct {
+		size    int64
+		records int
+		torn    bool
+	}{
+		{bounds[9], 10, false},    // clean
+		{bounds[4], 5, false},     // exact boundary: a crash between appends
+		{bounds[4] + 1, 5, true},  // one header byte
+		{bounds[4] + 8, 5, true},  // full header, no payload
+		{bounds[4] + 10, 5, true}, // partial payload
+		{bounds[0] - 1, 0, true},  // first record torn
+		{0, 0, false},             // empty file
+	}
+	for _, tc := range cases {
+		img := filepath.Join(dir, "img")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(img, data[:tc.size], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, validLen, torn := replayAll(t, img)
+		if len(got) != tc.records || torn != tc.torn {
+			t.Errorf("truncate@%d: %d records torn=%v, want %d torn=%v",
+				tc.size, len(got), torn, tc.records, tc.torn)
+		}
+		if tc.records > 0 && validLen != bounds[tc.records-1] {
+			t.Errorf("truncate@%d: validLen = %d, want %d", tc.size, validLen, bounds[tc.records-1])
+		}
+	}
+}
+
+func TestReplayCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-0")
+	bounds := writeRecords(t, path, 6)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of record 3: records 0..2 survive, the rest is
+	// distrusted.
+	data[bounds[2]+8] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, validLen, torn := replayAll(t, path)
+	if len(got) != 3 || !torn {
+		t.Fatalf("corrupt record: %d records torn=%v, want 3 torn=true", len(got), torn)
+	}
+	if validLen != bounds[2] {
+		t.Fatalf("validLen = %d, want %d", validLen, bounds[2])
+	}
+}
+
+func TestReplayAbsurdLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-0")
+	// A header whose length runs far past EOF must read as a torn tail,
+	// not as an allocation.
+	if err := os.WriteFile(path, []byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, torn := replayAll(t, path)
+	if len(got) != 0 || !torn {
+		t.Fatalf("absurd length: %d records torn=%v, want 0 torn=true", len(got), torn)
+	}
+}
+
+func TestOpenAppendContinues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-0")
+	l, err := Create(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = OpenAppend(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, torn := replayAll(t, path)
+	if torn || len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("reopened log replay = %q torn=%v", got, torn)
+	}
+}
+
+func TestSnapshotAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	// A failing writer must leave no snapshot and no temp litter.
+	err := WriteSnapshot(dir, 1, func(w io.Writer) error {
+		_, _ = w.Write([]byte("partial"))
+		return fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("failing snapshot writer must error")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("failed snapshot left files: %v", entries)
+	}
+
+	// A successful write lands under the final name with the full content.
+	if err := WriteSnapshot(dir, 1, func(w io.Writer) error {
+		_, err := w.Write([]byte("full state"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(SnapshotPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "full state" {
+		t.Fatalf("snapshot content = %q", data)
+	}
+}
+
+func TestGenerationsAndRemoveBelow(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"snap-00000001", "snap-00000003", "wal-00000001", "wal-00000003", "snap-00000002.tmp", "other.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, logs, err := Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0] != 1 || snaps[1] != 3 {
+		t.Fatalf("snaps = %v", snaps)
+	}
+	if len(logs) != 2 || logs[0] != 1 || logs[1] != 3 {
+		t.Fatalf("logs = %v", logs)
+	}
+	if err := RemoveBelow(dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	snaps, logs, err = Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0] != 3 || len(logs) != 1 || logs[0] != 3 {
+		t.Fatalf("after GC: snaps = %v, logs = %v", snaps, logs)
+	}
+}

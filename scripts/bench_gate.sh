@@ -1,0 +1,71 @@
+#!/bin/sh
+# Bench regression gate: run the fixed cfdbench workload at least twice,
+# min-merge the runs per series (noise only ever inflates a timing, so
+# the min across independent runs estimates the code's true cost), and
+# compare against the checked-in BENCH_baseline.json. A failing
+# comparison earns one more run before the verdict sticks — a shared
+# runner can land an entire run in a slow window, which no per-series
+# statistics can absorb; a genuine regression fails every attempt.
+#
+# Writes the markdown delta table to bench-diff.md and, under GitHub
+# Actions, appends it to the job summary. Knobs (see Makefile):
+# BENCH_WORKLOAD, BENCH_TOLERANCE, BENCH_FLOOR_NS, BENCH_MAX_RUNS.
+set -eu
+
+WORKLOAD=${BENCH_WORKLOAD:-"-quick -repeat 5 -only 9a,merge,e9"}
+TOLERANCE=${BENCH_TOLERANCE:-0.30}
+FLOOR_NS=${BENCH_FLOOR_NS:-100000}
+MAX_RUNS=${BENCH_MAX_RUNS:-3}
+
+if [ ! -f BENCH_baseline.json ]; then
+    echo "bench gate: BENCH_baseline.json missing — run 'make bench-baseline' and commit it" >&2
+    exit 2
+fi
+
+# Real binaries, not `go run`: it flattens every child exit code to 1,
+# which would make a missing-baseline config error (exit 2) look like a
+# regression (exit 1) — and it recompiles on every loop iteration.
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN/" ./cmd/cfdbench ./cmd/cfdbenchdiff
+
+runs=""
+n=0
+status=1
+while [ "$n" -lt "$MAX_RUNS" ]; do
+    n=$((n + 1))
+    # shellcheck disable=SC2086 # WORKLOAD is a flag list, splitting intended
+    "$BIN/cfdbench" $WORKLOAD -json > "bench-run$n.json"
+    runs="${runs:+$runs,}bench-run$n.json"
+    if [ "$n" -lt 2 ]; then
+        continue
+    fi
+    set +e
+    "$BIN/cfdbenchdiff" -baseline BENCH_baseline.json -current "$runs" \
+        -tolerance "$TOLERANCE" -floor "$FLOOR_NS" > bench-diff.md
+    status=$?
+    set -e
+    if [ "$status" -eq 0 ]; then
+        break
+    fi
+    if [ "$status" -ge 2 ]; then
+        # Usage/IO error (missing or unparseable file), not a regression:
+        # more bench runs cannot help.
+        echo "bench gate: cfdbenchdiff failed (exit $status), aborting" >&2
+        exit "$status"
+    fi
+    if [ "$n" -lt "$MAX_RUNS" ]; then
+        echo "bench gate: regression after $n runs, adding another run" >&2
+    fi
+done
+
+cat bench-diff.md
+if [ "$status" -ne 0 ]; then
+    echo "bench gate: baseline timings are hardware-relative — if this runner" >&2
+    echo "class changed (or the slowdown is intentional), regenerate with" >&2
+    echo "'make bench-baseline' on it and commit BENCH_baseline.json" >&2
+fi
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    cat bench-diff.md >> "$GITHUB_STEP_SUMMARY"
+fi
+exit "$status"
