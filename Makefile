@@ -1,24 +1,31 @@
 GO ?= go
 
-# The CI bench-gate workload: small, fixed, ~30s. One experiment per
-# layer — batch detection (9a), strategy comparison (merge) and the
-# durable serving path (e9) — at -quick sizes, best-of-5 so a single
-# scheduler hiccup does not fail the gate. ci.yml and the checked-in
-# baseline both go through these targets, so the flags live only here.
-BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9
+# The CI bench-gate workload: small, fixed, ~1min. One experiment per
+# layer — batch detection (9a), strategy comparison (merge), the durable
+# serving path (e9) and batched ingest (e10) — at -quick sizes, best-of-5
+# so a single scheduler hiccup does not fail the gate. ci.yml and the
+# checked-in baseline both go through these targets, so the flags live
+# only here.
+BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10
 # Relative tolerance plus an absolute ns/op floor: only millisecond-scale
 # drift can fail the gate; µs-scale series (single append, fsync) stay
 # informational because 30% of a microsecond is scheduler jitter.
 BENCH_TOLERANCE = 0.30
 BENCH_FLOOR_NS = 100000
 
-.PHONY: test race bench-current bench-baseline bench-check
+.PHONY: test race race-batch bench-current bench-baseline bench-batch bench-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
 
 race:
 	$(GO) test -race ./internal/incremental/ ./internal/wal/ ./cmd/cfdserve/
+
+# The batch pipeline's property tests under the race detector, twice, so
+# goroutine schedules vary: the randomized batched-stream oracle test and
+# the mid-batch kill/recover test.
+race-batch:
+	$(GO) test -race -count 2 -run 'TestRandomBatchesMatchOracle|TestCrashRecoveryBatchAllOrNothing|TestApplyBatch' ./internal/incremental/
 
 # One raw run of the gate workload, for eyeballing.
 bench-current:
@@ -34,6 +41,12 @@ bench-baseline:
 	$(GO) run ./cmd/cfdbench $(BENCH_WORKLOAD) -json > bench-run2.json
 	$(GO) run ./cmd/cfdbenchdiff -current bench-run1.json,bench-run2.json -min-out BENCH_baseline.json
 	rm -f bench-run1.json bench-run2.json
+
+# Quick local iteration on the batched-ingest series only (E10): delta
+# throughput vs batch size under 1/4/16 writers, plus the fsync
+# single-vs-batch headline.
+bench-batch:
+	$(GO) run ./cmd/cfdbench -quick -only e10
 
 # The gate itself: rerun the workload (min of 2 runs, a 3rd on
 # failure), fail on a >30% ns/op regression of at least 100µs absolute,

@@ -214,6 +214,17 @@ type (
 	// MonitorJournalStats describes a monitor's durable state (generation,
 	// records since last snapshot, recovery provenance).
 	MonitorJournalStats = incremental.JournalStats
+	// ChangeSet is an ordered vector of insert/delete/update ops applied
+	// as one batch via Monitor.Apply: validated as a unit, journaled as a
+	// single WAL record (one fsync per batch in durable mode, atomic
+	// under crash), and applied with one pass per affected lock shard.
+	// Build one with its Insert/Delete/Update methods or an Ops literal;
+	// after Apply, inserted keys are in ChangeOp.Key.
+	ChangeSet = incremental.ChangeSet
+	// ChangeOp is one mutation within a ChangeSet.
+	ChangeOp = incremental.Op
+	// ChangeOpKind discriminates ChangeOp mutations.
+	ChangeOpKind = incremental.OpKind
 	// ViolationDelta is the net violation change caused by one operation.
 	ViolationDelta = incremental.Delta
 	// ViolationChange is one added or retired violation within a delta.
@@ -222,6 +233,13 @@ type (
 	MonitorState = incremental.State
 	// MonitorViolations is one CFD's entry in a MonitorState.
 	MonitorViolations = incremental.CFDViolations
+)
+
+// ChangeOp kinds (see ChangeOp.Kind).
+const (
+	OpInsert = incremental.OpInsert
+	OpDelete = incremental.OpDelete
+	OpUpdate = incremental.OpUpdate
 )
 
 // NewMonitor builds an empty incremental monitor for the schema and Σ;

@@ -333,3 +333,44 @@ func TestMonitorThroughFacade(t *testing.T) {
 		t.Fatal("violating insert produced no delta")
 	}
 }
+
+// TestChangeSetThroughFacade: the batched mutation path composed through
+// the public API — one Apply carrying a mixed op vector, keys read back
+// from the ChangeSet, net delta healing the insert above.
+func TestChangeSetThroughFacade(t *testing.T) {
+	_, rel := custFixture(t)
+	sigma, err := ParseCFDSet(figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadMonitor(rel, sigma, MonitorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs ChangeSet
+	cs.Insert(Tuple{"01", "908", "7777777", "Eve", "Oak Ave.", "MH", "07974"})
+	cs.Update(0, "CT", "MH")
+	cs.Update(1, "CT", "MH")
+	cs.Update(3, "ZIP", "01202")
+	delta, err := m.Apply(&cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Ops[0].Kind != OpInsert || cs.Ops[0].Key != int64(rel.Len()) {
+		t.Fatalf("insert op key = %d, want %d", cs.Ops[0].Key, rel.Len())
+	}
+	if len(delta.Removed) == 0 {
+		t.Fatalf("healing batch retired nothing: %+v", delta)
+	}
+	if !m.Satisfied() {
+		t.Fatalf("expected clean instance after the batch:\n%v", m.Violations().PerCFD)
+	}
+	// An invalid op anywhere rejects the whole batch.
+	bad := (&ChangeSet{}).Update(0, "CT", "NYC").Delete(999)
+	if _, err := m.Apply(bad); err == nil {
+		t.Fatal("batch with unknown key accepted")
+	}
+	if got, _ := m.Get(0); got[5] != "MH" {
+		t.Fatal("rejected batch partially applied")
+	}
+}

@@ -574,6 +574,91 @@ func BenchmarkRecover100K(b *testing.B) {
 	}
 }
 
+// E10 — batched ingest (the ChangeSet pipeline): the per-op cost of
+// Monitor.Apply as a function of batch size, against the same workload
+// the single-op E8/E9 series use. One batch is one shard pass and — in
+// durable mode — one WAL record and one fsync, so ns/op must fall
+// steeply with batch size; the fsync series carries the headline claim
+// (a 1000-op ChangeSet ≥ 3× faster than 1000 single fsynced ops).
+// cmd/cfdbench runs the same comparison, plus concurrent writers, as the
+// `e10` experiment.
+
+// benchApplyBatch drives b.N CT updates through m in ChangeSets of the
+// given size. Values mix in the pass number so revisiting a key always
+// flips it — a same-value update inside a batch journals but does not
+// reindex, which would understate the apply cost.
+func benchApplyBatch(b *testing.B, m *incremental.Monitor, tuples, size int) {
+	b.Helper()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := size
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		var cs incremental.ChangeSet
+		for i := 0; i < n; i++ {
+			op := done + i
+			val := "AAA"
+			if (op+op/tuples)%2 == 1 {
+				val = "BBB"
+			}
+			cs.Update(int64(op%tuples), "CT", val)
+		}
+		if _, err := m.Apply(&cs); err != nil {
+			b.Fatal(err)
+		}
+		done += n
+	}
+}
+
+// BenchmarkApplyBatch100K: memory-only batches — what shard-pass
+// amortization and the interned hot path buy without the WAL.
+func BenchmarkApplyBatch100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	for _, size := range []int{1, 16, 256, 1000} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			m, err := incremental.Load(rel, sigma, incremental.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchApplyBatch(b, m, rel.Len(), size)
+		})
+	}
+}
+
+// BenchmarkApplyBatchDurable100K: journaled batches, buffered — one WAL
+// record per batch instead of per op.
+func BenchmarkApplyBatchDurable100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	for _, size := range []int{1, 16, 256, 1000} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			m, err := incremental.Load(rel, sigma, incremental.Options{Durable: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			benchApplyBatch(b, m, rel.Len(), size)
+		})
+	}
+}
+
+// BenchmarkApplyBatchFsync100K: the acceptance series — durable mode
+// with per-record fsync, where a 1000-op batch pays one sync and 1000
+// single ops pay 1000.
+func BenchmarkApplyBatchFsync100K(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	for _, size := range []int{1, 1000} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			m, err := incremental.Load(rel, sigma, incremental.Options{Durable: b.TempDir(), Fsync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			benchApplyBatch(b, m, rel.Len(), size)
+		})
+	}
+}
+
 // BenchmarkCSVColdStart100K: the path Recover100K replaces — parse the
 // 100K-row CSV and re-index every tuple through Load.
 func BenchmarkCSVColdStart100K(b *testing.B) {

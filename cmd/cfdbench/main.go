@@ -12,7 +12,10 @@
 //
 // Experiment ids: 9a–9f and merge re-run the paper's evaluation; e9
 // measures the durable serving path (WAL append latency, snapshot cost,
-// cold-start recovery vs the full CSV load).
+// cold-start recovery vs the full CSV load); e10 measures batched ingest
+// (ChangeSet delta throughput vs batch size under 1/4/16 concurrent
+// writers, and the one-fsync-per-batch payoff against single fsynced
+// ops).
 //
 // With -json the tables are suppressed and a single JSON array of
 // measurements is written to stdout, so a per-PR perf trajectory
@@ -28,6 +31,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -42,7 +46,7 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
-		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9)")
+		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10)")
 		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 		repeat  = flag.Int("repeat", 1, "measure each series this many times and keep the fastest")
 	)
@@ -79,6 +83,9 @@ func main() {
 	}
 	if want("e9") {
 		b.e9()
+	}
+	if want("e10") {
+		b.e10()
 	}
 	if b.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -521,4 +528,147 @@ func (b *bench) e9() {
 	b.row("cold start: CSV load", ms(csvLoad)+" ms")
 	b.row("cold start: snapshot+log recovery", ms(recover)+" ms")
 	b.row("recovery speedup", fmt.Sprintf("%.1fx", float64(csvLoad.d)/float64(recover.d)))
+}
+
+// e10: batched ingest — delta throughput of the ChangeSet pipeline
+// against batch size under concurrent writers, and the headline fsync
+// comparison: a 1000-op ChangeSet is one WAL record and one fsync, so it
+// must beat 1000 single fsynced ops by well over 3×.
+func (b *bench) e10() {
+	sz := 100000
+	if b.quick {
+		sz = 20000
+	}
+	data := b.data(sz, 0.05)
+	var sigma []*core.CFD
+	for i, tpl := range []gen.Template{gen.ZipToState, gen.ZipCityToState, gen.AreaCodeToState} {
+		cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+			Template: tpl, TabSize: 500, ConstPct: 1.0, Seed: int64(3 + i),
+		})
+		if err != nil {
+			b.fatal(err)
+		}
+		sigma = append(sigma, cfd)
+	}
+	dir, err := os.MkdirTemp("", "cfdbench-e10-")
+	if err != nil {
+		b.fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// mutateBatched drives n CT updates through m as ChangeSets of size
+	// batch, split evenly across writers goroutines (each on its own key
+	// range, so contention is the pipeline's — journal mutex, shard
+	// locks — not artificial same-key serialization). The per-writer pass
+	// counter keeps every revisit a real value flip, as in e9.
+	pass := 0
+	mutateBatched := func(m *incremental.Monitor, n, batch, writers int) time.Duration {
+		pass++
+		vals := [2]string{fmt.Sprintf("XAA%d", pass), fmt.Sprintf("XBB%d", pass)}
+		perW := n / writers
+		span := sz / writers
+		var wg sync.WaitGroup
+		errs := make([]error, writers)
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				base := w * span
+				for done := 0; done < perW; {
+					sz := batch
+					if rest := perW - done; rest < sz {
+						sz = rest
+					}
+					var cs incremental.ChangeSet
+					for i := 0; i < sz; i++ {
+						op := done + i
+						cs.Update(int64(base+op%span), "CT", vals[(op+op/span)%2])
+					}
+					if _, err := m.Apply(&cs); err != nil {
+						errs[w] = err
+						return
+					}
+					done += sz
+				}
+			}(w)
+		}
+		wg.Wait()
+		d := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				b.fatal(err)
+			}
+		}
+		return d
+	}
+
+	// The headline pair: durable + fsync, single ops vs one 1000-op
+	// ChangeSet per apply. Acceptance: batch ≥ 3× faster per op.
+	mf, err := incremental.Load(data.Dirty, sigma, incremental.Options{Durable: filepath.Join(dir, "fsync"), Fsync: true})
+	if err != nil {
+		b.fatal(err)
+	}
+	nSingle, nBatch := 300, 3000
+	if b.quick {
+		nSingle, nBatch = 200, 2000
+	}
+	best := func(n, batch, writers int, m *incremental.Monitor) measurement {
+		out := measurement{d: time.Duration(1<<63 - 1)}
+		for r := 0; r < b.repeat || r == 0; r++ {
+			if d := mutateBatched(m, n, batch, writers) / time.Duration(n); d < out.d {
+				out = measurement{d: d}
+			}
+		}
+		return out
+	}
+	singleFsync := best(nSingle, 1, 1, mf)
+	b.record(fmt.Sprintf("e10/SZ=%d/fsync/batch=1", sz), singleFsync)
+	batchFsync := best(nBatch, 1000, 1, mf)
+	b.record(fmt.Sprintf("e10/SZ=%d/fsync/batch=1000", sz), batchFsync)
+	if err := mf.Close(); err != nil {
+		b.fatal(err)
+	}
+
+	// Delta throughput vs batch size under 1/4/16 concurrent writers,
+	// durable buffered — the serving configuration.
+	md, err := incremental.Load(data.Dirty, sigma, incremental.Options{Durable: filepath.Join(dir, "buf")})
+	if err != nil {
+		b.fatal(err)
+	}
+	nOps := 32000
+	if b.quick {
+		nOps = 8000
+	}
+	type cell struct {
+		batch, writers int
+		m              measurement
+	}
+	var cells []cell
+	for _, writers := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 16, 256, 1000} {
+			m := best(nOps, batch, writers, md)
+			b.record(fmt.Sprintf("e10/SZ=%d/writers=%d/batch=%d", sz, writers, batch), m)
+			cells = append(cells, cell{batch, writers, m})
+		}
+	}
+	if err := md.Close(); err != nil {
+		b.fatal(err)
+	}
+
+	b.header(fmt.Sprintf("E10: batched ingest (SZ = %d, 3 CFDs, durable)", sz),
+		"series", "batch", "writers", "µs/op", "ops/sec")
+	us := func(m measurement) string { return fmt.Sprintf("%.1f", float64(m.d.Nanoseconds())/1e3) }
+	rate := func(m measurement) string {
+		if m.d <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", 1e9/float64(m.d.Nanoseconds()))
+	}
+	b.row("fsync single-op", "1", "1", us(singleFsync), rate(singleFsync))
+	b.row("fsync batched", "1000", "1", us(batchFsync), rate(batchFsync))
+	b.row("fsync batch speedup", "-", "-", fmt.Sprintf("%.1fx", float64(singleFsync.d)/float64(batchFsync.d)), "-")
+	for _, c := range cells {
+		b.row("buffered", fmt.Sprint(c.batch), fmt.Sprint(c.writers), us(c.m), rate(c.m))
+	}
 }

@@ -17,6 +17,12 @@
 // and a later -watch run over the same directory resumes from the logged
 // state instead of re-loading the CSV.
 //
+// With -batch N (N > 1), stream records are coalesced into ChangeSets of
+// up to N ops applied through one Monitor.Apply each: one shard pass and
+// one WAL record (one fsync) per batch instead of per change, at the
+// cost of per-op delta attribution — the printed delta is the batch's
+// combined net change.
+//
 // Exit status is 2 on error, 1 when violations were found (for -watch:
 // when violations remain live after the stream), 0 when clean.
 package main
@@ -46,10 +52,15 @@ func main() {
 		maxShow  = flag.Int("max", 10, "max violations to print per CFD")
 		watch    = flag.String("watch", "", "apply a CSV change stream incrementally ('-' = stdin) instead of one-shot detection")
 		walDir   = flag.String("wal-dir", "", "with -watch: journal the stream to this durable WAL directory and resume from it on later runs")
+		batch    = flag.Int("batch", 1, "with -watch: coalesce up to this many stream records into one ChangeSet per apply (1 = per-op deltas)")
 	)
 	flag.Parse()
 	if *walDir != "" && *watch == "" {
 		fmt.Fprintln(os.Stderr, "cfddetect: -wal-dir only applies to -watch mode")
+		os.Exit(2)
+	}
+	if *batch < 1 {
+		fmt.Fprintln(os.Stderr, "cfddetect: -batch must be >= 1")
 		os.Exit(2)
 	}
 	if *dataPath == "" || *cfdPath == "" {
@@ -61,7 +72,7 @@ func main() {
 		err  error
 	)
 	if *watch != "" {
-		code, err = runWatch(*dataPath, *cfdPath, *watch, *walDir, os.Stdout)
+		code, err = runWatch(*dataPath, *cfdPath, *watch, *walDir, *batch, os.Stdout)
 	} else {
 		code, err = run(*dataPath, *cfdPath, *strategy, *form, *showSQL, *explain, *maxShow)
 	}
@@ -74,8 +85,10 @@ func main() {
 
 // runWatch loads the instance into an incremental Monitor (recovering
 // from walDir when it holds previous state) and tails the change stream,
-// printing each change's violation delta.
-func runWatch(dataPath, cfdPath, watchPath, walDir string, out io.Writer) (code int, err error) {
+// printing each change's violation delta. With batch > 1, records are
+// coalesced into ChangeSets of up to that many ops, each applied (and
+// journaled, and fsynced) as one unit.
+func runWatch(dataPath, cfdPath, watchPath, walDir string, batch int, out io.Writer) (code int, err error) {
 	sigma, err := cliutil.LoadCFDs(cfdPath)
 	if err != nil {
 		return 2, err
@@ -133,6 +146,12 @@ func runWatch(dataPath, cfdPath, watchPath, walDir string, out io.Writer) (code 
 			fmt.Fprintf(out, "  - %s\n", c)
 		}
 	}
+	if batch > 1 {
+		if err := watchBatched(m, cr, batch, out, printDelta); err != nil {
+			return 2, err
+		}
+		return watchEpilogue(m, walDir, out)
+	}
 	for line := 1; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -144,46 +163,69 @@ func runWatch(dataPath, cfdPath, watchPath, walDir string, out io.Writer) (code 
 		if len(rec) == 0 || rec[0] == "" || strings.HasPrefix(rec[0], "#") {
 			continue
 		}
-		switch rec[0] {
-		case "insert":
-			key, d, err := m.Insert(repro.Tuple(rec[1:]))
+		op, err := parseStreamRecord(rec, line)
+		if err != nil {
+			return 2, err
+		}
+		switch op.Kind {
+		case repro.OpInsert:
+			key, d, err := m.Insert(op.Tuple)
 			if err != nil {
 				return 2, fmt.Errorf("change stream line %d: %w", line, err)
 			}
 			fmt.Fprintf(out, "insert -> key %d\n", key)
 			printDelta(d)
-		case "delete":
-			if len(rec) != 2 {
-				return 2, fmt.Errorf("change stream line %d: delete wants 1 argument", line)
-			}
-			key, err := strconv.ParseInt(rec[1], 10, 64)
-			if err != nil {
-				return 2, fmt.Errorf("change stream line %d: bad key %q", line, rec[1])
-			}
-			d, err := m.Delete(key)
+		case repro.OpDelete:
+			d, err := m.Delete(op.Key)
 			if err != nil {
 				return 2, fmt.Errorf("change stream line %d: %w", line, err)
 			}
-			fmt.Fprintf(out, "delete key %d\n", key)
+			fmt.Fprintf(out, "delete key %d\n", op.Key)
 			printDelta(d)
-		case "update":
-			if len(rec) != 4 {
-				return 2, fmt.Errorf("change stream line %d: update wants 3 arguments", line)
-			}
-			key, err := strconv.ParseInt(rec[1], 10, 64)
-			if err != nil {
-				return 2, fmt.Errorf("change stream line %d: bad key %q", line, rec[1])
-			}
-			d, err := m.Update(key, rec[2], rec[3])
+		case repro.OpUpdate:
+			d, err := m.Update(op.Key, op.Attr, op.Value)
 			if err != nil {
 				return 2, fmt.Errorf("change stream line %d: %w", line, err)
 			}
-			fmt.Fprintf(out, "update key %d: %s = %s\n", key, rec[2], rec[3])
+			fmt.Fprintf(out, "update key %d: %s = %s\n", op.Key, op.Attr, op.Value)
 			printDelta(d)
-		default:
-			return 2, fmt.Errorf("change stream line %d: unknown op %q", line, rec[0])
 		}
 	}
+	return watchEpilogue(m, walDir, out)
+}
+
+// parseStreamRecord parses one change-stream record — the grammar shared
+// by the per-op and batched watch loops — into a ChangeSet op.
+func parseStreamRecord(rec []string, line int) (repro.ChangeOp, error) {
+	switch rec[0] {
+	case "insert":
+		return repro.ChangeOp{Kind: repro.OpInsert, Tuple: repro.Tuple(rec[1:])}, nil
+	case "delete":
+		if len(rec) != 2 {
+			return repro.ChangeOp{}, fmt.Errorf("change stream line %d: delete wants 1 argument", line)
+		}
+		key, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return repro.ChangeOp{}, fmt.Errorf("change stream line %d: bad key %q", line, rec[1])
+		}
+		return repro.ChangeOp{Kind: repro.OpDelete, Key: key}, nil
+	case "update":
+		if len(rec) != 4 {
+			return repro.ChangeOp{}, fmt.Errorf("change stream line %d: update wants 3 arguments", line)
+		}
+		key, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return repro.ChangeOp{}, fmt.Errorf("change stream line %d: bad key %q", line, rec[1])
+		}
+		return repro.ChangeOp{Kind: repro.OpUpdate, Key: key, Attr: rec[2], Value: rec[3]}, nil
+	default:
+		return repro.ChangeOp{}, fmt.Errorf("change stream line %d: unknown op %q", line, rec[0])
+	}
+}
+
+// watchEpilogue prints the final tally, folds a journaled stream into a
+// fresh generation, and maps satisfaction onto the exit code.
+func watchEpilogue(m *repro.Monitor, walDir string, out io.Writer) (int, error) {
 	fmt.Fprintf(out, "final: %d tuples, %d live violations, satisfied=%v\n",
 		m.Len(), m.ViolationCount(), m.Satisfied())
 	if walDir != "" {
@@ -197,6 +239,55 @@ func runWatch(dataPath, cfdPath, watchPath, walDir string, out io.Writer) (code 
 		return 0, nil
 	}
 	return 1, nil
+}
+
+// watchBatched coalesces stream records into ChangeSets of up to batch
+// ops, each applied through one Monitor.Apply: one shard pass, one WAL
+// record, one fsync. The printed delta is the batch's combined net
+// change; inserted keys are echoed in op order.
+func watchBatched(m *repro.Monitor, cr *csv.Reader, batch int, out io.Writer, printDelta func(*repro.ViolationDelta)) error {
+	var cs repro.ChangeSet
+	flush := func(endLine int) error {
+		if cs.Len() == 0 {
+			return nil
+		}
+		d, err := m.Apply(&cs)
+		if err != nil {
+			return fmt.Errorf("change stream batch ending at line %d: %w", endLine, err)
+		}
+		fmt.Fprintf(out, "batch of %d ops", cs.Len())
+		for i := range cs.Ops {
+			if cs.Ops[i].Kind == repro.OpInsert {
+				fmt.Fprintf(out, " +key %d", cs.Ops[i].Key)
+			}
+		}
+		fmt.Fprintln(out)
+		printDelta(d)
+		cs = repro.ChangeSet{}
+		return nil
+	}
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return flush(line)
+		}
+		if err != nil {
+			return fmt.Errorf("change stream line %d: %w", line, err)
+		}
+		if len(rec) == 0 || rec[0] == "" || strings.HasPrefix(rec[0], "#") {
+			continue
+		}
+		op, err := parseStreamRecord(rec, line)
+		if err != nil {
+			return err
+		}
+		cs.Ops = append(cs.Ops, op)
+		if cs.Len() >= batch {
+			if err := flush(line); err != nil {
+				return err
+			}
+		}
+	}
 }
 
 func run(dataPath, cfdPath, strategy, form string, showSQL, explain bool, maxShow int) (int, error) {

@@ -131,7 +131,7 @@ delete,6
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	code, err := runWatch(data, cfds, changes, "", &out)
+	code, err := runWatch(data, cfds, changes, "", 1, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,12 +160,66 @@ func TestRunWatchDirtyFinal(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	code, err := runWatch(data, cfds, changes, "", &out)
+	code, err := runWatch(data, cfds, changes, "", 1, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code != 1 {
 		t.Errorf("exit = %d, want 1 (violations remain):\n%s", code, out.String())
+	}
+}
+
+// TestRunWatchBatched: with -batch > 1 the stream coalesces into
+// ChangeSets — same final state and exit code as the per-op run, with
+// batch-level combined-delta reporting.
+func TestRunWatchBatched(t *testing.T) {
+	data, cfds := writeFixtures(t)
+	dir := t.TempDir()
+	changes := filepath.Join(dir, "changes.csv")
+	stream := `update,0,CT,MH
+update,1,CT,MH
+update,3,ZIP,01202
+insert,01,908,5555555,Eve,Oak Ave.,NYC,07974
+update,6,CT,MH
+delete,6
+`
+	if err := os.WriteFile(changes, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := runWatch(data, cfds, changes, "", 4, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d, want 0 (stream ends clean):\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"batch of 4 ops +key 6", // the coalesced first window, insert key echoed
+		"batch of 2 ops",        // the tail window
+		"- cfd 1 variable key",  // healing the seeded conflicts
+		"final: 6 tuples, 0 live violations, satisfied=true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("batched watch output missing %q:\n%s", want, out.String())
+		}
+	}
+	// A journaled batched run recovers to the same state as per-op.
+	walDir := filepath.Join(dir, "wal")
+	out.Reset()
+	if code, err = runWatch(data, cfds, changes, walDir, 3, &out); err != nil || code != 0 {
+		t.Fatalf("journaled batched run: code=%d err=%v\n%s", code, err, out.String())
+	}
+	out.Reset()
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, err = runWatch(data, cfds, empty, walDir, 3, &out); err != nil || code != 0 {
+		t.Fatalf("resume after batched run: code=%d err=%v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "resumed from") || !strings.Contains(out.String(), "monitoring 6 tuples") {
+		t.Errorf("batched journal did not resume:\n%s", out.String())
 	}
 }
 
@@ -180,7 +234,7 @@ func TestRunWatchJournaled(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	code, err := runWatch(data, cfds, changes1, walDir, &out)
+	code, err := runWatch(data, cfds, changes1, walDir, 1, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +249,7 @@ func TestRunWatchJournaled(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if _, err = runWatch(data, cfds, changes2, walDir, &out); err != nil {
+	if _, err = runWatch(data, cfds, changes2, walDir, 1, &out); err != nil {
 		t.Fatal(err)
 	}
 	// The seed's own violations remain; what matters is that Zed's tuple
@@ -218,7 +272,7 @@ func TestRunWatchErrors(t *testing.T) {
 		return p
 	}
 	var out bytes.Buffer
-	if _, err := runWatch(data, cfds, filepath.Join(dir, "missing.csv"), "", &out); err == nil {
+	if _, err := runWatch(data, cfds, filepath.Join(dir, "missing.csv"), "", 1, &out); err == nil {
 		t.Error("missing change stream must error")
 	}
 	for name, content := range map[string]string{
@@ -229,7 +283,7 @@ func TestRunWatchErrors(t *testing.T) {
 		"nokey.csv":     "delete,999\n",
 	} {
 		p := write(name, content)
-		if _, err := runWatch(data, cfds, p, "", &out); err == nil {
+		if _, err := runWatch(data, cfds, p, "", 1, &out); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
 	}

@@ -23,6 +23,11 @@
 //	insert v1,v2,...        add a tuple (CSV values, schema order)
 //	delete KEY              remove a tuple by key
 //	update KEY ATTR VALUE   change one attribute
+//	batch                   start collecting a ChangeSet...
+//	  insert/delete/update    ...of ops (same syntax), applied by
+//	end                     ...END as ONE batch: all-or-nothing,
+//	                        one WAL record, one fsync
+//	abort                   discard the open batch
 //	violations              dump the live violation set
 //	satisfied               print true/false
 //	stats                   print tuples=N violations=M satisfied=B
@@ -34,9 +39,17 @@
 //	POST /insert  {"values": ["01","908",...]}       → {"key": K, "delta": {...}}
 //	POST /delete  {"key": 3}                         → {"delta": {...}}
 //	POST /update  {"key": 3, "attr": "CT", "value": "NYC"}
+//	POST /apply   {"ops": [{"op":"insert","values":[...]},
+//	               {"op":"update","key":3,"attr":"CT","value":"NYC"},
+//	               {"op":"delete","key":4}, ...]}    → {"keys": [K,...], "delta": {...}}
 //	POST /snapshot                                   → {"generation": N} (admin; durable mode)
 //	GET  /violations                                 → the live set
 //	GET  /stats                                      → {"tuples":N,...,"wal":{...}}
+//
+// POST /apply and BATCH…END apply the op vector through Monitor.Apply:
+// the batch is validated as a unit (an invalid op rejects all of it),
+// journaled as a single WAL record, and answered with the combined net
+// violation delta plus the keys assigned to its inserts, in op order.
 package main
 
 import (
@@ -219,27 +232,117 @@ func (s *server) close() error {
 // lineLoop runs the text protocol until quit/EOF; a scanner failure (line
 // over the buffer cap, read error) is returned so the caller can report it
 // instead of exiting as if the stream ended cleanly.
+//
+// BATCH…END frames are collected here: between the two markers every
+// insert/delete/update line lands in one ChangeSet, applied by END as a
+// single Monitor.Apply — all-or-nothing, one WAL record. A malformed op
+// line poisons the frame: the framing still runs to END (a pipelining
+// client's remaining op lines must not escape into immediate execution),
+// but the whole frame is then discarded — nothing in it is applied.
 func (s *server) lineLoop(in io.Reader, out io.Writer) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var batch *repro.ChangeSet
+	batchDead := false
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if line == "quit" || line == "exit" {
+		if batch != nil {
+			verb, rest, _ := strings.Cut(line, " ")
+			switch strings.ToLower(verb) {
+			case "end":
+				if batchDead {
+					fmt.Fprintln(out, "batch discarded: earlier op was malformed, nothing applied")
+				} else {
+					s.applyBatch(batch, out)
+				}
+				batch, batchDead = nil, false
+			case "abort":
+				fmt.Fprintln(out, "batch discarded")
+				batch, batchDead = nil, false
+			default:
+				if batchDead {
+					continue // swallow the rest of the poisoned frame
+				}
+				if err := parseOp(strings.ToLower(verb), rest, batch); err != nil {
+					fmt.Fprintln(out, "error:", err)
+					batchDead = true
+				}
+			}
+			continue
+		}
+		if low := strings.ToLower(line); low == "quit" || low == "exit" {
 			return nil
 		}
+		if strings.ToLower(line) == "batch" {
+			batch = &repro.ChangeSet{}
+			fmt.Fprintln(out, "batch open: insert/delete/update ops, then 'end' (or 'abort')")
+			continue
+		}
 		s.execLine(line, out)
+	}
+	if batch != nil {
+		fmt.Fprintln(out, "error: unterminated batch discarded")
 	}
 	return sc.Err()
 }
 
+// parseOp parses one mutation line into the open ChangeSet.
+func parseOp(verb, rest string, cs *repro.ChangeSet) error {
+	switch verb {
+	case "insert":
+		rec, err := csv.NewReader(strings.NewReader(rest)).Read()
+		if err != nil {
+			return fmt.Errorf("bad CSV values: %w", err)
+		}
+		cs.Insert(repro.Tuple(rec))
+	case "delete":
+		key, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad key: %w", err)
+		}
+		cs.Delete(key)
+	case "update":
+		parts := strings.SplitN(rest, " ", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("usage: update KEY ATTR VALUE")
+		}
+		key, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad key: %w", err)
+		}
+		cs.Update(key, parts[1], parts[2])
+	default:
+		return fmt.Errorf("unknown op %q in batch (insert/delete/update, then 'end' — or 'abort' to discard)", verb)
+	}
+	return nil
+}
+
+// applyBatch runs the collected frame as one Monitor.Apply and reports
+// the inserted keys (in op order) plus the combined net delta.
+func (s *server) applyBatch(cs *repro.ChangeSet, out io.Writer) {
+	delta, err := s.m.Apply(cs)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	fmt.Fprintf(out, "applied %d ops\n", cs.Len())
+	for i := range cs.Ops {
+		if cs.Ops[i].Kind == repro.OpInsert {
+			fmt.Fprintf(out, "key %d\n", cs.Ops[i].Key)
+		}
+	}
+	printDelta(out, delta)
+}
+
 func (s *server) execLine(line string, out io.Writer) {
 	verb, rest, _ := strings.Cut(line, " ")
-	switch verb {
+	// One casing rule everywhere: verbs fold like the BATCH…END markers.
+	switch strings.ToLower(verb) {
 	case "help":
-		fmt.Fprintln(out, "commands: insert v1,v2,... | delete KEY | update KEY ATTR VALUE | violations | satisfied | stats | snapshot | quit")
+		fmt.Fprintln(out, "commands: insert v1,v2,... | delete KEY | update KEY ATTR VALUE | batch ... end | violations | satisfied | stats | snapshot | quit")
 	case "insert":
 		rec, err := csv.NewReader(strings.NewReader(rest)).Read()
 		if err != nil {
@@ -432,6 +535,50 @@ func (s *server) handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"delta": toJSONDelta(delta)})
+	})
+	// Batched ingest: one ChangeSet per request, applied atomically as a
+	// single WAL record. Inserted keys come back in op order.
+	mux.HandleFunc("/apply", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Ops []struct {
+				Op     string   `json:"op"`
+				Values []string `json:"values,omitempty"`
+				Key    int64    `json:"key,omitempty"`
+				Attr   string   `json:"attr,omitempty"`
+				Value  string   `json:"value,omitempty"`
+			} `json:"ops"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		var cs repro.ChangeSet
+		for i, o := range req.Ops {
+			switch o.Op {
+			case "insert":
+				cs.Insert(repro.Tuple(o.Values))
+			case "delete":
+				cs.Delete(o.Key)
+			case "update":
+				cs.Update(o.Key, o.Attr, o.Value)
+			default:
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("ops[%d]: unknown op %q", i, o.Op))
+				return
+			}
+		}
+		delta, err := s.m.Apply(&cs)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		keys := make([]int64, 0, len(cs.Ops))
+		for i := range cs.Ops {
+			if cs.Ops[i].Kind == repro.OpInsert {
+				keys = append(keys, cs.Ops[i].Key)
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ops": cs.Len(), "keys": keys, "delta": toJSONDelta(delta),
+		})
 	})
 	mux.HandleFunc("/violations", func(w http.ResponseWriter, r *http.Request) {
 		st := s.m.Violations()

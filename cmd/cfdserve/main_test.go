@@ -212,6 +212,114 @@ func TestHTTPAPI(t *testing.T) {
 	}
 }
 
+// TestLineProtocolBatch: a BATCH…END frame applies as one ChangeSet —
+// inserted keys echoed in op order, one combined delta, all-or-nothing
+// on bad frames.
+func TestLineProtocolBatch(t *testing.T) {
+	srv := newTestServer(t)
+	in := strings.NewReader(strings.Join([]string{
+		"batch",
+		`insert 01,908,1111111,Rick,"Tree Ave.",NYC,07974`, // violates 908→MH + group
+		"update 2 CT MH", // ...healed within the same batch
+		`insert 01,212,9999999,Pam,"Elm Str.",NYC,11111`,
+		"end",
+		"stats",
+		"batch", // a frame with an invalid op is discarded whole...
+		"delete 0",
+		"bogus op",
+		"delete 1", // ...and later op lines stay inside the dead frame
+		"end",
+		"batch",
+		"delete 3",
+		"abort",
+		"stats",
+		"quit",
+	}, "\n"))
+	var out bytes.Buffer
+	if err := srv.lineLoop(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"batch open",
+		"applied 3 ops",
+		"key 2",
+		"key 3",
+		"no violation change", // insert+heal in one batch nets to zero
+		"tuples=4 violations=0 satisfied=true",
+		`unknown op "bogus" in batch`,
+		"batch discarded: earlier op was malformed, nothing applied",
+		"batch discarded",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	// The discarded frames applied nothing: still 4 tuples at the end.
+	if strings.Count(text, "tuples=4") != 2 {
+		t.Errorf("aborted/invalid batches changed state:\n%s", text)
+	}
+}
+
+// TestHTTPApply: POST /apply runs a ChangeSet atomically and reports the
+// inserted keys and the combined delta.
+func TestHTTPApply(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	post := func(body any) (int, map[string]json.RawMessage) {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+"/apply", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, out := post(map[string]any{"ops": []map[string]any{
+		{"op": "insert", "values": []string{"01", "908", "1111111", "Rick", "Tree Ave.", "NYC", "07974"}},
+		{"op": "update", "key": 2, "attr": "CT", "value": "MH"},
+		{"op": "delete", "key": 1},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("apply: code=%d body=%v", code, out)
+	}
+	var keys []int64
+	if err := json.Unmarshal(out["keys"], &keys); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != 2 {
+		t.Fatalf("keys = %v, want [2]", keys)
+	}
+	if srv.m.Len() != 2 || !srv.m.Satisfied() {
+		t.Fatalf("after batch: len=%d satisfied=%v", srv.m.Len(), srv.m.Satisfied())
+	}
+
+	// An invalid op rejects the whole vector.
+	code, _ = post(map[string]any{"ops": []map[string]any{
+		{"op": "update", "key": 2, "attr": "CT", "value": "NYC"},
+		{"op": "delete", "key": 999},
+	}})
+	if code != http.StatusBadRequest {
+		t.Fatalf("invalid batch: code=%d, want 400", code)
+	}
+	if got, _ := srv.m.Get(2); got[5] != "MH" {
+		t.Fatal("rejected batch partially applied")
+	}
+	// Unknown op name.
+	code, _ = post(map[string]any{"ops": []map[string]any{{"op": "upsert"}}})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown op: code=%d, want 400", code)
+	}
+}
+
 func TestNewServerErrors(t *testing.T) {
 	dir := t.TempDir()
 	data := filepath.Join(dir, "cust.csv")

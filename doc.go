@@ -26,9 +26,11 @@
 //     internal/incremental): a stateful Monitor that keeps the violation
 //     set live under tuple inserts, deletes and updates in time
 //     proportional to the affected index buckets, emitting the exact
-//     violation delta of every change (NewMonitor, LoadMonitor). The
-//     cfdserve command exposes it as a line-oriented or HTTP service, and
-//     cfddetect -watch tails a CSV change stream through it.
+//     violation delta of every change (NewMonitor, LoadMonitor). Changes
+//     batch as ChangeSets through Monitor.Apply — see "Batched ingest"
+//     below. The cfdserve command exposes it as a line-oriented or HTTP
+//     service (POST /apply, BATCH…END framing), and cfddetect -watch
+//     tails a CSV change stream through it (-batch coalescing).
 //   - Durability for the serving path (internal/wal): with
 //     MonitorOptions.Durable set to a directory, the Monitor journals
 //     every mutation to a write-ahead log and periodically snapshots its
@@ -41,13 +43,51 @@
 //     records with SZ/NOISE knobs and CFD workloads with NUMATTRs, TABSZ
 //     and NUMCONSTs knobs.
 //
+// # Batched ingest
+//
+// Every mutation of a Monitor flows through one path: Monitor.Apply
+// takes a ChangeSet — an ordered vector of insert/delete/update ops —
+// and the single-op Insert, Delete and Update are one-element wrappers
+// over it.
+//
+// Ordering: ops on the same tuple key take effect in vector order, so a
+// batch may insert a tuple and update or delete it later in the same
+// ChangeSet (validation simulates existence through the batch prefix).
+// Ops on different keys commute; the returned delta is the batch's net
+// effect on the violation set — a violation raised and retired within
+// one batch does not appear at all — and is the same under any
+// interleaving. Inserted keys are assigned in vector order and written
+// back into the ChangeSet's ops.
+//
+// Validation is all-or-nothing: arity, domain, attribute-name and
+// key-existence checks run for the entire vector before any op is
+// applied, and one invalid op rejects the whole ChangeSet with its op
+// position; nothing is applied and nothing journaled.
+//
+// Atomicity under crash: a durable Monitor journals a ChangeSet as ONE
+// length-prefixed, CRC-framed WAL record. A crash mid-write tears the
+// record as a unit, so recovery replays all of the batch or none of it
+// — never a prefix of its ops. The mid-batch kill property test
+// (internal/incremental) truncates logs inside batch records and checks
+// recovery lands exactly on a batch boundary.
+//
+// Fsync-per-batch: with MonitorOptions.Fsync, a batch costs one disk
+// sync regardless of its length — the E10 benchmarks (cmd/cfdbench
+// -only e10, make bench-batch) measure the resulting throughput curve
+// against batch size under concurrent writers; a 1000-op ChangeSet
+// lands an order of magnitude faster than 1000 single fsynced ops.
+// Apply also amortizes the in-memory work: ops are bucketed by lock
+// shard, each affected shard is visited once per batch, and disjoint
+// shards apply in parallel.
+//
 // # Durability guarantees
 //
 // A durable Monitor (MonitorOptions.Durable = dir) appends one
-// length-prefixed, CRC-checked record per mutation to the generation's
-// log segment (dir/wal-N, zero-padded) before touching the in-memory
-// state, under a single journal mutex, so log order always equals apply
-// order and a replay rebuilds the exact pre-crash state.
+// length-prefixed, CRC-checked record per mutation — per ChangeSet, for
+// batches — to the generation's log segment (dir/wal-N, zero-padded)
+// before touching the in-memory state, under a single journal mutex, so
+// log order always equals apply order and a replay rebuilds the exact
+// pre-crash state.
 //
 // What is fsynced when: with MonitorOptions.Fsync, the log is fsynced
 // after every record — an acknowledged mutation then survives OS crash

@@ -3,8 +3,11 @@
 // the production follow-up — keep that answer current while I changes —
 // in time proportional to the affected tuples, emitting the exact
 // violation delta of every insert, delete and update. The second act
-// makes the monitor durable: journaled to a write-ahead log, snapshotted,
-// closed, and resumed from disk without touching the original instance.
+// batches changes: one ChangeSet through Monitor.Apply is validated as a
+// unit, applied in one shard pass, and answered with its net delta. The
+// third act makes the monitor durable: journaled to a write-ahead log
+// (a ChangeSet is one record and one fsync), snapshotted, closed, and
+// resumed from disk without touching the original instance.
 package main
 
 import (
@@ -97,6 +100,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("batch detector on the snapshot agrees: clean = %v\n\n", res.Clean())
+
+	// --- batched ingest ---
+	//
+	// Changes that arrive together should land together: a ChangeSet is
+	// an ordered op vector applied by ONE Monitor.Apply — validated as a
+	// unit (an invalid op rejects all of it), one pass per lock shard,
+	// and in durable mode one WAL record and one fsync. The delta is the
+	// batch's net effect across all its ops.
+	var cs repro.ChangeSet
+	cs.Insert(repro.Tuple{"01", "908", "1111111", "Eve", "Tree Ave.", "NYC", "07974"})
+	evePos := len(cs.Ops) - 1
+	cs.Update(0, "NM", "Michael") // no CFD mentions NM: no delta
+	batchDelta, err := m.Apply(&cs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eveKey := cs.Ops[evePos].Key // inserted keys come back in the ops
+	show(fmt.Sprintf("batch of %d ops (Eve's key %d):", cs.Len(), eveKey), batchDelta)
+	// Heal her city in a second batch referencing the returned key.
+	healDelta, err := m.Apply((&repro.ChangeSet{}).Update(eveKey, "CT", "MH"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("healing batch:", healDelta)
 
 	// --- restart and resume ---
 	//

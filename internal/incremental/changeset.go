@@ -1,0 +1,445 @@
+package incremental
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// This file is the batched mutation path: every change to a Monitor —
+// including the single-op Insert/Delete/Update, which are one-element
+// wrappers — flows through Apply as a ChangeSet. A batch is validated as
+// a unit, journaled as one WAL record (one fsync in durable mode), and
+// applied with one visit per affected tuple shard: ops are bucketed by
+// shard, each shard's bucket runs under a single lock acquisition, and
+// disjoint shards apply in parallel.
+
+// OpKind distinguishes the three mutation kinds of a ChangeSet op. The
+// values double as the WAL record op codes (see journal.go).
+type OpKind uint8
+
+const (
+	// OpInsert adds Op.Tuple; Apply assigns Op.Key.
+	OpInsert OpKind = opInsert
+	// OpDelete removes the tuple with Op.Key.
+	OpDelete OpKind = opDelete
+	// OpUpdate sets attribute Op.Attr of tuple Op.Key to Op.Value.
+	OpUpdate OpKind = opUpdate
+)
+
+// Op is one mutation within a ChangeSet.
+type Op struct {
+	Kind OpKind
+	// Tuple is the inserted tuple (OpInsert). Apply does not retain it:
+	// the stored copy is cloned and interned.
+	Tuple relation.Tuple
+	// Key targets an existing tuple (OpDelete, OpUpdate). For OpInsert it
+	// is an output: Apply writes the assigned key back into the op, so
+	// the caller reads inserted keys from the ChangeSet afterwards.
+	Key int64
+	// Attr and Value are the updated attribute and its new value
+	// (OpUpdate).
+	Attr  string
+	Value relation.Value
+
+	// ai is the resolved index of Attr and owned the monitor's interned
+	// clone of Tuple, both filled in by resolveOps. The clone stays
+	// private: handing it back through Tuple would let a caller mutate
+	// the very slice the monitor indexed.
+	ai    int
+	owned relation.Tuple
+}
+
+// ChangeSet is an ordered vector of mutations applied as one batch. Ops
+// on the same key take effect in vector order (a batch may insert a
+// tuple and update or delete it later in the same batch); ops on
+// different keys commute — the net violation delta is the same under any
+// interleaving.
+//
+// The zero value is an empty, ready-to-use ChangeSet.
+type ChangeSet struct {
+	Ops []Op
+}
+
+// Insert appends an insert op and returns the ChangeSet for chaining.
+func (cs *ChangeSet) Insert(t relation.Tuple) *ChangeSet {
+	cs.Ops = append(cs.Ops, Op{Kind: OpInsert, Tuple: t})
+	return cs
+}
+
+// Delete appends a delete op.
+func (cs *ChangeSet) Delete(key int64) *ChangeSet {
+	cs.Ops = append(cs.Ops, Op{Kind: OpDelete, Key: key})
+	return cs
+}
+
+// Update appends a single-attribute update op.
+func (cs *ChangeSet) Update(key int64, attr string, val relation.Value) *ChangeSet {
+	cs.Ops = append(cs.Ops, Op{Kind: OpUpdate, Key: key, Attr: attr, Value: val})
+	return cs
+}
+
+// Len returns the number of ops in the batch.
+func (cs *ChangeSet) Len() int { return len(cs.Ops) }
+
+// Apply runs the whole ChangeSet as one batch and returns the combined
+// net violation delta. The batch is all-or-nothing: every op is
+// validated (arity, domains, attribute names, and key existence — a key
+// inserted earlier in the batch counts as existing) before any op is
+// applied, and an invalid op rejects the entire ChangeSet. On a durable
+// monitor the batch is journaled as a single WAL record before the
+// in-memory apply — one fsync per batch when Options.Fsync is set — so a
+// crash mid-batch replays as all of the batch or none of it.
+//
+// Inserted keys are written back into cs.Ops[i].Key. Unlike the
+// single-op Update, a same-value update inside an explicit batch is
+// journaled (it still applies, and replays, as a no-op).
+func (m *Monitor) Apply(cs *ChangeSet) (*Delta, error) {
+	if cs == nil || len(cs.Ops) == 0 {
+		return &Delta{}, nil
+	}
+	if m.j != nil {
+		// Early poisoned/closed check so a refusing journal rejects
+		// before resolveOps burns keys or clones tuples; the
+		// authoritative check re-runs under journal.mu in applyBatch.
+		if err := m.j.usableNow(); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.resolveOps(cs.Ops); err != nil {
+		return nil, err
+	}
+	if m.j != nil {
+		return m.j.applyBatch(m, cs.Ops)
+	}
+	d, err := m.applyOpsMemory(cs.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return d.normalize(), nil
+}
+
+// opErr tags a validation error with its op position — only for real
+// batches, so the single-op wrappers surface the bare message.
+func opErr(nops, i int, err error) error {
+	if nops == 1 {
+		return err
+	}
+	return fmt.Errorf("incremental: changeset op %d: %s", i, strings.TrimPrefix(err.Error(), "incremental: "))
+}
+
+// resolveOps performs the stateless half of validation and resolution:
+// arity and domain checks, attribute-name resolution, cloning of
+// inserted tuples, and insert-key assignment. It mutates the ops in
+// place (owned tuples, resolved indexes, assigned keys). Interning is
+// deliberately NOT here — it happens in internOps, after existence
+// validation, so a rejected batch never grows the pools.
+func (m *Monitor) resolveOps(ops []Op) error {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpInsert:
+			if err := m.checkTuple(op.Tuple); err != nil {
+				return opErr(len(ops), i, err)
+			}
+			op.owned = op.Tuple.Clone()
+			op.Key = m.nextKey.Add(1) - 1
+		case OpDelete:
+			// Existence is stateful; checked in validateOps.
+		case OpUpdate:
+			ai, ok := m.schema.Index(op.Attr)
+			if !ok {
+				return opErr(len(ops), i, fmt.Errorf("incremental: schema %q has no attribute %q", m.schema.Name, op.Attr))
+			}
+			if !m.schema.Attrs[ai].Domain.Contains(op.Value) {
+				return opErr(len(ops), i, fmt.Errorf("incremental: %q.%s: value %q outside domain %s",
+					m.schema.Name, op.Attr, op.Value, m.schema.Attrs[ai].Domain.Name))
+			}
+			op.ai = ai
+		default:
+			return fmt.Errorf("incremental: changeset op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// internOps canonicalizes CFD-relevant values through the monitor's
+// pools. It runs only on ops that passed validation and WILL apply —
+// including replayed records — so the pools grow with applied state,
+// never with rejected requests. Positions no CFD mentions (names, free
+// text, IDs) are left alone: they never feed a group key, and pooling
+// them would grow the table with every distinct value forever.
+func (m *Monitor) internOps(ops []Op) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpInsert:
+			for _, ai := range m.internAttrs {
+				op.owned[ai] = m.vals.Intern(op.owned[ai])
+			}
+		case OpUpdate:
+			if len(m.attrCFDs[op.ai]) > 0 {
+				op.Value = m.vals.Intern(op.Value)
+			}
+		}
+	}
+}
+
+// bucketOps groups op indexes by tuple shard, preserving vector order
+// within each bucket, and returns the affected shard list in ascending
+// order (the lock-acquisition order).
+func (m *Monitor) bucketOps(ops []Op) (perShard [][]int32, shards []int) {
+	perShard = make([][]int32, m.shards)
+	for i := range ops {
+		si := shardOfTuple(ops[i].Key, m.shards)
+		if perShard[si] == nil {
+			shards = append(shards, si)
+		}
+		perShard[si] = append(perShard[si], int32(i))
+	}
+	// shards accumulated in first-touch order; sort ascending.
+	for i := 1; i < len(shards); i++ {
+		for j := i; j > 0 && shards[j] < shards[j-1]; j-- {
+			shards[j], shards[j-1] = shards[j-1], shards[j]
+		}
+	}
+	return perShard, shards
+}
+
+// validateBucket simulates one shard's ops against its live store: every
+// delete and update must target a key that exists at that point in the
+// batch. The caller holds at least a read lock on the shard.
+func (m *Monitor) validateBucket(ops []Op, idxs []int32, sh *tupleShard) error {
+	// Inserts need no existence check, so a pure-insert bucket (the
+	// whole of a seed load) validates in one scan with no overlay at all.
+	hasRef := false
+	for _, oi := range idxs {
+		if ops[oi].Kind != OpInsert {
+			hasRef = true
+			break
+		}
+	}
+	if !hasRef {
+		return nil
+	}
+	// Lazily allocated: the overlay only exists once something writes it.
+	var overlay map[int64]bool
+	exists := func(key int64) bool {
+		if v, ok := overlay[key]; ok {
+			return v
+		}
+		_, ok := sh.m[key]
+		return ok
+	}
+	set := func(key int64, live bool) {
+		if overlay == nil {
+			overlay = make(map[int64]bool, 4)
+		}
+		overlay[key] = live
+	}
+	for n, oi := range idxs {
+		// The overlay only matters to later ops in the bucket; the final
+		// op never writes it, so a single-op bucket stays allocation-free.
+		last := n == len(idxs)-1
+		op := &ops[oi]
+		switch op.Kind {
+		case OpInsert:
+			if !last {
+				set(op.Key, true)
+			}
+		case OpDelete:
+			if !exists(op.Key) {
+				return opErr(len(ops), int(oi), fmt.Errorf("incremental: no tuple with key %d", op.Key))
+			}
+			if !last {
+				set(op.Key, false)
+			}
+		case OpUpdate:
+			if !exists(op.Key) {
+				return opErr(len(ops), int(oi), fmt.Errorf("incremental: no tuple with key %d", op.Key))
+			}
+		}
+	}
+	return nil
+}
+
+// applyBucket applies one shard's ops in vector order. The caller holds
+// the shard write lock; the ops were validated, so failures cannot
+// happen and would indicate a torn invariant.
+func (m *Monitor) applyBucket(ops []Op, idxs []int32, sh *tupleShard, d *Delta, sc *opScratch) error {
+	for _, oi := range idxs {
+		op := &ops[oi]
+		switch op.Kind {
+		case OpInsert:
+			m.insertLocked(sh, op.Key, op.owned, d, sc)
+		case OpDelete:
+			if err := m.deleteLocked(sh, op.Key, d, sc); err != nil {
+				return err
+			}
+		case OpUpdate:
+			if err := m.updateLocked(sh, op.Key, op.ai, op.Value, d, sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parallelApplyMin is the batch size below which shard-parallel apply is
+// not worth the goroutine dispatch.
+const parallelApplyMin = 64
+
+// applyBuckets runs every shard bucket — sequentially for small batches,
+// one goroutine per affected shard for large ones — and merges the
+// per-shard deltas in ascending shard order. locked reports whether the
+// caller already holds the shard write locks (the memory path locks all
+// affected shards up front for batch atomicity; the journaled path
+// serializes writers on journal.mu instead and lets each bucket take its
+// own shard lock for just its apply pass).
+func (m *Monitor) applyBuckets(ops []Op, perShard [][]int32, shards []int, locked bool) (*Delta, error) {
+	if len(shards) == 1 || len(ops) < parallelApplyMin {
+		d := &Delta{}
+		sc := getScratch()
+		defer putScratch(sc)
+		for _, si := range shards {
+			sh := &m.tuples[si]
+			if !locked {
+				sh.mu.Lock()
+			}
+			err := m.applyBucket(ops, perShard[si], sh, d, sc)
+			if !locked {
+				sh.mu.Unlock()
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+	deltas := make([]Delta, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for wi, si := range shards {
+		wg.Add(1)
+		go func(wi, si int) {
+			defer wg.Done()
+			sc := getScratch()
+			defer putScratch(sc)
+			sh := &m.tuples[si]
+			if !locked {
+				sh.mu.Lock()
+			}
+			errs[wi] = m.applyBucket(ops, perShard[si], sh, &deltas[wi], sc)
+			if !locked {
+				sh.mu.Unlock()
+			}
+		}(wi, si)
+	}
+	wg.Wait()
+	d := &Delta{}
+	for wi := range deltas {
+		if errs[wi] != nil {
+			return nil, errs[wi]
+		}
+		d.Added = append(d.Added, deltas[wi].Added...)
+		d.Removed = append(d.Removed, deltas[wi].Removed...)
+	}
+	return d, nil
+}
+
+// singleIdx is the bucket index vector of every one-op batch.
+var singleIdx = [1]int32{0}
+
+// applySingle is the fast path shared by the one-element wrappers and
+// replay: one shard, one lock, no bucketing allocations. validate is
+// false only on the journaled path, where validateOps already ran under
+// journal.mu and nothing can have interleaved since.
+func (m *Monitor) applySingle(ops []Op, validate bool) (*Delta, error) {
+	sh := &m.tuples[shardOfTuple(ops[0].Key, m.shards)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if validate {
+		if err := m.validateBucket(ops, singleIdx[:], sh); err != nil {
+			return nil, err
+		}
+	}
+	m.internOps(ops)
+	d := &Delta{}
+	sc := getScratch()
+	defer putScratch(sc)
+	if err := m.applyBucket(ops, singleIdx[:], sh, d, sc); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// applyOpsMemory is the non-durable batch path: write-lock every
+// affected shard in ascending order, validate the whole batch, apply it
+// shard-parallel, and only then release — so a concurrent writer sees
+// either none of the batch or all of it on the shards they share, and a
+// validation failure applies nothing at all.
+func (m *Monitor) applyOpsMemory(ops []Op) (*Delta, error) {
+	if len(ops) == 1 {
+		return m.applySingle(ops, true)
+	}
+	perShard, shards := m.bucketOps(ops)
+	for _, si := range shards {
+		m.tuples[si].mu.Lock()
+	}
+	defer func() {
+		for _, si := range shards {
+			m.tuples[si].mu.Unlock()
+		}
+	}()
+	for _, si := range shards {
+		if err := m.validateBucket(ops, perShard[si], &m.tuples[si]); err != nil {
+			return nil, err
+		}
+	}
+	m.internOps(ops)
+	return m.applyBuckets(ops, perShard, shards, true)
+}
+
+// validateOps is the journaled single-op pre-append validation: an
+// existence check under a brief read lock. It runs under journal.mu, so
+// the outcome cannot be invalidated before the apply.
+func (m *Monitor) validateOps(ops []Op) error {
+	sh := &m.tuples[shardOfTuple(ops[0].Key, m.shards)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return m.validateBucket(ops, singleIdx[:], sh)
+}
+
+// validateShards is the batched equivalent, over buckets the caller
+// already computed (and shares with the apply pass): existence checks
+// for every bucket under brief read locks, under journal.mu.
+func (m *Monitor) validateShards(ops []Op, perShard [][]int32, shards []int) error {
+	for _, si := range shards {
+		sh := &m.tuples[si]
+		sh.mu.RLock()
+		err := m.validateBucket(ops, perShard[si], sh)
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- scratch pool ---
+
+// opScratch holds the reusable buffers of one apply worker: encoded-key,
+// projection and tableau-match scratch. Pooled so the single-op wrappers
+// don't pay an allocation per mutation.
+type opScratch struct {
+	key  []byte
+	x, y []relation.Value
+	rows []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return &opScratch{} }}
+
+func getScratch() *opScratch   { return scratchPool.Get().(*opScratch) }
+func putScratch(sc *opScratch) { scratchPool.Put(sc) }

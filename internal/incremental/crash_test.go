@@ -187,3 +187,184 @@ func TestCrashRecoveryMatchesBatchDetector(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashRecoveryBatchAllOrNothing kills the journal inside batch
+// records: a ChangeSet journals as ONE framed record, so a crash
+// mid-batch must replay as the whole batch or none of it — recovery can
+// only ever land on a batch boundary, never between two ops of one
+// ChangeSet. Every recovered image is additionally cross-checked against
+// the batch Direct detector.
+func TestCrashRecoveryBatchAllOrNothing(t *testing.T) {
+	cfg := streamConfigs(t)[0] // the cust / Figure 2 scenario
+	rng := rand.New(rand.NewSource(888))
+	dir := t.TempDir()
+
+	m, err := incremental.New(cfg.schema, cfg.sigma, incremental.Options{
+		Shards: 4, Durable: dir, Fsync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := &mirror{m: make(map[int64]relation.Tuple)}
+	randomTuple := func() relation.Tuple {
+		tp := make(relation.Tuple, cfg.schema.Len())
+		for i := range tp {
+			pool := cfg.pools[i]
+			tp[i] = pool[rng.Intn(len(pool))]
+		}
+		return tp
+	}
+
+	// Phase 1: seed through single ops, then snapshot so the crash images
+	// exercise snapshot + batched-log-tail recovery.
+	for i := 0; i < 30; i++ {
+		tp := randomTuple()
+		key, _, err := m.Insert(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr.m[key] = tp.Clone()
+		mr.order = append(mr.order, key)
+	}
+	if err := m.ForceSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	segment := wal.LogPath(dir, m.JournalStats().Generation)
+
+	// Phase 2: 25 multi-op ChangeSets (4–12 ops each, inserts mutated or
+	// deleted later in their own batch included); every Apply with Fsync
+	// lands exactly one record, so the segment size after it IS the batch
+	// boundary.
+	type boundary struct {
+		size int64
+		rel  *relation.Relation
+		keys []int64
+	}
+	nextKey := int64(30)
+	snapRel, snapKeys := mr.relation(cfg.schema)
+	bounds := []boundary{{size: 0, rel: snapRel.Clone(), keys: append([]int64(nil), snapKeys...)}}
+	for b := 0; b < 25; b++ {
+		var cs incremental.ChangeSet
+		type pend struct {
+			key int64
+			tp  relation.Tuple
+		}
+		var pending []pend
+		indexOfKey := func(key int64) int {
+			for i := range pending {
+				if pending[i].key == key {
+					return i
+				}
+			}
+			return -1
+		}
+		live := func() []int64 {
+			keys := append([]int64(nil), mr.order...)
+			for _, p := range pending {
+				keys = append(keys, p.key)
+			}
+			return keys
+		}
+		for o, nops := 0, 4+rng.Intn(9); o < nops; o++ {
+			keys := live()
+			op := rng.Float64()
+			switch {
+			case len(keys) == 0 || (op < 0.45 && len(keys) < 70):
+				tp := randomTuple()
+				cs.Insert(tp)
+				pending = append(pending, pend{key: nextKey, tp: tp.Clone()})
+				nextKey++
+			case op < 0.70 || len(keys) >= 70:
+				key := keys[rng.Intn(len(keys))]
+				cs.Delete(key)
+				if i := indexOfKey(key); i >= 0 {
+					pending = append(pending[:i], pending[i+1:]...)
+				} else {
+					mr.delete(key)
+				}
+			default:
+				key := keys[rng.Intn(len(keys))]
+				ai := rng.Intn(cfg.schema.Len())
+				val := cfg.pools[ai][rng.Intn(len(cfg.pools[ai]))]
+				cs.Update(key, cfg.schema.Attrs[ai].Name, val)
+				if i := indexOfKey(key); i >= 0 {
+					pending[i].tp[ai] = val
+				} else {
+					mr.m[key][ai] = val
+				}
+			}
+		}
+		for _, p := range pending {
+			mr.m[p.key] = p.tp
+			mr.order = append(mr.order, p.key)
+		}
+		if _, err := m.Apply(&cs); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		fi, err := os.Stat(segment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, keys := mr.relation(cfg.schema)
+		bounds = append(bounds, boundary{size: fi.Size(), rel: rel.Clone(), keys: append([]int64(nil), keys...)})
+	}
+	finalSize := bounds[len(bounds)-1].size
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash images: every batch boundary plus random offsets — most land
+	// INSIDE a batch record, the case this test exists for.
+	var cuts []int64
+	for _, b := range bounds {
+		cuts = append(cuts, b.size)
+	}
+	for i := 0; i < 60; i++ {
+		cuts = append(cuts, rng.Int63n(finalSize+1))
+	}
+	for _, cut := range cuts {
+		img := t.TempDir()
+		copyDir(t, dir, img)
+		if err := os.Truncate(filepath.Join(img, filepath.Base(segment)), cut); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := incremental.New(cfg.schema, cfg.sigma, incremental.Options{Shards: 4, Durable: img})
+		if err != nil {
+			t.Fatalf("cut@%d: recovery failed: %v", cut, err)
+		}
+
+		// All-or-nothing: the recovered state must be EXACTLY the mirror
+		// at the last batch boundary at or before the cut — a partially
+		// applied batch would land between boundaries and diverge.
+		want := bounds[0]
+		for _, b := range bounds {
+			if b.size <= cut {
+				want = b
+			}
+		}
+		if rec.Len() != want.rel.Len() {
+			t.Fatalf("cut@%d: recovered %d tuples, want %d (torn batch partially applied?)",
+				cut, rec.Len(), want.rel.Len())
+		}
+		for i, k := range want.keys {
+			tp, ok := rec.Get(k)
+			if !ok || !tp.Equal(want.rel.Tuples[i]) {
+				t.Fatalf("cut@%d: tuple %d = %v, want %v", cut, k, tp, want.rel.Tuples[i])
+			}
+		}
+		wantState := oracleState(t, want.rel, cfg.sigma, want.keys)
+		if got := rec.Violations(); !got.Equal(wantState) {
+			t.Fatalf("cut@%d: recovered live set is not the batch-boundary prefix:\ngot:\n%s\nwant:\n%s",
+				cut, describe(got), describe(wantState))
+		}
+		// Internal consistency against the batch detector.
+		oracle := oracleState(t, rec.Snapshot(), cfg.sigma, rec.Keys())
+		if got := rec.Violations(); !got.Equal(oracle) {
+			t.Fatalf("cut@%d: recovered live set diverges from batch detector:\ngot:\n%s\nwant:\n%s",
+				cut, describe(got), describe(oracle))
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

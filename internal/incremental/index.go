@@ -62,16 +62,22 @@ func buildRowIndex(cfd *core.CFD) *rowIndex {
 
 // match returns the tableau rows whose X pattern matches the X-projection x.
 func (ix *rowIndex) match(x []relation.Value) []int {
-	var out []int
-	key := make([]relation.Value, 0, len(x))
+	return ix.matchInto(nil, x)
+}
+
+// matchInto appends the matching rows to dst. The probe key is encoded
+// into a stack buffer and looked up as string(buf), so a match on the
+// mutation hot path allocates nothing.
+func (ix *rowIndex) matchInto(dst []int, x []relation.Value) []int {
+	var stack [64]byte
 	for _, b := range ix.buckets {
-		key = key[:0]
+		key := stack[:0]
 		for _, p := range b.constPos {
-			key = append(key, x[p])
+			key = relation.AppendKey(key, x[p:p+1])
 		}
-		out = append(out, b.rows[relation.EncodeKey(key)]...)
+		dst = append(dst, b.rows[string(key)]...)
 	}
-	return out
+	return dst
 }
 
 // group is the live state of one distinct X-projection under one CFD. A
@@ -133,14 +139,12 @@ type tupleShard struct {
 	m  map[int64]relation.Tuple
 }
 
-// shardOfKey maps an encoded group key to a shard index (FNV-1a).
+// shardOfKey maps an encoded group key to a shard index. It MUST agree
+// with relation.Hash: the hot path routes on the hash the Interner
+// cached at intern time, while snapshot recovery re-derives the shard
+// from the raw key string here.
 func shardOfKey(s string, n int) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return int(h % uint32(n))
+	return int(relation.Hash(s) % uint32(n))
 }
 
 // shardOfTuple maps a tuple key to a shard index.

@@ -19,13 +19,21 @@ import (
 // Options.SnapshotEvery records, and startup recovers the latest snapshot
 // plus the log tail instead of re-evaluating Σ over every tuple.
 //
-// The journal serializes mutations with one mutex so the log order always
-// equals the apply order — replaying the log is then guaranteed to rebuild
-// the exact pre-crash state. Readers (Violations, Satisfied, Get, ...) are
-// untouched: they still run against the lock-sharded indexes concurrently
-// with a journaled writer. The write path gives up multi-writer
-// parallelism for durability; the WAL append (and fsync, when enabled)
-// dominates the cost of a journaled write anyway, as E9 measures.
+// The journal serializes batches with one mutex — the invariant is that
+// WAL log order equals apply order, so replaying the log rebuilds the
+// exact pre-crash state; see the locking notes in monitor.go. The
+// critical section is as narrow as that invariant allows: validation and
+// the single append run strictly ordered under journal.mu, and the
+// in-memory apply of the batch then fans out shard-parallel while still
+// inside it (per-key ordering is preserved because a key's ops land in
+// one shard bucket, applied in vector order). Readers (Violations,
+// Satisfied, Get, ...) are untouched: they still run against the
+// lock-sharded indexes concurrently with a journaled writer, and never
+// wait on the append or the fsync. The write path gives up cross-batch
+// multi-writer parallelism for durability; the WAL append (and fsync,
+// when enabled) dominates the cost of a journaled write anyway, as E9
+// and E10 measure — which is exactly why a ChangeSet, journaled as ONE
+// record with ONE fsync, beats the same ops applied one at a time.
 
 // errClosed reports a mutation against a closed durable monitor.
 var errClosed = errors.New("incremental: monitor journal is closed")
@@ -58,11 +66,15 @@ func pauseGC() func() {
 	}
 }
 
-// WAL record op codes.
+// WAL record op codes. opBatch frames a whole ChangeSet as one record:
+// a wal.EncodeBatch vector of single-op payloads. Replay stays
+// backward-compatible — logs written before batches existed contain only
+// codes 1–3 and replay unchanged.
 const (
 	opInsert = 1
 	opDelete = 2
 	opUpdate = 3
+	opBatch  = 4
 )
 
 // journal is the durable state attached to a Monitor.
@@ -123,14 +135,11 @@ func attachJournal(m *Monitor, opts Options, seed *relation.Relation) error {
 	}
 
 	if len(snaps) == 0 && len(logs) == 0 {
-		// Fresh directory.
+		// Fresh directory. The journal is not attached yet, so the seed
+		// batch applies without journaling; the snapshot below captures it.
 		if seed != nil {
-			for i, t := range seed.Tuples {
-				if err := m.checkTuple(t); err != nil {
-					return fmt.Errorf("incremental: loading row %d: %w", i, err)
-				}
-				key := m.nextKey.Add(1) - 1
-				m.applyInsert(key, t.Clone())
+			if err := m.seed(seed); err != nil {
+				return err
 			}
 			j.seq = 1
 			if err := wal.WriteSnapshot(dir, j.seq, m.writeSnapshot); err != nil {
@@ -177,7 +186,15 @@ func attachJournal(m *Monitor, opts Options, seed *relation.Relation) error {
 	}
 	logPath := wal.LogPath(dir, j.seq)
 	if _, err := os.Stat(logPath); err == nil {
-		records, validLen, torn, err := wal.Replay(logPath, m.applyRecord)
+		// j.records counts MUTATIONS (a batch record is its op count, as
+		// afterAppend counts it), so the snapshot cadence survives a
+		// crash-recovery cycle: replay accumulates ops, not records.
+		ops := 0
+		_, validLen, torn, err := wal.Replay(logPath, func(p []byte) error {
+			n, err := m.applyRecordN(p)
+			ops += n
+			return err
+		})
 		if err != nil {
 			return err
 		}
@@ -188,7 +205,7 @@ func attachJournal(m *Monitor, opts Options, seed *relation.Relation) error {
 				return err
 			}
 		}
-		j.records = records
+		j.records = ops
 	} else if !os.IsNotExist(err) {
 		return err
 	}
@@ -217,83 +234,100 @@ func (j *journal) usable() error {
 	return nil
 }
 
-func (j *journal) insert(m *Monitor, owned relation.Tuple) (int64, *Delta, error) {
+// usableNow is the pre-resolution fast reject: a poisoned or closed
+// journal refuses a ChangeSet before any keys are burned or tuples
+// cloned. Advisory only — applyBatch re-checks under the same mutex it
+// appends under.
+func (j *journal) usableNow() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if err := j.usable(); err != nil {
-		return 0, nil, err
-	}
-	key := m.nextKey.Add(1) - 1
-	if err := j.log.Append(encodeInsert(key, owned)); err != nil {
-		j.appendErr = err
-		return 0, nil, err
-	}
-	d := m.applyInsert(key, owned)
-	j.afterAppend(m)
-	return key, d.normalize(), nil
+	return j.usable()
 }
 
-func (j *journal) delete(m *Monitor, key int64) (*Delta, error) {
+// applyBatch journals a resolved ChangeSet as one record and applies it.
+// Validation (key existence, simulated through the batch prefix) runs
+// under j.mu before the append, so only applicable records reach the
+// log; the in-memory apply then fans out shard-parallel — still under
+// j.mu, preserving log order == apply order against other batches.
+func (j *journal) applyBatch(m *Monitor, ops []Op) (*Delta, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.usable(); err != nil {
 		return nil, err
 	}
-	// Validate before journaling: only applicable records reach the log.
-	sh := &m.tuples[shardOfTuple(key, m.shards)]
-	sh.mu.RLock()
-	_, ok := sh.m[key]
-	sh.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("incremental: no tuple with key %d", key)
+	// Buckets are computed once and shared by validation and apply; the
+	// one-element wrappers skip bucketing entirely.
+	var perShard [][]int32
+	var shards []int
+	if len(ops) == 1 {
+		if err := m.validateOps(ops); err != nil {
+			return nil, err
+		}
+	} else {
+		perShard, shards = m.bucketOps(ops)
+		if err := m.validateShards(ops, perShard, shards); err != nil {
+			return nil, err
+		}
 	}
-	if err := j.log.Append(encodeDelete(key)); err != nil {
+	if err := j.log.Append(encodeOps(ops)); err != nil {
 		j.appendErr = err
 		return nil, err
 	}
-	d, err := m.applyDelete(key)
+	var d *Delta
+	var err error
+	if len(ops) == 1 {
+		d, err = m.applySingle(ops, false)
+	} else {
+		m.internOps(ops)
+		d, err = m.applyBuckets(ops, perShard, shards, false)
+	}
 	if err != nil {
+		// Unreachable after validation; if the invariant ever tears, the
+		// in-memory state no longer matches the log — poison the journal
+		// rather than serve the divergence.
+		j.appendErr = err
 		return nil, err
 	}
-	j.afterAppend(m)
+	j.afterAppend(m, len(ops))
 	return d.normalize(), nil
 }
 
-func (j *journal) update(m *Monitor, key int64, ai int, attr string, val relation.Value) (*Delta, error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if err := j.usable(); err != nil {
-		return nil, err
+// encodeOps encodes a batch as one WAL payload: single ops keep the
+// legacy one-op record layout, larger batches nest every op payload in
+// one opBatch record (torn mid-write, the whole vector vanishes on
+// replay — batch atomicity under crash).
+func encodeOps(ops []Op) []byte {
+	if len(ops) == 1 {
+		return encodeOp(ops[0])
 	}
-	sh := &m.tuples[shardOfTuple(key, m.shards)]
-	sh.mu.RLock()
-	old, ok := sh.m[key]
-	same := ok && old[ai] == val
-	sh.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("incremental: no tuple with key %d", key)
+	subs := make([][]byte, len(ops))
+	for i := range ops {
+		subs[i] = encodeOp(ops[i])
 	}
-	if same {
-		return &Delta{}, nil // no-ops are not journaled
-	}
-	if err := j.log.Append(encodeUpdate(key, ai, val)); err != nil {
-		j.appendErr = err
-		return nil, err
-	}
-	d, err := m.applyUpdate(key, ai, attr, val)
-	if err != nil {
-		return nil, err
-	}
-	j.afterAppend(m)
-	return d, nil
+	return wal.EncodeBatch([]byte{opBatch}, subs)
 }
 
-// afterAppend runs under j.mu: counts the record and kicks the background
-// snapshotter once the segment outgrows the threshold. The snapshot runs
-// in its own goroutine (single-flight) and takes j.mu itself, so it
-// briefly quiesces writers while the state image is serialized.
-func (j *journal) afterAppend(m *Monitor) {
-	j.records++
+func encodeOp(op Op) []byte {
+	switch op.Kind {
+	case OpInsert:
+		// The owned clone, not the caller's slice: what lands in the log
+		// is byte-for-byte what the in-memory apply below will index.
+		return encodeInsert(op.Key, op.owned)
+	case OpDelete:
+		return encodeDelete(op.Key)
+	default:
+		return encodeUpdate(op.Key, op.ai, op.Value)
+	}
+}
+
+// afterAppend runs under j.mu: counts the journaled ops and kicks the
+// background snapshotter once the segment outgrows the threshold (the
+// cadence counts mutations, so a 1000-op batch advances it by 1000, not
+// by one record). The snapshot runs in its own goroutine (single-flight)
+// and takes j.mu itself, so it briefly quiesces writers while the state
+// image is serialized.
+func (j *journal) afterAppend(m *Monitor, n int) {
+	j.records += n
 	if j.snapEvery > 0 && j.records >= j.snapEvery && j.records >= j.retryAt &&
 		j.snapping.CompareAndSwap(false, true) {
 		go func() {
@@ -380,9 +414,26 @@ func encodeUpdate(key int64, ai int, val relation.Value) []byte {
 	return append(buf, val...)
 }
 
-// applyRecord replays one WAL record onto the monitor. Records were
+// applyRecordN replays one WAL record onto the monitor, returning how
+// many mutations it carried (1, or a batch's op count). Records were
 // validated before they were appended, so application errors mean the
-// directory does not belong to this schema/Σ.
+// directory does not belong to this schema/Σ. A batch record recurses
+// over its sub-payloads — the record CRC already guarantees the vector
+// is whole, so replay never sees part of a batch.
+func (m *Monitor) applyRecordN(payload []byte) (int, error) {
+	if len(payload) > 0 && payload[0] == opBatch {
+		total := 0
+		err := wal.DecodeBatch(payload[1:], func(sub []byte) error {
+			n, err := m.applyRecordN(sub)
+			total += n
+			return err
+		})
+		return total, err
+	}
+	return 1, m.applyRecord(payload)
+}
+
+// applyRecord replays one single-op record.
 func (m *Monitor) applyRecord(payload []byte) error {
 	d := &dec{s: string(payload)}
 	op := d.byte()
@@ -393,7 +444,9 @@ func (m *Monitor) applyRecord(payload []byte) error {
 		if d.err != nil {
 			return d.err
 		}
-		m.applyInsert(key, relation.Tuple(vals))
+		if err := m.replayOp(Op{Kind: OpInsert, Key: key, owned: relation.Tuple(vals)}); err != nil {
+			return fmt.Errorf("incremental: replaying insert: %w", err)
+		}
 		if nk := key + 1; nk > m.nextKey.Load() {
 			m.nextKey.Store(nk)
 		}
@@ -401,7 +454,7 @@ func (m *Monitor) applyRecord(payload []byte) error {
 		if d.err != nil {
 			return d.err
 		}
-		if _, err := m.applyDelete(key); err != nil {
+		if err := m.replayOp(Op{Kind: OpDelete, Key: key}); err != nil {
 			return fmt.Errorf("incremental: replaying delete: %w", err)
 		}
 	case opUpdate:
@@ -413,13 +466,20 @@ func (m *Monitor) applyRecord(payload []byte) error {
 		if ai >= m.schema.Len() {
 			return fmt.Errorf("incremental: replaying update: attribute index %d out of range", ai)
 		}
-		if _, err := m.applyUpdate(key, ai, m.schema.Attrs[ai].Name, val); err != nil {
+		if err := m.replayOp(Op{Kind: OpUpdate, Key: key, ai: ai, Value: val}); err != nil {
 			return fmt.Errorf("incremental: replaying update: %w", err)
 		}
 	default:
 		return fmt.Errorf("incremental: unknown WAL op %d", op)
 	}
 	return nil
+}
+
+// replayOp applies one already-decoded record op through the same
+// validated batch path live mutations use.
+func (m *Monitor) replayOp(op Op) error {
+	_, err := m.applyOpsMemory([]Op{op})
+	return err
 }
 
 // --- surface ---

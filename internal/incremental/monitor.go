@@ -11,13 +11,31 @@
 // violations that appeared and the violations that were retired — while the
 // live violation set stays queryable at any time.
 //
+// Every mutation flows through one batched path: Apply takes a ChangeSet
+// (an ordered vector of insert/delete/update ops), and the single-op
+// Insert, Delete and Update are one-element wrappers over it. A batch is
+// bucketed by tuple shard and each affected shard is visited once, under
+// a single lock acquisition, with disjoint shards applied in parallel.
+//
 // Internally every index is sharded by hash with per-shard read/write
 // locks. A mutation holds its tuple-shard lock for the whole operation (so
 // two writers hitting the same key serialize as whole operations) and
 // acquires index shard locks one at a time underneath it; concurrent
 // readers (Violations, Satisfied, Len) never wait longer than one shard,
-// and operations on different tuple shards proceed in parallel. The
-// randomized property tests replay long mixed update streams and
+// and operations on different tuple shards proceed in parallel. A
+// memory-only batch write-locks its affected shards in ascending order
+// (keeping the lock graph acyclic) for the whole batch, so batches are
+// atomic against concurrent writers.
+//
+// Durable mode adds one invariant on top: journal.mu serializes batches
+// so that WAL log order equals apply order — that equality is what makes
+// log replay rebuild the exact pre-crash state. The critical section is
+// no wider than the invariant requires: validation and the single
+// record append (one fsync per batch) run strictly ordered under
+// journal.mu, and the in-memory apply then fans out shard-parallel while
+// still inside it; per-key ordering survives because one key's ops land
+// in one shard bucket, applied in vector order. The randomized property
+// tests replay long mixed update streams — single ops and batches — and
 // cross-check the live set against a fresh detect.Direct run after every
 // step.
 //
@@ -97,10 +115,21 @@ type Monitor struct {
 	tuples  []tupleShard
 
 	cfds []*cfdState
-	// attrToCFDs maps an attribute name to the indexes of the CFDs whose
-	// X ∪ Y mentions it — the only CFDs an Update of that attribute can
-	// affect.
-	attrToCFDs map[string][]int
+	// attrCFDs maps an attribute position to the indexes of the CFDs
+	// whose X ∪ Y mentions it — the only CFDs an Update of that attribute
+	// can affect.
+	attrCFDs [][]int
+
+	// vals interns tuple values at CFD-relevant positions, keys interns
+	// encoded projection keys: categorical data dedups to one backing
+	// copy per distinct value, and the shard hash of a group key is
+	// computed once per distinct key instead of once per mutation (see
+	// relation.Interner). internAttrs lists the attribute positions some
+	// CFD mentions — the only ones worth pooling; values of untouched
+	// columns (names, IDs) never feed a group key, and interning them
+	// would grow the pool with every distinct value forever.
+	vals, keys  *relation.Interner
+	internAttrs []int
 
 	// j is the durable journal; nil for a memory-only monitor.
 	j *journal
@@ -129,11 +158,13 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 		shards = defaultShards
 	}
 	m := &Monitor{
-		schema:     schema,
-		sigma:      sigma,
-		shards:     shards,
-		tuples:     make([]tupleShard, shards),
-		attrToCFDs: make(map[string][]int),
+		schema:   schema,
+		sigma:    sigma,
+		shards:   shards,
+		tuples:   make([]tupleShard, shards),
+		attrCFDs: make([][]int, schema.Len()),
+		vals:     relation.NewInterner(),
+		keys:     relation.NewInterner(),
 	}
 	for i := range m.tuples {
 		m.tuples[i].m = make(map[int64]relation.Tuple)
@@ -165,7 +196,13 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 		}
 		m.cfds = append(m.cfds, cs)
 		for _, a := range c.Attrs() {
-			m.attrToCFDs[a] = append(m.attrToCFDs[a], i)
+			ai := schema.MustIndex(a)
+			m.attrCFDs[ai] = append(m.attrCFDs[ai], i)
+		}
+	}
+	for ai := range m.attrCFDs {
+		if len(m.attrCFDs[ai]) > 0 {
+			m.internAttrs = append(m.internAttrs, ai)
 		}
 	}
 	return m, nil
@@ -189,12 +226,26 @@ func Load(rel *relation.Relation, sigma []*core.CFD, opts Options) (*Monitor, er
 		}
 		return m, nil
 	}
-	for i, t := range rel.Tuples {
-		if _, _, err := m.Insert(t); err != nil {
-			return nil, fmt.Errorf("incremental: loading row %d: %w", i, err)
-		}
+	if err := m.seed(rel); err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// seed loads every tuple of rel as one ChangeSet — a single shard pass
+// with parallel workers, keyed 0..Len()-1 in row order. Used by both the
+// memory-only Load and the first boot of a durable directory (before the
+// journal is attached, so nothing is journaled).
+func (m *Monitor) seed(rel *relation.Relation) error {
+	ops := make([]Op, len(rel.Tuples))
+	for i, t := range rel.Tuples {
+		ops[i] = Op{Kind: OpInsert, Tuple: t}
+	}
+	// Apply validates each row; opErr already carries the row index.
+	if _, err := m.Apply(&ChangeSet{Ops: ops}); err != nil {
+		return fmt.Errorf("incremental: loading instance: %w", err)
+	}
+	return nil
 }
 
 // Schema returns the monitored schema.
@@ -220,76 +271,34 @@ func (m *Monitor) checkTuple(t relation.Tuple) error {
 }
 
 // Insert adds a tuple, returning its stable key and the violation delta.
+// It is a one-element ChangeSet over the batched Apply path.
 //
 // Every mutation holds its tuple-shard lock across both the store write
 // and the index maintenance, so two operations on the same key (same
 // shard) serialize as whole operations — interleaving their remove/add
 // index passes would corrupt the group multisets. Index shard locks are
 // only ever acquired while holding a tuple-shard lock, never the reverse,
+// and a batch acquires its tuple-shard locks in ascending shard order,
 // so the ordering is acyclic.
 func (m *Monitor) Insert(t relation.Tuple) (int64, *Delta, error) {
-	if err := m.checkTuple(t); err != nil {
+	cs := ChangeSet{Ops: []Op{{Kind: OpInsert, Tuple: t}}}
+	d, err := m.Apply(&cs)
+	if err != nil {
 		return 0, nil, err
 	}
-	owned := t.Clone()
-	if m.j != nil {
-		return m.j.insert(m, owned)
-	}
-	key := m.nextKey.Add(1) - 1
-	return key, m.applyInsert(key, owned).normalize(), nil
-}
-
-// applyInsert stores an already-validated tuple under key and folds it
-// into every CFD's live state. The caller owns key uniqueness (fresh from
-// nextKey, or a replayed record).
-func (m *Monitor) applyInsert(key int64, owned relation.Tuple) *Delta {
-	sh := &m.tuples[shardOfTuple(key, m.shards)]
-	sh.mu.Lock()
-	sh.m[key] = owned
-	m.size.Add(1)
-	d := &Delta{}
-	for ci := range m.cfds {
-		m.add(ci, key, owned, d)
-	}
-	sh.mu.Unlock()
-	return d
+	return cs.Ops[0].Key, d, nil
 }
 
 // Delete removes the tuple with the given key, returning the violation
 // delta (always a pure retirement or group-status change).
 func (m *Monitor) Delete(key int64) (*Delta, error) {
-	if m.j != nil {
-		return m.j.delete(m, key)
-	}
-	d, err := m.applyDelete(key)
-	if err != nil {
-		return nil, err
-	}
-	return d.normalize(), nil
-}
-
-// applyDelete removes the tuple and unfolds it from every CFD's state.
-func (m *Monitor) applyDelete(key int64) (*Delta, error) {
-	sh := &m.tuples[shardOfTuple(key, m.shards)]
-	sh.mu.Lock()
-	t, ok := sh.m[key]
-	if !ok {
-		sh.mu.Unlock()
-		return nil, fmt.Errorf("incremental: no tuple with key %d", key)
-	}
-	delete(sh.m, key)
-	m.size.Add(-1)
-	d := &Delta{}
-	for ci := range m.cfds {
-		m.remove(ci, key, t, d)
-	}
-	sh.mu.Unlock()
-	return d, nil
+	return m.Apply(&ChangeSet{Ops: []Op{{Kind: OpDelete, Key: key}}})
 }
 
 // Update changes one attribute of the tuple with the given key. Only the
 // CFDs mentioning the attribute are re-evaluated; the delta is the net
 // change (a violation present both before and after is not reported).
+// A same-value update is a journal-free no-op.
 func (m *Monitor) Update(key int64, attr string, val relation.Value) (*Delta, error) {
 	ai, ok := m.schema.Index(attr)
 	if !ok {
@@ -298,35 +307,71 @@ func (m *Monitor) Update(key int64, attr string, val relation.Value) (*Delta, er
 	if !m.schema.Attrs[ai].Domain.Contains(val) {
 		return nil, fmt.Errorf("incremental: %q.%s: value %q outside domain %s", m.schema.Name, attr, val, m.schema.Attrs[ai].Domain.Name)
 	}
-	if m.j != nil {
-		return m.j.update(m, key, ai, attr, val)
-	}
-	return m.applyUpdate(key, ai, attr, val)
-}
-
-// applyUpdate changes one already-validated attribute value in place.
-func (m *Monitor) applyUpdate(key int64, ai int, attr string, val relation.Value) (*Delta, error) {
+	// Same-value pre-check so no-ops are not journaled. The value can
+	// change between this read and the apply, but a racing writer makes
+	// either order a valid linearization; updateLocked re-checks under
+	// the shard lock, so a record journaled for a lost race replays as a
+	// no-op, never as a wrong value.
 	sh := &m.tuples[shardOfTuple(key, m.shards)]
-	sh.mu.Lock()
+	sh.mu.RLock()
 	old, ok := sh.m[key]
+	same := ok && old[ai] == val
+	sh.mu.RUnlock()
 	if !ok {
-		sh.mu.Unlock()
 		return nil, fmt.Errorf("incremental: no tuple with key %d", key)
 	}
-	if old[ai] == val {
-		sh.mu.Unlock()
+	if same {
 		return &Delta{}, nil
+	}
+	return m.Apply(&ChangeSet{Ops: []Op{{Kind: OpUpdate, Key: key, Attr: attr, Value: val}}})
+}
+
+// insertLocked stores an already-validated, already-owned tuple under
+// key and folds it into every CFD's live state. The caller holds sh's
+// write lock and owns key uniqueness (fresh from nextKey, or a replayed
+// record).
+func (m *Monitor) insertLocked(sh *tupleShard, key int64, owned relation.Tuple, d *Delta, sc *opScratch) {
+	sh.m[key] = owned
+	m.size.Add(1)
+	for ci := range m.cfds {
+		m.add(ci, key, owned, d, sc)
+	}
+}
+
+// deleteLocked removes the tuple and unfolds it from every CFD's state;
+// the caller holds sh's write lock.
+func (m *Monitor) deleteLocked(sh *tupleShard, key int64, d *Delta, sc *opScratch) error {
+	t, ok := sh.m[key]
+	if !ok {
+		return fmt.Errorf("incremental: no tuple with key %d", key)
+	}
+	delete(sh.m, key)
+	m.size.Add(-1)
+	for ci := range m.cfds {
+		m.remove(ci, key, t, d, sc)
+	}
+	return nil
+}
+
+// updateLocked changes one already-validated attribute value in place;
+// the caller holds sh's write lock. A same-value update applies as a
+// no-op.
+func (m *Monitor) updateLocked(sh *tupleShard, key int64, ai int, val relation.Value, d *Delta, sc *opScratch) error {
+	old, ok := sh.m[key]
+	if !ok {
+		return fmt.Errorf("incremental: no tuple with key %d", key)
+	}
+	if old[ai] == val {
+		return nil
 	}
 	next := old.Clone()
 	next[ai] = val
 	sh.m[key] = next
-	d := &Delta{}
-	for _, ci := range m.attrToCFDs[attr] {
-		m.remove(ci, key, old, d)
-		m.add(ci, key, next, d)
+	for _, ci := range m.attrCFDs[ai] {
+		m.remove(ci, key, old, d, sc)
+		m.add(ci, key, next, d, sc)
 	}
-	sh.mu.Unlock()
-	return d.normalize(), nil
+	return nil
 }
 
 // Get returns a copy of the tuple with the given key.
@@ -424,11 +469,16 @@ func (m *Monitor) Violations() *State {
 
 // project copies the values of t at the given positions.
 func project(t relation.Tuple, idx []int) []relation.Value {
-	out := make([]relation.Value, len(idx))
-	for i, j := range idx {
-		out[i] = t[j]
+	return projectInto(nil, t, idx)
+}
+
+// projectInto appends the projection to dst (typically scratch reused
+// across mutations, so the hot path does not allocate per op).
+func projectInto(dst []relation.Value, t relation.Tuple, idx []int) []relation.Value {
+	for _, j := range idx {
+		dst = append(dst, t[j])
 	}
-	return out
+	return dst
 }
 
 // constViolates reports whether a tuple with Y-projection y has a constant
@@ -442,14 +492,26 @@ func (cs *cfdState) constViolates(rows []int, y []relation.Value) bool {
 	return false
 }
 
+// internKeys encodes the X and Y projections held in sc through the
+// key pool: each distinct projection is encoded and hashed once for the
+// monitor's lifetime, after which the canonical string and its shard
+// hash come back without allocating.
+func (m *Monitor) internKeys(sc *opScratch) (xk, yk relation.Value, xh uint32) {
+	sc.key = relation.AppendKey(sc.key[:0], sc.x)
+	xk, xh = m.keys.InternBytes(sc.key)
+	sc.key = relation.AppendKey(sc.key[:0], sc.y)
+	yk, _ = m.keys.InternBytes(sc.key)
+	return xk, yk, xh
+}
+
 // add folds tuple (key, t) into CFD ci's live state, appending any new
-// violations to d.
-func (m *Monitor) add(ci int, key int64, t relation.Tuple, d *Delta) {
+// violations to d. sc carries the worker's reusable buffers.
+func (m *Monitor) add(ci int, key int64, t relation.Tuple, d *Delta, sc *opScratch) {
 	cs := m.cfds[ci]
-	x := project(t, cs.xIdx)
-	y := project(t, cs.yIdx)
-	rows := cs.rows.match(x)
-	if cs.constViolates(rows, y) {
+	sc.x = projectInto(sc.x[:0], t, cs.xIdx)
+	sc.y = projectInto(sc.y[:0], t, cs.yIdx)
+	sc.rows = cs.rows.matchInto(sc.rows[:0], sc.x)
+	if cs.constViolates(sc.rows, sc.y) {
 		sh := &cs.consts[shardOfTuple(key, m.shards)]
 		sh.mu.Lock()
 		sh.m[key] = true
@@ -457,13 +519,12 @@ func (m *Monitor) add(ci int, key int64, t relation.Tuple, d *Delta) {
 		cs.violations.Add(1)
 		d.Added = append(d.Added, Change{CFD: ci, Kind: core.ConstViolation, Tuple: key})
 	}
-	xk := relation.EncodeKey(x)
-	yk := relation.EncodeKey(y)
-	sh := &cs.groups[shardOfKey(xk, m.shards)]
+	xk, yk, xh := m.internKeys(sc)
+	sh := &cs.groups[int(xh%uint32(m.shards))]
 	sh.mu.Lock()
 	g, ok := sh.m[xk]
 	if !ok {
-		g = &group{x: x, selected: len(rows) > 0}
+		g = &group{x: append([]relation.Value(nil), sc.x...), selected: len(sc.rows) > 0}
 		sh.m[xk] = g
 	}
 	was := g.violating()
@@ -483,9 +544,12 @@ func (m *Monitor) add(ci int, key int64, t relation.Tuple, d *Delta) {
 }
 
 // remove undoes add for tuple (key, t), appending retired violations to d.
-func (m *Monitor) remove(ci int, key int64, t relation.Tuple, d *Delta) {
+func (m *Monitor) remove(ci int, key int64, t relation.Tuple, d *Delta, sc *opScratch) {
 	cs := m.cfds[ci]
-	x := project(t, cs.xIdx)
+	sc.x = projectInto(sc.x[:0], t, cs.xIdx)
+	// The departing tuple is in hand, so its Y-projection is recomputed
+	// here instead of being indexed per member.
+	sc.y = projectInto(sc.y[:0], t, cs.yIdx)
 	csh := &cs.consts[shardOfTuple(key, m.shards)]
 	csh.mu.Lock()
 	wasConst := csh.m[key]
@@ -497,11 +561,8 @@ func (m *Monitor) remove(ci int, key int64, t relation.Tuple, d *Delta) {
 		cs.violations.Add(-1)
 		d.Removed = append(d.Removed, Change{CFD: ci, Kind: core.ConstViolation, Tuple: key})
 	}
-	xk := relation.EncodeKey(x)
-	// The departing tuple is in hand, so its Y-projection is recomputed
-	// here instead of being indexed per member.
-	yk := relation.EncodeKey(project(t, cs.yIdx))
-	sh := &cs.groups[shardOfKey(xk, m.shards)]
+	xk, yk, xh := m.internKeys(sc)
+	sh := &cs.groups[int(xh%uint32(m.shards))]
 	sh.mu.Lock()
 	g, ok := sh.m[xk]
 	if !ok {

@@ -1,0 +1,106 @@
+package relation
+
+import (
+	"strings"
+	"sync"
+)
+
+// This file is the interned value pool behind the mutation hot path.
+// Value stays a plain string at every API boundary; interning only
+// canonicalizes the backing storage, so a relation full of categorical
+// data ("NYC" in a million tuples) holds one copy of each distinct
+// value, and the hash of an encoded projection key is computed once per
+// distinct key instead of once per mutation.
+
+// Hash returns the FNV-1a hash of a value. It is the hash the sharded
+// stores route on; Interner caches it per distinct value so hot paths
+// never rehash an interned key.
+func Hash(v Value) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(v); i++ {
+		h ^= uint32(v[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// sym is one interned value with its cached hash.
+type sym struct {
+	v Value
+	h uint32
+}
+
+// Interner is a concurrency-safe dedup pool of Values. Intern of an
+// already-seen value returns the pooled copy (and its cached hash)
+// without allocating; a first-seen value is copied once into the pool.
+//
+// The pool only grows: a value stays interned even after every tuple
+// referencing it is gone. For a monitor over categorical data that is
+// the point — the distinct-value set is small and stable — but callers
+// feeding unbounded unique values (UUIDs, timestamps) should intern
+// selectively or not at all.
+type Interner struct {
+	mu sync.RWMutex
+	m  map[string]sym
+}
+
+// NewInterner returns an empty pool.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[string]sym)}
+}
+
+// Intern returns the canonical copy of v. Hits are allocation-free; a
+// first-seen value is cloned into the pool so the pool never retains a
+// larger backing array v might be a substring of (a CSV read buffer, a
+// decoded WAL record).
+func (in *Interner) Intern(v Value) Value {
+	in.mu.RLock()
+	s, ok := in.m[v]
+	in.mu.RUnlock()
+	if ok {
+		return s.v
+	}
+	in.mu.Lock()
+	if s, ok = in.m[v]; !ok {
+		s = sym{v: strings.Clone(v), h: Hash(v)}
+		in.m[s.v] = s
+	}
+	in.mu.Unlock()
+	return s.v
+}
+
+// InternBytes returns the canonical Value equal to string(b) and its
+// cached hash. On a hit nothing is allocated: the conversion inside the
+// map index does not escape, and the pooled string is returned.
+func (in *Interner) InternBytes(b []byte) (Value, uint32) {
+	in.mu.RLock()
+	s, ok := in.m[string(b)]
+	in.mu.RUnlock()
+	if ok {
+		return s.v, s.h
+	}
+	in.mu.Lock()
+	// Recheck under the write lock: another goroutine may have interned
+	// the same bytes between the RUnlock and here.
+	if s, ok = in.m[string(b)]; !ok {
+		s = sym{v: string(b), h: Hash(string(b))}
+		in.m[s.v] = s
+	}
+	in.mu.Unlock()
+	return s.v, s.h
+}
+
+// InternTuple canonicalizes every value of t in place and returns t.
+func (in *Interner) InternTuple(t Tuple) Tuple {
+	for i, v := range t {
+		t[i] = in.Intern(v)
+	}
+	return t
+}
+
+// Len returns the number of distinct interned values.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.m)
+}

@@ -286,17 +286,21 @@ func (r *Relation) String() string {
 // length-prefixed so that no two distinct value lists collide. This sits
 // on the hash-join and grouping hot paths, so it avoids fmt.
 func EncodeKey(vals []Value) string {
-	n := 0
+	return string(AppendKey(nil, vals))
+}
+
+// AppendKey appends the EncodeKey encoding of vals to dst and returns
+// the extended slice. Callers on mutation hot paths reuse one scratch
+// buffer across encodes and probe maps with string(buf) — which the
+// compiler keeps off the heap — so a key encode costs zero allocations
+// unless the key is being stored.
+func AppendKey(dst []byte, vals []Value) []byte {
 	for _, v := range vals {
-		n += len(v) + 4
+		dst = strconv.AppendInt(dst, int64(len(v)), 10)
+		dst = append(dst, ':')
+		dst = append(dst, v...)
 	}
-	b := make([]byte, 0, n)
-	for _, v := range vals {
-		b = strconv.AppendInt(b, int64(len(v)), 10)
-		b = append(b, ':')
-		b = append(b, v...)
-	}
-	return string(b)
+	return dst
 }
 
 // Index is a hash index on a fixed list of attribute positions, mapping the

@@ -1,0 +1,105 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{},
+		{[]byte("one")},
+		{[]byte("a"), nil, []byte(""), []byte("bcd")},
+	}
+	for _, subs := range cases {
+		enc := EncodeBatch([]byte{0xFF}, subs) // caller marker survives up front
+		if enc[0] != 0xFF {
+			t.Fatal("marker clobbered")
+		}
+		var got [][]byte
+		if err := DecodeBatch(enc[1:], func(sub []byte) error {
+			got = append(got, append([]byte(nil), sub...))
+			return nil
+		}); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(subs) {
+			t.Fatalf("decoded %d entries, want %d", len(got), len(subs))
+		}
+		for i := range subs {
+			if !bytes.Equal(got[i], subs[i]) {
+				t.Fatalf("entry %d = %q, want %q", i, got[i], subs[i])
+			}
+		}
+	}
+}
+
+func TestBatchDecodeErrors(t *testing.T) {
+	good := EncodeBatch(nil, [][]byte{[]byte("abc"), []byte("d")})
+	nop := func([]byte) error { return nil }
+	if err := DecodeBatch(nil, nop); err == nil {
+		t.Error("empty body must error (no count)")
+	}
+	// Entry overrunning the record.
+	if err := DecodeBatch(good[:len(good)-1], nop); err == nil {
+		t.Error("truncated entry must error")
+	}
+	// Trailing garbage after the declared entries.
+	if err := DecodeBatch(append(append([]byte(nil), good...), 0x01), nop); err == nil {
+		t.Error("trailing bytes must error")
+	}
+	// fn errors abort the decode.
+	boom := errors.New("boom")
+	if err := DecodeBatch(good, func([]byte) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("fn error not propagated: %v", err)
+	}
+}
+
+// TestBatchRecordTornTail: a batch record torn mid-write must vanish as a
+// unit on replay — the record framing (length + CRC) covers the whole
+// vector, so no sub-payload of the torn batch is ever delivered.
+func TestBatchRecordTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/wal-test"
+	log, err := Create(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := EncodeBatch([]byte{7}, [][]byte{[]byte("aaaa"), []byte("bbbb")})
+	torn := EncodeBatch([]byte{7}, [][]byte{[]byte("cccc"), []byte("dddd")})
+	if err := log.Append(whole); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Append(torn); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second record: cut into the middle of its payload.
+	cut := int64(headerSize + len(whole) + headerSize + len(torn)/2)
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	var seen [][]byte
+	records, validLen, tornTail, err := Replay(path, func(p []byte) error {
+		seen = append(seen, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tornTail || records != 1 || validLen != int64(headerSize+len(whole)) {
+		t.Fatalf("records=%d validLen=%d torn=%v", records, validLen, tornTail)
+	}
+	if len(seen) != 1 || !bytes.Equal(seen[0], whole) {
+		t.Fatalf("replay delivered %d records; a torn batch must be dropped whole", len(seen))
+	}
+	// The surviving record still decodes to its two sub-payloads.
+	var subs int
+	if err := DecodeBatch(seen[0][1:], func([]byte) error { subs++; return nil }); err != nil || subs != 2 {
+		t.Fatalf("surviving batch decode: subs=%d err=%v", subs, err)
+	}
+}
