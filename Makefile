@@ -1,19 +1,19 @@
 GO ?= go
 
-# The CI bench-gate workload: small, fixed, ~1min. One experiment per
-# layer — batch detection (9a), strategy comparison (merge), the durable
-# serving path (e9) and batched ingest (e10) — at -quick sizes, best-of-5
-# so a single scheduler hiccup does not fail the gate. ci.yml and the
-# checked-in baseline both go through these targets, so the flags live
-# only here.
-BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10
+# The CI bench-gate workload: small, fixed, a few minutes. One
+# experiment per layer — batch detection (9a), strategy comparison
+# (merge), the durable serving path (e9), batched ingest (e10) and
+# streaming discovery (e11) — at -quick sizes, best-of-5 so a single
+# scheduler hiccup does not fail the gate. ci.yml and the checked-in
+# baseline both go through these targets, so the flags live only here.
+BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11
 # Relative tolerance plus an absolute ns/op floor: only millisecond-scale
 # drift can fail the gate; µs-scale series (single append, fsync) stay
 # informational because 30% of a microsecond is scheduler jitter.
 BENCH_TOLERANCE = 0.30
 BENCH_FLOOR_NS = 100000
 
-.PHONY: test race race-batch bench-current bench-baseline bench-batch bench-check
+.PHONY: test race race-batch race-discovery bench-current bench-baseline bench-batch bench-discovery bench-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -26,6 +26,12 @@ race:
 # the mid-batch kill/recover test.
 race-batch:
 	$(GO) test -race -count 2 -run 'TestRandomBatchesMatchOracle|TestCrashRecoveryBatchAllOrNothing|TestApplyBatch' ./internal/incremental/
+
+# The streaming-discovery property tests under the race detector, twice:
+# the randomized miner-vs-Discover oracle equivalence and the
+# concurrent-writers refresh loop.
+race-discovery:
+	$(GO) test -race -count 2 -run 'TestMinerMatchesDiscoverOracle|TestMinerConcurrentRefresh' ./internal/discovery/
 
 # One raw run of the gate workload, for eyeballing.
 bench-current:
@@ -47,6 +53,11 @@ bench-baseline:
 # single-vs-batch headline.
 bench-batch:
 	$(GO) run ./cmd/cfdbench -quick -only e10
+
+# Quick local iteration on the streaming-discovery series only (E11):
+# incremental re-score after a 1K-op ChangeSet vs full re-mine.
+bench-discovery:
+	$(GO) run ./cmd/cfdbench -quick -only e11
 
 # The gate itself: rerun the workload (min of 2 runs, a 3rd on
 # failure), fail on a >30% ns/op regression of at least 100µs absolute,

@@ -374,3 +374,87 @@ func TestChangeSetThroughFacade(t *testing.T) {
 		t.Fatal("rejected batch partially applied")
 	}
 }
+
+// TestStreamingDiscoveryThroughFacade: WatchDiscovery rides a live
+// monitor — the mined set follows changes, matches the bulk DiscoverCFDs
+// on the materialized instance, and the generalized group-statistics
+// substrate is reachable for custom aggregations.
+func TestStreamingDiscoveryThroughFacade(t *testing.T) {
+	_, rel := custFixture(t)
+	sigma, err := ParseCFDSet(figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadMonitor(rel, sigma, MonitorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DiscoveryConfig{MaxLHS: 1, MinSupport: 2}
+	miner, err := WatchDiscovery(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer miner.Close()
+
+	compare := func(step string) {
+		t.Helper()
+		got, err := miner.Mined()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DiscoverCFDs(m.Snapshot(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: miner mined %d, Discover %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].CFD.String() != want[i].CFD.String() || got[i].IsFD != want[i].IsFD {
+				t.Fatalf("%s: entry %d differs: %v vs %v", step, i, got[i].CFD, want[i].CFD)
+			}
+		}
+	}
+	compare("seed")
+
+	// Break a mined FD and watch the change stream report it.
+	key, _, err := m.Insert(Tuple{"01", "908", "7777777", "Eve", "Oak Ave.", "LA", "99999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := miner.Refresh()
+	if len(changes) == 0 {
+		t.Fatal("the insert must change the mined set")
+	}
+	compare("after insert")
+	if _, err := m.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	miner.Refresh()
+	compare("after delete")
+
+	// Invalid configs are rejected at the facade.
+	if _, err := WatchDiscovery(m, DiscoveryConfig{MinConfidence: 1.5}); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+	if _, err := DiscoverCFDs(rel, DiscoveryConfig{MaxPatterns: -1}); err == nil {
+		t.Fatal("invalid config must be rejected by DiscoverCFDs")
+	}
+
+	// The substrate below the miner: track one pair directly.
+	stats, err := m.TrackGroups([]MonitorAttrPair{{X: []string{"AC"}, A: "CT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.UntrackGroups(stats)
+	var deltas []MonitorGroupDelta
+	deltas = stats.Drain(deltas)
+	if len(deltas) == 0 {
+		t.Fatal("the attach fold must leave every group drainable")
+	}
+	for _, d := range deltas {
+		if d.XKey == "" || d.Support == 0 {
+			t.Fatalf("bad initial delta %+v", d)
+		}
+	}
+}

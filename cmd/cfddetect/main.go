@@ -23,6 +23,12 @@
 // cost of per-op delta attribution — the printed delta is the batch's
 // combined net change.
 //
+// With -mine (requires -watch), a streaming CFD miner rides the same
+// monitor: after every applied change the mined set is re-scored
+// incrementally, and embedded FDs are printed as they appear (+),
+// change form (~) and retire (-); the final mined set is dumped after
+// the stream. -mine-maxlhs, -mine-support and -mine-confidence tune it.
+//
 // Exit status is 2 on error, 1 when violations were found (for -watch:
 // when violations remain live after the stream), 0 when clean.
 package main
@@ -53,10 +59,18 @@ func main() {
 		watch    = flag.String("watch", "", "apply a CSV change stream incrementally ('-' = stdin) instead of one-shot detection")
 		walDir   = flag.String("wal-dir", "", "with -watch: journal the stream to this durable WAL directory and resume from it on later runs")
 		batch    = flag.Int("batch", 1, "with -watch: coalesce up to this many stream records into one ChangeSet per apply (1 = per-op deltas)")
+		mine     = flag.Bool("mine", false, "with -watch: stream CFD discovery alongside monitoring, printing mined CFDs as they appear and retire")
+		mineLHS  = flag.Int("mine-maxlhs", 1, "with -mine: bound on candidate LHS size")
+		mineSup  = flag.Int("mine-support", 2, "with -mine: minimum pattern support")
+		mineConf = flag.Float64("mine-confidence", 1, "with -mine: minimum pattern confidence (1 = exact)")
 	)
 	flag.Parse()
 	if *walDir != "" && *watch == "" {
 		fmt.Fprintln(os.Stderr, "cfddetect: -wal-dir only applies to -watch mode")
+		os.Exit(2)
+	}
+	if *mine && *watch == "" {
+		fmt.Fprintln(os.Stderr, "cfddetect: -mine only applies to -watch mode")
 		os.Exit(2)
 	}
 	if *batch < 1 {
@@ -72,7 +86,11 @@ func main() {
 		err  error
 	)
 	if *watch != "" {
-		code, err = runWatch(*dataPath, *cfdPath, *watch, *walDir, *batch, os.Stdout)
+		var mineCfg *repro.DiscoveryConfig
+		if *mine {
+			mineCfg = &repro.DiscoveryConfig{MaxLHS: *mineLHS, MinSupport: *mineSup, MinConfidence: *mineConf}
+		}
+		code, err = runWatch(*dataPath, *cfdPath, *watch, *walDir, *batch, mineCfg, os.Stdout)
 	} else {
 		code, err = run(*dataPath, *cfdPath, *strategy, *form, *showSQL, *explain, *maxShow)
 	}
@@ -87,8 +105,9 @@ func main() {
 // from walDir when it holds previous state) and tails the change stream,
 // printing each change's violation delta. With batch > 1, records are
 // coalesced into ChangeSets of up to that many ops, each applied (and
-// journaled, and fsynced) as one unit.
-func runWatch(dataPath, cfdPath, watchPath, walDir string, batch int, out io.Writer) (code int, err error) {
+// journaled, and fsynced) as one unit. A non-nil mineCfg attaches a
+// streaming miner whose appear/retire changes print after every delta.
+func runWatch(dataPath, cfdPath, watchPath, walDir string, batch int, mineCfg *repro.DiscoveryConfig, out io.Writer) (code int, err error) {
 	sigma, err := cliutil.LoadCFDs(cfdPath)
 	if err != nil {
 		return 2, err
@@ -103,11 +122,12 @@ func runWatch(dataPath, cfdPath, watchPath, walDir string, batch int, out io.Wri
 		}
 	}
 	if m == nil {
-		rel, err := cliutil.LoadCSV(dataPath)
+		// Seed load and monitor share one value pool (see cliutil).
+		rel, pool, err := cliutil.LoadCSVPooled(dataPath)
 		if err != nil {
 			return 2, err
 		}
-		m, err = repro.LoadMonitor(rel, sigma, repro.MonitorOptions{Durable: walDir})
+		m, err = repro.LoadMonitor(rel, sigma, repro.MonitorOptions{Durable: walDir, Intern: pool})
 		if err != nil {
 			return 2, err
 		}
@@ -126,6 +146,19 @@ func runWatch(dataPath, cfdPath, watchPath, walDir string, batch int, out io.Wri
 	}
 	fmt.Fprintf(out, "monitoring %d tuples against %d CFDs; %d live violations%s\n",
 		m.Len(), len(sigma), m.ViolationCount(), source)
+	var miner *repro.CFDMiner
+	if mineCfg != nil {
+		miner, err = repro.WatchDiscovery(m, *mineCfg)
+		if err != nil {
+			return 2, err
+		}
+		ds, err := miner.Mined()
+		if err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "mining: %d CFDs hold on the loaded instance (max LHS %d, min support %d)\n",
+			len(ds), miner.Config().MaxLHS, miner.Config().MinSupport)
+	}
 
 	var src io.Reader = os.Stdin
 	if watchPath != "-" {
@@ -138,6 +171,8 @@ func runWatch(dataPath, cfdPath, watchPath, walDir string, batch int, out io.Wri
 	}
 	cr := csv.NewReader(src)
 	cr.FieldsPerRecord = -1
+	// printDelta is the per-apply report hook: the violation delta, then —
+	// when mining — the incremental re-score's mined-set changes.
 	printDelta := func(d *repro.ViolationDelta) {
 		for _, c := range d.Added {
 			fmt.Fprintf(out, "  + %s\n", c)
@@ -145,12 +180,17 @@ func runWatch(dataPath, cfdPath, watchPath, walDir string, batch int, out io.Wri
 		for _, c := range d.Removed {
 			fmt.Fprintf(out, "  - %s\n", c)
 		}
+		if miner != nil {
+			for _, ch := range miner.Refresh() {
+				fmt.Fprintf(out, "  mine %s\n", ch)
+			}
+		}
 	}
 	if batch > 1 {
 		if err := watchBatched(m, cr, batch, out, printDelta); err != nil {
 			return 2, err
 		}
-		return watchEpilogue(m, walDir, out)
+		return watchEpilogue(m, miner, walDir, out)
 	}
 	for line := 1; ; line++ {
 		rec, err := cr.Read()
@@ -191,7 +231,7 @@ func runWatch(dataPath, cfdPath, watchPath, walDir string, batch int, out io.Wri
 			printDelta(d)
 		}
 	}
-	return watchEpilogue(m, walDir, out)
+	return watchEpilogue(m, miner, walDir, out)
 }
 
 // parseStreamRecord parses one change-stream record — the grammar shared
@@ -223,11 +263,23 @@ func parseStreamRecord(rec []string, line int) (repro.ChangeOp, error) {
 	}
 }
 
-// watchEpilogue prints the final tally, folds a journaled stream into a
-// fresh generation, and maps satisfaction onto the exit code.
-func watchEpilogue(m *repro.Monitor, walDir string, out io.Writer) (int, error) {
+// watchEpilogue prints the final tally (and, when mining, the final
+// mined set), folds a journaled stream into a fresh generation, and maps
+// satisfaction onto the exit code.
+func watchEpilogue(m *repro.Monitor, miner *repro.CFDMiner, walDir string, out io.Writer) (int, error) {
 	fmt.Fprintf(out, "final: %d tuples, %d live violations, satisfied=%v\n",
 		m.Len(), m.ViolationCount(), m.Satisfied())
+	if miner != nil {
+		miner.Refresh()
+		ds, err := miner.Mined()
+		if err != nil {
+			return 2, err
+		}
+		fmt.Fprintf(out, "final mined set: %d CFDs\n", len(ds))
+		if len(ds) > 0 {
+			fmt.Fprint(out, repro.FormatCFDSet(repro.DiscoveredToCFDs(ds)))
+		}
+	}
 	if walDir != "" {
 		// Fold the stream into a fresh generation: without this, every
 		// resume would replay the concatenation of all previous runs.

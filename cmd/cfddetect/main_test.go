@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro"
 )
 
 const custCSV = `CC,AC,PN,NM,STR,CT,ZIP
@@ -131,7 +133,7 @@ delete,6
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	code, err := runWatch(data, cfds, changes, "", 1, &out)
+	code, err := runWatch(data, cfds, changes, "", 1, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +162,7 @@ func TestRunWatchDirtyFinal(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	code, err := runWatch(data, cfds, changes, "", 1, &out)
+	code, err := runWatch(data, cfds, changes, "", 1, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +189,7 @@ delete,6
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	code, err := runWatch(data, cfds, changes, "", 4, &out)
+	code, err := runWatch(data, cfds, changes, "", 4, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +209,7 @@ delete,6
 	// A journaled batched run recovers to the same state as per-op.
 	walDir := filepath.Join(dir, "wal")
 	out.Reset()
-	if code, err = runWatch(data, cfds, changes, walDir, 3, &out); err != nil || code != 0 {
+	if code, err = runWatch(data, cfds, changes, walDir, 3, nil, &out); err != nil || code != 0 {
 		t.Fatalf("journaled batched run: code=%d err=%v\n%s", code, err, out.String())
 	}
 	out.Reset()
@@ -215,7 +217,7 @@ delete,6
 	if err := os.WriteFile(empty, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if code, err = runWatch(data, cfds, empty, walDir, 3, &out); err != nil || code != 0 {
+	if code, err = runWatch(data, cfds, empty, walDir, 3, nil, &out); err != nil || code != 0 {
 		t.Fatalf("resume after batched run: code=%d err=%v\n%s", code, err, out.String())
 	}
 	if !strings.Contains(out.String(), "resumed from") || !strings.Contains(out.String(), "monitoring 6 tuples") {
@@ -234,7 +236,7 @@ func TestRunWatchJournaled(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	code, err := runWatch(data, cfds, changes1, walDir, 1, &out)
+	code, err := runWatch(data, cfds, changes1, walDir, 1, nil, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +251,7 @@ func TestRunWatchJournaled(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if _, err = runWatch(data, cfds, changes2, walDir, 1, &out); err != nil {
+	if _, err = runWatch(data, cfds, changes2, walDir, 1, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	// The seed's own violations remain; what matters is that Zed's tuple
@@ -272,7 +274,7 @@ func TestRunWatchErrors(t *testing.T) {
 		return p
 	}
 	var out bytes.Buffer
-	if _, err := runWatch(data, cfds, filepath.Join(dir, "missing.csv"), "", 1, &out); err == nil {
+	if _, err := runWatch(data, cfds, filepath.Join(dir, "missing.csv"), "", 1, nil, &out); err == nil {
 		t.Error("missing change stream must error")
 	}
 	for name, content := range map[string]string{
@@ -283,8 +285,46 @@ func TestRunWatchErrors(t *testing.T) {
 		"nokey.csv":     "delete,999\n",
 	} {
 		p := write(name, content)
-		if _, err := runWatch(data, cfds, p, "", 1, &out); err == nil {
+		if _, err := runWatch(data, cfds, p, "", 1, nil, &out); err == nil {
 			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestRunWatchMine: -mine rides the watch loop — the mined set is
+// reported on load, re-scored after every change (form changes print as
+// mine lines), and dumped after the stream.
+func TestRunWatchMine(t *testing.T) {
+	data, cfds := writeFixtures(t)
+	dir := t.TempDir()
+	changes := filepath.Join(dir, "changes.csv")
+	// AC → CT holds as an FD on the fixture (908 and 212 are supported
+	// pure groups). Breaking the 908 group demotes it to pattern form;
+	// healing restores the FD.
+	stream := `update,0,CT,MH
+update,0,CT,NYC
+`
+	if err := os.WriteFile(changes, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	cfg := repro.DiscoveryConfig{MaxLHS: 1, MinSupport: 2, MinConfidence: 1}
+	code, err := runWatch(data, cfds, changes, "", 1, &cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (fixture violations remain):\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"mining:",
+		"mine ~ [AC] -> CT (1 patterns)", // 908 group breaks: FD demotes to the 212 pattern
+		"mine ~ [AC] -> CT (fd)",         // healed: FD form returns
+		"final mined set:",
+		"[AC] -> [CT]", // the dumped set contains the FD
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("mine output missing %q:\n%s", want, out.String())
 		}
 	}
 }

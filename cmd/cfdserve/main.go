@@ -45,6 +45,16 @@
 //	POST /snapshot                                   → {"generation": N} (admin; durable mode)
 //	GET  /violations                                 → the live set
 //	GET  /stats                                      → {"tuples":N,...,"wal":{...}}
+//	GET  /discover                                   → the streaming miner's current CFD set
+//
+// GET /discover serves streaming CFD discovery over the live instance:
+// the first call attaches a miner to the monitor's group indexes (one
+// full scoring pass); every later call re-scores only the groups the
+// interleaving writes touched. Config query params — max_lhs (serving
+// limit 3: the lattice is exponential in it and an attach quiesces
+// writers), min_support, min_confidence, max_patterns — select the
+// mining configuration; a call with a different config re-attaches the
+// miner (another full pass), so clients should settle on one.
 //
 // POST /apply and BATCH…END apply the op vector through Monitor.Apply:
 // the batch is validated as a unit (an invalid op rejects all of it),
@@ -63,10 +73,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -149,6 +161,13 @@ func main() {
 
 type server struct {
 	m *repro.Monitor
+
+	// The lazily-attached discovery miner behind GET /discover, cached
+	// per config: re-attaching costs a full scoring pass, so the one
+	// live miner is kept until a request names a different config.
+	mineMu   sync.Mutex
+	miner    *repro.CFDMiner
+	minerCfg repro.DiscoveryConfig
 }
 
 func newServer(dataPath, cfdPath string, opts repro.MonitorOptions) (*server, error) {
@@ -168,10 +187,14 @@ func newServer(dataPath, cfdPath string, opts repro.MonitorOptions) (*server, er
 			return nil, err
 		}
 	}
-	rel, err := cliutil.LoadCSV(dataPath)
+	// The seed load and the monitor share one value pool: the CSV's
+	// categorical values are deduplicated once and the monitor interns
+	// against the same copies.
+	rel, pool, err := cliutil.LoadCSVPooled(dataPath)
 	if err != nil {
 		return nil, err
 	}
+	opts.Intern = pool
 	m, err := repro.LoadMonitor(rel, sigma, opts)
 	if err != nil {
 		return nil, err
@@ -426,6 +449,81 @@ func (s *server) execLine(line string, out io.Writer) {
 	}
 }
 
+// maxDiscoverLHS bounds max_lhs on the serving endpoint: the candidate
+// lattice is exponential in it, and a config change pays a full
+// scoring pass under the monitor's write locks — an unbounded value
+// would let one cheap GET stall every writer for minutes.
+const maxDiscoverLHS = 3
+
+// discoverConfig parses the /discover query params into a mining config,
+// normalized to the miner's documented defaults so that an explicit
+// "?max_lhs=1" (or a zero value the miner would default) and a bare
+// request share one cached miner.
+func discoverConfig(q url.Values) (repro.DiscoveryConfig, error) {
+	cfg := repro.DiscoveryConfig{MaxLHS: 1, MinSupport: 2, MinConfidence: 1}
+	intParam := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s %q: %w", name, v, err)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	if err := intParam("max_lhs", &cfg.MaxLHS); err != nil {
+		return cfg, err
+	}
+	if err := intParam("min_support", &cfg.MinSupport); err != nil {
+		return cfg, err
+	}
+	if err := intParam("max_patterns", &cfg.MaxPatterns); err != nil {
+		return cfg, err
+	}
+	if v := q.Get("min_confidence"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad min_confidence %q: %w", v, err)
+		}
+		cfg.MinConfidence = f
+	}
+	if cfg.MaxLHS > maxDiscoverLHS {
+		return cfg, fmt.Errorf("max_lhs %d above the serving limit %d", cfg.MaxLHS, maxDiscoverLHS)
+	}
+	// Normalize the values the miner would default, so every spelling of
+	// the same effective config hits the same cached miner instead of
+	// paying a re-attach.
+	if cfg.MaxLHS <= 0 {
+		cfg.MaxLHS = 1
+	}
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = 2
+	}
+	if cfg.MinConfidence <= 0 {
+		cfg.MinConfidence = 1
+	}
+	return cfg, nil
+}
+
+// minerFor returns the cached miner when the config matches, otherwise
+// attaches a fresh one (full scoring pass) and retires the old.
+func (s *server) minerFor(cfg repro.DiscoveryConfig) (*repro.CFDMiner, error) {
+	s.mineMu.Lock()
+	defer s.mineMu.Unlock()
+	if s.miner != nil && s.minerCfg == cfg {
+		return s.miner, nil
+	}
+	mi, err := repro.WatchDiscovery(s.m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.miner != nil {
+		s.miner.Close()
+	}
+	s.miner, s.minerCfg = mi, cfg
+	return mi, nil
+}
+
 func printDelta(out io.Writer, d *repro.ViolationDelta) {
 	for _, c := range d.Added {
 		fmt.Fprintf(out, "+ %s\n", c)
@@ -612,6 +710,53 @@ func (s *server) handler() http.Handler {
 			stats["wal"] = wal
 		}
 		writeJSON(w, http.StatusOK, stats)
+	})
+	// Streaming discovery: the current mined CFD set under the config the
+	// query params select. The miner re-scores incrementally between
+	// calls; only a config change pays a full pass.
+	mux.HandleFunc("/discover", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
+		cfg, err := discoverConfig(r.URL.Query())
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		mi, err := s.minerFor(cfg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		mi.Refresh()
+		ds, err := mi.Mined()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		type mined struct {
+			LHS     []string `json:"lhs"`
+			RHS     []string `json:"rhs"`
+			IsFD    bool     `json:"is_fd"`
+			Support []int    `json:"support"`
+			CFD     string   `json:"cfd"`
+		}
+		out := make([]mined, len(ds))
+		for i, d := range ds {
+			out[i] = mined{LHS: d.CFD.LHS, RHS: d.CFD.RHS, IsFD: d.IsFD, Support: d.Support, CFD: d.CFD.String()}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"config": map[string]any{
+				"max_lhs":        cfg.MaxLHS,
+				"min_support":    cfg.MinSupport,
+				"min_confidence": cfg.MinConfidence,
+				"max_patterns":   cfg.MaxPatterns,
+			},
+			"tuples": s.m.Len(),
+			"count":  len(out),
+			"mined":  out,
+		})
 	})
 	// Admin: force a snapshot now — roll the WAL generation without
 	// waiting for the record-count or interval triggers.

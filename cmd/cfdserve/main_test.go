@@ -487,3 +487,103 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal("server still accepting connections after shutdown")
 	}
 }
+
+// TestDiscoverEndpoint: GET /discover serves the streaming miner —
+// mined CFDs follow the live instance across writes, config query
+// params select (and re-select) the mining configuration, and invalid
+// configs are rejected.
+func TestDiscoverEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	type minedEntry struct {
+		LHS     []string `json:"lhs"`
+		RHS     []string `json:"rhs"`
+		IsFD    bool     `json:"is_fd"`
+		Support []int    `json:"support"`
+		CFD     string   `json:"cfd"`
+	}
+	type discoverResp struct {
+		Tuples int          `json:"tuples"`
+		Count  int          `json:"count"`
+		Mined  []minedEntry `json:"mined"`
+	}
+	get := func(path string, wantCode int) discoverResp {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s: code=%d, want %d", path, resp.StatusCode, wantCode)
+		}
+		var out discoverResp
+		if wantCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	hasFD := func(r discoverResp, lhs, rhs string) bool {
+		for _, m := range r.Mined {
+			if m.IsFD && len(m.LHS) == 1 && m.LHS[0] == lhs && m.RHS[0] == rhs {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Two singleton groups per pair: nothing has enough evidence yet.
+	first := get("/discover", http.StatusOK)
+	if first.Tuples != 2 {
+		t.Fatalf("tuples = %d, want 2", first.Tuples)
+	}
+	if hasFD(first, "AC", "CT") {
+		t.Fatalf("AC → CT mined from singleton groups: %+v", first.Mined)
+	}
+
+	// A second 908/MH tuple gives AC → CT a supported testing group; the
+	// next /discover re-scores incrementally and mines it as an FD.
+	body := strings.NewReader(`{"values":["01","908","1111111","Rick","Tree Ave.","MH","07974"]}`)
+	resp, err := http.Post(ts.URL+"/insert", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	second := get("/discover", http.StatusOK)
+	if !hasFD(second, "AC", "CT") {
+		t.Fatalf("AC → CT should be mined after the insert: %+v", second.Mined)
+	}
+	if second.Count <= first.Count {
+		t.Errorf("count did not grow: %d -> %d", first.Count, second.Count)
+	}
+
+	// A stricter config re-attaches the miner: evidence 2 < min_support 3.
+	strict := get("/discover?min_support=3", http.StatusOK)
+	if hasFD(strict, "AC", "CT") {
+		t.Errorf("min_support=3 should drop the evidence-2 FD: %+v", strict.Mined)
+	}
+
+	// Invalid configs and methods are rejected; max_lhs is capped on the
+	// serving surface (an attach quiesces writers).
+	get("/discover?min_confidence=2", http.StatusBadRequest)
+	get("/discover?max_patterns=-1", http.StatusBadRequest)
+	get("/discover?max_lhs=zap", http.StatusBadRequest)
+	get("/discover?max_lhs=9", http.StatusBadRequest)
+	// Zero values normalize to the defaults (same cached miner, not a
+	// re-attach) and serve fine.
+	if norm := get("/discover?max_lhs=0&min_support=0", http.StatusOK); norm.Count != strict.Count && norm.Tuples != 3 {
+		t.Errorf("normalized default config should serve: %+v", norm)
+	}
+	if resp, err := http.Post(ts.URL+"/discover", "application/json", strings.NewReader("{}")); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /discover: code=%d, want 405", resp.StatusCode)
+		}
+	}
+}

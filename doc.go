@@ -37,6 +37,13 @@
 //     full state, so a restart recovers in milliseconds instead of
 //     re-loading and re-indexing the source CSV. See "Durability
 //     guarantees" below.
+//   - Streaming CFD discovery (the Section 7 future-work item; see
+//     internal/discovery): one mining code path over the Monitor's
+//     generalized group-statistics substrate — DiscoverCFDs mines an
+//     instance from scratch by seeding a miner, WatchDiscovery keeps
+//     the mined set current under changes. See "Streaming discovery"
+//     below. cfdserve serves it as GET /discover and cfddetect -watch
+//     -mine prints mined CFDs as they appear and retire.
 //   - A heuristic repair algorithm (Section 6): cost-based value
 //     modification with the CFD-specific LHS-breaking move.
 //   - The paper's experimental workload generator (Section 5): tax
@@ -79,6 +86,41 @@
 // Apply also amortizes the in-memory work: ops are bucketed by lock
 // shard, each affected shard is visited once per batch, and disjoint
 // shards apply in parallel.
+//
+// # Streaming discovery
+//
+// A Monitor maintains, on request (Monitor.TrackGroups), group
+// statistics for arbitrary attribute pairs (X → A): every live X-group's
+// support and A-value distribution, updated inside the same ChangeSet
+// apply path that maintains the violation indexes. Each apply leaves
+// coalesced group-delta events behind — group created or destroyed,
+// support ±, distinct ± collapse to one delta per touched group — which
+// a subscriber drains on its own schedule.
+//
+// WatchDiscovery builds CFD discovery on that substrate: a CFDMiner
+// holds the candidate lattice of embedded FDs (|X| ≤ MaxLHS) as
+// incremental scores. CFDMiner.Refresh drains the deltas and re-scores
+// exactly the groups the interleaving changes touched — milliseconds
+// per 1K-op ChangeSet against seconds for a full re-mine at 100K tuples
+// (the E11 benchmark) — and reports the mined set's net changes.
+//
+// Delta semantics: a mined CFD appears when its embedded FD first
+// qualifies (as a global FD with enough evidence, or with its first
+// supported pattern), updates when it flips between FD and pattern form
+// or its pattern count moves, and retires when the last pattern loses
+// support, the FD breaks without minable patterns, or a newly-holding
+// subset FD prunes it (minimality pruning is dynamic — deletions can
+// resurrect a subset FD and retire its supersets). Under deletions,
+// confidence is recomputed from the surviving members only: a group
+// whose dissenting tuples are deleted becomes pure again and its
+// pattern returns.
+//
+// There is exactly one mining code path: DiscoverCFDs seeds a throwaway
+// monitor with the instance as one bulk batch and reads the miner's
+// initial state, so bulk and streaming discovery cannot disagree — a
+// randomized property test drives a miner with random ChangeSet streams
+// and checks it lands exactly on DiscoverCFDs' output at every
+// checkpoint.
 //
 // # Durability guarantees
 //

@@ -5,9 +5,12 @@
 // violation delta of every insert, delete and update. The second act
 // batches changes: one ChangeSet through Monitor.Apply is validated as a
 // unit, applied in one shard pass, and answered with its net delta. The
-// third act makes the monitor durable: journaled to a write-ahead log
-// (a ChangeSet is one record and one fsync), snapshotted, closed, and
-// resumed from disk without touching the original instance.
+// third act streams discovery: a CFDMiner rides the monitor's group
+// indexes and re-scores the mined constraint set after every change,
+// reporting CFDs as they appear and retire. The fourth act makes the
+// monitor durable: journaled to a write-ahead log (a ChangeSet is one
+// record and one fsync), snapshotted, closed, and resumed from disk
+// without touching the original instance.
 package main
 
 import (
@@ -124,6 +127,46 @@ func main() {
 		log.Fatal(err)
 	}
 	show("healing batch:", healDelta)
+
+	// --- streaming discovery ---
+	//
+	// The same monitor can mine its own constraints: WatchDiscovery
+	// attaches a miner to the live group indexes, and each Refresh
+	// re-scores only the groups the interleaving changes touched —
+	// never the whole instance.
+	miner, err := repro.WatchDiscovery(m, repro.DiscoveryConfig{MaxLHS: 1, MinSupport: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mined, err := miner.Mined()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovery: %d CFDs hold on the current instance, e.g.:\n", len(mined))
+	for i, d := range mined {
+		if i == 3 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", d.CFD)
+	}
+	// A tuple that contradicts phone→city: the mined FD degrades (or
+	// retires) and Refresh says so — then returns once the data heals.
+	breakKey, _, err := m.Insert(repro.Tuple{"01", "908", "1111111", "Sam", "Tree Ave.", "LA", "07974"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ch := range miner.Refresh() {
+		fmt.Printf("  mine %s\n", ch)
+	}
+	if _, err := m.Delete(breakKey); err != nil {
+		log.Fatal(err)
+	}
+	for _, ch := range miner.Refresh() {
+		fmt.Printf("  mine %s\n", ch)
+	}
+	miner.Close()
+	fmt.Println()
 
 	// --- restart and resume ---
 	//

@@ -24,7 +24,9 @@ func LoadInputs(dataPath, cfdPath string) (*relation.Relation, []*core.CFD, erro
 	return rel, sigma, nil
 }
 
-// LoadCSV reads a CSV instance; the header row becomes the schema.
+// LoadCSV reads a CSV instance; the header row becomes the schema. It
+// does not intern — the right call for one-shot commands that scan and
+// exit. Long-lived monitors seed through LoadCSVPooled.
 func LoadCSV(dataPath string) (*relation.Relation, error) {
 	f, err := os.Open(dataPath)
 	if err != nil {
@@ -32,6 +34,24 @@ func LoadCSV(dataPath string) (*relation.Relation, error) {
 	}
 	defer f.Close()
 	return relation.ReadCSV(f, "R")
+}
+
+// LoadCSVPooled reads a CSV instance through a shared value pool and
+// returns the pool alongside — hand it to MonitorOptions.Intern and the
+// monitor seeded from the load adopts the same pool instead of cloning
+// every distinct value into a second one.
+func LoadCSVPooled(dataPath string) (*relation.Relation, *relation.Interner, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	pool := relation.NewInterner()
+	rel, err := relation.ReadCSVInterned(f, "R", pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rel, pool, nil
 }
 
 // LoadCFDs reads a CFD set in the text notation. Durable commands use it

@@ -16,13 +16,21 @@
 // Discovered CFDs with MinConfidence = 1 are guaranteed to hold on the
 // input instance (property-tested). The search is exponential in MaxLHS
 // only, matching the fixed-schema regime of the paper's analyses.
+//
+// There is exactly one mining code path, and it is streaming: a Miner
+// (see miner.go) subscribes to the group-statistics substrate of an
+// incremental.Monitor and re-scores only the X-groups each ChangeSet
+// touched. Discover is the from-scratch entry point — it seeds a
+// throwaway Monitor with the instance as one bulk batch and reads the
+// Miner's initial state — so batch and streaming discovery cannot
+// drift apart.
 package discovery
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
+	"repro/internal/incremental"
 	"repro/internal/relation"
 )
 
@@ -40,6 +48,20 @@ type Config struct {
 	// MaxPatterns caps the tableau size per embedded FD, keeping the most
 	// supported patterns (0 = unlimited).
 	MaxPatterns int
+}
+
+// Validate rejects tunables no default can repair: a confidence above 1
+// can never be met by any group, and a negative pattern cap is
+// meaningless (0 already means unlimited). Discover and NewMiner
+// validate on entry.
+func (c Config) Validate() error {
+	if c.MinConfidence > 1 {
+		return fmt.Errorf("discovery: MinConfidence %g is above 1 and can never be met", c.MinConfidence)
+	}
+	if c.MaxPatterns < 0 {
+		return fmt.Errorf("discovery: negative MaxPatterns %d (0 means unlimited)", c.MaxPatterns)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -64,46 +86,27 @@ type Discovered struct {
 	Support []int
 }
 
-// Discover mines CFDs from the instance.
+// Discover mines CFDs from the instance. It is the bulk entry of the
+// one streaming code path: the instance is loaded into a throwaway
+// monitor as a single batch, a Miner is seeded over it, and its initial
+// mined set is returned.
 func Discover(rel *relation.Relation, cfg Config) ([]Discovered, error) {
-	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if rel.Len() == 0 {
 		return nil, fmt.Errorf("discovery: empty instance")
 	}
-	attrs := rel.Schema.Names()
-	var out []Discovered
-
-	// holdsAsFD[key] records embedded FDs that hold globally, for
-	// minimality pruning of supersets.
-	holdsAsFD := make(map[string]bool)
-	fdKey := func(x []string, a string) string {
-		return relation.EncodeKey(append(append([]relation.Value{}, x...), "->", a))
+	m, err := incremental.Load(rel, nil, incremental.Options{})
+	if err != nil {
+		return nil, err
 	}
-
-	subsets := subsetsUpTo(attrs, cfg.MaxLHS)
-	for _, a := range attrs {
-		for _, x := range subsets {
-			if contains(x, a) {
-				continue
-			}
-			// Minimality pruning: if any proper subset of X already
-			// determines A, skip (the subset FD implies this one).
-			if prunedBySubset(x, a, holdsAsFD, fdKey) {
-				continue
-			}
-			d, isFD, err := mineOne(rel, x, a, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if isFD {
-				holdsAsFD[fdKey(x, a)] = true
-			}
-			if d != nil {
-				out = append(out, *d)
-			}
-		}
+	mi, err := NewMiner(m, cfg)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	defer mi.Close()
+	return mi.Mined()
 }
 
 // CFDs extracts just the constraint list.
@@ -113,112 +116,6 @@ func CFDs(ds []Discovered) []*core.CFD {
 		out[i] = d.CFD
 	}
 	return out
-}
-
-func mineOne(rel *relation.Relation, x []string, a string, cfg Config) (*Discovered, bool, error) {
-	xIdx, err := rel.Schema.Indexes(x)
-	if err != nil {
-		return nil, false, err
-	}
-	aIdx := rel.Schema.MustIndex(a)
-
-	type group struct {
-		key    []relation.Value
-		counts map[relation.Value]int
-		total  int
-	}
-	groups := make(map[string]*group)
-	var order []string
-	for row := range rel.Tuples {
-		kv := rel.Project(row, xIdx)
-		k := relation.EncodeKey(kv)
-		g, ok := groups[k]
-		if !ok {
-			g = &group{key: kv, counts: make(map[relation.Value]int)}
-			groups[k] = g
-			order = append(order, k)
-		}
-		g.counts[rel.Tuples[row][aIdx]]++
-		g.total++
-	}
-
-	// Does the FD hold globally? Evidence counts the tuples in
-	// non-singleton groups — the tuples that actually TEST the FD. An FD
-	// over a near-unique LHS (say, phone numbers) holds vacuously and
-	// would pollute the output, so it is only emitted when evidence
-	// reaches MinSupport (it still participates in minimality pruning:
-	// supersets of a vacuous key are more vacuous yet).
-	isFD := true
-	evidence := 0
-	for _, k := range order {
-		g := groups[k]
-		if len(g.counts) > 1 {
-			isFD = false
-			break
-		}
-		if g.total >= 2 {
-			evidence += g.total
-		}
-	}
-	if isFD {
-		if evidence < cfg.MinSupport {
-			return nil, true, nil
-		}
-		row := core.PatternRow{X: make([]core.Pattern, len(x)), Y: []core.Pattern{core.W()}}
-		for i := range row.X {
-			row.X[i] = core.W()
-		}
-		cfd, err := core.NewCFD(x, []string{a}, row)
-		if err != nil {
-			return nil, false, err
-		}
-		return &Discovered{CFD: cfd, IsFD: true, Support: []int{evidence}}, true, nil
-	}
-
-	// Mine constant patterns from supported, (near-)pure groups.
-	type cand struct {
-		row     core.PatternRow
-		support int
-	}
-	var cands []cand
-	for _, k := range order {
-		g := groups[k]
-		if g.total < cfg.MinSupport {
-			continue
-		}
-		bestVal, bestN := relation.Value(""), 0
-		for v, n := range g.counts {
-			if n > bestN || (n == bestN && v < bestVal) {
-				bestVal, bestN = v, n
-			}
-		}
-		if float64(bestN)/float64(g.total) < cfg.MinConfidence {
-			continue
-		}
-		row := core.PatternRow{X: make([]core.Pattern, len(x)), Y: []core.Pattern{core.C(bestVal)}}
-		for i := range row.X {
-			row.X[i] = core.C(g.key[i])
-		}
-		cands = append(cands, cand{row: row, support: g.total})
-	}
-	if len(cands) == 0 {
-		return nil, false, nil
-	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].support > cands[j].support })
-	if cfg.MaxPatterns > 0 && len(cands) > cfg.MaxPatterns {
-		cands = cands[:cfg.MaxPatterns]
-	}
-	rows := make([]core.PatternRow, len(cands))
-	support := make([]int, len(cands))
-	for i, c := range cands {
-		rows[i] = c.row
-		support[i] = c.support
-	}
-	cfd, err := core.NewCFD(x, []string{a}, rows...)
-	if err != nil {
-		return nil, false, err
-	}
-	return &Discovered{CFD: cfd, Support: support}, false, nil
 }
 
 // subsetsUpTo enumerates nonempty subsets of attrs with size ≤ k, smaller
@@ -244,26 +141,6 @@ func subsetsUpTo(attrs []string, k int) [][]string {
 func contains(xs []string, a string) bool {
 	for _, x := range xs {
 		if x == a {
-			return true
-		}
-	}
-	return false
-}
-
-func prunedBySubset(x []string, a string, holds map[string]bool, key func([]string, string) string) bool {
-	if len(x) <= 1 {
-		return false
-	}
-	// Check all (|X|-1)-subsets; transitivity covers smaller ones because
-	// they were visited first.
-	for drop := range x {
-		sub := make([]string, 0, len(x)-1)
-		for i, v := range x {
-			if i != drop {
-				sub = append(sub, v)
-			}
-		}
-		if holds[key(sub, a)] {
 			return true
 		}
 	}

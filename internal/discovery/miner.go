@@ -1,0 +1,424 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/incremental"
+	"repro/internal/relation"
+)
+
+// Miner is streaming CFD discovery over a live incremental.Monitor: the
+// candidate lattice of embedded FDs X → A (|X| ≤ MaxLHS) is held as
+// stateful per-group scores, fed by the monitor's group-statistics
+// substrate (Monitor.TrackGroups). Refresh drains the group-deltas the
+// applied ChangeSets left behind and re-scores exactly the groups they
+// touched; the full instance is scanned once, at attach time, and never
+// again.
+//
+// A Miner is safe for concurrent use with monitor mutations: Refresh
+// and Mined serialize on the miner's own mutex and observe the
+// substrate shard by shard, so under concurrent writers the mined set
+// is eventually consistent — every change is re-scored by some later
+// Refresh, and a quiescent monitor always yields exactly Discover's
+// output on the same instance (property-tested).
+type Miner struct {
+	mu     sync.Mutex
+	cfg    Config
+	m      *incremental.Monitor
+	hub    *incremental.GroupStats
+	cands  []candidate
+	det    []bool // scratch of the per-emit pruning pass
+	drain  []incremental.GroupDelta
+	closed bool
+}
+
+// MinedChangeKind discriminates the outcome of a Refresh for one
+// embedded FD.
+type MinedChangeKind uint8
+
+const (
+	// MinedAppeared reports an embedded FD that newly entered the mined
+	// set (as a global FD or with its first pattern rows).
+	MinedAppeared MinedChangeKind = iota
+	// MinedUpdated reports an embedded FD that stayed mined but changed
+	// form: it flipped between FD and pattern form, or its pattern count
+	// moved. Support drift alone is not reported.
+	MinedUpdated
+	// MinedRetired reports an embedded FD that left the mined set — its
+	// last pattern lost support, the FD broke without minable patterns,
+	// or a newly-holding subset FD now prunes it.
+	MinedRetired
+)
+
+func (k MinedChangeKind) String() string {
+	switch k {
+	case MinedAppeared:
+		return "appeared"
+	case MinedUpdated:
+		return "updated"
+	case MinedRetired:
+		return "retired"
+	}
+	return fmt.Sprintf("MinedChangeKind(%d)", uint8(k))
+}
+
+// MinedChange is one Refresh outcome: the embedded FD it concerns and
+// the form it currently takes.
+type MinedChange struct {
+	Kind MinedChangeKind
+	// LHS and RHS identify the embedded FD.
+	LHS []string
+	RHS string
+	// IsFD reports the current form (all-wildcard FD vs pattern tableau);
+	// for MinedRetired it is the form that was lost.
+	IsFD bool
+	// Patterns is the current pattern-row count (0 in FD form).
+	Patterns int
+}
+
+// String renders the change for logs and the CLI surfaces.
+func (c MinedChange) String() string {
+	form := fmt.Sprintf("%d patterns", c.Patterns)
+	if c.IsFD {
+		form = "fd"
+	}
+	sign := map[MinedChangeKind]string{MinedAppeared: "+", MinedUpdated: "~", MinedRetired: "-"}[c.Kind]
+	return fmt.Sprintf("%s %v -> %s (%s)", sign, c.LHS, c.RHS, form)
+}
+
+// emitKind is a candidate's current place in the mined set.
+type emitKind uint8
+
+const (
+	emitNone emitKind = iota
+	emitFD
+	emitPatterns
+)
+
+// mgroup is the miner's score of one X-group: the mirror of the
+// substrate's statistics plus the group's current pattern contribution.
+type mgroup struct {
+	x              []relation.Value
+	size, distinct int
+	// hasPat marks a supported group whose dominant A-value clears
+	// MinConfidence; patVal/patSup are the mined pattern's RHS constant
+	// and support (the group size, as in CFDMiner-style mining).
+	hasPat bool
+	patVal relation.Value
+	patSup int
+}
+
+// candidate is one embedded FD of the lattice with its aggregate scores,
+// maintained incrementally by folding group mirrors in and out.
+type candidate struct {
+	pair incremental.AttrPair
+	// subs indexes the (|X|-1)-subset candidates with the same RHS;
+	// pruning consults only these — determination is transitive.
+	subs   []int32
+	groups map[string]*mgroup
+	// impure counts groups whose members disagree on A; the FD holds
+	// globally iff it is zero.
+	impure int
+	// evidence counts the tuples in groups of size ≥ 2 — the tuples that
+	// actually test the FD. An FD over a near-unique LHS holds vacuously
+	// and is only emitted once evidence reaches MinSupport.
+	evidence int
+	// patterns counts groups currently contributing a pattern row.
+	patterns int
+	// cur/curPatterns are the candidate's emission state as of the last
+	// Refresh, diffed to produce MinedChanges.
+	cur         emitKind
+	curPatterns int
+}
+
+func (c *candidate) fold(g *mgroup) {
+	if g.distinct > 1 {
+		c.impure++
+	}
+	if g.size >= 2 {
+		c.evidence += g.size
+	}
+	if g.hasPat {
+		c.patterns++
+	}
+}
+
+func (c *candidate) unfold(g *mgroup) {
+	if g.distinct > 1 {
+		c.impure--
+	}
+	if g.size >= 2 {
+		c.evidence -= g.size
+	}
+	if g.hasPat {
+		c.patterns--
+	}
+}
+
+// fdKey canonically names an embedded FD.
+func fdKey(x []string, a string) string {
+	vals := make([]relation.Value, 0, len(x)+2)
+	vals = append(vals, x...)
+	vals = append(vals, "->", a)
+	return relation.EncodeKey(vals)
+}
+
+// NewMiner attaches a streaming miner to the monitor: the candidate
+// lattice over the monitor's schema is registered with the
+// group-statistics substrate, the current instance is folded in, and
+// the initial scores are computed. Detach with Close; a closed miner
+// keeps serving its last state but no longer follows the monitor.
+func NewMiner(m *incremental.Monitor, cfg Config) (*Miner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	attrs := m.Schema().Names()
+	subsets := subsetsUpTo(attrs, cfg.MaxLHS)
+
+	// Enumeration order (RHS-major, subsets smaller-first) is the output
+	// order of Mined and the processing order of the pruning pass: every
+	// candidate's subset candidates precede it.
+	var pairs []incremental.AttrPair
+	var cands []candidate
+	index := make(map[string]int32)
+	for _, a := range attrs {
+		for _, x := range subsets {
+			if contains(x, a) {
+				continue
+			}
+			index[fdKey(x, a)] = int32(len(cands))
+			pairs = append(pairs, incremental.AttrPair{X: x, A: a})
+			cands = append(cands, candidate{
+				pair:   incremental.AttrPair{X: x, A: a},
+				groups: make(map[string]*mgroup),
+			})
+		}
+	}
+	for ci := range cands {
+		x, a := cands[ci].pair.X, cands[ci].pair.A
+		if len(x) <= 1 {
+			continue
+		}
+		for drop := range x {
+			sub := make([]string, 0, len(x)-1)
+			for i, v := range x {
+				if i != drop {
+					sub = append(sub, v)
+				}
+			}
+			if si, ok := index[fdKey(sub, a)]; ok {
+				cands[ci].subs = append(cands[ci].subs, si)
+			}
+		}
+	}
+
+	hub, err := m.TrackGroups(pairs)
+	if err != nil {
+		return nil, err
+	}
+	mi := &Miner{cfg: cfg, m: m, hub: hub, cands: cands, det: make([]bool, len(cands))}
+	mi.Refresh() // the fold left every group dirty: score the initial state
+	return mi, nil
+}
+
+// Config returns the miner's configuration with defaults applied.
+func (mi *Miner) Config() Config { return mi.cfg }
+
+// Close detaches the miner from the monitor's apply path. The last
+// refreshed state stays readable.
+func (mi *Miner) Close() {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	if mi.closed {
+		return
+	}
+	mi.closed = true
+	mi.m.UntrackGroups(mi.hub)
+}
+
+// Refresh drains the group-deltas accumulated since the last call and
+// re-scores exactly the touched groups, then re-evaluates the lattice's
+// emission set (including minimality pruning, which is dynamic: a
+// subset FD breaking un-prunes its supersets). It returns the mined
+// set's net changes — embedded FDs that appeared, changed form, or
+// retired. Cost is proportional to the groups the interleaving
+// ChangeSets touched, not to the instance.
+func (mi *Miner) Refresh() []MinedChange {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	mi.drain = mi.hub.Drain(mi.drain[:0])
+	for i := range mi.drain {
+		d := &mi.drain[i]
+		c := &mi.cands[d.Pair]
+		g, ok := c.groups[d.XKey]
+		if ok {
+			c.unfold(g)
+		}
+		if d.Support == 0 {
+			if ok {
+				delete(c.groups, d.XKey)
+			}
+			continue
+		}
+		if !ok {
+			g = &mgroup{}
+			c.groups[d.XKey] = g
+		}
+		g.x, g.size, g.distinct = d.X, d.Support, d.Distinct
+		mi.score(d, g)
+		c.fold(g)
+	}
+	return mi.emit()
+}
+
+// score recomputes one group's pattern contribution. The single-value
+// case reads the pattern constant straight off the delta; a mixed group
+// only matters below confidence 1, where the substrate is consulted for
+// the dominant value (an O(distinct) scan, paid only then).
+func (mi *Miner) score(d *incremental.GroupDelta, g *mgroup) {
+	g.hasPat, g.patVal, g.patSup = false, "", 0
+	if d.Support < mi.cfg.MinSupport {
+		return
+	}
+	if d.Distinct == 1 {
+		g.hasPat, g.patVal, g.patSup = true, d.Top, d.Support
+		return
+	}
+	if mi.cfg.MinConfidence < 1 {
+		st, ok := mi.hub.Stat(d.Pair, d.XKey)
+		if ok && float64(st.TopCount)/float64(st.Support) >= mi.cfg.MinConfidence {
+			g.hasPat, g.patVal, g.patSup = true, st.Top, st.Support
+		}
+	}
+}
+
+// emit re-evaluates every candidate's place in the mined set and diffs
+// it against the previous pass. O(candidates) — group work happened in
+// Refresh's delta loop.
+func (mi *Miner) emit() []MinedChange {
+	var out []MinedChange
+	for ci := range mi.cands {
+		c := &mi.cands[ci]
+		pruned := false
+		for _, si := range c.subs {
+			if mi.det[si] {
+				pruned = true
+				break
+			}
+		}
+		// A pruned candidate is itself determining — its LHS contains a
+		// determining subset — so determination closes transitively and
+		// supersets of a pruned candidate prune too.
+		mi.det[ci] = pruned || c.impure == 0
+		kind := emitNone
+		if !pruned {
+			if c.impure == 0 {
+				if c.evidence >= mi.cfg.MinSupport {
+					kind = emitFD
+				}
+			} else if c.patterns > 0 {
+				kind = emitPatterns
+			}
+		}
+		// Report (and diff on) the pattern count Mined actually emits —
+		// the MaxPatterns cap applies here too, so contributing groups
+		// beyond the cap neither inflate the count nor fire updates.
+		patterns := c.patterns
+		if mi.cfg.MaxPatterns > 0 && patterns > mi.cfg.MaxPatterns {
+			patterns = mi.cfg.MaxPatterns
+		}
+		switch {
+		case kind != emitNone && c.cur == emitNone:
+			out = append(out, minedChange(MinedAppeared, c, kind, patterns))
+		case kind == emitNone && c.cur != emitNone:
+			out = append(out, minedChange(MinedRetired, c, c.cur, c.curPatterns))
+		case kind != emitNone && (kind != c.cur || (kind == emitPatterns && patterns != c.curPatterns)):
+			out = append(out, minedChange(MinedUpdated, c, kind, patterns))
+		}
+		c.cur, c.curPatterns = kind, patterns
+	}
+	return out
+}
+
+func minedChange(k MinedChangeKind, c *candidate, form emitKind, patterns int) MinedChange {
+	ch := MinedChange{Kind: k, LHS: c.pair.X, RHS: c.pair.A, IsFD: form == emitFD}
+	if form == emitPatterns {
+		ch.Patterns = patterns
+	}
+	return ch
+}
+
+// Mined materializes the current mined set, in the candidate lattice's
+// canonical order, as of the last Refresh. Pattern rows are ordered by
+// support (descending), ties by encoded X-projection, and capped at
+// MaxPatterns.
+func (mi *Miner) Mined() ([]Discovered, error) {
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	var out []Discovered
+	for ci := range mi.cands {
+		c := &mi.cands[ci]
+		switch c.cur {
+		case emitFD:
+			row := core.PatternRow{X: make([]core.Pattern, len(c.pair.X)), Y: []core.Pattern{core.W()}}
+			for i := range row.X {
+				row.X[i] = core.W()
+			}
+			cfd, err := core.NewCFD(c.pair.X, []string{c.pair.A}, row)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Discovered{CFD: cfd, IsFD: true, Support: []int{c.evidence}})
+		case emitPatterns:
+			d, err := c.buildPatterns(mi.cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, *d)
+		}
+	}
+	return out, nil
+}
+
+// buildPatterns assembles one pattern-form Discovered from the
+// candidate's contributing groups.
+func (c *candidate) buildPatterns(cfg Config) (*Discovered, error) {
+	type pat struct {
+		key string
+		g   *mgroup
+	}
+	pats := make([]pat, 0, c.patterns)
+	for k, g := range c.groups {
+		if g.hasPat {
+			pats = append(pats, pat{key: k, g: g})
+		}
+	}
+	sort.Slice(pats, func(i, j int) bool {
+		if pats[i].g.patSup != pats[j].g.patSup {
+			return pats[i].g.patSup > pats[j].g.patSup
+		}
+		return pats[i].key < pats[j].key
+	})
+	if cfg.MaxPatterns > 0 && len(pats) > cfg.MaxPatterns {
+		pats = pats[:cfg.MaxPatterns]
+	}
+	rows := make([]core.PatternRow, len(pats))
+	support := make([]int, len(pats))
+	for i, p := range pats {
+		row := core.PatternRow{X: make([]core.Pattern, len(p.g.x)), Y: []core.Pattern{core.C(p.g.patVal)}}
+		for j, v := range p.g.x {
+			row.X[j] = core.C(v)
+		}
+		rows[i] = row
+		support[i] = p.g.patSup
+	}
+	cfd, err := core.NewCFD(c.pair.X, []string{c.pair.A}, rows...)
+	if err != nil {
+		return nil, err
+	}
+	return &Discovered{CFD: cfd, Support: support}, nil
+}

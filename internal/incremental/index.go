@@ -11,7 +11,10 @@ import (
 // static tableau-row index (the inverse of detect/direct.go's constant-mask
 // bucketing — pattern rows are indexed once and probed per tuple, instead
 // of the data being indexed per detection run) and the lock-sharded live
-// group and constant-violation stores.
+// group and constant-violation stores. The tableau-free generalization of
+// the group index — per-X-group support and Y-value distributions for
+// arbitrary attribute pairs, feeding the streaming CFD miner — lives in
+// stats.go on the same sharding substrate.
 
 // rowBucket groups the tableau rows of one CFD that share a constant-
 // position mask, indexed by the encoded values of those constant cells.

@@ -85,6 +85,14 @@ type Options struct {
 	// this many journaled records, truncating the log. 0 disables
 	// automatic snapshots (use ForceSnapshot).
 	SnapshotEvery int
+
+	// Intern, when non-nil, is a shared value pool the monitor adopts
+	// instead of a private one — pass the pool a CSV load deduplicated
+	// through (relation.ReadCSVInterned) and the seed batch's values hit
+	// the pool instead of being cloned into a second one. The pool only
+	// grows; sharing it keeps every distinct value of the source data
+	// alive for the monitor's lifetime.
+	Intern *relation.Interner
 }
 
 const defaultShards = 16
@@ -131,6 +139,11 @@ type Monitor struct {
 	vals, keys  *relation.Interner
 	internAttrs []int
 
+	// statsState anchors the group-statistics subscriptions (TrackGroups;
+	// see stats.go) — the generalized, tableau-free form of the group
+	// indexes, maintained from the same apply path.
+	statsState
+
 	// j is the durable journal; nil for a memory-only monitor.
 	j *journal
 }
@@ -157,13 +170,17 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 	if shards <= 0 {
 		shards = defaultShards
 	}
+	vals := opts.Intern
+	if vals == nil {
+		vals = relation.NewInterner()
+	}
 	m := &Monitor{
 		schema:   schema,
 		sigma:    sigma,
 		shards:   shards,
 		tuples:   make([]tupleShard, shards),
 		attrCFDs: make([][]int, schema.Len()),
-		vals:     relation.NewInterner(),
+		vals:     vals,
 		keys:     relation.NewInterner(),
 	}
 	for i := range m.tuples {
@@ -336,6 +353,9 @@ func (m *Monitor) insertLocked(sh *tupleShard, key int64, owned relation.Tuple, 
 	for ci := range m.cfds {
 		m.add(ci, key, owned, d, sc)
 	}
+	for _, h := range m.statsHooks() {
+		h.add(owned)
+	}
 }
 
 // deleteLocked removes the tuple and unfolds it from every CFD's state;
@@ -349,6 +369,9 @@ func (m *Monitor) deleteLocked(sh *tupleShard, key int64, d *Delta, sc *opScratc
 	m.size.Add(-1)
 	for ci := range m.cfds {
 		m.remove(ci, key, t, d, sc)
+	}
+	for _, h := range m.statsHooks() {
+		h.remove(t)
 	}
 	return nil
 }
@@ -370,6 +393,9 @@ func (m *Monitor) updateLocked(sh *tupleShard, key int64, ai int, val relation.V
 	for _, ci := range m.attrCFDs[ai] {
 		m.remove(ci, key, old, d, sc)
 		m.add(ci, key, next, d, sc)
+	}
+	for _, h := range m.statsHooks() {
+		h.update(old, next, ai)
 	}
 	return nil
 }

@@ -1,0 +1,435 @@
+package incremental
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// This file generalizes the sharded group index of index.go beyond CFD
+// tableaux: a GroupStats subscription maintains, for arbitrary attribute
+// pairs (X → A), the live X-groups of the monitored instance — support
+// (member count) and the full A-value distribution — updated from the
+// same single ChangeSet apply path every mutation flows through
+// (insertLocked/deleteLocked/updateLocked, under the tuple-shard lock).
+// Each mutation leaves a coalesced group-delta behind: group created or
+// destroyed, support ±, distinct-Y ± all surface as one dirty mark per
+// (pair, group) that Drain turns into GroupDelta events. The streaming
+// CFD miner in internal/discovery is the canonical subscriber: it
+// re-scores exactly the groups a batch touched instead of re-mining the
+// instance.
+
+// AttrPair is one tracked statistics pair: the X-groups of the
+// projection on X, each with the distribution of its members' A-values.
+type AttrPair struct {
+	// X is the grouping attribute list (the candidate LHS).
+	X []string
+	// A is the distributed attribute (the candidate RHS).
+	A string
+}
+
+// GroupDelta reports that one tracked pair's X-group changed since the
+// previous Drain: it was created, gained or lost members (support ±),
+// or its A-value distribution shifted (distinct ±). Deltas are
+// coalesced per group between drains — a 1000-op batch hitting one
+// group yields one delta — and carry the group's state as of the drain.
+type GroupDelta struct {
+	// Pair indexes the pair within the subscription's TrackGroups order.
+	Pair int
+	// XKey is the encoded X-projection (relation.EncodeKey form) — the
+	// group's identity, usable with Stat.
+	XKey string
+	// X is the shared X-projection (read-only); nil when the group was
+	// destroyed.
+	X []relation.Value
+	// Support is the group's member count; 0 reports the group was
+	// destroyed.
+	Support int
+	// Distinct is the number of distinct A-values over the members.
+	Distinct int
+	// Top and TopCount are the most frequent A-value and its count,
+	// filled only when Distinct == 1 (where they cost nothing to read).
+	// For mixed groups use Stat, which scans the distribution.
+	Top      relation.Value
+	TopCount int
+}
+
+// GroupStat is a point-in-time view of one X-group's statistics.
+type GroupStat struct {
+	// X is the shared X-projection (read-only).
+	X []relation.Value
+	// Support is the group's member count.
+	Support int
+	// Distinct is the number of distinct A-values over the members.
+	Distinct int
+	// Top is the most frequent A-value, ties broken toward the smallest
+	// value; TopCount is its count.
+	Top      relation.Value
+	TopCount int
+}
+
+// statGroup is the live statistics of one X-group under one tracked
+// pair. The overwhelmingly common case — a group whose members agree on
+// A — stays allocation-light: the first distinct A-value and its count
+// live inline and the spill map exists only once a second distinct
+// value appears. Invariant: a value is tracked either in the inline
+// slot or in rest, never both (the inline slot is matched first on
+// every add, so its value never enters rest).
+type statGroup struct {
+	// key is the stored map key, kept so a destroyed group can still
+	// name itself in its final delta.
+	key string
+	// x is the shared X-projection (owned by the group, immutable).
+	x []relation.Value
+	// size is the member count.
+	size int
+	// dirty marks membership in the shard's dirty list — a repeat mark
+	// is one branch, not a map operation (the fold hot path's dominant
+	// cost in profiles).
+	dirty bool
+	// v0/c0 are the inline first distinct A-value and its count; c0 == 0
+	// marks the slot dead (its value fully removed).
+	v0 relation.Value
+	c0 int
+	// rest holds every other distinct A-value's count; nil until needed.
+	rest map[relation.Value]int
+}
+
+func (g *statGroup) distinct() int {
+	n := len(g.rest)
+	if g.c0 > 0 {
+		n++
+	}
+	return n
+}
+
+func (g *statGroup) add(v relation.Value) {
+	g.size++
+	if v == g.v0 && (g.c0 > 0 || len(g.rest) == 0) {
+		g.v0, g.c0 = v, g.c0+1
+		return
+	}
+	if g.c0 == 0 && len(g.rest) == 0 {
+		g.v0, g.c0 = v, 1
+		return
+	}
+	if c, ok := g.rest[v]; ok {
+		g.rest[v] = c + 1
+		return
+	}
+	if g.rest == nil {
+		g.rest = make(map[relation.Value]int, 2)
+	}
+	g.rest[v] = 1
+}
+
+func (g *statGroup) remove(v relation.Value) {
+	g.size--
+	if v == g.v0 && g.c0 > 0 {
+		g.c0--
+		return
+	}
+	if c := g.rest[v]; c > 1 {
+		g.rest[v] = c - 1
+	} else {
+		delete(g.rest, v)
+	}
+}
+
+// top returns the most frequent A-value and its count, ties broken
+// toward the smallest value — the same rule the miner's pattern
+// selection uses. O(distinct).
+func (g *statGroup) top() (best relation.Value, n int) {
+	if g.c0 > 0 {
+		best, n = g.v0, g.c0
+	}
+	for v, c := range g.rest {
+		if c > n || (c == n && v < best) {
+			best, n = v, c
+		}
+	}
+	return best, n
+}
+
+// statShard is one lock shard of a pair's group store: the live groups
+// keyed by encoded X-projection, plus the dirty list — the coalesced
+// group-delta log the subscriber drains. A destroyed group leaves the
+// map but stays on the list (size 0) until drained.
+type statShard struct {
+	mu    sync.RWMutex
+	m     map[string]*statGroup
+	dirty []*statGroup
+}
+
+// pairTrack is the resolved, sharded index of one tracked pair.
+type pairTrack struct {
+	pair   AttrPair
+	xIdx   []int
+	aIdx   int
+	shards []statShard
+}
+
+// GroupStats is one live group-statistics subscription over a Monitor,
+// created by TrackGroups. All methods are safe for concurrent use and
+// run concurrently with monitor mutations; Drain and Stat observe each
+// shard at a consistent point, not the whole index.
+type GroupStats struct {
+	pairs []pairTrack
+	// byAttr maps an attribute position to the pairs whose X ∪ {A}
+	// mentions it — the only pairs an update of that attribute touches.
+	byAttr [][]int32
+}
+
+// NumPairs returns the number of tracked pairs, in TrackGroups order.
+func (h *GroupStats) NumPairs() int { return len(h.pairs) }
+
+// Pair returns one tracked pair by index.
+func (h *GroupStats) Pair(i int) AttrPair { return h.pairs[i].pair }
+
+// TrackGroups attaches a group-statistics subscription for the given
+// attribute pairs and returns its handle. The current instance is
+// folded in atomically — every tuple shard is write-locked for the
+// duration, briefly quiescing writers — and every subsequent mutation
+// updates the statistics inside the same apply path that maintains the
+// violation indexes. Every folded group starts dirty, so the first
+// Drain hands the subscriber the complete initial state.
+//
+// The statistics are memory-only: a durable monitor does not journal or
+// snapshot them, and a subscription does not survive a restart —
+// re-attach after recovery. Close the handle with UntrackGroups.
+func (m *Monitor) TrackGroups(pairs []AttrPair) (*GroupStats, error) {
+	h := &GroupStats{byAttr: make([][]int32, m.schema.Len())}
+	for pi, p := range pairs {
+		xIdx, err := m.schema.Indexes(p.X)
+		if err != nil {
+			return nil, fmt.Errorf("incremental: tracking pair %d: %w", pi, err)
+		}
+		aIdx, ok := m.schema.Index(p.A)
+		if !ok {
+			return nil, fmt.Errorf("incremental: tracking pair %d: schema %q has no attribute %q", pi, m.schema.Name, p.A)
+		}
+		t := pairTrack{pair: p, xIdx: xIdx, aIdx: aIdx, shards: make([]statShard, m.shards)}
+		for si := range t.shards {
+			t.shards[si].m = make(map[string]*statGroup)
+		}
+		h.pairs = append(h.pairs, t)
+		for _, ai := range append(append([]int(nil), xIdx...), aIdx) {
+			h.byAttr[ai] = append(h.byAttr[ai], int32(pi))
+		}
+	}
+
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	// The fold is one bounded allocation burst that immediately becomes
+	// resident state (groups, projections, distributions) — park the
+	// collector for its duration, the discipline recovery applies.
+	defer pauseGC()()
+	// Quiesce writers: every mutation holds its tuple-shard lock, so
+	// holding all of them (ascending, the batch path's lock order) makes
+	// the fold + install atomic against the apply path.
+	for si := range m.tuples {
+		m.tuples[si].mu.Lock()
+	}
+	defer func() {
+		for si := range m.tuples {
+			m.tuples[si].mu.Unlock()
+		}
+	}()
+	// Fold pair-major: one pair's group maps stay cache-hot across the
+	// whole pass instead of touching every pair's maps per tuple. The
+	// handle is not published yet and writers are quiesced, so the fold
+	// runs without shard locks.
+	for pi := range h.pairs {
+		p := &h.pairs[pi]
+		var stack [64]byte
+		for si := range m.tuples {
+			for _, t := range m.tuples[si].m {
+				sh, key := p.shardFor(stack[:], t)
+				p.addLocked(sh, key, t)
+			}
+		}
+	}
+	cur := m.stats.Load()
+	var next []*GroupStats
+	if cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, h)
+	m.stats.Store(&next)
+	return h, nil
+}
+
+// UntrackGroups detaches a subscription; its handle stays readable but
+// no longer follows mutations. Unknown handles are ignored.
+func (m *Monitor) UntrackGroups(h *GroupStats) {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	cur := m.stats.Load()
+	if cur == nil {
+		return
+	}
+	next := make([]*GroupStats, 0, len(*cur))
+	for _, o := range *cur {
+		if o != h {
+			next = append(next, o)
+		}
+	}
+	m.stats.Store(&next)
+}
+
+// statsHooks returns the live subscriptions; nil when nobody tracks.
+// One atomic load — the whole cost of the feature on an untracked
+// monitor's hot path.
+func (m *Monitor) statsHooks() []*GroupStats {
+	if p := m.stats.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// add folds a stored tuple into every tracked pair. The caller holds
+// the tuple's shard lock.
+func (h *GroupStats) add(t relation.Tuple) {
+	for pi := range h.pairs {
+		h.addPair(pi, t)
+	}
+}
+
+// remove unfolds a departing tuple from every tracked pair.
+func (h *GroupStats) remove(t relation.Tuple) {
+	for pi := range h.pairs {
+		h.removePair(pi, t)
+	}
+}
+
+// update re-folds an updated tuple under the pairs that mention the
+// changed attribute — the others see the same X-projection and A-value
+// on both sides and are left alone.
+func (h *GroupStats) update(old, next relation.Tuple, ai int) {
+	for _, pi := range h.byAttr[ai] {
+		h.removePair(int(pi), old)
+		h.addPair(int(pi), next)
+	}
+}
+
+// shardFor encodes t's X-projection under pair p into scratch and
+// returns the owning shard. The returned key aliases buf.
+func (p *pairTrack) shardFor(buf []byte, t relation.Tuple) (*statShard, []byte) {
+	key := buf[:0]
+	for _, j := range p.xIdx {
+		key = relation.AppendKey(key, t[j:j+1])
+	}
+	return &p.shards[int(relation.HashBytes(key)%uint32(len(p.shards)))], key
+}
+
+func (h *GroupStats) addPair(pi int, t relation.Tuple) {
+	p := &h.pairs[pi]
+	var stack [64]byte
+	sh, key := p.shardFor(stack[:], t)
+	sh.mu.Lock()
+	p.addLocked(sh, key, t)
+	sh.mu.Unlock()
+}
+
+// addLocked folds one tuple into its group; the caller holds sh's lock
+// (or owns the whole index, as the attach fold does).
+func (p *pairTrack) addLocked(sh *statShard, key []byte, t relation.Tuple) {
+	g, ok := sh.m[string(key)]
+	if !ok {
+		k := string(key)
+		x := make([]relation.Value, len(p.xIdx))
+		for i, j := range p.xIdx {
+			x[i] = t[j]
+		}
+		g = &statGroup{key: k, x: x}
+		sh.m[k] = g
+	}
+	g.add(t[p.aIdx])
+	if !g.dirty {
+		g.dirty = true
+		sh.dirty = append(sh.dirty, g)
+	}
+}
+
+func (h *GroupStats) removePair(pi int, t relation.Tuple) {
+	p := &h.pairs[pi]
+	var stack [64]byte
+	sh, key := p.shardFor(stack[:], t)
+	sh.mu.Lock()
+	g, ok := sh.m[string(key)]
+	if !ok {
+		sh.mu.Unlock()
+		return
+	}
+	g.remove(t[p.aIdx])
+	if !g.dirty {
+		g.dirty = true
+		sh.dirty = append(sh.dirty, g)
+	}
+	if g.size == 0 {
+		// The group leaves the store but stays on the dirty list: its
+		// final delta (Support 0) is how the subscriber learns it died.
+		delete(sh.m, g.key)
+	}
+	sh.mu.Unlock()
+}
+
+// Drain appends every group-delta accumulated since the previous drain
+// to buf and returns it, clearing the dirty sets. Shards are visited
+// one at a time, so a concurrent writer never waits longer than one
+// shard; each delta carries its group's state as of its shard's visit.
+func (h *GroupStats) Drain(buf []GroupDelta) []GroupDelta {
+	for pi := range h.pairs {
+		p := &h.pairs[pi]
+		for si := range p.shards {
+			sh := &p.shards[si]
+			sh.mu.Lock()
+			if len(sh.dirty) == 0 {
+				sh.mu.Unlock()
+				continue
+			}
+			for _, g := range sh.dirty {
+				g.dirty = false
+				d := GroupDelta{Pair: pi, XKey: g.key}
+				// A destroyed group (size 0) left the store; its delta
+				// reports only the death. A key destroyed and re-created
+				// within one window drains as two list entries, old
+				// object first, so the subscriber nets out correctly.
+				if g.size > 0 {
+					d.X, d.Support, d.Distinct = g.x, g.size, g.distinct()
+					if d.Distinct == 1 {
+						d.Top, d.TopCount = g.top()
+					}
+				}
+				buf = append(buf, d)
+			}
+			sh.dirty = sh.dirty[:0]
+			sh.mu.Unlock()
+		}
+	}
+	return buf
+}
+
+// Stat returns the current statistics of one group, including the full
+// distribution's top value (an O(distinct) scan — GroupDelta carries
+// Top for free only in the single-value case).
+func (h *GroupStats) Stat(pair int, xkey string) (GroupStat, bool) {
+	p := &h.pairs[pair]
+	sh := &p.shards[int(relation.Hash(xkey)%uint32(len(p.shards)))]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	g, ok := sh.m[xkey]
+	if !ok {
+		return GroupStat{}, false
+	}
+	top, n := g.top()
+	return GroupStat{X: g.x, Support: g.size, Distinct: g.distinct(), Top: top, TopCount: n}, true
+}
+
+// statsState is the Monitor-side anchor of the subscriptions.
+type statsState struct {
+	statsMu sync.Mutex
+	stats   atomic.Pointer[[]*GroupStats]
+}

@@ -1,0 +1,256 @@
+package incremental
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func statsSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema("R", relation.Attr("AC"), relation.Attr("CT"), relation.Attr("NM"))
+}
+
+// drainMap drains the subscription into a map keyed by (pair, xkey) for
+// order-independent assertions.
+func drainMap(h *GroupStats) map[[2]string]GroupDelta {
+	out := make(map[[2]string]GroupDelta)
+	for _, d := range h.Drain(nil) {
+		out[[2]string{h.Pair(d.Pair).A, d.XKey}] = d
+	}
+	return out
+}
+
+func TestTrackGroupsFoldsExistingInstance(t *testing.T) {
+	schema := statsSchema(t)
+	rel := relation.New(schema)
+	rel.MustInsert("908", "MH", "Mike")
+	rel.MustInsert("908", "MH", "Rick")
+	rel.MustInsert("908", "NYC", "Eve")
+	rel.MustInsert("212", "NYC", "Joe")
+	m, err := Load(rel, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.TrackGroups([]AttrPair{{X: []string{"AC"}, A: "CT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := drainMap(h)
+	if len(ds) != 2 {
+		t.Fatalf("drained %d deltas, want 2 groups", len(ds))
+	}
+	k908 := relation.EncodeKey([]relation.Value{"908"})
+	d := ds[[2]string{"CT", k908}]
+	if d.Support != 3 || d.Distinct != 2 {
+		t.Errorf("908 group = support %d distinct %d, want 3/2", d.Support, d.Distinct)
+	}
+	st, ok := h.Stat(0, k908)
+	if !ok || st.Top != "MH" || st.TopCount != 2 {
+		t.Errorf("Stat(908) = %+v ok=%v, want top MH count 2", st, ok)
+	}
+	k212 := relation.EncodeKey([]relation.Value{"212"})
+	d = ds[[2]string{"CT", k212}]
+	if d.Support != 1 || d.Distinct != 1 || d.Top != "NYC" || d.TopCount != 1 {
+		t.Errorf("212 group = %+v, want support 1, top NYC", d)
+	}
+	// A second drain with no mutations is empty.
+	if more := h.Drain(nil); len(more) != 0 {
+		t.Errorf("idle drain returned %d deltas", len(more))
+	}
+}
+
+func TestGroupDeltasFollowMutations(t *testing.T) {
+	schema := statsSchema(t)
+	m, err := New(schema, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.TrackGroups([]AttrPair{{X: []string{"AC"}, A: "CT"}, {X: []string{"CT"}, A: "AC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Drain(nil)
+
+	key, _, err := m.Insert(relation.Tuple{"908", "MH", "Mike"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := drainMap(h)
+	k908 := relation.EncodeKey([]relation.Value{"908"})
+	if d := ds[[2]string{"CT", k908}]; d.Support != 1 || d.Distinct != 1 || d.Top != "MH" {
+		t.Errorf("after insert: %+v", d)
+	}
+	if len(ds) != 2 {
+		t.Errorf("insert touched %d groups, want one per pair", len(ds))
+	}
+
+	// Updating NM touches neither pair: no deltas at all.
+	if _, err := m.Update(key, "NM", "Michael"); err != nil {
+		t.Fatal(err)
+	}
+	if ds := h.Drain(nil); len(ds) != 0 {
+		t.Errorf("NM update produced %d deltas, want 0", len(ds))
+	}
+
+	// Updating CT touches both pairs: the AC group's distribution moves,
+	// the old CT group dies and a new one is born.
+	if _, err := m.Update(key, "CT", "NYC"); err != nil {
+		t.Fatal(err)
+	}
+	ds = drainMap(h)
+	if d := ds[[2]string{"CT", k908}]; d.Support != 1 || d.Top != "NYC" {
+		t.Errorf("AC group after CT update: %+v", d)
+	}
+	kMH := relation.EncodeKey([]relation.Value{"MH"})
+	if d, ok := ds[[2]string{"AC", kMH}]; !ok || d.Support != 0 {
+		t.Errorf("old CT group should be reported destroyed, got %+v (ok=%v)", d, ok)
+	}
+	kNYC := relation.EncodeKey([]relation.Value{"NYC"})
+	if d := ds[[2]string{"AC", kNYC}]; d.Support != 1 || d.Top != "908" {
+		t.Errorf("new CT group: %+v", d)
+	}
+
+	// Deleting the only member destroys every group.
+	if _, err := m.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	ds = drainMap(h)
+	if d := ds[[2]string{"CT", k908}]; d.Support != 0 || d.X != nil {
+		t.Errorf("destroyed group delta = %+v, want Support 0", d)
+	}
+	if _, ok := h.Stat(0, k908); ok {
+		t.Error("Stat on a destroyed group must miss")
+	}
+}
+
+func TestGroupStatsBatchCoalesces(t *testing.T) {
+	schema := statsSchema(t)
+	m, err := New(schema, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.TrackGroups([]AttrPair{{X: []string{"AC"}, A: "CT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs ChangeSet
+	for i := 0; i < 100; i++ {
+		cs.Insert(relation.Tuple{"908", "MH", "x"})
+	}
+	if _, err := m.Apply(&cs); err != nil {
+		t.Fatal(err)
+	}
+	ds := h.Drain(nil)
+	if len(ds) != 1 {
+		t.Fatalf("100 same-group ops drained as %d deltas, want 1", len(ds))
+	}
+	if ds[0].Support != 100 || ds[0].Distinct != 1 || ds[0].TopCount != 100 {
+		t.Errorf("coalesced delta = %+v", ds[0])
+	}
+}
+
+// TestStatGroupDistribution drives the inline-slot/spill-map layout
+// through adds and removes, checking distinct and top at every step.
+func TestStatGroupDistribution(t *testing.T) {
+	g := &statGroup{}
+	check := func(wantDistinct int, wantTop relation.Value, wantN int) {
+		t.Helper()
+		if d := g.distinct(); d != wantDistinct {
+			t.Fatalf("distinct = %d, want %d", d, wantDistinct)
+		}
+		top, n := g.top()
+		if top != wantTop || n != wantN {
+			t.Fatalf("top = %q/%d, want %q/%d", top, n, wantTop, wantN)
+		}
+	}
+	g.add("b")
+	g.add("b")
+	check(1, "b", 2)
+	g.add("a")
+	check(2, "b", 2) // counts beat values
+	g.add("a")
+	check(2, "a", 2) // tie broken toward the smaller value
+	g.remove("b")
+	g.remove("b") // inline slot dies, spill survives
+	check(1, "a", 2)
+	g.add("b") // dead slot's value re-enters via the spill map
+	check(2, "a", 2)
+	g.remove("a")
+	g.remove("a")
+	check(1, "b", 1)
+	if g.size != 1 {
+		t.Fatalf("size = %d, want 1", g.size)
+	}
+	g.remove("b")
+	check(0, "", 0)
+}
+
+func TestTrackGroupsValidation(t *testing.T) {
+	m, err := New(statsSchema(t), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TrackGroups([]AttrPair{{X: []string{"nope"}, A: "CT"}}); err == nil {
+		t.Error("unknown X attribute must be rejected")
+	}
+	if _, err := m.TrackGroups([]AttrPair{{X: []string{"AC"}, A: "nope"}}); err == nil {
+		t.Error("unknown A attribute must be rejected")
+	}
+}
+
+func TestUntrackGroupsStopsUpdates(t *testing.T) {
+	m, err := New(statsSchema(t), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.TrackGroups([]AttrPair{{X: []string{"AC"}, A: "CT"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := m.TrackGroups([]AttrPair{{X: []string{"CT"}, A: "AC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.UntrackGroups(h)
+	if _, _, err := m.Insert(relation.Tuple{"908", "MH", "Mike"}); err != nil {
+		t.Fatal(err)
+	}
+	if ds := h.Drain(nil); len(ds) != 0 {
+		t.Errorf("untracked subscription drained %d deltas", len(ds))
+	}
+	if ds := h2.Drain(nil); len(ds) != 1 {
+		t.Errorf("surviving subscription drained %d deltas, want 1", len(ds))
+	}
+}
+
+// TestMultiAttrPairKeys: a two-attribute X routes and keys correctly.
+func TestMultiAttrPairKeys(t *testing.T) {
+	m, err := New(statsSchema(t), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.TrackGroups([]AttrPair{{X: []string{"AC", "CT"}, A: "NM"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nm := range []string{"Mike", "Rick"} {
+		if _, _, err := m.Insert(relation.Tuple{"908", "MH", nm}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := h.Drain(nil)
+	if len(ds) != 1 {
+		t.Fatalf("drained %d deltas, want 1", len(ds))
+	}
+	want := relation.EncodeKey([]relation.Value{"908", "MH"})
+	if ds[0].XKey != want || ds[0].Support != 2 || ds[0].Distinct != 2 {
+		t.Errorf("delta = %+v, want key %q support 2 distinct 2", ds[0], want)
+	}
+	xs := append([]relation.Value(nil), ds[0].X...)
+	sort.Strings(xs)
+	if len(xs) != 2 || xs[0] != "908" || xs[1] != "MH" {
+		t.Errorf("X = %v", ds[0].X)
+	}
+}

@@ -8,7 +8,23 @@ import (
 
 // ReadCSV loads a relation from CSV. The first record is the header and
 // becomes the schema's attribute names (all with unbounded domains).
+// One-shot loads (detect once, exit) go through here; long-lived
+// consumers that want the load deduplicated into a shareable value pool
+// use ReadCSVInterned.
 func ReadCSV(r io.Reader, schemaName string) (*Relation, error) {
+	return ReadCSVInterned(r, schemaName, nil)
+}
+
+// ReadCSVInterned is ReadCSV with a caller-supplied value pool: every
+// field is canonicalized through in, so categorical data ("NYC" in a
+// million rows) lands as one backing copy per distinct value and the
+// returned relation shares storage with any other consumer of the same
+// pool (pass the pool on to MonitorOptions.Intern and a seed load never
+// duplicates the serving pool's strings). The per-cell pool lookup is a
+// deliberate tax on load time — worth it for a serving node's resident
+// state, not for a one-shot scan, which is why ReadCSV skips it. A nil
+// pool disables interning. The pool only grows; see Interner.
+func ReadCSVInterned(r io.Reader, schemaName string, in *Interner) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
@@ -35,7 +51,11 @@ func ReadCSV(r io.Reader, schemaName string) (*Relation, error) {
 		if len(rec) != len(header) {
 			return nil, fmt.Errorf("relation: CSV line %d: expected %d fields, got %d", line, len(header), len(rec))
 		}
-		if err := rel.Insert(Tuple(rec)); err != nil {
+		t := Tuple(rec)
+		if in != nil {
+			t = in.InternTuple(t)
+		}
+		if err := rel.Insert(t); err != nil {
 			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
 		}
 	}

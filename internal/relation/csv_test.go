@@ -54,3 +54,37 @@ func TestReadCSVEmptyRelation(t *testing.T) {
 		t.Errorf("Len = %d, want 0", r.Len())
 	}
 }
+
+// TestReadCSVInterned: the CSV reader deduplicates values through the
+// pool, and a shared pool canonicalizes across consumers.
+func TestReadCSVInterned(t *testing.T) {
+	csv := "CT,ST\nNYC,NY\nNYC,NY\nALB,NY\n"
+	pool := NewInterner()
+	rel, err := ReadCSVInterned(strings.NewReader(csv), "R", pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 3 {
+		t.Fatalf("len = %d", rel.Len())
+	}
+	// Three distinct values across six cells.
+	if pool.Len() != 3 {
+		t.Errorf("pool holds %d values, want 3 (NYC, NY, ALB)", pool.Len())
+	}
+	// The pooled copy is canonical: a fresh equal string interns to the
+	// relation's backing copy without growing the pool.
+	if got := pool.Intern("NYC"); got != rel.Tuples[0][0] {
+		t.Errorf("pool returned %q, want the canonical copy", got)
+	}
+	if pool.Len() != 3 {
+		t.Errorf("pool grew to %d on a hit", pool.Len())
+	}
+	// Plain ReadCSV loads the same values (without touching any pool).
+	rel2, err := ReadCSV(strings.NewReader(csv), "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel2.Tuples[0].Equal(rel.Tuples[0]) {
+		t.Error("interned read changed values")
+	}
+}

@@ -24,6 +24,18 @@ func Hash(v Value) uint32 {
 	return h
 }
 
+// HashBytes is Hash over a byte slice — same function, same values, so a
+// key encoded into stack scratch can be routed to a shard without the
+// string conversion a Hash call would allocate.
+func HashBytes(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= 16777619
+	}
+	return h
+}
+
 // sym is one interned value with its cached hash.
 type sym struct {
 	v Value
