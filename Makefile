@@ -2,18 +2,19 @@ GO ?= go
 
 # The CI bench-gate workload: small, fixed, a few minutes. One
 # experiment per layer — batch detection (9a), strategy comparison
-# (merge), the durable serving path (e9), batched ingest (e10) and
-# streaming discovery (e11) — at -quick sizes, best-of-5 so a single
-# scheduler hiccup does not fail the gate. ci.yml and the checked-in
-# baseline both go through these targets, so the flags live only here.
-BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11
+# (merge), the durable serving path (e9), batched ingest (e10),
+# streaming discovery (e11) and WAL shipping (e12) — at -quick sizes,
+# best-of-5 so a single scheduler hiccup does not fail the gate. ci.yml
+# and the checked-in baseline both go through these targets, so the
+# flags live only here.
+BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12
 # Relative tolerance plus an absolute ns/op floor: only millisecond-scale
 # drift can fail the gate; µs-scale series (single append, fsync) stay
 # informational because 30% of a microsecond is scheduler jitter.
 BENCH_TOLERANCE = 0.30
 BENCH_FLOOR_NS = 100000
 
-.PHONY: test race race-batch race-discovery bench-current bench-baseline bench-batch bench-discovery bench-check
+.PHONY: test race race-batch race-discovery race-failover bench-current bench-baseline bench-batch bench-discovery bench-replication bench-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -32,6 +33,13 @@ race-batch:
 # concurrent-writers refresh loop.
 race-discovery:
 	$(GO) test -race -count 2 -run 'TestMinerMatchesDiscoverOracle|TestMinerConcurrentRefresh' ./internal/discovery/
+
+# The failover property test under the race detector, twice: kill the
+# primary at a random record boundary, promote the follower, cross-check
+# the promoted state against the single-node oracle — plus the
+# concurrent-stream follower test. CFD_SOAK scales the rounds (nightly).
+race-failover:
+	$(GO) test -race -count 2 -run 'TestFailoverPromotedMatchesOracle|TestFollowerConcurrentStream' ./internal/incremental/
 
 # One raw run of the gate workload, for eyeballing.
 bench-current:
@@ -58,6 +66,11 @@ bench-batch:
 # incremental re-score after a 1K-op ChangeSet vs full re-mine.
 bench-discovery:
 	$(GO) run ./cmd/cfdbench -quick -only e11
+
+# Quick local iteration on the WAL-shipping series only (E12): follower
+# catch-up (local snapshot + tail + ship the gap) vs cold CSV re-seed.
+bench-replication:
+	$(GO) run ./cmd/cfdbench -quick -only e12
 
 # The gate itself: rerun the workload (min of 2 runs, a 3rd on
 # failure), fail on a >30% ns/op regression of at least 100µs absolute,

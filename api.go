@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/cind"
@@ -209,7 +210,8 @@ type (
 	// MonitorOptions tunes the monitor: lock-shard count, plus the
 	// durability knobs — Durable (the WAL directory; non-empty enables
 	// write-ahead journaling and snapshot/log recovery), Fsync (sync every
-	// record) and SnapshotEvery (background snapshot cadence in records).
+	// record), SnapshotEvery (background snapshot cadence in records) and
+	// RetainSegments (closed segments kept for WAL shipping).
 	MonitorOptions = incremental.Options
 	// MonitorJournalStats describes a monitor's durable state (generation,
 	// records since last snapshot, recovery provenance).
@@ -241,6 +243,66 @@ const (
 	OpDelete = incremental.OpDelete
 	OpUpdate = incremental.OpUpdate
 )
+
+// WAL segment shipping and hot standby (see the "Replication" section of
+// the package documentation): a durable Monitor exposes its snapshot and
+// log segments as record-aligned chunks, and a MonitorFollower tails
+// them into its own WAL directory as a read-only replica that can be
+// promoted to a writable primary at the record boundary it has applied.
+// cfdserve serves the primary side as GET /wal/snapshot and
+// GET /wal/stream, and runs the follower side with -follow.
+type (
+	// MonitorFollower is a hot standby: a read-only Monitor tailing a
+	// primary's WAL stream. See FollowMonitor.
+	MonitorFollower = incremental.Follower
+	// FollowOptions configures a MonitorFollower: the chunk source, poll
+	// interval, chunk size, auto-promotion timeout, and resync.
+	FollowOptions = incremental.FollowOptions
+	// ReplicaStatus is a follower's replication position: applied
+	// cursor, primary position, lag, last error.
+	ReplicaStatus = incremental.ReplicaStatus
+	// WALShipChunk is one record-aligned slice of a primary's WAL
+	// stream, as served by Monitor.WALChunk.
+	WALShipChunk = incremental.ShipChunk
+	// WALChunkSource abstracts a primary's shipping surface (snapshot +
+	// chunks); implemented over HTTP by cfdserve's follow mode and
+	// in-process by NewMonitorChunkSource.
+	WALChunkSource = incremental.ChunkSource
+)
+
+// Replication errors.
+var (
+	// ErrMonitorReadOnly reports a mutation against a following monitor;
+	// promote it first (MonitorFollower.Promote, POST /promote).
+	ErrMonitorReadOnly = incremental.ErrReadOnly
+	// ErrWALSegmentGone reports a shipping cursor below the primary's
+	// retention window (MonitorOptions.RetainSegments); the follower
+	// must be rebuilt with FollowOptions.Resync.
+	ErrWALSegmentGone = incremental.ErrSegmentGone
+	// ErrPrimaryResponded marks a WALChunkSource error where the primary
+	// was reached and answered (an HTTP error status): proof of
+	// liveness. Sources should wrap such errors with it so the follower
+	// retries without arming auto-promotion.
+	ErrPrimaryResponded = incremental.ErrPrimaryResponded
+)
+
+// FollowMonitor boots a hot-standby follower of the primary behind
+// FollowOptions.Source: local WAL state (opts.Durable, required) is
+// recovered and resumed when present, otherwise the primary's current
+// snapshot seeds the directory. The returned follower's Monitor serves
+// reads (violations, stats, discovery) and refuses writes until
+// Promote; drive replication with Run (long-lived tail loop) or Sync
+// (one catch-up pass).
+func FollowMonitor(ctx context.Context, sigma []*CFD, opts MonitorOptions, fo FollowOptions) (*MonitorFollower, error) {
+	return incremental.NewFollower(ctx, sigma, opts, fo)
+}
+
+// NewMonitorChunkSource exposes a local durable monitor's WAL stream as
+// a WALChunkSource — the in-process form of the shipping protocol, for
+// tests, benchmarks and same-process replicas.
+func NewMonitorChunkSource(m *Monitor) WALChunkSource {
+	return incremental.NewMonitorSource(m)
+}
 
 // NewMonitor builds an empty incremental monitor for the schema and Σ;
 // feed it with Monitor.Insert. With opts.Durable set, every mutation is

@@ -17,7 +17,11 @@
 // writers, and the one-fsync-per-batch payoff against single fsynced
 // ops); e11 measures streaming discovery (incremental re-score of the
 // mined CFD set after a 1K-op ChangeSet vs a full re-mine of the
-// instance; acceptance is a ≥20× speedup at MaxLHS = 1).
+// instance; acceptance is a ≥20× speedup at MaxLHS = 1); e12 measures
+// WAL segment shipping (a restarted follower's catch-up — local
+// snapshot + log tail recovery plus shipping the records it missed — vs
+// the cold CSV re-seed a standby-less shard pays; acceptance is a ≥5×
+// speedup at 100K tuples).
 //
 // With -json the tables are suppressed and a single JSON array of
 // measurements is written to stdout, so a per-PR perf trajectory
@@ -26,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,7 +54,7 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
-		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11)")
+		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11,e12)")
 		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 		repeat  = flag.Int("repeat", 1, "measure each series this many times and keep the fastest")
 	)
@@ -92,6 +97,9 @@ func main() {
 	}
 	if want("e11") {
 		b.e11()
+	}
+	if want("e12") {
+		b.e12()
 	}
 	if b.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -760,4 +768,157 @@ func (b *bench) e11() {
 	b.row("incremental re-score, 1K-op ChangeSet", ms(rescore)+" ms")
 	b.row("materialize mined set", ms(mined)+" ms")
 	b.row("re-score speedup", fmt.Sprintf("%.1fx", float64(full.d)/float64(rescore.d)))
+}
+
+// e12: WAL segment shipping — the hot standby's catch-up economics.
+// Without a standby, a failed shard re-seeds from the CSV: parse, build,
+// re-evaluate Σ per tuple. With one, the replacement node recovers its
+// own snapshot + log tail from disk and ships only the records it
+// missed while down. Acceptance: catch-up ≥ 5× faster than the CSV
+// re-seed at 100K tuples (a 1K-record gap).
+func (b *bench) e12() {
+	sz := 100000
+	if b.quick {
+		sz = 20000
+	}
+	data := b.data(sz, 0.05)
+	var sigma []*core.CFD
+	for i, tpl := range []gen.Template{gen.ZipToState, gen.ZipCityToState, gen.AreaCodeToState} {
+		cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+			Template: tpl, TabSize: 500, ConstPct: 1.0, Seed: int64(3 + i),
+		})
+		if err != nil {
+			b.fatal(err)
+		}
+		sigma = append(sigma, cfd)
+	}
+	dir, err := os.MkdirTemp("", "cfdbench-e12-")
+	if err != nil {
+		b.fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+
+	// Baseline: the standby-less failover path — re-seed from the CSV.
+	csvPath := filepath.Join(dir, "data.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		b.fatal(err)
+	}
+	if err := relation.WriteCSV(f, data.Dirty); err != nil {
+		b.fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.fatal(err)
+	}
+	csvLoad := b.bestCold(func() {
+		f, err := os.Open(csvPath)
+		if err != nil {
+			b.fatal(err)
+		}
+		pool := relation.NewInterner()
+		rel, err := relation.ReadCSVInterned(f, "R", pool)
+		f.Close()
+		if err != nil {
+			b.fatal(err)
+		}
+		if _, err := incremental.Load(rel, sigma, incremental.Options{Intern: pool}); err != nil {
+			b.fatal(err)
+		}
+	})
+	b.record(fmt.Sprintf("e12/SZ=%d/coldstart-csv", sz), csvLoad)
+
+	// The primary, retaining closed segments for its follower.
+	p, err := incremental.Load(data.Dirty, sigma, incremental.Options{
+		Durable: filepath.Join(dir, "primary"), RetainSegments: 4,
+	})
+	if err != nil {
+		b.fatal(err)
+	}
+	src := incremental.NewMonitorSource(p)
+	fdir := filepath.Join(dir, "follower")
+
+	// Initial sync: ship the full snapshot and replay it locally — what
+	// a brand-new standby pays once, reported for context.
+	var fol *incremental.Follower
+	initial := b.time(func() {
+		var err error
+		fol, err = incremental.NewFollower(ctx, sigma, incremental.Options{Durable: fdir},
+			incremental.FollowOptions{Source: src})
+		if err != nil {
+			b.fatal(err)
+		}
+		if _, err := fol.Sync(ctx); err != nil {
+			b.fatal(err)
+		}
+		if fol.Monitor().Len() != sz {
+			b.fatal(fmt.Errorf("e12: initial sync got %d tuples, want %d", fol.Monitor().Len(), sz))
+		}
+	})
+	b.record(fmt.Sprintf("e12/SZ=%d/follower-initial-sync", sz), initial)
+
+	// Catch-up: the standby restarts after missing tailN records. Each
+	// repeat kills the follower, advances the primary, and times local
+	// recovery + shipping the gap. Same cold-heap discipline as the CSV
+	// baseline.
+	const tailN = 1000
+	pass := 0
+	advance := func(n int) {
+		pass++
+		vals := [2]string{fmt.Sprintf("SAA%d", pass), fmt.Sprintf("SBB%d", pass)}
+		for i := 0; i < n; i++ {
+			if _, err := p.Update(int64(i%sz), "CT", vals[i%2]); err != nil {
+				b.fatal(err)
+			}
+		}
+	}
+	catchup := measurement{d: time.Duration(1<<63 - 1)}
+	for r := 0; r < b.repeat || r == 0; r++ {
+		if err := fol.Close(); err != nil {
+			b.fatal(err)
+		}
+		advance(tailN)
+		runtime.GC()
+		run := b.time(func() {
+			var err error
+			fol, err = incremental.NewFollower(ctx, sigma, incremental.Options{Durable: fdir},
+				incremental.FollowOptions{Source: src})
+			if err != nil {
+				b.fatal(err)
+			}
+			applied, err := fol.Sync(ctx)
+			if err != nil {
+				b.fatal(err)
+			}
+			if applied != tailN || fol.Monitor().Len() != sz {
+				b.fatal(fmt.Errorf("e12: catch-up applied %d records (len %d), want %d", applied, fol.Monitor().Len(), tailN))
+			}
+		})
+		if run.d < catchup.d {
+			catchup = run
+		}
+	}
+	b.record(fmt.Sprintf("e12/SZ=%d/follower-catchup", sz), catchup)
+
+	// Promotion: the failover flip itself.
+	promote := b.time(func() {
+		if err := fol.Promote(); err != nil {
+			b.fatal(err)
+		}
+	})
+	b.record(fmt.Sprintf("e12/SZ=%d/promote", sz), promote)
+	if err := fol.Monitor().Close(); err != nil {
+		b.fatal(err)
+	}
+	fol.Close()
+	if err := p.Close(); err != nil {
+		b.fatal(err)
+	}
+
+	b.header(fmt.Sprintf("E12: WAL shipping failover (SZ = %d, 3 CFDs, %d-record gap)", sz, tailN), "metric", "value")
+	b.row("cold start: CSV re-seed", ms(csvLoad)+" ms")
+	b.row("follower initial sync (snapshot ship)", ms(initial)+" ms")
+	b.row("follower catch-up (local recovery + tail ship)", ms(catchup)+" ms")
+	b.row("promotion flip", fmt.Sprintf("%.1f µs", float64(promote.d.Nanoseconds())/1e3))
+	b.row("catch-up vs re-seed", fmt.Sprintf("%.1fx", float64(csvLoad.d)/float64(catchup.d)))
 }

@@ -143,6 +143,79 @@ func TestReadResults(t *testing.T) {
 	}
 }
 
+// TestDiffVanishedSeries pins the gate's behavior when a series
+// disappears from the current run (a deleted or renamed benchmark): it
+// fails the gate, renders with an em-dash current cell and no delta, and
+// keeps counting alongside genuine slowdowns.
+func TestDiffVanishedSeries(t *testing.T) {
+	baseline := []result{
+		{Name: "kept", NsOp: 10_000_000},
+		{Name: "e12/SZ=20000/follower-catchup", NsOp: 20_000_000},
+	}
+	current := []result{{Name: "kept", NsOp: 10_000_000}}
+	rep := diff(baseline, current, 0.30, 100_000)
+	if rep.Regressions != 1 || !rep.Regressed() {
+		t.Fatalf("vanished series: Regressions = %d, want 1", rep.Regressions)
+	}
+	md := rep.Markdown()
+	want := "| e12/SZ=20000/follower-catchup | 20.0ms | — | — | MISSING |"
+	if !strings.Contains(md, want) {
+		t.Errorf("markdown missing vanished row %q:\n%s", want, md)
+	}
+	if !strings.Contains(md, "**1 series regressed.**") {
+		t.Errorf("vanished series did not reach the verdict:\n%s", md)
+	}
+	// A vanished series cannot be absorbed by min-merging more runs: the
+	// second run mentioning it heals the gate, as resuming the series
+	// should.
+	rep = diff(baseline, minMerge(current, baseline), 0.30, 100_000)
+	if rep.Regressed() {
+		t.Error("series present in one of the merged runs still failed the gate")
+	}
+}
+
+// TestReadResultsMalformed walks the malformed-input space: truncated
+// JSON, a JSON value of the wrong shape, and an empty file must all
+// surface errors naming the file — never a silent empty series list the
+// diff would then report as all-MISSING.
+func TestReadResultsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"truncated.json": `[{"name": "x", "ns_per_op": 42`,
+		"object.json":    `{"name": "x", "ns_per_op": 42}`,
+		"scalar.json":    `42`,
+		"empty.json":     ``,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := readResults(path)
+		if err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: error %q does not name the file", name, err)
+		}
+	}
+	// A JSON null parses to an empty-but-valid run; the diff layer then
+	// reports every baseline series as vanished rather than erroring.
+	path := filepath.Join(dir, "null.json")
+	if err := os.WriteFile(path, []byte("null"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := readResults(path)
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("null run: %v, %d series", err, len(rs))
+	}
+	rep := diff([]result{{Name: "a", NsOp: 1}}, rs, 0.30, 0)
+	if rep.Regressions != 1 {
+		t.Errorf("null run vs baseline: Regressions = %d, want 1", rep.Regressions)
+	}
+}
+
 func TestFmtNs(t *testing.T) {
 	cases := map[int64]string{
 		999:           "999ns",

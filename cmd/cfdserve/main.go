@@ -9,6 +9,8 @@
 //	cfdserve -data tax.csv -cfds cfds.txt                # line loop on stdin
 //	cfdserve -data tax.csv -cfds cfds.txt -http :8080    # HTTP API
 //	cfdserve -data tax.csv -cfds cfds.txt -http :8080 -wal-dir /var/lib/cfd
+//	cfdserve -cfds cfds.txt -http :8081 -wal-dir /var/lib/cfd2 \
+//	         -follow http://primary:8080                 # hot standby
 //
 // With -wal-dir the node is durable: every accepted change is appended to
 // a write-ahead log before it is applied, background snapshots bound the
@@ -17,6 +19,23 @@
 // shut the server down gracefully: in-flight HTTP responses are flushed
 // (http.Server.Shutdown), a final snapshot is taken and the journal is
 // synced before the process exits.
+//
+// A durable node ships its WAL: GET /wal/snapshot streams the newest
+// snapshot image and GET /wal/stream serves record-aligned segment
+// chunks — closed segments (keep some with -retain-segments so a
+// briefly-disconnected follower can resume instead of resyncing) and the
+// flushed live tail. With -follow <primary-url> the node runs as a hot
+// standby instead: it tails the primary's stream into its own -wal-dir,
+// serves /violations, /stats and /discover from the replicated state,
+// refuses mutations (409 with an explanatory error), and reports its
+// replication lag under "replica" in /stats. POST /promote — or
+// -promote-after, which does it automatically once the primary has been
+// unreachable for that long — flips the standby into a writable primary
+// at the exact record boundary it has applied; a follower restart
+// resumes from its local snapshot + log tail, and a follower whose
+// cursor fell below the primary's retention window resyncs from the
+// current snapshot automatically. Follow mode requires -http (the line
+// protocol cannot mutate a replica anyway); -data is not used.
 //
 // Line protocol (one command per line):
 //
@@ -43,9 +62,12 @@
 //	               {"op":"update","key":3,"attr":"CT","value":"NYC"},
 //	               {"op":"delete","key":4}, ...]}    → {"keys": [K,...], "delta": {...}}
 //	POST /snapshot                                   → {"generation": N} (admin; durable mode)
+//	POST /promote                                    → {"promoted": true, ...} (follow mode)
 //	GET  /violations                                 → the live set
-//	GET  /stats                                      → {"tuples":N,...,"wal":{...}}
+//	GET  /stats                                      → {"tuples":N,...,"wal":{...},"replica":{...}}
 //	GET  /discover                                   → the streaming miner's current CFD set
+//	GET  /wal/snapshot                               → snapshot image (binary; X-Wal-Seq header)
+//	GET  /wal/stream?from=SEQ,OFF[&max=BYTES]        → framed WAL records (binary; X-Wal-* headers)
 //
 // GET /discover serves streaming CFD discovery over the live instance:
 // the first call attaches a miner to the monitor's group indexes (one
@@ -79,6 +101,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -88,7 +111,7 @@ import (
 
 func main() {
 	var (
-		dataPath     = flag.String("data", "", "CSV instance to monitor (required)")
+		dataPath     = flag.String("data", "", "CSV instance to monitor (required, except in follow mode)")
 		cfdPath      = flag.String("cfds", "", "CFD file in text notation (required)")
 		httpAddr     = flag.String("http", "", "serve the HTTP API on this address instead of the line protocol")
 		shards       = flag.Int("shards", 0, "lock shards per index (0 = default)")
@@ -96,30 +119,54 @@ func main() {
 		fsync        = flag.Bool("fsync", false, "fsync the WAL after every record (acknowledged writes survive OS crash; slower)")
 		snapRecords  = flag.Int("snapshot-records", 10000, "roll a background snapshot after this many WAL records (0 = off)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "also snapshot on this wall-clock period, e.g. 5m (0 = off)")
+		retainSegs   = flag.Int("retain-segments", 2, "durable mode: closed WAL segments kept behind the current one, so a briefly-disconnected follower resumes its cursor instead of resyncing (0 = none)")
+		follow       = flag.String("follow", "", "run as a hot standby of this primary URL, tailing its WAL into -wal-dir (requires -http and -wal-dir; -data is not used)")
+		followPoll   = flag.Duration("follow-poll", 200*time.Millisecond, "follow mode: idle wait between tail polls once caught up")
+		promoteAfter = flag.Duration("promote-after", 0, "follow mode: auto-promote to a writable primary once the primary has been unreachable this long (0 = manual POST /promote)")
 	)
 	flag.Parse()
+	opts := repro.MonitorOptions{
+		Shards:         *shards,
+		Durable:        *walDir,
+		Fsync:          *fsync,
+		SnapshotEvery:  *snapRecords,
+		RetainSegments: *retainSegs,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *follow != "" {
+		if *cfdPath == "" || *walDir == "" || *httpAddr == "" {
+			fmt.Fprintln(os.Stderr, "cfdserve: -follow requires -cfds, -wal-dir and -http")
+			os.Exit(2)
+		}
+		fo := repro.FollowOptions{
+			Source:       newHTTPSource(strings.TrimRight(*follow, "/")),
+			PollInterval: *followPoll,
+			PromoteAfter: *promoteAfter,
+		}
+		if err := runFollower(ctx, *cfdPath, *httpAddr, opts, fo); err != nil {
+			fmt.Fprintln(os.Stderr, "cfdserve:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	if *dataPath == "" || *cfdPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	srv, err := newServer(*dataPath, *cfdPath, repro.MonitorOptions{
-		Shards:        *shards,
-		Durable:       *walDir,
-		Fsync:         *fsync,
-		SnapshotEvery: *snapRecords,
-	})
+	srv, err := newServer(*dataPath, *cfdPath, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cfdserve:", err)
 		os.Exit(2)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if *snapInterval > 0 && srv.m.JournalStats().Durable {
+	if *snapInterval > 0 && srv.mon().JournalStats().Durable {
 		go srv.snapshotLoop(ctx, *snapInterval)
 	}
 	source := "loaded from CSV"
-	if srv.m.Recovered() {
-		source = fmt.Sprintf("recovered from %s (generation %d)", *walDir, srv.m.JournalStats().Generation)
+	if srv.mon().Recovered() {
+		source = fmt.Sprintf("recovered from %s (generation %d)", *walDir, srv.mon().JournalStats().Generation)
 	}
 
 	if *httpAddr != "" {
@@ -129,7 +176,7 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("monitoring %d tuples against %d CFDs on %s (%s)\n",
-			srv.m.Len(), len(srv.m.Sigma()), lis.Addr(), source)
+			srv.mon().Len(), len(srv.mon().Sigma()), lis.Addr(), source)
 		err = srv.serveHTTP(ctx, lis)
 		if cerr := srv.close(); err == nil {
 			err = cerr
@@ -141,7 +188,7 @@ func main() {
 		return
 	}
 	fmt.Printf("monitoring %d tuples against %d CFDs (%s); type 'help' for commands\n",
-		srv.m.Len(), len(srv.m.Sigma()), source)
+		srv.mon().Len(), len(srv.mon().Sigma()), source)
 	done := make(chan error, 1)
 	go func() { done <- srv.lineLoop(os.Stdin, os.Stdout) }()
 	var loopErr error
@@ -159,8 +206,101 @@ func main() {
 	}
 }
 
+// runFollower is follow mode: boot (or resume) the standby, serve the
+// read API, and supervise the tail loop until shutdown or promotion.
+// After a promotion the same process keeps serving — now accepting
+// writes — so failover does not even drop the listener.
+func runFollower(ctx context.Context, cfdPath, httpAddr string, opts repro.MonitorOptions, fo repro.FollowOptions) error {
+	sigma, err := cliutil.LoadCFDs(cfdPath)
+	if err != nil {
+		return err
+	}
+	f, err := repro.FollowMonitor(ctx, sigma, opts, fo)
+	if err != nil {
+		return err
+	}
+	srv := &server{}
+	srv.setReplica(f.Monitor(), f)
+	lis, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	st := f.Status()
+	fmt.Printf("following %s from generation %d offset %d; serving %d tuples read-only on %s\n",
+		fo.Source.(*httpSource).base, st.Seq, st.Offset, f.Monitor().Len(), lis.Addr())
+
+	fctx, fcancel := context.WithCancel(ctx)
+	defer fcancel()
+	tailDone := make(chan struct{})
+	go func() {
+		defer close(tailDone)
+		srv.followLoop(fctx, sigma, opts, fo)
+	}()
+	err = srv.serveHTTP(ctx, lis)
+	fcancel()
+	<-tailDone
+	if cerr := srv.closeReplica(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// followLoop supervises the tail loop: transient fetch errors retry
+// inside Run, a cursor below the primary's retention window rebuilds the
+// follower with a full resync (swapping the served monitor atomically),
+// and promotion — POST /promote or -promote-after — ends the loop with
+// the monitor writable.
+func (s *server) followLoop(ctx context.Context, sigma []*repro.CFD, opts repro.MonitorOptions, fo repro.FollowOptions) {
+	for {
+		f := s.fol()
+		err := f.Run(ctx)
+		if err == nil || ctx.Err() != nil {
+			if f.Status().Promoted {
+				fmt.Println("promoted: accepting writes at the last applied record boundary")
+			}
+			return
+		}
+		if errors.Is(err, repro.ErrWALSegmentGone) {
+			fmt.Fprintln(os.Stderr, "cfdserve: cursor below primary retention window; resyncing from snapshot")
+			// The old follower must close first: the rebuild wipes and
+			// re-locks the same local directory. Reads keep serving the
+			// (now frozen) old monitor while the resync retries — a
+			// transient failure must not leave a permanently dead
+			// replica behind a live listener.
+			f.Close()
+			resync := fo
+			resync.Resync = true
+			for {
+				nf, rerr := repro.FollowMonitor(ctx, sigma, opts, resync)
+				if rerr == nil {
+					s.setReplica(nf.Monitor(), nf)
+					break
+				}
+				fmt.Fprintln(os.Stderr, "cfdserve: resync failed (will retry):", rerr)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(5 * time.Second):
+				}
+			}
+			continue
+		}
+		// A local failure (full disk, poisoned journal): the tail loop
+		// cannot safely continue, and promotion onto broken storage is
+		// worse. Keep serving reads; the operator sees this and the
+		// replica block's last_error.
+		fmt.Fprintln(os.Stderr, "cfdserve: follower stopped:", err)
+		return
+	}
+}
+
 type server struct {
-	m *repro.Monitor
+	// mv is the served monitor and fv the follower driving it (nil on a
+	// primary). Both are atomic: a retention-window resync rebuilds the
+	// replica and swaps them under live request traffic.
+	mv atomic.Pointer[repro.Monitor]
+	fv atomic.Pointer[repro.MonitorFollower]
 
 	// The lazily-attached discovery miner behind GET /discover, cached
 	// per config: re-attaching costs a full scoring pass, so the one
@@ -170,18 +310,43 @@ type server struct {
 	minerCfg repro.DiscoveryConfig
 }
 
+// mon returns the currently served monitor.
+func (s *server) mon() *repro.Monitor { return s.mv.Load() }
+
+// fol returns the follower, nil on a primary.
+func (s *server) fol() *repro.MonitorFollower { return s.fv.Load() }
+
+// setReplica swaps in a (new) replicated monitor + follower pair. The
+// whole swap — miner retirement included — happens under mineMu, so a
+// concurrent /discover cannot read the old monitor and cache a fresh
+// miner against it after the swap (minerFor reads s.mon() under the
+// same mutex). The follower is stored before the monitor so a reader
+// that sees the new monitor also sees its follower.
+func (s *server) setReplica(m *repro.Monitor, f *repro.MonitorFollower) {
+	s.mineMu.Lock()
+	defer s.mineMu.Unlock()
+	if s.miner != nil {
+		s.miner.Close()
+		s.miner = nil
+	}
+	s.fv.Store(f)
+	s.mv.Store(m)
+}
+
 func newServer(dataPath, cfdPath string, opts repro.MonitorOptions) (*server, error) {
 	sigma, err := cliutil.LoadCFDs(cfdPath)
 	if err != nil {
 		return nil, err
 	}
+	srv := &server{}
 	// A durable node that has booted before carries its state (schema
 	// included) in the WAL directory — the CSV is not parsed, or even
 	// required to exist, after the first boot.
 	if opts.Durable != "" {
 		m, err := repro.OpenMonitor(sigma, opts)
 		if err == nil {
-			return &server{m: m}, nil
+			srv.mv.Store(m)
+			return srv, nil
 		}
 		if !errors.Is(err, repro.ErrNoMonitorState) {
 			return nil, err
@@ -199,7 +364,8 @@ func newServer(dataPath, cfdPath string, opts repro.MonitorOptions) (*server, er
 	if err != nil {
 		return nil, err
 	}
-	return &server{m: m}, nil
+	srv.mv.Store(m)
+	return srv, nil
 }
 
 // serveHTTP serves the API until ctx is cancelled, then shuts down
@@ -232,7 +398,7 @@ func (s *server) snapshotLoop(ctx context.Context, every time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			if err := s.m.ForceSnapshot(); err != nil {
+			if err := s.mon().ForceSnapshot(); err != nil {
 				fmt.Fprintln(os.Stderr, "cfdserve: periodic snapshot:", err)
 			}
 		}
@@ -240,14 +406,34 @@ func (s *server) snapshotLoop(ctx context.Context, every time.Duration) {
 }
 
 // close flushes the durable state on the way out: a final snapshot (so
-// the next boot recovers instantly) and a synced journal.
+// the next boot recovers instantly) and a synced journal. A still-
+// following replica must not roll its own generations, so only writable
+// monitors snapshot here.
 func (s *server) close() error {
-	if s.m.JournalStats().Durable {
-		if err := s.m.ForceSnapshot(); err != nil {
+	m := s.mon()
+	if m.JournalStats().Durable && !m.ReadOnly() {
+		if err := m.ForceSnapshot(); err != nil {
 			fmt.Fprintln(os.Stderr, "cfdserve: final snapshot:", err)
 		}
 	}
-	return s.m.Close()
+	return m.Close()
+}
+
+// closeReplica shuts follow mode down: the follower's journal closes
+// through Follower.Close while still following; a promoted monitor is a
+// primary now and takes the primary's close path (final snapshot).
+func (s *server) closeReplica() error {
+	f := s.fol()
+	if f == nil {
+		return s.close()
+	}
+	if f.Status().Promoted {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return s.close()
+	}
+	return f.Close()
 }
 
 // --- line protocol ---
@@ -346,7 +532,7 @@ func parseOp(verb, rest string, cs *repro.ChangeSet) error {
 // applyBatch runs the collected frame as one Monitor.Apply and reports
 // the inserted keys (in op order) plus the combined net delta.
 func (s *server) applyBatch(cs *repro.ChangeSet, out io.Writer) {
-	delta, err := s.m.Apply(cs)
+	delta, err := s.mon().Apply(cs)
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return
@@ -372,7 +558,7 @@ func (s *server) execLine(line string, out io.Writer) {
 			fmt.Fprintln(out, "error: bad CSV values:", err)
 			return
 		}
-		key, delta, err := s.m.Insert(repro.Tuple(rec))
+		key, delta, err := s.mon().Insert(repro.Tuple(rec))
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return
@@ -385,7 +571,7 @@ func (s *server) execLine(line string, out io.Writer) {
 			fmt.Fprintln(out, "error: bad key:", err)
 			return
 		}
-		delta, err := s.m.Delete(key)
+		delta, err := s.mon().Delete(key)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return
@@ -403,7 +589,7 @@ func (s *server) execLine(line string, out io.Writer) {
 			fmt.Fprintln(out, "error: bad key:", err)
 			return
 		}
-		delta, err := s.m.Update(key, parts[1], parts[2])
+		delta, err := s.mon().Update(key, parts[1], parts[2])
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return
@@ -411,7 +597,7 @@ func (s *server) execLine(line string, out io.Writer) {
 		fmt.Fprintln(out, "updated", key)
 		printDelta(out, delta)
 	case "violations":
-		st := s.m.Violations()
+		st := s.mon().Violations()
 		if st.Clean() {
 			fmt.Fprintln(out, "no violations")
 			return
@@ -430,20 +616,20 @@ func (s *server) execLine(line string, out io.Writer) {
 			}
 		}
 	case "satisfied":
-		fmt.Fprintln(out, s.m.Satisfied())
+		fmt.Fprintln(out, s.mon().Satisfied())
 	case "stats":
 		fmt.Fprintf(out, "tuples=%d violations=%d satisfied=%v\n",
-			s.m.Len(), s.m.ViolationCount(), s.m.Satisfied())
-		if js := s.m.JournalStats(); js.Durable {
+			s.mon().Len(), s.mon().ViolationCount(), s.mon().Satisfied())
+		if js := s.mon().JournalStats(); js.Durable {
 			fmt.Fprintf(out, "wal dir=%s generation=%d segment_records=%d recovered=%v\n",
 				js.Dir, js.Generation, js.SegmentRecords, js.Recovered)
 		}
 	case "snapshot":
-		if err := s.m.ForceSnapshot(); err != nil {
+		if err := s.mon().ForceSnapshot(); err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return
 		}
-		fmt.Fprintf(out, "snapshot done, generation %d\n", s.m.JournalStats().Generation)
+		fmt.Fprintf(out, "snapshot done, generation %d\n", s.mon().JournalStats().Generation)
 	default:
 		fmt.Fprintf(out, "error: unknown command %q (try 'help')\n", verb)
 	}
@@ -513,7 +699,7 @@ func (s *server) minerFor(cfg repro.DiscoveryConfig) (*repro.CFDMiner, error) {
 	if s.miner != nil && s.minerCfg == cfg {
 		return s.miner, nil
 	}
-	mi, err := repro.WatchDiscovery(s.m, cfg)
+	mi, err := repro.WatchDiscovery(s.mon(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -589,6 +775,16 @@ func (s *server) handler() http.Handler {
 		}
 		return true
 	}
+	// mutErr maps a refused mutation: a read-only replica is a conflict
+	// with the node's role (409 — promote it or write to the primary),
+	// anything else is the caller's bad request.
+	mutErr := func(w http.ResponseWriter, err error, fallback int) {
+		if errors.Is(err, repro.ErrMonitorReadOnly) {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeErr(w, fallback, err)
+	}
 
 	mux.HandleFunc("/insert", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -597,9 +793,9 @@ func (s *server) handler() http.Handler {
 		if !readBody(w, r, &req) {
 			return
 		}
-		key, delta, err := s.m.Insert(repro.Tuple(req.Values))
+		key, delta, err := s.mon().Insert(repro.Tuple(req.Values))
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			mutErr(w, err, http.StatusBadRequest)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"key": key, "delta": toJSONDelta(delta)})
@@ -611,9 +807,9 @@ func (s *server) handler() http.Handler {
 		if !readBody(w, r, &req) {
 			return
 		}
-		delta, err := s.m.Delete(req.Key)
+		delta, err := s.mon().Delete(req.Key)
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			mutErr(w, err, http.StatusNotFound)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"delta": toJSONDelta(delta)})
@@ -627,9 +823,9 @@ func (s *server) handler() http.Handler {
 		if !readBody(w, r, &req) {
 			return
 		}
-		delta, err := s.m.Update(req.Key, req.Attr, req.Value)
+		delta, err := s.mon().Update(req.Key, req.Attr, req.Value)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			mutErr(w, err, http.StatusBadRequest)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"delta": toJSONDelta(delta)})
@@ -663,9 +859,9 @@ func (s *server) handler() http.Handler {
 				return
 			}
 		}
-		delta, err := s.m.Apply(&cs)
+		delta, err := s.mon().Apply(&cs)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			mutErr(w, err, http.StatusBadRequest)
 			return
 		}
 		keys := make([]int64, 0, len(cs.Ops))
@@ -679,7 +875,7 @@ func (s *server) handler() http.Handler {
 		})
 	})
 	mux.HandleFunc("/violations", func(w http.ResponseWriter, r *http.Request) {
-		st := s.m.Violations()
+		st := s.mon().Violations()
 		type perCFD struct {
 			CFD          int        `json:"cfd"`
 			ConstTuples  []int64    `json:"const_tuples"`
@@ -693,11 +889,11 @@ func (s *server) handler() http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		stats := map[string]any{
-			"tuples":     s.m.Len(),
-			"violations": s.m.ViolationCount(),
-			"satisfied":  s.m.Satisfied(),
+			"tuples":     s.mon().Len(),
+			"violations": s.mon().ViolationCount(),
+			"satisfied":  s.mon().Satisfied(),
 		}
-		if js := s.m.JournalStats(); js.Durable {
+		if js := s.mon().JournalStats(); js.Durable {
 			wal := map[string]any{
 				"dir":             js.Dir,
 				"generation":      js.Generation,
@@ -708,6 +904,27 @@ func (s *server) handler() http.Handler {
 				wal["last_snapshot_error"] = js.LastSnapshotErr
 			}
 			stats["wal"] = wal
+		}
+		if f := s.fol(); f != nil {
+			st := f.Status()
+			replica := map[string]any{
+				"following":       st.Following,
+				"promoted":        st.Promoted,
+				"seq":             st.Seq,
+				"offset":          st.Offset,
+				"applied_records": st.AppliedRecords,
+				"primary_seq":     st.PrimarySeq,
+				"primary_offset":  st.PrimaryOffset,
+				"lag_bytes":       st.LagBytes,
+				"lag_segments":    st.LagSegments,
+			}
+			if !st.LastSync.IsZero() {
+				replica["last_sync"] = st.LastSync.Format(time.RFC3339Nano)
+			}
+			if st.LastError != "" {
+				replica["last_error"] = st.LastError
+			}
+			stats["replica"] = replica
 		}
 		writeJSON(w, http.StatusOK, stats)
 	})
@@ -753,7 +970,7 @@ func (s *server) handler() http.Handler {
 				"min_confidence": cfg.MinConfidence,
 				"max_patterns":   cfg.MaxPatterns,
 			},
-			"tuples": s.m.Len(),
+			"tuples": s.mon().Len(),
 			"count":  len(out),
 			"mined":  out,
 		})
@@ -765,17 +982,240 @@ func (s *server) handler() http.Handler {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
 		}
-		if err := s.m.ForceSnapshot(); err != nil {
-			// Not-durable is the caller's mistake (409); a failed write
-			// on a durable node is a server-side disk problem (500).
+		if err := s.mon().ForceSnapshot(); err != nil {
+			// Not-durable and read-only are the caller's mistake (409); a
+			// failed write on a durable node is a server-side disk
+			// problem (500).
 			status := http.StatusInternalServerError
-			if !s.m.JournalStats().Durable {
+			if !s.mon().JournalStats().Durable || errors.Is(err, repro.ErrMonitorReadOnly) {
 				status = http.StatusConflict
 			}
 			writeErr(w, status, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"generation": s.m.JournalStats().Generation})
+		writeJSON(w, http.StatusOK, map[string]any{"generation": s.mon().JournalStats().Generation})
+	})
+	// Admin: flip a follower into a writable primary at the record
+	// boundary it has applied. Idempotent; 409 on a node that is not
+	// following anything.
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return
+		}
+		f := s.fol()
+		if f == nil {
+			writeErr(w, http.StatusConflict, fmt.Errorf("not a follower"))
+			return
+		}
+		if err := f.Promote(); err != nil {
+			// A closed follower (mid-resync) cannot be promoted — the
+			// node's state conflicts with the request; retry once the
+			// resync lands.
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		st := f.Status()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"promoted": true, "seq": st.Seq, "offset": st.Offset, "applied_records": st.AppliedRecords,
+		})
+	})
+	// WAL shipping: the newest snapshot image, for a follower's initial
+	// sync (or resync after falling below the retention window).
+	mux.HandleFunc("/wal/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
+		seq, rc, size, err := s.mon().ShipSnapshot()
+		if err != nil {
+			status := http.StatusInternalServerError
+			if !s.mon().JournalStats().Durable {
+				status = http.StatusConflict
+			}
+			writeErr(w, status, err)
+			return
+		}
+		defer rc.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		w.Header().Set("X-Wal-Seq", strconv.FormatUint(seq, 10))
+		_, _ = io.Copy(w, rc)
+	})
+	// WAL shipping: record-aligned chunks of a segment, from a
+	// (generation, offset) cursor. The body is raw framed records; the
+	// cursor protocol lives in the X-Wal-* headers. 410 Gone tells the
+	// follower its cursor fell below the retention window.
+	mux.HandleFunc("/wal/stream", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
+		q := r.URL.Query()
+		var seq uint64
+		var off int64
+		if _, err := fmt.Sscanf(q.Get("from"), "%d,%d", &seq, &off); err != nil || off < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cursor %q (want from=SEQ,OFFSET)", q.Get("from")))
+			return
+		}
+		maxBytes := 1 << 20
+		if v := q.Get("max"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad max %q", v))
+				return
+			}
+			maxBytes = n
+		}
+		ch, err := s.mon().WALChunk(seq, off, maxBytes)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, repro.ErrWALSegmentGone):
+				status = http.StatusGone
+			case !s.mon().JournalStats().Durable:
+				status = http.StatusConflict
+			}
+			writeErr(w, status, err)
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set("X-Wal-Seq", strconv.FormatUint(ch.Seq, 10))
+		h.Set("X-Wal-Offset", strconv.FormatInt(ch.Offset, 10))
+		h.Set("X-Wal-Records", strconv.Itoa(ch.Records))
+		h.Set("X-Wal-Closed", strconv.FormatBool(ch.Closed))
+		h.Set("X-Wal-Next-Seq", strconv.FormatUint(ch.NextSeq, 10))
+		h.Set("X-Wal-End-Seq", strconv.FormatUint(ch.EndSeq, 10))
+		h.Set("X-Wal-End-Offset", strconv.FormatInt(ch.EndOffset, 10))
+		_, _ = w.Write(ch.Data)
 	})
 	return mux
+}
+
+// --- the follower's HTTP chunk source ---
+
+// httpSource implements the follower side of the shipping protocol over
+// a primary cfdserve's /wal endpoints.
+type httpSource struct {
+	base string
+	c    http.Client
+}
+
+// newHTTPSource builds the source with bounded network waits: a primary
+// that dies silently (power loss, partition with no RST) must surface
+// as a fetch failure within seconds — not the kernel's many-minute TCP
+// retransmission timeout — or -promote-after can never fire. Bodies are
+// not deadline-bounded here (a snapshot ship is legitimately long);
+// dial/header timeouts plus TCP keepalives bound the silent-death case,
+// and Chunk adds its own per-call deadline.
+func newHTTPSource(base string) *httpSource {
+	return &httpSource{
+		base: base,
+		c: http.Client{
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{
+					Timeout:   10 * time.Second,
+					KeepAlive: 15 * time.Second,
+				}).DialContext,
+				ResponseHeaderTimeout: 30 * time.Second,
+			},
+		},
+	}
+}
+
+func (h *httpSource) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return h.c.Do(req)
+}
+
+// httpErr folds a non-200 response (JSON {"error": ...} body) into an
+// error, preserving ErrWALSegmentGone across the wire via 410. Every
+// other error STATUS still proves the primary is alive and answering,
+// so it carries ErrPrimaryResponded — the follower retries on it but
+// never arms -promote-after (only transport-level failures may).
+func httpErr(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body)
+	msg := body.Error
+	if msg == "" {
+		msg = resp.Status
+	}
+	if resp.StatusCode == http.StatusGone {
+		return fmt.Errorf("primary: %s: %w", msg, repro.ErrWALSegmentGone)
+	}
+	return fmt.Errorf("primary: %s (%s): %w", msg, resp.Status, repro.ErrPrimaryResponded)
+}
+
+func (h *httpSource) Snapshot(ctx context.Context) (uint64, io.ReadCloser, error) {
+	resp, err := h.get(ctx, "/wal/snapshot")
+	if err != nil {
+		return 0, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return 0, nil, httpErr(resp)
+	}
+	seq, err := strconv.ParseUint(resp.Header.Get("X-Wal-Seq"), 10, 64)
+	if err != nil {
+		resp.Body.Close()
+		return 0, nil, fmt.Errorf("primary snapshot: bad X-Wal-Seq %q", resp.Header.Get("X-Wal-Seq"))
+	}
+	return seq, resp.Body, nil
+}
+
+func (h *httpSource) Chunk(ctx context.Context, seq uint64, offset int64, maxBytes int) (repro.WALShipChunk, error) {
+	var ch repro.WALShipChunk
+	// A chunk body is at most maxBytes plus framing; if it cannot arrive
+	// within this deadline the connection is dead or useless, and the
+	// tail loop should learn that rather than block.
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	resp, err := h.get(ctx, fmt.Sprintf("/wal/stream?from=%d,%d&max=%d", seq, offset, maxBytes))
+	if err != nil {
+		return ch, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ch, httpErr(resp)
+	}
+	hd := resp.Header
+	fail := func(name string, err error) (repro.WALShipChunk, error) {
+		return ch, fmt.Errorf("primary chunk: bad %s %q: %v", name, hd.Get(name), err)
+	}
+	if ch.Seq, err = strconv.ParseUint(hd.Get("X-Wal-Seq"), 10, 64); err != nil {
+		return fail("X-Wal-Seq", err)
+	}
+	if ch.Offset, err = strconv.ParseInt(hd.Get("X-Wal-Offset"), 10, 64); err != nil {
+		return fail("X-Wal-Offset", err)
+	}
+	if ch.Records, err = strconv.Atoi(hd.Get("X-Wal-Records")); err != nil {
+		return fail("X-Wal-Records", err)
+	}
+	if ch.Closed, err = strconv.ParseBool(hd.Get("X-Wal-Closed")); err != nil {
+		return fail("X-Wal-Closed", err)
+	}
+	if ch.NextSeq, err = strconv.ParseUint(hd.Get("X-Wal-Next-Seq"), 10, 64); err != nil {
+		return fail("X-Wal-Next-Seq", err)
+	}
+	if ch.EndSeq, err = strconv.ParseUint(hd.Get("X-Wal-End-Seq"), 10, 64); err != nil {
+		return fail("X-Wal-End-Seq", err)
+	}
+	if ch.EndOffset, err = strconv.ParseInt(hd.Get("X-Wal-End-Offset"), 10, 64); err != nil {
+		return fail("X-Wal-End-Offset", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// A connection torn mid-chunk is a retryable fetch failure; what
+		// DID arrive still ends on a record boundary at the scan layer,
+		// but simplest is to drop the partial chunk and re-request.
+		return ch, fmt.Errorf("primary chunk: %w", err)
+	}
+	ch.Data = data
+	return ch, nil
 }

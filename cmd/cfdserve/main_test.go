@@ -298,8 +298,8 @@ func TestHTTPApply(t *testing.T) {
 	if len(keys) != 1 || keys[0] != 2 {
 		t.Fatalf("keys = %v, want [2]", keys)
 	}
-	if srv.m.Len() != 2 || !srv.m.Satisfied() {
-		t.Fatalf("after batch: len=%d satisfied=%v", srv.m.Len(), srv.m.Satisfied())
+	if srv.mon().Len() != 2 || !srv.mon().Satisfied() {
+		t.Fatalf("after batch: len=%d satisfied=%v", srv.mon().Len(), srv.mon().Satisfied())
 	}
 
 	// An invalid op rejects the whole vector.
@@ -310,7 +310,7 @@ func TestHTTPApply(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Fatalf("invalid batch: code=%d, want 400", code)
 	}
-	if got, _ := srv.m.Get(2); got[5] != "MH" {
+	if got, _ := srv.mon().Get(2); got[5] != "MH" {
 		t.Fatal("rejected batch partially applied")
 	}
 	// Unknown op name.
@@ -366,8 +366,8 @@ func TestDurableServerRestart(t *testing.T) {
 	if !strings.Contains(out.String(), "wal dir=") {
 		t.Fatalf("stats missing wal line:\n%s", out.String())
 	}
-	wantViolations := srv.m.ViolationCount()
-	wantLen := srv.m.Len()
+	wantViolations := srv.mon().ViolationCount()
+	wantLen := srv.mon().Len()
 	if err := srv.close(); err != nil {
 		t.Fatal(err)
 	}
@@ -377,12 +377,12 @@ func TestDurableServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv2.close()
-	if !srv2.m.Recovered() {
+	if !srv2.mon().Recovered() {
 		t.Fatal("restarted server did not recover from the WAL dir")
 	}
-	if srv2.m.Len() != wantLen || srv2.m.ViolationCount() != wantViolations {
+	if srv2.mon().Len() != wantLen || srv2.mon().ViolationCount() != wantViolations {
 		t.Fatalf("recovered %d tuples / %d violations, want %d / %d",
-			srv2.m.Len(), srv2.m.ViolationCount(), wantLen, wantViolations)
+			srv2.mon().Len(), srv2.mon().ViolationCount(), wantLen, wantViolations)
 	}
 }
 

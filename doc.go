@@ -37,6 +37,13 @@
 //     full state, so a restart recovers in milliseconds instead of
 //     re-loading and re-indexing the source CSV. See "Durability
 //     guarantees" below.
+//   - WAL segment shipping and hot standby (see "Replication" below): a
+//     durable Monitor serves its snapshot and log segments as
+//     record-aligned chunks, and a MonitorFollower (FollowMonitor) tails
+//     them into its own WAL directory as a read-only replica, promotable
+//     to a writable primary at the record boundary it has applied.
+//     cfdserve exposes both sides: GET /wal/snapshot + GET /wal/stream
+//     on the primary, -follow / POST /promote on the standby.
 //   - Streaming CFD discovery (the Section 7 future-work item; see
 //     internal/discovery): one mining code path over the Monitor's
 //     generalized group-statistics substrate — DiscoverCFDs mines an
@@ -158,6 +165,55 @@
 // internal/incremental kills the journal at arbitrary record boundaries
 // and cross-checks the recovered violation set against the batch Direct
 // detector.
+//
+// # Replication
+//
+// Segment lifecycle: a durable directory is a sequence of generations —
+// snap-N is a full state image, wal-N the records applied since it. A
+// snapshot roll closes wal-N and opens generation N+1; with
+// MonitorOptions.RetainSegments > 0 the last K closed segments survive
+// the roll (snapshots below the newest are always collected), which is
+// what lets a briefly-disconnected follower resume its cursor instead of
+// re-shipping a snapshot. The shipping surface (Monitor.WALChunk,
+// Monitor.ShipSnapshot; cfdserve GET /wal/stream and /wal/snapshot)
+// serves closed segments in full and the live segment up to its flushed
+// boundary, always cut at record boundaries — a chunk never splits a
+// framed record, so a connection torn mid-record leaves the cursor
+// exactly where a crashed append would.
+//
+// Follower consistency: a MonitorFollower's state is, at every instant,
+// a record-boundary prefix of the primary's journaled stream — never a
+// partial record, and (because a ChangeSet is one record) never part of
+// a batch. Chunks are appended to the follower's own WAL directory
+// before they are applied, re-framed byte-identically, and the follower
+// mirrors the primary's segment numbers by snapshotting its own state at
+// every segment boundary; its directory is therefore a valid single-node
+// recovery image of exactly the applied prefix, and a follower restart
+// reuses the ordinary torn-tail-tolerant recovery before resuming the
+// stream (the E12 benchmark measures this catch-up against a CSV
+// re-seed). Replication is asynchronous: an acknowledged primary write
+// may not have reached the follower yet and — with Fsync off — a crashed
+// primary can even recover behind a follower that already applied its
+// unsynced tail; promotion, not re-subscription, is the intended
+// response to a dead primary. Reads (Violations, stats, discovery
+// miners) serve on the follower throughout; mutations and ForceSnapshot
+// return ErrMonitorReadOnly. A follower whose cursor falls below the
+// primary's retention window gets ErrWALSegmentGone and must resync
+// from the current snapshot (FollowOptions.Resync; cfdserve does this
+// automatically).
+//
+// Promotion semantics: MonitorFollower.Promote (cfdserve POST /promote,
+// or -promote-after on sustained primary loss) stops the tail loop,
+// lets any in-flight chunk finish under the journal mutex, and lifts
+// the read-only gate — an atomic flip at the exact record boundary the
+// follower has applied. From then on the monitor journals its own
+// mutations into the same directory and behaves as a primary in every
+// way, including serving /wal to its own followers. Promotion does not
+// fence the old primary: if it was merely partitioned, both nodes now
+// accept writes into diverged histories — routing writes away from a
+// deposed primary is the operator's (or a future router's) job. The
+// failover property test kills a primary at random record boundaries
+// and cross-checks the promoted node against the single-node oracle.
 //
 // See README.md for a walkthrough, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the reproduction of every figure in the paper.

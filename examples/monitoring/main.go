@@ -10,10 +10,15 @@
 // reporting CFDs as they appear and retire. The fourth act makes the
 // monitor durable: journaled to a write-ahead log (a ChangeSet is one
 // record and one fsync), snapshotted, closed, and resumed from disk
-// without touching the original instance.
+// without touching the original instance. The fifth act replicates it:
+// a hot-standby follower tails the durable node's WAL segments into its
+// own directory, serves reads while refusing writes, and is promoted to
+// a writable primary at the exact record boundary it has applied — the
+// failover path cfdserve runs with -follow and POST /promote.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -213,6 +218,68 @@ func main() {
 	if err := resumed.ForceSnapshot(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after snapshot: generation %d, %d record(s) in the new segment\n",
+	fmt.Printf("after snapshot: generation %d, %d record(s) in the new segment\n\n",
 		resumed.JournalStats().Generation, resumed.JournalStats().SegmentRecords)
+
+	// --- replication and failover ---
+	//
+	// One durable node is still one machine. A follower tails the
+	// primary's WAL — snapshot first, then record-aligned segment chunks
+	// — into its OWN directory, applying each record through the same
+	// replay path recovery uses. In production the chunks travel over
+	// cfdserve's GET /wal/snapshot and /wal/stream; in-process the same
+	// protocol runs through NewMonitorChunkSource.
+	ctx := context.Background()
+	fdir, err := os.MkdirTemp("", "monitoring-follower-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(fdir)
+	follower, err := repro.FollowMonitor(ctx, sigma,
+		repro.MonitorOptions{Durable: fdir},
+		repro.FollowOptions{Source: repro.NewMonitorChunkSource(resumed)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := follower.Sync(ctx); err != nil { // one catch-up pass
+		log.Fatal(err)
+	}
+	standby := follower.Monitor()
+	fmt.Printf("follower synced: %d tuples, %d live violation(s), read-only = %v\n",
+		standby.Len(), standby.ViolationCount(), standby.ReadOnly())
+
+	// Writes keep landing on the primary and ship on the next Sync; the
+	// standby's own mutation surface is gated.
+	if _, _, err := resumed.Insert(repro.Tuple{"01", "212", "2222222", "Amy", "Elm Str.", "LA", "01202"}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := follower.Sync(ctx); err != nil {
+		log.Fatal(err)
+	}
+	st := follower.Status()
+	fmt.Printf("after one more primary write: follower at generation %d offset %d, lag %d bytes\n",
+		st.Seq, st.Offset, st.LagBytes)
+	if _, _, err := standby.Insert(repro.Tuple{"01", "908", "1111111", "Zoe", "Tree Ave.", "MH", "07974"}); err != nil {
+		fmt.Printf("write on the standby refused: %v\n", err)
+	}
+
+	// The primary dies; promotion flips the standby into a writable
+	// primary at the record boundary it has applied — no re-seed, no
+	// replay from scratch. cfdserve does this on POST /promote (or
+	// automatically with -promote-after).
+	if err := resumed.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := follower.Promote(); err != nil {
+		log.Fatal(err)
+	}
+	_, _, err = standby.Insert(repro.Tuple{"01", "908", "1111111", "Zoe", "Tree Ave.", "NYC", "07974"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("promoted: read-only = %v, %d tuples, %d live violation(s) after a failover write\n",
+		standby.ReadOnly(), standby.Len(), standby.ViolationCount())
+	if err := standby.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

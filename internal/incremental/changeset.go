@@ -100,6 +100,11 @@ func (m *Monitor) Apply(cs *ChangeSet) (*Delta, error) {
 	if cs == nil || len(cs.Ops) == 0 {
 		return &Delta{}, nil
 	}
+	if m.readOnly.Load() {
+		// A follower only changes through the primary's shipped records;
+		// local writes would fork its state from the stream it applies.
+		return nil, ErrReadOnly
+	}
 	if m.j != nil {
 		// Early poisoned/closed check so a refusing journal rejects
 		// before resolveOps burns keys or clones tuples; the

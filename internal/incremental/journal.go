@@ -84,6 +84,10 @@ type journal struct {
 	dir       string
 	fsync     bool
 	snapEvery int
+	// retain is the number of closed segments kept behind the current
+	// generation for WAL shipping (Options.RetainSegments); snapshots
+	// below the current generation are collected regardless.
+	retain int
 
 	log  *wal.Log
 	lock *wal.DirLock
@@ -128,7 +132,13 @@ func attachJournal(m *Monitor, opts Options, seed *relation.Relation) error {
 			lock.Unlock()
 		}
 	}()
-	j := &journal{dir: dir, fsync: opts.Fsync, snapEvery: opts.SnapshotEvery, lock: lock}
+	retain := opts.RetainSegments
+	if retain < 0 {
+		// A negative count would wrap in segmentFloor's uint64 math and
+		// silently disable segment GC forever; treat it as "retain none".
+		retain = 0
+	}
+	j := &journal{dir: dir, fsync: opts.Fsync, snapEvery: opts.SnapshotEvery, retain: retain, lock: lock}
 	snaps, logs, err := wal.Generations(dir)
 	if err != nil {
 		return err
@@ -214,7 +224,7 @@ func attachJournal(m *Monitor, opts Options, seed *relation.Relation) error {
 		return err
 	}
 	j.log = log
-	_ = wal.RemoveBelow(dir, j.seq) // leftovers of an interrupted rotation
+	_ = wal.RemoveBelow(dir, j.seq, j.segmentFloor(j.seq)) // leftovers of an interrupted rotation
 	m.j = j
 	attached = true
 	return nil
@@ -364,7 +374,28 @@ func (j *journal) snapshot(m *Monitor) error {
 }
 
 func (j *journal) snapshotLocked(m *Monitor) error {
-	newSeq := j.seq + 1
+	return j.rollLocked(m, j.seq+1)
+}
+
+// rollLocked advances the journal to an explicit generation: snap-newSeq
+// is the full state image, wal-newSeq the fresh segment, and generations
+// below the retention window are collected. The snapshot trigger always
+// rolls to seq+1; a follower rolls to the primary's segment numbers so
+// its directory mirrors the stream it applies (see follower.go).
+func (j *journal) rollLocked(m *Monitor, newSeq uint64) error {
+	if newSeq <= j.seq {
+		return fmt.Errorf("incremental: roll to generation %d at generation %d", newSeq, j.seq)
+	}
+	// The outgoing segment must be durably complete BEFORE the snapshot
+	// that supersedes it exists: the snapshot embodies every record the
+	// segment holds (including a buffered, unsynced tail under
+	// Fsync=off), and with retention a crash between the snapshot write
+	// and the segment's close would otherwise leave a short wal-N on
+	// disk that a follower reads to the end and trusts — silently
+	// missing the lost tail, with no CRC error to catch it.
+	if err := j.log.Sync(); err != nil {
+		return err
+	}
 	if err := wal.WriteSnapshot(j.dir, newSeq, m.writeSnapshot); err != nil {
 		return err
 	}
@@ -378,8 +409,17 @@ func (j *journal) snapshotLocked(m *Monitor) error {
 	old := j.log
 	j.log, j.seq, j.records = newLog, newSeq, 0
 	old.Close()
-	_ = wal.RemoveBelow(j.dir, newSeq)
+	_ = wal.RemoveBelow(j.dir, newSeq, j.segmentFloor(newSeq))
 	return nil
+}
+
+// segmentFloor is the oldest log segment retention keeps at generation
+// seq: RetainSegments closed segments behind the current one.
+func (j *journal) segmentFloor(seq uint64) uint64 {
+	if uint64(j.retain) >= seq {
+		return 0
+	}
+	return seq - uint64(j.retain)
 }
 
 // --- record codec ---
@@ -490,10 +530,15 @@ func (m *Monitor) Recovered() bool { return m.j != nil && m.j.recovered }
 
 // ForceSnapshot synchronously rolls the durable monitor to a new
 // generation: full state image, fresh log segment, old generation
-// garbage-collected. It errors on a monitor without a WAL directory.
+// garbage-collected. It errors on a monitor without a WAL directory, and
+// on a follower — a read-only monitor's generations must keep mirroring
+// the primary's segment numbers, so only the replication loop may roll.
 func (m *Monitor) ForceSnapshot() error {
 	if m.j == nil {
 		return errors.New("incremental: monitor is not durable")
+	}
+	if m.readOnly.Load() {
+		return ErrReadOnly
 	}
 	return m.j.snapshot(m)
 }

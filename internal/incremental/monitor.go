@@ -86,6 +86,17 @@ type Options struct {
 	// automatic snapshots (use ForceSnapshot).
 	SnapshotEvery int
 
+	// RetainSegments, in durable mode, keeps this many closed log
+	// segments behind the current generation when a snapshot rolls,
+	// instead of garbage-collecting everything below it. A primary that
+	// ships its WAL (see Follower) needs retention: a follower whose
+	// cursor sits in a closed segment resumes from it directly, while a
+	// cursor below the retained window pays a full snapshot resync.
+	// Old snapshots are still collected at every roll — recovery and
+	// resync only ever read the newest one. 0 retains nothing (the
+	// single-node default).
+	RetainSegments int
+
 	// Intern, when non-nil, is a shared value pool the monitor adopts
 	// instead of a private one — pass the pool a CSV load deduplicated
 	// through (relation.ReadCSVInterned) and the seed batch's values hit
@@ -146,7 +157,18 @@ type Monitor struct {
 
 	// j is the durable journal; nil for a memory-only monitor.
 	j *journal
+
+	// readOnly gates the public mutation surface while the monitor
+	// follows a primary's WAL stream (see follower.go): Apply and
+	// ForceSnapshot refuse with ErrReadOnly, and only the replication
+	// apply path — which carries the primary's already-journaled records
+	// — may change state. Promotion clears it at a record boundary.
+	readOnly atomic.Bool
 }
+
+// ReadOnly reports whether the monitor currently refuses mutations
+// because it is following a primary (see Follower; promotion clears it).
+func (m *Monitor) ReadOnly() bool { return m.readOnly.Load() }
 
 // New builds an empty Monitor for the schema and Σ. Every CFD is validated
 // against the schema up front. With Options.Durable set, a directory that

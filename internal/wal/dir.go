@@ -90,11 +90,16 @@ func WriteSnapshot(dir string, seq uint64, write func(w io.Writer) error) (err e
 	return syncDir(dir)
 }
 
-// RemoveBelow garbage-collects every snapshot and log segment of a
-// generation older than keep. Removal failures are reported but the scan
+// RemoveBelow garbage-collects every snapshot older than keepSnap and
+// every log segment older than keepLog. The two thresholds differ on a
+// shipping primary: recovery only ever reads the newest snapshot, so
+// older ones go at every roll, but closed segments are retained for a few
+// generations (Options.RetainSegments in internal/incremental) so a
+// briefly-disconnected follower can resume its cursor instead of paying a
+// full snapshot resync. Removal failures are reported but the scan
 // continues: a leftover old generation is harmless, a missing new one is
 // not.
-func RemoveBelow(dir string, keep uint64) error {
+func RemoveBelow(dir string, keepSnap, keepLog uint64) error {
 	snaps, logs, err := Generations(dir)
 	if err != nil {
 		return err
@@ -106,12 +111,12 @@ func RemoveBelow(dir string, keep uint64) error {
 		}
 	}
 	for _, s := range snaps {
-		if s < keep {
+		if s < keepSnap {
 			rm(SnapshotPath(dir, s))
 		}
 	}
 	for _, l := range logs {
-		if l < keep {
+		if l < keepLog {
 			rm(LogPath(dir, l))
 		}
 	}

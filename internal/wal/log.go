@@ -87,6 +87,20 @@ func (l *Log) Append(payload []byte) error {
 	return nil
 }
 
+// FlushedSize flushes buffered records to the OS and reports the
+// segment's current byte length — the upper bound a shipping cursor may
+// read to. Everything below it is whole framed records.
+func (l *Log) FlushedSize() (int64, error) {
+	if err := l.w.Flush(); err != nil {
+		return 0, err
+	}
+	fi, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
 // Sync flushes buffered records and fsyncs the file.
 func (l *Log) Sync() error {
 	if err := l.w.Flush(); err != nil {

@@ -243,7 +243,19 @@ func TestGenerationsAndRemoveBelow(t *testing.T) {
 	if len(logs) != 2 || logs[0] != 1 || logs[1] != 3 {
 		t.Fatalf("logs = %v", logs)
 	}
-	if err := RemoveBelow(dir, 3); err != nil {
+	// Split thresholds: drop the old snapshot but retain its segment (the
+	// shipping-primary configuration).
+	if err := RemoveBelow(dir, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	snaps, logs, err = Generations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0] != 3 || len(logs) != 2 {
+		t.Fatalf("after snapshot GC: snaps = %v, logs = %v", snaps, logs)
+	}
+	if err := RemoveBelow(dir, 3, 3); err != nil {
 		t.Fatal(err)
 	}
 	snaps, logs, err = Generations(dir)

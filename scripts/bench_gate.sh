@@ -17,6 +17,17 @@ TOLERANCE=${BENCH_TOLERANCE:-0.30}
 FLOOR_NS=${BENCH_FLOOR_NS:-100000}
 MAX_RUNS=${BENCH_MAX_RUNS:-3}
 
+# The delta table must reach the job summary on EVERY exit path — a
+# config error, a diff crash, a regression — not just the happy one, so
+# the append rides the EXIT trap instead of the tail of the script.
+finish() {
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ -f bench-diff.md ]; then
+        cat bench-diff.md >> "$GITHUB_STEP_SUMMARY"
+    fi
+    rm -rf "${BIN:-}"
+}
+trap finish EXIT
+
 if [ ! -f BENCH_baseline.json ]; then
     echo "bench gate: BENCH_baseline.json missing — run 'make bench-baseline' and commit it" >&2
     exit 2
@@ -26,7 +37,6 @@ fi
 # which would make a missing-baseline config error (exit 2) look like a
 # regression (exit 1) — and it recompiles on every loop iteration.
 BIN=$(mktemp -d)
-trap 'rm -rf "$BIN"' EXIT
 go build -o "$BIN/" ./cmd/cfdbench ./cmd/cfdbenchdiff
 
 runs=""
@@ -64,8 +74,5 @@ if [ "$status" -ne 0 ]; then
     echo "bench gate: baseline timings are hardware-relative — if this runner" >&2
     echo "class changed (or the slowdown is intentional), regenerate with" >&2
     echo "'make bench-baseline' on it and commit BENCH_baseline.json" >&2
-fi
-if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
-    cat bench-diff.md >> "$GITHUB_STEP_SUMMARY"
 fi
 exit "$status"
