@@ -14,13 +14,20 @@ BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12
 BENCH_TOLERANCE = 0.30
 BENCH_FLOOR_NS = 100000
 
-.PHONY: test race race-batch race-discovery race-failover bench-current bench-baseline bench-batch bench-discovery bench-replication bench-check
+.PHONY: test race race-batch race-discovery race-failover metrics-smoke bench-current bench-baseline bench-batch bench-discovery bench-replication bench-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/incremental/ ./internal/wal/ ./cmd/cfdserve/
+	$(GO) test -race ./internal/obs/ ./internal/incremental/ ./internal/wal/ ./cmd/cfdserve/
+
+# End-to-end observability check: boot a durable cfdserve, push batches
+# through /apply, scrape GET /metrics and assert the expected series and
+# family count, then boot a follower and assert its lag gauge scrapes.
+# CFD_SOAK scales the applied load (nightly runs it at 8).
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 # The batch pipeline's property tests under the race detector, twice, so
 # goroutine schedules vary: the randomized batched-stream oracle test and

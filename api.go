@@ -10,6 +10,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/gen"
 	"repro/internal/incremental"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/repair"
 	"repro/internal/sqlgen"
@@ -211,7 +212,10 @@ type (
 	// durability knobs — Durable (the WAL directory; non-empty enables
 	// write-ahead journaling and snapshot/log recovery), Fsync (sync every
 	// record), SnapshotEvery (background snapshot cadence in records) and
-	// RetainSegments (closed segments kept for WAL shipping).
+	// RetainSegments (closed segments kept for WAL shipping) — and
+	// Metrics, the observability registry the monitor instruments
+	// itself into (nil: a private registry; DefaultMetrics(): the
+	// process-global one; DisabledMetrics(): off).
 	MonitorOptions = incremental.Options
 	// MonitorJournalStats describes a monitor's durable state (generation,
 	// records since last snapshot, recovery provenance).
@@ -243,6 +247,40 @@ const (
 	OpDelete = incremental.OpDelete
 	OpUpdate = incremental.OpUpdate
 )
+
+// Observability (see the "Observability" section of the package
+// documentation and internal/obs). Every Monitor instruments its apply
+// pipeline, WAL and replication into a MetricsRegistry; layers on top
+// (discovery miners, cfdserve's HTTP middleware) register theirs into
+// the same registry, and WritePrometheus renders it all in Prometheus
+// text exposition format.
+type (
+	// MetricsRegistry collects counters, gauges and power-of-two-bucket
+	// histograms; render with its WritePrometheus method.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one name=value pair distinguishing series within a
+	// metric family.
+	MetricLabel = obs.Label
+	// MetricCounter is a monotonically increasing series handle.
+	MetricCounter = obs.Counter
+	// MetricGauge is an up/down series handle.
+	MetricGauge = obs.Gauge
+	// MetricHistogram is a latency/size distribution handle with
+	// p50/p95/p99 extraction (Quantile).
+	MetricHistogram = obs.Histogram
+)
+
+// NewMetricsRegistry returns an empty registry — pass it through
+// MonitorOptions.Metrics to collect one monitor's series in isolation.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics returns the process-global registry daemons share, so
+// one /metrics scrape covers every component wired into it.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// DisabledMetrics returns the sentinel registry that turns
+// instrumentation off for any component it is passed to.
+func DisabledMetrics() *MetricsRegistry { return obs.Disabled() }
 
 // WAL segment shipping and hot standby (see the "Replication" section of
 // the package documentation): a durable Monitor exposes its snapshot and

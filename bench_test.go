@@ -28,6 +28,7 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/gen"
 	"repro/internal/incremental"
+	"repro/internal/obs"
 	"repro/internal/relation"
 	"repro/internal/repair"
 	"repro/internal/sqlgen"
@@ -418,6 +419,42 @@ func BenchmarkIncrementalUpdate100K(b *testing.B) {
 		if _, err := m.Update(int64(i)%n, "CT", val); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObsOverhead: the per-op price of the metrics instrumentation
+// on the hottest path — single-op updates against the live 100K monitor
+// — with metrics on (the default: counters, gauges and stage timers all
+// firing) versus fully disabled (obs.Disabled(): no clock reads, no
+// atomic adds). The "on" series must stay within ~5% of "off"; the
+// PR-gate bench workload runs against the default, so a regression here
+// also shows up in BENCH_baseline drift.
+func BenchmarkObsOverhead(b *testing.B) {
+	rel, sigma := incrementalWorkload100K(b)
+	for _, cfg := range []struct {
+		name string
+		opts incremental.Options
+	}{
+		{"metrics=on", incremental.Options{}},
+		{"metrics=off", incremental.Options{Metrics: obs.Disabled()}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			m, err := incremental.Load(rel, sigma, cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := int64(rel.Len())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				val := "AAA"
+				if i%2 == 1 {
+					val = "BBB"
+				}
+				if _, err := m.Update(int64(i)%n, "CT", val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

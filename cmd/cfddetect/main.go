@@ -29,6 +29,10 @@
 // change form (~) and retire (-); the final mined set is dumped after
 // the stream. -mine-maxlhs, -mine-support and -mine-confidence tune it.
 //
+// Diagnostics go to stderr through log/slog: -log-level sets the
+// threshold (debug, info, warn, error) and -log-json switches the
+// stream to JSON lines; results stay on stdout.
+//
 // Exit status is 2 on error, 1 when violations were found (for -watch:
 // when violations remain live after the stream), 0 when clean.
 package main
@@ -63,28 +67,32 @@ func main() {
 		mineLHS  = flag.Int("mine-maxlhs", 1, "with -mine: bound on candidate LHS size")
 		mineSup  = flag.Int("mine-support", 2, "with -mine: minimum pattern support")
 		mineConf = flag.Float64("mine-confidence", 1, "with -mine: minimum pattern confidence (1 = exact)")
+		logLevel = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+		logJSON  = flag.Bool("log-json", false, "write logs to stderr as JSON lines instead of text")
 	)
 	flag.Parse()
+	lg, err := cliutil.NewLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfddetect:", err)
+		os.Exit(2)
+	}
 	if *walDir != "" && *watch == "" {
-		fmt.Fprintln(os.Stderr, "cfddetect: -wal-dir only applies to -watch mode")
+		lg.Error("-wal-dir only applies to -watch mode")
 		os.Exit(2)
 	}
 	if *mine && *watch == "" {
-		fmt.Fprintln(os.Stderr, "cfddetect: -mine only applies to -watch mode")
+		lg.Error("-mine only applies to -watch mode")
 		os.Exit(2)
 	}
 	if *batch < 1 {
-		fmt.Fprintln(os.Stderr, "cfddetect: -batch must be >= 1")
+		lg.Error("-batch must be >= 1")
 		os.Exit(2)
 	}
 	if *dataPath == "" || *cfdPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var (
-		code int
-		err  error
-	)
+	var code int
 	if *watch != "" {
 		var mineCfg *repro.DiscoveryConfig
 		if *mine {
@@ -95,7 +103,7 @@ func main() {
 		code, err = run(*dataPath, *cfdPath, *strategy, *form, *showSQL, *explain, *maxShow)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cfddetect:", err)
+		lg.Error("run failed", "error", err)
 		os.Exit(2)
 	}
 	os.Exit(code)

@@ -64,10 +64,22 @@
 //	POST /snapshot                                   → {"generation": N} (admin; durable mode)
 //	POST /promote                                    → {"promoted": true, ...} (follow mode)
 //	GET  /violations                                 → the live set
-//	GET  /stats                                      → {"tuples":N,...,"wal":{...},"replica":{...}}
+//	GET  /stats                                      → {"tuples":N,...,"uptime_seconds":S,"build":{...}}
+//	GET  /metrics                                    → Prometheus text exposition of the node's metrics
 //	GET  /discover                                   → the streaming miner's current CFD set
 //	GET  /wal/snapshot                               → snapshot image (binary; X-Wal-Seq header)
 //	GET  /wal/stream?from=SEQ,OFF[&max=BYTES]        → framed WAL records (binary; X-Wal-* headers)
+//
+// Observability: every endpoint is wrapped in request/error counters and
+// a latency histogram (cfdserve_http_* series, labeled by path), and the
+// monitor's own instrumentation — apply-stage timings, WAL append/fsync
+// latencies, replication lag, miner refresh cost — is exposed through
+// GET /metrics in the Prometheus text format, no client library
+// required. -pprof-addr serves net/http/pprof on a second, private
+// listener for CPU/heap profiles. Diagnostics go through log/slog:
+// -log-level picks the threshold (debug, info, warn, error) and
+// -log-json switches the stderr stream to JSON lines; the startup
+// banner stays on stdout for scripts that parse the bound address.
 //
 // GET /discover serves streaming CFD discovery over the live instance:
 // the first call attaches a miner to the monitor's group indexes (one
@@ -93,11 +105,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof-addr serves the DefaultServeMux handlers
 	"net/url"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -107,7 +123,11 @@ import (
 
 	"repro"
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 )
+
+// processStart anchors the uptime reported by GET /stats.
+var processStart = time.Now()
 
 func main() {
 	var (
@@ -123,21 +143,41 @@ func main() {
 		follow       = flag.String("follow", "", "run as a hot standby of this primary URL, tailing its WAL into -wal-dir (requires -http and -wal-dir; -data is not used)")
 		followPoll   = flag.Duration("follow-poll", 200*time.Millisecond, "follow mode: idle wait between tail polls once caught up")
 		promoteAfter = flag.Duration("promote-after", 0, "follow mode: auto-promote to a writable primary once the primary has been unreachable this long (0 = manual POST /promote)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this second, private address (off when empty)")
+		logLevel     = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+		logJSON      = flag.Bool("log-json", false, "write logs to stderr as JSON lines instead of text")
 	)
 	flag.Parse()
+	lg, err := cliutil.NewLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfdserve:", err)
+		os.Exit(2)
+	}
 	opts := repro.MonitorOptions{
 		Shards:         *shards,
 		Durable:        *walDir,
 		Fsync:          *fsync,
 		SnapshotEvery:  *snapRecords,
 		RetainSegments: *retainSegs,
+		// The daemon publishes on the process-global registry, so the
+		// monitor's series and the HTTP middleware's land in one scrape.
+		Metrics: repro.DefaultMetrics(),
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *pprofAddr != "" {
+		go func() {
+			lg.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				lg.Error("pprof server failed", "error", err)
+			}
+		}()
+	}
+
 	if *follow != "" {
 		if *cfdPath == "" || *walDir == "" || *httpAddr == "" {
-			fmt.Fprintln(os.Stderr, "cfdserve: -follow requires -cfds, -wal-dir and -http")
+			lg.Error("-follow requires -cfds, -wal-dir and -http")
 			os.Exit(2)
 		}
 		fo := repro.FollowOptions{
@@ -145,8 +185,8 @@ func main() {
 			PollInterval: *followPoll,
 			PromoteAfter: *promoteAfter,
 		}
-		if err := runFollower(ctx, *cfdPath, *httpAddr, opts, fo); err != nil {
-			fmt.Fprintln(os.Stderr, "cfdserve:", err)
+		if err := runFollower(ctx, lg, *cfdPath, *httpAddr, opts, fo); err != nil {
+			lg.Error("follower failed", "error", err)
 			os.Exit(2)
 		}
 		return
@@ -158,9 +198,10 @@ func main() {
 	}
 	srv, err := newServer(*dataPath, *cfdPath, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cfdserve:", err)
+		lg.Error("startup failed", "error", err)
 		os.Exit(2)
 	}
+	srv.log = lg
 	if *snapInterval > 0 && srv.mon().JournalStats().Durable {
 		go srv.snapshotLoop(ctx, *snapInterval)
 	}
@@ -172,7 +213,7 @@ func main() {
 	if *httpAddr != "" {
 		lis, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cfdserve:", err)
+			lg.Error("listen failed", "error", err)
 			os.Exit(2)
 		}
 		fmt.Printf("monitoring %d tuples against %d CFDs on %s (%s)\n",
@@ -182,7 +223,7 @@ func main() {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cfdserve:", err)
+			lg.Error("server failed", "error", err)
 			os.Exit(2)
 		}
 		return
@@ -201,7 +242,7 @@ func main() {
 		loopErr = cerr
 	}
 	if loopErr != nil {
-		fmt.Fprintln(os.Stderr, "cfdserve:", loopErr)
+		lg.Error("line loop failed", "error", loopErr)
 		os.Exit(2)
 	}
 }
@@ -210,7 +251,7 @@ func main() {
 // read API, and supervise the tail loop until shutdown or promotion.
 // After a promotion the same process keeps serving — now accepting
 // writes — so failover does not even drop the listener.
-func runFollower(ctx context.Context, cfdPath, httpAddr string, opts repro.MonitorOptions, fo repro.FollowOptions) error {
+func runFollower(ctx context.Context, lg *slog.Logger, cfdPath, httpAddr string, opts repro.MonitorOptions, fo repro.FollowOptions) error {
 	sigma, err := cliutil.LoadCFDs(cfdPath)
 	if err != nil {
 		return err
@@ -219,7 +260,7 @@ func runFollower(ctx context.Context, cfdPath, httpAddr string, opts repro.Monit
 	if err != nil {
 		return err
 	}
-	srv := &server{}
+	srv := &server{log: lg}
 	srv.setReplica(f.Monitor(), f)
 	lis, err := net.Listen("tcp", httpAddr)
 	if err != nil {
@@ -257,12 +298,12 @@ func (s *server) followLoop(ctx context.Context, sigma []*repro.CFD, opts repro.
 		err := f.Run(ctx)
 		if err == nil || ctx.Err() != nil {
 			if f.Status().Promoted {
-				fmt.Println("promoted: accepting writes at the last applied record boundary")
+				s.logger().Info("promoted: accepting writes at the last applied record boundary")
 			}
 			return
 		}
 		if errors.Is(err, repro.ErrWALSegmentGone) {
-			fmt.Fprintln(os.Stderr, "cfdserve: cursor below primary retention window; resyncing from snapshot")
+			s.logger().Warn("cursor below primary retention window; resyncing from snapshot")
 			// The old follower must close first: the rebuild wipes and
 			// re-locks the same local directory. Reads keep serving the
 			// (now frozen) old monitor while the resync retries — a
@@ -277,7 +318,7 @@ func (s *server) followLoop(ctx context.Context, sigma []*repro.CFD, opts repro.
 					s.setReplica(nf.Monitor(), nf)
 					break
 				}
-				fmt.Fprintln(os.Stderr, "cfdserve: resync failed (will retry):", rerr)
+				s.logger().Error("resync failed, will retry", "error", rerr)
 				select {
 				case <-ctx.Done():
 					return
@@ -290,7 +331,7 @@ func (s *server) followLoop(ctx context.Context, sigma []*repro.CFD, opts repro.
 		// cannot safely continue, and promotion onto broken storage is
 		// worse. Keep serving reads; the operator sees this and the
 		// replica block's last_error.
-		fmt.Fprintln(os.Stderr, "cfdserve: follower stopped:", err)
+		s.logger().Error("follower stopped", "error", err)
 		return
 	}
 }
@@ -301,6 +342,10 @@ type server struct {
 	// replica and swaps them under live request traffic.
 	mv atomic.Pointer[repro.Monitor]
 	fv atomic.Pointer[repro.MonitorFollower]
+
+	// log is the diagnostic logger; nil (tests building a bare server)
+	// falls back to slog.Default via logger().
+	log *slog.Logger
 
 	// The lazily-attached discovery miner behind GET /discover, cached
 	// per config: re-attaching costs a full scoring pass, so the one
@@ -315,6 +360,24 @@ func (s *server) mon() *repro.Monitor { return s.mv.Load() }
 
 // fol returns the follower, nil on a primary.
 func (s *server) fol() *repro.MonitorFollower { return s.fv.Load() }
+
+// logger never returns nil.
+func (s *server) logger() *slog.Logger {
+	if s.log != nil {
+		return s.log
+	}
+	return slog.Default()
+}
+
+// metrics is the registry the HTTP surface publishes on: the served
+// monitor's (the process-global one when main wired opts.Metrics, a
+// private one in tests — so httptest servers scrape hermetically).
+func (s *server) metrics() *obs.Registry {
+	if m := s.mon(); m != nil {
+		return m.Metrics()
+	}
+	return obs.Disabled()
+}
 
 // setReplica swaps in a (new) replicated monitor + follower pair. The
 // whole swap — miner retirement included — happens under mineMu, so a
@@ -399,7 +462,7 @@ func (s *server) snapshotLoop(ctx context.Context, every time.Duration) {
 			return
 		case <-t.C:
 			if err := s.mon().ForceSnapshot(); err != nil {
-				fmt.Fprintln(os.Stderr, "cfdserve: periodic snapshot:", err)
+				s.logger().Error("periodic snapshot failed", "error", err)
 			}
 		}
 	}
@@ -413,7 +476,7 @@ func (s *server) close() error {
 	m := s.mon()
 	if m.JournalStats().Durable && !m.ReadOnly() {
 		if err := m.ForceSnapshot(); err != nil {
-			fmt.Fprintln(os.Stderr, "cfdserve: final snapshot:", err)
+			s.logger().Error("final snapshot failed", "error", err)
 		}
 	}
 	return m.Close()
@@ -754,8 +817,70 @@ func toJSONDelta(d *repro.ViolationDelta) jsonDelta {
 	return jsonDelta{Added: conv(d.Added), Removed: conv(d.Removed)}
 }
 
+// statusWriter records the response status so the middleware can count
+// error responses; an implicit 200 (first Write without WriteHeader) is
+// recorded too.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// buildInfo is the binary's identity for GET /stats, computed once: the
+// Go version is always present, the rest as the build embedded it.
+var buildInfo = sync.OnceValue(func() map[string]any {
+	info := map[string]any{"go": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info["module"] = bi.Main.Path
+	if bi.Main.Version != "" {
+		info["version"] = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			info["revision"] = kv.Value
+		}
+	}
+	return info
+})
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
+	reg := s.metrics()
+	// handle wraps every endpoint in its per-path request metrics: a
+	// request counter, an error counter (status >= 400), and a latency
+	// histogram. The handles are registered up front so the hot path
+	// only does atomic adds.
+	handle := func(path string, h http.HandlerFunc) {
+		reqs := reg.Counter("cfdserve_http_requests_total", "HTTP requests served, by endpoint.", obs.L("path", path))
+		errs := reg.Counter("cfdserve_http_errors_total", "HTTP responses with status >= 400, by endpoint.", obs.L("path", path))
+		dur := reg.DurationHistogram("cfdserve_http_request_seconds", "HTTP request latency, by endpoint.", obs.L("path", path))
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			sw := statusWriter{ResponseWriter: w}
+			h(&sw, r)
+			reqs.Inc()
+			if sw.status >= 400 {
+				errs.Inc()
+			}
+			dur.ObserveSince(start)
+		})
+	}
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
@@ -786,7 +911,7 @@ func (s *server) handler() http.Handler {
 		writeErr(w, fallback, err)
 	}
 
-	mux.HandleFunc("/insert", func(w http.ResponseWriter, r *http.Request) {
+	handle("/insert", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Values []string `json:"values"`
 		}
@@ -800,7 +925,7 @@ func (s *server) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"key": key, "delta": toJSONDelta(delta)})
 	})
-	mux.HandleFunc("/delete", func(w http.ResponseWriter, r *http.Request) {
+	handle("/delete", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Key int64 `json:"key"`
 		}
@@ -814,7 +939,7 @@ func (s *server) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"delta": toJSONDelta(delta)})
 	})
-	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+	handle("/update", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Key   int64  `json:"key"`
 			Attr  string `json:"attr"`
@@ -832,7 +957,7 @@ func (s *server) handler() http.Handler {
 	})
 	// Batched ingest: one ChangeSet per request, applied atomically as a
 	// single WAL record. Inserted keys come back in op order.
-	mux.HandleFunc("/apply", func(w http.ResponseWriter, r *http.Request) {
+	handle("/apply", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Ops []struct {
 				Op     string   `json:"op"`
@@ -874,7 +999,7 @@ func (s *server) handler() http.Handler {
 			"ops": cs.Len(), "keys": keys, "delta": toJSONDelta(delta),
 		})
 	})
-	mux.HandleFunc("/violations", func(w http.ResponseWriter, r *http.Request) {
+	handle("/violations", func(w http.ResponseWriter, r *http.Request) {
 		st := s.mon().Violations()
 		type perCFD struct {
 			CFD          int        `json:"cfd"`
@@ -887,11 +1012,13 @@ func (s *server) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"per_cfd": out, "total": st.Total()})
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		stats := map[string]any{
-			"tuples":     s.mon().Len(),
-			"violations": s.mon().ViolationCount(),
-			"satisfied":  s.mon().Satisfied(),
+			"tuples":         s.mon().Len(),
+			"violations":     s.mon().ViolationCount(),
+			"satisfied":      s.mon().Satisfied(),
+			"uptime_seconds": time.Since(processStart).Seconds(),
+			"build":          buildInfo(),
 		}
 		if js := s.mon().JournalStats(); js.Durable {
 			wal := map[string]any{
@@ -928,10 +1055,22 @@ func (s *server) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, stats)
 	})
+	// Prometheus text exposition of everything on the node's registry:
+	// the monitor's hot-path series plus the middleware's own.
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			s.logger().Error("metrics scrape failed", "error", err)
+		}
+	})
 	// Streaming discovery: the current mined CFD set under the config the
 	// query params select. The miner re-scores incrementally between
 	// calls; only a config change pays a full pass.
-	mux.HandleFunc("/discover", func(w http.ResponseWriter, r *http.Request) {
+	handle("/discover", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 			return
@@ -977,7 +1116,7 @@ func (s *server) handler() http.Handler {
 	})
 	// Admin: force a snapshot now — roll the WAL generation without
 	// waiting for the record-count or interval triggers.
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
@@ -998,7 +1137,7 @@ func (s *server) handler() http.Handler {
 	// Admin: flip a follower into a writable primary at the record
 	// boundary it has applied. Idempotent; 409 on a node that is not
 	// following anything.
-	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+	handle("/promote", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
@@ -1022,7 +1161,7 @@ func (s *server) handler() http.Handler {
 	})
 	// WAL shipping: the newest snapshot image, for a follower's initial
 	// sync (or resync after falling below the retention window).
-	mux.HandleFunc("/wal/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	handle("/wal/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 			return
@@ -1046,7 +1185,7 @@ func (s *server) handler() http.Handler {
 	// (generation, offset) cursor. The body is raw framed records; the
 	// cursor protocol lives in the X-Wal-* headers. 410 Gone tells the
 	// follower its cursor fell below the retention window.
-	mux.HandleFunc("/wal/stream", func(w http.ResponseWriter, r *http.Request) {
+	handle("/wal/stream", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 			return

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -585,5 +588,164 @@ func TestDiscoverEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Errorf("POST /discover: code=%d, want 405", resp.StatusCode)
 		}
+	}
+}
+
+// TestStatsShape pins the full JSON shape of GET /stats: the exact
+// top-level key set for memory and durable nodes, the wal sub-document,
+// and the build identity block.
+func TestStatsShape(t *testing.T) {
+	keysOf := func(m map[string]any) []string {
+		out := make([]string, 0, len(m))
+		for k := range m {
+			out = append(out, k)
+		}
+		sort.Strings(out)
+		return out
+	}
+	fetch := func(srv *server) map[string]any {
+		t.Helper()
+		ts := httptest.NewServer(srv.handler())
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := fetch(newTestServer(t))
+	want := []string{"build", "satisfied", "tuples", "uptime_seconds", "violations"}
+	if got := keysOf(st); !reflect.DeepEqual(got, want) {
+		t.Fatalf("memory /stats keys = %v, want %v", got, want)
+	}
+	if up, ok := st["uptime_seconds"].(float64); !ok || up <= 0 {
+		t.Fatalf("uptime_seconds = %v", st["uptime_seconds"])
+	}
+	build, ok := st["build"].(map[string]any)
+	if !ok {
+		t.Fatalf("build = %v", st["build"])
+	}
+	if v, _ := build["go"].(string); !strings.HasPrefix(v, "go1") {
+		t.Fatalf("build.go = %v", build["go"])
+	}
+	if v, _ := build["module"].(string); v != "repro" {
+		t.Fatalf("build.module = %v", build["module"])
+	}
+
+	data, cfds := writeInputs(t)
+	dsrv, err := newServer(data, cfds, repro.MonitorOptions{Durable: filepath.Join(t.TempDir(), "wal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dsrv.close()
+	st = fetch(dsrv)
+	want = []string{"build", "satisfied", "tuples", "uptime_seconds", "violations", "wal"}
+	if got := keysOf(st); !reflect.DeepEqual(got, want) {
+		t.Fatalf("durable /stats keys = %v, want %v", got, want)
+	}
+	wal, ok := st["wal"].(map[string]any)
+	if !ok {
+		t.Fatalf("wal = %v", st["wal"])
+	}
+	wantWal := []string{"dir", "generation", "recovered", "segment_records"}
+	if got := keysOf(wal); !reflect.DeepEqual(got, wantWal) {
+		t.Fatalf("stats.wal keys = %v, want %v", got, wantWal)
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics serves the node's registry in the
+// Prometheus text format — the monitor's hot-path series, the HTTP
+// middleware's per-endpoint series, and enough distinct families for a
+// dashboard to work with.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	body := strings.NewReader(`{"values":["01","908","1111111","Rick","Tree Ave.","NYC","07974"]}`)
+	resp, err := http.Post(ts.URL+"/insert", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// A first scrape, so the second sees /metrics' own request counted.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: code=%d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	// The CSV seed is itself one Apply batch of two inserts, so the
+	// counters start at the seed's values.
+	for _, want := range []string{
+		`cfd_apply_ops_total{op="insert"} 3`,
+		"cfd_apply_batches_total 2",
+		"cfd_apply_seconds_count 2",
+		"cfd_violations_added_total 2",
+		"cfd_tuples 3",
+		"cfd_violations 2",
+		`cfdserve_http_requests_total{path="/insert"} 1`,
+		`cfdserve_http_requests_total{path="/metrics"} 1`,
+		`cfdserve_http_request_seconds_count{path="/insert"} 1`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	if families := strings.Count(text, "# TYPE "); families < 15 {
+		t.Errorf("scrape has %d families, want >= 15:\n%s", families, text)
+	}
+
+	resp, err = http.Post(ts.URL+"/metrics", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics: code=%d, want 405", resp.StatusCode)
+	}
+}
+
+// TestHTTPErrorCounter: the middleware counts >= 400 responses.
+func TestHTTPErrorCounter(t *testing.T) {
+	srv := newTestServer(t)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/delete", "application/json", strings.NewReader(`{"key": 999}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), `cfdserve_http_errors_total{path="/delete"} 1`+"\n") {
+		t.Errorf("404 not counted as an error:\n%s", raw)
 	}
 }

@@ -215,6 +215,59 @@
 // failover property test kills a primary at random record boundaries
 // and cross-checks the promoted node against the single-node oracle.
 //
+// # Observability
+//
+// Everything on the serving path is instrumented through internal/obs,
+// a zero-dependency metrics core: atomic counters and gauges, lock-free
+// power-of-two-bucket histograms (Quantile extracts p50/p95/p99), and a
+// hand-rolled Prometheus text-exposition writer — no client library. A
+// Monitor takes its registry from MonitorOptions.Metrics: nil gives it
+// a private registry (hermetic tests; read it back via Monitor.Metrics),
+// DefaultMetrics() shares the process-global one (what cfdserve does),
+// DisabledMetrics() turns instrumentation off entirely — the disabled
+// path never reads the clock. The instrumentation adds only atomic
+// stores to the hot path; the BenchmarkObsOverhead gate holds it within
+// noise of the disabled baseline.
+//
+// The metric catalog, all registered by the monitor (histograms are
+// *_bucket/_sum/_count families in seconds):
+//
+//	cfd_apply_ops_total{op}         mutations applied, by insert/delete/update
+//	cfd_apply_batches_total         ChangeSets applied through Monitor.Apply
+//	cfd_apply_rejected_total        ChangeSets rejected by validation
+//	cfd_apply_seconds               whole-batch apply latency
+//	cfd_apply_validate_seconds      the validation stage
+//	cfd_apply_wal_append_seconds    the journal stage (append + any fsync)
+//	cfd_apply_shard_seconds         the shard-apply stage
+//	cfd_violations_added_total      violation-delta entries raised
+//	cfd_violations_removed_total    violation-delta entries retired
+//	cfd_tuples, cfd_violations      live set sizes (gauges)
+//	cfd_wal_append_seconds          WAL record framing + buffering
+//	cfd_wal_fsync_seconds           WAL flush + fsync
+//	cfd_wal_records_total           WAL records appended
+//	cfd_wal_append_bytes_total      WAL bytes appended, framing included
+//	cfd_wal_snapshot_seconds        snapshot write
+//	cfd_wal_segment_roll_seconds    whole generation roll
+//	cfd_wal_snapshots_total         generation rolls
+//	cfd_replica_*                   follower only: chunks/records/bytes
+//	                                shipped, fetch errors, apply latency,
+//	                                lag in bytes and segments
+//	cfd_miner_refresh_seconds       incremental re-score latency
+//	cfd_miner_groups_rescored_total groups the re-scores touched
+//	cfd_miner_candidates            candidate lattice size (gauge)
+//	cfd_miner_mined_cfds            currently mined CFDs (gauge)
+//
+// cfdserve serves its registry — the monitor series above plus
+// per-endpoint cfdserve_http_requests_total / cfdserve_http_errors_total
+// / cfdserve_http_request_seconds — as GET /metrics in the Prometheus
+// text format, points Prometheus at itself with a plain scrape config,
+// and reports uptime and build identity in GET /stats. -pprof-addr
+// opens a second, private listener with net/http/pprof for CPU and heap
+// profiles (go tool pprof http://host:port/debug/pprof/profile).
+// Diagnostics in both CLIs flow through log/slog: -log-level picks the
+// threshold (debug, info, warn, error), -log-json switches stderr to
+// JSON lines.
+//
 // See README.md for a walkthrough, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the reproduction of every figure in the paper.
 package repro

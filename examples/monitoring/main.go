@@ -14,7 +14,11 @@
 // a hot-standby follower tails the durable node's WAL segments into its
 // own directory, serves reads while refusing writes, and is promoted to
 // a writable primary at the exact record boundary it has applied — the
-// failover path cfdserve runs with -follow and POST /promote.
+// failover path cfdserve runs with -follow and POST /promote. The sixth
+// act scrapes the observability surface: every monitor carries a metrics
+// registry (apply-stage latencies, WAL timings, violation-delta
+// counters) that renders in the Prometheus text format — cfdserve serves
+// the same thing as GET /metrics.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro"
 )
@@ -279,6 +284,25 @@ func main() {
 	}
 	fmt.Printf("promoted: read-only = %v, %d tuples, %d live violation(s) after a failover write\n",
 		standby.ReadOnly(), standby.Len(), standby.ViolationCount())
+
+	// Every monitor carries a metrics registry (a private one unless
+	// MonitorOptions.Metrics shares the process-global DefaultMetrics).
+	// The promoted standby's scrape below shows the whole serving path
+	// it lived through — replica ship counters included — in the same
+	// Prometheus text format cfdserve serves on GET /metrics.
+	var scrape strings.Builder
+	if err := standby.Metrics().WritePrometheus(&scrape); err != nil {
+		log.Fatal(err)
+	}
+	families := strings.Count(scrape.String(), "# TYPE ")
+	fmt.Printf("\nmetrics scrape: %d families\n", families)
+	for _, line := range strings.Split(scrape.String(), "\n") {
+		if strings.HasPrefix(line, "cfd_apply_ops_total") ||
+			strings.HasPrefix(line, "cfd_replica_records_total") ||
+			strings.HasPrefix(line, "cfd_wal_records_total") {
+			fmt.Println("  " + line)
+		}
+	}
 	if err := standby.Close(); err != nil {
 		log.Fatal(err)
 	}

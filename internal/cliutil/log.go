@@ -1,0 +1,41 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLogger builds the structured logger the CLIs share: slog to stderr,
+// text or JSON lines, filtered at the named level. Level names follow
+// slog: debug, info, warn (or warning), error.
+func NewLogger(level string, jsonOut bool) (*slog.Logger, error) {
+	return newLoggerTo(os.Stderr, level, jsonOut)
+}
+
+// newLoggerTo is NewLogger with the destination injectable for tests.
+func newLoggerTo(w io.Writer, level string, jsonOut bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), nil
+}

@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevels(t *testing.T) {
+	var sb strings.Builder
+	lg, err := newLoggerTo(&sb, "warn", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "k", "v")
+	out := sb.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked through warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "shown") || !strings.Contains(out, "k=v") {
+		t.Errorf("warn line missing:\n%s", out)
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var sb strings.Builder
+	lg, err := newLoggerTo(&sb, "info", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "answer", 42)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rec); err != nil {
+		t.Fatalf("not a JSON line: %v\n%s", err, sb.String())
+	}
+	if rec["msg"] != "hello" || rec["answer"] != float64(42) || rec["level"] != "INFO" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerBadLevel(t *testing.T) {
+	if _, err := NewLogger("loud", false); err == nil {
+		t.Fatal("unknown level must error")
+	}
+	for _, lv := range []string{"", "debug", "info", "warn", "warning", "error", "ERROR"} {
+		if _, err := NewLogger(lv, true); err != nil {
+			t.Errorf("level %q: %v", lv, err)
+		}
+	}
+}

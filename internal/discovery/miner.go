@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/incremental"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -33,6 +35,13 @@ type Miner struct {
 	det    []bool // scratch of the per-emit pruning pass
 	drain  []incremental.GroupDelta
 	closed bool
+
+	// Metric handles, registered on the monitor's registry at attach
+	// time (nil-safe no-ops when its instrumentation is disabled).
+	metRefresh  *obs.Histogram
+	metRescored *obs.Counter
+	metCands    *obs.Gauge
+	metMined    *obs.Gauge
 }
 
 // MinedChangeKind discriminates the outcome of a Refresh for one
@@ -221,6 +230,12 @@ func NewMiner(m *incremental.Monitor, cfg Config) (*Miner, error) {
 		return nil, err
 	}
 	mi := &Miner{cfg: cfg, m: m, hub: hub, cands: cands, det: make([]bool, len(cands))}
+	reg := m.Metrics()
+	mi.metRefresh = reg.DurationHistogram("cfd_miner_refresh_seconds", "Duration of one Miner.Refresh pass (drain + re-score + emit).")
+	mi.metRescored = reg.Counter("cfd_miner_groups_rescored_total", "Touched groups re-scored across Refresh passes.")
+	mi.metCands = reg.Gauge("cfd_miner_candidates", "Embedded-FD candidates in the miner's lattice.")
+	mi.metMined = reg.Gauge("cfd_miner_mined_cfds", "Embedded FDs currently in the mined set (FD or pattern form).")
+	mi.metCands.Set(int64(len(cands)))
 	mi.Refresh() // the fold left every group dirty: score the initial state
 	return mi, nil
 }
@@ -250,7 +265,9 @@ func (mi *Miner) Close() {
 func (mi *Miner) Refresh() []MinedChange {
 	mi.mu.Lock()
 	defer mi.mu.Unlock()
+	start := time.Now()
 	mi.drain = mi.hub.Drain(mi.drain[:0])
+	mi.metRescored.Add(uint64(len(mi.drain)))
 	for i := range mi.drain {
 		d := &mi.drain[i]
 		c := &mi.cands[d.Pair]
@@ -272,7 +289,16 @@ func (mi *Miner) Refresh() []MinedChange {
 		mi.score(d, g)
 		c.fold(g)
 	}
-	return mi.emit()
+	out := mi.emit()
+	var mined int64
+	for ci := range mi.cands {
+		if mi.cands[ci].cur != emitNone {
+			mined++
+		}
+	}
+	mi.metMined.Set(mined)
+	mi.metRefresh.ObserveSince(start)
+	return out
 }
 
 // score recomputes one group's pattern contribution. The single-value

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/relation"
 )
@@ -100,30 +101,52 @@ func (m *Monitor) Apply(cs *ChangeSet) (*Delta, error) {
 	if cs == nil || len(cs.Ops) == 0 {
 		return &Delta{}, nil
 	}
+	met := m.met
+	var start time.Time
+	if met != nil {
+		start = time.Now()
+	}
+	reject := func(err error) (*Delta, error) {
+		met.rejected.Inc() // nil-safe
+		return nil, err
+	}
 	if m.readOnly.Load() {
 		// A follower only changes through the primary's shipped records;
 		// local writes would fork its state from the stream it applies.
-		return nil, ErrReadOnly
+		return reject(ErrReadOnly)
 	}
 	if m.j != nil {
 		// Early poisoned/closed check so a refusing journal rejects
 		// before resolveOps burns keys or clones tuples; the
 		// authoritative check re-runs under journal.mu in applyBatch.
 		if err := m.j.usableNow(); err != nil {
-			return nil, err
+			return reject(err)
 		}
 	}
 	if err := m.resolveOps(cs.Ops); err != nil {
-		return nil, err
+		return reject(err)
 	}
+	var d *Delta
+	var err error
 	if m.j != nil {
-		return m.j.applyBatch(m, cs.Ops)
+		d, err = m.j.applyBatch(m, cs.Ops)
+	} else {
+		d, err = m.applyOpsMemory(cs.Ops)
+		if err == nil {
+			d = d.normalize()
+		}
 	}
-	d, err := m.applyOpsMemory(cs.Ops)
 	if err != nil {
-		return nil, err
+		return reject(err)
 	}
-	return d.normalize(), nil
+	if met != nil {
+		met.batches.Inc()
+		met.countOps(cs.Ops)
+		met.violationsAdded.Add(uint64(len(d.Added)))
+		met.violationsRemoved.Add(uint64(len(d.Removed)))
+		met.applySeconds.ObserveSince(start)
+	}
+	return d, nil
 }
 
 // opErr tags a validation error with its op position — only for real
@@ -389,6 +412,7 @@ func (m *Monitor) applyOpsMemory(ops []Op) (*Delta, error) {
 	if len(ops) == 1 {
 		return m.applySingle(ops, true)
 	}
+	met := m.met
 	perShard, shards := m.bucketOps(ops)
 	for _, si := range shards {
 		m.tuples[si].mu.Lock()
@@ -398,13 +422,26 @@ func (m *Monitor) applyOpsMemory(ops []Op) (*Delta, error) {
 			m.tuples[si].mu.Unlock()
 		}
 	}()
+	var t0 time.Time
+	if met != nil {
+		t0 = time.Now()
+	}
 	for _, si := range shards {
 		if err := m.validateBucket(ops, perShard[si], &m.tuples[si]); err != nil {
 			return nil, err
 		}
 	}
+	if met != nil {
+		t1 := time.Now()
+		met.validateSeconds.ObserveDuration(t1.Sub(t0))
+		t0 = t1
+	}
 	m.internOps(ops)
-	return m.applyBuckets(ops, perShard, shards, true)
+	d, err := m.applyBuckets(ops, perShard, shards, true)
+	if met != nil {
+		met.shardApplySeconds.ObserveSince(t0)
+	}
+	return d, err
 }
 
 // validateOps is the journaled single-op pre-append validation: an

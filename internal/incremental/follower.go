@@ -139,6 +139,10 @@ type Follower struct {
 	// coexist — this is what makes that safe).
 	syncMu sync.Mutex
 
+	// met holds the replication metric handles; nil when the monitor's
+	// instrumentation is disabled.
+	met *followerMetrics
+
 	mu         sync.Mutex
 	seq        uint64
 	off        int64
@@ -196,6 +200,9 @@ func NewFollower(ctx context.Context, sigma []*core.CFD, opts Options, fo Follow
 		stopc: make(chan struct{}),
 		seq:   seq,
 		off:   off,
+	}
+	if m.met != nil {
+		f.met = newFollowerMetrics(m.met.reg)
 	}
 	if f.poll <= 0 {
 		f.poll = 200 * time.Millisecond
@@ -286,12 +293,23 @@ func (f *Follower) Sync(ctx context.Context) (int, error) {
 		f.mu.Unlock()
 		ch, err := f.src.Chunk(ctx, seq, off, f.max)
 		if err != nil {
+			f.met.fetchErrors.Inc() // nil-safe
 			err = &fetchFailure{err}
 			f.note(err)
 			return applied, err
 		}
+		f.met.chunks.Inc()
 		if len(ch.Data) > 0 {
+			var applyStart time.Time
+			if f.met != nil {
+				applyStart = time.Now()
+			}
 			n, consumed, err := f.m.replicate(ch.Data)
+			if f.met != nil {
+				f.met.applySeconds.ObserveSince(applyStart)
+				f.met.records.Add(uint64(n))
+				f.met.bytes.Add(uint64(consumed))
+			}
 			if n > 0 {
 				f.advance(off+consumed, int64(n), ch)
 				applied += n
@@ -329,7 +347,7 @@ func (f *Follower) Sync(ctx context.Context) (int, error) {
 }
 
 // advance records a successful exchange: cursor, counters, primary
-// position, sync time.
+// position, sync time, and the replication-lag gauges.
 func (f *Follower) advance(off, applied int64, ch ShipChunk) {
 	f.mu.Lock()
 	f.off = off
@@ -337,6 +355,23 @@ func (f *Follower) advance(off, applied int64, ch ShipChunk) {
 	f.primarySeq, f.primaryOff = ch.EndSeq, ch.EndOffset
 	f.lastSync = time.Now()
 	f.lastErr = nil
+	if f.met != nil {
+		// Mirrors the Status lag computation: byte lag is only defined
+		// while follower and primary share a segment.
+		lagBytes := int64(-1)
+		var lagSegs uint64
+		if f.primarySeq >= f.seq {
+			lagSegs = f.primarySeq - f.seq
+		}
+		if f.primarySeq == f.seq {
+			lagBytes = f.primaryOff - f.off
+			if lagBytes < 0 {
+				lagBytes = 0
+			}
+		}
+		f.met.lagBytes.Set(lagBytes)
+		f.met.lagSegments.Set(int64(lagSegs))
+	}
 	f.mu.Unlock()
 }
 

@@ -8,6 +8,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/relation"
 	"repro/internal/wal"
@@ -160,6 +161,9 @@ func attachJournal(m *Monitor, opts Options, seed *relation.Relation) error {
 		if err != nil {
 			return err
 		}
+		if m.met != nil {
+			log.SetStats(m.met.logStats)
+		}
 		j.log = log
 		m.j = j
 		attached = true
@@ -223,6 +227,9 @@ func attachJournal(m *Monitor, opts Options, seed *relation.Relation) error {
 	if err != nil {
 		return err
 	}
+	if m.met != nil {
+		log.SetStats(m.met.logStats)
+	}
 	j.log = log
 	_ = wal.RemoveBelow(dir, j.seq, j.segmentFloor(j.seq)) // leftovers of an interrupted rotation
 	m.j = j
@@ -265,6 +272,11 @@ func (j *journal) applyBatch(m *Monitor, ops []Op) (*Delta, error) {
 	if err := j.usable(); err != nil {
 		return nil, err
 	}
+	met := m.met
+	var t0 time.Time
+	if met != nil {
+		t0 = time.Now()
+	}
 	// Buckets are computed once and shared by validation and apply; the
 	// one-element wrappers skip bucketing entirely.
 	var perShard [][]int32
@@ -279,9 +291,19 @@ func (j *journal) applyBatch(m *Monitor, ops []Op) (*Delta, error) {
 			return nil, err
 		}
 	}
+	if met != nil {
+		t1 := time.Now()
+		met.validateSeconds.ObserveDuration(t1.Sub(t0))
+		t0 = t1
+	}
 	if err := j.log.Append(encodeOps(ops)); err != nil {
 		j.appendErr = err
 		return nil, err
+	}
+	if met != nil {
+		t1 := time.Now()
+		met.walAppendSeconds.ObserveDuration(t1.Sub(t0))
+		t0 = t1
 	}
 	var d *Delta
 	var err error
@@ -290,6 +312,9 @@ func (j *journal) applyBatch(m *Monitor, ops []Op) (*Delta, error) {
 	} else {
 		m.internOps(ops)
 		d, err = m.applyBuckets(ops, perShard, shards, false)
+	}
+	if met != nil {
+		met.shardApplySeconds.ObserveSince(t0)
 	}
 	if err != nil {
 		// Unreachable after validation; if the invariant ever tears, the
@@ -386,6 +411,11 @@ func (j *journal) rollLocked(m *Monitor, newSeq uint64) error {
 	if newSeq <= j.seq {
 		return fmt.Errorf("incremental: roll to generation %d at generation %d", newSeq, j.seq)
 	}
+	met := m.met
+	var rollStart time.Time
+	if met != nil {
+		rollStart = time.Now()
+	}
 	// The outgoing segment must be durably complete BEFORE the snapshot
 	// that supersedes it exists: the snapshot embodies every record the
 	// segment holds (including a buffered, unsynced tail under
@@ -396,8 +426,15 @@ func (j *journal) rollLocked(m *Monitor, newSeq uint64) error {
 	if err := j.log.Sync(); err != nil {
 		return err
 	}
+	var snapStart time.Time
+	if met != nil {
+		snapStart = time.Now()
+	}
 	if err := wal.WriteSnapshot(j.dir, newSeq, m.writeSnapshot); err != nil {
 		return err
+	}
+	if met != nil {
+		met.snapshotSeconds.ObserveSince(snapStart)
 	}
 	newLog, err := wal.Create(wal.LogPath(j.dir, newSeq), j.fsync)
 	if err != nil {
@@ -406,10 +443,17 @@ func (j *journal) rollLocked(m *Monitor, newSeq uint64) error {
 		os.Remove(wal.SnapshotPath(j.dir, newSeq))
 		return err
 	}
+	if met != nil {
+		newLog.SetStats(met.logStats)
+	}
 	old := j.log
 	j.log, j.seq, j.records = newLog, newSeq, 0
 	old.Close()
 	_ = wal.RemoveBelow(j.dir, newSeq, j.segmentFloor(newSeq))
+	if met != nil {
+		met.rollSeconds.ObserveSince(rollStart)
+		met.snapshots.Inc()
+	}
 	return nil
 }
 

@@ -1,0 +1,131 @@
+package incremental
+
+import (
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// This file binds the Monitor's hot paths to the obs metrics core. A
+// monitor always carries a registry — a private one by default, so
+// tests stay hermetic; a process daemon passes obs.Default() through
+// Options.Metrics so one scrape covers every component; obs.Disabled()
+// switches instrumentation off entirely (m.met == nil), which is the
+// baseline BenchmarkObsOverhead compares against.
+//
+// The discipline on the hot path: updating a handle is a few atomic
+// adds (never an allocation, never a lock), and the time.Now() calls
+// that feed the stage timers only run when metrics are enabled — every
+// timing site guards on `m.met != nil` before touching the clock.
+
+// monMetrics holds the Monitor's metric handles, registered once at
+// build time so the apply path never goes through the registry map.
+type monMetrics struct {
+	reg *obs.Registry
+
+	// Apply pipeline (changeset.go, journal.go).
+	opsInsert, opsDelete, opsUpdate *obs.Counter
+	batches, rejected               *obs.Counter
+	applySeconds                    *obs.Histogram // whole Apply, all modes
+	validateSeconds                 *obs.Histogram // batch validation stage
+	walAppendSeconds                *obs.Histogram // journal append incl. fsync
+	shardApplySeconds               *obs.Histogram // sharded in-memory apply
+	violationsAdded                 *obs.Counter
+	violationsRemoved               *obs.Counter
+
+	// Journal rotation (journal.go).
+	snapshotSeconds *obs.Histogram // WriteSnapshot alone
+	rollSeconds     *obs.Histogram // whole generation roll
+	snapshots       *obs.Counter
+
+	// WAL segment internals, observed by wal.Log itself.
+	logStats wal.LogStats
+}
+
+func newMonMetrics(reg *obs.Registry) *monMetrics {
+	mm := &monMetrics{reg: reg}
+	const opsHelp = "Mutations applied through Monitor.Apply, by op kind."
+	mm.opsInsert = reg.Counter("cfd_apply_ops_total", opsHelp, obs.L("op", "insert"))
+	mm.opsDelete = reg.Counter("cfd_apply_ops_total", opsHelp, obs.L("op", "delete"))
+	mm.opsUpdate = reg.Counter("cfd_apply_ops_total", opsHelp, obs.L("op", "update"))
+	mm.batches = reg.Counter("cfd_apply_batches_total", "ChangeSets applied through Monitor.Apply.")
+	mm.rejected = reg.Counter("cfd_apply_rejected_total", "ChangeSets refused before applying (validation failure, read-only follower, poisoned journal).")
+	mm.applySeconds = reg.DurationHistogram("cfd_apply_seconds", "End-to-end Monitor.Apply latency per ChangeSet.")
+	mm.validateSeconds = reg.DurationHistogram("cfd_apply_validate_seconds", "Batch validation stage: arity/domain/key-existence checks.")
+	mm.walAppendSeconds = reg.DurationHistogram("cfd_apply_wal_append_seconds", "WAL append stage per batch, including the fsync when enabled.")
+	mm.shardApplySeconds = reg.DurationHistogram("cfd_apply_shard_seconds", "Sharded in-memory apply stage per batch.")
+	mm.violationsAdded = reg.Counter("cfd_violations_added_total", "Violations that appeared, summed over apply deltas.")
+	mm.violationsRemoved = reg.Counter("cfd_violations_removed_total", "Violations that were retired, summed over apply deltas.")
+
+	mm.snapshotSeconds = reg.DurationHistogram("cfd_wal_snapshot_seconds", "Time to serialize and durably write one full-state snapshot.")
+	mm.rollSeconds = reg.DurationHistogram("cfd_wal_segment_roll_seconds", "Time for one whole generation roll: segment sync, snapshot, fresh segment, GC.")
+	mm.snapshots = reg.Counter("cfd_wal_snapshots_total", "Completed generation rolls (snapshot + fresh segment).")
+
+	mm.logStats = wal.LogStats{
+		AppendSeconds: reg.DurationHistogram("cfd_wal_append_seconds", "Time to frame and buffer one WAL record (fsync excluded)."),
+		SyncSeconds:   reg.DurationHistogram("cfd_wal_fsync_seconds", "Time to flush and fsync the WAL segment."),
+		Records:       reg.Counter("cfd_wal_records_total", "Records appended to the WAL."),
+		Bytes:         reg.Counter("cfd_wal_append_bytes_total", "Bytes appended to the WAL, framing included."),
+	}
+	return mm
+}
+
+// countOps bumps the per-kind op counters for one applied batch.
+func (mm *monMetrics) countOps(ops []Op) {
+	var ins, del, upd uint64
+	for i := range ops {
+		switch ops[i].Kind {
+		case OpInsert:
+			ins++
+		case OpDelete:
+			del++
+		default:
+			upd++
+		}
+	}
+	if ins > 0 {
+		mm.opsInsert.Add(ins)
+	}
+	if del > 0 {
+		mm.opsDelete.Add(del)
+	}
+	if upd > 0 {
+		mm.opsUpdate.Add(upd)
+	}
+}
+
+// followerMetrics holds a Follower's replication handles; registered
+// only when a follower exists, so a plain primary's scrape carries no
+// replica series.
+type followerMetrics struct {
+	chunks       *obs.Counter
+	records      *obs.Counter
+	bytes        *obs.Counter
+	fetchErrors  *obs.Counter
+	applySeconds *obs.Histogram
+	lagBytes     *obs.Gauge
+	lagSegments  *obs.Gauge
+}
+
+func newFollowerMetrics(reg *obs.Registry) *followerMetrics {
+	return &followerMetrics{
+		chunks:       reg.Counter("cfd_replica_chunks_total", "WAL chunks fetched from the primary."),
+		records:      reg.Counter("cfd_replica_records_total", "Shipped records applied by the follower."),
+		bytes:        reg.Counter("cfd_replica_bytes_total", "Shipped WAL bytes applied by the follower."),
+		fetchErrors:  reg.Counter("cfd_replica_fetch_errors_total", "Failed chunk/snapshot exchanges with the primary."),
+		applySeconds: reg.DurationHistogram("cfd_replica_apply_seconds", "Time to apply one shipped chunk locally."),
+		lagBytes:     reg.Gauge("cfd_replica_lag_bytes", "Byte distance to the primary's tail within the shared segment; -1 while segments behind."),
+		lagSegments:  reg.Gauge("cfd_replica_lag_segments", "Whole segments the follower trails the primary by."),
+	}
+}
+
+// Metrics returns the registry this monitor instruments itself into:
+// the one passed via Options.Metrics, a private registry when none was
+// given, or the disabled sentinel when instrumentation is off. Layers
+// stacked on a monitor (discovery miners, servers) register their own
+// series here so one scrape covers the whole node.
+func (m *Monitor) Metrics() *obs.Registry {
+	if m.met == nil {
+		return obs.Disabled()
+	}
+	return m.met.reg
+}

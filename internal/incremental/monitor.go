@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -104,6 +105,13 @@ type Options struct {
 	// grows; sharing it keeps every distinct value of the source data
 	// alive for the monitor's lifetime.
 	Intern *relation.Interner
+
+	// Metrics is the observability registry the monitor instruments
+	// itself into (apply-stage timers, WAL timings, violation counters;
+	// see internal/obs). nil means a private registry per monitor, so
+	// tests stay hermetic; a daemon passes obs.Default() so one scrape
+	// covers every component; obs.Disabled() turns instrumentation off.
+	Metrics *obs.Registry
 }
 
 const defaultShards = 16
@@ -154,6 +162,11 @@ type Monitor struct {
 	// see stats.go) — the generalized, tableau-free form of the group
 	// indexes, maintained from the same apply path.
 	statsState
+
+	// met holds the pre-registered metric handles; nil when built with
+	// obs.Disabled(), which every timing site checks before touching
+	// the clock.
+	met *monMetrics
 
 	// j is the durable journal; nil for a memory-only monitor.
 	j *journal
@@ -243,6 +256,18 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 		if len(m.attrCFDs[ai]) > 0 {
 			m.internAttrs = append(m.internAttrs, ai)
 		}
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if !reg.IsDisabled() {
+		m.met = newMonMetrics(reg)
+		// Live-state gauges read the monitor at scrape time. Re-binding
+		// a new monitor to a shared registry points them at the new
+		// instance (GaugeFunc: latest registration wins).
+		reg.GaugeFunc("cfd_tuples", "Live tuples in the monitor.", func() float64 { return float64(m.size.Load()) })
+		reg.GaugeFunc("cfd_violations", "Live violations across the CFD set.", func() float64 { return float64(m.ViolationCount()) })
 	}
 	return m, nil
 }

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with every metric kind and fixed
+// values, so its exposition output is fully deterministic.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("demo_ops_total", "Operations applied, by kind.", L("op", "insert")).Add(5)
+	r.Counter("demo_ops_total", "Operations applied, by kind.", L("op", "delete")).Add(3)
+	r.Counter("demo_plain_total", "A label-free counter.").Add(12)
+	r.Gauge("demo_depth", "Current queue depth.").Set(7)
+	r.GaugeFunc("demo_temperature", "A computed gauge.", func() float64 { return 36.6 })
+	h := r.Histogram("demo_batch_bytes", "Batch sizes in bytes.")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(8)
+	d := r.DurationHistogram("demo_apply_seconds", "Apply latency.")
+	d.Observe(1024) // 1024ns, lands in bucket 11 ([1024,2048))
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	const path = "testdata/metrics.golden"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition output drifted from golden file (run with -update to refresh)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramBucketMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("mono_bytes", "monotonicity fixture")
+	for v := uint64(1); v < 100000; v = v*3 + 1 {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		prev      uint64
+		buckets   int
+		infCount  uint64
+		countLine uint64
+	)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "mono_bytes_bucket"):
+			v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("cumulative buckets must be non-decreasing: %q after %d", line, prev)
+			}
+			prev = v
+			buckets++
+			if strings.Contains(line, `le="+Inf"`) {
+				infCount = v
+			}
+		case strings.HasPrefix(line, "mono_bytes_count"):
+			countLine, _ = strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		}
+	}
+	if buckets < 3 {
+		t.Fatalf("expected several bucket lines, got %d", buckets)
+	}
+	if infCount == 0 || infCount != countLine {
+		t.Fatalf("le=\"+Inf\" (%d) must equal _count (%d)", infCount, countLine)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", `help with \ backslash`+"\nand newline", L("path", "a\\b\"c\nd")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `path="a\\b\"c\nd"`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP esc_total help with \\ backslash\nand newline`) {
+		t.Fatalf("help text not escaped:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("escaped output must stay 3 physical lines:\n%q", out)
+	}
+}
+
+// TestConcurrentScrape hammers every metric kind from writer goroutines
+// while scraping in parallel; under -race this proves scrapes never
+// lock out or tear the write path.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "h")
+	g := r.Gauge("hot_depth", "h")
+	h := r.DurationHistogram("hot_seconds", "h")
+	r.GaugeFunc("hot_calc", "h", func() float64 { return float64(c.Value()) })
+
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(seed*1000 + i)
+				// Concurrent registration of an existing series must
+				// also be scrape-safe.
+				r.Counter("hot_total", "h").Add(1)
+			}
+		}(uint64(w))
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "hot_seconds_count") {
+			t.Fatal("scrape lost a series mid-flight")
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After quiescing, the histogram invariants must hold exactly.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var inf, count string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "hot_seconds_bucket") && strings.Contains(line, "+Inf") {
+			inf = line[strings.LastIndexByte(line, ' ')+1:]
+		}
+		if strings.HasPrefix(line, "hot_seconds_count") {
+			count = line[strings.LastIndexByte(line, ' ')+1:]
+		}
+	}
+	if inf == "" || inf != count {
+		t.Fatalf("quiesced histogram: +Inf %q != count %q", inf, count)
+	}
+	if c.Value() != h.Count()*2 {
+		t.Fatalf("counter %d must be twice histogram count %d", c.Value(), h.Count())
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+	if h.Count() == 0 {
+		b.Fatal("no observations")
+	}
+}

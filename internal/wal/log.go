@@ -25,6 +25,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // headerSize is the per-record framing: uint32 payload length followed by
@@ -46,6 +49,34 @@ type Log struct {
 	w     *bufio.Writer
 	fsync bool
 	hdr   [headerSize]byte
+
+	// stats are the optional metric hooks (obs handles are nil-safe);
+	// timed caches whether any timer is armed, so an uninstrumented log
+	// never reads the clock.
+	stats LogStats
+	timed bool
+}
+
+// LogStats are optional observability hooks a Log reports through: the
+// owner (the Monitor's journal) registers the series and hands the
+// handles down, keeping this package free of metric names. Any field
+// may be nil.
+type LogStats struct {
+	// AppendSeconds times framing + buffering one record, fsync excluded.
+	AppendSeconds *obs.Histogram
+	// SyncSeconds times Sync: buffer flush + file fsync.
+	SyncSeconds *obs.Histogram
+	// Records counts appended records, Bytes the appended bytes
+	// including framing.
+	Records *obs.Counter
+	Bytes   *obs.Counter
+}
+
+// SetStats arms the metric hooks. Not safe to call concurrently with
+// Append/Sync; callers set stats right after Create/OpenAppend.
+func (l *Log) SetStats(s LogStats) {
+	l.stats = s
+	l.timed = s.AppendSeconds != nil || s.SyncSeconds != nil
 }
 
 // Create starts a new, empty log segment at path.
@@ -73,6 +104,10 @@ func (l *Log) Append(payload []byte) error {
 	if len(payload) > maxRecord {
 		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
 	}
+	var start time.Time
+	if l.timed {
+		start = time.Now()
+	}
 	binary.LittleEndian.PutUint32(l.hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(l.hdr[4:8], crc32.ChecksumIEEE(payload))
 	if _, err := l.w.Write(l.hdr[:]); err != nil {
@@ -80,6 +115,11 @@ func (l *Log) Append(payload []byte) error {
 	}
 	if _, err := l.w.Write(payload); err != nil {
 		return err
+	}
+	l.stats.Records.Inc()
+	l.stats.Bytes.Add(uint64(headerSize + len(payload)))
+	if l.timed {
+		l.stats.AppendSeconds.ObserveSince(start)
 	}
 	if l.fsync {
 		return l.Sync()
@@ -103,10 +143,20 @@ func (l *Log) FlushedSize() (int64, error) {
 
 // Sync flushes buffered records and fsyncs the file.
 func (l *Log) Sync() error {
+	var start time.Time
+	if l.timed {
+		start = time.Now()
+	}
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if l.timed {
+		l.stats.SyncSeconds.ObserveSince(start)
+	}
+	return nil
 }
 
 // Close flushes, syncs and closes the segment.
