@@ -3,18 +3,19 @@ GO ?= go
 # The CI bench-gate workload: small, fixed, a few minutes. One
 # experiment per layer — batch detection (9a), strategy comparison
 # (merge), the durable serving path (e9), batched ingest (e10),
-# streaming discovery (e11) and WAL shipping (e12) — at -quick sizes,
-# best-of-5 so a single scheduler hiccup does not fail the gate. ci.yml
-# and the checked-in baseline both go through these targets, so the
-# flags live only here.
-BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12
+# streaming discovery (e11), WAL shipping (e12) and write-path raw
+# speed (e13: group-commit coalescing + tuple-store memory) — at
+# -quick sizes, best-of-5 so a single scheduler hiccup does not fail
+# the gate. ci.yml and the checked-in baseline both go through these
+# targets, so the flags live only here.
+BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12,e13
 # Relative tolerance plus an absolute ns/op floor: only millisecond-scale
 # drift can fail the gate; µs-scale series (single append, fsync) stay
 # informational because 30% of a microsecond is scheduler jitter.
 BENCH_TOLERANCE = 0.30
 BENCH_FLOOR_NS = 100000
 
-.PHONY: test race race-batch race-discovery race-failover metrics-smoke bench-current bench-baseline bench-batch bench-discovery bench-replication bench-check
+.PHONY: test race race-batch race-discovery race-failover metrics-smoke bench-current bench-baseline bench-batch bench-discovery bench-replication bench-groupcommit bench-check docs-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -78,6 +79,20 @@ bench-discovery:
 # catch-up (local snapshot + tail + ship the gap) vs cold CSV re-seed.
 bench-replication:
 	$(GO) run ./cmd/cfdbench -quick -only e12
+
+# Quick local iteration on the write-path series only (E13): group-commit
+# window coalescing under concurrent single-op writers, and the
+# value-ID-column vs string-tuple memory comparison.
+bench-groupcommit:
+	$(GO) run ./cmd/cfdbench -quick -only e13
+
+# Documentation gate: vet, every *.md relative link and anchor resolves,
+# and the godoc examples are gofmt-clean. ci.yml's docs job runs this.
+docs-check:
+	$(GO) vet ./...
+	sh scripts/check_links.sh
+	@out=$$(gofmt -l example_test.go doc.go); \
+	if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
 # The gate itself: rerun the workload (min of 2 runs, a 3rd on
 # failure), fail on a >30% ns/op regression of at least 100µs absolute,

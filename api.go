@@ -211,12 +211,19 @@ type (
 	// MonitorOptions tunes the monitor: lock-shard count, plus the
 	// durability knobs — Durable (the WAL directory; non-empty enables
 	// write-ahead journaling and snapshot/log recovery), Fsync (sync every
-	// record), SnapshotEvery (background snapshot cadence in records) and
-	// RetainSegments (closed segments kept for WAL shipping) — and
-	// Metrics, the observability registry the monitor instruments
-	// itself into (nil: a private registry; DefaultMetrics(): the
-	// process-global one; DisabledMetrics(): off).
+	// record), GroupCommit (coalesce concurrent writers into shared
+	// commit windows: one WAL record and one fsync per window; see
+	// MonitorGroupCommit), SnapshotEvery (background snapshot cadence in
+	// records) and RetainSegments (closed segments kept for WAL
+	// shipping) — and Metrics, the observability registry the monitor
+	// instruments itself into (nil: a private registry; DefaultMetrics():
+	// the process-global one; DisabledMetrics(): off).
 	MonitorOptions = incremental.Options
+	// MonitorGroupCommit configures the group-commit window
+	// (MonitorOptions.GroupCommit): MaxDelay is the leader's grace
+	// period, MaxOps closes a window early. The zero value disables
+	// group commit; setting either field enables it.
+	MonitorGroupCommit = incremental.GroupCommit
 	// MonitorJournalStats describes a monitor's durable state (generation,
 	// records since last snapshot, recovery provenance).
 	MonitorJournalStats = incremental.JournalStats

@@ -21,7 +21,13 @@
 // WAL segment shipping (a restarted follower's catch-up — local
 // snapshot + log tail recovery plus shipping the records it missed — vs
 // the cold CSV re-seed a standby-less shard pays; acceptance is a ≥5×
-// speedup at 100K tuples).
+// speedup at 100K tuples); e13 measures write-path raw speed (group
+// commit: fsynced single-op throughput at 1/4/16 concurrent writers
+// with the commit window on vs off and vs hand-batched ChangeSets —
+// acceptance is ≥4 coalesced writers within ~2× of the batched per-op
+// rate — plus the tuple-store memory series: bytes/tuple of the dense
+// value-ID columns vs the interned-string layout at 1M tuples;
+// acceptance is a ≥2× reduction).
 //
 // With -json the tables are suppressed and a single JSON array of
 // measurements is written to stdout, so a per-PR perf trajectory
@@ -54,7 +60,7 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
-		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11,e12)")
+		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11,e12,e13)")
 		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 		repeat  = flag.Int("repeat", 1, "measure each series this many times and keep the fastest")
 	)
@@ -100,6 +106,9 @@ func main() {
 	}
 	if want("e12") {
 		b.e12()
+	}
+	if want("e13") {
+		b.e13()
 	}
 	if b.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -921,4 +930,229 @@ func (b *bench) e12() {
 	b.row("follower catch-up (local recovery + tail ship)", ms(catchup)+" ms")
 	b.row("promotion flip", fmt.Sprintf("%.1f µs", float64(promote.d.Nanoseconds())/1e3))
 	b.row("catch-up vs re-seed", fmt.Sprintf("%.1fx", float64(csvLoad.d)/float64(catchup.d)))
+}
+
+// e13: write-path raw speed. Part one is the group-commit window —
+// concurrent writers issuing single fsynced ops coalesce into one
+// combined WAL record and one fsync per window, so per-op cost should
+// fall toward the hand-batched rate as writers grow. Acceptance: at
+// ≥ 4 writers the coalesced single-op rate is within ~2× of the
+// batched reference. Part two is the dense value-ID tuple store —
+// bytes/tuple of the monitor's packed uint32 columns vs the
+// interned-string tuple layout it replaced, at 1M tuples (200K under
+// -quick). Acceptance: ≥ 2× reduction.
+func (b *bench) e13() {
+	sz := 100000
+	if b.quick {
+		sz = 20000
+	}
+	data := b.data(sz, 0.05)
+	var sigma []*core.CFD
+	for i, tpl := range []gen.Template{gen.ZipToState, gen.ZipCityToState, gen.AreaCodeToState} {
+		cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+			Template: tpl, TabSize: 500, ConstPct: 1.0, Seed: int64(3 + i),
+		})
+		if err != nil {
+			b.fatal(err)
+		}
+		sigma = append(sigma, cfd)
+	}
+	dir, err := os.MkdirTemp("", "cfdbench-e13-")
+	if err != nil {
+		b.fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Same driver as e10: n CT updates as ChangeSets of size batch split
+	// across writers on disjoint key ranges, pass counter keeping every
+	// revisit a real flip.
+	pass := 0
+	mutateBatched := func(m *incremental.Monitor, n, batch, writers int) time.Duration {
+		pass++
+		vals := [2]string{fmt.Sprintf("GAA%d", pass), fmt.Sprintf("GBB%d", pass)}
+		perW := n / writers
+		span := sz / writers
+		var wg sync.WaitGroup
+		errs := make([]error, writers)
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				base := w * span
+				for done := 0; done < perW; {
+					sz := batch
+					if rest := perW - done; rest < sz {
+						sz = rest
+					}
+					var cs incremental.ChangeSet
+					for i := 0; i < sz; i++ {
+						op := done + i
+						cs.Update(int64(base+op%span), "CT", vals[(op+op/span)%2])
+					}
+					if _, err := m.Apply(&cs); err != nil {
+						errs[w] = err
+						return
+					}
+					done += sz
+				}
+			}(w)
+		}
+		wg.Wait()
+		d := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				b.fatal(err)
+			}
+		}
+		return d
+	}
+	best := func(n, batch, writers int, m *incremental.Monitor) measurement {
+		out := measurement{d: time.Duration(1<<63 - 1)}
+		for r := 0; r < b.repeat || r == 0; r++ {
+			if d := mutateBatched(m, n, batch, writers) / time.Duration(n); d < out.d {
+				out = measurement{d: d}
+			}
+		}
+		return out
+	}
+
+	nSingle, nBatch := 320, 3200
+	if b.quick {
+		nSingle, nBatch = 160, 1600
+	}
+
+	// Baseline: window off, every op pays its own append + fsync.
+	moff, err := incremental.Load(data.Dirty, sigma, incremental.Options{
+		Durable: filepath.Join(dir, "off"), Fsync: true,
+	})
+	if err != nil {
+		b.fatal(err)
+	}
+	offSingle := best(nSingle, 1, 4, moff)
+	b.record(fmt.Sprintf("e13/SZ=%d/fsync/gc=off/writers=4", sz), offSingle)
+	batched := best(nBatch, 16, 4, moff)
+	b.record(fmt.Sprintf("e13/SZ=%d/fsync/batch=16/writers=4", sz), batched)
+	if err := moff.Close(); err != nil {
+		b.fatal(err)
+	}
+
+	// Window on: op-bounded, no deliberate delay — coalescing is driven
+	// by writers stacking up behind the in-flight fsync.
+	mon, err := incremental.Load(data.Dirty, sigma, incremental.Options{
+		Durable: filepath.Join(dir, "on"), Fsync: true,
+		GroupCommit: incremental.GroupCommit{MaxOps: 512},
+	})
+	if err != nil {
+		b.fatal(err)
+	}
+	onByWriters := map[int]measurement{}
+	for _, writers := range []int{1, 4, 16} {
+		m := best(nSingle, 1, writers, mon)
+		onByWriters[writers] = m
+		b.record(fmt.Sprintf("e13/SZ=%d/fsync/gc=on/writers=%d", sz, writers), m)
+	}
+	if err := mon.Close(); err != nil {
+		b.fatal(err)
+	}
+
+	// Delay variant: a deliberate 200µs grace period fills the window to
+	// the full writer population even on devices whose fsync is too fast
+	// to gather company on its own (the self-tuning window's size tracks
+	// the fsync duration, so cheap fsyncs mean small windows — and cheap
+	// per-op costs, which is why both configurations are worth showing).
+	mdl, err := incremental.Load(data.Dirty, sigma, incremental.Options{
+		Durable: filepath.Join(dir, "delay"), Fsync: true,
+		GroupCommit: incremental.GroupCommit{MaxDelay: 200 * time.Microsecond, MaxOps: 512},
+	})
+	if err != nil {
+		b.fatal(err)
+	}
+	delay16 := best(nSingle, 1, 16, mdl)
+	b.record(fmt.Sprintf("e13/SZ=%d/fsync/gc=delay/writers=16", sz), delay16)
+	if err := mdl.Close(); err != nil {
+		b.fatal(err)
+	}
+
+	// Part two: tuple-store memory. Build the two layouts side by side
+	// from the same rows and compare live heap deltas. Byte counts (not
+	// durations) are recorded, so the series are deterministic.
+	nMem := 1000000
+	if b.quick {
+		nMem = 200000
+	}
+	heapBytes := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	src := data.Dirty.Tuples
+	width := len(src[0])
+
+	before := heapBytes()
+	idIn := relation.NewInterner()
+	idStore := make(map[int64][]uint32, nMem)
+	for i := 0; i < nMem; i++ {
+		idStore[int64(i)] = idIn.AppendIDs(make([]uint32, 0, width), src[i%len(src)])
+	}
+	idTotal := heapBytes() - before
+
+	before = heapBytes()
+	strIn := relation.NewInterner()
+	strStore := make(map[int64]relation.Tuple, nMem)
+	for i := 0; i < nMem; i++ {
+		// The replaced layout: one []Value per tuple, each element an
+		// interned string header. (InternTuple would hand back the shared
+		// source slice once its values are canonical, hiding the cost.)
+		tp := make(relation.Tuple, width)
+		for j, v := range src[i%len(src)] {
+			tp[j] = strIn.Intern(v)
+		}
+		strStore[int64(i)] = tp
+	}
+	strTotal := heapBytes() - before
+	runtime.KeepAlive(idStore)
+	runtime.KeepAlive(strStore)
+
+	idPer := idTotal / uint64(nMem)
+	strPer := strTotal / uint64(nMem)
+	// Total bytes ride in the duration slot (1 byte = 1ns) so the CI
+	// gate tracks memory regressions with the same ±tolerance as time.
+	b.record(fmt.Sprintf("e13/N=%d/mem/idcols", nMem), measurement{d: time.Duration(idTotal), allocs: idPer})
+	b.record(fmt.Sprintf("e13/N=%d/mem/strtuples", nMem), measurement{d: time.Duration(strTotal), allocs: strPer})
+
+	b.header(fmt.Sprintf("E13: group commit + ID columns (SZ = %d, 3 CFDs, durable+fsync)", sz),
+		"series", "writers", "µs/op", "ops/sec")
+	us := func(m measurement) string { return fmt.Sprintf("%.1f", float64(m.d.Nanoseconds())/1e3) }
+	rate := func(m measurement) string {
+		if m.d <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", 1e9/float64(m.d.Nanoseconds()))
+	}
+	b.row("gc off, single-op", "4", us(offSingle), rate(offSingle))
+	for _, writers := range []int{1, 4, 16} {
+		m := onByWriters[writers]
+		b.row("gc on, single-op", fmt.Sprint(writers), us(m), rate(m))
+	}
+	b.row("gc delay=200µs, single-op", "16", us(delay16), rate(delay16))
+	b.row("batched (batch=16)", "4", us(batched), rate(batched))
+	b.row("gc on vs off (4 writers)", "-",
+		fmt.Sprintf("%.1fx", float64(offSingle.d)/float64(onByWriters[4].d)), "-")
+	best16 := onByWriters[16]
+	if delay16.d < best16.d {
+		best16 = delay16
+	}
+	b.row("gc best (16 writers) vs batched", "-",
+		fmt.Sprintf("%.1fx (want ≤ ~2x on sync-bound devices)", float64(best16.d)/float64(batched.d)), "-")
+
+	b.header(fmt.Sprintf("E13: tuple-store memory (N = %d, %d attrs)", nMem, width),
+		"layout", "bytes/tuple", "total MB")
+	mb := func(n uint64) string { return fmt.Sprintf("%.1f", float64(n)/1e6) }
+	b.row("value-ID columns", fmt.Sprint(idPer), mb(idTotal))
+	b.row("interned-string tuples", fmt.Sprint(strPer), mb(strTotal))
+	if idPer > 0 {
+		b.row("reduction", fmt.Sprintf("%.1fx (want ≥ 2x)", float64(strPer)/float64(idPer)), "-")
+	}
 }

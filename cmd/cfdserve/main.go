@@ -9,8 +9,15 @@
 //	cfdserve -data tax.csv -cfds cfds.txt                # line loop on stdin
 //	cfdserve -data tax.csv -cfds cfds.txt -http :8080    # HTTP API
 //	cfdserve -data tax.csv -cfds cfds.txt -http :8080 -wal-dir /var/lib/cfd
+//	cfdserve -data tax.csv -cfds cfds.txt -http :8080 -wal-dir /var/lib/cfd \
+//	         -fsync -group-commit-ops 512                # durable + group commit
 //	cfdserve -cfds cfds.txt -http :8081 -wal-dir /var/lib/cfd2 \
 //	         -follow http://primary:8080                 # hot standby
+//	cfdserve -data tax.csv -cfds cfds.txt -http :8080 \
+//	         -pprof-addr localhost:6060 -log-level debug -log-json
+//
+// See docs/operations.md for the full runbook: topology recipes,
+// promotion/failover procedure, the metrics catalog and tuning.
 //
 // With -wal-dir the node is durable: every accepted change is appended to
 // a write-ahead log before it is applied, background snapshots bound the
@@ -137,6 +144,8 @@ func main() {
 		shards       = flag.Int("shards", 0, "lock shards per index (0 = default)")
 		walDir       = flag.String("wal-dir", "", "durable mode: write-ahead log + snapshots in this directory; restarts recover from it instead of reloading the CSV")
 		fsync        = flag.Bool("fsync", false, "fsync the WAL after every record (acknowledged writes survive OS crash; slower)")
+		gcDelay      = flag.Duration("group-commit-delay", 0, "group commit: window leader waits this long for more writers before committing (0 = no deliberate wait)")
+		gcOps        = flag.Int("group-commit-ops", 0, "group commit: close a window early once this many ops are queued; setting either -group-commit-* flag enables coalescing concurrent writers into one WAL record + fsync per window")
 		snapRecords  = flag.Int("snapshot-records", 10000, "roll a background snapshot after this many WAL records (0 = off)")
 		snapInterval = flag.Duration("snapshot-interval", 0, "also snapshot on this wall-clock period, e.g. 5m (0 = off)")
 		retainSegs   = flag.Int("retain-segments", 2, "durable mode: closed WAL segments kept behind the current one, so a briefly-disconnected follower resumes its cursor instead of resyncing (0 = none)")
@@ -157,6 +166,7 @@ func main() {
 		Shards:         *shards,
 		Durable:        *walDir,
 		Fsync:          *fsync,
+		GroupCommit:    repro.MonitorGroupCommit{MaxDelay: *gcDelay, MaxOps: *gcOps},
 		SnapshotEvery:  *snapRecords,
 		RetainSegments: *retainSegs,
 		// The daemon publishes on the process-global registry, so the

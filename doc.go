@@ -195,7 +195,8 @@
 // may not have reached the follower yet and — with Fsync off — a crashed
 // primary can even recover behind a follower that already applied its
 // unsynced tail; promotion, not re-subscription, is the intended
-// response to a dead primary. Reads (Violations, stats, discovery
+// response to a dead primary (see the fencing note below). Reads
+// (Violations, stats, discovery
 // miners) serve on the follower throughout; mutations and ForceSnapshot
 // return ErrMonitorReadOnly. A follower whose cursor falls below the
 // primary's retention window gets ErrWALSegmentGone and must resync
@@ -211,9 +212,15 @@
 // way, including serving /wal to its own followers. Promotion does not
 // fence the old primary: if it was merely partitioned, both nodes now
 // accept writes into diverged histories — routing writes away from a
-// deposed primary is the operator's (or a future router's) job. The
-// failover property test kills a primary at random record boundaries
-// and cross-checks the promoted node against the single-node oracle.
+// deposed primary is the operator's job until the ROADMAP.md
+// "consistent-hash sharded cluster with fenced failover" item lands (a
+// cfdrouter stamping epoch/term numbers into WAL records, so a deposed
+// primary's writes are refused rather than merely misrouted). Until
+// then, keep a single write entry point in front of each
+// primary/follower pair; docs/operations.md walks through the failover
+// procedure. The failover property test kills a primary at random
+// record boundaries and cross-checks the promoted node against the
+// single-node oracle.
 //
 // # Observability
 //
@@ -239,6 +246,9 @@
 //	cfd_apply_validate_seconds      the validation stage
 //	cfd_apply_wal_append_seconds    the journal stage (append + any fsync)
 //	cfd_apply_shard_seconds         the shard-apply stage
+//	cfd_group_commit_window_ops     ops journaled per commit window
+//	cfd_group_commit_window_writers writers coalesced per commit window
+//	cfd_group_commit_wait_seconds   follower wait for the leader's fsync
 //	cfd_violations_added_total      violation-delta entries raised
 //	cfd_violations_removed_total    violation-delta entries retired
 //	cfd_tuples, cfd_violations      live set sizes (gauges)
@@ -268,6 +278,22 @@
 // threshold (debug, info, warn, error), -log-json switches stderr to
 // JSON lines.
 //
-// See README.md for a walkthrough, DESIGN.md for the architecture and
-// EXPERIMENTS.md for the reproduction of every figure in the paper.
+// # Write-path raw speed
+//
+// Two mechanisms serve unbatched write traffic (see ARCHITECTURE.md for
+// the full write-path walk-through). Group commit
+// (MonitorOptions.GroupCommit) coalesces concurrent single-op writers
+// into shared commit windows — one combined WAL record and one fsync
+// per window, with per-writer validation and deltas — closing most of
+// the gap to hand-batched ChangeSets without asking callers to batch.
+// And the monitor stores tuples and group keys as dense value IDs
+// (4-byte columns interned through one value pool) rather than string
+// maps, so group probes hash and compare integers and resident memory
+// per tuple drops accordingly; the E13 benchmarks (cmd/cfdbench -only
+// e13) measure both.
+//
+// See README.md for a walkthrough, ARCHITECTURE.md for the subsystem
+// map and data-flow diagrams, docs/operations.md for the cfdserve
+// runbook, DESIGN.md for design rationale and EXPERIMENTS.md for the
+// reproduction of every figure in the paper.
 package repro

@@ -418,9 +418,13 @@ func (c *candidate) buildPatterns(cfg Config) (*Discovered, error) {
 		g   *mgroup
 	}
 	pats := make([]pat, 0, c.patterns)
-	for k, g := range c.groups {
+	for _, g := range c.groups {
 		if g.hasPat {
-			pats = append(pats, pat{key: k, g: g})
+			// Tie-break on the value-encoded X, not the store's opaque
+			// XKey: the latter is built from interner IDs, whose order
+			// depends on arrival order, while the mined set must be
+			// deterministic for a given instance (and match Discover).
+			pats = append(pats, pat{key: relation.EncodeKey(g.x), g: g})
 		}
 	}
 	sort.Slice(pats, func(i, j int) bool {

@@ -45,12 +45,18 @@ type Op struct {
 	Attr  string
 	Value relation.Value
 
-	// ai is the resolved index of Attr and owned the monitor's interned
+	// ai is the resolved index of Attr and owned the monitor's private
 	// clone of Tuple, both filled in by resolveOps. The clone stays
-	// private: handing it back through Tuple would let a caller mutate
-	// the very slice the monitor indexed.
+	// private: it is what the WAL records (strings, so the log format is
+	// independent of process-local IDs) and what internOps resolves to
+	// the ID vector the store keeps.
 	ai    int
 	owned relation.Tuple
+	// ids is owned resolved to value IDs (OpInsert) and vid the new
+	// value's ID (OpUpdate); both filled by internOps, after validation,
+	// so a rejected batch never grows the pool.
+	ids idTuple
+	vid uint32
 }
 
 // ChangeSet is an ordered vector of mutations applied as one batch. Ops
@@ -115,10 +121,14 @@ func (m *Monitor) Apply(cs *ChangeSet) (*Delta, error) {
 		// local writes would fork its state from the stream it applies.
 		return reject(ErrReadOnly)
 	}
-	if m.j != nil {
+	if m.j != nil && m.gc == nil {
 		// Early poisoned/closed check so a refusing journal rejects
 		// before resolveOps burns keys or clones tuples; the
 		// authoritative check re-runs under journal.mu in applyBatch.
+		// The group-commit path skips it: taking journal.mu here would
+		// serialize writers behind the in-flight fsync BEFORE they can
+		// enqueue, collapsing every commit window to one op. It relies
+		// on the same authoritative re-check inside the window.
 		if err := m.j.usableNow(); err != nil {
 			return reject(err)
 		}
@@ -129,7 +139,11 @@ func (m *Monitor) Apply(cs *ChangeSet) (*Delta, error) {
 	var d *Delta
 	var err error
 	if m.j != nil {
-		d, err = m.j.applyBatch(m, cs.Ops)
+		if m.gc != nil {
+			d, err = m.gc.apply(m, cs.Ops)
+		} else {
+			d, err = m.j.applyBatch(m, cs.Ops)
+		}
 	} else {
 		d, err = m.applyOpsMemory(cs.Ops)
 		if err == nil {
@@ -193,24 +207,33 @@ func (m *Monitor) resolveOps(ops []Op) error {
 	return nil
 }
 
-// internOps canonicalizes CFD-relevant values through the monitor's
-// pools. It runs only on ops that passed validation and WILL apply —
-// including replayed records — so the pools grow with applied state,
-// never with rejected requests. Positions no CFD mentions (names, free
-// text, IDs) are left alone: they never feed a group key, and pooling
-// them would grow the table with every distinct value forever.
+// internOps resolves op values to dense IDs through the monitor's value
+// pool — the form the store keeps. It runs only on ops that passed
+// validation and WILL apply — including replayed records — so the pool
+// grows with applied state, never with rejected requests. Inserted
+// tuples share one ID arena per batch, so a million-op seed costs one
+// allocation for all its ID vectors.
 func (m *Monitor) internOps(ops []Op) {
+	nattrs := m.schema.Len()
+	inserts := 0
+	for i := range ops {
+		if ops[i].Kind == OpInsert {
+			inserts++
+		}
+	}
+	var arena []uint32
+	if inserts > 0 {
+		arena = make([]uint32, 0, inserts*nattrs)
+	}
 	for i := range ops {
 		op := &ops[i]
 		switch op.Kind {
 		case OpInsert:
-			for _, ai := range m.internAttrs {
-				op.owned[ai] = m.vals.Intern(op.owned[ai])
-			}
+			start := len(arena)
+			arena = m.vals.AppendIDs(arena, op.owned)
+			op.ids = arena[start:len(arena):len(arena)]
 		case OpUpdate:
-			if len(m.attrCFDs[op.ai]) > 0 {
-				op.Value = m.vals.Intern(op.Value)
-			}
+			op.vid = m.vals.ID(op.Value)
 		}
 	}
 }
@@ -301,13 +324,13 @@ func (m *Monitor) applyBucket(ops []Op, idxs []int32, sh *tupleShard, d *Delta, 
 		op := &ops[oi]
 		switch op.Kind {
 		case OpInsert:
-			m.insertLocked(sh, op.Key, op.owned, d, sc)
+			m.insertLocked(sh, op.Key, op.ids, d, sc)
 		case OpDelete:
 			if err := m.deleteLocked(sh, op.Key, d, sc); err != nil {
 				return err
 			}
 		case OpUpdate:
-			if err := m.updateLocked(sh, op.Key, op.ai, op.Value, d, sc); err != nil {
+			if err := m.updateLocked(sh, op.Key, op.ai, op.vid, d, sc); err != nil {
 				return err
 			}
 		}
@@ -477,7 +500,8 @@ func (m *Monitor) validateShards(ops []Op, perShard [][]int32, shards []int) err
 // don't pay an allocation per mutation.
 type opScratch struct {
 	key  []byte
-	x, y []relation.Value
+	ykey []byte
+	x, y []uint32
 	rows []int
 }
 

@@ -86,9 +86,10 @@ func TestBatchKeysInterned(t *testing.T) {
 	if got := m.vals.Len(); got != 4 {
 		t.Fatalf("value pool holds %d entries, want 4", got)
 	}
-	// Keys: 2 X-projections + 2 Y-projections.
-	if got := m.keys.Len(); got != 4 {
-		t.Fatalf("key pool holds %d entries, want 4", got)
+	// Keys: 2 Y-projections (X-projection keys are packed-ID map keys
+	// built in place, not pooled).
+	if got := m.keys.Len(); got != 2 {
+		t.Fatalf("key pool holds %d entries, want 2", got)
 	}
 	// The stored tuples really share backing bytes with the pool.
 	t0, _ := m.Get(0)

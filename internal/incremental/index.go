@@ -15,16 +15,26 @@ import (
 // the group index — per-X-group support and Y-value distributions for
 // arbitrary attribute pairs, feeding the streaming CFD miner — lives in
 // stats.go on the same sharding substrate.
+//
+// Everything here speaks value IDs (relation.Interner.ID): tuples are
+// stored as []uint32 columns, tableau constants are resolved to IDs once
+// at build time, and group keys are the packed 4-byte-per-ID encoding of
+// relation.AppendIDKey. Strings only reappear at the API boundary
+// (Violations, Get, deltas), materialized through the interner.
+
+// idTuple is a stored tuple: one value ID per attribute, positionally
+// aligned with the schema.
+type idTuple = []uint32
 
 // rowBucket groups the tableau rows of one CFD that share a constant-
-// position mask, indexed by the encoded values of those constant cells.
+// position mask, indexed by the packed IDs of those constant cells.
 // Probing with a tuple's X-projection returns exactly the rows whose X
 // pattern the tuple matches, in O(1) per mask instead of O(|Tp|).
 type rowBucket struct {
 	// constPos are the LHS positions holding constants under this mask.
 	constPos []int
-	// rows maps the encoded constants at constPos to tableau row indexes.
-	// The all-wildcard mask uses the empty key.
+	// rows maps the packed constant IDs at constPos to tableau row
+	// indexes. The all-wildcard mask uses the empty key.
 	rows map[string][]int
 }
 
@@ -33,7 +43,10 @@ type rowIndex struct {
 	buckets []*rowBucket
 }
 
-func buildRowIndex(cfd *core.CFD) *rowIndex {
+// buildRowIndex resolves the tableau's X constants through the value
+// pool — interning a constant the data never contains costs one pool
+// entry and makes every probe an integer comparison.
+func buildRowIndex(cfd *core.CFD, vals *relation.Interner) *rowIndex {
 	ix := &rowIndex{}
 	byMask := make(map[string]*rowBucket)
 	for ri, row := range cfd.Tableau {
@@ -53,34 +66,57 @@ func buildRowIndex(cfd *core.CFD) *rowIndex {
 			byMask[string(maskKey)] = b
 			ix.buckets = append(ix.buckets, b)
 		}
-		key := make([]relation.Value, len(b.constPos))
+		ids := make([]uint32, len(b.constPos))
 		for i, p := range b.constPos {
-			key[i] = row.X[p].Val
+			ids[i] = vals.ID(row.X[p].Val)
 		}
-		k := relation.EncodeKey(key)
+		k := string(relation.AppendIDKey(nil, ids))
 		b.rows[k] = append(b.rows[k], ri)
 	}
 	return ix
 }
 
 // match returns the tableau rows whose X pattern matches the X-projection x.
-func (ix *rowIndex) match(x []relation.Value) []int {
+func (ix *rowIndex) match(x []uint32) []int {
 	return ix.matchInto(nil, x)
 }
 
-// matchInto appends the matching rows to dst. The probe key is encoded
+// matchInto appends the matching rows to dst. The probe key is packed
 // into a stack buffer and looked up as string(buf), so a match on the
 // mutation hot path allocates nothing.
-func (ix *rowIndex) matchInto(dst []int, x []relation.Value) []int {
+func (ix *rowIndex) matchInto(dst []int, x []uint32) []int {
 	var stack [64]byte
 	for _, b := range ix.buckets {
 		key := stack[:0]
 		for _, p := range b.constPos {
-			key = relation.AppendKey(key, x[p:p+1])
+			key = relation.AppendIDKey(key, x[p:p+1])
 		}
 		dst = append(dst, b.rows[string(key)]...)
 	}
 	return dst
+}
+
+// yCell is one pre-resolved Y-pattern cell: a tableau constant's value
+// ID, or a match-anything cell ('_' / '@'). Resolving the tableau once
+// at build time turns constViolates into a branch-light integer loop.
+type yCell struct {
+	isConst bool
+	id      uint32
+}
+
+// buildYPatterns resolves every tableau row's Y cells to ID patterns.
+func buildYPatterns(cfd *core.CFD, vals *relation.Interner) [][]yCell {
+	out := make([][]yCell, len(cfd.Tableau))
+	for ri, row := range cfd.Tableau {
+		cells := make([]yCell, len(row.Y))
+		for i, p := range row.Y {
+			if p.Kind == core.Const {
+				cells[i] = yCell{isConst: true, id: vals.ID(p.Val)}
+			}
+		}
+		out[ri] = cells
+	}
+	return out
 }
 
 // group is the live state of one distinct X-projection under one CFD. A
@@ -91,9 +127,10 @@ func (ix *rowIndex) matchInto(dst []int, x []relation.Value) []int {
 // write path and snapshot recovery at 100K-tuple scale); the group only
 // carries the counters those entries maintain.
 type group struct {
-	// x is the shared X-projection (owned by the group; treated as
-	// immutable once stored).
-	x []relation.Value
+	// xids is the shared X-projection as value IDs (owned by the group;
+	// treated as immutable once stored). Materialize through the
+	// monitor's interner at API boundaries.
+	xids []uint32
 	// selected reports whether some tableau row's X pattern matches x.
 	// The tableau is static, so this is computed once at group creation.
 	selected bool
@@ -108,17 +145,18 @@ func (g *group) violating() bool { return g.selected && g.distinct > 1 }
 
 // ykKey identifies one distinct Y-projection of one group within a shard.
 // The group is referenced by identity: pointer hashing is cheaper than
-// re-hashing the encoded X-projection on every membership change, and the
+// re-hashing the packed X-projection on every membership change, and the
 // snapshot codec can reference groups by arena index instead of repeating
-// their keys.
+// their keys. yk is the packed-ID Y-projection, canonicalized through the
+// monitor's key pool so the struct-literal probe never allocates.
 type ykKey struct {
 	g  *group
 	yk string
 }
 
 // groupShard is one lock shard of a CFD's group index: the groups keyed by
-// encoded X-projection, plus the flat Y-projection multiset over all of
-// the shard's groups.
+// the packed-ID X-projection, plus the flat Y-projection multiset over all
+// of the shard's groups.
 type groupShard struct {
 	mu sync.RWMutex
 	m  map[string]*group
@@ -136,16 +174,18 @@ type constShard struct {
 	m  map[int64]bool
 }
 
-// tupleShard is one lock shard of the monitor's tuple store.
+// tupleShard is one lock shard of the monitor's tuple store. Tuples are
+// ID columns: 4 bytes per value instead of a 16-byte string header —
+// the resident-memory headline E13 measures.
 type tupleShard struct {
 	mu sync.RWMutex
-	m  map[int64]relation.Tuple
+	m  map[int64]idTuple
 }
 
-// shardOfKey maps an encoded group key to a shard index. It MUST agree
-// with relation.Hash: the hot path routes on the hash the Interner
-// cached at intern time, while snapshot recovery re-derives the shard
-// from the raw key string here.
+// shardOfKey maps a packed group key to a shard index. It MUST agree
+// with relation.HashIDs over the unpacked vector (see the invariant in
+// relation/idcol.go): the hot path routes on HashIDs of the projection,
+// while snapshot recovery re-derives the shard from the packed key here.
 func shardOfKey(s string, n int) int {
 	return int(relation.Hash(s) % uint32(n))
 }

@@ -32,6 +32,11 @@ type monMetrics struct {
 	violationsAdded                 *obs.Counter
 	violationsRemoved               *obs.Counter
 
+	// Group commit (groupcommit.go).
+	gcWindowOps     *obs.Histogram // ops journaled per commit window
+	gcWindowWriters *obs.Histogram // writers coalesced per commit window
+	gcWaitSeconds   *obs.Histogram // follower wait for the leader's fsync
+
 	// Journal rotation (journal.go).
 	snapshotSeconds *obs.Histogram // WriteSnapshot alone
 	rollSeconds     *obs.Histogram // whole generation roll
@@ -55,6 +60,9 @@ func newMonMetrics(reg *obs.Registry) *monMetrics {
 	mm.shardApplySeconds = reg.DurationHistogram("cfd_apply_shard_seconds", "Sharded in-memory apply stage per batch.")
 	mm.violationsAdded = reg.Counter("cfd_violations_added_total", "Violations that appeared, summed over apply deltas.")
 	mm.violationsRemoved = reg.Counter("cfd_violations_removed_total", "Violations that were retired, summed over apply deltas.")
+	mm.gcWindowOps = reg.Histogram("cfd_group_commit_window_ops", "Ops journaled per group-commit window (one WAL record, one fsync).")
+	mm.gcWindowWriters = reg.Histogram("cfd_group_commit_window_writers", "Concurrent writers coalesced per group-commit window.")
+	mm.gcWaitSeconds = reg.DurationHistogram("cfd_group_commit_wait_seconds", "Time a window follower waits for its leader's append and fsync.")
 
 	mm.snapshotSeconds = reg.DurationHistogram("cfd_wal_snapshot_seconds", "Time to serialize and durably write one full-state snapshot.")
 	mm.rollSeconds = reg.DurationHistogram("cfd_wal_segment_roll_seconds", "Time for one whole generation roll: segment sync, snapshot, fresh segment, GC.")

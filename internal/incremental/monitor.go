@@ -17,6 +17,15 @@
 // bucketed by tuple shard and each affected shard is visited once, under
 // a single lock acquisition, with disjoint shards applied in parallel.
 //
+// State is stored as dense value-ID columns: every distinct value is
+// interned once (relation.Interner) and handed a uint32 ID, tuples are
+// []uint32 vectors, tableau constants are pre-resolved to IDs at build
+// time, and group keys are the packed 4-byte-per-ID encoding — so the
+// hot path compares and hashes integers, and a million-tuple store costs
+// 4 bytes per cell instead of a 16-byte string header (E13 measures
+// both). Strings reappear only at API boundaries (Get, Violations,
+// deltas), materialized through the interner.
+//
 // Internally every index is sharded by hash with per-shard read/write
 // locks. A mutation holds its tuple-shard lock for the whole operation (so
 // two writers hitting the same key serialize as whole operations) and
@@ -38,6 +47,12 @@
 // tests replay long mixed update streams — single ops and batches — and
 // cross-check the live set against a fresh detect.Direct run after every
 // step.
+//
+// Options.GroupCommit stacks batch economics onto unbatched traffic:
+// concurrent single-op writers are coalesced into one WAL record and one
+// fsync per commit window by a leader-based protocol (see groupcommit.go)
+// — each writer still gets its own validation outcome and its own delta,
+// and shares the leader's fsync for durability.
 //
 // With Options.Durable set, the monitor becomes a persistent node: every
 // mutation is appended to a write-ahead change log (internal/wal) before
@@ -82,6 +97,13 @@ type Options struct {
 	// can lose the unflushed tail, never the acknowledged prefix on disk.
 	Fsync bool
 
+	// GroupCommit, in durable mode, coalesces concurrent writers into
+	// shared commit windows: one WAL record and one fsync per window
+	// instead of per ChangeSet. The zero value disables it; see the
+	// GroupCommit type for the window knobs. Ignored without Durable —
+	// a memory-only monitor has no fsync to amortize.
+	GroupCommit GroupCommit
+
 	// SnapshotEvery, in durable mode, rolls a background snapshot after
 	// this many journaled records, truncating the log. 0 disables
 	// automatic snapshots (use ForceSnapshot).
@@ -101,9 +123,12 @@ type Options struct {
 	// Intern, when non-nil, is a shared value pool the monitor adopts
 	// instead of a private one — pass the pool a CSV load deduplicated
 	// through (relation.ReadCSVInterned) and the seed batch's values hit
-	// the pool instead of being cloned into a second one. The pool only
-	// grows; sharing it keeps every distinct value of the source data
-	// alive for the monitor's lifetime.
+	// the pool instead of being cloned into a second one. The monitor
+	// stores tuples as dense value IDs handed out by this pool, so every
+	// column's distinct values are interned — including free-text ones.
+	// The pool only grows: a column of unbounded unique values (UUIDs,
+	// timestamps) keeps each distinct value pooled for the monitor's
+	// lifetime, the price of the 4-byte ID cells.
 	Intern *relation.Interner
 
 	// Metrics is the observability registry the monitor instruments
@@ -122,8 +147,11 @@ type cfdState struct {
 	cfd        *core.CFD
 	xIdx, yIdx []int
 	rows       *rowIndex
-	groups     []groupShard
-	consts     []constShard
+	// yPat is the tableau's Y side resolved to value-ID patterns, one
+	// vector per row — constViolates compares integers, never strings.
+	yPat   [][]yCell
+	groups []groupShard
+	consts []constShard
 	// violations counts this CFD's live violations (constant-violating
 	// tuples plus violating groups); maintained under the shard locks,
 	// read lock-free by Satisfied.
@@ -147,16 +175,12 @@ type Monitor struct {
 	// can affect.
 	attrCFDs [][]int
 
-	// vals interns tuple values at CFD-relevant positions, keys interns
-	// encoded projection keys: categorical data dedups to one backing
-	// copy per distinct value, and the shard hash of a group key is
-	// computed once per distinct key instead of once per mutation (see
-	// relation.Interner). internAttrs lists the attribute positions some
-	// CFD mentions — the only ones worth pooling; values of untouched
-	// columns (names, IDs) never feed a group key, and interning them
-	// would grow the pool with every distinct value forever.
-	vals, keys  *relation.Interner
-	internAttrs []int
+	// vals is the value pool: every stored cell is a dense uint32 ID into
+	// it, and tableau constants are resolved through it at build time.
+	// keys interns packed Y-projection keys, so the ykKey struct probe on
+	// the hot path reuses one canonical string per distinct projection
+	// instead of allocating it per mutation.
+	vals, keys *relation.Interner
 
 	// statsState anchors the group-statistics subscriptions (TrackGroups;
 	// see stats.go) — the generalized, tableau-free form of the group
@@ -170,6 +194,11 @@ type Monitor struct {
 
 	// j is the durable journal; nil for a memory-only monitor.
 	j *journal
+
+	// gc is the group-commit window (nil when disabled); Apply routes
+	// journaled ChangeSets through it so concurrent writers share one
+	// WAL record and fsync. See groupcommit.go.
+	gc *committer
 
 	// readOnly gates the public mutation surface while the monitor
 	// follows a primary's WAL stream (see follower.go): Apply and
@@ -219,7 +248,7 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 		keys:     relation.NewInterner(),
 	}
 	for i := range m.tuples {
-		m.tuples[i].m = make(map[int64]relation.Tuple)
+		m.tuples[i].m = make(map[int64]idTuple)
 	}
 	for i, c := range sigma {
 		if err := c.Validate(schema); err != nil {
@@ -237,7 +266,8 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 			cfd:    c,
 			xIdx:   xIdx,
 			yIdx:   yIdx,
-			rows:   buildRowIndex(c),
+			rows:   buildRowIndex(c, vals),
+			yPat:   buildYPatterns(c, vals),
 			groups: make([]groupShard, shards),
 			consts: make([]constShard, shards),
 		}
@@ -252,10 +282,8 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 			m.attrCFDs[ai] = append(m.attrCFDs[ai], i)
 		}
 	}
-	for ai := range m.attrCFDs {
-		if len(m.attrCFDs[ai]) > 0 {
-			m.internAttrs = append(m.internAttrs, ai)
-		}
+	if opts.GroupCommit.enabled() {
+		m.gc = newCommitter(opts.GroupCommit)
 	}
 	reg := opts.Metrics
 	if reg == nil {
@@ -379,7 +407,7 @@ func (m *Monitor) Update(key int64, attr string, val relation.Value) (*Delta, er
 	sh := &m.tuples[shardOfTuple(key, m.shards)]
 	sh.mu.RLock()
 	old, ok := sh.m[key]
-	same := ok && old[ai] == val
+	same := ok && m.vals.ByID(old[ai]) == val
 	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("incremental: no tuple with key %d", key)
@@ -390,18 +418,18 @@ func (m *Monitor) Update(key int64, attr string, val relation.Value) (*Delta, er
 	return m.Apply(&ChangeSet{Ops: []Op{{Kind: OpUpdate, Key: key, Attr: attr, Value: val}}})
 }
 
-// insertLocked stores an already-validated, already-owned tuple under
-// key and folds it into every CFD's live state. The caller holds sh's
-// write lock and owns key uniqueness (fresh from nextKey, or a replayed
-// record).
-func (m *Monitor) insertLocked(sh *tupleShard, key int64, owned relation.Tuple, d *Delta, sc *opScratch) {
-	sh.m[key] = owned
+// insertLocked stores an already-validated tuple (as its ID vector,
+// resolved by internOps) under key and folds it into every CFD's live
+// state. The caller holds sh's write lock and owns key uniqueness (fresh
+// from nextKey, or a replayed record).
+func (m *Monitor) insertLocked(sh *tupleShard, key int64, ids idTuple, d *Delta, sc *opScratch) {
+	sh.m[key] = ids
 	m.size.Add(1)
 	for ci := range m.cfds {
-		m.add(ci, key, owned, d, sc)
+		m.add(ci, key, ids, d, sc)
 	}
 	for _, h := range m.statsHooks() {
-		h.add(owned)
+		h.add(ids)
 	}
 }
 
@@ -423,19 +451,19 @@ func (m *Monitor) deleteLocked(sh *tupleShard, key int64, d *Delta, sc *opScratc
 	return nil
 }
 
-// updateLocked changes one already-validated attribute value in place;
-// the caller holds sh's write lock. A same-value update applies as a
-// no-op.
-func (m *Monitor) updateLocked(sh *tupleShard, key int64, ai int, val relation.Value, d *Delta, sc *opScratch) error {
+// updateLocked changes one already-validated attribute (vid is the new
+// value's ID, resolved by internOps) in place; the caller holds sh's
+// write lock. A same-value update applies as a no-op.
+func (m *Monitor) updateLocked(sh *tupleShard, key int64, ai int, vid uint32, d *Delta, sc *opScratch) error {
 	old, ok := sh.m[key]
 	if !ok {
 		return fmt.Errorf("incremental: no tuple with key %d", key)
 	}
-	if old[ai] == val {
+	if old[ai] == vid {
 		return nil
 	}
-	next := old.Clone()
-	next[ai] = val
+	next := append(idTuple(nil), old...)
+	next[ai] = vid
 	sh.m[key] = next
 	for _, ci := range m.attrCFDs[ai] {
 		m.remove(ci, key, old, d, sc)
@@ -447,7 +475,8 @@ func (m *Monitor) updateLocked(sh *tupleShard, key int64, ai int, val relation.V
 	return nil
 }
 
-// Get returns a copy of the tuple with the given key.
+// Get returns a copy of the tuple with the given key, materialized from
+// its ID columns.
 func (m *Monitor) Get(key int64) (relation.Tuple, bool) {
 	sh := &m.tuples[shardOfTuple(key, m.shards)]
 	sh.mu.RLock()
@@ -456,7 +485,7 @@ func (m *Monitor) Get(key int64) (relation.Tuple, bool) {
 	if !ok {
 		return nil, false
 	}
-	return t.Clone(), true
+	return m.vals.Materialize(make(relation.Tuple, 0, len(t)), t), true
 }
 
 // Keys returns the live tuple keys in ascending order.
@@ -511,7 +540,9 @@ func (m *Monitor) ViolationCount() int64 {
 // Violations returns a snapshot of the live violation set. Shards are read
 // one at a time, so a concurrent writer is never blocked for longer than
 // one shard; under concurrent writes the snapshot is a consistent cut per
-// shard, not across the whole set.
+// shard, not across the whole set. Group keys are materialized to values
+// here — the canonical order of the snapshot is value-based, so two
+// monitors with different ID assignments canonicalize identically.
 func (m *Monitor) Violations() *State {
 	st := &State{PerCFD: make([]CFDViolations, len(m.cfds))}
 	for ci, cs := range m.cfds {
@@ -528,9 +559,10 @@ func (m *Monitor) Violations() *State {
 		for si := range cs.groups {
 			sh := &cs.groups[si]
 			sh.mu.RLock()
-			for xk, g := range sh.m {
+			for _, g := range sh.m {
 				if g.violating() {
-					vars[xk] = append([]relation.Value(nil), g.x...)
+					xs := m.vals.Materialize(make([]relation.Value, 0, len(g.xids)), g.xids)
+					vars[relation.EncodeKey(xs)] = xs
 				}
 			}
 			sh.mu.RUnlock()
@@ -540,14 +572,8 @@ func (m *Monitor) Violations() *State {
 	return st
 }
 
-// project copies the values of t at the given positions.
-func project(t relation.Tuple, idx []int) []relation.Value {
-	return projectInto(nil, t, idx)
-}
-
-// projectInto appends the projection to dst (typically scratch reused
-// across mutations, so the hot path does not allocate per op).
-func projectInto(dst []relation.Value, t relation.Tuple, idx []int) []relation.Value {
+// projectIDs appends the IDs of t at the given positions to dst.
+func projectIDs(dst []uint32, t idTuple, idx []int) []uint32 {
 	for _, j := range idx {
 		dst = append(dst, t[j])
 	}
@@ -555,34 +581,36 @@ func projectInto(dst []relation.Value, t relation.Tuple, idx []int) []relation.V
 }
 
 // constViolates reports whether a tuple with Y-projection y has a constant
-// violation against any of the matched tableau rows.
-func (cs *cfdState) constViolates(rows []int, y []relation.Value) bool {
+// violation against any of the matched tableau rows — a pure integer
+// comparison against the pre-resolved ID patterns.
+func (cs *cfdState) constViolates(rows []int, y []uint32) bool {
 	for _, ri := range rows {
-		if !core.MatchCells(y, cs.cfd.Tableau[ri].Y) {
-			return true
+		for i, c := range cs.yPat[ri] {
+			if c.isConst && y[i] != c.id {
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// internKeys encodes the X and Y projections held in sc through the
-// key pool: each distinct projection is encoded and hashed once for the
-// monitor's lifetime, after which the canonical string and its shard
-// hash come back without allocating.
-func (m *Monitor) internKeys(sc *opScratch) (xk, yk relation.Value, xh uint32) {
-	sc.key = relation.AppendKey(sc.key[:0], sc.x)
-	xk, xh = m.keys.InternBytes(sc.key)
-	sc.key = relation.AppendKey(sc.key[:0], sc.y)
-	yk, _ = m.keys.InternBytes(sc.key)
-	return xk, yk, xh
+// internYKey packs the Y-projection held in sc and canonicalizes it
+// through the key pool: each distinct projection is packed and interned
+// once for the monitor's lifetime, after which the canonical string
+// comes back without allocating — which is what keeps the ykKey struct
+// probe on the hot path allocation-free.
+func (m *Monitor) internYKey(sc *opScratch) relation.Value {
+	sc.ykey = relation.AppendIDKey(sc.ykey[:0], sc.y)
+	yk, _ := m.keys.InternBytes(sc.ykey)
+	return yk
 }
 
 // add folds tuple (key, t) into CFD ci's live state, appending any new
 // violations to d. sc carries the worker's reusable buffers.
-func (m *Monitor) add(ci int, key int64, t relation.Tuple, d *Delta, sc *opScratch) {
+func (m *Monitor) add(ci int, key int64, t idTuple, d *Delta, sc *opScratch) {
 	cs := m.cfds[ci]
-	sc.x = projectInto(sc.x[:0], t, cs.xIdx)
-	sc.y = projectInto(sc.y[:0], t, cs.yIdx)
+	sc.x = projectIDs(sc.x[:0], t, cs.xIdx)
+	sc.y = projectIDs(sc.y[:0], t, cs.yIdx)
 	sc.rows = cs.rows.matchInto(sc.rows[:0], sc.x)
 	if cs.constViolates(sc.rows, sc.y) {
 		sh := &cs.consts[shardOfTuple(key, m.shards)]
@@ -592,13 +620,15 @@ func (m *Monitor) add(ci int, key int64, t relation.Tuple, d *Delta, sc *opScrat
 		cs.violations.Add(1)
 		d.Added = append(d.Added, Change{CFD: ci, Kind: core.ConstViolation, Tuple: key})
 	}
-	xk, yk, xh := m.internKeys(sc)
+	xh := relation.HashIDs(sc.x)
+	sc.key = relation.AppendIDKey(sc.key[:0], sc.x)
+	yk := m.internYKey(sc)
 	sh := &cs.groups[int(xh%uint32(m.shards))]
 	sh.mu.Lock()
-	g, ok := sh.m[xk]
+	g, ok := sh.m[string(sc.key)]
 	if !ok {
-		g = &group{x: append([]relation.Value(nil), sc.x...), selected: len(sc.rows) > 0}
-		sh.m[xk] = g
+		g = &group{xids: append([]uint32(nil), sc.x...), selected: len(sc.rows) > 0}
+		sh.m[string(sc.key)] = g
 	}
 	was := g.violating()
 	g.size++
@@ -612,17 +642,18 @@ func (m *Monitor) add(ci int, key int64, t relation.Tuple, d *Delta, sc *opScrat
 	sh.mu.Unlock()
 	if !was && now {
 		cs.violations.Add(1)
-		d.Added = append(d.Added, Change{CFD: ci, Kind: core.VariableViolation, Key: g.x})
+		d.Added = append(d.Added, Change{CFD: ci, Kind: core.VariableViolation,
+			Key: m.vals.Materialize(make([]relation.Value, 0, len(g.xids)), g.xids)})
 	}
 }
 
 // remove undoes add for tuple (key, t), appending retired violations to d.
-func (m *Monitor) remove(ci int, key int64, t relation.Tuple, d *Delta, sc *opScratch) {
+func (m *Monitor) remove(ci int, key int64, t idTuple, d *Delta, sc *opScratch) {
 	cs := m.cfds[ci]
-	sc.x = projectInto(sc.x[:0], t, cs.xIdx)
+	sc.x = projectIDs(sc.x[:0], t, cs.xIdx)
 	// The departing tuple is in hand, so its Y-projection is recomputed
 	// here instead of being indexed per member.
-	sc.y = projectInto(sc.y[:0], t, cs.yIdx)
+	sc.y = projectIDs(sc.y[:0], t, cs.yIdx)
 	csh := &cs.consts[shardOfTuple(key, m.shards)]
 	csh.mu.Lock()
 	wasConst := csh.m[key]
@@ -634,10 +665,12 @@ func (m *Monitor) remove(ci int, key int64, t relation.Tuple, d *Delta, sc *opSc
 		cs.violations.Add(-1)
 		d.Removed = append(d.Removed, Change{CFD: ci, Kind: core.ConstViolation, Tuple: key})
 	}
-	xk, yk, xh := m.internKeys(sc)
+	xh := relation.HashIDs(sc.x)
+	sc.key = relation.AppendIDKey(sc.key[:0], sc.x)
+	yk := m.internYKey(sc)
 	sh := &cs.groups[int(xh%uint32(m.shards))]
 	sh.mu.Lock()
-	g, ok := sh.m[xk]
+	g, ok := sh.m[string(sc.key)]
 	if !ok {
 		sh.mu.Unlock()
 		return
@@ -653,11 +686,12 @@ func (m *Monitor) remove(ci int, key int64, t relation.Tuple, d *Delta, sc *opSc
 	}
 	now := g.violating()
 	if g.size == 0 {
-		delete(sh.m, xk)
+		delete(sh.m, string(sc.key))
 	}
 	sh.mu.Unlock()
 	if was && !now {
 		cs.violations.Add(-1)
-		d.Removed = append(d.Removed, Change{CFD: ci, Kind: core.VariableViolation, Key: g.x})
+		d.Removed = append(d.Removed, Change{CFD: ci, Kind: core.VariableViolation,
+			Key: m.vals.Materialize(make([]relation.Value, 0, len(g.xids)), g.xids)})
 	}
 }

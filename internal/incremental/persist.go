@@ -20,9 +20,20 @@ import (
 // The image embeds the schema and Σ it was taken under; loading verifies
 // both against the caller's, so a WAL directory can never be silently
 // reinterpreted under different constraints.
+//
+// Version 2 speaks value IDs. Process-local IDs (relation.Interner.ID)
+// are never meaningful across restarts, so the image carries its own
+// value table — the interner's ID→value list at snapshot time — and
+// every tuple, group and Y-projection is a uvarint ID vector into it.
+// Loading re-interns the table into the fresh monitor's pool and remaps
+// every stored ID through the resulting translation, so the restored
+// state is correct even though the new process assigns different IDs.
+// Group map keys are not stored at all: they are re-derived by packing
+// the remapped ID vectors (relation.AppendIDKey), which also keeps the
+// shardOfKey routing consistent by construction.
 
-// snapMagic identifies a Monitor snapshot, version 1.
-const snapMagic = "CFDSNAP\x01"
+// snapMagic identifies a Monitor snapshot, version 2.
+const snapMagic = "CFDSNAP\x02"
 
 // snapTable is the snapshot checksum polynomial. Castagnoli has hardware
 // support (SSE4.2 / ARMv8 CRC instructions), which matters at tens of
@@ -64,6 +75,14 @@ func (e *enc) str(s string) {
 func (e *enc) strs(vals []relation.Value) {
 	for _, v := range vals {
 		e.str(v)
+	}
+}
+
+// ids writes an ID vector as bare uvarints (the arity is known to the
+// reader from the schema or CFD shape, so no length prefix).
+func (e *enc) ids(ids []uint32) {
+	for _, id := range ids {
+		e.uvarint(uint64(id))
 	}
 }
 
@@ -144,6 +163,21 @@ func (d *dec) strs(n int) []relation.Value {
 		out[i] = d.str()
 	}
 	return out
+}
+
+// id reads one stored ID and translates it through remap (the image's
+// value table re-interned into the live pool). Out-of-table IDs mark
+// the image corrupt.
+func (d *dec) id(remap []uint32) uint32 {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v >= uint64(len(remap)) {
+		d.fail("value ID %d outside table of %d at offset %d", v, len(remap), d.off)
+		return 0
+	}
+	return remap[v]
 }
 
 // --- schema / sigma sections ---
@@ -312,14 +346,22 @@ func (m *Monitor) writeSnapshot(w io.Writer) error {
 	encodeSchema(e, m.schema)
 	encodeSigma(e, m.sigma)
 
-	// Tuple store, keyed.
+	// Value table: the interner's ID→value list. Mutations are quiesced,
+	// so every ID stored in this monitor's state predates this copy and
+	// indexes into it — even when the pool is shared and other monitors
+	// keep interning concurrently (the table can only be longer).
+	vals := m.vals.Values()
+	e.uvarint(uint64(len(vals)))
+	e.strs(vals)
+
+	// Tuple store, keyed; tuples are ID vectors of schema arity.
 	e.uvarint(uint64(m.size.Load()))
 	for si := range m.tuples {
 		sh := &m.tuples[si]
 		sh.mu.RLock()
 		for k, t := range sh.m {
 			e.uvarint(uint64(k))
-			e.strs(t)
+			e.ids(t)
 		}
 		sh.mu.RUnlock()
 	}
@@ -353,16 +395,16 @@ func (m *Monitor) writeSnapshot(w io.Writer) error {
 		}
 		// Groups are written in a stable order and the yCounts entries
 		// reference them by that ordinal, so restoring never re-hashes a
-		// group key.
+		// group key. Only the ID vector is stored — the packed map key is
+		// re-derived from it on load.
 		e.uvarint(ngroups)
 		groupIdx := make(map[*group]uint64, ngroups)
 		for si := range cs.groups {
 			sh := &cs.groups[si]
 			sh.mu.RLock()
-			for xk, g := range sh.m {
+			for _, g := range sh.m {
 				groupIdx[g] = uint64(len(groupIdx))
-				e.str(xk)
-				e.strs(g.x) // len(LHS) values
+				e.ids(g.xids) // len(LHS) IDs
 				if g.selected {
 					e.byte(1)
 				} else {
@@ -374,12 +416,14 @@ func (m *Monitor) writeSnapshot(w io.Writer) error {
 			sh.mu.RUnlock()
 		}
 		e.uvarint(nyks)
+		var ykIDs []uint32
 		for si := range cs.groups {
 			sh := &cs.groups[si]
 			sh.mu.RLock()
 			for kk, c := range sh.yCounts {
 				e.uvarint(groupIdx[kk.g])
-				e.str(kk.yk)
+				ykIDs = relation.DecodeIDKey(ykIDs[:0], kk.yk)
+				e.ids(ykIDs) // len(RHS) IDs
 				e.uvarint(uint64(c))
 			}
 			sh.mu.RUnlock()
@@ -438,23 +482,38 @@ func (m *Monitor) readSnapshot(r io.Reader, sizeHint int64) error {
 		return d.err
 	}
 
+	// Value table: re-intern every image value into the live pool and
+	// keep the old-ID → new-ID translation. The interner clones what it
+	// keeps, so nothing below aliases the image once remapped.
+	nvals := int(d.uvarint())
+	if d.err != nil {
+		return d.err
+	}
+	remap := make([]uint32, nvals)
+	for i := range remap {
+		remap[i] = m.vals.ID(d.str())
+		if d.err != nil {
+			return d.err
+		}
+	}
+
 	// presize over-allocates shard maps ~12% above the uniform share so
 	// hash skew doesn't trigger a growth rehash mid-fill.
 	presize := func(n int) int { return n / m.shards * 9 / 8 }
 	ntuples := int(d.uvarint())
 	for si := range m.tuples {
-		m.tuples[si].m = make(map[int64]relation.Tuple, presize(ntuples))
+		m.tuples[si].m = make(map[int64]idTuple, presize(ntuples))
 	}
 	nattrs := m.schema.Len()
-	// Arena: one backing array for every tuple's values, sliced per tuple
-	// — the map stores slice headers, so the whole tuple store costs one
+	// Arena: one backing array for every tuple's IDs, sliced per tuple —
+	// the map stores slice headers, so the whole tuple store costs one
 	// allocation instead of one per row.
-	tupleArena := make([]relation.Value, ntuples*nattrs)
+	tupleArena := make([]uint32, ntuples*nattrs)
 	for i := 0; i < ntuples; i++ {
 		k := int64(d.uvarint())
-		t := relation.Tuple(tupleArena[i*nattrs : (i+1)*nattrs : (i+1)*nattrs])
+		t := idTuple(tupleArena[i*nattrs : (i+1)*nattrs : (i+1)*nattrs])
 		for j := range t {
-			t[j] = d.str()
+			t[j] = d.id(remap)
 		}
 		if d.err != nil {
 			return d.err
@@ -480,19 +539,20 @@ func (m *Monitor) readSnapshot(r io.Reader, sizeHint int64) error {
 		for si := range cs.groups {
 			cs.groups[si].m = make(map[string]*group, presize(ngroups))
 		}
-		// Arenas again: group structs and their x slices in two backing
+		// Arenas again: group structs and their xids slices in two backing
 		// arrays, pointers into them in the maps. The shard of each group
-		// is remembered by ordinal so the yCounts fill below does no
-		// hashing at all.
+		// is remembered by ordinal so the yCounts fill below re-derives
+		// nothing. Map keys are packed from the remapped ID vectors —
+		// exactly what the live add() path builds, so routing agrees.
 		groupArena := make([]group, ngroups)
-		xArena := make([]relation.Value, ngroups*nlhs)
+		xArena := make([]uint32, ngroups*nlhs)
 		groupShardIdx := make([]int32, ngroups)
+		var keyBuf []byte
 		for i := 0; i < ngroups; i++ {
-			xk := d.str()
 			g := &groupArena[i]
-			g.x = xArena[i*nlhs : (i+1)*nlhs : (i+1)*nlhs]
-			for j := range g.x {
-				g.x[j] = d.str()
+			g.xids = xArena[i*nlhs : (i+1)*nlhs : (i+1)*nlhs]
+			for j := range g.xids {
+				g.xids[j] = d.id(remap)
 			}
 			g.selected = d.byte() == 1
 			g.size = int(d.uvarint())
@@ -500,6 +560,8 @@ func (m *Monitor) readSnapshot(r io.Reader, sizeHint int64) error {
 			if d.err != nil {
 				return d.err
 			}
+			keyBuf = relation.AppendIDKey(keyBuf[:0], g.xids)
+			xk := string(keyBuf)
 			si := shardOfKey(xk, m.shards)
 			groupShardIdx[i] = int32(si)
 			cs.groups[si].m[xk] = g
@@ -508,9 +570,13 @@ func (m *Monitor) readSnapshot(r io.Reader, sizeHint int64) error {
 		for si := range cs.groups {
 			cs.groups[si].yCounts = make(map[ykKey]int, presize(nyks))
 		}
+		nrhs := len(cs.cfd.RHS)
+		ykIDs := make([]uint32, nrhs)
 		for i := 0; i < nyks; i++ {
 			gi := int(d.uvarint())
-			yk := d.str()
+			for j := range ykIDs {
+				ykIDs[j] = d.id(remap)
+			}
 			c := int(d.uvarint())
 			if d.err != nil {
 				return d.err
@@ -519,6 +585,8 @@ func (m *Monitor) readSnapshot(r io.Reader, sizeHint int64) error {
 				d.fail("yCounts entry %d references group %d of %d", i, gi, ngroups)
 				return d.err
 			}
+			keyBuf = relation.AppendIDKey(keyBuf[:0], ykIDs)
+			yk, _ := m.keys.InternBytes(keyBuf)
 			cs.groups[groupShardIdx[gi]].yCounts[ykKey{g: &groupArena[gi], yk: yk}] = c
 		}
 	}

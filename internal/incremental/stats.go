@@ -20,6 +20,11 @@ import (
 // CFD miner in internal/discovery is the canonical subscriber: it
 // re-scores exactly the groups a batch touched instead of re-mining the
 // instance.
+//
+// Like the violation indexes, the statistics speak value IDs internally:
+// groups are keyed by the packed-ID X-projection and distributions count
+// IDs (4 bytes per entry key), with strings materialized through the
+// monitor's interner only when a delta or Stat crosses to the caller.
 
 // AttrPair is one tracked statistics pair: the X-groups of the
 // projection on X, each with the distribution of its members' A-values.
@@ -38,10 +43,11 @@ type AttrPair struct {
 type GroupDelta struct {
 	// Pair indexes the pair within the subscription's TrackGroups order.
 	Pair int
-	// XKey is the encoded X-projection (relation.EncodeKey form) — the
-	// group's identity, usable with Stat.
+	// XKey is the group's identity: an opaque encoding of the
+	// X-projection, stable for the life of the subscription and usable
+	// with Stat and KeyOf.
 	XKey string
-	// X is the shared X-projection (read-only); nil when the group was
+	// X is the materialized X-projection; nil when the group was
 	// destroyed.
 	X []relation.Value
 	// Support is the group's member count; 0 reports the group was
@@ -58,7 +64,7 @@ type GroupDelta struct {
 
 // GroupStat is a point-in-time view of one X-group's statistics.
 type GroupStat struct {
-	// X is the shared X-projection (read-only).
+	// X is the materialized X-projection.
 	X []relation.Value
 	// Support is the group's member count.
 	Support int
@@ -72,29 +78,31 @@ type GroupStat struct {
 
 // statGroup is the live statistics of one X-group under one tracked
 // pair. The overwhelmingly common case — a group whose members agree on
-// A — stays allocation-light: the first distinct A-value and its count
-// live inline and the spill map exists only once a second distinct
-// value appears. Invariant: a value is tracked either in the inline
-// slot or in rest, never both (the inline slot is matched first on
-// every add, so its value never enters rest).
+// A — stays allocation-light: the first distinct A-value ID and its
+// count live inline and the spill map exists only once a second
+// distinct value appears. Invariant: a value is tracked either in the
+// inline slot or in rest, never both (the inline slot is matched first
+// on every add, so its value never enters rest).
 type statGroup struct {
-	// key is the stored map key, kept so a destroyed group can still
-	// name itself in its final delta.
+	// key is the stored map key (packed X-projection IDs), kept so a
+	// destroyed group can still name itself in its final delta.
 	key string
-	// x is the shared X-projection (owned by the group, immutable).
-	x []relation.Value
+	// x is the X-projection as value IDs (owned by the group, immutable).
+	x []uint32
 	// size is the member count.
 	size int
 	// dirty marks membership in the shard's dirty list — a repeat mark
 	// is one branch, not a map operation (the fold hot path's dominant
 	// cost in profiles).
 	dirty bool
-	// v0/c0 are the inline first distinct A-value and its count; c0 == 0
-	// marks the slot dead (its value fully removed).
-	v0 relation.Value
+	// v0/c0 are the inline first distinct A-value ID and its count;
+	// c0 == 0 marks the slot dead (its value fully removed). ID 0 is a
+	// valid value, so c0 — never v0 — is what encodes slot liveness.
+	v0 uint32
 	c0 int
-	// rest holds every other distinct A-value's count; nil until needed.
-	rest map[relation.Value]int
+	// rest holds every other distinct A-value ID's count; nil until
+	// needed.
+	rest map[uint32]int
 }
 
 func (g *statGroup) distinct() int {
@@ -105,7 +113,7 @@ func (g *statGroup) distinct() int {
 	return n
 }
 
-func (g *statGroup) add(v relation.Value) {
+func (g *statGroup) add(v uint32) {
 	g.size++
 	if v == g.v0 && (g.c0 > 0 || len(g.rest) == 0) {
 		g.v0, g.c0 = v, g.c0+1
@@ -120,12 +128,12 @@ func (g *statGroup) add(v relation.Value) {
 		return
 	}
 	if g.rest == nil {
-		g.rest = make(map[relation.Value]int, 2)
+		g.rest = make(map[uint32]int, 2)
 	}
 	g.rest[v] = 1
 }
 
-func (g *statGroup) remove(v relation.Value) {
+func (g *statGroup) remove(v uint32) {
 	g.size--
 	if v == g.v0 && g.c0 > 0 {
 		g.c0--
@@ -138,15 +146,18 @@ func (g *statGroup) remove(v relation.Value) {
 	}
 }
 
-// top returns the most frequent A-value and its count, ties broken
-// toward the smallest value — the same rule the miner's pattern
-// selection uses. O(distinct).
-func (g *statGroup) top() (best relation.Value, n int) {
+// top returns the most frequent A-value ID and its count, ties broken
+// toward the smallest VALUE (not the smallest ID — IDs are assigned by
+// interning order, so comparing them would make the winner depend on
+// arrival order; the miner's pattern selection needs the value-based
+// rule for determinism). O(distinct), with string comparisons only on
+// count ties.
+func (g *statGroup) top(in *relation.Interner) (best uint32, n int) {
 	if g.c0 > 0 {
 		best, n = g.v0, g.c0
 	}
 	for v, c := range g.rest {
-		if c > n || (c == n && v < best) {
+		if c > n || (c == n && in.ByID(v) < in.ByID(best)) {
 			best, n = v, c
 		}
 	}
@@ -154,7 +165,7 @@ func (g *statGroup) top() (best relation.Value, n int) {
 }
 
 // statShard is one lock shard of a pair's group store: the live groups
-// keyed by encoded X-projection, plus the dirty list — the coalesced
+// keyed by packed X-projection IDs, plus the dirty list — the coalesced
 // group-delta log the subscriber drains. A destroyed group leaves the
 // map but stays on the list (size 0) until drained.
 type statShard struct {
@@ -176,6 +187,9 @@ type pairTrack struct {
 // run concurrently with monitor mutations; Drain and Stat observe each
 // shard at a consistent point, not the whole index.
 type GroupStats struct {
+	// in is the monitor's value pool; IDs in the index resolve through
+	// it when deltas and stats cross to the caller.
+	in    *relation.Interner
 	pairs []pairTrack
 	// byAttr maps an attribute position to the pairs whose X ∪ {A}
 	// mentions it — the only pairs an update of that attribute touches.
@@ -187,6 +201,17 @@ func (h *GroupStats) NumPairs() int { return len(h.pairs) }
 
 // Pair returns one tracked pair by index.
 func (h *GroupStats) Pair(i int) AttrPair { return h.pairs[i].pair }
+
+// KeyOf returns the XKey a group with the given X-projection would
+// carry — the bridge from caller-side values to GroupDelta.XKey / Stat
+// identities.
+func (h *GroupStats) KeyOf(x []relation.Value) string {
+	ids := make([]uint32, len(x))
+	for i, v := range x {
+		ids[i] = h.in.ID(v)
+	}
+	return string(relation.AppendIDKey(nil, ids))
+}
 
 // TrackGroups attaches a group-statistics subscription for the given
 // attribute pairs and returns its handle. The current instance is
@@ -200,7 +225,7 @@ func (h *GroupStats) Pair(i int) AttrPair { return h.pairs[i].pair }
 // snapshot them, and a subscription does not survive a restart —
 // re-attach after recovery. Close the handle with UntrackGroups.
 func (m *Monitor) TrackGroups(pairs []AttrPair) (*GroupStats, error) {
-	h := &GroupStats{byAttr: make([][]int32, m.schema.Len())}
+	h := &GroupStats{in: m.vals, byAttr: make([][]int32, m.schema.Len())}
 	for pi, p := range pairs {
 		xIdx, err := m.schema.Indexes(p.X)
 		if err != nil {
@@ -291,14 +316,14 @@ func (m *Monitor) statsHooks() []*GroupStats {
 
 // add folds a stored tuple into every tracked pair. The caller holds
 // the tuple's shard lock.
-func (h *GroupStats) add(t relation.Tuple) {
+func (h *GroupStats) add(t idTuple) {
 	for pi := range h.pairs {
 		h.addPair(pi, t)
 	}
 }
 
 // remove unfolds a departing tuple from every tracked pair.
-func (h *GroupStats) remove(t relation.Tuple) {
+func (h *GroupStats) remove(t idTuple) {
 	for pi := range h.pairs {
 		h.removePair(pi, t)
 	}
@@ -307,24 +332,26 @@ func (h *GroupStats) remove(t relation.Tuple) {
 // update re-folds an updated tuple under the pairs that mention the
 // changed attribute — the others see the same X-projection and A-value
 // on both sides and are left alone.
-func (h *GroupStats) update(old, next relation.Tuple, ai int) {
+func (h *GroupStats) update(old, next idTuple, ai int) {
 	for _, pi := range h.byAttr[ai] {
 		h.removePair(int(pi), old)
 		h.addPair(int(pi), next)
 	}
 }
 
-// shardFor encodes t's X-projection under pair p into scratch and
-// returns the owning shard. The returned key aliases buf.
-func (p *pairTrack) shardFor(buf []byte, t relation.Tuple) (*statShard, []byte) {
+// shardFor packs t's X-projection IDs under pair p into scratch and
+// returns the owning shard. The returned key aliases buf. Routing uses
+// HashBytes over the packed key, which by the idcol.go invariant equals
+// HashIDs of the vector — the same hash Stat derives from an XKey.
+func (p *pairTrack) shardFor(buf []byte, t idTuple) (*statShard, []byte) {
 	key := buf[:0]
 	for _, j := range p.xIdx {
-		key = relation.AppendKey(key, t[j:j+1])
+		key = relation.AppendIDKey(key, t[j:j+1])
 	}
 	return &p.shards[int(relation.HashBytes(key)%uint32(len(p.shards)))], key
 }
 
-func (h *GroupStats) addPair(pi int, t relation.Tuple) {
+func (h *GroupStats) addPair(pi int, t idTuple) {
 	p := &h.pairs[pi]
 	var stack [64]byte
 	sh, key := p.shardFor(stack[:], t)
@@ -335,11 +362,11 @@ func (h *GroupStats) addPair(pi int, t relation.Tuple) {
 
 // addLocked folds one tuple into its group; the caller holds sh's lock
 // (or owns the whole index, as the attach fold does).
-func (p *pairTrack) addLocked(sh *statShard, key []byte, t relation.Tuple) {
+func (p *pairTrack) addLocked(sh *statShard, key []byte, t idTuple) {
 	g, ok := sh.m[string(key)]
 	if !ok {
 		k := string(key)
-		x := make([]relation.Value, len(p.xIdx))
+		x := make([]uint32, len(p.xIdx))
 		for i, j := range p.xIdx {
 			x[i] = t[j]
 		}
@@ -353,7 +380,7 @@ func (p *pairTrack) addLocked(sh *statShard, key []byte, t relation.Tuple) {
 	}
 }
 
-func (h *GroupStats) removePair(pi int, t relation.Tuple) {
+func (h *GroupStats) removePair(pi int, t idTuple) {
 	p := &h.pairs[pi]
 	var stack [64]byte
 	sh, key := p.shardFor(stack[:], t)
@@ -398,9 +425,11 @@ func (h *GroupStats) Drain(buf []GroupDelta) []GroupDelta {
 				// within one window drains as two list entries, old
 				// object first, so the subscriber nets out correctly.
 				if g.size > 0 {
-					d.X, d.Support, d.Distinct = g.x, g.size, g.distinct()
+					d.X = h.in.Materialize(make([]relation.Value, 0, len(g.x)), g.x)
+					d.Support, d.Distinct = g.size, g.distinct()
 					if d.Distinct == 1 {
-						d.Top, d.TopCount = g.top()
+						top, n := g.top(h.in)
+						d.Top, d.TopCount = h.in.ByID(top), n
 					}
 				}
 				buf = append(buf, d)
@@ -424,8 +453,14 @@ func (h *GroupStats) Stat(pair int, xkey string) (GroupStat, bool) {
 	if !ok {
 		return GroupStat{}, false
 	}
-	top, n := g.top()
-	return GroupStat{X: g.x, Support: g.size, Distinct: g.distinct(), Top: top, TopCount: n}, true
+	top, n := g.top(h.in)
+	return GroupStat{
+		X:        h.in.Materialize(make([]relation.Value, 0, len(g.x)), g.x),
+		Support:  g.size,
+		Distinct: g.distinct(),
+		Top:      h.in.ByID(top),
+		TopCount: n,
+	}, true
 }
 
 // statsState is the Monitor-side anchor of the subscriptions.

@@ -41,7 +41,7 @@ func TestTrackGroupsFoldsExistingInstance(t *testing.T) {
 	if len(ds) != 2 {
 		t.Fatalf("drained %d deltas, want 2 groups", len(ds))
 	}
-	k908 := relation.EncodeKey([]relation.Value{"908"})
+	k908 := h.KeyOf([]relation.Value{"908"})
 	d := ds[[2]string{"CT", k908}]
 	if d.Support != 3 || d.Distinct != 2 {
 		t.Errorf("908 group = support %d distinct %d, want 3/2", d.Support, d.Distinct)
@@ -50,7 +50,7 @@ func TestTrackGroupsFoldsExistingInstance(t *testing.T) {
 	if !ok || st.Top != "MH" || st.TopCount != 2 {
 		t.Errorf("Stat(908) = %+v ok=%v, want top MH count 2", st, ok)
 	}
-	k212 := relation.EncodeKey([]relation.Value{"212"})
+	k212 := h.KeyOf([]relation.Value{"212"})
 	d = ds[[2]string{"CT", k212}]
 	if d.Support != 1 || d.Distinct != 1 || d.Top != "NYC" || d.TopCount != 1 {
 		t.Errorf("212 group = %+v, want support 1, top NYC", d)
@@ -78,7 +78,7 @@ func TestGroupDeltasFollowMutations(t *testing.T) {
 		t.Fatal(err)
 	}
 	ds := drainMap(h)
-	k908 := relation.EncodeKey([]relation.Value{"908"})
+	k908 := h.KeyOf([]relation.Value{"908"})
 	if d := ds[[2]string{"CT", k908}]; d.Support != 1 || d.Distinct != 1 || d.Top != "MH" {
 		t.Errorf("after insert: %+v", d)
 	}
@@ -103,11 +103,11 @@ func TestGroupDeltasFollowMutations(t *testing.T) {
 	if d := ds[[2]string{"CT", k908}]; d.Support != 1 || d.Top != "NYC" {
 		t.Errorf("AC group after CT update: %+v", d)
 	}
-	kMH := relation.EncodeKey([]relation.Value{"MH"})
+	kMH := h.KeyOf([]relation.Value{"MH"})
 	if d, ok := ds[[2]string{"AC", kMH}]; !ok || d.Support != 0 {
 		t.Errorf("old CT group should be reported destroyed, got %+v (ok=%v)", d, ok)
 	}
-	kNYC := relation.EncodeKey([]relation.Value{"NYC"})
+	kNYC := h.KeyOf([]relation.Value{"NYC"})
 	if d := ds[[2]string{"AC", kNYC}]; d.Support != 1 || d.Top != "908" {
 		t.Errorf("new CT group: %+v", d)
 	}
@@ -154,36 +154,45 @@ func TestGroupStatsBatchCoalesces(t *testing.T) {
 // TestStatGroupDistribution drives the inline-slot/spill-map layout
 // through adds and removes, checking distinct and top at every step.
 func TestStatGroupDistribution(t *testing.T) {
+	in := relation.NewInterner()
+	// Intern "b" first so its ID is SMALLER than "a"'s: the value-based
+	// tie-break below must still pick "a", proving top compares values,
+	// not arrival-ordered IDs.
+	b, a := in.ID("b"), in.ID("a")
 	g := &statGroup{}
 	check := func(wantDistinct int, wantTop relation.Value, wantN int) {
 		t.Helper()
 		if d := g.distinct(); d != wantDistinct {
 			t.Fatalf("distinct = %d, want %d", d, wantDistinct)
 		}
-		top, n := g.top()
-		if top != wantTop || n != wantN {
-			t.Fatalf("top = %q/%d, want %q/%d", top, n, wantTop, wantN)
+		top, n := g.top(in)
+		got := relation.Value("")
+		if n > 0 {
+			got = in.ByID(top)
+		}
+		if got != wantTop || n != wantN {
+			t.Fatalf("top = %q/%d, want %q/%d", got, n, wantTop, wantN)
 		}
 	}
-	g.add("b")
-	g.add("b")
+	g.add(b)
+	g.add(b)
 	check(1, "b", 2)
-	g.add("a")
+	g.add(a)
 	check(2, "b", 2) // counts beat values
-	g.add("a")
+	g.add(a)
 	check(2, "a", 2) // tie broken toward the smaller value
-	g.remove("b")
-	g.remove("b") // inline slot dies, spill survives
+	g.remove(b)
+	g.remove(b) // inline slot dies, spill survives
 	check(1, "a", 2)
-	g.add("b") // dead slot's value re-enters via the spill map
+	g.add(b) // dead slot's value re-enters via the spill map
 	check(2, "a", 2)
-	g.remove("a")
-	g.remove("a")
+	g.remove(a)
+	g.remove(a)
 	check(1, "b", 1)
 	if g.size != 1 {
 		t.Fatalf("size = %d, want 1", g.size)
 	}
-	g.remove("b")
+	g.remove(b)
 	check(0, "", 0)
 }
 
@@ -244,7 +253,7 @@ func TestMultiAttrPairKeys(t *testing.T) {
 	if len(ds) != 1 {
 		t.Fatalf("drained %d deltas, want 1", len(ds))
 	}
-	want := relation.EncodeKey([]relation.Value{"908", "MH"})
+	want := h.KeyOf([]relation.Value{"908", "MH"})
 	if ds[0].XKey != want || ds[0].Support != 2 || ds[0].Distinct != 2 {
 		t.Errorf("delta = %+v, want key %q support 2 distinct 2", ds[0], want)
 	}

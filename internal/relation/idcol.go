@@ -1,0 +1,69 @@
+package relation
+
+import "encoding/binary"
+
+// This file holds the ID-column key helpers: packed byte keys and
+// hashing over dense uint32 value-ID vectors (see Interner.ID). An
+// ID-keyed group index stores 4 bytes per value instead of the
+// length-prefixed string encoding of EncodeKey — and because IDs are
+// fixed-width, packing, hashing and comparing are tight branch-free
+// loops over words instead of per-byte scans over strings.
+//
+// Invariant: HashIDs(ids) == HashBytes(AppendIDKey(nil, ids)) — one
+// canonical routing hash whether the caller holds the ID vector or the
+// packed key string (snapshot recovery re-derives shards from packed
+// keys with Hash; the hot path hashes the vector directly).
+
+// AppendIDKey appends the packed little-endian encoding of ids to dst
+// and returns it: 4 bytes per ID, no framing. IDs are fixed-width, so
+// unlike EncodeKey no length prefixes are needed for the encoding to be
+// prefix-free at a known arity.
+func AppendIDKey(dst []byte, ids []uint32) []byte {
+	for _, id := range ids {
+		dst = binary.LittleEndian.AppendUint32(dst, id)
+	}
+	return dst
+}
+
+// DecodeIDKey appends the IDs packed in key (an AppendIDKey encoding)
+// to dst and returns it. A key whose length is not a multiple of 4
+// yields the whole 4-byte prefix groups and ignores the tail.
+func DecodeIDKey(dst []uint32, key string) []uint32 {
+	for len(key) >= 4 {
+		dst = append(dst, uint32(key[0])|uint32(key[1])<<8|uint32(key[2])<<16|uint32(key[3])<<24)
+		key = key[4:]
+	}
+	return dst
+}
+
+// HashIDs is the FNV-1a hash of the packed encoding of ids, computed
+// directly from the vector — no byte materialization, four unrolled
+// mix steps per ID.
+func HashIDs(ids []uint32) uint32 {
+	h := uint32(2166136261)
+	for _, id := range ids {
+		h ^= id & 0xff
+		h *= 16777619
+		h ^= (id >> 8) & 0xff
+		h *= 16777619
+		h ^= (id >> 16) & 0xff
+		h *= 16777619
+		h ^= id >> 24
+		h *= 16777619
+	}
+	return h
+}
+
+// EqualIDs reports whether two ID vectors are identical — the
+// branch-free batch comparison of two ID columns (one length check,
+// then a compare-accumulate loop the compiler keeps branchless).
+func EqualIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var diff uint32
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}

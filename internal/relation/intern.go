@@ -11,6 +11,15 @@ import (
 // data ("NYC" in a million tuples) holds one copy of each distinct
 // value, and the hash of an encoded projection key is computed once per
 // distinct key instead of once per mutation.
+//
+// Beyond canonical strings, the pool hands out dense uint32 value IDs:
+// the i-th distinct value interned gets ID i. IDs are the currency of
+// the ID-column stores in internal/incremental — tuples and group keys
+// hold 4-byte IDs instead of 16-byte string headers — and ByID /
+// Materialize turn them back into strings at API boundaries. IDs are
+// process-local: they depend on interning order, so they are never
+// written to the WAL, and snapshots embed their own value table and
+// remap on load (see incremental/persist.go).
 
 // Hash returns the FNV-1a hash of a value. It is the hash the sharded
 // stores route on; Interner caches it per distinct value so hot paths
@@ -36,24 +45,30 @@ func HashBytes(b []byte) uint32 {
 	return h
 }
 
-// sym is one interned value with its cached hash.
+// sym is one interned value with its cached hash and dense ID.
 type sym struct {
-	v Value
-	h uint32
+	v  Value
+	h  uint32
+	id uint32
 }
 
 // Interner is a concurrency-safe dedup pool of Values. Intern of an
 // already-seen value returns the pooled copy (and its cached hash)
-// without allocating; a first-seen value is copied once into the pool.
+// without allocating; a first-seen value is copied once into the pool
+// and assigned the next dense uint32 ID.
 //
 // The pool only grows: a value stays interned even after every tuple
 // referencing it is gone. For a monitor over categorical data that is
 // the point — the distinct-value set is small and stable — but callers
-// feeding unbounded unique values (UUIDs, timestamps) should intern
-// selectively or not at all.
+// feeding unbounded unique values (UUIDs, timestamps) should note that
+// every distinct value costs one pooled copy for the pool's lifetime.
+// (The ID-column tuple store interns every column; see the tradeoff
+// note on incremental.Options.Intern.)
 type Interner struct {
 	mu sync.RWMutex
 	m  map[string]sym
+	// ids maps ID → canonical value; append-only, index = sym.id.
+	ids []Value
 }
 
 // NewInterner returns an empty pool.
@@ -73,12 +88,37 @@ func (in *Interner) Intern(v Value) Value {
 		return s.v
 	}
 	in.mu.Lock()
-	if s, ok = in.m[v]; !ok {
-		s = sym{v: strings.Clone(v), h: Hash(v)}
-		in.m[s.v] = s
-	}
+	s = in.addLocked(v)
 	in.mu.Unlock()
 	return s.v
+}
+
+// ID returns the dense uint32 ID of v, interning it first if needed.
+// The i-th distinct value gets ID i; ByID inverts the mapping.
+func (in *Interner) ID(v Value) uint32 {
+	in.mu.RLock()
+	s, ok := in.m[v]
+	in.mu.RUnlock()
+	if ok {
+		return s.id
+	}
+	in.mu.Lock()
+	s = in.addLocked(v)
+	in.mu.Unlock()
+	return s.id
+}
+
+// addLocked interns v under the write lock (re-checking first: another
+// goroutine may have interned it between the caller's RUnlock and here)
+// and returns its sym.
+func (in *Interner) addLocked(v Value) sym {
+	if s, ok := in.m[v]; ok {
+		return s
+	}
+	s := sym{v: strings.Clone(v), h: Hash(v), id: uint32(len(in.ids))}
+	in.m[s.v] = s
+	in.ids = append(in.ids, s.v)
+	return s
 }
 
 // InternBytes returns the canonical Value equal to string(b) and its
@@ -92,12 +132,7 @@ func (in *Interner) InternBytes(b []byte) (Value, uint32) {
 		return s.v, s.h
 	}
 	in.mu.Lock()
-	// Recheck under the write lock: another goroutine may have interned
-	// the same bytes between the RUnlock and here.
-	if s, ok = in.m[string(b)]; !ok {
-		s = sym{v: string(b), h: Hash(string(b))}
-		in.m[s.v] = s
-	}
+	s = in.addLocked(string(b))
 	in.mu.Unlock()
 	return s.v, s.h
 }
@@ -108,6 +143,69 @@ func (in *Interner) InternTuple(t Tuple) Tuple {
 		t[i] = in.Intern(v)
 	}
 	return t
+}
+
+// AppendIDs appends the IDs of every value of t to dst and returns it,
+// interning first-seen values. The common all-hits case runs under one
+// read lock; misses fall back to per-value interning.
+func (in *Interner) AppendIDs(dst []uint32, t Tuple) []uint32 {
+	base := len(dst)
+	miss := false
+	in.mu.RLock()
+	for _, v := range t {
+		s, ok := in.m[v]
+		if !ok {
+			miss = true
+			break
+		}
+		dst = append(dst, s.id)
+	}
+	in.mu.RUnlock()
+	if !miss {
+		return dst
+	}
+	dst = dst[:base]
+	for _, v := range t {
+		dst = append(dst, in.ID(v))
+	}
+	return dst
+}
+
+// ByID returns the canonical value with the given ID. IDs are dense and
+// handed out in intern order, so any ID below Len is valid; an
+// out-of-range ID returns "".
+func (in *Interner) ByID(id uint32) Value {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if int(id) >= len(in.ids) {
+		return ""
+	}
+	return in.ids[id]
+}
+
+// Materialize appends the values of the given IDs to dst and returns
+// it — the string boundary of an ID-column store. One lock round for
+// the whole vector.
+func (in *Interner) Materialize(dst []Value, ids []uint32) []Value {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	for _, id := range ids {
+		if int(id) < len(in.ids) {
+			dst = append(dst, in.ids[id])
+		} else {
+			dst = append(dst, "")
+		}
+	}
+	return dst
+}
+
+// Values returns a copy of the ID table: index i holds the value with
+// ID i. Snapshot codecs write this table once and store IDs everywhere
+// else.
+func (in *Interner) Values() []Value {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return append([]Value(nil), in.ids...)
 }
 
 // Len returns the number of distinct interned values.

@@ -1,0 +1,60 @@
+#!/bin/sh
+# check_links.sh — the docs gate's link checker. Verifies that every
+# relative link in the repo's tracked markdown files points at a real
+# file, and that every #anchor resolves to a heading in its target
+# (GitHub slug rules: lowercase, punctuation stripped, spaces to
+# dashes). External (scheme://) and mailto links are skipped.
+#
+# Run from the repo root:  sh scripts/check_links.sh
+set -eu
+
+errs=$(mktemp)
+trap 'rm -f "$errs"' EXIT
+
+# slugs FILE — GitHub-style anchor slugs for every markdown heading.
+slugs() {
+    grep -E '^#{1,6} ' "$1" | sed -E 's/^#+ +//' \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+git ls-files '*.md' | while IFS= read -r f; do
+    dir=$(dirname "$f")
+    # Every inline-link target: the (...) part after a ](.
+    grep -oE '\]\([^) ]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' \
+        | while IFS= read -r link; do
+        case $link in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        path=${link%%#*}
+        anchor=""
+        case $link in
+        *'#'*) anchor=${link#*#} ;;
+        esac
+        if [ -n "$path" ]; then
+            target="$dir/$path"
+        else
+            target="$f" # bare in-page anchor: (#section)
+        fi
+        if [ ! -e "$target" ]; then
+            echo "$f: broken link: ($link): no such file: $target" >>"$errs"
+            continue
+        fi
+        if [ -n "$anchor" ]; then
+            case $target in
+            *.md)
+                if ! slugs "$target" | grep -qx "$anchor"; then
+                    echo "$f: broken anchor: ($link): no heading #$anchor in $target" >>"$errs"
+                fi
+                ;;
+            esac
+        fi
+    done || true
+done
+
+if [ -s "$errs" ]; then
+    cat "$errs" >&2
+    echo "check_links: FAIL" >&2
+    exit 1
+fi
+echo "check_links: all markdown links resolve"
