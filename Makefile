@@ -3,25 +3,26 @@ GO ?= go
 # The CI bench-gate workload: small, fixed, a few minutes. One
 # experiment per layer — batch detection (9a), strategy comparison
 # (merge), the durable serving path (e9), batched ingest (e10),
-# streaming discovery (e11), WAL shipping (e12) and write-path raw
-# speed (e13: group-commit coalescing + tuple-store memory) — at
-# -quick sizes, best-of-5 so a single scheduler hiccup does not fail
-# the gate. ci.yml and the checked-in baseline both go through these
-# targets, so the flags live only here.
-BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12,e13
+# streaming discovery (e11), WAL shipping (e12), write-path raw
+# speed (e13: group-commit coalescing + tuple-store memory) and
+# cluster write scaling (e14: routed fsynced writes across shard
+# groups) — at -quick sizes, best-of-5 so a single scheduler hiccup
+# does not fail the gate. ci.yml and the checked-in baseline both go
+# through these targets, so the flags live only here.
+BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12,e13,e14
 # Relative tolerance plus an absolute ns/op floor: only millisecond-scale
 # drift can fail the gate; µs-scale series (single append, fsync) stay
 # informational because 30% of a microsecond is scheduler jitter.
 BENCH_TOLERANCE = 0.30
 BENCH_FLOOR_NS = 100000
 
-.PHONY: test race race-batch race-discovery race-failover metrics-smoke bench-current bench-baseline bench-batch bench-discovery bench-replication bench-groupcommit bench-check docs-check
+.PHONY: test race race-batch race-discovery race-failover race-cluster metrics-smoke bench-current bench-baseline bench-batch bench-discovery bench-replication bench-groupcommit bench-cluster bench-check docs-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/incremental/ ./internal/wal/ ./cmd/cfdserve/
+	$(GO) test -race ./internal/obs/ ./internal/incremental/ ./internal/wal/ ./internal/cluster/ ./cmd/cfdserve/ ./cmd/cfdrouter/
 
 # End-to-end observability check: boot a durable cfdserve, push batches
 # through /apply, scrape GET /metrics and assert the expected series and
@@ -48,6 +49,13 @@ race-discovery:
 # concurrent-stream follower test. CFD_SOAK scales the rounds (nightly).
 race-failover:
 	$(GO) test -race -count 2 -run 'TestFailoverPromotedMatchesOracle|TestFollowerConcurrentStream' ./internal/incremental/
+
+# The cluster property tests under the race detector, twice: the
+# cluster-vs-single-node oracle under random kills/partitions/promotions
+# (a fenced deposed primary must refuse writes), plus the router's
+# stale-epoch retry. CFD_SOAK scales the rounds (nightly).
+race-cluster:
+	$(GO) test -race -count 2 -run 'TestClusterMatchesOracleUnderFailover|TestRouterRetriesStaleEpoch' ./internal/cluster/
 
 # One raw run of the gate workload, for eyeballing.
 bench-current:
@@ -85,6 +93,11 @@ bench-replication:
 # value-ID-column vs string-tuple memory comparison.
 bench-groupcommit:
 	$(GO) run ./cmd/cfdbench -quick -only e13
+
+# Quick local iteration on the cluster series only (E14): routed fsynced
+# write scaling at 1/2/4 shard groups vs the host's flush envelope.
+bench-cluster:
+	$(GO) run ./cmd/cfdbench -quick -only e14
 
 # Documentation gate: vet, every *.md relative link and anchor resolves,
 # and the godoc examples are gofmt-clean. ci.yml's docs job runs this.

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/cind"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/discovery"
@@ -320,6 +321,12 @@ var (
 	// ErrMonitorReadOnly reports a mutation against a following monitor;
 	// promote it first (MonitorFollower.Promote, POST /promote).
 	ErrMonitorReadOnly = incremental.ErrReadOnly
+	// ErrMonitorFenced reports a write refused because the node is
+	// fenced: a higher-epoch history exists (a standby was promoted),
+	// so this node's appends can no longer be acknowledged. See
+	// Monitor.ApplyAt, Monitor.Fence and the internal/incremental
+	// fencing docs.
+	ErrMonitorFenced = incremental.ErrFenced
 	// ErrWALSegmentGone reports a shipping cursor below the primary's
 	// retention window (MonitorOptions.RetainSegments); the follower
 	// must be rebuilt with FollowOptions.Resync.
@@ -347,6 +354,47 @@ func FollowMonitor(ctx context.Context, sigma []*CFD, opts MonitorOptions, fo Fo
 // tests, benchmarks and same-process replicas.
 func NewMonitorChunkSource(m *Monitor) WALChunkSource {
 	return incremental.NewMonitorSource(m)
+}
+
+// Sharded cluster (see internal/cluster and cmd/cfdrouter): a
+// consistent-hash ring partitions the tuple-key space across shard
+// groups, and a ClusterRouter splits each ChangeSet by owning shard,
+// fans sub-batches out in parallel under epoch stamps, and merges the
+// per-shard violation deltas. Failover is fenced promotion per group.
+type (
+	// ClusterRouter fronts a sharded cluster; see its Apply and Promote.
+	ClusterRouter = cluster.Router
+	// ClusterRing is the consistent-hash ring (virtual nodes) behind a
+	// router's key partition.
+	ClusterRing = cluster.Ring
+	// ClusterBackend is one shard-group node as the router addresses it
+	// (in-process: ClusterLocalBackend; over HTTP: cfdrouter).
+	ClusterBackend = cluster.Backend
+	// ClusterGroupConfig declares one shard group (name, primary,
+	// promotion-ordered standbys).
+	ClusterGroupConfig = cluster.GroupConfig
+	// ClusterOptions tunes a router (virtual-node count).
+	ClusterOptions = cluster.Options
+	// ClusterLocalBackend adapts an in-process Monitor/MonitorFollower
+	// to ClusterBackend.
+	ClusterLocalBackend = cluster.LocalBackend
+	// ClusterApplyError names the shard groups whose sub-batches failed
+	// in one routed apply (per-shard atomicity; see ClusterRouter.Apply).
+	ClusterApplyError = cluster.ApplyError
+	// ClusterGroupStatus is one group's row in ClusterRouter.Status.
+	ClusterGroupStatus = cluster.GroupStatus
+)
+
+// NewClusterRouter builds a router over the given shard groups, reading
+// each primary's epoch token and key watermark.
+func NewClusterRouter(ctx context.Context, groups []ClusterGroupConfig, opts ClusterOptions) (*ClusterRouter, error) {
+	return cluster.NewRouter(ctx, groups, opts)
+}
+
+// NewClusterRing builds a standalone consistent-hash ring (vnodes 0
+// means the default per-member count).
+func NewClusterRing(vnodes int, members ...string) (*ClusterRing, error) {
+	return cluster.NewRing(vnodes, members...)
 }
 
 // NewMonitor builds an empty incremental monitor for the schema and Σ;

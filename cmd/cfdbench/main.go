@@ -27,7 +27,17 @@
 // acceptance is ≥4 coalesced writers within ~2× of the batched per-op
 // rate — plus the tuple-store memory series: bytes/tuple of the dense
 // value-ID columns vs the interned-string layout at 1M tuples;
-// acceptance is a ≥2× reduction).
+// acceptance is a ≥2× reduction); e14 measures cluster write scaling (a
+// consistent-hash router fanning keyed single-op updates across 1/2/4
+// independent fsynced shard groups under 16 closed-loop writers, group
+// commit off so the per-journal fsync is the bottleneck being sharded;
+// acceptance is ≥3× the single-shard op rate at 4 groups).
+//
+// A second mode, -serve URL, turns cfdbench into a serving driver: N
+// concurrent HTTP clients fire at a live cfdserve or cfdrouter for
+// -duration, open-loop at -rate req/s (or closed-loop at rate 0), and
+// report qps with p50/p95/p99 latency; -insert-values picks the write
+// path (POST /insert) over the default read path (GET /violations).
 //
 // With -json the tables are suppressed and a single JSON array of
 // measurements is written to stdout, so a per-PR perf trajectory
@@ -60,9 +70,15 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
-		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11,e12,e13)")
+		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11,e12,e13,e14)")
 		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 		repeat  = flag.Int("repeat", 1, "measure each series this many times and keep the fastest")
+
+		serveURL   = flag.String("serve", "", "serving-driver mode: fire HTTP load at this cfdserve/cfdrouter base URL instead of running experiments")
+		clients    = flag.Int("clients", 8, "serving driver: concurrent HTTP clients")
+		rate       = flag.Float64("rate", 0, "serving driver: aggregate open-loop admission rate in req/s (0 = closed loop)")
+		duration   = flag.Duration("duration", 10*time.Second, "serving driver: how long to fire")
+		insertVals = flag.String("insert-values", "", "serving driver: comma-separated tuple values to POST /insert (empty: GET /violations)")
 	)
 	flag.Parse()
 	sel := map[string]bool{}
@@ -74,6 +90,20 @@ func main() {
 	want := func(id string) bool { return len(sel) == 0 || sel[id] }
 
 	b := &bench{quick: *quick, jsonOut: *jsonOut, repeat: *repeat}
+	if *serveURL != "" {
+		b.serveBench(strings.TrimRight(*serveURL, "/"), *clients, *rate, *duration, *insertVals)
+		if b.jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(b.results); err != nil {
+				b.fatal(err)
+			}
+		}
+		if b.failed {
+			os.Exit(1)
+		}
+		return
+	}
 	if want("9a") {
 		b.fig9ab("9a", 1.0)
 	}
@@ -109,6 +139,9 @@ func main() {
 	}
 	if want("e13") {
 		b.e13()
+	}
+	if want("e14") {
+		b.e14()
 	}
 	if b.jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -1,0 +1,637 @@
+// cfdrouter fronts a sharded cfdserve cluster: a consistent-hash ring
+// partitions the tuple key space across independent shard groups (each
+// a cfdserve primary plus optional hot standbys), every incoming
+// ChangeSet is split by owning shard and fanned out in parallel, and
+// the per-shard violation deltas merge into one response. Writes scale
+// with the number of groups because each group commits to its own WAL.
+//
+// Usage:
+//
+//	cfdrouter -http :8100 \
+//	    -shard g0=http://p0:8081,http://f0:8085 \
+//	    -shard g1=http://p1:8082
+//
+// Every mutation the router sends is stamped with the epoch it believes
+// current for that group (X-Cfd-Epoch), so a deposed primary refuses
+// the write instead of forking history; a 409 with code "fenced" makes
+// the router re-query the node's epoch and retry once, which heals the
+// case where an operator promoted a standby behind a stable primary
+// address. POST /promote fails a group over to its first standby and
+// re-points writes with no re-seeding: the standby already holds the
+// replicated state.
+//
+// Endpoints: /insert /delete /update /apply (the cfdserve mutation
+// shapes, minus the choice of node), /violations (cluster-wide total),
+// /stats, /ring (ownership probe), /promote, /metrics.
+//
+// Atomicity is per shard group: a batch spanning groups may commit on
+// some and fail on others, in which case the response names the failed
+// groups and the delta covers the committed ones. Variable (multi-
+// tuple) violations are likewise detected within each group's key
+// range; keep tuples that must be compared on one shard group, or run
+// a single cfdserve.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cliutil"
+	"repro/internal/obs"
+)
+
+var processStart = time.Now()
+
+// --- wire shapes shared with cfdserve ---
+
+type wireOp struct {
+	Op     string   `json:"op"`
+	Values []string `json:"values,omitempty"`
+	Key    *int64   `json:"key,omitempty"`
+	Attr   string   `json:"attr,omitempty"`
+	Value  string   `json:"value,omitempty"`
+}
+
+type wireChange struct {
+	CFD   int      `json:"cfd"`
+	Kind  string   `json:"kind"`
+	Tuple *int64   `json:"tuple,omitempty"`
+	Key   []string `json:"key,omitempty"`
+}
+
+type wireDelta struct {
+	Added   []wireChange `json:"added"`
+	Removed []wireChange `json:"removed"`
+}
+
+func toWireDelta(d *repro.ViolationDelta) wireDelta {
+	conv := func(cs []repro.ViolationChange) []wireChange {
+		out := make([]wireChange, 0, len(cs))
+		for _, c := range cs {
+			wc := wireChange{CFD: c.CFD, Kind: c.Kind.String()}
+			if c.Kind == repro.ConstViolation {
+				tuple := c.Tuple
+				wc.Tuple = &tuple
+			} else {
+				wc.Key = c.Key
+			}
+			out = append(out, wc)
+		}
+		return out
+	}
+	return wireDelta{Added: conv(d.Added), Removed: conv(d.Removed)}
+}
+
+func fromWireDelta(w wireDelta) (*repro.ViolationDelta, error) {
+	conv := func(in []wireChange) ([]repro.ViolationChange, error) {
+		out := make([]repro.ViolationChange, 0, len(in))
+		for _, c := range in {
+			vc := repro.ViolationChange{CFD: c.CFD}
+			switch c.Kind {
+			case "const":
+				if c.Tuple == nil {
+					return nil, fmt.Errorf("const change without tuple key")
+				}
+				vc.Kind = repro.ConstViolation
+				vc.Tuple = *c.Tuple
+			case "variable":
+				vc.Kind = repro.VariableViolation
+				vc.Key = c.Key
+			default:
+				return nil, fmt.Errorf("unknown change kind %q", c.Kind)
+			}
+			out = append(out, vc)
+		}
+		return out, nil
+	}
+	added, err := conv(w.Added)
+	if err != nil {
+		return nil, err
+	}
+	removed, err := conv(w.Removed)
+	if err != nil {
+		return nil, err
+	}
+	return &repro.ViolationDelta{Added: added, Removed: removed}, nil
+}
+
+// --- httpBackend: one shard-group node over the cfdserve wire ---
+
+// httpBackend adapts a cfdserve node to the router's ClusterBackend:
+// mutations go through POST /apply stamped with X-Cfd-Epoch, the
+// epoch and key watermark come from GET /stats, failover runs over
+// POST /promote and POST /fence. A 409 whose body carries the
+// machine-readable code "fenced" (or "read_only") is mapped back onto
+// the sentinel error the router dispatches on.
+type httpBackend struct {
+	base string
+	hc   *http.Client
+}
+
+func newHTTPBackend(base string, timeout time.Duration) *httpBackend {
+	return &httpBackend{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: timeout}}
+}
+
+// call runs one JSON exchange. A nil body means a bare request (GET or
+// an empty POST); a non-2xx response is decoded for its error message
+// and machine code.
+func (b *httpBackend) call(ctx context.Context, method, path string, body any, epoch *uint64, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if epoch != nil {
+		req.Header.Set("X-Cfd-Epoch", strconv.FormatUint(*epoch, 10))
+	}
+	resp, err := b.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", b.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		switch e.Code {
+		case "fenced":
+			return fmt.Errorf("shard %s: %w", b.base, repro.ErrMonitorFenced)
+		case "read_only":
+			return fmt.Errorf("shard %s: %w", b.base, repro.ErrMonitorReadOnly)
+		}
+		if e.Error == "" {
+			e.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		}
+		return fmt.Errorf("shard %s%s: %s", b.base, path, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (b *httpBackend) Apply(ctx context.Context, epoch uint64, cs *repro.ChangeSet) (*repro.ViolationDelta, error) {
+	ops := make([]wireOp, 0, len(cs.Ops))
+	for i := range cs.Ops {
+		op := &cs.Ops[i]
+		key := op.Key
+		switch op.Kind {
+		case repro.OpInsert:
+			// The router assigned every insert's key before splitting, so
+			// the shard must honor it rather than allocate its own.
+			ops = append(ops, wireOp{Op: "insert", Key: &key, Values: op.Tuple})
+		case repro.OpDelete:
+			ops = append(ops, wireOp{Op: "delete", Key: &key})
+		case repro.OpUpdate:
+			ops = append(ops, wireOp{Op: "update", Key: &key, Attr: op.Attr, Value: op.Value})
+		default:
+			return nil, fmt.Errorf("unknown op kind %v", op.Kind)
+		}
+	}
+	var res struct {
+		Delta wireDelta `json:"delta"`
+	}
+	if err := b.call(ctx, http.MethodPost, "/apply", map[string]any{"ops": ops}, &epoch, &res); err != nil {
+		return nil, err
+	}
+	return fromWireDelta(res.Delta)
+}
+
+func (b *httpBackend) stats(ctx context.Context) (epoch uint64, nextKey int64, err error) {
+	var st struct {
+		Epoch   uint64 `json:"epoch"`
+		NextKey int64  `json:"next_key"`
+	}
+	if err := b.call(ctx, http.MethodGet, "/stats", nil, nil, &st); err != nil {
+		return 0, 0, err
+	}
+	return st.Epoch, st.NextKey, nil
+}
+
+func (b *httpBackend) Epoch(ctx context.Context) (uint64, error) {
+	epoch, _, err := b.stats(ctx)
+	return epoch, err
+}
+
+func (b *httpBackend) NextKey(ctx context.Context) (int64, error) {
+	_, next, err := b.stats(ctx)
+	return next, err
+}
+
+func (b *httpBackend) Promote(ctx context.Context) (uint64, error) {
+	var res struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := b.call(ctx, http.MethodPost, "/promote", nil, nil, &res); err != nil {
+		return 0, err
+	}
+	return res.Epoch, nil
+}
+
+func (b *httpBackend) Fence(ctx context.Context, epoch uint64) error {
+	return b.call(ctx, http.MethodPost, "/fence", map[string]any{"epoch": epoch}, nil, nil)
+}
+
+// violationTotal reads the node's live violation count, for the
+// router's cluster-wide /violations aggregate.
+func (b *httpBackend) violationTotal(ctx context.Context) (int, error) {
+	var res struct {
+		Total int `json:"total"`
+	}
+	if err := b.call(ctx, http.MethodGet, "/violations", nil, nil, &res); err != nil {
+		return 0, err
+	}
+	return res.Total, nil
+}
+
+// --- the daemon ---
+
+type routerServer struct {
+	rt     *repro.ClusterRouter
+	vnodes int
+	reg    *repro.MetricsRegistry
+}
+
+func (s *routerServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	reg := s.reg
+	handle := func(path string, h http.HandlerFunc) {
+		reqs := reg.Counter("cfdrouter_http_requests_total", "HTTP requests served, by endpoint.", obs.L("path", path))
+		errs := reg.Counter("cfdrouter_http_errors_total", "HTTP responses with status >= 400, by endpoint.", obs.L("path", path))
+		dur := reg.DurationHistogram("cfdrouter_http_request_seconds", "HTTP request latency, by endpoint.", obs.L("path", path))
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			sw := statusWriter{ResponseWriter: w}
+			h(&sw, r)
+			reqs.Inc()
+			if sw.status >= 400 {
+				errs.Inc()
+			}
+			dur.ObserveSince(start)
+		})
+	}
+	routedOps := reg.Counter("cfdrouter_routed_ops_total", "Mutation ops routed to shard groups.")
+	shardFails := reg.Counter("cfdrouter_shard_failures_total", "Sub-batches refused or failed by a shard group.")
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+	readBody := func(w http.ResponseWriter, r *http.Request, v any) bool {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+			return false
+		}
+		if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+			return false
+		}
+		return true
+	}
+	// routeErr maps a routed apply's failure. A partial failure (some
+	// groups committed, some refused) is the router's defining error
+	// shape: 502 naming the failed groups, with the delta of the
+	// committed ones alongside so the caller can reconcile.
+	routeErr := func(w http.ResponseWriter, err error, delta *repro.ViolationDelta) {
+		var ae *repro.ClusterApplyError
+		if errors.As(err, &ae) {
+			shardFails.Add(uint64(len(ae.Failed)))
+			failed := make(map[string]string, len(ae.Failed))
+			for name, ferr := range ae.Failed {
+				failed[name] = ferr.Error()
+			}
+			body := map[string]any{"error": err.Error(), "failed": failed}
+			if delta != nil {
+				body["delta"] = toWireDelta(delta)
+			}
+			writeJSON(w, http.StatusBadGateway, body)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err)
+	}
+	apply := func(w http.ResponseWriter, r *http.Request, cs *repro.ChangeSet) (*repro.ViolationDelta, bool) {
+		delta, err := s.rt.Apply(r.Context(), cs)
+		if err != nil {
+			routeErr(w, err, delta)
+			return nil, false
+		}
+		routedOps.Add(uint64(cs.Len()))
+		return delta, true
+	}
+
+	handle("/insert", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Values []string `json:"values"`
+			Key    *int64   `json:"key"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		var cs repro.ChangeSet
+		if req.Key != nil {
+			cs.InsertKeyed(*req.Key, repro.Tuple(req.Values))
+		} else {
+			cs.Insert(repro.Tuple(req.Values))
+		}
+		delta, ok := apply(w, r, &cs)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"key": cs.Ops[0].Key, "shard": s.rt.Owner(cs.Ops[0].Key), "delta": toWireDelta(delta),
+		})
+	})
+	handle("/delete", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Key int64 `json:"key"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		var cs repro.ChangeSet
+		cs.Delete(req.Key)
+		if delta, ok := apply(w, r, &cs); ok {
+			writeJSON(w, http.StatusOK, map[string]any{"delta": toWireDelta(delta)})
+		}
+	})
+	handle("/update", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Key   int64  `json:"key"`
+			Attr  string `json:"attr"`
+			Value string `json:"value"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		var cs repro.ChangeSet
+		cs.Update(req.Key, req.Attr, req.Value)
+		if delta, ok := apply(w, r, &cs); ok {
+			writeJSON(w, http.StatusOK, map[string]any{"delta": toWireDelta(delta)})
+		}
+	})
+	handle("/apply", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Ops []wireOp `json:"ops"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		var cs repro.ChangeSet
+		for i, o := range req.Ops {
+			switch o.Op {
+			case "insert":
+				if o.Key != nil {
+					cs.InsertKeyed(*o.Key, repro.Tuple(o.Values))
+				} else {
+					cs.Insert(repro.Tuple(o.Values))
+				}
+			case "delete":
+				if o.Key == nil {
+					writeErr(w, http.StatusBadRequest, fmt.Errorf("ops[%d]: delete requires a key", i))
+					return
+				}
+				cs.Delete(*o.Key)
+			case "update":
+				if o.Key == nil {
+					writeErr(w, http.StatusBadRequest, fmt.Errorf("ops[%d]: update requires a key", i))
+					return
+				}
+				cs.Update(*o.Key, o.Attr, o.Value)
+			default:
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("ops[%d]: unknown op %q", i, o.Op))
+				return
+			}
+		}
+		delta, ok := apply(w, r, &cs)
+		if !ok {
+			return
+		}
+		keys := make([]int64, 0, len(cs.Ops))
+		for i := range cs.Ops {
+			if cs.Ops[i].Kind == repro.OpInsert {
+				keys = append(keys, cs.Ops[i].Key)
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ops": cs.Len(), "keys": keys, "delta": toWireDelta(delta),
+		})
+	})
+	// Cluster-wide violation count: the sum of every group's primary.
+	// Totals are disjoint because each group owns its key range.
+	handle("/violations", func(w http.ResponseWriter, r *http.Request) {
+		groups := make(map[string]int)
+		total := 0
+		for _, name := range s.rt.Groups() {
+			hb, ok := s.rt.Primary(name).(*httpBackend)
+			if !ok {
+				writeErr(w, http.StatusInternalServerError, fmt.Errorf("group %s: primary is not an HTTP backend", name))
+				return
+			}
+			n, err := hb.violationTotal(r.Context())
+			if err != nil {
+				writeErr(w, http.StatusBadGateway, fmt.Errorf("group %s: %w", name, err))
+				return
+			}
+			groups[name] = n
+			total += n
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"groups": groups, "total": total})
+	})
+	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"groups":         s.rt.Status(),
+			"next_key":       s.rt.NextKey(),
+			"vnodes":         s.vnodes,
+			"uptime_seconds": time.Since(processStart).Seconds(),
+		})
+	})
+	// Ownership probe: which group would serve a key.
+	handle("/ring", func(w http.ResponseWriter, r *http.Request) {
+		if kq := r.URL.Query().Get("key"); kq != "" {
+			key, err := strconv.ParseInt(kq, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad key %q: %w", kq, err))
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"key": key, "owner": s.rt.Owner(key)})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"members": s.rt.Groups(), "vnodes": s.vnodes})
+	})
+	// Failover: promote the group's first standby and re-point writes.
+	handle("/promote", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Group string `json:"group"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		epoch, err := s.rt.Promote(r.Context(), req.Group)
+		if err != nil {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"group": req.Group, "epoch": epoch, "promoted": true})
+	})
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	return mux
+}
+
+// statusWriter records the response status so the middleware can count
+// error responses; an implicit 200 (first Write without WriteHeader) is
+// recorded too.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// shardFlag accumulates repeated -shard name=primaryURL[,standbyURL...]
+// definitions in declaration order.
+type shardDef struct {
+	name     string
+	primary  string
+	standbys []string
+}
+
+func parseShard(v string) (shardDef, error) {
+	name, urls, ok := strings.Cut(v, "=")
+	if !ok || name == "" || urls == "" {
+		return shardDef{}, fmt.Errorf("bad -shard %q: want name=primaryURL[,standbyURL...]", v)
+	}
+	parts := strings.Split(urls, ",")
+	for _, p := range parts {
+		if !strings.HasPrefix(p, "http://") && !strings.HasPrefix(p, "https://") {
+			return shardDef{}, fmt.Errorf("bad -shard %q: %q is not an http(s) URL", v, p)
+		}
+	}
+	return shardDef{name: name, primary: parts[0], standbys: parts[1:]}, nil
+}
+
+func main() {
+	var shards []shardDef
+	var (
+		httpAddr  = flag.String("http", "", "serve the router API on this address (required)")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per shard group on the hash ring (0 = default)")
+		timeout   = flag.Duration("shard-timeout", 30*time.Second, "per-request timeout talking to a shard node")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this second, private address (off when empty)")
+		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+		logJSON   = flag.Bool("log-json", false, "write logs to stderr as JSON lines instead of text")
+	)
+	flag.Func("shard", "shard group as name=primaryURL[,standbyURL...]; repeat per group (required)", func(v string) error {
+		def, err := parseShard(v)
+		if err != nil {
+			return err
+		}
+		shards = append(shards, def)
+		return nil
+	})
+	flag.Parse()
+	lg, err := cliutil.NewLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfdrouter:", err)
+		os.Exit(2)
+	}
+	if *httpAddr == "" || len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "cfdrouter: -http and at least one -shard are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *pprofAddr != "" {
+		go func() {
+			lg.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				lg.Error("pprof server failed", "error", err)
+			}
+		}()
+	}
+
+	groups := make([]repro.ClusterGroupConfig, 0, len(shards))
+	for _, def := range shards {
+		cfg := repro.ClusterGroupConfig{Name: def.name, Primary: newHTTPBackend(def.primary, *timeout)}
+		for _, u := range def.standbys {
+			cfg.Standbys = append(cfg.Standbys, newHTTPBackend(u, *timeout))
+		}
+		groups = append(groups, cfg)
+	}
+	// The router reads each primary's epoch and key watermark at boot,
+	// so every shard must be reachable here.
+	rt, err := repro.NewClusterRouter(ctx, groups, repro.ClusterOptions{VNodes: *vnodes})
+	if err != nil {
+		lg.Error("startup failed", "error", err)
+		os.Exit(2)
+	}
+	srv := &routerServer{rt: rt, vnodes: *vnodes, reg: repro.DefaultMetrics()}
+
+	lis, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		lg.Error("listen failed", "error", err)
+		os.Exit(2)
+	}
+	fmt.Printf("routing %d shard groups on %s (next key %d)\n", len(groups), lis.Addr(), rt.NextKey())
+	hs := &http.Server{Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(lis) }()
+	select {
+	case err = <-errc:
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err = hs.Shutdown(sctx)
+	}
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		lg.Error("server failed", "error", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,363 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// The daemon is tested against stub shard nodes that speak the cfdserve
+// wire subset the router programs against (/apply with X-Cfd-Epoch,
+// /stats, /violations, /promote, /fence), each backed by a real
+// monitor. The cfdserve side of the same contract is pinned by its own
+// fencing wire test.
+
+func custFixture(t *testing.T) (*repro.Schema, []*repro.CFD) {
+	t.Helper()
+	schema, err := repro.NewSchema("cust",
+		repro.Attr("CC"), repro.Attr("AC"), repro.Attr("PN"),
+		repro.Attr("NM"), repro.Attr("STR"), repro.Attr("CT"), repro.Attr("ZIP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, err := repro.ParseCFDSet(`
+[CC, AC, PN] -> [STR, CT, ZIP]
+[CC=01, AC=908, PN] -> [STR, CT=MH, ZIP]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema, sigma
+}
+
+// stubNode is one shard-group node: a monitor (or a follower wrapping
+// one) behind the wire endpoints the router's httpBackend uses.
+type stubNode struct {
+	mu sync.Mutex
+	m  *repro.Monitor
+	f  *repro.MonitorFollower
+}
+
+func (n *stubNode) mon() *repro.Monitor {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.f != nil {
+		return n.f.Monitor()
+	}
+	return n.m
+}
+
+func (n *stubNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc("/apply", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Ops []wireOp `json:"ops"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		var cs repro.ChangeSet
+		for _, o := range req.Ops {
+			switch o.Op {
+			case "insert":
+				if o.Key != nil {
+					cs.InsertKeyed(*o.Key, repro.Tuple(o.Values))
+				} else {
+					cs.Insert(repro.Tuple(o.Values))
+				}
+			case "delete":
+				cs.Delete(*o.Key)
+			case "update":
+				cs.Update(*o.Key, o.Attr, o.Value)
+			}
+		}
+		var delta *repro.ViolationDelta
+		var err error
+		if h := r.Header.Get("X-Cfd-Epoch"); h != "" {
+			epoch, perr := strconv.ParseUint(h, 10, 64)
+			if perr != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": perr.Error()})
+				return
+			}
+			delta, err = n.mon().ApplyAt(&cs, epoch)
+		} else {
+			delta, err = n.mon().Apply(&cs)
+		}
+		switch {
+		case errors.Is(err, repro.ErrMonitorFenced):
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error(), "code": "fenced"})
+		case errors.Is(err, repro.ErrMonitorReadOnly):
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error(), "code": "read_only"})
+		case err != nil:
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		default:
+			writeJSON(w, http.StatusOK, map[string]any{"delta": toWireDelta(delta)})
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch": n.mon().Epoch(), "next_key": n.mon().NextKey(),
+		})
+	})
+	mux.HandleFunc("/violations", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"total": n.mon().ViolationCount()})
+	})
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		f := n.f
+		n.mu.Unlock()
+		if f == nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": "not a follower"})
+			return
+		}
+		if err := f.Promote(); err != nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "epoch": f.Monitor().Epoch()})
+	})
+	mux.HandleFunc("/fence", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Epoch uint64 `json:"epoch"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		n.mon().Fence(req.Epoch)
+		writeJSON(w, http.StatusOK, map[string]any{"epoch": n.mon().Epoch(), "fenced": n.mon().Fenced()})
+	})
+	return mux
+}
+
+func postBody(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return resp.StatusCode, v
+}
+
+func getBody(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return resp.StatusCode, v
+}
+
+// startRouter builds a routerServer over the given shard groups and
+// serves it from an httptest server.
+func startRouter(t *testing.T, groups []repro.ClusterGroupConfig) (*routerServer, string) {
+	t.Helper()
+	rt, err := repro.NewClusterRouter(context.Background(), groups, repro.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &routerServer{rt: rt, reg: repro.NewMetricsRegistry()}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts.URL
+}
+
+func TestDaemonRoutesAcrossShards(t *testing.T) {
+	schema, sigma := custFixture(t)
+	nodes := make(map[string]*stubNode, 3)
+	var groups []repro.ClusterGroupConfig
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("g%d", i)
+		m, err := repro.NewMonitor(schema, sigma, repro.MonitorOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := &stubNode{m: m}
+		ts := httptest.NewServer(node.handler())
+		t.Cleanup(ts.Close)
+		nodes[name] = node
+		groups = append(groups, repro.ClusterGroupConfig{Name: name, Primary: newHTTPBackend(ts.URL, 10*time.Second)})
+	}
+	srv, url := startRouter(t, groups)
+
+	// A routed batch: keys are allocated by the router and every tuple
+	// lands on the shard the ring names — and nowhere else.
+	code, res := postBody(t, url+"/apply", `{"ops":[
+		{"op":"insert","values":["01","908","1111111","Mike","Tree Ave.","MH","07974"]},
+		{"op":"insert","values":["01","212","2222222","Joe","Elm Str.","NYC","01202"]},
+		{"op":"insert","values":["01","215","3333333","Ben","Oak Ave.","PHI","19014"]}]}`)
+	if code != http.StatusOK || fmt.Sprint(res["ops"]) != "3" {
+		t.Fatalf("apply: %d %v", code, res)
+	}
+	keys := res["keys"].([]any)
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for _, kv := range keys {
+		key := int64(kv.(float64))
+		_, ringRes := getBody(t, fmt.Sprintf("%s/ring?key=%d", url, key))
+		owner, _ := ringRes["owner"].(string)
+		for name, node := range nodes {
+			_, ok := node.mon().Get(key)
+			if want := name == owner; ok != want {
+				t.Fatalf("key %d: present=%v on %s, owner %s", key, ok, name, owner)
+			}
+		}
+	}
+
+	// A const-violating insert: the shard's delta comes back through the
+	// router, and the cluster-wide /violations aggregate sees it.
+	code, res = postBody(t, url+"/insert", `{"values":["01","908","4444444","Eve","Elm Str.","NYC","01202"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("insert: %d %v", code, res)
+	}
+	badKey := int64(res["key"].(float64))
+	delta := res["delta"].(map[string]any)
+	if added := delta["added"].([]any); len(added) == 0 {
+		t.Fatalf("violating insert produced no delta: %v", res)
+	}
+	code, res = getBody(t, url+"/violations")
+	var wantTotal int64
+	for _, node := range nodes {
+		wantTotal += node.mon().ViolationCount()
+	}
+	if code != http.StatusOK || fmt.Sprint(res["total"]) != fmt.Sprint(wantTotal) || wantTotal == 0 {
+		t.Fatalf("violations: %d %v, nodes hold %d", code, res, wantTotal)
+	}
+
+	// A routed update heals it; a routed delete removes the tuple from
+	// its owner.
+	code, res = postBody(t, url+"/update", fmt.Sprintf(`{"key":%d,"attr":"CT","value":"MH"}`, badKey))
+	if code != http.StatusOK {
+		t.Fatalf("update: %d %v", code, res)
+	}
+	if removed := res["delta"].(map[string]any)["removed"].([]any); len(removed) == 0 {
+		t.Fatalf("healing update removed nothing: %v", res)
+	}
+	code, _ = postBody(t, url+"/delete", fmt.Sprintf(`{"key":%d}`, badKey))
+	if code != http.StatusOK {
+		t.Fatal("delete failed")
+	}
+	if _, ok := nodes[srv.rt.Owner(badKey)].mon().Get(badKey); ok {
+		t.Fatal("deleted key still on its owner shard")
+	}
+
+	// Wire validation: delete with no key is refused up front.
+	if code, _ = postBody(t, url+"/apply", `{"ops":[{"op":"delete"}]}`); code != http.StatusBadRequest {
+		t.Fatalf("keyless delete: %d, want 400", code)
+	}
+
+	// /stats reflects the allocator watermark and every group.
+	_, st := getBody(t, url+"/stats")
+	if fmt.Sprint(st["next_key"]) != "4" {
+		t.Fatalf("next_key = %v, want 4", st["next_key"])
+	}
+	if gs := st["groups"].([]any); len(gs) != 3 {
+		t.Fatalf("stats groups = %v", gs)
+	}
+	_, ring := getBody(t, url+"/ring")
+	if members := ring["members"].([]any); len(members) != 3 {
+		t.Fatalf("ring members = %v", members)
+	}
+}
+
+func TestDaemonPromoteFailover(t *testing.T) {
+	_, sigma := custFixture(t)
+	schema, _ := custFixture(t)
+	ctx := context.Background()
+	p, err := repro.NewMonitor(schema, sigma, repro.MonitorOptions{Durable: t.TempDir(), RetainSegments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f, err := repro.FollowMonitor(ctx, sigma, repro.MonitorOptions{Durable: t.TempDir()},
+		repro.FollowOptions{Source: repro.NewMonitorChunkSource(p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	pnode := &stubNode{m: p}
+	fnode := &stubNode{f: f}
+	pts := httptest.NewServer(pnode.handler())
+	defer pts.Close()
+	fts := httptest.NewServer(fnode.handler())
+	defer fts.Close()
+	_, url := startRouter(t, []repro.ClusterGroupConfig{{
+		Name:     "g0",
+		Primary:  newHTTPBackend(pts.URL, 10*time.Second),
+		Standbys: []repro.ClusterBackend{newHTTPBackend(fts.URL, 10*time.Second)},
+	}})
+
+	code, res := postBody(t, url+"/insert", `{"values":["01","908","1111111","Mike","Tree Ave.","MH","07974"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("insert: %d %v", code, res)
+	}
+	for { // the standby catches up before failover
+		n, err := f.Sync(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+
+	// Failover: the standby takes over under a bumped epoch, and the
+	// router re-points writes with no re-seeding.
+	code, res = postBody(t, url+"/promote", `{"group":"g0"}`)
+	if code != http.StatusOK || fmt.Sprint(res["epoch"]) != "1" {
+		t.Fatalf("promote: %d %v", code, res)
+	}
+	code, res = postBody(t, url+"/insert", `{"values":["01","212","2222222","Joe","Elm Str.","NYC","01202"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("post-failover insert: %d %v", code, res)
+	}
+	newKey := int64(res["key"].(float64))
+	if _, ok := f.Monitor().Get(newKey); !ok {
+		t.Fatal("post-failover write did not land on the promoted standby")
+	}
+
+	// The deposed primary was fenced over the wire: direct writes are
+	// refused, so its history can never fork.
+	if !p.Fenced() {
+		t.Fatal("deposed primary is not fenced")
+	}
+	var cs repro.ChangeSet
+	cs.Insert(repro.Tuple{"01", "908", "9999999", "X", "Y", "MH", "07974"})
+	if _, err := p.Apply(&cs); !errors.Is(err, repro.ErrMonitorFenced) {
+		t.Fatalf("deposed primary accepted a write: %v", err)
+	}
+
+	// No standbys remain, so a second failover is refused.
+	if code, _ = postBody(t, url+"/promote", `{"group":"g0"}`); code != http.StatusConflict {
+		t.Fatalf("second promote: %d, want 409", code)
+	}
+	_, st := getBody(t, url+"/stats")
+	g0 := st["groups"].([]any)[0].(map[string]any)
+	if fmt.Sprint(g0["epoch"]) != "1" || fmt.Sprint(g0["standbys"]) != "0" {
+		t.Fatalf("group status after failover = %v", g0)
+	}
+}

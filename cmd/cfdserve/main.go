@@ -66,16 +66,28 @@
 //	POST /delete  {"key": 3}                         → {"delta": {...}}
 //	POST /update  {"key": 3, "attr": "CT", "value": "NYC"}
 //	POST /apply   {"ops": [{"op":"insert","values":[...]},
+//	               {"op":"insert","key":7,"values":[...]},   (keyed: router-owned key spaces)
 //	               {"op":"update","key":3,"attr":"CT","value":"NYC"},
 //	               {"op":"delete","key":4}, ...]}    → {"keys": [K,...], "delta": {...}}
 //	POST /snapshot                                   → {"generation": N} (admin; durable mode)
-//	POST /promote                                    → {"promoted": true, ...} (follow mode)
+//	POST /promote                                    → {"promoted": true, "epoch": E, ...} (follow mode)
+//	POST /fence   {"epoch": E}                       → {"epoch": ..., "fenced": true/false} (admin)
 //	GET  /violations                                 → the live set
-//	GET  /stats                                      → {"tuples":N,...,"uptime_seconds":S,"build":{...}}
+//	GET  /stats                                      → {"tuples":N,...,"epoch":E,"role":"primary",...}
 //	GET  /metrics                                    → Prometheus text exposition of the node's metrics
 //	GET  /discover                                   → the streaming miner's current CFD set
 //	GET  /wal/snapshot                               → snapshot image (binary; X-Wal-Seq header)
-//	GET  /wal/stream?from=SEQ,OFF[&max=BYTES]        → framed WAL records (binary; X-Wal-* headers)
+//	GET  /wal/stream?from=SEQ,OFF[&max=BYTES]        → framed WAL records (binary; X-Wal-* headers,
+//	                                                   X-Wal-Epoch carries the fencing epoch)
+//
+// Fencing: every mutation may carry an X-Cfd-Epoch header stamping the
+// epoch the caller believes this node's history is at (routers do; see
+// cmd/cfdrouter). A mismatch is refused with 409 and {"code":"fenced"} —
+// the node either was deposed by a promotion (its epoch is lower than
+// the cluster's) or has already moved past the caller's stale token.
+// POST /promote durably bumps the epoch before the first write is
+// accepted, and followers refuse /wal/stream chunks whose X-Wal-Epoch
+// is below their own — a deposed primary cannot ship a forked history.
 //
 // Observability: every endpoint is wrapped in request/error counters and
 // a latency histogram (cfdserve_http_* series, labeled by path), and the
@@ -869,6 +881,22 @@ var buildInfo = sync.OnceValue(func() map[string]any {
 	return info
 })
 
+// applyMut applies one HTTP mutation's ChangeSet, honoring the
+// X-Cfd-Epoch fencing stamp when the caller (a router) sent one: the
+// write is refused unless this node's history is at exactly that epoch.
+// Requests without the header take the plain path — single-node
+// clients, for whom the node's own epoch is trivially current.
+func (s *server) applyMut(r *http.Request, cs *repro.ChangeSet) (*repro.ViolationDelta, error) {
+	if h := r.Header.Get("X-Cfd-Epoch"); h != "" {
+		epoch, err := strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad X-Cfd-Epoch %q: %w", h, err)
+		}
+		return s.mon().ApplyAt(cs, epoch)
+	}
+	return s.mon().Apply(cs)
+}
+
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	reg := s.metrics()
@@ -910,30 +938,45 @@ func (s *server) handler() http.Handler {
 		}
 		return true
 	}
-	// mutErr maps a refused mutation: a read-only replica is a conflict
-	// with the node's role (409 — promote it or write to the primary),
-	// anything else is the caller's bad request.
+	// mutErr maps a refused mutation: a read-only replica or a fenced
+	// node is a conflict with the node's role (409 — promote it, write
+	// to the primary, or refresh the epoch token), anything else is the
+	// caller's bad request. The machine-readable "code" field is the
+	// router's dispatch key: "fenced" means re-query the epoch and
+	// retry, "read_only" means this node is a standby.
 	mutErr := func(w http.ResponseWriter, err error, fallback int) {
-		if errors.Is(err, repro.ErrMonitorReadOnly) {
-			writeErr(w, http.StatusConflict, err)
-			return
+		switch {
+		case errors.Is(err, repro.ErrMonitorFenced):
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error(), "code": "fenced"})
+		case errors.Is(err, repro.ErrMonitorReadOnly):
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error(), "code": "read_only"})
+		default:
+			writeErr(w, fallback, err)
 		}
-		writeErr(w, fallback, err)
 	}
 
 	handle("/insert", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Values []string `json:"values"`
+			// Key, when present, is a caller-chosen key (a router that
+			// owns the key space); absent means the node allocates.
+			Key *int64 `json:"key"`
 		}
 		if !readBody(w, r, &req) {
 			return
 		}
-		key, delta, err := s.mon().Insert(repro.Tuple(req.Values))
+		var cs repro.ChangeSet
+		if req.Key != nil {
+			cs.InsertKeyed(*req.Key, repro.Tuple(req.Values))
+		} else {
+			cs.Insert(repro.Tuple(req.Values))
+		}
+		delta, err := s.applyMut(r, &cs)
 		if err != nil {
 			mutErr(w, err, http.StatusBadRequest)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"key": key, "delta": toJSONDelta(delta)})
+		writeJSON(w, http.StatusOK, map[string]any{"key": cs.Ops[0].Key, "delta": toJSONDelta(delta)})
 	})
 	handle("/delete", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -942,7 +985,9 @@ func (s *server) handler() http.Handler {
 		if !readBody(w, r, &req) {
 			return
 		}
-		delta, err := s.mon().Delete(req.Key)
+		var cs repro.ChangeSet
+		cs.Delete(req.Key)
+		delta, err := s.applyMut(r, &cs)
 		if err != nil {
 			mutErr(w, err, http.StatusNotFound)
 			return
@@ -958,7 +1003,9 @@ func (s *server) handler() http.Handler {
 		if !readBody(w, r, &req) {
 			return
 		}
-		delta, err := s.mon().Update(req.Key, req.Attr, req.Value)
+		var cs repro.ChangeSet
+		cs.Update(req.Key, req.Attr, req.Value)
+		delta, err := s.applyMut(r, &cs)
 		if err != nil {
 			mutErr(w, err, http.StatusBadRequest)
 			return
@@ -970,9 +1017,11 @@ func (s *server) handler() http.Handler {
 	handle("/apply", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Ops []struct {
-				Op     string   `json:"op"`
+				Op string `json:"op"`
+				// Key targets delete/update; on an insert it is the
+				// optional caller-chosen key (routed writes).
 				Values []string `json:"values,omitempty"`
-				Key    int64    `json:"key,omitempty"`
+				Key    *int64   `json:"key,omitempty"`
 				Attr   string   `json:"attr,omitempty"`
 				Value  string   `json:"value,omitempty"`
 			} `json:"ops"`
@@ -984,17 +1033,29 @@ func (s *server) handler() http.Handler {
 		for i, o := range req.Ops {
 			switch o.Op {
 			case "insert":
-				cs.Insert(repro.Tuple(o.Values))
+				if o.Key != nil {
+					cs.InsertKeyed(*o.Key, repro.Tuple(o.Values))
+				} else {
+					cs.Insert(repro.Tuple(o.Values))
+				}
 			case "delete":
-				cs.Delete(o.Key)
+				if o.Key == nil {
+					writeErr(w, http.StatusBadRequest, fmt.Errorf("ops[%d]: delete requires a key", i))
+					return
+				}
+				cs.Delete(*o.Key)
 			case "update":
-				cs.Update(o.Key, o.Attr, o.Value)
+				if o.Key == nil {
+					writeErr(w, http.StatusBadRequest, fmt.Errorf("ops[%d]: update requires a key", i))
+					return
+				}
+				cs.Update(*o.Key, o.Attr, o.Value)
 			default:
 				writeErr(w, http.StatusBadRequest, fmt.Errorf("ops[%d]: unknown op %q", i, o.Op))
 				return
 			}
 		}
-		delta, err := s.mon().Apply(&cs)
+		delta, err := s.applyMut(r, &cs)
 		if err != nil {
 			mutErr(w, err, http.StatusBadRequest)
 			return
@@ -1023,10 +1084,18 @@ func (s *server) handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"per_cfd": out, "total": st.Total()})
 	})
 	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
+		role := "primary"
+		if s.mon().ReadOnly() {
+			role = "follower"
+		}
 		stats := map[string]any{
 			"tuples":         s.mon().Len(),
 			"violations":     s.mon().ViolationCount(),
 			"satisfied":      s.mon().Satisfied(),
+			"epoch":          s.mon().Epoch(),
+			"fenced":         s.mon().Fenced(),
+			"role":           role,
+			"next_key":       s.mon().NextKey(),
 			"uptime_seconds": time.Since(processStart).Seconds(),
 			"build":          buildInfo(),
 		}
@@ -1166,7 +1235,24 @@ func (s *server) handler() http.Handler {
 		}
 		st := f.Status()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"promoted": true, "seq": st.Seq, "offset": st.Offset, "applied_records": st.AppliedRecords,
+			"promoted": true, "seq": st.Seq, "offset": st.Offset,
+			"applied_records": st.AppliedRecords, "epoch": f.Monitor().Epoch(),
+		})
+	})
+	// Admin: fence this node at an epoch — it refuses every write under
+	// a lower term from now on. A router calls this on the deposed
+	// primary right after promoting a standby; idempotent (Fence only
+	// ever raises the watermark), safe on any role.
+	handle("/fence", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Epoch uint64 `json:"epoch"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		s.mon().Fence(req.Epoch)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"epoch": s.mon().Epoch(), "fenced": s.mon().Fenced(),
 		})
 	})
 	// WAL shipping: the newest snapshot image, for a follower's initial
@@ -1237,6 +1323,7 @@ func (s *server) handler() http.Handler {
 		h.Set("X-Wal-Next-Seq", strconv.FormatUint(ch.NextSeq, 10))
 		h.Set("X-Wal-End-Seq", strconv.FormatUint(ch.EndSeq, 10))
 		h.Set("X-Wal-End-Offset", strconv.FormatInt(ch.EndOffset, 10))
+		h.Set("X-Wal-Epoch", strconv.FormatUint(ch.Epoch, 10))
 		_, _ = w.Write(ch.Data)
 	})
 	return mux
@@ -1357,6 +1444,13 @@ func (h *httpSource) Chunk(ctx context.Context, seq uint64, offset int64, maxByt
 	}
 	if ch.EndOffset, err = strconv.ParseInt(hd.Get("X-Wal-End-Offset"), 10, 64); err != nil {
 		return fail("X-Wal-End-Offset", err)
+	}
+	// X-Wal-Epoch is the fencing term; a pre-fencing primary does not
+	// send it, which parses as epoch 0 — the legacy unfenced history.
+	if v := hd.Get("X-Wal-Epoch"); v != "" {
+		if ch.Epoch, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return fail("X-Wal-Epoch", err)
+		}
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {

@@ -620,7 +620,7 @@ func TestStatsShape(t *testing.T) {
 	}
 
 	st := fetch(newTestServer(t))
-	want := []string{"build", "satisfied", "tuples", "uptime_seconds", "violations"}
+	want := []string{"build", "epoch", "fenced", "next_key", "role", "satisfied", "tuples", "uptime_seconds", "violations"}
 	if got := keysOf(st); !reflect.DeepEqual(got, want) {
 		t.Fatalf("memory /stats keys = %v, want %v", got, want)
 	}
@@ -645,7 +645,7 @@ func TestStatsShape(t *testing.T) {
 	}
 	defer dsrv.close()
 	st = fetch(dsrv)
-	want = []string{"build", "satisfied", "tuples", "uptime_seconds", "violations", "wal"}
+	want = []string{"build", "epoch", "fenced", "next_key", "role", "satisfied", "tuples", "uptime_seconds", "violations", "wal"}
 	if got := keysOf(st); !reflect.DeepEqual(got, want) {
 		t.Fatalf("durable /stats keys = %v, want %v", got, want)
 	}

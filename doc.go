@@ -44,6 +44,14 @@
 //     to a writable primary at the record boundary it has applied.
 //     cfdserve exposes both sides: GET /wal/snapshot + GET /wal/stream
 //     on the primary, -follow / POST /promote on the standby.
+//   - Scale-out writes (internal/cluster; see "Replication" below): a
+//     consistent-hash ring partitions tuple keys across independent
+//     shard groups, each a primary with optional followers; a Router
+//     splits every ChangeSet by owning group, fans the sub-batches out
+//     in parallel under epoch-stamped fencing, and merges the violation
+//     deltas (NewClusterRouter, ClusterLocalBackend). The cfdrouter
+//     command is the HTTP daemon over cfdserve shard nodes, and the E14
+//     benchmark plus cfdbench -serve measure the scaling.
 //   - Streaming CFD discovery (the Section 7 future-work item; see
 //     internal/discovery): one mining code path over the Monitor's
 //     generalized group-statistics substrate — DiscoverCFDs mines an
@@ -209,18 +217,27 @@
 // the read-only gate — an atomic flip at the exact record boundary the
 // follower has applied. From then on the monitor journals its own
 // mutations into the same directory and behaves as a primary in every
-// way, including serving /wal to its own followers. Promotion does not
-// fence the old primary: if it was merely partitioned, both nodes now
-// accept writes into diverged histories — routing writes away from a
-// deposed primary is the operator's job until the ROADMAP.md
-// "consistent-hash sharded cluster with fenced failover" item lands (a
-// cfdrouter stamping epoch/term numbers into WAL records, so a deposed
-// primary's writes are refused rather than merely misrouted). Until
-// then, keep a single write entry point in front of each
-// primary/follower pair; docs/operations.md walks through the failover
-// procedure. The failover property test kills a primary at random
-// record boundaries and cross-checks the promoted node against the
-// single-node oracle.
+// way, including serving /wal to its own followers.
+//
+// Fencing: promotion bumps the node's epoch — a monotonic term number
+// journaled as a WAL record before the first post-promotion write and
+// echoed on /wal/stream chunks (X-Wal-Epoch), in /stats, and as the
+// cfd_epoch gauge. A mutation can be stamped with the epoch the caller
+// believes the history is at (Monitor.ApplyAt; X-Cfd-Epoch on cfdserve
+// mutations): a node whose epoch differs refuses it with
+// ErrMonitorFenced, and a stamp from a NEWER epoch permanently fences
+// the node — the deposed primary learns of its deposition from the
+// very write that would have forked history, with no coordination
+// channel needed. POST /fence (Monitor.Fence) delivers the same verdict
+// eagerly, and cluster.Router.Promote calls it on the old primary
+// best-effort after every failover. A merely-partitioned old primary
+// therefore cannot accept a routed write into a diverged history:
+// cfdrouter stamps every fan-out with the group's epoch, so the two
+// sides of a partition cannot both be writable. docs/operations.md
+// walks through the failover procedure; the failover and cluster
+// property tests kill primaries at random record boundaries, promote,
+// and cross-check the survivors against the single-node oracle while
+// asserting the deposed primary refuses writes.
 //
 // # Observability
 //

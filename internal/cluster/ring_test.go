@@ -1,0 +1,125 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestRingBalance: with the default vnode count, random keys spread
+// across members within a 2× band of the fair share — the bound the
+// router relies on for write scaling (a hot shard would serialize the
+// cluster on one journal).
+func TestRingBalance(t *testing.T) {
+	members := []string{"g0", "g1", "g2", "g3"}
+	r, err := cluster.NewRing(0, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const keys = 100_000
+	counts := make(map[string]int, len(members))
+	for i := 0; i < keys; i++ {
+		// Mix of the sequential keys a router allocates and arbitrary ones.
+		k := int64(i)
+		if i%2 == 1 {
+			k = rng.Int63()
+		}
+		counts[r.Owner(k)]++
+	}
+	mean := float64(keys) / float64(len(members))
+	for _, m := range members {
+		got := float64(counts[m])
+		if got < mean/2 || got > mean*2 {
+			t.Errorf("member %s owns %.0f keys, outside [%.0f, %.0f] (mean %.0f)",
+				m, got, mean/2, mean*2, mean)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding a member steals keys only FOR the new
+// member (no key moves between surviving members), in roughly a fair
+// share; removing it restores the exact original assignment. This is
+// the property that lets a cluster grow without reshuffling shards
+// wholesale.
+func TestRingMinimalMovement(t *testing.T) {
+	members := []string{"g0", "g1", "g2", "g3"}
+	r, err := cluster.NewRing(0, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 50_000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(int64(i))
+	}
+
+	if err := r.Add("g4"); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range before {
+		after := r.Owner(int64(i))
+		if after == before[i] {
+			continue
+		}
+		if after != "g4" {
+			t.Fatalf("key %d moved %s -> %s: keys may only move to the added member", i, before[i], after)
+		}
+		moved++
+	}
+	// Fair share would be 1/5 of the keys; accept a wide band around it,
+	// but never zero and never a wholesale reshuffle.
+	if lo, hi := keys/10, keys/2; moved < lo || moved > hi {
+		t.Errorf("adding a member moved %d of %d keys, outside [%d, %d]", moved, keys, lo, hi)
+	}
+
+	if err := r.Remove("g4"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if got := r.Owner(int64(i)); got != before[i] {
+			t.Fatalf("key %d owned by %s after add+remove, was %s", i, got, before[i])
+		}
+	}
+}
+
+// TestRingDeterministic: membership insertion order does not affect
+// ownership — two routers booted from differently-ordered configs must
+// route identically.
+func TestRingDeterministic(t *testing.T) {
+	a, err := cluster.NewRing(32, "g0", "g1", "g2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cluster.NewRing(32, "g2", "g0", "g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10_000; i++ {
+		if a.Owner(i) != b.Owner(i) {
+			t.Fatalf("key %d: owner %s vs %s under different insertion orders", i, a.Owner(i), b.Owner(i))
+		}
+	}
+}
+
+// TestRingErrors: duplicate add, unknown remove, empty name.
+func TestRingErrors(t *testing.T) {
+	r, err := cluster.NewRing(8, "g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("g0"); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if err := r.Add(""); err == nil {
+		t.Error("empty member name accepted")
+	}
+	if err := r.Remove("nope"); err == nil {
+		t.Error("Remove of unknown member accepted")
+	}
+	if got := r.Members(); len(got) != 1 || got[0] != "g0" {
+		t.Errorf("Members() = %v, want [g0]", got)
+	}
+}

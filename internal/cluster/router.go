@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/incremental"
+)
+
+// Backend is one node of a shard group as the router sees it: a durable
+// monitor reachable either in-process (LocalBackend) or over HTTP
+// (cfdrouter's serve-node client). Every write carries the epoch the
+// router believes the group's history is at; a node whose epoch differs
+// refuses the write with incremental.ErrFenced — the fencing handshake
+// that keeps a deposed primary from accepting post-partition appends.
+type Backend interface {
+	// Apply applies the ChangeSet stamped at the given epoch and returns
+	// the violation delta. A mismatched epoch fails with an error wrapping
+	// incremental.ErrFenced.
+	Apply(ctx context.Context, epoch uint64, cs *incremental.ChangeSet) (*incremental.Delta, error)
+	// Epoch reports the epoch the node's history is currently written
+	// under.
+	Epoch(ctx context.Context) (uint64, error)
+	// NextKey reports the node's key-allocator watermark; the router
+	// seeds its own allocator above every shard's watermark.
+	NextKey(ctx context.Context) (int64, error)
+	// Promote turns a standby into a writable primary under a bumped,
+	// durably-journaled epoch and returns that epoch.
+	Promote(ctx context.Context) (uint64, error)
+	// Fence tells the node a history with the given epoch exists, so it
+	// refuses further writes under any lower epoch. Best-effort: a
+	// partitioned node cannot be reached, which is exactly why Apply
+	// carries the epoch too.
+	Fence(ctx context.Context, epoch uint64) error
+}
+
+// GroupConfig declares one shard group: a name (its ring identity), the
+// current primary, and promotion-ordered standbys.
+type GroupConfig struct {
+	Name     string
+	Primary  Backend
+	Standbys []Backend
+}
+
+// Options configures a Router.
+type Options struct {
+	// VNodes is the per-group virtual-node count on the hash ring
+	// (0 means DefaultVNodes).
+	VNodes int
+}
+
+// shardGroup is the router's live view of one shard group. The mutex
+// guards the primary/standby roles and the epoch token; Apply holds it
+// only long enough to read them, so fan-out I/O never serializes
+// across groups.
+type shardGroup struct {
+	name string
+
+	mu       sync.Mutex
+	primary  Backend
+	standbys []Backend
+	epoch    uint64
+}
+
+// Router fronts a sharded cluster: it owns the key space (allocating
+// tuple keys above every shard's watermark), splits each ChangeSet into
+// per-group sub-batches by ring ownership, fans them out in parallel
+// with the group's epoch stamped on, and merges the per-group violation
+// deltas into one response. Promote fails a group over to its first
+// standby and fences the deposed primary.
+//
+// Cross-shard batches are NOT atomic: each sub-batch is one atomic
+// all-or-nothing batch on its shard, but a batch spanning groups can
+// commit on some and fail on others — Apply then returns the merged
+// delta of the groups that committed alongside an *ApplyError naming
+// the ones that did not. Callers retry only the failed sub-batches
+// (inserted keys are written back, so a retry routes identically).
+type Router struct {
+	ring    *Ring
+	groups  map[string]*shardGroup
+	names   []string // sorted; deterministic merge order
+	nextKey atomic.Int64
+}
+
+// NewRouter builds a router over the given shard groups, querying each
+// primary for its epoch token and key watermark.
+func NewRouter(ctx context.Context, groups []GroupConfig, opts Options) (*Router, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one shard group")
+	}
+	ring, err := NewRing(opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{ring: ring, groups: make(map[string]*shardGroup, len(groups))}
+	var next int64
+	for _, gc := range groups {
+		if gc.Primary == nil {
+			return nil, fmt.Errorf("cluster: group %q has no primary", gc.Name)
+		}
+		if rt.groups[gc.Name] != nil {
+			return nil, fmt.Errorf("cluster: duplicate group %q", gc.Name)
+		}
+		if err := ring.Add(gc.Name); err != nil {
+			return nil, err
+		}
+		epoch, err := gc.Primary.Epoch(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: group %q epoch: %w", gc.Name, err)
+		}
+		nk, err := gc.Primary.NextKey(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: group %q next key: %w", gc.Name, err)
+		}
+		if nk > next {
+			next = nk
+		}
+		rt.groups[gc.Name] = &shardGroup{
+			name:     gc.Name,
+			primary:  gc.Primary,
+			standbys: append([]Backend(nil), gc.Standbys...),
+			epoch:    epoch,
+		}
+		rt.names = append(rt.names, gc.Name)
+	}
+	sort.Strings(rt.names)
+	rt.nextKey.Store(next)
+	return rt, nil
+}
+
+// Groups returns the shard-group names in sorted order.
+func (rt *Router) Groups() []string { return append([]string(nil), rt.names...) }
+
+// Owner returns the shard group owning a tuple key.
+func (rt *Router) Owner(key int64) string { return rt.ring.Owner(key) }
+
+// Primary returns the backend currently serving the named group's
+// writes (it changes on Promote), or nil for an unknown group. Callers
+// needing richer access than the Backend interface — a daemon proxying
+// reads to its HTTP backends, say — type-assert the result.
+func (rt *Router) Primary(name string) Backend {
+	g, ok := rt.groups[name]
+	if !ok {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.primary
+}
+
+// ApplyError reports the shard groups whose sub-batches failed in one
+// routed Apply. Groups absent from Failed committed their sub-batches;
+// the merged delta the router returned alongside covers exactly those.
+type ApplyError struct {
+	Failed map[string]error
+}
+
+func (e *ApplyError) Error() string {
+	names := make([]string, 0, len(e.Failed))
+	for n := range e.Failed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d shard group(s) failed:", len(e.Failed))
+	for _, n := range names {
+		fmt.Fprintf(&b, " %s: %v;", n, e.Failed[n])
+	}
+	return strings.TrimSuffix(b.String(), ";")
+}
+
+// Apply routes one ChangeSet across the cluster. Unkeyed inserts are
+// assigned keys from the router's allocator (written back into cs, like
+// a single monitor would); keyed inserts and existing-key ops route by
+// their key. The split preserves op order within each group, so
+// same-key sequences (insert then update in one batch) stay ordered on
+// their shard. Sub-batches run in parallel; deltas merge in sorted
+// group order. See Router's doc for cross-shard atomicity.
+func (rt *Router) Apply(ctx context.Context, cs *incremental.ChangeSet) (*incremental.Delta, error) {
+	if cs == nil || len(cs.Ops) == 0 {
+		return &incremental.Delta{}, nil
+	}
+	// Assign keys up front: routing needs every op's key, and writing
+	// assigned keys back before fan-out means even a partly-failed batch
+	// reports where each insert was headed.
+	for i := range cs.Ops {
+		op := &cs.Ops[i]
+		if op.Kind == incremental.OpInsert && !op.Keyed() {
+			op.Key = rt.nextKey.Add(1) - 1
+		}
+	}
+	sub := make(map[string]*incremental.ChangeSet)
+	for i := range cs.Ops {
+		op := &cs.Ops[i]
+		owner := rt.ring.Owner(op.Key)
+		scs := sub[owner]
+		if scs == nil {
+			scs = &incremental.ChangeSet{}
+			sub[owner] = scs
+		}
+		switch op.Kind {
+		case incremental.OpInsert:
+			scs.InsertKeyed(op.Key, op.Tuple)
+		case incremental.OpDelete:
+			scs.Delete(op.Key)
+		case incremental.OpUpdate:
+			scs.Update(op.Key, op.Attr, op.Value)
+		default:
+			return nil, fmt.Errorf("cluster: unknown op kind %d", op.Kind)
+		}
+	}
+
+	// Single-group batches (every single-op ChangeSet, and any batch
+	// whose keys happen to share an owner) skip the fan-out machinery:
+	// no goroutine, no WaitGroup, no merge. This is the routed write
+	// path's common case under key-partitioned load, so the router adds
+	// only the ring lookup to the shard's own cost.
+	if len(sub) == 1 {
+		for name, scs := range sub {
+			g := rt.groups[name]
+			if g == nil {
+				return nil, fmt.Errorf("cluster: no shard group %q", name)
+			}
+			d, err := rt.applyGroup(ctx, g, scs)
+			if err != nil {
+				return &incremental.Delta{}, &ApplyError{Failed: map[string]error{name: err}}
+			}
+			return d, nil
+		}
+	}
+
+	type result struct {
+		name  string
+		delta *incremental.Delta
+		err   error
+	}
+	results := make([]result, 0, len(sub))
+	for name := range sub {
+		results = append(results, result{name: name})
+	}
+	var wg sync.WaitGroup
+	for i := range results {
+		r := &results[i]
+		g := rt.groups[r.name]
+		if g == nil {
+			r.err = fmt.Errorf("cluster: no shard group %q", r.name)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.delta, r.err = rt.applyGroup(ctx, g, sub[r.name])
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic merge order: sorted by group name. Key spaces are
+	// disjoint across groups, so concatenation is the exact union.
+	sort.Slice(results, func(i, j int) bool { return results[i].name < results[j].name })
+	merged := &incremental.Delta{}
+	var failed map[string]error
+	for _, r := range results {
+		if r.err != nil {
+			if failed == nil {
+				failed = make(map[string]error)
+			}
+			failed[r.name] = r.err
+			continue
+		}
+		merged.Added = append(merged.Added, r.delta.Added...)
+		merged.Removed = append(merged.Removed, r.delta.Removed...)
+	}
+	if failed != nil {
+		return merged, &ApplyError{Failed: failed}
+	}
+	return merged, nil
+}
+
+// applyGroup sends one sub-batch to a group's primary under the
+// router's epoch token. On a fencing refusal it re-queries the node's
+// epoch and retries once: the stable-address case where the node behind
+// the primary endpoint was promoted (operator /promote, VIP re-pointed)
+// and the router's token is merely stale. If the node still refuses —
+// a genuinely deposed primary — the error surfaces and the operator
+// (or the caller's failover policy) promotes via Router.Promote.
+func (rt *Router) applyGroup(ctx context.Context, g *shardGroup, cs *incremental.ChangeSet) (*incremental.Delta, error) {
+	g.mu.Lock()
+	primary, epoch := g.primary, g.epoch
+	g.mu.Unlock()
+	d, err := primary.Apply(ctx, epoch, cs)
+	if err == nil || !errors.Is(err, incremental.ErrFenced) {
+		return d, err
+	}
+	cur, eerr := primary.Epoch(ctx)
+	if eerr != nil || cur <= epoch {
+		return nil, err
+	}
+	g.mu.Lock()
+	if g.epoch < cur {
+		g.epoch = cur
+	}
+	g.mu.Unlock()
+	return primary.Apply(ctx, cur, cs)
+}
+
+// Promote fails a shard group over: its first standby is promoted to
+// primary under a bumped epoch, the router re-points writes at it (no
+// re-seeding — the standby already holds the replicated state), and the
+// deposed primary is fenced best-effort. A partitioned old primary that
+// cannot be reached is still harmless: its epoch is now stale, so
+// followers refuse its chunks and routed writes carry the new epoch it
+// cannot match.
+func (rt *Router) Promote(ctx context.Context, group string) (uint64, error) {
+	g := rt.groups[group]
+	if g == nil {
+		return 0, fmt.Errorf("cluster: no shard group %q", group)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.standbys) == 0 {
+		return 0, fmt.Errorf("cluster: group %q has no standby to promote", group)
+	}
+	next := g.standbys[0]
+	epoch, err := next.Promote(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: promoting standby of group %q: %w", group, err)
+	}
+	deposed := g.primary
+	g.primary = next
+	g.standbys = g.standbys[1:]
+	g.epoch = epoch
+	// Best-effort: a reachable deposed primary learns it is fenced right
+	// away instead of at its next refused write.
+	_ = deposed.Fence(ctx, epoch)
+	return epoch, nil
+}
+
+// GroupStatus is one shard group's row in Status.
+type GroupStatus struct {
+	Name     string `json:"name"`
+	Epoch    uint64 `json:"epoch"`
+	Standbys int    `json:"standbys"`
+}
+
+// Status reports every group's routing view in sorted name order.
+func (rt *Router) Status() []GroupStatus {
+	out := make([]GroupStatus, 0, len(rt.names))
+	for _, name := range rt.names {
+		g := rt.groups[name]
+		g.mu.Lock()
+		out = append(out, GroupStatus{Name: name, Epoch: g.epoch, Standbys: len(g.standbys)})
+		g.mu.Unlock()
+	}
+	return out
+}
+
+// NextKey exposes the router's key-allocator watermark (diagnostics and
+// tests).
+func (rt *Router) NextKey() int64 { return rt.nextKey.Load() }

@@ -52,6 +52,12 @@ type Op struct {
 	// the ID vector the store keeps.
 	ai    int
 	owned relation.Tuple
+	// keyed marks an insert whose Key was chosen by the caller
+	// (InsertKeyed) instead of drawn from the monitor's allocator — the
+	// routed-write form, where a router owns the key space. A keyed
+	// insert is validated against collision with a live tuple, exactly
+	// as a delete is validated for existence.
+	keyed bool
 	// ids is owned resolved to value IDs (OpInsert) and vid the new
 	// value's ID (OpUpdate); both filled by internOps, after validation,
 	// so a rejected batch never grows the pool.
@@ -76,6 +82,19 @@ func (cs *ChangeSet) Insert(t relation.Tuple) *ChangeSet {
 	return cs
 }
 
+// InsertKeyed appends an insert op with a caller-chosen key (≥ 0)
+// instead of one drawn from the monitor's allocator. The batch is
+// rejected if a live tuple already holds the key. The monitor's
+// allocator advances past every keyed insert it accepts, so later plain
+// Inserts never collide — but a caller that mixes both on one monitor
+// owns the coordination; the intended user is a router that partitions
+// the key space across shards (see internal/cluster) and allocates
+// every key itself.
+func (cs *ChangeSet) InsertKeyed(key int64, t relation.Tuple) *ChangeSet {
+	cs.Ops = append(cs.Ops, Op{Kind: OpInsert, Tuple: t, Key: key, keyed: true})
+	return cs
+}
+
 // Delete appends a delete op.
 func (cs *ChangeSet) Delete(key int64) *ChangeSet {
 	cs.Ops = append(cs.Ops, Op{Kind: OpDelete, Key: key})
@@ -90,6 +109,11 @@ func (cs *ChangeSet) Update(key int64, attr string, val relation.Value) *ChangeS
 
 // Len returns the number of ops in the batch.
 func (cs *ChangeSet) Len() int { return len(cs.Ops) }
+
+// Keyed reports whether an insert op carries a caller-chosen key
+// (InsertKeyed). A router uses this to honor pre-assigned keys when a
+// sub-batch is retried instead of drawing fresh ones.
+func (op *Op) Keyed() bool { return op.keyed }
 
 // Apply runs the whole ChangeSet as one batch and returns the combined
 // net violation delta. The batch is all-or-nothing: every op is
@@ -113,13 +137,23 @@ func (m *Monitor) Apply(cs *ChangeSet) (*Delta, error) {
 		start = time.Now()
 	}
 	reject := func(err error) (*Delta, error) {
-		met.rejected.Inc() // nil-safe
+		if met != nil {
+			met.rejected.Inc()
+		}
 		return nil, err
 	}
 	if m.readOnly.Load() {
 		// A follower only changes through the primary's shipped records;
 		// local writes would fork its state from the stream it applies.
 		return reject(ErrReadOnly)
+	}
+	if m.Fenced() {
+		// A deposed primary: a higher-epoch history exists, so accepting
+		// this write would fork state that can never be replicated.
+		if met != nil {
+			met.fencedRejected.Inc()
+		}
+		return reject(ErrFenced)
 	}
 	if m.j != nil && m.gc == nil {
 		// Early poisoned/closed check so a refusing journal rejects
@@ -187,7 +221,22 @@ func (m *Monitor) resolveOps(ops []Op) error {
 				return opErr(len(ops), i, err)
 			}
 			op.owned = op.Tuple.Clone()
-			op.Key = m.nextKey.Add(1) - 1
+			if op.keyed {
+				if op.Key < 0 {
+					return opErr(len(ops), i, fmt.Errorf("incremental: keyed insert with negative key %d", op.Key))
+				}
+				// Advance the allocator past the caller's key (CAS-max),
+				// so a later unkeyed insert can never be handed a key a
+				// keyed one already claimed.
+				for {
+					cur := m.nextKey.Load()
+					if op.Key < cur || m.nextKey.CompareAndSwap(cur, op.Key+1) {
+						break
+					}
+				}
+			} else {
+				op.Key = m.nextKey.Add(1) - 1
+			}
 		case OpDelete:
 			// Existence is stateful; checked in validateOps.
 		case OpUpdate:
@@ -263,11 +312,14 @@ func (m *Monitor) bucketOps(ops []Op) (perShard [][]int32, shards []int) {
 // delete and update must target a key that exists at that point in the
 // batch. The caller holds at least a read lock on the shard.
 func (m *Monitor) validateBucket(ops []Op, idxs []int32, sh *tupleShard) error {
-	// Inserts need no existence check, so a pure-insert bucket (the
-	// whole of a seed load) validates in one scan with no overlay at all.
+	// Allocator-keyed inserts need no existence check (their keys are
+	// fresh by construction), so a pure-insert bucket (the whole of a
+	// seed load) validates in one scan with no overlay at all. Keyed
+	// inserts DO check — a caller-chosen key may collide with a live
+	// tuple, and insertLocked would silently overwrite it.
 	hasRef := false
 	for _, oi := range idxs {
-		if ops[oi].Kind != OpInsert {
+		if ops[oi].Kind != OpInsert || ops[oi].keyed {
 			hasRef = true
 			break
 		}
@@ -297,6 +349,9 @@ func (m *Monitor) validateBucket(ops []Op, idxs []int32, sh *tupleShard) error {
 		op := &ops[oi]
 		switch op.Kind {
 		case OpInsert:
+			if op.keyed && exists(op.Key) {
+				return opErr(len(ops), int(oi), fmt.Errorf("incremental: tuple with key %d already exists", op.Key))
+			}
 			if !last {
 				set(op.Key, true)
 			}

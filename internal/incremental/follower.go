@@ -153,6 +153,10 @@ type Follower struct {
 	lastErr    error
 	promoted   bool
 	closed     bool
+	// srcEpoch is the highest fencing epoch any chunk from the source has
+	// carried; Promote bumps past max(srcEpoch, local epoch) so the new
+	// term exceeds every history this follower has heard of.
+	srcEpoch uint64
 }
 
 // NewFollower boots a follower: local WAL state (opts.Durable, required)
@@ -293,12 +297,31 @@ func (f *Follower) Sync(ctx context.Context) (int, error) {
 		f.mu.Unlock()
 		ch, err := f.src.Chunk(ctx, seq, off, f.max)
 		if err != nil {
-			f.met.fetchErrors.Inc() // nil-safe
+			if f.met != nil {
+				f.met.fetchErrors.Inc()
+			}
 			err = &fetchFailure{err}
 			f.note(err)
 			return applied, err
 		}
-		f.met.chunks.Inc()
+		if f.met != nil {
+			f.met.chunks.Inc()
+		}
+		// Fencing: a source whose epoch is below ours is a deposed
+		// history — this follower already serves (or replicated from) a
+		// higher term, and applying the lower-term tail would fork its
+		// state. Permanent for this stream: not a fetchFailure, so Run
+		// returns instead of retrying or arming auto-promotion.
+		if e := f.m.epoch.Load(); ch.Epoch < e {
+			err := fmt.Errorf("incremental: source serves epoch %d, follower at epoch %d: %w", ch.Epoch, e, ErrFenced)
+			f.note(err)
+			return applied, err
+		}
+		f.mu.Lock()
+		if ch.Epoch > f.srcEpoch {
+			f.srcEpoch = ch.Epoch
+		}
+		f.mu.Unlock()
 		if len(ch.Data) > 0 {
 			var applyStart time.Time
 			if f.met != nil {
@@ -404,6 +427,11 @@ func (f *Follower) Run(ctx context.Context) error {
 			return nil
 		case errors.Is(err, ErrSegmentGone):
 			return err
+		case errors.Is(err, ErrFenced):
+			// The source is a deposed primary; tailing it further could
+			// only replicate a forked history. The operator re-points the
+			// follower at the current primary (Resync if needed).
+			return err
 		case errors.As(err, &fetch):
 			if errors.Is(err, ErrPrimaryResponded) {
 				// The primary answered: reachable and alive, whatever
@@ -446,24 +474,38 @@ func (f *Follower) isStopped() bool {
 // boundary it has applied: the tail loop is stopped, any in-flight chunk
 // finishes under the journal mutex, and the read-only gate lifts — from
 // then on the monitor journals its own mutations into the same local
-// directory, which already holds exactly the applied prefix. Safe to
+// directory, which already holds exactly the applied prefix. The new
+// primary takes a fresh fencing epoch — one past the highest term it has
+// heard of, from the source's chunks or its own recovered state — and
+// journals it durably before the gate lifts, so the old primary's
+// further appends are refusable everywhere the epoch travels. Safe to
 // call more than once; a closed follower (its journal is gone — e.g. a
 // retention-window resync is rebuilding it) refuses rather than
-// acknowledge a promotion that could not serve a single write.
+// acknowledge a promotion that could not serve a single write, and a
+// promotion whose epoch record cannot be journaled (full disk, poisoned
+// journal) errors without flipping the gate.
 func (f *Follower) Promote() error {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.closed {
-		f.mu.Unlock()
 		return errors.New("incremental: follower is closed (resync in progress?)")
 	}
-	already := f.promoted
-	f.promoted = true
-	f.mu.Unlock()
-	if already {
+	if f.promoted {
 		return nil
 	}
 	f.stopOnce.Do(func() { close(f.stopc) })
-	f.m.promote()
+	target := f.srcEpoch
+	if e := f.m.epoch.Load(); e > target {
+		target = e
+	}
+	// f.mu is held across the journaled bump: Sync's apply path takes
+	// j.mu without f.mu (and releases it before advance takes f.mu), so
+	// the order f.mu → j.mu is acyclic — and holding it means a failed
+	// bump leaves the follower un-promoted, never half-promoted.
+	if err := f.m.promoteTo(target + 1); err != nil {
+		return err
+	}
+	f.promoted = true
 	return nil
 }
 

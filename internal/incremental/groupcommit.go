@@ -303,6 +303,9 @@ func (m *Monitor) validateWindowReq(ops []Op, overlay map[int64]bool) error {
 		op := &ops[i]
 		switch op.Kind {
 		case OpInsert:
+			if op.keyed && exists(op.Key) {
+				return opErr(len(ops), i, fmt.Errorf("incremental: tuple with key %d already exists", op.Key))
+			}
 			set(op.Key, true)
 		case OpDelete:
 			if !exists(op.Key) {

@@ -68,14 +68,18 @@ func pauseGC() func() {
 }
 
 // WAL record op codes. opBatch frames a whole ChangeSet as one record:
-// a wal.EncodeBatch vector of single-op payloads. Replay stays
-// backward-compatible — logs written before batches existed contain only
-// codes 1–3 and replay unchanged.
+// a wal.EncodeBatch vector of single-op payloads. opEpoch is the
+// fencing marker a promotion journals before its first write (see
+// fence.go); it carries no mutation, so replay and the snapshot cadence
+// count it as zero ops. Replay stays backward-compatible — logs written
+// before batches or fencing existed contain only codes 1–3 and replay
+// unchanged.
 const (
 	opInsert = 1
 	opDelete = 2
 	opUpdate = 3
 	opBatch  = 4
+	opEpoch  = 5
 )
 
 // journal is the durable state attached to a Monitor.
@@ -513,6 +517,20 @@ func (m *Monitor) applyRecordN(payload []byte) (int, error) {
 			return err
 		})
 		return total, err
+	}
+	if len(payload) > 0 && payload[0] == opEpoch {
+		// Fencing marker: no mutation, just the term the rest of the
+		// segment is written under. Epochs only grow along a log, but
+		// max-store anyway so a replayed prefix can never lower one.
+		d := &dec{s: string(payload[1:])}
+		e := d.uvarint()
+		if d.err != nil {
+			return 0, fmt.Errorf("incremental: replaying epoch record: %w", d.err)
+		}
+		if e > m.epoch.Load() {
+			m.epoch.Store(e)
+		}
+		return 0, nil
 	}
 	return 1, m.applyRecord(payload)
 }

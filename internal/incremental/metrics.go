@@ -25,6 +25,7 @@ type monMetrics struct {
 	// Apply pipeline (changeset.go, journal.go).
 	opsInsert, opsDelete, opsUpdate *obs.Counter
 	batches, rejected               *obs.Counter
+	fencedRejected                  *obs.Counter
 	applySeconds                    *obs.Histogram // whole Apply, all modes
 	validateSeconds                 *obs.Histogram // batch validation stage
 	walAppendSeconds                *obs.Histogram // journal append incl. fsync
@@ -54,6 +55,7 @@ func newMonMetrics(reg *obs.Registry) *monMetrics {
 	mm.opsUpdate = reg.Counter("cfd_apply_ops_total", opsHelp, obs.L("op", "update"))
 	mm.batches = reg.Counter("cfd_apply_batches_total", "ChangeSets applied through Monitor.Apply.")
 	mm.rejected = reg.Counter("cfd_apply_rejected_total", "ChangeSets refused before applying (validation failure, read-only follower, poisoned journal).")
+	mm.fencedRejected = reg.Counter("cfd_fenced_appends_total", "Mutations refused because the node is fenced (a higher-epoch primary exists).")
 	mm.applySeconds = reg.DurationHistogram("cfd_apply_seconds", "End-to-end Monitor.Apply latency per ChangeSet.")
 	mm.validateSeconds = reg.DurationHistogram("cfd_apply_validate_seconds", "Batch validation stage: arity/domain/key-existence checks.")
 	mm.walAppendSeconds = reg.DurationHistogram("cfd_apply_wal_append_seconds", "WAL append stage per batch, including the fsync when enabled.")

@@ -206,6 +206,14 @@ type Monitor struct {
 	// apply path — which carries the primary's already-journaled records
 	// — may change state. Promotion clears it at a record boundary.
 	readOnly atomic.Bool
+
+	// epoch is the fencing term this monitor's history is written under:
+	// bumped (and journaled) by promotion, restored from the snapshot
+	// and epoch records on recovery. fencedAt is the highest epoch the
+	// monitor has LEARNED of; when it exceeds epoch the monitor knows it
+	// was deposed and refuses mutations with ErrFenced. See fence.go.
+	epoch    atomic.Uint64
+	fencedAt atomic.Uint64
 }
 
 // ReadOnly reports whether the monitor currently refuses mutations
@@ -296,6 +304,7 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 		// instance (GaugeFunc: latest registration wins).
 		reg.GaugeFunc("cfd_tuples", "Live tuples in the monitor.", func() float64 { return float64(m.size.Load()) })
 		reg.GaugeFunc("cfd_violations", "Live violations across the CFD set.", func() float64 { return float64(m.ViolationCount()) })
+		reg.GaugeFunc("cfd_epoch", "Fencing epoch this node's history is written under.", func() float64 { return float64(m.epoch.Load()) })
 	}
 	return m, nil
 }
@@ -348,6 +357,12 @@ func (m *Monitor) Sigma() []*core.CFD { return m.sigma }
 
 // Len returns the number of live tuples.
 func (m *Monitor) Len() int { return int(m.size.Load()) }
+
+// NextKey returns the key the next unkeyed insert would be assigned —
+// every live key is strictly below it. A router that partitions the key
+// space across monitors seeds its own allocator from the maximum
+// NextKey of its shards (see internal/cluster).
+func (m *Monitor) NextKey() int64 { return m.nextKey.Load() }
 
 // checkTuple validates arity and domains, mirroring relation.Insert.
 func (m *Monitor) checkTuple(t relation.Tuple) error {

@@ -58,11 +58,17 @@ func SnapshotSchema(dir string) (*relation.Schema, error) {
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("incremental: reading snapshot header: %w", err)
 	}
-	if string(magic) != snapMagic {
+	v2 := string(magic) == snapMagicV2
+	if string(magic) != snapMagic && !v2 {
 		return nil, errors.New("incremental: not a monitor snapshot")
 	}
 	if _, err := binary.ReadUvarint(br); err != nil { // nextKey
 		return nil, fmt.Errorf("incremental: reading snapshot header: %w", err)
+	}
+	if !v2 {
+		if _, err := binary.ReadUvarint(br); err != nil { // epoch
+			return nil, fmt.Errorf("incremental: reading snapshot header: %w", err)
+		}
 	}
 	name, err := readSnapStr(br)
 	if err != nil {

@@ -32,8 +32,14 @@ import (
 // the remapped ID vectors (relation.AppendIDKey), which also keeps the
 // shardOfKey routing consistent by construction.
 
-// snapMagic identifies a Monitor snapshot, version 2.
-const snapMagic = "CFDSNAP\x02"
+// snapMagic identifies a Monitor snapshot. Version 3 adds the fencing
+// epoch right after nextKey; version 2 images (same length, read-only
+// compatibility) load as epoch 0 — exactly the epoch of everything
+// written before fencing existed.
+const (
+	snapMagic   = "CFDSNAP\x03"
+	snapMagicV2 = "CFDSNAP\x02"
+)
 
 // snapTable is the snapshot checksum polynomial. Castagnoli has hardware
 // support (SSE4.2 / ARMv8 CRC instructions), which matters at tens of
@@ -343,6 +349,7 @@ func (m *Monitor) writeSnapshot(w io.Writer) error {
 	e := &enc{w: io.MultiWriter(w, h)}
 
 	e.uvarint(uint64(m.nextKey.Load()))
+	e.uvarint(m.epoch.Load())
 	encodeSchema(e, m.schema)
 	encodeSigma(e, m.sigma)
 
@@ -449,7 +456,8 @@ func (m *Monitor) readSnapshot(r io.Reader, sizeHint int64) error {
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return fmt.Errorf("incremental: snapshot: reading magic: %w", err)
 	}
-	if string(magic) != snapMagic {
+	v2 := string(magic) == snapMagicV2
+	if string(magic) != snapMagic && !v2 {
 		return fmt.Errorf("incremental: snapshot: bad magic %q", magic)
 	}
 	var raw []byte
@@ -476,6 +484,10 @@ func (m *Monitor) readSnapshot(r io.Reader, sizeHint int64) error {
 	d := &dec{s: unsafe.String(unsafe.SliceData(body), len(body))}
 
 	nextKey := int64(d.uvarint())
+	var epoch uint64
+	if !v2 {
+		epoch = d.uvarint()
+	}
 	checkSchema(d, m.schema)
 	checkSigma(d, m.sigma)
 	if d.err != nil {
@@ -597,6 +609,7 @@ func (m *Monitor) readSnapshot(r io.Reader, sizeHint int64) error {
 		return fmt.Errorf("incremental: snapshot: %d trailing bytes", len(d.s)-d.off)
 	}
 	m.nextKey.Store(nextKey)
+	m.epoch.Store(epoch)
 	m.size.Store(int64(ntuples))
 	return nil
 }

@@ -41,6 +41,10 @@ type ShipChunk struct {
 	// would hold, used for replication-lag accounting.
 	EndSeq    uint64
 	EndOffset int64
+	// Epoch is the fencing epoch the source is serving at. A follower
+	// refuses chunks whose epoch is below its own — a source that fell
+	// behind a promotion is a deposed history (see fence.go).
+	Epoch uint64
 }
 
 // shipView pins a consistent view of the journal for one chunk read:
@@ -90,6 +94,11 @@ func (m *Monitor) WALChunk(seq uint64, offset int64, maxBytes int) (ShipChunk, e
 		if err != nil {
 			return view, err
 		}
+		// Stamped after the view is pinned: promoteTo publishes the new
+		// epoch under j.mu before its first post-promotion record can be
+		// appended, so a chunk carrying such a record always carries an
+		// epoch at least that high.
+		view.Epoch = m.epoch.Load()
 		view.Offset = offset
 		limit := view.EndOffset
 		path := wal.LogPath(m.j.dir, seq)
@@ -244,16 +253,40 @@ func (m *Monitor) rollTo(newSeq uint64) error {
 	return j.rollLocked(m, newSeq)
 }
 
-// promote lifts the read-only gate under the journal mutex: any
+// promoteTo lifts the read-only gate under the journal mutex: any
 // in-flight replicate chunk finished first, so the flip happens at the
 // exact record boundary the follower has applied, and every mutation
-// after it journals locally like a primary's.
-func (m *Monitor) promote() {
+// after it journals locally like a primary's. Before the gate lifts the
+// new epoch is journaled (an opEpoch record) and synced — the promoted
+// segment durably names its term before it can hold a single write, so
+// recovery and every shipped chunk carry it. The epoch append is the
+// one place a follower's directory legitimately diverges from the old
+// primary's: it is the first record of the new history.
+func (m *Monitor) promoteTo(epoch uint64) error {
 	if m.j == nil {
+		if epoch > m.epoch.Load() {
+			m.epoch.Store(epoch)
+		}
 		m.readOnly.Store(false)
-		return
+		return nil
 	}
-	m.j.mu.Lock()
+	j := m.j
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.usable(); err != nil {
+		return err
+	}
+	if epoch > m.epoch.Load() {
+		if err := j.log.Append(encodeEpoch(epoch)); err != nil {
+			j.appendErr = err
+			return err
+		}
+		if err := j.log.Sync(); err != nil {
+			j.appendErr = err
+			return err
+		}
+		m.epoch.Store(epoch)
+	}
 	m.readOnly.Store(false)
-	m.j.mu.Unlock()
+	return nil
 }
