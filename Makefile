@@ -6,17 +6,19 @@ GO ?= go
 # streaming discovery (e11), WAL shipping (e12), write-path raw
 # speed (e13: group-commit coalescing + tuple-store memory) and
 # cluster write scaling (e14: routed fsynced writes across shard
-# groups) — at -quick sizes, best-of-5 so a single scheduler hiccup
-# does not fail the gate. ci.yml and the checked-in baseline both go
-# through these targets, so the flags live only here.
-BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12,e13,e14
+# groups) and the read path (e15: violation-view vs scan reads,
+# point queries, routed standby reads) — at -quick sizes, best-of-5
+# so a single scheduler hiccup does not fail the gate. ci.yml and the
+# checked-in baseline both go through these targets, so the flags
+# live only here.
+BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12,e13,e14,e15
 # Relative tolerance plus an absolute ns/op floor: only millisecond-scale
 # drift can fail the gate; µs-scale series (single append, fsync) stay
 # informational because 30% of a microsecond is scheduler jitter.
 BENCH_TOLERANCE = 0.30
 BENCH_FLOOR_NS = 100000
 
-.PHONY: test race race-batch race-discovery race-failover race-cluster metrics-smoke bench-current bench-baseline bench-batch bench-discovery bench-replication bench-groupcommit bench-cluster bench-check docs-check
+.PHONY: test race race-batch race-discovery race-failover race-cluster race-readpath metrics-smoke bench-current bench-baseline bench-batch bench-discovery bench-replication bench-groupcommit bench-cluster bench-readpath bench-check docs-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -56,6 +58,13 @@ race-failover:
 # stale-epoch retry. CFD_SOAK scales the rounds (nightly).
 race-cluster:
 	$(GO) test -race -count 2 -run 'TestClusterMatchesOracleUnderFailover|TestRouterRetriesStaleEpoch' ./internal/cluster/
+
+# The read-path property tests under the race detector, twice: the
+# randomized view-vs-scan oracle (including flip-flop batches), the
+# concurrent readers-vs-writers hammer on the lock-free violation view,
+# and the router's standby read fan-out with its staleness guard.
+race-readpath:
+	$(GO) test -race -count 2 -run 'TestViewMatchesScanUnderRandomStreams|TestViewConcurrentReadersWriters|TestPickRead' ./internal/incremental/ ./internal/cluster/
 
 # One raw run of the gate workload, for eyeballing.
 bench-current:
@@ -98,6 +107,12 @@ bench-groupcommit:
 # write scaling at 1/2/4 shard groups vs the host's flush envelope.
 bench-cluster:
 	$(GO) run ./cmd/cfdbench -quick -only e14
+
+# Quick local iteration on the read-path series only (E15): violation
+# view vs full scan under concurrent readers, point-query latency, and
+# routed reads over standbys at 1/2/4 groups.
+bench-readpath:
+	$(GO) run ./cmd/cfdbench -quick -only e15
 
 # Documentation gate: vet, every *.md relative link and anchor resolves,
 # and the godoc examples are gofmt-clean. ci.yml's docs job runs this.

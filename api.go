@@ -247,6 +247,12 @@ type (
 	MonitorState = incremental.State
 	// MonitorViolations is one CFD's entry in a MonitorState.
 	MonitorViolations = incremental.CFDViolations
+	// MonitorViolationsView is an immutable published snapshot of the
+	// live violation set, maintained in O(Δ) from the apply path and
+	// swapped atomically — Monitor.View returns the current one (a
+	// pointer load at an unchanged version), Monitor.ViewVersion the
+	// version counter conditional reads compare against.
+	MonitorViolationsView = incremental.ViolationsView
 )
 
 // ChangeOp kinds (see ChangeOp.Kind).
@@ -373,8 +379,19 @@ type (
 	// ClusterGroupConfig declares one shard group (name, primary,
 	// promotion-ordered standbys).
 	ClusterGroupConfig = cluster.GroupConfig
-	// ClusterOptions tunes a router (virtual-node count).
+	// ClusterOptions tunes a router (virtual-node count, read-staleness
+	// bound MaxReadLag).
 	ClusterOptions = cluster.Options
+	// ClusterReadBackend is the read-side extension of ClusterBackend: a
+	// node that reports its replication position, making it eligible for
+	// ClusterReadAny fan-out (ClusterRouter.PickRead).
+	ClusterReadBackend = cluster.ReadBackend
+	// ClusterReadPosition is a node's replication position (epoch + WAL
+	// byte lag) as the read fan-out's staleness guard evaluates it.
+	ClusterReadPosition = cluster.ReadPosition
+	// ClusterReadConsistency selects which nodes of a shard group may
+	// serve a read: ClusterReadPrimary or ClusterReadAny.
+	ClusterReadConsistency = cluster.ReadConsistency
 	// ClusterLocalBackend adapts an in-process Monitor/MonitorFollower
 	// to ClusterBackend.
 	ClusterLocalBackend = cluster.LocalBackend
@@ -384,6 +401,22 @@ type (
 	// ClusterGroupStatus is one group's row in ClusterRouter.Status.
 	ClusterGroupStatus = cluster.GroupStatus
 )
+
+// Read-consistency modes for ClusterRouter.PickRead.
+const (
+	// ClusterReadPrimary serves the read from the group's current
+	// primary — the answer reflects every acknowledged write.
+	ClusterReadPrimary = cluster.ReadPrimary
+	// ClusterReadAny load-balances across the primary and every standby
+	// within the staleness bound (same epoch, lag ≤ MaxReadLag).
+	ClusterReadAny = cluster.ReadAny
+)
+
+// ParseClusterReadConsistency maps the wire form of a read-consistency
+// mode ("primary", "any"; "" defaults to primary) to its constant.
+func ParseClusterReadConsistency(s string) (ClusterReadConsistency, error) {
+	return cluster.ParseReadConsistency(s)
+}
 
 // NewClusterRouter builds a router over the given shard groups, reading
 // each primary's epoch token and key watermark.

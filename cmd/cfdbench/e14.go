@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -288,7 +289,10 @@ func (b *bench) flushEnvelope(dir string, k, writers int) time.Duration {
 // with rate 0 each client runs closed-loop, back to back. A non-empty
 // -insert-values row makes every request a POST /insert of that tuple
 // (each gets a fresh key); empty means GET /violations, the read path.
-func (b *bench) serveBench(base string, clients int, rate float64, dur time.Duration, insert string) {
+// With both -insert-values and -read-frac F, each request is a read
+// with probability F and an insert otherwise — a mixed read/write load
+// against one URL, the shape a monitor dashboard plus its feed produce.
+func (b *bench) serveBench(base string, clients int, rate float64, dur time.Duration, insert string, readFrac float64) {
 	method, path := http.MethodGet, "/violations"
 	var body []byte
 	if insert != "" {
@@ -298,6 +302,10 @@ func (b *bench) serveBench(base string, clients int, rate float64, dur time.Dura
 		}
 		body, method, path = buf, http.MethodPost, "/insert"
 	}
+	if readFrac < 0 || readFrac > 1 {
+		b.fatal(fmt.Errorf("-read-frac %v: want a fraction in [0,1]", readFrac))
+	}
+	mixed := insert != "" && readFrac > 0
 	hc := &http.Client{
 		Timeout:   30 * time.Second,
 		Transport: &http.Transport{MaxIdleConns: clients, MaxIdleConnsPerHost: clients},
@@ -306,15 +314,28 @@ func (b *bench) serveBench(base string, clients int, rate float64, dur time.Dura
 	var (
 		mu    sync.Mutex
 		lats  []time.Duration
+		rlats []time.Duration
 		nerrs int
 		shed  int
+		seq   atomic.Uint64
 	)
 	issue := func() {
-		req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+		m, p, bd := method, path, body
+		isRead := false
+		if mixed {
+			// Deterministic interleave: request i is a read when the
+			// scaled counter crosses an integer boundary, giving exactly
+			// the requested mix without a shared RNG.
+			n := seq.Add(1)
+			if uint64(float64(n)*readFrac) != uint64(float64(n-1)*readFrac) {
+				m, p, bd, isRead = http.MethodGet, "/violations", nil, true
+			}
+		}
+		req, err := http.NewRequest(m, base+p, bytes.NewReader(bd))
 		if err != nil {
 			b.fatal(err)
 		}
-		if body != nil {
+		if bd != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		t0 := time.Now()
@@ -326,10 +347,13 @@ func (b *bench) serveBench(base string, clients int, rate float64, dur time.Dura
 			resp.Body.Close()
 		}
 		mu.Lock()
-		if ok {
-			lats = append(lats, d)
-		} else {
+		switch {
+		case !ok:
 			nerrs++
+		case isRead:
+			rlats = append(rlats, d)
+		default:
+			lats = append(lats, d)
 		}
 		mu.Unlock()
 	}
@@ -375,22 +399,36 @@ func (b *bench) serveBench(base string, clients int, rate float64, dur time.Dura
 	elapsed := time.Since(start)
 
 	sortDurations(lats)
-	qps := float64(len(lats)) / elapsed.Seconds()
+	qps := float64(len(lats)+len(rlats)) / elapsed.Seconds()
 	p50, p95, p99 := pctl(lats, 0.50), pctl(lats, 0.95), pctl(lats, 0.99)
 	mode := "closed"
 	if rate > 0 {
 		mode = fmt.Sprintf("open @ %.0f/s", rate)
 	}
-	b.header(fmt.Sprintf("serve: %s %s (%s, %d clients, %s)", method, base+path, mode, clients, dur),
+	label := method + " " + base + path
+	if mixed {
+		label = fmt.Sprintf("%.0f%% reads + inserts %s", readFrac*100, base)
+	}
+	b.header(fmt.Sprintf("serve: %s (%s, %d clients, %s)", label, mode, clients, dur),
 		"qps", "ok", "errors", "shed", "p50", "p95", "p99")
-	b.row(fmt.Sprintf("%.0f", qps), fmt.Sprint(len(lats)), fmt.Sprint(nerrs), fmt.Sprint(shed),
+	b.row(fmt.Sprintf("%.0f", qps), fmt.Sprint(len(lats)+len(rlats)), fmt.Sprint(nerrs), fmt.Sprint(shed),
 		p50.String(), p95.String(), p99.String())
 	prefix := fmt.Sprintf("serve/clients=%d", clients)
 	b.record(prefix+"/p50", measurement{d: p50})
 	b.record(prefix+"/p95", measurement{d: p95})
 	b.record(prefix+"/p99", measurement{d: p99})
+	if mixed {
+		sortDurations(rlats)
+		rp50, rp95, rp99 := pctl(rlats, 0.50), pctl(rlats, 0.95), pctl(rlats, 0.99)
+		b.header(fmt.Sprintf("serve reads: GET %s/violations (%d of %d requests)", base, len(rlats), len(lats)+len(rlats)),
+			"p50", "p95", "p99")
+		b.row(rp50.String(), rp95.String(), rp99.String())
+		b.record(prefix+"/read/p50", measurement{d: rp50})
+		b.record(prefix+"/read/p95", measurement{d: rp95})
+		b.record(prefix+"/read/p99", measurement{d: rp99})
+	}
 	if nerrs > 0 {
-		fmt.Fprintf(os.Stderr, "cfdbench: %d of %d requests failed\n", nerrs, nerrs+len(lats))
+		fmt.Fprintf(os.Stderr, "cfdbench: %d of %d requests failed\n", nerrs, nerrs+len(lats)+len(rlats))
 		b.failed = true
 	}
 }

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/incremental"
+)
+
+// E15: read-path scaling. Three measurements, all against a monitor
+// that keeps taking writes while it is being read:
+//
+//   - view vs scan: 16 concurrent readers pull the full violation set
+//     while a paced background writer flips tuples. The scan column
+//     re-canonicalizes every CFD's state per read; the view column is
+//     the O(Δ)-maintained violation view — an atomic pointer load when
+//     the version is unchanged, a rebuild of only the dirty CFDs when
+//     it is not. The gate asserts the view sustains at least 10x the
+//     scan's read rate; anything less means the view stopped being a
+//     cache and the read path regressed to the scan.
+//   - point queries: ViolationsFor latency quantiles under the same
+//     readers-plus-writer load — the dashboard drill-down shape.
+//   - routed reads: the same 16 readers behind a cluster router with
+//     ?consistency=any semantics (PickRead, ReadAny) over 1, 2 and 4
+//     shard groups, each group a durable primary plus one live
+//     follower standby. Reads spread over primaries and standbys, so
+//     the aggregate read rate should grow with groups; the "x vs 1"
+//     column is that scaling.
+func (b *bench) e15() {
+	sz := 100_000
+	readDur := 2 * time.Second
+	if b.quick {
+		sz, readDur = 20_000, 300*time.Millisecond
+	}
+	const readers = 16
+	data := b.data(sz, 0.05)
+	var sigma []*core.CFD
+	for i, tpl := range []gen.Template{gen.ZipToState, gen.ZipCityToState, gen.AreaCodeToState} {
+		cfd, err := gen.GenerateWorkloadCFD(data.Clean, gen.CFDConfig{
+			Template: tpl, TabSize: 500, ConstPct: 1.0, Seed: int64(3 + i),
+		})
+		if err != nil {
+			b.fatal(err)
+		}
+		sigma = append(sigma, cfd)
+	}
+	ctx := context.Background()
+
+	seed := func(apply func(cs *incremental.ChangeSet) error) {
+		for i := 0; i < sz; i += 512 {
+			var cs incremental.ChangeSet
+			for j := i; j < i+512 && j < sz; j++ {
+				cs.Insert(data.Dirty.Tuples[j])
+			}
+			if err := apply(&cs); err != nil {
+				b.fatal(err)
+			}
+		}
+	}
+
+	// startWriter paces single-op CT flips at ~1000 ops/s through apply
+	// until the returned stop func is called — enough churn to keep the
+	// view's version moving without turning the benchmark into a write
+	// saturation test.
+	startWriter := func(apply func(cs *incremental.ChangeSet) error) (stop func() int) {
+		done := make(chan struct{})
+		var n int
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					key := int64(n*7919) % int64(sz)
+					var cs incremental.ChangeSet
+					cs.Update(key, "CT", [2]string{"XAA", "XBB"}[n%2])
+					if err := apply(&cs); err != nil {
+						b.fatal(err)
+					}
+					n++
+				}
+			}
+		}()
+		return func() int {
+			close(done)
+			wg.Wait()
+			return n
+		}
+	}
+
+	// readRate runs 16 closed-loop readers for readDur and returns the
+	// aggregate completed-read count and elapsed time. Readers check the
+	// deadline every few iterations so sub-microsecond reads don't spend
+	// their budget on the clock.
+	readRate := func(read func(r int)) (int64, time.Duration) {
+		var total atomic.Int64
+		deadline := time.Now().Add(readDur)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				var n int64
+				for time.Now().Before(deadline) {
+					for i := 0; i < 8; i++ {
+						read(r)
+					}
+					n += 8
+				}
+				total.Add(n)
+			}(r)
+		}
+		wg.Wait()
+		return total.Load(), time.Since(start)
+	}
+
+	// Part 1+2: view vs scan and point queries, one in-memory monitor.
+	m, err := incremental.New(data.Clean.Schema, sigma, incremental.Options{})
+	if err != nil {
+		b.fatal(err)
+	}
+	seed(func(cs *incremental.ChangeSet) error { _, err := m.Apply(cs); return err })
+	runtime.GC()
+
+	stop := startWriter(func(cs *incremental.ChangeSet) error { _, err := m.Apply(cs); return err })
+	scanN, scanD := readRate(func(int) { _ = m.ScanViolations() })
+	viewN, viewD := readRate(func(int) { _ = m.Violations() })
+
+	// Point queries: every reader walks its own stride of the key space.
+	var (
+		latMu sync.Mutex
+		plats []time.Duration
+	)
+	perReader := make([][]time.Duration, readers)
+	var pidx [readers]int64
+	_, _ = readRate(func(r int) {
+		k := pidx[r]*readers + int64(r)
+		pidx[r]++
+		t0 := time.Now()
+		_, _ = m.ViolationsFor(k % int64(sz))
+		d := time.Since(t0)
+		latMu.Lock()
+		perReader[r] = append(perReader[r], d)
+		latMu.Unlock()
+	})
+	for _, l := range perReader {
+		plats = append(plats, l...)
+	}
+	writes := stop()
+	if err := m.Close(); err != nil {
+		b.fatal(err)
+	}
+
+	scanQPS := float64(scanN) / scanD.Seconds()
+	viewQPS := float64(viewN) / viewD.Seconds()
+	ratio := viewQPS / scanQPS
+	b.header(fmt.Sprintf("E15: violation reads, view vs scan (SZ = %d, 3 CFDs, %d readers, ~1K writes/s bg)", sz, readers),
+		"path", "reads/sec", "reads", "bg writes")
+	b.row("scan", fmt.Sprintf("%.0f", scanQPS), fmt.Sprint(scanN), "-")
+	b.row("view", fmt.Sprintf("%.0f", viewQPS), fmt.Sprint(viewN), fmt.Sprint(writes))
+	b.row("view/scan", fmt.Sprintf("%.1fx", ratio), "-", "-")
+	b.record(fmt.Sprintf("e15/SZ=%d/scan", sz), measurement{d: time.Duration(float64(readers) * float64(scanD) / float64(scanN))})
+	b.record(fmt.Sprintf("e15/SZ=%d/view", sz), measurement{d: time.Duration(float64(readers) * float64(viewD) / float64(viewN))})
+	if ratio < 10 {
+		fmt.Fprintf(os.Stderr, "cfdbench: e15 view read rate is only %.1fx scan (want >= 10x)\n", ratio)
+		b.failed = true
+	}
+
+	sortDurations(plats)
+	p50, p95, p99 := pctl(plats, 0.50), pctl(plats, 0.95), pctl(plats, 0.99)
+	b.header(fmt.Sprintf("E15: point queries, ViolationsFor (SZ = %d, %d readers, ~1K writes/s bg)", sz, readers),
+		"lookups", "p50", "p95", "p99")
+	b.row(fmt.Sprint(len(plats)), p50.String(), p95.String(), p99.String())
+	b.record(fmt.Sprintf("e15/SZ=%d/pointq/p50", sz), measurement{d: p50})
+	b.record(fmt.Sprintf("e15/SZ=%d/pointq/p99", sz), measurement{d: p99})
+
+	// Part 3: routed reads over 1/2/4 groups, primary + follower each.
+	dir, err := os.MkdirTemp("", "cfdbench-e15-")
+	if err != nil {
+		b.fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	runRouted := func(groups, rep int) float64 {
+		fctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		var mons []*incremental.Monitor
+		var fols []*incremental.Follower
+		cfgs := make([]cluster.GroupConfig, 0, groups)
+		for g := 0; g < groups; g++ {
+			pm, err := incremental.New(data.Clean.Schema, sigma, incremental.Options{
+				Durable: filepath.Join(dir, fmt.Sprintf("s%d-r%d-g%d-p", groups, rep, g)),
+			})
+			if err != nil {
+				b.fatal(err)
+			}
+			f, err := incremental.NewFollower(fctx, sigma, incremental.Options{
+				Durable: filepath.Join(dir, fmt.Sprintf("s%d-r%d-g%d-f", groups, rep, g)),
+			}, incremental.FollowOptions{Source: incremental.NewMonitorSource(pm), PollInterval: 2 * time.Millisecond})
+			if err != nil {
+				b.fatal(err)
+			}
+			mons = append(mons, pm)
+			fols = append(fols, f)
+			cfgs = append(cfgs, cluster.GroupConfig{
+				Name:     fmt.Sprintf("g%d", g),
+				Primary:  &cluster.LocalBackend{M: pm},
+				Standbys: []cluster.Backend{&cluster.LocalBackend{F: f}},
+			})
+		}
+		rt, err := cluster.NewRouter(ctx, cfgs, cluster.Options{})
+		if err != nil {
+			b.fatal(err)
+		}
+		seed(func(cs *incremental.ChangeSet) error { _, err := rt.Apply(ctx, cs); return err })
+		// Catch every standby up before the clock starts, then keep them
+		// tracking the background writer from the Run loop.
+		for _, f := range fols {
+			for {
+				if _, err := f.Sync(ctx); err != nil {
+					b.fatal(err)
+				}
+				if st := f.Status(); st.LagBytes == 0 {
+					break
+				}
+			}
+			go func(f *incremental.Follower) { _ = f.Run(fctx) }(f)
+		}
+		runtime.GC()
+		stop := startWriter(func(cs *incremental.ChangeSet) error { _, err := rt.Apply(ctx, cs); return err })
+		names := rt.Groups()
+		n, d := readRate(func(r int) {
+			name := names[r%len(names)]
+			be, err := rt.PickRead(ctx, name, cluster.ReadAny)
+			if err != nil {
+				b.fatal(err)
+			}
+			_ = be.(*cluster.LocalBackend).Mon().Violations()
+		})
+		stop()
+		cancel()
+		for _, f := range fols {
+			_ = f.Close()
+		}
+		for _, pm := range mons {
+			if err := pm.Close(); err != nil {
+				b.fatal(err)
+			}
+		}
+		return float64(n) / d.Seconds()
+	}
+
+	type routedRow struct {
+		groups int
+		qps    float64
+	}
+	var rows []routedRow
+	for _, groups := range []int{1, 2, 4} {
+		best := 0.0
+		for r := 0; r < b.repeat || r == 0; r++ {
+			if q := runRouted(groups, r); q > best {
+				best = q
+			}
+		}
+		rows = append(rows, routedRow{groups: groups, qps: best})
+		b.record(fmt.Sprintf("e15/routed/groups=%d", groups), measurement{d: time.Duration(float64(readers) * 1e9 / best)})
+	}
+	b.header(fmt.Sprintf("E15: routed reads, consistency=any (SZ = %d, %d readers, primary+standby per group)", sz, readers),
+		"groups", "reads/sec", "x vs 1")
+	for _, r := range rows {
+		b.row(fmt.Sprint(r.groups), fmt.Sprintf("%.0f", r.qps), fmt.Sprintf("%.2f", r.qps/rows[0].qps))
+	}
+}

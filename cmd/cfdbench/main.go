@@ -70,7 +70,7 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
-		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11,e12,e13,e14)")
+		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11,e12,e13,e14,e15)")
 		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 		repeat  = flag.Int("repeat", 1, "measure each series this many times and keep the fastest")
 
@@ -79,6 +79,7 @@ func main() {
 		rate       = flag.Float64("rate", 0, "serving driver: aggregate open-loop admission rate in req/s (0 = closed loop)")
 		duration   = flag.Duration("duration", 10*time.Second, "serving driver: how long to fire")
 		insertVals = flag.String("insert-values", "", "serving driver: comma-separated tuple values to POST /insert (empty: GET /violations)")
+		readFrac   = flag.Float64("read-frac", 0, "serving driver: with -insert-values, fraction of requests issued as GET /violations reads (0..1)")
 	)
 	flag.Parse()
 	sel := map[string]bool{}
@@ -91,7 +92,7 @@ func main() {
 
 	b := &bench{quick: *quick, jsonOut: *jsonOut, repeat: *repeat}
 	if *serveURL != "" {
-		b.serveBench(strings.TrimRight(*serveURL, "/"), *clients, *rate, *duration, *insertVals)
+		b.serveBench(strings.TrimRight(*serveURL, "/"), *clients, *rate, *duration, *insertVals, *readFrac)
 		if b.jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -142,6 +143,9 @@ func main() {
 	}
 	if want("e14") {
 		b.e14()
+	}
+	if want("e15") {
+		b.e15()
 	}
 	if b.jsonOut {
 		enc := json.NewEncoder(os.Stdout)

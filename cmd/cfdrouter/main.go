@@ -22,7 +22,16 @@
 //
 // Endpoints: /insert /delete /update /apply (the cfdserve mutation
 // shapes, minus the choice of node), /violations (cluster-wide total),
-// /stats, /ring (ownership probe), /promote, /metrics.
+// /stats (router view; ?shards=1 fans out per-group node stats),
+// /ring (ownership probe), /promote, /metrics.
+//
+// Reads fan out: /violations and /stats?shards=1 accept
+// ?consistency=primary|any. "primary" (the default) serves every
+// group's read from its current primary; "any" round-robins the primary
+// and the group's standbys, skipping any standby that is fenced behind
+// the group's epoch or lagging the primary's WAL tail by more than
+// -max-read-lag bytes — so hot standbys absorb read traffic without
+// ever serving a stale-beyond-bound or deposed history.
 //
 // Atomicity is per shard group: a batch spanning groups may commit on
 // some and fail on others, in which case the response names the failed
@@ -270,6 +279,28 @@ func (b *httpBackend) violationTotal(ctx context.Context) (int, error) {
 	return res.Total, nil
 }
 
+// ReadPosition implements the read fan-out's staleness probe over the
+// wire: the node's epoch and — for a following standby — its replication
+// byte lag, both straight from GET /stats. A primary (no replica block,
+// or one already promoted) is its own tail: lag 0.
+func (b *httpBackend) ReadPosition(ctx context.Context) (repro.ClusterReadPosition, error) {
+	var st struct {
+		Epoch   uint64 `json:"epoch"`
+		Replica *struct {
+			Following bool  `json:"following"`
+			LagBytes  int64 `json:"lag_bytes"`
+		} `json:"replica"`
+	}
+	if err := b.call(ctx, http.MethodGet, "/stats", nil, nil, &st); err != nil {
+		return repro.ClusterReadPosition{}, err
+	}
+	pos := repro.ClusterReadPosition{Epoch: st.Epoch}
+	if st.Replica != nil && st.Replica.Following {
+		pos.LagBytes = st.Replica.LagBytes
+	}
+	return pos, nil
+}
+
 // --- the daemon ---
 
 type routerServer struct {
@@ -298,6 +329,21 @@ func (s *routerServer) handler() http.Handler {
 	}
 	routedOps := reg.Counter("cfdrouter_routed_ops_total", "Mutation ops routed to shard groups.")
 	shardFails := reg.Counter("cfdrouter_shard_failures_total", "Sub-batches refused or failed by a shard group.")
+	readViolDur := reg.DurationHistogram("cfdrouter_read_seconds", "Fan-out read latency against shard nodes, by endpoint.", obs.L("endpoint", "/violations"))
+	readStatsDur := reg.DurationHistogram("cfdrouter_read_seconds", "Fan-out read latency against shard nodes, by endpoint.", obs.L("endpoint", "/stats"))
+	readErrs := reg.Counter("cfdrouter_read_errors_total", "Fan-out reads against shard nodes that failed.")
+	// pickRead resolves one group's read target honoring ?consistency=.
+	pickRead := func(ctx context.Context, name string, mode repro.ClusterReadConsistency) (*httpBackend, error) {
+		be, err := s.rt.PickRead(ctx, name, mode)
+		if err != nil {
+			return nil, fmt.Errorf("group %s: %w", name, err)
+		}
+		hb, ok := be.(*httpBackend)
+		if !ok {
+			return nil, fmt.Errorf("group %s: read target is not an HTTP backend", name)
+		}
+		return hb, nil
+	}
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
@@ -445,34 +491,74 @@ func (s *routerServer) handler() http.Handler {
 			"ops": cs.Len(), "keys": keys, "delta": toWireDelta(delta),
 		})
 	})
-	// Cluster-wide violation count: the sum of every group's primary.
-	// Totals are disjoint because each group owns its key range.
+	// Cluster-wide violation count: the sum of one read per group.
+	// Totals are disjoint because each group owns its key range. With
+	// ?consistency=any the per-group read may land on a fresh standby
+	// instead of the primary.
 	handle("/violations", func(w http.ResponseWriter, r *http.Request) {
+		mode, err := repro.ParseClusterReadConsistency(r.URL.Query().Get("consistency"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
 		groups := make(map[string]int)
 		total := 0
 		for _, name := range s.rt.Groups() {
-			hb, ok := s.rt.Primary(name).(*httpBackend)
-			if !ok {
-				writeErr(w, http.StatusInternalServerError, fmt.Errorf("group %s: primary is not an HTTP backend", name))
+			hb, err := pickRead(r.Context(), name, mode)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
 				return
 			}
+			start := time.Now()
 			n, err := hb.violationTotal(r.Context())
+			readViolDur.ObserveSince(start)
 			if err != nil {
+				readErrs.Inc()
 				writeErr(w, http.StatusBadGateway, fmt.Errorf("group %s: %w", name, err))
 				return
 			}
 			groups[name] = n
 			total += n
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"groups": groups, "total": total})
+		writeJSON(w, http.StatusOK, map[string]any{"groups": groups, "total": total, "consistency": mode.String()})
 	})
 	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		out := map[string]any{
 			"groups":         s.rt.Status(),
 			"next_key":       s.rt.NextKey(),
 			"vnodes":         s.vnodes,
 			"uptime_seconds": time.Since(processStart).Seconds(),
-		})
+		}
+		// ?shards=1 additionally fans out one GET /stats per group,
+		// routed like any other read (?consistency= applies).
+		if sq := r.URL.Query().Get("shards"); sq != "" && sq != "0" && sq != "false" {
+			mode, err := repro.ParseClusterReadConsistency(r.URL.Query().Get("consistency"))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			shards := make(map[string]any)
+			for _, name := range s.rt.Groups() {
+				hb, err := pickRead(r.Context(), name, mode)
+				if err != nil {
+					shards[name] = map[string]any{"error": err.Error()}
+					continue
+				}
+				start := time.Now()
+				var raw map[string]any
+				err = hb.call(r.Context(), http.MethodGet, "/stats", nil, nil, &raw)
+				readStatsDur.ObserveSince(start)
+				if err != nil {
+					readErrs.Inc()
+					shards[name] = map[string]any{"error": err.Error()}
+					continue
+				}
+				raw["node"] = hb.base
+				shards[name] = raw
+			}
+			out["shards"] = shards
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 	// Ownership probe: which group would serve a key.
 	handle("/ring", func(w http.ResponseWriter, r *http.Request) {
@@ -563,6 +649,7 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve the router API on this address (required)")
 		vnodes    = flag.Int("vnodes", 0, "virtual nodes per shard group on the hash ring (0 = default)")
 		timeout   = flag.Duration("shard-timeout", 30*time.Second, "per-request timeout talking to a shard node")
+		maxLag    = flag.Int64("max-read-lag", 0, "max WAL byte lag before ?consistency=any skips a standby (0 = default 4MiB)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this second, private address (off when empty)")
 		logLevel  = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 		logJSON   = flag.Bool("log-json", false, "write logs to stderr as JSON lines instead of text")
@@ -607,7 +694,7 @@ func main() {
 	}
 	// The router reads each primary's epoch and key watermark at boot,
 	// so every shard must be reachable here.
-	rt, err := repro.NewClusterRouter(ctx, groups, repro.ClusterOptions{VNodes: *vnodes})
+	rt, err := repro.NewClusterRouter(ctx, groups, repro.ClusterOptions{VNodes: *vnodes, MaxReadLag: *maxLag})
 	if err != nil {
 		lg.Error("startup failed", "error", err)
 		os.Exit(2)

@@ -111,9 +111,19 @@ func (n *stubNode) handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		stats := map[string]any{
 			"epoch": n.mon().Epoch(), "next_key": n.mon().NextKey(),
-		})
+		}
+		n.mu.Lock()
+		f := n.f
+		n.mu.Unlock()
+		if f != nil {
+			st := f.Status()
+			stats["replica"] = map[string]any{
+				"following": st.Following, "lag_bytes": st.LagBytes,
+			}
+		}
+		writeJSON(w, http.StatusOK, stats)
 	})
 	mux.HandleFunc("/violations", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"total": n.mon().ViolationCount()})

@@ -1070,18 +1070,124 @@ func (s *server) handler() http.Handler {
 			"ops": cs.Len(), "keys": keys, "delta": toJSONDelta(delta),
 		})
 	})
+	// GET /violations serves the maintained violation view (a pointer
+	// load at an unchanged version, never a shard scan). Query surface:
+	//   ?key=K            point lookup — the violations tuple K is in
+	//   ?cfd=I            only CFD I's violations (total follows the filter)
+	//   ?limit=N&cursor=C cursor pagination; cursors are stable within a
+	//                     view version ("v<version>:<offset>") and expire
+	//                     (410) when the set changes
+	// The response carries ETag "v<version>"; a poll with If-None-Match
+	// at the current version is answered 304 from the version counter
+	// alone, without materializing anything.
 	handle("/violations", func(w http.ResponseWriter, r *http.Request) {
-		st := s.mon().Violations()
 		type perCFD struct {
 			CFD          int        `json:"cfd"`
 			ConstTuples  []int64    `json:"const_tuples"`
 			VariableKeys [][]string `json:"variable_keys"`
 		}
-		out := make([]perCFD, len(st.PerCFD))
-		for i, v := range st.PerCFD {
-			out[i] = perCFD{CFD: i, ConstTuples: v.ConstTuples, VariableKeys: v.VariableKeys}
+		q := r.URL.Query()
+		if ks := q.Get("key"); ks != "" {
+			key, err := strconv.ParseInt(ks, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad key %q", ks))
+				return
+			}
+			st, ok := s.mon().ViolationsFor(key)
+			if !ok {
+				writeErr(w, http.StatusNotFound, fmt.Errorf("no tuple with key %d", key))
+				return
+			}
+			out := make([]perCFD, 0, len(st.PerCFD))
+			for i, v := range st.PerCFD {
+				if v.Total() > 0 {
+					out = append(out, perCFD{CFD: i, ConstTuples: v.ConstTuples, VariableKeys: v.VariableKeys})
+				}
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"key": key, "per_cfd": out, "total": st.Total()})
+			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"per_cfd": out, "total": st.Total()})
+		etag := fmt.Sprintf("%q", fmt.Sprintf("v%d", s.mon().ViewVersion()))
+		if inm := r.Header.Get("If-None-Match"); inm != "" && inm == etag {
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		view := s.mon().View()
+		st := view.State()
+		w.Header().Set("ETag", fmt.Sprintf("%q", fmt.Sprintf("v%d", view.Version())))
+		cfdSel := -1
+		if cs := q.Get("cfd"); cs != "" {
+			i, err := strconv.Atoi(cs)
+			if err != nil || i < 0 || i >= len(st.PerCFD) {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cfd %q (have %d)", cs, len(st.PerCFD)))
+				return
+			}
+			cfdSel = i
+		}
+		limit := 0
+		if ls := q.Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n <= 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+				return
+			}
+			limit = n
+		}
+		offset := 0
+		if cur := q.Get("cursor"); cur != "" {
+			var cv uint64
+			if _, err := fmt.Sscanf(cur, "v%d:%d", &cv, &offset); err != nil || offset < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cursor %q", cur))
+				return
+			}
+			if cv != view.Version() {
+				writeErr(w, http.StatusGone, fmt.Errorf("cursor %q expired (view is at v%d)", cur, view.Version()))
+				return
+			}
+		}
+		room := limit
+		if limit <= 0 {
+			room = int(^uint(0) >> 1)
+		}
+		skip := offset
+		total, emitted := 0, 0
+		out := make([]perCFD, 0, len(st.PerCFD))
+		for i, v := range st.PerCFD {
+			if cfdSel >= 0 && i != cfdSel {
+				continue
+			}
+			total += v.Total()
+			if room == 0 && skip == 0 && limit > 0 {
+				continue
+			}
+			p := perCFD{CFD: i}
+			if n := len(v.ConstTuples); skip < n {
+				take := min(room, n-skip)
+				p.ConstTuples = v.ConstTuples[skip : skip+take]
+				room -= take
+				skip = 0
+			} else {
+				skip -= n
+			}
+			if n := len(v.VariableKeys); room > 0 && skip < n {
+				take := min(room, n-skip)
+				p.VariableKeys = v.VariableKeys[skip : skip+take]
+				room -= take
+				skip = 0
+			} else if room > 0 {
+				skip -= n
+			}
+			if len(p.ConstTuples) > 0 || len(p.VariableKeys) > 0 || (limit <= 0 && cfdSel < 0) {
+				emitted += len(p.ConstTuples) + len(p.VariableKeys)
+				out = append(out, p)
+			}
+		}
+		resp := map[string]any{"per_cfd": out, "total": total, "version": view.Version()}
+		if limit > 0 && emitted > 0 && offset+emitted < total {
+			resp["next_cursor"] = fmt.Sprintf("v%d:%d", view.Version(), offset+emitted)
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		role := "primary"

@@ -5,17 +5,20 @@
 // violation delta of every insert, delete and update. The second act
 // batches changes: one ChangeSet through Monitor.Apply is validated as a
 // unit, applied in one shard pass, and answered with its net delta. The
-// third act streams discovery: a CFDMiner rides the monitor's group
+// third act queries the read path: the O(delta)-maintained violation
+// view, whose version moves only when the violation set does (cfdserve's
+// ETag), and per-key point lookups that skip the view entirely. The
+// fourth act streams discovery: a CFDMiner rides the monitor's group
 // indexes and re-scores the mined constraint set after every change,
-// reporting CFDs as they appear and retire. The fourth act makes the
+// reporting CFDs as they appear and retire. The fifth act makes the
 // monitor durable: journaled to a write-ahead log (a ChangeSet is one
 // record and one fsync), snapshotted, closed, and resumed from disk
-// without touching the original instance. The fifth act replicates it:
+// without touching the original instance. The sixth act replicates it:
 // a hot-standby follower tails the durable node's WAL segments into its
 // own directory, serves reads while refusing writes, and is promoted to
 // a writable primary at the exact record boundary it has applied — the
-// failover path cfdserve runs with -follow and POST /promote. The sixth
-// act scrapes the observability surface: every monitor carries a metrics
+// failover path cfdserve runs with -follow and POST /promote. The
+// seventh act scrapes the observability surface: every monitor carries a metrics
 // registry (apply-stage latencies, WAL timings, violation-delta
 // counters) that renders in the Prometheus text format — cfdserve serves
 // the same thing as GET /metrics.
@@ -137,6 +140,34 @@ func main() {
 		log.Fatal(err)
 	}
 	show("healing batch:", healDelta)
+
+	// --- read queries: the violation view ---
+	//
+	// Serving reads never rescans: Violations() answers from an
+	// O(delta)-maintained view — an atomic pointer load whose version
+	// advances only when the violation set actually changes. That
+	// version is the ETag cfdserve hands to GET /violations pollers: an
+	// unchanged version is a guaranteed 304.
+	fmt.Printf("view version %d: %d live violation(s)\n", m.ViewVersion(), m.Violations().Total())
+	// A write no CFD cares about leaves the version alone...
+	if _, err := m.Update(eveKey, "NM", "Eva"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after a CFD-irrelevant update: version %d — pollers keep their 304\n", m.ViewVersion())
+	// ...while a dirty write moves it, and only the CFDs the delta
+	// touched are re-canonicalized on the next read.
+	if _, err := m.Update(eveKey, "CT", "NYC"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after a dirty update: version %d, %d violation(s)\n", m.ViewVersion(), m.Violations().Total())
+	// Point lookups skip the view entirely and probe the per-key
+	// stores — the GET /violations?key=N path.
+	per, ok := m.ViolationsFor(eveKey)
+	fmt.Printf("ViolationsFor(Eve, key %d): exists = %v, %d violation(s) touch her\n\n", eveKey, ok, per.Total())
+	// Heal her again so discovery below sees the clean instance.
+	if _, err := m.Apply((&repro.ChangeSet{}).Update(eveKey, "CT", "MH")); err != nil {
+		log.Fatal(err)
+	}
 
 	// --- streaming discovery ---
 	//

@@ -28,6 +28,23 @@ func (b *LocalBackend) mon() *incremental.Monitor {
 	return b.M
 }
 
+// Mon returns the monitor currently serving this backend's reads — the
+// follower's embedded monitor until promotion. Read fan-out callers use
+// it to query violation views and stats in-process after PickRead.
+func (b *LocalBackend) Mon() *incremental.Monitor { return b.mon() }
+
+// ReadPosition reports the node's replication position for the read
+// fan-out's staleness guard: a primary is its own tail (lag 0); a
+// standby reports its follower's epoch and byte lag as of the last
+// exchange with the primary (-1 while whole segments behind).
+func (b *LocalBackend) ReadPosition(context.Context) (ReadPosition, error) {
+	if b.F != nil {
+		st := b.F.Status()
+		return ReadPosition{Epoch: b.F.Monitor().Epoch(), LagBytes: st.LagBytes}, nil
+	}
+	return ReadPosition{Epoch: b.M.Epoch(), LagBytes: 0}, nil
+}
+
 // Apply applies the batch under the caller's epoch stamp (see
 // Monitor.ApplyAt).
 func (b *LocalBackend) Apply(_ context.Context, epoch uint64, cs *incremental.ChangeSet) (*incremental.Delta, error) {

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// This file is the router's read side: writes always go to a group's
+// primary (Apply), but reads — violation views, stats — can be served by
+// any sufficiently-fresh replica. PickRead round-robins a group's
+// primary and standbys, guarded by a bounded-staleness check built from
+// the same signals the fencing protocol uses: a standby whose epoch is
+// behind the group's routing term belongs to a deposed history, and one
+// whose WAL cursor trails the primary by more than Options.MaxReadLag
+// bytes (or by whole segments) is too stale to answer for "now". Both
+// are skipped; the primary is always eligible, so a read never fails
+// just because every standby is lagging.
+
+// ReadConsistency selects which nodes of a shard group may serve a read.
+type ReadConsistency int
+
+const (
+	// ReadPrimary serves the read from the group's current primary —
+	// the strongest mode: the answer reflects every acknowledged write.
+	ReadPrimary ReadConsistency = iota
+	// ReadAny load-balances across the primary and every standby that
+	// passes the bounded-staleness guard: same-epoch and within
+	// Options.MaxReadLag bytes of the primary's tail. The answer may
+	// trail the primary by up to that many bytes of WAL.
+	ReadAny
+)
+
+// ParseReadConsistency maps the wire form of a consistency mode
+// ("primary", "any"; "" defaults to primary) to its constant.
+func ParseReadConsistency(s string) (ReadConsistency, error) {
+	switch s {
+	case "", "primary":
+		return ReadPrimary, nil
+	case "any":
+		return ReadAny, nil
+	}
+	return ReadPrimary, fmt.Errorf("cluster: unknown read consistency %q (want primary or any)", s)
+}
+
+// String renders the mode in its wire form.
+func (c ReadConsistency) String() string {
+	if c == ReadAny {
+		return "any"
+	}
+	return "primary"
+}
+
+// ReadPosition is a node's replication position as the read fan-out
+// evaluates it.
+type ReadPosition struct {
+	// Epoch is the fencing epoch the node's history is written under.
+	Epoch uint64
+	// LagBytes is the node's byte distance to its primary's WAL tail:
+	// 0 for a primary, -1 when the node is whole segments behind (the
+	// byte distance is unknown, and the node is skipped regardless of
+	// MaxReadLag).
+	LagBytes int64
+}
+
+// ReadBackend is the read-side extension of Backend: a node that can
+// report its replication position, making it eligible for ReadAny
+// fan-out. A Backend that does not implement it only ever serves reads
+// as a primary.
+type ReadBackend interface {
+	Backend
+	// ReadPosition reports the node's current epoch and replication lag.
+	ReadPosition(ctx context.Context) (ReadPosition, error)
+}
+
+// DefaultMaxReadLag is the staleness bound when Options.MaxReadLag is 0:
+// a standby more than 4 MiB of WAL behind the primary's tail is skipped.
+const DefaultMaxReadLag = 4 << 20
+
+// readPosTTL bounds how often the router re-queries one node's position:
+// within the window a cached answer (including a cached failure) is
+// reused, so position probes never dominate a hot read path.
+const readPosTTL = 500 * time.Millisecond
+
+// posEntry is one cached position probe.
+type posEntry struct {
+	pos ReadPosition
+	err error
+	at  time.Time
+}
+
+// PickRead returns the backend the next read of the named group should
+// hit. ReadPrimary (and any group without standbys) returns the current
+// primary. ReadAny round-robins the primary and the standbys, skipping
+// any standby that fails the staleness guard — lower epoch than the
+// group's routing term, lag outside [0, MaxReadLag], or an unreachable
+// position probe — and falls back to the primary when every standby is
+// skipped.
+func (rt *Router) PickRead(ctx context.Context, name string, mode ReadConsistency) (Backend, error) {
+	g, ok := rt.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: no shard group %q", name)
+	}
+	g.mu.Lock()
+	primary, epoch := g.primary, g.epoch
+	standbys := append([]Backend(nil), g.standbys...)
+	g.mu.Unlock()
+	if mode != ReadAny || len(standbys) == 0 {
+		return primary, nil
+	}
+	cands := make([]Backend, 0, len(standbys)+1)
+	cands = append(cands, primary)
+	cands = append(cands, standbys...)
+	start := int(g.rr.Add(1)) % len(cands)
+	for i := range cands {
+		c := cands[(start+i)%len(cands)]
+		if c == primary {
+			return primary, nil
+		}
+		if rt.standbyFresh(ctx, g, c, epoch) {
+			return c, nil
+		}
+	}
+	return primary, nil
+}
+
+// standbyFresh applies the bounded-staleness guard to one standby.
+func (rt *Router) standbyFresh(ctx context.Context, g *shardGroup, b Backend, epoch uint64) bool {
+	rb, ok := b.(ReadBackend)
+	if !ok {
+		return false
+	}
+	pos, err := g.readPos(ctx, rb)
+	if err != nil {
+		return false
+	}
+	maxLag := rt.maxReadLag
+	if maxLag <= 0 {
+		maxLag = DefaultMaxReadLag
+	}
+	return pos.Epoch >= epoch && pos.LagBytes >= 0 && pos.LagBytes <= maxLag
+}
+
+// readPos probes one node's position through the group's TTL cache.
+func (g *shardGroup) readPos(ctx context.Context, rb ReadBackend) (ReadPosition, error) {
+	now := time.Now()
+	g.posMu.Lock()
+	if e, ok := g.pos[rb]; ok && now.Sub(e.at) < readPosTTL {
+		g.posMu.Unlock()
+		return e.pos, e.err
+	}
+	g.posMu.Unlock()
+	pos, err := rb.ReadPosition(ctx)
+	g.posMu.Lock()
+	if g.pos == nil {
+		g.pos = make(map[Backend]posEntry)
+	}
+	g.pos[rb] = posEntry{pos: pos, err: err, at: now}
+	g.posMu.Unlock()
+	return pos, err
+}

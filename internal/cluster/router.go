@@ -52,6 +52,12 @@ type Options struct {
 	// VNodes is the per-group virtual-node count on the hash ring
 	// (0 means DefaultVNodes).
 	VNodes int
+
+	// MaxReadLag bounds the staleness a ReadAny read tolerates: a
+	// standby whose WAL cursor trails the primary's tail by more than
+	// this many bytes (or by whole segments) is skipped by PickRead.
+	// 0 means DefaultMaxReadLag.
+	MaxReadLag int64
 }
 
 // shardGroup is the router's live view of one shard group. The mutex
@@ -65,6 +71,13 @@ type shardGroup struct {
 	primary  Backend
 	standbys []Backend
 	epoch    uint64
+
+	// rr sequences PickRead's round-robin over primary + standbys; posMu
+	// and pos cache per-node position probes for readPosTTL so the
+	// staleness guard costs at most one probe per node per window.
+	rr    atomic.Uint32
+	posMu sync.Mutex
+	pos   map[Backend]posEntry
 }
 
 // Router fronts a sharded cluster: it owns the key space (allocating
@@ -81,10 +94,11 @@ type shardGroup struct {
 // the ones that did not. Callers retry only the failed sub-batches
 // (inserted keys are written back, so a retry routes identically).
 type Router struct {
-	ring    *Ring
-	groups  map[string]*shardGroup
-	names   []string // sorted; deterministic merge order
-	nextKey atomic.Int64
+	ring       *Ring
+	groups     map[string]*shardGroup
+	names      []string // sorted; deterministic merge order
+	nextKey    atomic.Int64
+	maxReadLag int64
 }
 
 // NewRouter builds a router over the given shard groups, querying each
@@ -97,7 +111,7 @@ func NewRouter(ctx context.Context, groups []GroupConfig, opts Options) (*Router
 	if err != nil {
 		return nil, err
 	}
-	rt := &Router{ring: ring, groups: make(map[string]*shardGroup, len(groups))}
+	rt := &Router{ring: ring, groups: make(map[string]*shardGroup, len(groups)), maxReadLag: opts.MaxReadLag}
 	var next int64
 	for _, gc := range groups {
 		if gc.Primary == nil {

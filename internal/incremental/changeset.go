@@ -187,6 +187,10 @@ func (m *Monitor) Apply(cs *ChangeSet) (*Delta, error) {
 	if err != nil {
 		return reject(err)
 	}
+	// Fold the applied delta into the maintained violation view (O(Δ);
+	// see view.go). Each group-commit writer folds its own delta, so a
+	// window's changes are folded exactly once across its writers.
+	m.foldView(d)
 	if met != nil {
 		met.batches.Inc()
 		met.countOps(cs.Ops)

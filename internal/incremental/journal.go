@@ -578,9 +578,14 @@ func (m *Monitor) applyRecord(payload []byte) error {
 }
 
 // replayOp applies one already-decoded record op through the same
-// validated batch path live mutations use.
+// validated batch path live mutations use, folding its delta into the
+// maintained view — this covers both recovery replay and the follower's
+// replication apply, which bypass the public Apply.
 func (m *Monitor) replayOp(op Op) error {
-	_, err := m.applyOpsMemory([]Op{op})
+	d, err := m.applyOpsMemory([]Op{op})
+	if err == nil {
+		m.foldView(d)
+	}
 	return err
 }
 

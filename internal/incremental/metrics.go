@@ -33,6 +33,9 @@ type monMetrics struct {
 	violationsAdded                 *obs.Counter
 	violationsRemoved               *obs.Counter
 
+	// Maintained violation view (view.go).
+	viewRebuilds *obs.Counter
+
 	// Group commit (groupcommit.go).
 	gcWindowOps     *obs.Histogram // ops journaled per commit window
 	gcWindowWriters *obs.Histogram // writers coalesced per commit window
@@ -62,6 +65,7 @@ func newMonMetrics(reg *obs.Registry) *monMetrics {
 	mm.shardApplySeconds = reg.DurationHistogram("cfd_apply_shard_seconds", "Sharded in-memory apply stage per batch.")
 	mm.violationsAdded = reg.Counter("cfd_violations_added_total", "Violations that appeared, summed over apply deltas.")
 	mm.violationsRemoved = reg.Counter("cfd_violations_removed_total", "Violations that were retired, summed over apply deltas.")
+	mm.viewRebuilds = reg.Counter("cfd_violations_view_rebuilds_total", "Lazy materializations of the violation view (at most one per view version).")
 	mm.gcWindowOps = reg.Histogram("cfd_group_commit_window_ops", "Ops journaled per group-commit window (one WAL record, one fsync).")
 	mm.gcWindowWriters = reg.Histogram("cfd_group_commit_window_writers", "Concurrent writers coalesced per group-commit window.")
 	mm.gcWaitSeconds = reg.DurationHistogram("cfd_group_commit_wait_seconds", "Time a window follower waits for its leader's append and fsync.")

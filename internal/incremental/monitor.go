@@ -69,6 +69,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -207,6 +208,11 @@ type Monitor struct {
 	// — may change state. Promotion clears it at a record boundary.
 	readOnly atomic.Bool
 
+	// view is the maintained violation view: fold maps updated in O(Δ)
+	// from every applied delta, published as an immutable atomically-
+	// swapped snapshot. See view.go.
+	view viewState
+
 	// epoch is the fencing term this monitor's history is written under:
 	// bumped (and journaled) by promotion, restored from the snapshot
 	// and epoch records on recovery. fencedAt is the highest epoch the
@@ -290,6 +296,7 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 			m.attrCFDs[ai] = append(m.attrCFDs[ai], i)
 		}
 	}
+	m.view.init(len(sigma))
 	if opts.GroupCommit.enabled() {
 		m.gc = newCommitter(opts.GroupCommit)
 	}
@@ -305,6 +312,14 @@ func build(schema *relation.Schema, sigma []*core.CFD, opts Options) (*Monitor, 
 		reg.GaugeFunc("cfd_tuples", "Live tuples in the monitor.", func() float64 { return float64(m.size.Load()) })
 		reg.GaugeFunc("cfd_violations", "Live violations across the CFD set.", func() float64 { return float64(m.ViolationCount()) })
 		reg.GaugeFunc("cfd_epoch", "Fencing epoch this node's history is written under.", func() float64 { return float64(m.epoch.Load()) })
+		reg.GaugeFunc("cfd_violations_view_version", "Version of the maintained violation view; advances only when the violation set changes.", func() float64 { return float64(m.view.version.Load()) })
+		reg.GaugeFunc("cfd_violations_view_age_seconds", "Seconds since the published violation view was materialized; -1 before the first build.", func() float64 {
+			v := m.view.cur.Load()
+			if v == nil {
+				return -1
+			}
+			return time.Since(v.built).Seconds()
+		})
 	}
 	return m, nil
 }
@@ -552,15 +567,23 @@ func (m *Monitor) ViolationCount() int64 {
 	return n
 }
 
-// Violations returns a snapshot of the live violation set. Shards are read
-// one at a time, so a concurrent writer is never blocked for longer than
-// one shard; under concurrent writes the snapshot is a consistent cut per
-// shard, not across the whole set. Group keys are materialized to values
-// here — the canonical order of the snapshot is value-based, so two
-// monitors with different ID assignments canonicalize identically.
-func (m *Monitor) Violations() *State {
+// ScanViolations materializes a fresh snapshot of the live violation set
+// by walking every shard — the from-scratch baseline Violations' cached
+// view is measured against, and the oracle the view property tests
+// compare to. Shards are read one at a time, so a concurrent writer is
+// never blocked for longer than one shard; under concurrent writes the
+// snapshot is a consistent cut per shard, not across the whole set.
+// Group keys are materialized to values here — the canonical order of
+// the snapshot is value-based, so two monitors with different ID
+// assignments canonicalize identically.
+func (m *Monitor) ScanViolations() *State {
 	st := &State{PerCFD: make([]CFDViolations, len(m.cfds))}
 	for ci, cs := range m.cfds {
+		if cs.violations.Load() == 0 {
+			// Satisfied CFD: skip the shard walk and the const-slice and
+			// vars-map allocations outright.
+			continue
+		}
 		var consts []int64
 		for si := range cs.consts {
 			sh := &cs.consts[si]

@@ -611,5 +611,9 @@ func (m *Monitor) readSnapshot(r io.Reader, sizeHint int64) error {
 	m.nextKey.Store(nextKey)
 	m.epoch.Store(epoch)
 	m.size.Store(int64(ntuples))
+	// The stores were filled directly, without deltas; reseed the
+	// maintained view's fold maps so Violations serves the restored set
+	// (WAL-tail replay then folds on top).
+	m.rebuildViewBase()
 	return nil
 }

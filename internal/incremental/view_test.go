@@ -1,0 +1,243 @@
+package incremental_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/incremental"
+	"repro/internal/relation"
+)
+
+// TestViewMatchesScanUnderRandomStreams drives the same randomized
+// scenarios as the delta property test and, after every step, checks the
+// O(Δ)-maintained violation view against a from-scratch scan of the
+// stores. Every tenth step is a flip-flop batch — one ChangeSet that
+// moves a tuple out of its group and straight back — so the view's
+// refcount fold sees add/remove churn that nets to nothing and the test
+// catches any version bump or state drift such churn would leak.
+func TestViewMatchesScanUnderRandomStreams(t *testing.T) {
+	for _, cfg := range streamConfigs(t) {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(cfg.seed + 7))
+			m, err := incremental.New(cfg.schema, cfg.sigma, incremental.Options{Shards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			mirror := make(map[int64]relation.Tuple)
+			var keys []int64
+			randomTuple := func() relation.Tuple {
+				tp := make(relation.Tuple, cfg.schema.Len())
+				for i := range tp {
+					pool := cfg.pools[i]
+					tp[i] = pool[rng.Intn(len(pool))]
+				}
+				return tp
+			}
+			prevVer := m.ViewVersion()
+			prevState := m.Violations()
+			steps := cfg.steps * soakFactor()
+			for step := 0; step < steps; step++ {
+				op := rng.Float64()
+				switch {
+				case len(keys) == 0 || (op < 0.40 && len(keys) < 80):
+					tp := randomTuple()
+					key, _, err := m.Insert(tp)
+					if err != nil {
+						t.Fatalf("step %d: insert: %v", step, err)
+					}
+					mirror[key] = tp.Clone()
+					keys = append(keys, key)
+				case op < 0.55:
+					i := rng.Intn(len(keys))
+					key := keys[i]
+					if _, err := m.Delete(key); err != nil {
+						t.Fatalf("step %d: delete %d: %v", step, key, err)
+					}
+					delete(mirror, key)
+					keys = append(keys[:i], keys[i+1:]...)
+				case op < 0.65:
+					// Flip-flop: out of the group and back in one batch.
+					key := keys[rng.Intn(len(keys))]
+					ai := rng.Intn(cfg.schema.Len())
+					attr := cfg.schema.Attrs[ai].Name
+					orig := mirror[key][ai]
+					other := cfg.pools[ai][rng.Intn(len(cfg.pools[ai]))]
+					var cs incremental.ChangeSet
+					cs.Update(key, attr, other)
+					cs.Update(key, attr, orig)
+					if _, err := m.Apply(&cs); err != nil {
+						t.Fatalf("step %d: flip-flop %d.%s: %v", step, key, attr, err)
+					}
+				default:
+					key := keys[rng.Intn(len(keys))]
+					ai := rng.Intn(cfg.schema.Len())
+					attr := cfg.schema.Attrs[ai].Name
+					val := cfg.pools[ai][rng.Intn(len(cfg.pools[ai]))]
+					if _, err := m.Update(key, attr, val); err != nil {
+						t.Fatalf("step %d: update %d.%s=%s: %v", step, key, attr, val, err)
+					}
+					mirror[key][ai] = val
+				}
+
+				got := m.Violations()
+				want := m.ScanViolations()
+				if !got.Equal(want) {
+					t.Fatalf("step %d: view diverges from scan:\nview:\n%s\nscan:\n%s",
+						step, describe(got), describe(want))
+				}
+				// The ETag contract: an unchanged version must mean an
+				// unchanged violation set.
+				if ver := m.ViewVersion(); ver == prevVer {
+					if !got.Equal(prevState) {
+						t.Fatalf("step %d: violation set changed but view version stayed %d", step, ver)
+					}
+				} else {
+					prevVer, prevState = ver, got
+				}
+
+				// Point lookups agree with the full view for a sampled key.
+				if len(keys) > 0 {
+					key := keys[rng.Intn(len(keys))]
+					per, ok := m.ViolationsFor(key)
+					inView := false
+					for ci := range got.PerCFD {
+						for _, k := range got.PerCFD[ci].ConstTuples {
+							if k == key {
+								inView = true
+							}
+						}
+					}
+					if !ok {
+						t.Fatalf("step %d: ViolationsFor(%d) reports a live key absent", step, key)
+					}
+					if !inView && per.Total() > 0 {
+						hasConst := false
+						for ci := range per.PerCFD {
+							if len(per.PerCFD[ci].ConstTuples) > 0 {
+								hasConst = true
+							}
+						}
+						if hasConst {
+							t.Fatalf("step %d: ViolationsFor(%d) reports a const violation the view lacks", step, key)
+						}
+					}
+					if inView {
+						hasConst := false
+						for ci := range per.PerCFD {
+							if len(per.PerCFD[ci].ConstTuples) > 0 {
+								hasConst = true
+							}
+						}
+						if !hasConst {
+							t.Fatalf("step %d: key %d violates in view but ViolationsFor misses it", step, key)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestViewConcurrentReadersWriters hammers the view from reader
+// goroutines while writers mutate disjoint key stripes — the shape the
+// lock-free read path exists for. Run under -race this doubles as the
+// data-race proof; the final state check proves the folds landed exactly
+// once each despite the interleaving.
+func TestViewConcurrentReadersWriters(t *testing.T) {
+	cfg := streamConfigs(t)[0]
+	m, err := incremental.New(cfg.schema, cfg.sigma, incremental.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	const tuples = 64
+	rng := rand.New(rand.NewSource(99))
+	keys := make([]int64, 0, tuples)
+	for i := 0; i < tuples; i++ {
+		tp := make(relation.Tuple, cfg.schema.Len())
+		for a := range tp {
+			tp[a] = cfg.pools[a][rng.Intn(len(cfg.pools[a]))]
+		}
+		key, _, err := m.Insert(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+
+	const (
+		writers = 4
+		readers = 4
+	)
+	opsPerWriter := 500 * soakFactor()
+	var (
+		writerWG sync.WaitGroup
+		readerWG sync.WaitGroup
+		stop     atomic.Bool
+		errs     = make([]error, writers)
+	)
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := 0; i < opsPerWriter; i++ {
+				key := keys[(w+i*writers)%len(keys)]
+				ai := rng.Intn(cfg.schema.Len())
+				attr := cfg.schema.Attrs[ai].Name
+				val := cfg.pools[ai][rng.Intn(len(cfg.pools[ai]))]
+				if _, err := m.Update(key, attr, val); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	var readerFail atomic.Value
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			var lastVer uint64
+			for !stop.Load() {
+				st := m.Violations()
+				// Touch every slice so the race detector sees the reads.
+				n := 0
+				for ci := range st.PerCFD {
+					n += len(st.PerCFD[ci].ConstTuples) + len(st.PerCFD[ci].VariableKeys)
+				}
+				_ = n
+				if ver := m.ViewVersion(); ver < lastVer {
+					readerFail.Store("view version went backwards")
+					return
+				} else {
+					lastVer = ver
+				}
+				if _, ok := m.ViolationsFor(keys[r%len(keys)]); ok {
+					_ = ok
+				}
+			}
+		}(r)
+	}
+	// Readers run for the writers' whole lifetime, then drain.
+	writerWG.Wait()
+	stop.Store(true)
+	readerWG.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if msg := readerFail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if got, want := m.Violations(), m.ScanViolations(); !got.Equal(want) {
+		t.Fatalf("after concurrent load the view diverges from scan:\nview:\n%s\nscan:\n%s",
+			describe(got), describe(want))
+	}
+}
