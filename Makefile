@@ -6,19 +6,20 @@ GO ?= go
 # streaming discovery (e11), WAL shipping (e12), write-path raw
 # speed (e13: group-commit coalescing + tuple-store memory) and
 # cluster write scaling (e14: routed fsynced writes across shard
-# groups) and the read path (e15: violation-view vs scan reads,
-# point queries, routed standby reads) — at -quick sizes, best-of-5
-# so a single scheduler hiccup does not fail the gate. ci.yml and the
-# checked-in baseline both go through these targets, so the flags
-# live only here.
-BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12,e13,e14,e15
+# groups), the read path (e15: violation-view vs scan reads,
+# point queries, routed standby reads) and live repair (e16:
+# suggestion re-plan after a ChangeSet vs full batch repair) — at
+# -quick sizes, best-of-5 so a single scheduler hiccup does not fail
+# the gate. ci.yml and the checked-in baseline both go through these
+# targets, so the flags live only here.
+BENCH_WORKLOAD = -quick -repeat 5 -only 9a,merge,e9,e10,e11,e12,e13,e14,e15,e16
 # Relative tolerance plus an absolute ns/op floor: only millisecond-scale
 # drift can fail the gate; µs-scale series (single append, fsync) stay
 # informational because 30% of a microsecond is scheduler jitter.
 BENCH_TOLERANCE = 0.30
 BENCH_FLOOR_NS = 100000
 
-.PHONY: test race race-batch race-discovery race-failover race-cluster race-readpath metrics-smoke bench-current bench-baseline bench-batch bench-discovery bench-replication bench-groupcommit bench-cluster bench-readpath bench-check docs-check
+.PHONY: test race race-batch race-discovery race-failover race-cluster race-readpath race-repair metrics-smoke bench-current bench-baseline bench-batch bench-discovery bench-replication bench-groupcommit bench-cluster bench-readpath bench-repair bench-check docs-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -65,6 +66,14 @@ race-cluster:
 # and the router's standby read fan-out with its staleness guard.
 race-readpath:
 	$(GO) test -race -count 2 -run 'TestViewMatchesScanUnderRandomStreams|TestViewConcurrentReadersWriters|TestPickRead' ./internal/incremental/ ./internal/cluster/
+
+# The repair-suggester property tests under the race detector, twice:
+# randomized dirt streams must converge to I' |= Sigma through the
+# suggest-plan-apply loop and land within the batch Repair oracle's
+# cost, plus the concurrent apply-vs-refresh hammer on the live
+# suggester.
+race-repair:
+	$(GO) test -race -count 2 -run 'TestSuggestConvergesRandomDirt|TestSuggesterConcurrentRefresh' ./internal/repair/
 
 # One raw run of the gate workload, for eyeballing.
 bench-current:
@@ -113,6 +122,11 @@ bench-cluster:
 # routed reads over standbys at 1/2/4 groups.
 bench-readpath:
 	$(GO) run ./cmd/cfdbench -quick -only e15
+
+# Quick local iteration on the live-repair series only (E16): cost-ranked
+# suggestion re-plan after a 1K-op ChangeSet vs one full batch repair.
+bench-repair:
+	$(GO) run ./cmd/cfdbench -quick -only e16
 
 # Documentation gate: vet, every *.md relative link and anchor resolves,
 # and the godoc examples are gofmt-clean. ci.yml's docs job runs this.

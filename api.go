@@ -1,21 +1,21 @@
 package repro
 
 import (
-	"context"
 	"io"
 
 	"repro/internal/cind"
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/detect"
-	"repro/internal/discovery"
 	"repro/internal/gen"
-	"repro/internal/incremental"
-	"repro/internal/obs"
 	"repro/internal/relation"
-	"repro/internal/repair"
 	"repro/internal/sqlgen"
 )
+
+// The public facade is split by subsystem: this file holds the core
+// model, reasoning, detection, workload generation and CINDs;
+// api_monitor.go the incremental monitor, observability and replication;
+// api_cluster.go the sharded cluster; api_discovery.go CFD mining; and
+// api_repair.go batch repair and the live repair suggester.
 
 // Core model types.
 type (
@@ -184,287 +184,6 @@ func ExplainDetection(rel *Relation, cfd *CFD, form sqlgen.Form) (string, error)
 	return detect.Explain(rel, cfd, form)
 }
 
-// Repair (Section 6).
-type (
-	// RepairOptions configures the heuristic.
-	RepairOptions = repair.Options
-	// RepairResult is the outcome: repaired instance, change log, cost.
-	RepairResult = repair.Result
-	// RepairChange is one applied cell modification.
-	RepairChange = repair.Change
-	// RepairCostModel weights cell modifications.
-	RepairCostModel = repair.CostModel
-)
-
-// Repair computes a heuristic repair I′ of the instance with I′ ⊨ Σ
-// (certified in RepairResult.Satisfied).
-func Repair(rel *Relation, sigma []*CFD, opts RepairOptions) (*RepairResult, error) {
-	return repair.Repair(rel, sigma, opts)
-}
-
-// Incremental violation monitoring (the serving path; see
-// internal/incremental).
-type (
-	// Monitor maintains a live violation set under tuple-level changes.
-	// A durable Monitor (MonitorOptions.Durable) additionally offers
-	// ForceSnapshot, Close, Recovered and JournalStats.
-	Monitor = incremental.Monitor
-	// MonitorOptions tunes the monitor: lock-shard count, plus the
-	// durability knobs — Durable (the WAL directory; non-empty enables
-	// write-ahead journaling and snapshot/log recovery), Fsync (sync every
-	// record), GroupCommit (coalesce concurrent writers into shared
-	// commit windows: one WAL record and one fsync per window; see
-	// MonitorGroupCommit), SnapshotEvery (background snapshot cadence in
-	// records) and RetainSegments (closed segments kept for WAL
-	// shipping) — and Metrics, the observability registry the monitor
-	// instruments itself into (nil: a private registry; DefaultMetrics():
-	// the process-global one; DisabledMetrics(): off).
-	MonitorOptions = incremental.Options
-	// MonitorGroupCommit configures the group-commit window
-	// (MonitorOptions.GroupCommit): MaxDelay is the leader's grace
-	// period, MaxOps closes a window early. The zero value disables
-	// group commit; setting either field enables it.
-	MonitorGroupCommit = incremental.GroupCommit
-	// MonitorJournalStats describes a monitor's durable state (generation,
-	// records since last snapshot, recovery provenance).
-	MonitorJournalStats = incremental.JournalStats
-	// ChangeSet is an ordered vector of insert/delete/update ops applied
-	// as one batch via Monitor.Apply: validated as a unit, journaled as a
-	// single WAL record (one fsync per batch in durable mode, atomic
-	// under crash), and applied with one pass per affected lock shard.
-	// Build one with its Insert/Delete/Update methods or an Ops literal;
-	// after Apply, inserted keys are in ChangeOp.Key.
-	ChangeSet = incremental.ChangeSet
-	// ChangeOp is one mutation within a ChangeSet.
-	ChangeOp = incremental.Op
-	// ChangeOpKind discriminates ChangeOp mutations.
-	ChangeOpKind = incremental.OpKind
-	// ViolationDelta is the net violation change caused by one operation.
-	ViolationDelta = incremental.Delta
-	// ViolationChange is one added or retired violation within a delta.
-	ViolationChange = incremental.Change
-	// MonitorState is a point-in-time snapshot of the live violation set.
-	MonitorState = incremental.State
-	// MonitorViolations is one CFD's entry in a MonitorState.
-	MonitorViolations = incremental.CFDViolations
-	// MonitorViolationsView is an immutable published snapshot of the
-	// live violation set, maintained in O(Δ) from the apply path and
-	// swapped atomically — Monitor.View returns the current one (a
-	// pointer load at an unchanged version), Monitor.ViewVersion the
-	// version counter conditional reads compare against.
-	MonitorViolationsView = incremental.ViolationsView
-)
-
-// ChangeOp kinds (see ChangeOp.Kind).
-const (
-	OpInsert = incremental.OpInsert
-	OpDelete = incremental.OpDelete
-	OpUpdate = incremental.OpUpdate
-)
-
-// Observability (see the "Observability" section of the package
-// documentation and internal/obs). Every Monitor instruments its apply
-// pipeline, WAL and replication into a MetricsRegistry; layers on top
-// (discovery miners, cfdserve's HTTP middleware) register theirs into
-// the same registry, and WritePrometheus renders it all in Prometheus
-// text exposition format.
-type (
-	// MetricsRegistry collects counters, gauges and power-of-two-bucket
-	// histograms; render with its WritePrometheus method.
-	MetricsRegistry = obs.Registry
-	// MetricLabel is one name=value pair distinguishing series within a
-	// metric family.
-	MetricLabel = obs.Label
-	// MetricCounter is a monotonically increasing series handle.
-	MetricCounter = obs.Counter
-	// MetricGauge is an up/down series handle.
-	MetricGauge = obs.Gauge
-	// MetricHistogram is a latency/size distribution handle with
-	// p50/p95/p99 extraction (Quantile).
-	MetricHistogram = obs.Histogram
-)
-
-// NewMetricsRegistry returns an empty registry — pass it through
-// MonitorOptions.Metrics to collect one monitor's series in isolation.
-func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
-
-// DefaultMetrics returns the process-global registry daemons share, so
-// one /metrics scrape covers every component wired into it.
-func DefaultMetrics() *MetricsRegistry { return obs.Default() }
-
-// DisabledMetrics returns the sentinel registry that turns
-// instrumentation off for any component it is passed to.
-func DisabledMetrics() *MetricsRegistry { return obs.Disabled() }
-
-// WAL segment shipping and hot standby (see the "Replication" section of
-// the package documentation): a durable Monitor exposes its snapshot and
-// log segments as record-aligned chunks, and a MonitorFollower tails
-// them into its own WAL directory as a read-only replica that can be
-// promoted to a writable primary at the record boundary it has applied.
-// cfdserve serves the primary side as GET /wal/snapshot and
-// GET /wal/stream, and runs the follower side with -follow.
-type (
-	// MonitorFollower is a hot standby: a read-only Monitor tailing a
-	// primary's WAL stream. See FollowMonitor.
-	MonitorFollower = incremental.Follower
-	// FollowOptions configures a MonitorFollower: the chunk source, poll
-	// interval, chunk size, auto-promotion timeout, and resync.
-	FollowOptions = incremental.FollowOptions
-	// ReplicaStatus is a follower's replication position: applied
-	// cursor, primary position, lag, last error.
-	ReplicaStatus = incremental.ReplicaStatus
-	// WALShipChunk is one record-aligned slice of a primary's WAL
-	// stream, as served by Monitor.WALChunk.
-	WALShipChunk = incremental.ShipChunk
-	// WALChunkSource abstracts a primary's shipping surface (snapshot +
-	// chunks); implemented over HTTP by cfdserve's follow mode and
-	// in-process by NewMonitorChunkSource.
-	WALChunkSource = incremental.ChunkSource
-)
-
-// Replication errors.
-var (
-	// ErrMonitorReadOnly reports a mutation against a following monitor;
-	// promote it first (MonitorFollower.Promote, POST /promote).
-	ErrMonitorReadOnly = incremental.ErrReadOnly
-	// ErrMonitorFenced reports a write refused because the node is
-	// fenced: a higher-epoch history exists (a standby was promoted),
-	// so this node's appends can no longer be acknowledged. See
-	// Monitor.ApplyAt, Monitor.Fence and the internal/incremental
-	// fencing docs.
-	ErrMonitorFenced = incremental.ErrFenced
-	// ErrWALSegmentGone reports a shipping cursor below the primary's
-	// retention window (MonitorOptions.RetainSegments); the follower
-	// must be rebuilt with FollowOptions.Resync.
-	ErrWALSegmentGone = incremental.ErrSegmentGone
-	// ErrPrimaryResponded marks a WALChunkSource error where the primary
-	// was reached and answered (an HTTP error status): proof of
-	// liveness. Sources should wrap such errors with it so the follower
-	// retries without arming auto-promotion.
-	ErrPrimaryResponded = incremental.ErrPrimaryResponded
-)
-
-// FollowMonitor boots a hot-standby follower of the primary behind
-// FollowOptions.Source: local WAL state (opts.Durable, required) is
-// recovered and resumed when present, otherwise the primary's current
-// snapshot seeds the directory. The returned follower's Monitor serves
-// reads (violations, stats, discovery) and refuses writes until
-// Promote; drive replication with Run (long-lived tail loop) or Sync
-// (one catch-up pass).
-func FollowMonitor(ctx context.Context, sigma []*CFD, opts MonitorOptions, fo FollowOptions) (*MonitorFollower, error) {
-	return incremental.NewFollower(ctx, sigma, opts, fo)
-}
-
-// NewMonitorChunkSource exposes a local durable monitor's WAL stream as
-// a WALChunkSource — the in-process form of the shipping protocol, for
-// tests, benchmarks and same-process replicas.
-func NewMonitorChunkSource(m *Monitor) WALChunkSource {
-	return incremental.NewMonitorSource(m)
-}
-
-// Sharded cluster (see internal/cluster and cmd/cfdrouter): a
-// consistent-hash ring partitions the tuple-key space across shard
-// groups, and a ClusterRouter splits each ChangeSet by owning shard,
-// fans sub-batches out in parallel under epoch stamps, and merges the
-// per-shard violation deltas. Failover is fenced promotion per group.
-type (
-	// ClusterRouter fronts a sharded cluster; see its Apply and Promote.
-	ClusterRouter = cluster.Router
-	// ClusterRing is the consistent-hash ring (virtual nodes) behind a
-	// router's key partition.
-	ClusterRing = cluster.Ring
-	// ClusterBackend is one shard-group node as the router addresses it
-	// (in-process: ClusterLocalBackend; over HTTP: cfdrouter).
-	ClusterBackend = cluster.Backend
-	// ClusterGroupConfig declares one shard group (name, primary,
-	// promotion-ordered standbys).
-	ClusterGroupConfig = cluster.GroupConfig
-	// ClusterOptions tunes a router (virtual-node count, read-staleness
-	// bound MaxReadLag).
-	ClusterOptions = cluster.Options
-	// ClusterReadBackend is the read-side extension of ClusterBackend: a
-	// node that reports its replication position, making it eligible for
-	// ClusterReadAny fan-out (ClusterRouter.PickRead).
-	ClusterReadBackend = cluster.ReadBackend
-	// ClusterReadPosition is a node's replication position (epoch + WAL
-	// byte lag) as the read fan-out's staleness guard evaluates it.
-	ClusterReadPosition = cluster.ReadPosition
-	// ClusterReadConsistency selects which nodes of a shard group may
-	// serve a read: ClusterReadPrimary or ClusterReadAny.
-	ClusterReadConsistency = cluster.ReadConsistency
-	// ClusterLocalBackend adapts an in-process Monitor/MonitorFollower
-	// to ClusterBackend.
-	ClusterLocalBackend = cluster.LocalBackend
-	// ClusterApplyError names the shard groups whose sub-batches failed
-	// in one routed apply (per-shard atomicity; see ClusterRouter.Apply).
-	ClusterApplyError = cluster.ApplyError
-	// ClusterGroupStatus is one group's row in ClusterRouter.Status.
-	ClusterGroupStatus = cluster.GroupStatus
-)
-
-// Read-consistency modes for ClusterRouter.PickRead.
-const (
-	// ClusterReadPrimary serves the read from the group's current
-	// primary — the answer reflects every acknowledged write.
-	ClusterReadPrimary = cluster.ReadPrimary
-	// ClusterReadAny load-balances across the primary and every standby
-	// within the staleness bound (same epoch, lag ≤ MaxReadLag).
-	ClusterReadAny = cluster.ReadAny
-)
-
-// ParseClusterReadConsistency maps the wire form of a read-consistency
-// mode ("primary", "any"; "" defaults to primary) to its constant.
-func ParseClusterReadConsistency(s string) (ClusterReadConsistency, error) {
-	return cluster.ParseReadConsistency(s)
-}
-
-// NewClusterRouter builds a router over the given shard groups, reading
-// each primary's epoch token and key watermark.
-func NewClusterRouter(ctx context.Context, groups []ClusterGroupConfig, opts ClusterOptions) (*ClusterRouter, error) {
-	return cluster.NewRouter(ctx, groups, opts)
-}
-
-// NewClusterRing builds a standalone consistent-hash ring (vnodes 0
-// means the default per-member count).
-func NewClusterRing(vnodes int, members ...string) (*ClusterRing, error) {
-	return cluster.NewRing(vnodes, members...)
-}
-
-// NewMonitor builds an empty incremental monitor for the schema and Σ;
-// feed it with Monitor.Insert. With opts.Durable set, every mutation is
-// journaled to a write-ahead log before it is applied, and a directory
-// that already holds journaled state is recovered (latest snapshot + log
-// tail) instead of starting empty.
-func NewMonitor(schema *Schema, sigma []*CFD, opts MonitorOptions) (*Monitor, error) {
-	return incremental.New(schema, sigma, opts)
-}
-
-// LoadMonitor builds a monitor over an existing instance. Tuple keys are
-// assigned 0..Len()-1 in row order, so they coincide with the batch
-// detectors' row ids for the initial load.
-//
-// With opts.Durable set, LoadMonitor gains a recovery path: a directory
-// that already holds journaled state wins over rel (the snapshot and log
-// tail are replayed; the instance is ignored), while a fresh directory is
-// seeded from rel and immediately snapshotted so later boots never touch
-// the CSV again. Monitor.Recovered reports which path ran.
-func LoadMonitor(rel *Relation, sigma []*CFD, opts MonitorOptions) (*Monitor, error) {
-	return incremental.Load(rel, sigma, opts)
-}
-
-// ErrNoMonitorState reports that a WAL directory holds no snapshot to
-// boot from; OpenMonitor callers fall back to seeding via LoadMonitor.
-var ErrNoMonitorState = incremental.ErrNoState
-
-// OpenMonitor boots a durable monitor from its WAL directory alone
-// (opts.Durable): the schema is read from the latest snapshot, so the
-// original data source is neither needed nor parsed. Σ still comes from
-// the caller and is verified against the journaled state. Returns
-// ErrNoMonitorState when the directory has no snapshot yet.
-func OpenMonitor(sigma []*CFD, opts MonitorOptions) (*Monitor, error) {
-	return incremental.Open(sigma, opts)
-}
-
 // Workload generation (Section 5).
 type (
 	// TaxConfig are the data knobs SZ and NOISE.
@@ -493,66 +212,6 @@ func CFDTemplateByAttrs(n int) (CFDTemplate, error) { return gen.TemplateByAttrs
 
 // SemanticTaxCFDs returns the constraint set clean tax data satisfies.
 func SemanticTaxCFDs() []*CFD { return gen.SemanticCFDs() }
-
-// CFD discovery (the Section 7 future-work item). There is one mining
-// code path and it is streaming: a CFDMiner rides the Monitor's
-// group-statistics substrate and re-scores only the groups each change
-// touched; DiscoverCFDs is its bulk entry (seed a throwaway monitor,
-// read the initial mined set).
-type (
-	// DiscoveryConfig tunes the miner (MaxLHS, MinSupport, MinConfidence,
-	// MaxPatterns). Invalid tunables (MinConfidence > 1, negative
-	// MaxPatterns) are rejected with an error.
-	DiscoveryConfig = discovery.Config
-	// DiscoveredCFD is one mined constraint with support metadata.
-	DiscoveredCFD = discovery.Discovered
-	// CFDMiner is a streaming miner attached to a live Monitor (see
-	// WatchDiscovery): Refresh re-scores what changed and reports the
-	// mined set's appear/update/retire deltas; Mined materializes the
-	// current set.
-	CFDMiner = discovery.Miner
-	// MinedChange is one CFDMiner.Refresh outcome: an embedded FD that
-	// appeared in, changed within, or retired from the mined set.
-	MinedChange = discovery.MinedChange
-	// MinedChangeKind discriminates MinedChange outcomes.
-	MinedChangeKind = discovery.MinedChangeKind
-
-	// MonitorAttrPair is one tracked pair of the Monitor's generalized
-	// group-statistics substrate (Monitor.TrackGroups) — the layer the
-	// miner is built on, usable directly for custom aggregations.
-	MonitorAttrPair = incremental.AttrPair
-	// MonitorGroupStats is a live group-statistics subscription.
-	MonitorGroupStats = incremental.GroupStats
-	// MonitorGroupDelta is one drained group-delta event.
-	MonitorGroupDelta = incremental.GroupDelta
-)
-
-// MinedChange kinds (see MinedChange.Kind).
-const (
-	MinedAppeared = discovery.MinedAppeared
-	MinedUpdated  = discovery.MinedUpdated
-	MinedRetired  = discovery.MinedRetired
-)
-
-// DiscoverCFDs mines CFDs (global FDs and constant patterns) that hold on
-// the instance.
-func DiscoverCFDs(rel *Relation, cfg DiscoveryConfig) ([]DiscoveredCFD, error) {
-	return discovery.Discover(rel, cfg)
-}
-
-// DiscoveredToCFDs extracts the constraint list from mining results.
-func DiscoveredToCFDs(ds []DiscoveredCFD) []*CFD { return discovery.CFDs(ds) }
-
-// WatchDiscovery attaches a streaming CFD miner to a live monitor: the
-// current instance is scored once, and every subsequent ChangeSet's
-// group-deltas re-score only the X-groups it touched — call Refresh
-// after applying changes to fold them in and learn what appeared or
-// retired, Mined for the current set. Detach with CFDMiner.Close. The
-// cfdserve GET /discover endpoint and cfddetect -watch -mine are this
-// path as a service.
-func WatchDiscovery(m *Monitor, cfg DiscoveryConfig) (*CFDMiner, error) {
-	return discovery.NewMiner(m, cfg)
-}
 
 // Conditional inclusion dependencies (the second Section 7 constraint
 // class; see internal/cind).

@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/cluster"
+)
+
+// Sharded cluster (see internal/cluster and cmd/cfdrouter): a
+// consistent-hash ring partitions the tuple-key space across shard
+// groups, and a ClusterRouter splits each ChangeSet by owning shard,
+// fans sub-batches out in parallel under epoch stamps, and merges the
+// per-shard violation deltas. Failover is fenced promotion per group.
+type (
+	// ClusterRouter fronts a sharded cluster; see its Apply and Promote.
+	ClusterRouter = cluster.Router
+	// ClusterRing is the consistent-hash ring (virtual nodes) behind a
+	// router's key partition.
+	ClusterRing = cluster.Ring
+	// ClusterBackend is one shard-group node as the router addresses it
+	// (in-process: ClusterLocalBackend; over HTTP: cfdrouter).
+	ClusterBackend = cluster.Backend
+	// ClusterGroupConfig declares one shard group (name, primary,
+	// promotion-ordered standbys).
+	ClusterGroupConfig = cluster.GroupConfig
+	// ClusterOptions tunes a router (virtual-node count, read-staleness
+	// bound MaxReadLag).
+	ClusterOptions = cluster.Options
+	// ClusterReadBackend is the read-side extension of ClusterBackend: a
+	// node that reports its replication position, making it eligible for
+	// ClusterReadAny fan-out (ClusterRouter.PickRead).
+	ClusterReadBackend = cluster.ReadBackend
+	// ClusterReadPosition is a node's replication position (epoch + WAL
+	// byte lag) as the read fan-out's staleness guard evaluates it.
+	ClusterReadPosition = cluster.ReadPosition
+	// ClusterReadConsistency selects which nodes of a shard group may
+	// serve a read: ClusterReadPrimary or ClusterReadAny.
+	ClusterReadConsistency = cluster.ReadConsistency
+	// ClusterLocalBackend adapts an in-process Monitor/MonitorFollower
+	// to ClusterBackend.
+	ClusterLocalBackend = cluster.LocalBackend
+	// ClusterApplyError names the shard groups whose sub-batches failed
+	// in one routed apply (per-shard atomicity; see ClusterRouter.Apply).
+	ClusterApplyError = cluster.ApplyError
+	// ClusterGroupStatus is one group's row in ClusterRouter.Status.
+	ClusterGroupStatus = cluster.GroupStatus
+)
+
+// Read-consistency modes for ClusterRouter.PickRead.
+const (
+	// ClusterReadPrimary serves the read from the group's current
+	// primary — the answer reflects every acknowledged write.
+	ClusterReadPrimary = cluster.ReadPrimary
+	// ClusterReadAny load-balances across the primary and every standby
+	// within the staleness bound (same epoch, lag ≤ MaxReadLag).
+	ClusterReadAny = cluster.ReadAny
+)
+
+// ParseClusterReadConsistency maps the wire form of a read-consistency
+// mode ("primary", "any"; "" defaults to primary) to its constant.
+func ParseClusterReadConsistency(s string) (ClusterReadConsistency, error) {
+	return cluster.ParseReadConsistency(s)
+}
+
+// NewClusterRouter builds a router over the given shard groups, reading
+// each primary's epoch token and key watermark.
+func NewClusterRouter(ctx context.Context, groups []ClusterGroupConfig, opts ClusterOptions) (*ClusterRouter, error) {
+	return cluster.NewRouter(ctx, groups, opts)
+}
+
+// NewClusterRing builds a standalone consistent-hash ring (vnodes 0
+// means the default per-member count).
+func NewClusterRing(vnodes int, members ...string) (*ClusterRing, error) {
+	return cluster.NewRing(vnodes, members...)
+}

@@ -31,7 +31,13 @@
 // consistent-hash router fanning keyed single-op updates across 1/2/4
 // independent fsynced shard groups under 16 closed-loop writers, group
 // commit off so the per-journal fsync is the bottleneck being sharded;
-// acceptance is ≥3× the single-shard op rate at 4 groups).
+// acceptance is ≥3× the single-shard op rate at 4 groups); e15
+// measures read-path scaling (violation reads against the incremental
+// view vs a per-request rescan, snapshot-isolated pagination, and
+// standby fan-out); e16 measures live repair (re-planning the
+// cost-ranked suggestion set after a 1K-op ChangeSet vs one full batch
+// repair of the instance; acceptance is a ≥10× speedup at 100K
+// tuples).
 //
 // A second mode, -serve URL, turns cfdbench into a serving driver: N
 // concurrent HTTP clients fire at a live cfdserve or cfdrouter for
@@ -70,7 +76,7 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast run")
-		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11,e12,e13,e14,e15)")
+		only    = flag.String("only", "", "comma-separated experiment ids (9a,9b,9c,9d,9e,9f,merge,e9,e10,e11,e12,e13,e14,e15,e16)")
 		jsonOut = flag.Bool("json", false, "emit results as a JSON array instead of tables")
 		repeat  = flag.Int("repeat", 1, "measure each series this many times and keep the fastest")
 
@@ -146,6 +152,9 @@ func main() {
 	}
 	if want("e15") {
 		b.e15()
+	}
+	if want("e16") {
+		b.e16()
 	}
 	if b.jsonOut {
 		enc := json.NewEncoder(os.Stdout)

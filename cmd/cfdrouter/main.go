@@ -13,17 +13,21 @@
 //
 // Every mutation the router sends is stamped with the epoch it believes
 // current for that group (X-Cfd-Epoch), so a deposed primary refuses
-// the write instead of forking history; a 409 with code "fenced" makes
-// the router re-query the node's epoch and retry once, which heals the
-// case where an operator promoted a standby behind a stable primary
-// address. POST /promote fails a group over to its first standby and
-// re-points writes with no re-seeding: the standby already holds the
-// replicated state.
+// the write instead of forking history; a 403 whose envelope carries
+// code "fenced" makes the router re-query the node's epoch and retry
+// once, which heals the case where an operator promoted a standby
+// behind a stable primary address. POST /promote fails a group over to
+// its first standby and re-points writes with no re-seeding: the
+// standby already holds the replicated state.
 //
-// Endpoints: /insert /delete /update /apply (the cfdserve mutation
-// shapes, minus the choice of node), /violations (cluster-wide total),
-// /stats (router view; ?shards=1 fans out per-group node stats),
-// /ring (ownership probe), /promote, /metrics.
+// Endpoints live under /v1 with deprecated unversioned aliases (kept
+// one release; see docs/operations.md): /v1/insert /v1/delete
+// /v1/update /v1/apply (the cfdserve mutation shapes, minus the choice
+// of node), /v1/violations (cluster-wide total), /v1/repairs (per-group
+// fan-out of the shards' live repair suggestions; /v1 only), /v1/stats
+// (router view; ?shards=1 fans out per-group node stats), /v1/ring
+// (ownership probe), /v1/promote, /v1/metrics. Failures use the same
+// error envelope as cfdserve: {"error": {"code", "message", ...}}.
 //
 // Reads fan out: /violations and /stats?shards=1 accept
 // ?consistency=primary|any. "primary" (the default) serves every
@@ -51,6 +55,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
@@ -141,9 +146,9 @@ func fromWireDelta(w wireDelta) (*repro.ViolationDelta, error) {
 // --- httpBackend: one shard-group node over the cfdserve wire ---
 
 // httpBackend adapts a cfdserve node to the router's ClusterBackend:
-// mutations go through POST /apply stamped with X-Cfd-Epoch, the
-// epoch and key watermark come from GET /stats, failover runs over
-// POST /promote and POST /fence. A 409 whose body carries the
+// mutations go through POST /v1/apply stamped with X-Cfd-Epoch, the
+// epoch and key watermark come from GET /v1/stats, failover runs over
+// POST /v1/promote and POST /v1/fence. An error envelope carrying the
 // machine-readable code "fenced" (or "read_only") is mapped back onto
 // the sentinel error the router dispatches on.
 type httpBackend struct {
@@ -183,21 +188,37 @@ func (b *httpBackend) call(ctx context.Context, method, path string, body any, e
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
-			Code  string `json:"code"`
+		// The uniform envelope {"error": {"code", "message"}}; a pre-/v1
+		// node's flat {"error": "...", "code": "..."} is still understood.
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		switch e.Code {
+		ecode, emsg := "", ""
+		if err := json.Unmarshal(raw, &env); err == nil {
+			ecode, emsg = env.Error.Code, env.Error.Message
+		} else {
+			var flat struct {
+				Error string `json:"error"`
+				Code  string `json:"code"`
+			}
+			if json.Unmarshal(raw, &flat) == nil {
+				ecode, emsg = flat.Code, flat.Error
+			}
+		}
+		switch ecode {
 		case "fenced":
 			return fmt.Errorf("shard %s: %w", b.base, repro.ErrMonitorFenced)
 		case "read_only":
 			return fmt.Errorf("shard %s: %w", b.base, repro.ErrMonitorReadOnly)
 		}
-		if e.Error == "" {
-			e.Error = fmt.Sprintf("status %d", resp.StatusCode)
+		if emsg == "" {
+			emsg = fmt.Sprintf("status %d", resp.StatusCode)
 		}
-		return fmt.Errorf("shard %s%s: %s", b.base, path, e.Error)
+		return fmt.Errorf("shard %s%s: %s", b.base, path, emsg)
 	}
 	if out == nil {
 		return nil
@@ -226,7 +247,7 @@ func (b *httpBackend) Apply(ctx context.Context, epoch uint64, cs *repro.ChangeS
 	var res struct {
 		Delta wireDelta `json:"delta"`
 	}
-	if err := b.call(ctx, http.MethodPost, "/apply", map[string]any{"ops": ops}, &epoch, &res); err != nil {
+	if err := b.call(ctx, http.MethodPost, "/v1/apply", map[string]any{"ops": ops}, &epoch, &res); err != nil {
 		return nil, err
 	}
 	return fromWireDelta(res.Delta)
@@ -237,7 +258,7 @@ func (b *httpBackend) stats(ctx context.Context) (epoch uint64, nextKey int64, e
 		Epoch   uint64 `json:"epoch"`
 		NextKey int64  `json:"next_key"`
 	}
-	if err := b.call(ctx, http.MethodGet, "/stats", nil, nil, &st); err != nil {
+	if err := b.call(ctx, http.MethodGet, "/v1/stats", nil, nil, &st); err != nil {
 		return 0, 0, err
 	}
 	return st.Epoch, st.NextKey, nil
@@ -257,14 +278,14 @@ func (b *httpBackend) Promote(ctx context.Context) (uint64, error) {
 	var res struct {
 		Epoch uint64 `json:"epoch"`
 	}
-	if err := b.call(ctx, http.MethodPost, "/promote", nil, nil, &res); err != nil {
+	if err := b.call(ctx, http.MethodPost, "/v1/promote", nil, nil, &res); err != nil {
 		return 0, err
 	}
 	return res.Epoch, nil
 }
 
 func (b *httpBackend) Fence(ctx context.Context, epoch uint64) error {
-	return b.call(ctx, http.MethodPost, "/fence", map[string]any{"epoch": epoch}, nil, nil)
+	return b.call(ctx, http.MethodPost, "/v1/fence", map[string]any{"epoch": epoch}, nil, nil)
 }
 
 // violationTotal reads the node's live violation count, for the
@@ -273,10 +294,29 @@ func (b *httpBackend) violationTotal(ctx context.Context) (int, error) {
 	var res struct {
 		Total int `json:"total"`
 	}
-	if err := b.call(ctx, http.MethodGet, "/violations", nil, nil, &res); err != nil {
+	if err := b.call(ctx, http.MethodGet, "/v1/violations", nil, nil, &res); err != nil {
 		return 0, err
 	}
 	return res.Total, nil
+}
+
+// shardRepairs is one node's GET /v1/repairs response as the router
+// re-serves it: the suggestions pass through untouched.
+type shardRepairs struct {
+	Suggestions []json.RawMessage `json:"suggestions"`
+	Total       int               `json:"total"`
+	Version     uint64            `json:"version"`
+}
+
+// repairs reads the node's live repair suggestions, for the router's
+// per-group fan-out of GET /v1/repairs. query carries the forwarded
+// trust_threshold/limit parameters ("" for none).
+func (b *httpBackend) repairs(ctx context.Context, query string) (shardRepairs, error) {
+	var res shardRepairs
+	if err := b.call(ctx, http.MethodGet, "/v1/repairs"+query, nil, nil, &res); err != nil {
+		return shardRepairs{}, err
+	}
+	return res, nil
 }
 
 // ReadPosition implements the read fan-out's staleness probe over the
@@ -291,7 +331,7 @@ func (b *httpBackend) ReadPosition(ctx context.Context) (repro.ClusterReadPositi
 			LagBytes  int64 `json:"lag_bytes"`
 		} `json:"replica"`
 	}
-	if err := b.call(ctx, http.MethodGet, "/stats", nil, nil, &st); err != nil {
+	if err := b.call(ctx, http.MethodGet, "/v1/stats", nil, nil, &st); err != nil {
 		return repro.ClusterReadPosition{}, err
 	}
 	pos := repro.ClusterReadPosition{Epoch: st.Epoch}
@@ -302,6 +342,48 @@ func (b *httpBackend) ReadPosition(ctx context.Context) (repro.ClusterReadPositi
 }
 
 // --- the daemon ---
+
+// apiError is the uniform machine-readable error envelope shared with
+// cfdserve: every non-2xx response is {"error": {"code", "message"}}.
+type apiError struct {
+	Code    string  `json:"code"`
+	Message string  `json:"message"`
+	Epoch   *uint64 `json:"epoch,omitempty"`
+}
+
+// codeFor maps an HTTP status to its envelope code; statuses with a
+// more specific cause (fenced, stale_cursor) are stamped at the call
+// site instead.
+func codeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusForbidden:
+		return "fenced"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusGone:
+		return "stale_cursor"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	default:
+		return "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]apiError{"error": {Code: codeFor(status), Message: err.Error()}})
+}
 
 type routerServer struct {
 	rt     *repro.ClusterRouter
@@ -327,10 +409,19 @@ func (s *routerServer) handler() http.Handler {
 			dur.ObserveSince(start)
 		})
 	}
+	// route registers the versioned spelling and its deprecated
+	// unversioned alias (kept one release; see docs/operations.md).
+	// Each spelling gets its own metric series, so alias traffic stays
+	// visible during the migration.
+	route := func(path string, h http.HandlerFunc) {
+		handle("/v1"+path, h)
+		handle(path, h)
+	}
 	routedOps := reg.Counter("cfdrouter_routed_ops_total", "Mutation ops routed to shard groups.")
 	shardFails := reg.Counter("cfdrouter_shard_failures_total", "Sub-batches refused or failed by a shard group.")
 	readViolDur := reg.DurationHistogram("cfdrouter_read_seconds", "Fan-out read latency against shard nodes, by endpoint.", obs.L("endpoint", "/violations"))
 	readStatsDur := reg.DurationHistogram("cfdrouter_read_seconds", "Fan-out read latency against shard nodes, by endpoint.", obs.L("endpoint", "/stats"))
+	readRepairDur := reg.DurationHistogram("cfdrouter_read_seconds", "Fan-out read latency against shard nodes, by endpoint.", obs.L("endpoint", "/repairs"))
 	readErrs := reg.Counter("cfdrouter_read_errors_total", "Fan-out reads against shard nodes that failed.")
 	// pickRead resolves one group's read target honoring ?consistency=.
 	pickRead := func(ctx context.Context, name string, mode repro.ClusterReadConsistency) (*httpBackend, error) {
@@ -343,14 +434,6 @@ func (s *routerServer) handler() http.Handler {
 			return nil, fmt.Errorf("group %s: read target is not an HTTP backend", name)
 		}
 		return hb, nil
-	}
-	writeJSON := func(w http.ResponseWriter, code int, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(code)
-		_ = json.NewEncoder(w).Encode(v)
-	}
-	writeErr := func(w http.ResponseWriter, code int, err error) {
-		writeJSON(w, code, map[string]string{"error": err.Error()})
 	}
 	readBody := func(w http.ResponseWriter, r *http.Request, v any) bool {
 		if r.Method != http.MethodPost {
@@ -375,7 +458,10 @@ func (s *routerServer) handler() http.Handler {
 			for name, ferr := range ae.Failed {
 				failed[name] = ferr.Error()
 			}
-			body := map[string]any{"error": err.Error(), "failed": failed}
+			body := map[string]any{
+				"error":  apiError{Code: codeFor(http.StatusBadGateway), Message: err.Error()},
+				"failed": failed,
+			}
 			if delta != nil {
 				body["delta"] = toWireDelta(delta)
 			}
@@ -394,7 +480,7 @@ func (s *routerServer) handler() http.Handler {
 		return delta, true
 	}
 
-	handle("/insert", func(w http.ResponseWriter, r *http.Request) {
+	route("/insert", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Values []string `json:"values"`
 			Key    *int64   `json:"key"`
@@ -416,7 +502,7 @@ func (s *routerServer) handler() http.Handler {
 			"key": cs.Ops[0].Key, "shard": s.rt.Owner(cs.Ops[0].Key), "delta": toWireDelta(delta),
 		})
 	})
-	handle("/delete", func(w http.ResponseWriter, r *http.Request) {
+	route("/delete", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Key int64 `json:"key"`
 		}
@@ -429,7 +515,7 @@ func (s *routerServer) handler() http.Handler {
 			writeJSON(w, http.StatusOK, map[string]any{"delta": toWireDelta(delta)})
 		}
 	})
-	handle("/update", func(w http.ResponseWriter, r *http.Request) {
+	route("/update", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Key   int64  `json:"key"`
 			Attr  string `json:"attr"`
@@ -444,7 +530,7 @@ func (s *routerServer) handler() http.Handler {
 			writeJSON(w, http.StatusOK, map[string]any{"delta": toWireDelta(delta)})
 		}
 	})
-	handle("/apply", func(w http.ResponseWriter, r *http.Request) {
+	route("/apply", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Ops []wireOp `json:"ops"`
 		}
@@ -495,7 +581,7 @@ func (s *routerServer) handler() http.Handler {
 	// Totals are disjoint because each group owns its key range. With
 	// ?consistency=any the per-group read may land on a fresh standby
 	// instead of the primary.
-	handle("/violations", func(w http.ResponseWriter, r *http.Request) {
+	route("/violations", func(w http.ResponseWriter, r *http.Request) {
 		mode, err := repro.ParseClusterReadConsistency(r.URL.Query().Get("consistency"))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -522,7 +608,63 @@ func (s *routerServer) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"groups": groups, "total": total, "consistency": mode.String()})
 	})
-	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
+	// Cluster-wide live repair suggestions: one GET /v1/repairs per
+	// group, merged under per-group labels (?consistency= applies, and
+	// ?trust_threshold=/?limit= are forwarded to every node). The merged
+	// view is deliberately unpaginated — suggestion IDs and versions are
+	// per-node, so each group's list arrives whole (or ?limit-truncated)
+	// and accepted IDs must be applied against the owning group's node,
+	// named in its "node" field. New in /v1; no unversioned alias.
+	handle("/v1/repairs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
+		mode, err := repro.ParseClusterReadConsistency(r.URL.Query().Get("consistency"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		fwd := url.Values{}
+		for _, k := range []string{"trust_threshold", "limit"} {
+			if v := r.URL.Query().Get(k); v != "" {
+				fwd.Set(k, v)
+			}
+		}
+		query := ""
+		if len(fwd) > 0 {
+			query = "?" + fwd.Encode()
+		}
+		groups := make(map[string]any)
+		total := 0
+		for _, name := range s.rt.Groups() {
+			hb, err := pickRead(r.Context(), name, mode)
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			start := time.Now()
+			res, err := hb.repairs(r.Context(), query)
+			readRepairDur.ObserveSince(start)
+			if err != nil {
+				readErrs.Inc()
+				writeErr(w, http.StatusBadGateway, fmt.Errorf("group %s: %w", name, err))
+				return
+			}
+			if res.Suggestions == nil {
+				res.Suggestions = []json.RawMessage{}
+			}
+			groups[name] = map[string]any{
+				"suggestions": res.Suggestions,
+				"total":       res.Total,
+				"version":     res.Version,
+				"node":        hb.base,
+			}
+			total += res.Total
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"groups": groups, "total": total, "consistency": mode.String()})
+	})
+	route("/stats", func(w http.ResponseWriter, r *http.Request) {
 		out := map[string]any{
 			"groups":         s.rt.Status(),
 			"next_key":       s.rt.NextKey(),
@@ -546,7 +688,7 @@ func (s *routerServer) handler() http.Handler {
 				}
 				start := time.Now()
 				var raw map[string]any
-				err = hb.call(r.Context(), http.MethodGet, "/stats", nil, nil, &raw)
+				err = hb.call(r.Context(), http.MethodGet, "/v1/stats", nil, nil, &raw)
 				readStatsDur.ObserveSince(start)
 				if err != nil {
 					readErrs.Inc()
@@ -561,7 +703,7 @@ func (s *routerServer) handler() http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 	// Ownership probe: which group would serve a key.
-	handle("/ring", func(w http.ResponseWriter, r *http.Request) {
+	route("/ring", func(w http.ResponseWriter, r *http.Request) {
 		if kq := r.URL.Query().Get("key"); kq != "" {
 			key, err := strconv.ParseInt(kq, 10, 64)
 			if err != nil {
@@ -574,7 +716,7 @@ func (s *routerServer) handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"members": s.rt.Groups(), "vnodes": s.vnodes})
 	})
 	// Failover: promote the group's first standby and re-point writes.
-	handle("/promote", func(w http.ResponseWriter, r *http.Request) {
+	route("/promote", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Group string `json:"group"`
 		}
@@ -588,7 +730,7 @@ func (s *routerServer) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"group": req.Group, "epoch": epoch, "promoted": true})
 	})
-	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	route("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 			return

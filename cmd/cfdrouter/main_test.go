@@ -17,10 +17,10 @@ import (
 )
 
 // The daemon is tested against stub shard nodes that speak the cfdserve
-// wire subset the router programs against (/apply with X-Cfd-Epoch,
-// /stats, /violations, /promote, /fence), each backed by a real
-// monitor. The cfdserve side of the same contract is pinned by its own
-// fencing wire test.
+// wire subset the router programs against (/v1/apply with X-Cfd-Epoch,
+// /v1/stats, /v1/violations, /v1/repairs, /v1/promote, /v1/fence), each
+// backed by a real monitor. The cfdserve side of the same contract is
+// pinned by its own fencing wire test.
 
 func custFixture(t *testing.T) (*repro.Schema, []*repro.CFD) {
 	t.Helper()
@@ -59,12 +59,21 @@ func (n *stubNode) mon() *repro.Monitor {
 
 func (n *stubNode) handler() http.Handler {
 	mux := http.NewServeMux()
+	// Like cfdserve, every endpoint lives under /v1 with an unversioned
+	// alias.
+	handle := func(path string, h http.HandlerFunc) {
+		mux.HandleFunc("/v1"+path, h)
+		mux.HandleFunc(path, h)
+	}
 	writeJSON := func(w http.ResponseWriter, code int, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
 		_ = json.NewEncoder(w).Encode(v)
 	}
-	mux.HandleFunc("/apply", func(w http.ResponseWriter, r *http.Request) {
+	envelope := func(code, msg string) map[string]any {
+		return map[string]any{"error": map[string]string{"code": code, "message": msg}}
+	}
+	handle("/apply", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Ops []wireOp `json:"ops"`
 		}
@@ -101,16 +110,16 @@ func (n *stubNode) handler() http.Handler {
 		}
 		switch {
 		case errors.Is(err, repro.ErrMonitorFenced):
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error(), "code": "fenced"})
+			writeJSON(w, http.StatusForbidden, envelope("fenced", err.Error()))
 		case errors.Is(err, repro.ErrMonitorReadOnly):
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error(), "code": "read_only"})
+			writeJSON(w, http.StatusConflict, envelope("read_only", err.Error()))
 		case err != nil:
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			writeJSON(w, http.StatusBadRequest, envelope("bad_request", err.Error()))
 		default:
 			writeJSON(w, http.StatusOK, map[string]any{"delta": toWireDelta(delta)})
 		}
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		stats := map[string]any{
 			"epoch": n.mon().Epoch(), "next_key": n.mon().NextKey(),
 		}
@@ -125,29 +134,46 @@ func (n *stubNode) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, stats)
 	})
-	mux.HandleFunc("/violations", func(w http.ResponseWriter, r *http.Request) {
+	handle("/violations", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"total": n.mon().ViolationCount()})
 	})
-	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+	// The cfdserve GET /v1/repairs shape, minus ETag/cursor machinery:
+	// a throwaway suggester over the node's live violation set.
+	handle("/repairs", func(w http.ResponseWriter, r *http.Request) {
+		sg, err := repro.WatchRepairs(n.mon(), repro.SuggestOptions{})
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, envelope("bad_request", err.Error()))
+			return
+		}
+		defer sg.Close()
+		sg.Refresh()
+		sugs := sg.Suggestions()
+		out := make([]map[string]any, 0, len(sugs))
+		for _, s := range sugs {
+			out = append(out, map[string]any{"id": s.ID, "kind": s.Kind.String(), "cost": s.Cost})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"suggestions": out, "total": len(sugs), "version": sg.Version()})
+	})
+	handle("/promote", func(w http.ResponseWriter, r *http.Request) {
 		n.mu.Lock()
 		f := n.f
 		n.mu.Unlock()
 		if f == nil {
-			writeJSON(w, http.StatusConflict, map[string]string{"error": "not a follower"})
+			writeJSON(w, http.StatusConflict, envelope("conflict", "not a follower"))
 			return
 		}
 		if err := f.Promote(); err != nil {
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			writeJSON(w, http.StatusConflict, envelope("conflict", err.Error()))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "epoch": f.Monitor().Epoch()})
 	})
-	mux.HandleFunc("/fence", func(w http.ResponseWriter, r *http.Request) {
+	handle("/fence", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Epoch uint64 `json:"epoch"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			writeJSON(w, http.StatusBadRequest, envelope("bad_request", err.Error()))
 			return
 		}
 		n.mon().Fence(req.Epoch)
@@ -255,6 +281,26 @@ func TestDaemonRoutesAcrossShards(t *testing.T) {
 	}
 	if code != http.StatusOK || fmt.Sprint(res["total"]) != fmt.Sprint(wantTotal) || wantTotal == 0 {
 		t.Fatalf("violations: %d %v, nodes hold %d", code, res, wantTotal)
+	}
+
+	// The live-repair fan-out merges each group's suggestions under its
+	// name; the violating tuple's owner contributes at least one.
+	code, res = getBody(t, url+"/v1/repairs")
+	if code != http.StatusOK || res["total"].(float64) == 0 {
+		t.Fatalf("repairs: %d %v, want a non-zero total", code, res)
+	}
+	rg := res["groups"].(map[string]any)
+	if len(rg) != 3 {
+		t.Fatalf("repairs groups = %v", rg)
+	}
+	owner := srv.rt.Owner(badKey)
+	og := rg[owner].(map[string]any)
+	if sugs := og["suggestions"].([]any); len(sugs) == 0 || og["node"] == "" {
+		t.Fatalf("owner group %s repairs = %v", owner, og)
+	}
+	// The alias-free endpoint: the unversioned spelling 404s.
+	if code, _ = getBody(t, url+"/repairs"); code != http.StatusNotFound {
+		t.Fatalf("unversioned /repairs: %d, want 404", code)
 	}
 
 	// A routed update heals it; a routed delete removes the tuple from

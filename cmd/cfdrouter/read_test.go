@@ -22,7 +22,7 @@ type countingNode struct {
 func (c *countingNode) handler() http.Handler {
 	inner := c.node.handler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/violations" {
+		if r.URL.Path == "/v1/violations" || r.URL.Path == "/violations" {
 			c.reads.Add(1)
 		}
 		inner.ServeHTTP(w, r)

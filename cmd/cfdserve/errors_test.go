@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+)
+
+// TestErrorEnvelope pins the uniform error surface: every non-2xx
+// response from cfdserve is {"error": {"code", "message"}} with the
+// documented code for its status, across the versioned endpoints and
+// their legacy aliases, and across node roles (primary, read-only
+// standby, fenced).
+func TestErrorEnvelope(t *testing.T) {
+	// Three nodes, one per role. The standby follows the primary
+	// in-process; the fenced node is latched by an epoch-1 stamp.
+	data, cfds := writeInputs(t)
+	psrv, err := newServer(data, cfds, repro.MonitorOptions{Durable: t.TempDir(), RetainSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psrv.close()
+	pts := httptest.NewServer(psrv.handler())
+	defer pts.Close()
+
+	sigma, err := repro.ParseCFDSet(figure2CFDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := repro.FollowMonitor(context.Background(), sigma, repro.MonitorOptions{Durable: t.TempDir()},
+		repro.FollowOptions{Source: repro.NewMonitorChunkSource(psrv.mon())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := &server{}
+	fsrv.setReplica(f.Monitor(), f)
+	fts := httptest.NewServer(fsrv.handler())
+	defer fts.Close()
+	defer fsrv.closeReplica()
+
+	xsrv := newTestServer(t)
+	xsrv.mon().Fence(1)
+	xts := httptest.NewServer(xsrv.handler())
+	defer xts.Close()
+
+	do := func(base, method, path, body string) (int, map[string]any) {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&v)
+		return resp.StatusCode, v
+	}
+
+	tests := []struct {
+		name       string
+		base       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"method not allowed", pts.URL, http.MethodGet, "/v1/insert", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"bad JSON body", pts.URL, http.MethodPost, "/v1/insert", "{", http.StatusBadRequest, "bad_request"},
+		{"bad JSON on legacy alias", pts.URL, http.MethodPost, "/insert", "{", http.StatusBadRequest, "bad_request"},
+		{"delete unknown key", pts.URL, http.MethodPost, "/v1/delete", `{"key":99999}`, http.StatusNotFound, "not_found"},
+		{"violations unknown key", pts.URL, http.MethodGet, "/v1/violations?key=99999", "", http.StatusNotFound, "not_found"},
+		{"violations bad cursor", pts.URL, http.MethodGet, "/v1/violations?cursor=zap", "", http.StatusBadRequest, "bad_request"},
+		{"violations stale cursor", pts.URL, http.MethodGet, "/v1/violations?cursor=v999:0", "", http.StatusGone, "stale_cursor"},
+		{"repairs method not allowed", pts.URL, http.MethodPost, "/v1/repairs", "{}", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"repairs bad trust threshold", pts.URL, http.MethodGet, "/v1/repairs?trust_threshold=2", "", http.StatusBadRequest, "bad_request"},
+		{"repairs bad cursor", pts.URL, http.MethodGet, "/v1/repairs?cursor=zap", "", http.StatusBadRequest, "bad_request"},
+		{"repairs stale cursor", pts.URL, http.MethodGet, "/v1/repairs?cursor=r999:0", "", http.StatusGone, "stale_cursor"},
+		{"apply unknown suggestion", pts.URL, http.MethodPost, "/v1/repairs/apply", `{"ids":["zap"]}`, http.StatusNotFound, "not_found"},
+		{"apply no ids", pts.URL, http.MethodPost, "/v1/repairs/apply", `{}`, http.StatusBadRequest, "bad_request"},
+		{"promote a primary", pts.URL, http.MethodPost, "/v1/promote", "", http.StatusConflict, "conflict"},
+		{"standby refuses writes", fts.URL, http.MethodPost, "/v1/insert", `{"values":["01","908","1111111","Eve","Tree Ave.","MH","07974"]}`, http.StatusConflict, "read_only"},
+		{"standby refuses snapshot", fts.URL, http.MethodPost, "/v1/snapshot", "", http.StatusConflict, "conflict"},
+		{"fenced node refuses writes", xts.URL, http.MethodPost, "/v1/insert", `{"values":["01","908","1111111","Eve","Tree Ave.","MH","07974"]}`, http.StatusForbidden, "fenced"},
+		{"fenced node legacy alias", xts.URL, http.MethodPost, "/update", `{"key":0,"attr":"CT","value":"MH"}`, http.StatusForbidden, "fenced"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			code, res := do(tc.base, tc.method, tc.path, tc.body)
+			if code != tc.wantStatus {
+				t.Fatalf("status = %d %v, want %d", code, res, tc.wantStatus)
+			}
+			env, ok := res["error"].(map[string]any)
+			if !ok {
+				t.Fatalf("no error envelope: %v", res)
+			}
+			if env["code"] != tc.wantCode {
+				t.Fatalf("code = %v, want %q", env["code"], tc.wantCode)
+			}
+			if msg, _ := env["message"].(string); msg == "" {
+				t.Fatalf("empty message: %v", env)
+			}
+			// Only the fenced refusal carries an epoch, so a router can
+			// re-sync its view of the group without a second round trip.
+			if _, hasEpoch := env["epoch"]; hasEpoch != (tc.wantCode == "fenced") {
+				t.Fatalf("epoch presence = %v for code %v: %v", hasEpoch, tc.wantCode, env)
+			}
+		})
+	}
+}

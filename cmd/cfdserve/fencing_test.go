@@ -79,14 +79,19 @@ func TestFencingWire(t *testing.T) {
 		t.Fatalf("keyless delete: %d %v, want 400", code, res)
 	}
 
-	// A write stamped AHEAD of the node proves it was deposed: refused,
+	// A write stamped AHEAD of the node proves it was deposed: refused
+	// with the envelope's "fenced" code and the node's current epoch,
 	// and the stamp itself fences the node against all further writes.
-	code, res = postJSONEpoch(t, ts.URL+"/insert", row, "7")
-	if code != http.StatusConflict || res["code"] != "fenced" {
-		t.Fatalf("epoch-7 insert: %d %v, want 409 code=fenced", code, res)
+	fencedEnv := func(res map[string]any) map[string]any {
+		env, _ := res["error"].(map[string]any)
+		return env
 	}
-	if code, res = postJSON(t, ts.URL+"/insert", row); code != http.StatusConflict || res["code"] != "fenced" {
-		t.Fatalf("unstamped insert on fenced node: %d %v, want 409 code=fenced", code, res)
+	code, res = postJSONEpoch(t, ts.URL+"/insert", row, "7")
+	if env := fencedEnv(res); code != http.StatusForbidden || env["code"] != "fenced" || fmt.Sprint(env["epoch"]) != "0" {
+		t.Fatalf("epoch-7 insert: %d %v, want 403 code=fenced epoch=0", code, res)
+	}
+	if code, res = postJSON(t, ts.URL+"/insert", row); code != http.StatusForbidden || fencedEnv(res)["code"] != "fenced" {
+		t.Fatalf("unstamped insert on fenced node: %d %v, want 403 code=fenced", code, res)
 	}
 	if _, st = getJSONCode(t, ts.URL+"/stats"); st["fenced"] != true {
 		t.Fatalf("stats after fencing stamp = %v", st["fenced"])

@@ -60,33 +60,60 @@
 //	snapshot                force a snapshot (durable mode)
 //	quit                    exit
 //
-// HTTP API (JSON):
+// HTTP API (JSON). Every endpoint lives under the /v1 prefix; the
+// unversioned spellings below it are deprecated aliases kept for one
+// release (see the versioning policy in docs/operations.md). New
+// surface — the repair endpoints — exists under /v1 only.
 //
-//	POST /insert  {"values": ["01","908",...]}       → {"key": K, "delta": {...}}
-//	POST /delete  {"key": 3}                         → {"delta": {...}}
-//	POST /update  {"key": 3, "attr": "CT", "value": "NYC"}
-//	POST /apply   {"ops": [{"op":"insert","values":[...]},
+//	POST /v1/insert  {"values": ["01","908",...]}    → {"key": K, "delta": {...}}
+//	POST /v1/delete  {"key": 3}                      → {"delta": {...}}
+//	POST /v1/update  {"key": 3, "attr": "CT", "value": "NYC"}
+//	POST /v1/apply   {"ops": [{"op":"insert","values":[...]},
 //	               {"op":"insert","key":7,"values":[...]},   (keyed: router-owned key spaces)
 //	               {"op":"update","key":3,"attr":"CT","value":"NYC"},
 //	               {"op":"delete","key":4}, ...]}    → {"keys": [K,...], "delta": {...}}
-//	POST /snapshot                                   → {"generation": N} (admin; durable mode)
-//	POST /promote                                    → {"promoted": true, "epoch": E, ...} (follow mode)
-//	POST /fence   {"epoch": E}                       → {"epoch": ..., "fenced": true/false} (admin)
-//	GET  /violations                                 → the live set
-//	GET  /stats                                      → {"tuples":N,...,"epoch":E,"role":"primary",...}
-//	GET  /metrics                                    → Prometheus text exposition of the node's metrics
-//	GET  /discover                                   → the streaming miner's current CFD set
-//	GET  /wal/snapshot                               → snapshot image (binary; X-Wal-Seq header)
-//	GET  /wal/stream?from=SEQ,OFF[&max=BYTES]        → framed WAL records (binary; X-Wal-* headers,
+//	POST /v1/snapshot                                → {"generation": N} (admin; durable mode)
+//	POST /v1/promote                                 → {"promoted": true, "epoch": E, ...} (follow mode)
+//	POST /v1/fence   {"epoch": E}                    → {"epoch": ..., "fenced": true/false} (admin)
+//	GET  /v1/violations                              → the live set (paginated, ETag "v<version>")
+//	GET  /v1/repairs                                 → live cost-ranked repair suggestions
+//	                                                   (paginated, ETag "r<version>"; ?trust_threshold=F
+//	                                                   wires the streaming miner as the trust source)
+//	POST /v1/repairs/apply {"ids": ["c0:3",...]}     → applies accepted suggestions as one ChangeSet
+//	GET  /v1/stats                                   → {"tuples":N,...,"epoch":E,"role":"primary",...}
+//	GET  /v1/metrics                                 → Prometheus text exposition of the node's metrics
+//	GET  /v1/discover                                → the streaming miner's current CFD set
+//	GET  /v1/wal/snapshot                            → snapshot image (binary; X-Wal-Seq header)
+//	GET  /v1/wal/stream?from=SEQ,OFF[&max=BYTES]     → framed WAL records (binary; X-Wal-* headers,
 //	                                                   X-Wal-Epoch carries the fencing epoch)
+//
+// Errors: every endpoint answers failures with the uniform envelope
+// {"error": {"code": "...", "message": "...", "epoch": E?}} — among the
+// codes, "fenced" (403, with the node's current epoch), "read_only"
+// (409, the node is a standby), "stale_cursor" (410, the paginated set
+// changed under the cursor) and "not_found" (404, unknown key or
+// suggestion id) are machine-dispatched by routers and clients; the
+// rest ("bad_request", "method_not_allowed", "conflict", "internal")
+// classify the failure.
+//
+// GET /v1/repairs serves the live repair suggester (see WatchRepairs):
+// the first call attaches it to the monitor's violation-delta and
+// group-statistics feeds (one full planning pass); every later call
+// re-plans only the violations the interleaving writes touched.
+// Suggestions are cost-ranked; POST /v1/repairs/apply turns accepted
+// ids into an ordinary fenced ChangeSet through the same apply path as
+// POST /v1/apply. With ?trust_threshold=F the streaming miner becomes
+// the suggester's trust source: a CFD whose live confidence falls below
+// F suggests constraint relaxation instead of data edits.
 //
 // Fencing: every mutation may carry an X-Cfd-Epoch header stamping the
 // epoch the caller believes this node's history is at (routers do; see
-// cmd/cfdrouter). A mismatch is refused with 409 and {"code":"fenced"} —
-// the node either was deposed by a promotion (its epoch is lower than
-// the cluster's) or has already moved past the caller's stale token.
-// POST /promote durably bumps the epoch before the first write is
-// accepted, and followers refuse /wal/stream chunks whose X-Wal-Epoch
+// cmd/cfdrouter). A mismatch is refused with 403 and {"error":{"code":
+// "fenced", "epoch": E}} — the node either was deposed by a promotion
+// (its epoch is lower than the cluster's) or has already moved past the
+// caller's stale token.
+// POST /v1/promote durably bumps the epoch before the first write is
+// accepted, and followers refuse /v1/wal/stream chunks whose X-Wal-Epoch
 // is below their own — a deposed primary cannot ship a forked history.
 //
 // Observability: every endpoint is wrapped in request/error counters and
@@ -375,6 +402,14 @@ type server struct {
 	mineMu   sync.Mutex
 	miner    *repro.CFDMiner
 	minerCfg repro.DiscoveryConfig
+
+	// The lazily-attached repair suggester behind GET /v1/repairs,
+	// cached per trust threshold: re-attaching pays a full planning
+	// pass, so the one live suggester is kept until a request names a
+	// different threshold.
+	sugMu  sync.Mutex
+	sug    *repro.RepairSuggester
+	sugThr float64
 }
 
 // mon returns the currently served monitor.
@@ -414,8 +449,17 @@ func (s *server) setReplica(m *repro.Monitor, f *repro.MonitorFollower) {
 		s.miner.Close()
 		s.miner = nil
 	}
+	// The suggester is retired the same way, under its own mutex —
+	// suggesterFor reads s.mon() under sugMu, so it either caches
+	// against the new monitor or has its stale suggester closed here.
+	s.sugMu.Lock()
+	if s.sug != nil {
+		s.sug.Close()
+		s.sug = nil
+	}
 	s.fv.Store(f)
 	s.mv.Store(m)
+	s.sugMu.Unlock()
 }
 
 func newServer(dataPath, cfdPath string, opts repro.MonitorOptions) (*server, error) {
@@ -795,6 +839,86 @@ func (s *server) minerFor(cfg repro.DiscoveryConfig) (*repro.CFDMiner, error) {
 	return mi, nil
 }
 
+// suggesterFor returns the cached repair suggester when the trust
+// threshold matches, otherwise attaches a fresh one (full planning
+// pass) and retires the old. A positive threshold wires the cached
+// streaming miner in as the trust source — its candidate confidences
+// are refreshed here so the suggester's trust pass reads live values.
+func (s *server) suggesterFor(thr float64) (*repro.RepairSuggester, error) {
+	var trust repro.RepairTrustSource
+	if thr > 0 {
+		mi, err := s.minerFor(repro.DiscoveryConfig{MaxLHS: 1, MinSupport: 2, MinConfidence: 1})
+		if err != nil {
+			return nil, err
+		}
+		mi.Refresh()
+		trust = mi
+	}
+	s.sugMu.Lock()
+	defer s.sugMu.Unlock()
+	if s.sug != nil && s.sugThr == thr {
+		return s.sug, nil
+	}
+	sg, err := repro.WatchRepairs(s.mon(), repro.SuggestOptions{Trust: trust, TrustThreshold: thr})
+	if err != nil {
+		return nil, err
+	}
+	if s.sug != nil {
+		s.sug.Close()
+	}
+	s.sug, s.sugThr = sg, thr
+	return sg, nil
+}
+
+// --- error envelope ---
+
+// apiError is the uniform error envelope every endpoint (here and in
+// cmd/cfdrouter) answers failures with:
+//
+//	{"error": {"code": "...", "message": "...", "epoch": E?}}
+//
+// Code is the machine-dispatched classification; Epoch rides along on
+// "fenced" errors so the caller can refresh its token without another
+// round trip.
+type apiError struct {
+	Code    string  `json:"code"`
+	Message string  `json:"message"`
+	Epoch   *uint64 `json:"epoch,omitempty"`
+}
+
+// codeFor maps a response status to the envelope code; role errors
+// ("fenced", "read_only") are stamped explicitly by mutErr instead.
+func codeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusForbidden:
+		return "fenced"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusGone:
+		return "stale_cursor"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	default:
+		return "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]apiError{"error": {Code: codeFor(status), Message: err.Error()}})
+}
+
 func printDelta(out io.Writer, d *repro.ViolationDelta) {
 	for _, c := range d.Added {
 		fmt.Fprintf(out, "+ %s\n", c)
@@ -837,6 +961,46 @@ func toJSONDelta(d *repro.ViolationDelta) jsonDelta {
 		return out
 	}
 	return jsonDelta{Added: conv(d.Added), Removed: conv(d.Removed)}
+}
+
+type jsonEdit struct {
+	Key  int64  `json:"key"`
+	Attr string `json:"attr"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+type jsonSuggestion struct {
+	ID   string  `json:"id"`
+	CFD  int     `json:"cfd"`
+	Kind string  `json:"kind"`
+	Cost float64 `json:"cost"`
+	// Key is set on tuple-level suggestions (constant violations), X on
+	// group-level ones (variable violations).
+	Key        *int64     `json:"key,omitempty"`
+	X          []string   `json:"x,omitempty"`
+	Attr       string     `json:"attr,omitempty"`
+	To         string     `json:"to,omitempty"`
+	Tuples     int        `json:"tuples,omitempty"`
+	Confidence float64    `json:"confidence,omitempty"`
+	Reason     string     `json:"reason,omitempty"`
+	Edits      []jsonEdit `json:"edits,omitempty"`
+}
+
+func toJSONSuggestion(sg *repro.RepairSuggestion) jsonSuggestion {
+	out := jsonSuggestion{
+		ID: sg.ID, CFD: sg.CFD, Kind: sg.Kind.String(), Cost: sg.Cost,
+		X: sg.X, Attr: sg.Attr, To: sg.To, Tuples: sg.Tuples,
+		Confidence: sg.Confidence, Reason: sg.Reason,
+	}
+	if sg.X == nil && sg.Kind != repro.SuggestRelax {
+		key := sg.Key
+		out.Key = &key
+	}
+	for _, e := range sg.Edits {
+		out.Edits = append(out.Edits, jsonEdit{Key: e.Key, Attr: e.Attr, From: e.From, To: e.To})
+	}
+	return out
 }
 
 // statusWriter records the response status so the middleware can count
@@ -919,13 +1083,14 @@ func (s *server) handler() http.Handler {
 			dur.ObserveSince(start)
 		})
 	}
-	writeJSON := func(w http.ResponseWriter, code int, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(code)
-		_ = json.NewEncoder(w).Encode(v)
-	}
-	writeErr := func(w http.ResponseWriter, code int, err error) {
-		writeJSON(w, code, map[string]string{"error": err.Error()})
+	// route registers an endpoint under /v1 and at its deprecated
+	// unversioned alias (kept one release; see docs/operations.md). Each
+	// spelling carries its own per-path metric series, so alias traffic
+	// is visible during the migration window. New endpoints (the repair
+	// surface) register via handle("/v1/...") only.
+	route := func(path string, h http.HandlerFunc) {
+		handle("/v1"+path, h)
+		handle(path, h)
 	}
 	readBody := func(w http.ResponseWriter, r *http.Request, v any) bool {
 		if r.Method != http.MethodPost {
@@ -938,24 +1103,24 @@ func (s *server) handler() http.Handler {
 		}
 		return true
 	}
-	// mutErr maps a refused mutation: a read-only replica or a fenced
-	// node is a conflict with the node's role (409 — promote it, write
-	// to the primary, or refresh the epoch token), anything else is the
-	// caller's bad request. The machine-readable "code" field is the
-	// router's dispatch key: "fenced" means re-query the epoch and
-	// retry, "read_only" means this node is a standby.
+	// mutErr maps a refused mutation onto the envelope's role codes: a
+	// fenced node answers 403 "fenced" with its current epoch (the
+	// caller's token is stale — re-query and retry), a read-only standby
+	// answers 409 "read_only" (promote it or write to the primary), and
+	// anything else is the caller's bad request at the fallback status.
 	mutErr := func(w http.ResponseWriter, err error, fallback int) {
 		switch {
 		case errors.Is(err, repro.ErrMonitorFenced):
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error(), "code": "fenced"})
+			epoch := s.mon().Epoch()
+			writeJSON(w, http.StatusForbidden, map[string]apiError{"error": {Code: "fenced", Message: err.Error(), Epoch: &epoch}})
 		case errors.Is(err, repro.ErrMonitorReadOnly):
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error(), "code": "read_only"})
+			writeJSON(w, http.StatusConflict, map[string]apiError{"error": {Code: "read_only", Message: err.Error()}})
 		default:
 			writeErr(w, fallback, err)
 		}
 	}
 
-	handle("/insert", func(w http.ResponseWriter, r *http.Request) {
+	route("/insert", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Values []string `json:"values"`
 			// Key, when present, is a caller-chosen key (a router that
@@ -978,7 +1143,7 @@ func (s *server) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"key": cs.Ops[0].Key, "delta": toJSONDelta(delta)})
 	})
-	handle("/delete", func(w http.ResponseWriter, r *http.Request) {
+	route("/delete", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Key int64 `json:"key"`
 		}
@@ -994,7 +1159,7 @@ func (s *server) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"delta": toJSONDelta(delta)})
 	})
-	handle("/update", func(w http.ResponseWriter, r *http.Request) {
+	route("/update", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Key   int64  `json:"key"`
 			Attr  string `json:"attr"`
@@ -1014,7 +1179,7 @@ func (s *server) handler() http.Handler {
 	})
 	// Batched ingest: one ChangeSet per request, applied atomically as a
 	// single WAL record. Inserted keys come back in op order.
-	handle("/apply", func(w http.ResponseWriter, r *http.Request) {
+	route("/apply", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Ops []struct {
 				Op string `json:"op"`
@@ -1080,7 +1245,7 @@ func (s *server) handler() http.Handler {
 	// The response carries ETag "v<version>"; a poll with If-None-Match
 	// at the current version is answered 304 from the version counter
 	// alone, without materializing anything.
-	handle("/violations", func(w http.ResponseWriter, r *http.Request) {
+	route("/violations", func(w http.ResponseWriter, r *http.Request) {
 		type perCFD struct {
 			CFD          int        `json:"cfd"`
 			ConstTuples  []int64    `json:"const_tuples"`
@@ -1189,7 +1354,137 @@ func (s *server) handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
+	// GET /v1/repairs serves the live repair suggester: cost-ranked fix
+	// suggestions for the current violation set, re-planned in O(Δ)
+	// between calls. Query surface mirrors /violations:
+	//   ?limit=N&cursor=C   cursor pagination; cursors are stable within
+	//                       a suggestion version ("r<version>:<offset>")
+	//                       and expire (410) when the set changes
+	//   ?trust_threshold=F  wire the streaming miner as the trust
+	//                       source: CFDs below confidence F suggest
+	//                       relaxation instead of data edits
+	// The response carries ETag "r<version>"; a poll with If-None-Match
+	// at the current version is answered 304. /v1 only — no legacy alias.
+	handle("/v1/repairs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+			return
+		}
+		q := r.URL.Query()
+		thr := 0.0
+		if v := q.Get("trust_threshold"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad trust_threshold %q (want 0..1)", v))
+				return
+			}
+			thr = f
+		}
+		limit := 0
+		if ls := q.Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n <= 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+				return
+			}
+			limit = n
+		}
+		sg, err := s.suggesterFor(thr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sg.Refresh()
+		version := sg.Version()
+		etag := fmt.Sprintf("%q", fmt.Sprintf("r%d", version))
+		w.Header().Set("ETag", etag)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && inm == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		offset := 0
+		if cur := q.Get("cursor"); cur != "" {
+			var cv uint64
+			if _, err := fmt.Sscanf(cur, "r%d:%d", &cv, &offset); err != nil || offset < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad cursor %q", cur))
+				return
+			}
+			if cv != version {
+				writeErr(w, http.StatusGone, fmt.Errorf("cursor %q expired (suggestions are at r%d)", cur, version))
+				return
+			}
+		}
+		sugs := sg.Suggestions()
+		end := len(sugs)
+		if offset > end {
+			offset = end
+		}
+		if limit > 0 && offset+limit < end {
+			end = offset + limit
+		}
+		out := make([]jsonSuggestion, 0, end-offset)
+		for i := offset; i < end; i++ {
+			out = append(out, toJSONSuggestion(&sugs[i]))
+		}
+		resp := map[string]any{"suggestions": out, "total": len(sugs), "version": version}
+		if end < len(sugs) {
+			resp["next_cursor"] = fmt.Sprintf("r%d:%d", version, end)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	// POST /v1/repairs/apply converts accepted suggestion ids into one
+	// ordinary ChangeSet and applies it through the same path as
+	// POST /apply — fencing (X-Cfd-Epoch), WAL, group commit and
+	// replication all unchanged. Unknown or retired ids answer 404; the
+	// client re-fetches /v1/repairs and retries.
+	handle("/v1/repairs/apply", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			IDs []string `json:"ids"`
+			// TrustThreshold selects the same cached suggester a prior
+			// GET /v1/repairs?trust_threshold=F attached.
+			TrustThreshold float64 `json:"trust_threshold"`
+		}
+		if !readBody(w, r, &req) {
+			return
+		}
+		if len(req.IDs) == 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("ids is empty"))
+			return
+		}
+		sg, err := s.suggesterFor(req.TrustThreshold)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sg.Refresh()
+		cs, edits, err := sg.Plan(req.IDs)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, repro.ErrUnknownRepairSuggestion) {
+				status = http.StatusNotFound
+			}
+			writeErr(w, status, err)
+			return
+		}
+		jes := make([]jsonEdit, 0, len(edits))
+		for _, e := range edits {
+			jes = append(jes, jsonEdit{Key: e.Key, Attr: e.Attr, From: e.From, To: e.To})
+		}
+		if cs.Len() == 0 {
+			// Every accepted edit already holds (another client fixed the
+			// data first); nothing to journal.
+			writeJSON(w, http.StatusOK, map[string]any{"ops": 0, "edits": jes, "delta": toJSONDelta(&repro.ViolationDelta{})})
+			return
+		}
+		delta, err := s.applyMut(r, cs)
+		if err != nil {
+			mutErr(w, err, http.StatusBadRequest)
+			return
+		}
+		sg.Refresh()
+		writeJSON(w, http.StatusOK, map[string]any{"ops": cs.Len(), "edits": jes, "delta": toJSONDelta(delta)})
+	})
+	route("/stats", func(w http.ResponseWriter, r *http.Request) {
 		role := "primary"
 		if s.mon().ReadOnly() {
 			role = "follower"
@@ -1242,7 +1537,7 @@ func (s *server) handler() http.Handler {
 	})
 	// Prometheus text exposition of everything on the node's registry:
 	// the monitor's hot-path series plus the middleware's own.
-	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	route("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 			return
@@ -1255,7 +1550,7 @@ func (s *server) handler() http.Handler {
 	// Streaming discovery: the current mined CFD set under the config the
 	// query params select. The miner re-scores incrementally between
 	// calls; only a config change pays a full pass.
-	handle("/discover", func(w http.ResponseWriter, r *http.Request) {
+	route("/discover", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 			return
@@ -1301,7 +1596,7 @@ func (s *server) handler() http.Handler {
 	})
 	// Admin: force a snapshot now — roll the WAL generation without
 	// waiting for the record-count or interval triggers.
-	handle("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	route("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
@@ -1322,7 +1617,7 @@ func (s *server) handler() http.Handler {
 	// Admin: flip a follower into a writable primary at the record
 	// boundary it has applied. Idempotent; 409 on a node that is not
 	// following anything.
-	handle("/promote", func(w http.ResponseWriter, r *http.Request) {
+	route("/promote", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 			return
@@ -1349,7 +1644,7 @@ func (s *server) handler() http.Handler {
 	// a lower term from now on. A router calls this on the deposed
 	// primary right after promoting a standby; idempotent (Fence only
 	// ever raises the watermark), safe on any role.
-	handle("/fence", func(w http.ResponseWriter, r *http.Request) {
+	route("/fence", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Epoch uint64 `json:"epoch"`
 		}
@@ -1363,7 +1658,7 @@ func (s *server) handler() http.Handler {
 	})
 	// WAL shipping: the newest snapshot image, for a follower's initial
 	// sync (or resync after falling below the retention window).
-	handle("/wal/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	route("/wal/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 			return
@@ -1387,7 +1682,7 @@ func (s *server) handler() http.Handler {
 	// (generation, offset) cursor. The body is raw framed records; the
 	// cursor protocol lives in the X-Wal-* headers. 410 Gone tells the
 	// follower its cursor fell below the retention window.
-	handle("/wal/stream", func(w http.ResponseWriter, r *http.Request) {
+	route("/wal/stream", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 			return
@@ -1474,17 +1769,29 @@ func (h *httpSource) get(ctx context.Context, path string) (*http.Response, erro
 	return h.c.Do(req)
 }
 
-// httpErr folds a non-200 response (JSON {"error": ...} body) into an
-// error, preserving ErrWALSegmentGone across the wire via 410. Every
+// httpErr folds a non-200 response into an error, preserving
+// ErrWALSegmentGone across the wire via 410. The body is the uniform
+// envelope {"error": {"code", "message"}}; the legacy flat form
+// {"error": "msg"} from a pre-/v1 primary is still understood. Every
 // other error STATUS still proves the primary is alive and answering,
 // so it carries ErrPrimaryResponded — the follower retries on it but
 // never arms -promote-after (only transport-level failures may).
 func httpErr(resp *http.Response) error {
-	var body struct {
-		Error string `json:"error"`
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env struct {
+		Error apiError `json:"error"`
 	}
-	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body)
-	msg := body.Error
+	msg := ""
+	if err := json.Unmarshal(raw, &env); err == nil {
+		msg = env.Error.Message
+	} else {
+		var flat struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &flat) == nil {
+			msg = flat.Error
+		}
+	}
 	if msg == "" {
 		msg = resp.Status
 	}
@@ -1495,7 +1802,7 @@ func httpErr(resp *http.Response) error {
 }
 
 func (h *httpSource) Snapshot(ctx context.Context) (uint64, io.ReadCloser, error) {
-	resp, err := h.get(ctx, "/wal/snapshot")
+	resp, err := h.get(ctx, "/v1/wal/snapshot")
 	if err != nil {
 		return 0, nil, err
 	}
@@ -1518,7 +1825,7 @@ func (h *httpSource) Chunk(ctx context.Context, seq uint64, offset int64, maxByt
 	// tail loop should learn that rather than block.
 	ctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	defer cancel()
-	resp, err := h.get(ctx, fmt.Sprintf("/wal/stream?from=%d,%d&max=%d", seq, offset, maxBytes))
+	resp, err := h.get(ctx, fmt.Sprintf("/v1/wal/stream?from=%d,%d&max=%d", seq, offset, maxBytes))
 	if err != nil {
 		return ch, err
 	}

@@ -60,7 +60,13 @@
 //     below. cfdserve serves it as GET /discover and cfddetect -watch
 //     -mine prints mined CFDs as they appear and retire.
 //   - A heuristic repair algorithm (Section 6): cost-based value
-//     modification with the CFD-specific LHS-breaking move.
+//     modification with the CFD-specific LHS-breaking move (Repair),
+//     plus a live variant on the Monitor — WatchRepairs keeps a
+//     cost-ranked fix suggestion per live violation current under
+//     changes. See "Live repair" below. cfdserve serves the ranked set
+//     as GET /v1/repairs and applies picked fixes through POST
+//     /v1/repairs/apply; cfdrepair is the batch CLI over the same
+//     engine.
 //   - The paper's experimental workload generator (Section 5): tax
 //     records with SZ/NOISE knobs and CFD workloads with NUMATTRs, TABSZ
 //     and NUMCONSTs knobs.
@@ -308,6 +314,36 @@
 // maps, so group probes hash and compare integers and resident memory
 // per tuple drops accordingly; the E13 benchmarks (cmd/cfdbench -only
 // e13) measure both.
+//
+// # Live repair
+//
+// The batch Repair of Section 6 re-plans the whole instance on every
+// run. WatchRepairs is its streaming counterpart: a RepairSuggester
+// attaches to a Monitor, plans one cost-ranked fix per live violation —
+// an RHS edit for a constant violation; for a variable violation
+// whichever of merging the group onto its cheapest representative or
+// breaking the cheapest LHS cell costs less under the CostModel and the
+// Monitor's group distributions — and on every Refresh re-plans only
+// the suggestions whose violations the intervening ChangeSets touched,
+// O(Δ) per batch rather than O(|I|). With SuggestOptions.Trust wired to
+// a miner's Confidence (the relative-trust loop), a CFD whose support
+// has eroded below TrustThreshold stops generating data edits and
+// instead surfaces one constraint-relaxation suggestion, on the
+// principle that low-trust constraints should bend before high-trust
+// data.
+//
+// Accepted suggestions never bypass the write path: Plan turns a set of
+// suggestion IDs into an ordinary ChangeSet (plus the per-cell edit
+// list for display), which flows through Monitor.Apply — and therefore
+// through group commit, the WAL, replication and fencing — like any
+// other write. cfdserve serves the ranked set as GET /v1/repairs
+// (cost-ascending, paginated, version-tagged for If-None-Match) and
+// applies picked IDs via POST /v1/repairs/apply; cfdrouter fans
+// GET /v1/repairs out across shard groups; cmd/cfdrepair is the batch
+// CLI that loops suggest-plan-apply to a certified repair. The E16
+// benchmark (cmd/cfdbench -only e16, make bench-repair) gates the
+// incremental claim: re-planning after a 1K-op batch must beat a full
+// batch repair by ≥10× at 100K tuples.
 //
 // See README.md for a walkthrough, ARCHITECTURE.md for the subsystem
 // map and data-flow diagrams, docs/operations.md for the cfdserve

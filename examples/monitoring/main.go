@@ -8,17 +8,21 @@
 // third act queries the read path: the O(delta)-maintained violation
 // view, whose version moves only when the violation set does (cfdserve's
 // ETag), and per-key point lookups that skip the view entirely. The
-// fourth act streams discovery: a CFDMiner rides the monitor's group
+// fourth act repairs on-stream: WatchRepairs attaches the live repair
+// engine, which keeps one cost-ranked fix suggestion per live violation
+// and turns accepted suggestions into an ordinary ChangeSet — the
+// GET /v1/repairs and POST /v1/repairs/apply path of cfdserve. The
+// fifth act streams discovery: a CFDMiner rides the monitor's group
 // indexes and re-scores the mined constraint set after every change,
-// reporting CFDs as they appear and retire. The fifth act makes the
+// reporting CFDs as they appear and retire. The sixth act makes the
 // monitor durable: journaled to a write-ahead log (a ChangeSet is one
 // record and one fsync), snapshotted, closed, and resumed from disk
-// without touching the original instance. The sixth act replicates it:
+// without touching the original instance. The seventh act replicates it:
 // a hot-standby follower tails the durable node's WAL segments into its
 // own directory, serves reads while refusing writes, and is promoted to
 // a writable primary at the exact record boundary it has applied — the
 // failover path cfdserve runs with -follow and POST /promote. The
-// seventh act scrapes the observability surface: every monitor carries a metrics
+// eighth act scrapes the observability surface: every monitor carries a metrics
 // registry (apply-stage latencies, WAL timings, violation-delta
 // counters) that renders in the Prometheus text format — cfdserve serves
 // the same thing as GET /metrics.
@@ -164,10 +168,43 @@ func main() {
 	// stores — the GET /violations?key=N path.
 	per, ok := m.ViolationsFor(eveKey)
 	fmt.Printf("ViolationsFor(Eve, key %d): exists = %v, %d violation(s) touch her\n\n", eveKey, ok, per.Total())
-	// Heal her again so discovery below sees the clean instance.
-	if _, err := m.Apply((&repro.ChangeSet{}).Update(eveKey, "CT", "MH")); err != nil {
+
+	// --- live repair ---
+	//
+	// Eve is still dirty — and the monitor can say how to fix her.
+	// WatchRepairs attaches the live repair engine: one cost-ranked
+	// suggestion per live violation (an RHS edit for a broken constant
+	// binding, a value merge or LHS break for a disagreeing group),
+	// re-planned only for the violations each batch touches. Accepted
+	// suggestion IDs become an ordinary ChangeSet through Plan, so the
+	// fix takes the same Apply path as any other write — this is what
+	// cfdserve serves as GET /v1/repairs and POST /v1/repairs/apply.
+	sg, err := repro.WatchRepairs(m, repro.SuggestOptions{})
+	if err != nil {
 		log.Fatal(err)
 	}
+	sugs := sg.Suggestions()
+	fmt.Printf("live repair: %d suggestion(s), cheapest first:\n", len(sugs))
+	ids := make([]string, 0, len(sugs))
+	for _, s := range sugs {
+		fmt.Printf("  [%s] %s, cost %.0f: %s\n", s.ID, s.Kind, s.Cost, s.Reason)
+		ids = append(ids, s.ID)
+	}
+	planCS, cellEdits, err := sg.Plan(ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ce := range cellEdits {
+		fmt.Printf("  plan: key %d %s: %q -> %q\n", ce.Key, ce.Attr, ce.From, ce.To)
+	}
+	repairDelta, err := m.Apply(planCS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("applying the planned repair:", repairDelta)
+	sg.Refresh()
+	fmt.Printf("suggestions after the fix: %d — discovery below sees the clean instance\n\n", len(sg.Suggestions()))
+	sg.Close()
 
 	// --- streaming discovery ---
 	//

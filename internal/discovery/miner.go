@@ -32,7 +32,8 @@ type Miner struct {
 	m      *incremental.Monitor
 	hub    *incremental.GroupStats
 	cands  []candidate
-	det    []bool // scratch of the per-emit pruning pass
+	index  map[string]int32 // fdKey -> candidate, for Confidence lookups
+	det    []bool           // scratch of the per-emit pruning pass
 	drain  []incremental.GroupDelta
 	closed bool
 
@@ -112,6 +113,10 @@ const (
 type mgroup struct {
 	x              []relation.Value
 	size, distinct int
+	// agree is the dominant A-value's member count — size for a pure
+	// group, the distribution's top count for a mixed one. Aggregated
+	// per candidate, it is the live-confidence numerator.
+	agree int
 	// hasPat marks a supported group whose dominant A-value clears
 	// MinConfidence; patVal/patSup are the mined pattern's RHS constant
 	// and support (the group size, as in CFDMiner-style mining).
@@ -137,6 +142,11 @@ type candidate struct {
 	evidence int
 	// patterns counts groups currently contributing a pattern row.
 	patterns int
+	// agree/total aggregate the groups' dominant-value counts and sizes:
+	// total-agree is the number of tuples a minimal A-edit repair of the
+	// FD would touch, making agree/total the live confidence Confidence
+	// exports (the relative-trust signal of Beskales et al.).
+	agree, total int
 	// cur/curPatterns are the candidate's emission state as of the last
 	// Refresh, diffed to produce MinedChanges.
 	cur         emitKind
@@ -153,6 +163,8 @@ func (c *candidate) fold(g *mgroup) {
 	if g.hasPat {
 		c.patterns++
 	}
+	c.agree += g.agree
+	c.total += g.size
 }
 
 func (c *candidate) unfold(g *mgroup) {
@@ -165,6 +177,8 @@ func (c *candidate) unfold(g *mgroup) {
 	if g.hasPat {
 		c.patterns--
 	}
+	c.agree -= g.agree
+	c.total -= g.size
 }
 
 // fdKey canonically names an embedded FD.
@@ -229,7 +243,7 @@ func NewMiner(m *incremental.Monitor, cfg Config) (*Miner, error) {
 	if err != nil {
 		return nil, err
 	}
-	mi := &Miner{cfg: cfg, m: m, hub: hub, cands: cands, det: make([]bool, len(cands))}
+	mi := &Miner{cfg: cfg, m: m, hub: hub, cands: cands, index: index, det: make([]bool, len(cands))}
 	reg := m.Metrics()
 	mi.metRefresh = reg.DurationHistogram("cfd_miner_refresh_seconds", "Duration of one Miner.Refresh pass (drain + re-score + emit).")
 	mi.metRescored = reg.Counter("cfd_miner_groups_rescored_total", "Touched groups re-scored across Refresh passes.")
@@ -301,24 +315,30 @@ func (mi *Miner) Refresh() []MinedChange {
 	return out
 }
 
-// score recomputes one group's pattern contribution. The single-value
-// case reads the pattern constant straight off the delta; a mixed group
-// only matters below confidence 1, where the substrate is consulted for
-// the dominant value (an O(distinct) scan, paid only then).
+// score recomputes one group's pattern contribution and its dominant
+// count. The single-value case reads both straight off the delta; a
+// mixed group consults the substrate for its distribution top (an
+// O(distinct) scan, paid only for touched mixed groups).
 func (mi *Miner) score(d *incremental.GroupDelta, g *mgroup) {
 	g.hasPat, g.patVal, g.patSup = false, "", 0
-	if d.Support < mi.cfg.MinSupport {
-		return
-	}
 	if d.Distinct == 1 {
-		g.hasPat, g.patVal, g.patSup = true, d.Top, d.Support
+		g.agree = d.Support
+		if d.Support >= mi.cfg.MinSupport {
+			g.hasPat, g.patVal, g.patSup = true, d.Top, d.Support
+		}
 		return
 	}
-	if mi.cfg.MinConfidence < 1 {
-		st, ok := mi.hub.Stat(d.Pair, d.XKey)
-		if ok && float64(st.TopCount)/float64(st.Support) >= mi.cfg.MinConfidence {
-			g.hasPat, g.patVal, g.patSup = true, st.Top, st.Support
-		}
+	st, ok := mi.hub.Stat(d.Pair, d.XKey)
+	if !ok {
+		// The group died between the drain and the probe; its death delta
+		// is already pending, so any value is transient. Lower bound.
+		g.agree = d.Support - (d.Distinct - 1)
+		return
+	}
+	g.agree = st.TopCount
+	if d.Support >= mi.cfg.MinSupport && mi.cfg.MinConfidence < 1 &&
+		float64(st.TopCount)/float64(st.Support) >= mi.cfg.MinConfidence {
+		g.hasPat, g.patVal, g.patSup = true, st.Top, st.Support
 	}
 }
 
@@ -368,6 +388,42 @@ func (mi *Miner) emit() []MinedChange {
 		c.cur, c.curPatterns = kind, patterns
 	}
 	return out
+}
+
+// Confidence reports the miner's live confidence in the embedded FD
+// X → A, as of the last Refresh: the fraction of tuples whose A-value
+// agrees with their X-group's dominant value. 1.0 on an instance the
+// FD satisfies; lower the more cells a minimal RHS-edit repair would
+// have to touch — the relative-trust signal (Beskales et al.) a repair
+// engine compares against its threshold to decide between data edits
+// and constraint relaxation. The attribute order of x is irrelevant.
+// The second result is false when the FD is outside the miner's
+// lattice (|X| > MaxLHS, or unknown attributes).
+func (mi *Miner) Confidence(x []string, a string) (float64, bool) {
+	// Candidates are keyed with X in schema-attribute order; accept any
+	// caller order by canonicalizing against the monitor's schema.
+	schema := mi.m.Schema()
+	canon := make([]string, len(x))
+	copy(canon, x)
+	sort.Slice(canon, func(i, j int) bool {
+		ii, iok := schema.Index(canon[i])
+		jj, jok := schema.Index(canon[j])
+		if iok != jok {
+			return iok
+		}
+		return ii < jj
+	})
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	ci, ok := mi.index[fdKey(canon, a)]
+	if !ok {
+		return 0, false
+	}
+	c := &mi.cands[ci]
+	if c.total <= 0 {
+		return 1, true
+	}
+	return float64(c.agree) / float64(c.total), true
 }
 
 func minedChange(k MinedChangeKind, c *candidate, form emitKind, patterns int) MinedChange {

@@ -463,6 +463,26 @@ func (h *GroupStats) Stat(pair int, xkey string) (GroupStat, bool) {
 	}, true
 }
 
+// Count returns the number of members of one group whose A-value equals
+// v — the distribution probe a repair planner needs when its target
+// value is a pattern constant rather than the group majority. Zero when
+// the group (or the value) is unknown.
+func (h *GroupStats) Count(pair int, xkey string, v relation.Value) int {
+	p := &h.pairs[pair]
+	id := h.in.ID(v)
+	sh := &p.shards[int(relation.Hash(xkey)%uint32(len(p.shards)))]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	g, ok := sh.m[xkey]
+	if !ok {
+		return 0
+	}
+	if g.c0 > 0 && g.v0 == id {
+		return g.c0
+	}
+	return g.rest[id]
+}
+
 // statsState is the Monitor-side anchor of the subscriptions.
 type statsState struct {
 	statsMu sync.Mutex

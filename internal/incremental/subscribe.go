@@ -1,0 +1,239 @@
+package incremental
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// This file is the violation view's subscription surface: a DeltaSub is
+// a coalesced log of which live violations a stretch of applied batches
+// touched, folded by the same foldView pass that maintains the view
+// base — O(Δ) per batch, one dirty mark per violation between drains.
+// The streaming repair Suggester in internal/repair is the canonical
+// subscriber: it re-plans exactly the suggestions whose violations a
+// batch touched instead of re-detecting the instance.
+
+// TouchedCFD is one CFD's touched violations since the previous Drain:
+// constant violations by tuple key, variable violations by the group's
+// X-projection. "Touched" means the violation appeared, retired, or
+// flip-flopped — the subscriber re-reads the authoritative state to
+// learn which; a key listed here may no longer be violating.
+type TouchedCFD struct {
+	Consts []int64
+	Vars   [][]relation.Value
+}
+
+// Empty reports whether nothing was touched.
+func (t *TouchedCFD) Empty() bool { return len(t.Consts) == 0 && len(t.Vars) == 0 }
+
+// DeltaSub is one live violation-delta subscription over a Monitor,
+// created by TrackDeltas. Folding happens inside the apply path's view
+// fold; Drain is safe to call concurrently with mutations.
+type DeltaSub struct {
+	mu   sync.Mutex
+	cfds []touchSet
+	n    int
+}
+
+// touchSet is one CFD's accumulated touch marks.
+type touchSet struct {
+	consts map[int64]struct{}
+	vars   map[string][]relation.Value
+}
+
+// fold marks every violation the delta names as touched. Called from
+// foldView with the view mutex held; takes the sub's own mutex so Drain
+// can run concurrently.
+func (s *DeltaSub) fold(d *Delta) {
+	s.mu.Lock()
+	for _, c := range d.Added {
+		s.mark(c)
+	}
+	for _, c := range d.Removed {
+		s.mark(c)
+	}
+	s.mu.Unlock()
+}
+
+func (s *DeltaSub) mark(c Change) {
+	t := &s.cfds[c.CFD]
+	if c.Kind == core.ConstViolation {
+		if _, ok := t.consts[c.Tuple]; !ok {
+			t.consts[c.Tuple] = struct{}{}
+			s.n++
+		}
+		return
+	}
+	k := relation.EncodeKey(c.Key)
+	if _, ok := t.vars[k]; !ok {
+		// Delta keys are materialized fresh per delta; retaining the
+		// slice is safe (same invariant the view base relies on).
+		t.vars[k] = c.Key
+		s.n++
+	}
+}
+
+// markAll marks every currently-live violation in the view base as
+// touched — the seed at attach time and the recovery-rebuild path.
+// The caller holds the view mutex.
+func (s *DeltaSub) markAll(base []viewBase) {
+	s.mu.Lock()
+	for ci := range base {
+		b := &base[ci]
+		t := &s.cfds[ci]
+		for k, n := range b.consts {
+			if n <= 0 {
+				continue
+			}
+			if _, ok := t.consts[k]; !ok {
+				t.consts[k] = struct{}{}
+				s.n++
+			}
+		}
+		for k, vc := range b.vars {
+			if vc.n <= 0 {
+				continue
+			}
+			if _, ok := t.vars[k]; !ok {
+				t.vars[k] = vc.xs
+				s.n++
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Drain returns the violations touched since the previous drain, one
+// entry per monitored CFD (positionally aligned with Σ), and resets the
+// marks. A nil result means nothing was touched — the cheap poll path.
+func (s *DeltaSub) Drain() []TouchedCFD {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return nil
+	}
+	out := make([]TouchedCFD, len(s.cfds))
+	for ci := range s.cfds {
+		t := &s.cfds[ci]
+		if len(t.consts) > 0 {
+			out[ci].Consts = make([]int64, 0, len(t.consts))
+			for k := range t.consts {
+				out[ci].Consts = append(out[ci].Consts, k)
+			}
+			t.consts = make(map[int64]struct{})
+		}
+		if len(t.vars) > 0 {
+			out[ci].Vars = make([][]relation.Value, 0, len(t.vars))
+			for _, xs := range t.vars {
+				out[ci].Vars = append(out[ci].Vars, xs)
+			}
+			t.vars = make(map[string][]relation.Value)
+		}
+	}
+	s.n = 0
+	return out
+}
+
+// TrackDeltas attaches a violation-delta subscription: every violation
+// currently live is pre-marked as touched (so the first Drain hands the
+// subscriber the complete initial set), and every subsequent applied
+// batch marks the violations its delta names. Like group statistics,
+// subscriptions are memory-only and do not survive a restart. Detach
+// with UntrackDeltas.
+func (m *Monitor) TrackDeltas() *DeltaSub {
+	s := &DeltaSub{cfds: make([]touchSet, len(m.cfds))}
+	for i := range s.cfds {
+		s.cfds[i].consts = make(map[int64]struct{})
+		s.cfds[i].vars = make(map[string][]relation.Value)
+	}
+	v := &m.view
+	v.mu.Lock()
+	s.markAll(v.base)
+	v.subs = append(v.subs, s)
+	v.mu.Unlock()
+	return s
+}
+
+// UntrackDeltas detaches a subscription; its accumulated marks stay
+// drainable but no longer follow mutations. Unknown handles are ignored.
+func (m *Monitor) UntrackDeltas(s *DeltaSub) {
+	v := &m.view
+	v.mu.Lock()
+	next := v.subs[:0]
+	for _, o := range v.subs {
+		if o != s {
+			next = append(next, o)
+		}
+	}
+	v.subs = next
+	v.mu.Unlock()
+}
+
+// ViolatingGroup reports whether CFD ci currently has a variable
+// violation on the X-group with the given projection — a point probe
+// against the authoritative group index, one shard lock, no view
+// materialization.
+func (m *Monitor) ViolatingGroup(ci int, x []relation.Value) bool {
+	if ci < 0 || ci >= len(m.cfds) {
+		return false
+	}
+	cs := m.cfds[ci]
+	if cs.violations.Load() == 0 || len(x) != len(cs.xIdx) {
+		return false
+	}
+	ids := make([]uint32, len(x))
+	for i, v := range x {
+		ids[i] = m.vals.ID(v)
+	}
+	key := relation.AppendIDKey(nil, ids)
+	gsh := &cs.groups[int(relation.HashIDs(ids)%uint32(m.shards))]
+	gsh.mu.RLock()
+	g := gsh.m[string(key)]
+	ok := g != nil && g.violating()
+	gsh.mu.RUnlock()
+	return ok
+}
+
+// MatchingKeys returns the keys of live tuples whose projection on
+// attrs equals x, in ascending key order — the group-membership probe
+// the repair engine uses to materialize a group-level suggestion into
+// concrete cell edits. A full shard scan with integer compares:
+// O(|I|), intended for the (rare, human-paced) apply path, not the
+// per-batch refresh path.
+func (m *Monitor) MatchingKeys(attrs []string, x []relation.Value) ([]int64, error) {
+	idx, err := m.schema.Indexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	if len(x) != len(idx) {
+		return nil, fmt.Errorf("incremental: MatchingKeys: %d attrs, %d values", len(idx), len(x))
+	}
+	ids := make([]uint32, len(x))
+	for i, v := range x {
+		ids[i] = m.vals.ID(v)
+	}
+	var out []int64
+	for si := range m.tuples {
+		sh := &m.tuples[si]
+		sh.mu.RLock()
+		for k, t := range sh.m {
+			match := true
+			for i, j := range idx {
+				if t[j] != ids[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				out = append(out, k)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}

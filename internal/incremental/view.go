@@ -103,6 +103,10 @@ type viewState struct {
 	cur     atomic.Pointer[ViolationsView]
 	base    []viewBase
 	dirty   []bool
+	// subs are the attached violation-delta subscriptions (subscribe.go),
+	// folded alongside the base so subscribers see exactly the violations
+	// each batch touched. Guarded by mu, like the base.
+	subs []*DeltaSub
 }
 
 func (v *viewState) init(ncfds int) {
@@ -169,6 +173,9 @@ func (m *Monitor) foldView(d *Delta) {
 	if changed {
 		v.version.Add(1)
 	}
+	for _, s := range v.subs {
+		s.fold(d)
+	}
 	v.mu.Unlock()
 }
 
@@ -208,6 +215,11 @@ func (m *Monitor) rebuildViewBase() {
 		}
 	}
 	v.version.Add(1)
+	// A rebuilt base invalidates whatever the subscribers believed: every
+	// live violation counts as touched again.
+	for _, s := range v.subs {
+		s.markAll(v.base)
+	}
 }
 
 // ViewVersion returns the current violation-set version without

@@ -1,0 +1,774 @@
+package repair
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/incremental"
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// This file is the streaming counterpart of the batch algorithm in
+// repair.go: a Suggester attaches to a live incremental.Monitor and
+// maintains one cost-ranked repair suggestion per live violation,
+// updated in O(Δ) from the violation-delta subscription
+// (Monitor.TrackDeltas) and the group-statistics substrate
+// (Monitor.TrackGroups) — the same two feeds the streaming miner uses.
+// The planning heuristics are the batch algorithm's, re-derived per
+// violation instead of per pass:
+//
+//   - a constant violation suggests forcing the mismatching RHS cells
+//     to their pattern constants (Σ is ground truth); when matched rows
+//     force conflicting constants — the CFD-specific case where no RHS
+//     value works — it suggests breaking the cheapest LHS cell instead;
+//   - a variable violation suggests the cheaper of merging the group's
+//     minority cells into the target value (the pattern constant when
+//     bound, else the live distribution's majority) or breaking the
+//     minority tuples out of the group via an LHS cell;
+//   - when the configured trust source (typically the streaming miner)
+//     reports live confidence below the threshold for a CFD, its data
+//     edits give way to a single constraint-relaxation suggestion — the
+//     relative-trust loop of Beskales et al., on-stream.
+//
+// Suggestions are descriptors, not mutations: Plan materializes an
+// accepted set into an ordinary ChangeSet that flows through the
+// monitor's usual Apply path (WAL, group commit, replication and
+// fencing all unchanged). The batch Repair remains as the from-scratch
+// oracle the property tests compare convergence against.
+
+// ErrUnknownSuggestion reports a Plan id that names no live suggestion —
+// it was never issued, or retired when a later batch resolved (or
+// reshaped) its violation. Callers re-fetch the current set and retry.
+var ErrUnknownSuggestion = errors.New("unknown suggestion")
+
+// SuggestionKind discriminates what a suggestion proposes.
+type SuggestionKind uint8
+
+const (
+	// SuggestRHSEdit forces a constant-violating tuple's RHS cells to
+	// the pattern constants.
+	SuggestRHSEdit SuggestionKind = iota
+	// SuggestValueMerge rewrites a conflicting group's minority cells to
+	// the group target value.
+	SuggestValueMerge
+	// SuggestLHSBreak rewrites an LHS cell to a fresh placeholder,
+	// breaking the pattern match (the FD-impossible move).
+	SuggestLHSBreak
+	// SuggestRelax proposes relaxing the CFD itself (add a pattern row
+	// or retire it) because live confidence fell below the trust
+	// threshold; it has no data edits.
+	SuggestRelax
+)
+
+func (k SuggestionKind) String() string {
+	switch k {
+	case SuggestRHSEdit:
+		return "rhs-edit"
+	case SuggestValueMerge:
+		return "value-merge"
+	case SuggestLHSBreak:
+		return "lhs-break"
+	case SuggestRelax:
+		return "relax-cfd"
+	}
+	return fmt.Sprintf("SuggestionKind(%d)", uint8(k))
+}
+
+// CellEdit is one proposed cell modification, keyed by the tuple's
+// stable monitor key.
+type CellEdit struct {
+	Key  int64
+	Attr string
+	From relation.Value
+	To   relation.Value
+}
+
+// Suggestion is one live, cost-ranked repair proposal, keyed to the
+// violation it resolves. IDs are stable for the life of the violation
+// ("c<cfd>:<key>" for constant violations, "v<cfd>:<x>" for variable
+// ones, "r<cfd>" for relaxations), so a reviewer can accept a set
+// across refreshes.
+type Suggestion struct {
+	ID   string
+	CFD  int
+	Kind SuggestionKind
+	// Cost is the suggestion's estimated repair cost under the cost
+	// model: the summed weights of the cells it would modify (a
+	// relaxation charges 1 — one constraint edit).
+	Cost float64
+	// Key is the constant-violating tuple (SuggestRHSEdit, and
+	// SuggestLHSBreak planned for a single tuple); 0 otherwise.
+	Key int64
+	// X is the violating group's X-projection (variable violations).
+	X []relation.Value
+	// Edits are the concrete cell edits, materialized eagerly for
+	// single-tuple suggestions; group-level suggestions materialize
+	// theirs at Plan time (membership is not indexed).
+	Edits []CellEdit
+	// Attr and To describe the group-level edit: the attribute to
+	// rewrite and the merge target ("" for an LHS break, whose fresh
+	// placeholders are allocated at Plan time).
+	Attr string
+	To   relation.Value
+	// Tuples is the number of cell edits the suggestion implies.
+	Tuples int
+	// Confidence is the trust source's live confidence (SuggestRelax).
+	Confidence float64
+	// Reason is a one-line human-readable rationale.
+	Reason string
+}
+
+// TrustSource supplies live per-FD confidence — the streaming
+// discovery.Miner satisfies it. The attribute order of lhs does not
+// matter.
+type TrustSource interface {
+	Confidence(lhs []string, rhs string) (float64, bool)
+}
+
+// SuggestOptions configures a Suggester.
+type SuggestOptions struct {
+	// Cost weighs cell edits (nil = unit cost). The model's row
+	// argument receives the tuple's monitor key truncated to int for
+	// per-tuple decisions and -1 for group-level estimates.
+	Cost *CostModel
+	// Trust supplies live per-CFD confidence; nil disables relaxation
+	// suggestions.
+	Trust TrustSource
+	// TrustThreshold: when Trust reports confidence below this for a
+	// CFD, its data-edit suggestions are replaced by one constraint-
+	// relaxation suggestion. 0 (the default) never relaxes.
+	TrustThreshold float64
+}
+
+// Suggester maintains live repair suggestions over a Monitor. Attach
+// with NewSuggester, advance with Refresh (typically once per applied
+// batch or per poll), detach with Close. All methods are safe for
+// concurrent use with monitor mutations.
+type Suggester struct {
+	mu    sync.Mutex
+	m     *incremental.Monitor
+	sigma []*core.CFD
+	opts  SuggestOptions
+	sub   *incremental.DeltaSub
+	hub   *incremental.GroupStats
+
+	// pairBase[ci] is the first of len(RHS) contiguous tracked pairs of
+	// CFD ci; cfdOfPair inverts the mapping.
+	pairBase  []int
+	cfdOfPair []int
+	yIdx      [][]int // per CFD, schema indexes of RHS
+
+	sugs    map[string]*Suggestion
+	relaxed []bool
+	version uint64
+	sorted  []Suggestion // cost-ranked cache, nil when stale
+	freshN  int
+	drain   []incremental.GroupDelta
+	closed  bool
+
+	metRefresh *obs.Histogram
+	metTouched *obs.Counter
+	metLive    *obs.Gauge
+	metRelaxed *obs.Gauge
+}
+
+// NewSuggester attaches a streaming repair suggester to the monitor:
+// the monitored Σ's (LHS, RHS-attr) pairs are registered with the
+// group-statistics substrate, a violation-delta subscription is opened,
+// and the current violation set is planned. The first Refresh happens
+// inside the constructor, so Suggestions is immediately complete.
+func NewSuggester(m *incremental.Monitor, opts SuggestOptions) (*Suggester, error) {
+	sigma := m.Sigma()
+	s := &Suggester{
+		m:       m,
+		sigma:   sigma,
+		opts:    opts,
+		sugs:    make(map[string]*Suggestion),
+		relaxed: make([]bool, len(sigma)),
+	}
+	var pairs []incremental.AttrPair
+	for ci, cfd := range sigma {
+		s.pairBase = append(s.pairBase, len(pairs))
+		yIdx := make([]int, len(cfd.RHS))
+		for yi, a := range cfd.RHS {
+			j, ok := m.Schema().Index(a)
+			if !ok {
+				return nil, fmt.Errorf("repair: CFD %d: schema %q has no attribute %q", ci, m.Schema().Name, a)
+			}
+			yIdx[yi] = j
+			pairs = append(pairs, incremental.AttrPair{X: cfd.LHS, A: a})
+			s.cfdOfPair = append(s.cfdOfPair, ci)
+		}
+		s.yIdx = append(s.yIdx, yIdx)
+	}
+	hub, err := m.TrackGroups(pairs)
+	if err != nil {
+		return nil, err
+	}
+	s.hub = hub
+	s.sub = m.TrackDeltas()
+	reg := m.Metrics()
+	s.metRefresh = reg.DurationHistogram("cfd_suggester_refresh_seconds", "Duration of one Suggester.Refresh pass (drain + re-plan).")
+	s.metTouched = reg.Counter("cfd_suggester_replanned_total", "Violations re-planned across Refresh passes.")
+	s.metLive = reg.Gauge("cfd_suggestions", "Live repair suggestions currently maintained.")
+	s.metRelaxed = reg.Gauge("cfd_suggester_relaxed_cfds", "CFDs currently below the trust threshold (relaxation suggested).")
+	s.Refresh()
+	return s, nil
+}
+
+// Close detaches the suggester from the monitor's apply path. The last
+// refreshed suggestions stay readable.
+func (s *Suggester) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.m.UntrackGroups(s.hub)
+	s.m.UntrackDeltas(s.sub)
+}
+
+// Refresh drains the violations touched since the last call and
+// re-plans exactly their suggestions — O(Δ), not O(|I|) — then
+// re-evaluates the trust threshold per CFD. It returns the number of
+// violations re-planned.
+func (s *Suggester) Refresh() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	n := 0
+	touched := s.sub.Drain()
+	s.drain = s.hub.Drain(s.drain[:0])
+	for ci := range touched {
+		t := &touched[ci]
+		for _, k := range t.Consts {
+			s.refreshConst(ci, k)
+			n++
+		}
+		for _, x := range t.Vars {
+			s.refreshVar(ci, x)
+			n++
+		}
+	}
+	// Group-stat deltas catch what presence flips cannot: a group whose
+	// majority (and therefore merge target or cost) shifted while it
+	// stayed violating throughout.
+	for i := range s.drain {
+		d := &s.drain[i]
+		if d.X == nil {
+			continue // destroyed group: its retirement came through the view delta
+		}
+		s.refreshVar(s.cfdOfPair[d.Pair], d.X)
+		n++
+	}
+	s.refreshTrust()
+	s.metTouched.Add(uint64(n))
+	s.metLive.Set(int64(len(s.sugs)))
+	s.metRefresh.ObserveSince(start)
+	return n
+}
+
+// Version is the suggestion-set version: it advances only when the set
+// actually changes, so it doubles as an ETag for pollers.
+func (s *Suggester) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Suggestions returns the live suggestion set, cost-ranked ascending
+// (ties by ID), as of the last Refresh. The slice and its interior
+// slices are shared — treat them as read-only.
+func (s *Suggester) Suggestions() []Suggestion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rankedLocked()
+}
+
+func (s *Suggester) rankedLocked() []Suggestion {
+	if s.sorted == nil {
+		s.sorted = make([]Suggestion, 0, len(s.sugs))
+		for _, sg := range s.sugs {
+			s.sorted = append(s.sorted, *sg)
+		}
+		sort.Slice(s.sorted, func(i, j int) bool {
+			if s.sorted[i].Cost != s.sorted[j].Cost {
+				return s.sorted[i].Cost < s.sorted[j].Cost
+			}
+			return s.sorted[i].ID < s.sorted[j].ID
+		})
+	}
+	return s.sorted
+}
+
+// bump invalidates the ranked cache and advances the version.
+func (s *Suggester) bump() {
+	s.version++
+	s.sorted = nil
+}
+
+func (s *Suggester) put(sug *Suggestion) {
+	if old, ok := s.sugs[sug.ID]; ok && old.equal(sug) {
+		return
+	}
+	s.sugs[sug.ID] = sug
+	s.bump()
+}
+
+func (s *Suggester) dropID(id string) {
+	if _, ok := s.sugs[id]; ok {
+		delete(s.sugs, id)
+		s.bump()
+	}
+}
+
+func (a *Suggestion) equal(b *Suggestion) bool {
+	if a.Kind != b.Kind || a.Cost != b.Cost || a.Attr != b.Attr || a.To != b.To ||
+		a.Tuples != b.Tuples || a.Confidence != b.Confidence || len(a.Edits) != len(b.Edits) {
+		return false
+	}
+	for i := range a.Edits {
+		if a.Edits[i] != b.Edits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func constID(ci int, key int64) string {
+	return "c" + strconv.Itoa(ci) + ":" + strconv.FormatInt(key, 10)
+}
+
+func varID(ci int, x []relation.Value) string {
+	return "v" + strconv.Itoa(ci) + ":" + relation.EncodeKey(x)
+}
+
+func relaxID(ci int) string { return "r" + strconv.Itoa(ci) }
+
+func (s *Suggester) weight(key int64, attr string) float64 {
+	return s.opts.Cost.weight(int(key), attr)
+}
+
+// matchX reports whether the row's X patterns match the projection.
+func matchX(row core.PatternRow, xs []relation.Value) bool {
+	for i, p := range row.X {
+		if p.Kind == core.Const && p.Val != xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// refreshConst re-plans the suggestion of one (cfd, tuple) constant
+// violation against the authoritative state: gone → dropped, live →
+// re-derived.
+func (s *Suggester) refreshConst(ci int, key int64) {
+	id := constID(ci, key)
+	if s.relaxed[ci] {
+		s.dropID(id)
+		return
+	}
+	st, live := s.m.ViolationsFor(key)
+	if !live || len(st.PerCFD[ci].ConstTuples) == 0 {
+		s.dropID(id)
+		return
+	}
+	if sug := s.planConst(ci, key); sug != nil {
+		s.put(sug)
+	} else {
+		s.dropID(id)
+	}
+}
+
+// planConst derives the suggestion for a constant violation: force the
+// mismatching RHS cells to their pattern constants, or break the LHS
+// when matched rows force conflicting constants.
+func (s *Suggester) planConst(ci int, key int64) *Suggestion {
+	t, ok := s.m.Get(key)
+	if !ok {
+		return nil
+	}
+	cfd := s.sigma[ci]
+	schema := s.m.Schema()
+	xs := make([]relation.Value, len(cfd.LHS))
+	for i, a := range cfd.LHS {
+		xs[i] = t[schema.MustIndex(a)]
+	}
+	forced := make([]relation.Value, len(cfd.RHS))
+	bound := make([]bool, len(cfd.RHS))
+	conflict := false
+	var matched []core.PatternRow
+	for _, row := range cfd.Tableau {
+		if !matchX(row, xs) {
+			continue
+		}
+		matched = append(matched, row)
+		for yi := range cfd.RHS {
+			if row.Y[yi].Kind != core.Const {
+				continue
+			}
+			if bound[yi] && forced[yi] != row.Y[yi].Val {
+				conflict = true
+				continue
+			}
+			bound[yi], forced[yi] = true, row.Y[yi].Val
+		}
+	}
+	if conflict {
+		return s.planBreakTuple(ci, key, matched)
+	}
+	var edits []CellEdit
+	cost := 0.0
+	for yi, a := range cfd.RHS {
+		cur := t[s.yIdx[ci][yi]]
+		if !bound[yi] || cur == forced[yi] {
+			continue
+		}
+		edits = append(edits, CellEdit{Key: key, Attr: a, From: cur, To: forced[yi]})
+		cost += s.weight(key, a)
+	}
+	if len(edits) == 0 {
+		return nil
+	}
+	return &Suggestion{
+		ID: constID(ci, key), CFD: ci, Kind: SuggestRHSEdit,
+		Cost: cost, Key: key, Edits: edits, Tuples: len(edits),
+		Reason: fmt.Sprintf("tuple %d violates a pattern constant of CFD %d: force the RHS to the pattern value", key, ci),
+	}
+}
+
+// planBreakTuple suggests breaking one tuple's pattern match via its
+// cheapest eligible LHS cell.
+func (s *Suggester) planBreakTuple(ci int, key int64, matched []core.PatternRow) *Suggestion {
+	cfd := s.sigma[ci]
+	attr, w, ok := s.breakCell(cfd, matched, key)
+	if !ok {
+		return nil
+	}
+	return &Suggestion{
+		ID: constID(ci, key), CFD: ci, Kind: SuggestLHSBreak,
+		Cost: w, Key: key, Attr: attr, Tuples: 1,
+		Reason: fmt.Sprintf("matched rows of CFD %d force conflicting constants for tuple %d: no RHS value works, break the LHS match on %s", ci, key, attr),
+	}
+}
+
+// breakCell picks the cheapest LHS cell able to break a pattern match:
+// constant-pattern cells first (any fresh value un-matches the row),
+// then wildcard cells (the fresh value splits the tuple from its
+// X-group). Attributes with finite domains are skipped — they cannot
+// hold a fresh placeholder. key < 0 means a group-level estimate.
+func (s *Suggester) breakCell(cfd *core.CFD, matched []core.PatternRow, key int64) (string, float64, bool) {
+	schema := s.m.Schema()
+	best, bestW := "", 0.0
+	pick := func(kind core.PatternKind) bool {
+		for _, row := range matched {
+			for i, a := range cfd.LHS {
+				if row.X[i].Kind != kind || schema.Domain(a).Finite() {
+					continue
+				}
+				if w := s.weight(key, a); best == "" || w < bestW {
+					best, bestW = a, w
+				}
+			}
+		}
+		return best != ""
+	}
+	if pick(core.Const) {
+		return best, bestW, true
+	}
+	if pick(core.Wildcard) {
+		return best, bestW, true
+	}
+	return "", 0, false
+}
+
+// refreshVar re-plans the suggestion of one (cfd, X-group) variable
+// violation against the authoritative state.
+func (s *Suggester) refreshVar(ci int, x []relation.Value) {
+	id := varID(ci, x)
+	if s.relaxed[ci] {
+		s.dropID(id)
+		return
+	}
+	if !s.m.ViolatingGroup(ci, x) {
+		s.dropID(id)
+		return
+	}
+	if sug := s.planVar(ci, x); sug != nil {
+		s.put(sug)
+	} else {
+		s.dropID(id)
+	}
+}
+
+// varTargets derives a violating group's per-RHS-attribute target
+// values: the pattern constant when some matched row binds one, the
+// live distribution's majority otherwise. conflict reports matched
+// rows forcing contradictory constants (merge impossible).
+func (s *Suggester) varTargets(ci int, x []relation.Value, xkey string) (targets []relation.Value, matched []core.PatternRow, conflict bool) {
+	cfd := s.sigma[ci]
+	targets = make([]relation.Value, len(cfd.RHS))
+	bound := make([]bool, len(cfd.RHS))
+	for _, row := range cfd.Tableau {
+		if !matchX(row, x) {
+			continue
+		}
+		matched = append(matched, row)
+		for yi := range cfd.RHS {
+			if row.Y[yi].Kind != core.Const {
+				continue
+			}
+			if bound[yi] && targets[yi] != row.Y[yi].Val {
+				conflict = true
+				continue
+			}
+			bound[yi], targets[yi] = true, row.Y[yi].Val
+		}
+	}
+	for yi := range cfd.RHS {
+		if bound[yi] {
+			continue
+		}
+		st, ok := s.hub.Stat(s.pairBase[ci]+yi, xkey)
+		if !ok {
+			return nil, nil, false
+		}
+		targets[yi] = st.Top
+	}
+	return targets, matched, conflict
+}
+
+// planVar derives the suggestion for a variable violation: the cheaper
+// of merging minority cells into the target values or breaking the
+// minority tuples' LHS match.
+func (s *Suggester) planVar(ci int, x []relation.Value) *Suggestion {
+	cfd := s.sigma[ci]
+	xkey := s.hub.KeyOf(x)
+	targets, matched, conflict := s.varTargets(ci, x, xkey)
+	if targets == nil || len(matched) == 0 {
+		return nil
+	}
+	mergeCost, mergeEdits := 0.0, 0
+	maxMinority := 0
+	var attr string
+	var to relation.Value
+	for yi, a := range cfd.RHS {
+		pair := s.pairBase[ci] + yi
+		st, ok := s.hub.Stat(pair, xkey)
+		if !ok {
+			return nil
+		}
+		minority := st.Support - s.hub.Count(pair, xkey, targets[yi])
+		if minority <= 0 {
+			continue
+		}
+		mergeCost += float64(minority) * s.weight(-1, a)
+		mergeEdits += minority
+		if minority > maxMinority {
+			maxMinority = minority
+		}
+		if attr == "" {
+			attr, to = a, targets[yi]
+		}
+	}
+	if mergeEdits == 0 {
+		return nil
+	}
+	id := varID(ci, x)
+	breakAttr, breakW, canBreak := s.breakCell(cfd, matched, -1)
+	breakCost := float64(maxMinority) * breakW
+	if conflict || (canBreak && breakCost < mergeCost) {
+		if !canBreak {
+			return nil
+		}
+		return &Suggestion{
+			ID: id, CFD: ci, Kind: SuggestLHSBreak,
+			Cost: breakCost, X: x, Attr: breakAttr, Tuples: maxMinority,
+			Reason: fmt.Sprintf("group (%s) disagrees on the RHS of CFD %d: break the minority tuples' LHS match on %s", relation.EncodeKey(x), ci, breakAttr),
+		}
+	}
+	return &Suggestion{
+		ID: id, CFD: ci, Kind: SuggestValueMerge,
+		Cost: mergeCost, X: x, Attr: attr, To: to, Tuples: mergeEdits,
+		Reason: fmt.Sprintf("group (%s) disagrees on the RHS of CFD %d: merge the minority cells into %q", relation.EncodeKey(x), ci, to),
+	}
+}
+
+// refreshTrust re-evaluates each CFD against the trust threshold and
+// swaps between data-edit and relaxation mode on crossings.
+func (s *Suggester) refreshTrust() {
+	if s.opts.Trust == nil || s.opts.TrustThreshold <= 0 {
+		return
+	}
+	relaxed := int64(0)
+	for ci, cfd := range s.sigma {
+		worst, any := 1.0, false
+		for _, a := range cfd.RHS {
+			if c, ok := s.opts.Trust.Confidence(cfd.LHS, a); ok {
+				any = true
+				if c < worst {
+					worst = c
+				}
+			}
+		}
+		if !any {
+			continue
+		}
+		if worst < s.opts.TrustThreshold {
+			relaxed++
+			if !s.relaxed[ci] {
+				s.relaxed[ci] = true
+				for id, sg := range s.sugs {
+					if sg.CFD == ci && sg.Kind != SuggestRelax {
+						delete(s.sugs, id)
+						s.bump()
+					}
+				}
+			}
+			s.put(&Suggestion{
+				ID: relaxID(ci), CFD: ci, Kind: SuggestRelax,
+				Cost: 1, Confidence: worst,
+				Reason: fmt.Sprintf("live confidence %.3f for CFD %d is below the trust threshold %.3f: relax the constraint (add a pattern row for the dominant conflicting groups, or retire it) instead of editing data", worst, ci, s.opts.TrustThreshold),
+			})
+			continue
+		}
+		if s.relaxed[ci] {
+			s.relaxed[ci] = false
+			s.dropID(relaxID(ci))
+			s.reseed(ci)
+		}
+	}
+	s.metRelaxed.Set(relaxed)
+}
+
+// reseed re-plans every live violation of one CFD from the view — the
+// re-entry path when a CFD's confidence recovers above the threshold.
+func (s *Suggester) reseed(ci int) {
+	st := s.m.Violations()
+	if ci >= len(st.PerCFD) {
+		return
+	}
+	v := st.PerCFD[ci]
+	for _, k := range v.ConstTuples {
+		s.refreshConst(ci, k)
+	}
+	for _, x := range v.VariableKeys {
+		s.refreshVar(ci, x)
+	}
+}
+
+func (s *Suggester) fresh() relation.Value {
+	s.freshN++
+	return fmt.Sprintf("\x00unk:s%d", s.freshN)
+}
+
+// Plan materializes an accepted suggestion set into a ChangeSet of
+// ordinary updates against the current instance, plus the concrete
+// cell-edit list for review. Group-level suggestions enumerate their
+// members here (an O(|I|) integer scan — the apply path is human-paced,
+// the refresh path never pays it). Relaxation suggestions are
+// constraint changes, not data edits, and are rejected.
+func (s *Suggester) Plan(ids []string) (*incremental.ChangeSet, []CellEdit, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cs incremental.ChangeSet
+	var edits []CellEdit
+	add := func(key int64, attr string, to relation.Value) {
+		t, ok := s.m.Get(key)
+		if !ok {
+			return
+		}
+		from := t[s.m.Schema().MustIndex(attr)]
+		if from == to {
+			return
+		}
+		cs.Update(key, attr, to)
+		edits = append(edits, CellEdit{Key: key, Attr: attr, From: from, To: to})
+	}
+	for _, id := range ids {
+		sug, ok := s.sugs[id]
+		if !ok {
+			return nil, nil, fmt.Errorf("repair: %w: %q", ErrUnknownSuggestion, id)
+		}
+		switch sug.Kind {
+		case SuggestRelax:
+			return nil, nil, fmt.Errorf("repair: suggestion %q proposes a constraint change, not a data edit; edit Σ instead", id)
+		case SuggestRHSEdit:
+			for _, e := range sug.Edits {
+				add(e.Key, e.Attr, e.To)
+			}
+		case SuggestLHSBreak:
+			if sug.X == nil {
+				add(sug.Key, sug.Attr, s.fresh())
+				continue
+			}
+			keys, targets, err := s.groupMembers(sug.CFD, sug.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, k := range keys {
+				if s.memberAgrees(sug.CFD, k, targets) {
+					continue
+				}
+				// A distinct placeholder per tuple: two broken tuples
+				// sharing one would just form a new conflicting group.
+				add(k, sug.Attr, s.fresh())
+			}
+		case SuggestValueMerge:
+			keys, targets, err := s.groupMembers(sug.CFD, sug.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			cfd := s.sigma[sug.CFD]
+			for _, k := range keys {
+				t, ok := s.m.Get(k)
+				if !ok {
+					continue
+				}
+				for yi, a := range cfd.RHS {
+					if cur := t[s.yIdx[sug.CFD][yi]]; cur != targets[yi] {
+						cs.Update(k, a, targets[yi])
+						edits = append(edits, CellEdit{Key: k, Attr: a, From: cur, To: targets[yi]})
+					}
+				}
+			}
+		}
+	}
+	return &cs, edits, nil
+}
+
+// groupMembers enumerates a violating group's member keys and its
+// current per-RHS target values.
+func (s *Suggester) groupMembers(ci int, x []relation.Value) ([]int64, []relation.Value, error) {
+	targets, _, _ := s.varTargets(ci, x, s.hub.KeyOf(x))
+	if targets == nil {
+		return nil, nil, fmt.Errorf("repair: group (%s) of CFD %d is gone", relation.EncodeKey(x), ci)
+	}
+	keys, err := s.m.MatchingKeys(s.sigma[ci].LHS, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return keys, targets, nil
+}
+
+// memberAgrees reports whether a member tuple already holds every
+// target RHS value.
+func (s *Suggester) memberAgrees(ci int, key int64, targets []relation.Value) bool {
+	t, ok := s.m.Get(key)
+	if !ok {
+		return true
+	}
+	for yi := range targets {
+		if t[s.yIdx[ci][yi]] != targets[yi] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,346 @@
+package repair
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/incremental"
+	"repro/internal/relation"
+)
+
+// suggestFixture builds a randomized dirty instance over a 4-attribute
+// schema with two disjoint CFDs: a pure FD A → B (variable violations)
+// and a pattern CFD C → D with constant rows (constant + variable
+// violations). Dirt corrupts RHS cells only, so every violation is
+// reachable by the suggester's RHS-edit/value-merge moves and the
+// batch oracle must certify the same instance repairable.
+type suggestFixture struct {
+	schema *relation.Schema
+	sigma  []*core.CFD
+	dirty  []relation.Tuple
+}
+
+func newSuggestFixture(t *testing.T, rng *rand.Rand, n int) *suggestFixture {
+	t.Helper()
+	schema := relation.MustSchema("R",
+		relation.Attr("A"), relation.Attr("B"),
+		relation.Attr("C"), relation.Attr("D"))
+	fd := core.MustCFD([]string{"A"}, []string{"B"},
+		core.PatternRow{X: []core.Pattern{core.W()}, Y: []core.Pattern{core.W()}})
+	const patterns = 6
+	rows := make([]core.PatternRow, patterns)
+	for j := 0; j < patterns; j++ {
+		rows[j] = core.PatternRow{
+			X: []core.Pattern{core.C(fmt.Sprintf("c%d", j))},
+			Y: []core.Pattern{core.C(fmt.Sprintf("d%d", j))},
+		}
+	}
+	pat := core.MustCFD([]string{"C"}, []string{"D"}, rows...)
+
+	dirty := make([]relation.Tuple, n)
+	for i := range dirty {
+		a := rng.Intn(n / 8)
+		c := rng.Intn(patterns + 2) // some C-values fall outside the tableau
+		dirty[i] = relation.Tuple{
+			fmt.Sprintf("a%d", a), fmt.Sprintf("b%d", a%7),
+			fmt.Sprintf("c%d", c), fmt.Sprintf("d%d", c),
+		}
+	}
+	// Corrupt ~15% of the RHS cells.
+	for i := range dirty {
+		if rng.Intn(100) < 15 {
+			if rng.Intn(2) == 0 {
+				dirty[i][1] = fmt.Sprintf("bx%d", rng.Intn(4))
+			} else {
+				dirty[i][3] = fmt.Sprintf("dx%d", rng.Intn(4))
+			}
+		}
+	}
+	return &suggestFixture{schema: schema, sigma: []*core.CFD{fd, pat}, dirty: dirty}
+}
+
+func (f *suggestFixture) monitor(t *testing.T) *incremental.Monitor {
+	t.Helper()
+	m, err := incremental.New(f.schema, f.sigma, incremental.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(f.dirty); i += 64 {
+		var cs incremental.ChangeSet
+		for j := i; j < i+64 && j < len(f.dirty); j++ {
+			cs.Insert(f.dirty[j])
+		}
+		if _, err := m.Apply(&cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func (f *suggestFixture) relation() *relation.Relation {
+	rel := relation.New(f.schema)
+	for _, tp := range f.dirty {
+		rel.Tuples = append(rel.Tuples, tp.Clone())
+	}
+	return rel
+}
+
+// drive applies the top suggestion per round until the suggester runs
+// dry, asserting the live violation count strictly decreases every
+// round, and returns the number of rounds.
+func drive(t *testing.T, m *incremental.Monitor, sg *Suggester) int {
+	t.Helper()
+	prev := m.ViolationCount()
+	rounds := 0
+	budget := int(prev)*4 + 16
+	for {
+		sg.Refresh()
+		sugs := sg.Suggestions()
+		if len(sugs) == 0 {
+			break
+		}
+		if rounds++; rounds > budget {
+			t.Fatalf("no convergence after %d rounds; %d violations live", rounds, m.ViolationCount())
+		}
+		cs, edits, err := sg.Plan([]string{sugs[0].ID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(edits) == 0 {
+			t.Fatalf("round %d: top suggestion %q planned no edits", rounds, sugs[0].ID)
+		}
+		if _, err := m.Apply(cs); err != nil {
+			t.Fatal(err)
+		}
+		cur := m.ViolationCount()
+		if cur >= prev {
+			t.Fatalf("round %d: violations did not decrease: %d -> %d (applied %q)", rounds, prev, cur, sugs[0].ID)
+		}
+		prev = cur
+	}
+	return rounds
+}
+
+// TestSuggestConvergesRandomDirt is the randomized-dirt convergence
+// property: applying the top suggestion per round reduces the live
+// violation count monotonically to zero, and the batch Repair oracle
+// certifies the same dirty instance repairable.
+func TestSuggestConvergesRandomDirt(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			f := newSuggestFixture(t, rand.New(rand.NewSource(seed)), 400)
+
+			// Batch oracle on the same dirty instance.
+			res, err := Repair(f.relation(), f.sigma, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Satisfied {
+				t.Fatalf("batch oracle did not reach satisfaction (passes=%d)", res.Passes)
+			}
+
+			m := f.monitor(t)
+			defer m.Close()
+			if m.ViolationCount() == 0 {
+				t.Fatal("fixture produced no violations")
+			}
+			sg, err := NewSuggester(m, SuggestOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sg.Close()
+			rounds := drive(t, m, sg)
+			if got := m.ViolationCount(); got != 0 {
+				t.Fatalf("after %d rounds: %d violations remain", rounds, got)
+			}
+			if !m.Satisfied() {
+				t.Fatal("monitor not satisfied after convergence")
+			}
+			sg.Refresh()
+			if left := sg.Suggestions(); len(left) != 0 {
+				t.Fatalf("%d suggestions remain on a satisfied instance: %+v", len(left), left[0])
+			}
+		})
+	}
+}
+
+// TestSuggesterTracksLiveSet checks the O(Δ) maintenance directly:
+// suggestions appear when a batch introduces violations, carry concrete
+// cost-ranked fixes, and retire when an unrelated-path batch repairs
+// the data out from under the suggester.
+func TestSuggesterTracksLiveSet(t *testing.T) {
+	f := newSuggestFixture(t, rand.New(rand.NewSource(7)), 200)
+	m := f.monitor(t)
+	defer m.Close()
+	sg, err := NewSuggester(m, SuggestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	sg.Refresh()
+	before := len(sg.Suggestions())
+	v0 := sg.Version()
+
+	// A batch that forces one fresh constant violation: C in the
+	// tableau, D wrong.
+	var cs incremental.ChangeSet
+	cs.Insert(relation.Tuple{"anew", "bnew", "c0", "dwrong"})
+	if _, err := m.Apply(&cs); err != nil {
+		t.Fatal(err)
+	}
+	if n := sg.Refresh(); n == 0 {
+		t.Fatal("refresh after a violating batch re-planned nothing")
+	}
+	after := sg.Suggestions()
+	if len(after) <= before {
+		t.Fatalf("suggestion count did not grow: %d -> %d", before, len(after))
+	}
+	if sg.Version() == v0 {
+		t.Fatal("version did not advance")
+	}
+	for i := 1; i < len(after); i++ {
+		if after[i].Cost < after[i-1].Cost {
+			t.Fatalf("suggestions not cost-ranked at %d: %f < %f", i, after[i].Cost, after[i-1].Cost)
+		}
+	}
+
+	// Repair that tuple by hand; its suggestion must retire.
+	key := m.NextKey() - 1
+	var fix incremental.ChangeSet
+	fix.Update(key, "D", "d0")
+	if _, err := m.Apply(&fix); err != nil {
+		t.Fatal(err)
+	}
+	sg.Refresh()
+	for _, s := range sg.Suggestions() {
+		if s.Key == key && s.Kind == SuggestRHSEdit {
+			t.Fatalf("suggestion %q survived the fix", s.ID)
+		}
+	}
+}
+
+// fakeTrust is a settable TrustSource.
+type fakeTrust struct {
+	mu   sync.Mutex
+	conf float64
+}
+
+func (f *fakeTrust) Confidence(lhs []string, rhs string) (float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.conf, true
+}
+
+// TestSuggesterRelaxesLowTrustCFD checks the relative-trust loop: when
+// confidence drops below the threshold the CFD's data edits give way to
+// one relaxation suggestion, and recovery reseeds the data edits.
+func TestSuggesterRelaxesLowTrustCFD(t *testing.T) {
+	f := newSuggestFixture(t, rand.New(rand.NewSource(11)), 200)
+	m := f.monitor(t)
+	defer m.Close()
+	trust := &fakeTrust{conf: 0.99}
+	sg, err := NewSuggester(m, SuggestOptions{Trust: trust, TrustThreshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	sg.Refresh()
+	dataSugs := len(sg.Suggestions())
+	if dataSugs == 0 {
+		t.Fatal("no data suggestions on a dirty instance")
+	}
+	for _, s := range sg.Suggestions() {
+		if s.Kind == SuggestRelax {
+			t.Fatal("relaxation suggested above the threshold")
+		}
+	}
+
+	trust.mu.Lock()
+	trust.conf = 0.5
+	trust.mu.Unlock()
+	sg.Refresh()
+	relax := 0
+	for _, s := range sg.Suggestions() {
+		switch s.Kind {
+		case SuggestRelax:
+			relax++
+			if s.Confidence != 0.5 {
+				t.Fatalf("relaxation carries confidence %f, want 0.5", s.Confidence)
+			}
+		default:
+			t.Fatalf("data suggestion %q survived below the threshold", s.ID)
+		}
+	}
+	if relax != len(f.sigma) {
+		t.Fatalf("got %d relaxation suggestions, want one per CFD (%d)", relax, len(f.sigma))
+	}
+	if _, _, err := sg.Plan([]string{sg.Suggestions()[0].ID}); err == nil {
+		t.Fatal("planning a relaxation suggestion should fail")
+	}
+
+	trust.mu.Lock()
+	trust.conf = 0.99
+	trust.mu.Unlock()
+	sg.Refresh()
+	if got := len(sg.Suggestions()); got != dataSugs {
+		t.Fatalf("recovery reseeded %d suggestions, want %d", got, dataSugs)
+	}
+}
+
+// TestSuggesterConcurrentRefresh hammers Refresh/Suggestions against
+// concurrent writers, then quiesces and drives the instance to zero —
+// the -race half of the convergence gate.
+func TestSuggesterConcurrentRefresh(t *testing.T) {
+	f := newSuggestFixture(t, rand.New(rand.NewSource(3)), 300)
+	m := f.monitor(t)
+	defer m.Close()
+	sg, err := NewSuggester(m, SuggestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				var cs incremental.ChangeSet
+				key := int64(rng.Intn(len(f.dirty)))
+				if i%2 == 0 {
+					cs.Update(key, "B", fmt.Sprintf("bx%d", rng.Intn(4)))
+				} else {
+					cs.Update(key, "D", fmt.Sprintf("d%d", rng.Intn(6)))
+				}
+				if _, err := m.Apply(&cs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		sg.Refresh()
+		_ = sg.Suggestions()
+		_ = sg.Version()
+	}
+	close(done)
+	wg.Wait()
+
+	rounds := drive(t, m, sg)
+	if got := m.ViolationCount(); got != 0 {
+		t.Fatalf("after %d rounds: %d violations remain", rounds, got)
+	}
+}
